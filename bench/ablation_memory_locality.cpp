@@ -1,0 +1,95 @@
+// ABLATION — Burst size meets a row-buffer memory.
+//
+// The paper's burst mode exists to amortize per-transfer overhead; against
+// a banked row-buffer memory the overhead is PHYSICAL (activate/precharge
+// on row misses), so the burst/locality interaction decides real delivered
+// bandwidth.  This sweep runs one streaming master against a row-buffer
+// slave under (a) sequential addresses and (b) random addresses, across
+// burst sizes — showing bursts recover almost all of the row-miss tax for
+// streams while random traffic stays activation-bound no matter the burst.
+
+#include <iostream>
+#include <memory>
+
+#include "arbiters/round_robin.hpp"
+#include "bench_util.hpp"
+#include "bus/bus.hpp"
+#include "bus/memory_model.hpp"
+#include "sim/kernel.hpp"
+#include "sim/rng.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace lb;
+
+struct Row {
+  double words_per_cycle;
+  double hit_rate;
+};
+
+Row run(std::uint32_t burst, bool sequential) {
+  bus::BusConfig config;
+  config.num_masters = 1;
+  config.max_burst_words = burst;
+  auto memory = std::make_shared<bus::RowBufferMemory>();
+  config.slaves = {bus::SlaveConfig{
+      "dram", 0,
+      [memory](const bus::Message& msg) { return (*memory)(msg); }}};
+  bus::Bus bus(config, std::make_unique<arb::RoundRobinArbiter>(1));
+
+  // Closed loop: next access issues when the previous lands.
+  sim::Xoshiro256ss rng(7);
+  std::uint64_t next_address = 0;
+  auto issue = [&](sim::Cycle now) {
+    bus::Message message;
+    message.words = burst;
+    message.address = sequential
+                          ? next_address
+                          : (rng.next() % (1u << 24)) & ~std::uint64_t{3};
+    next_address += burst * 4;  // 32-bit words
+    message.arrival = now;
+    bus.push(0, message);
+  };
+  bus.onCompletion([&](bus::MasterId, const bus::Message&, sim::Cycle finish) {
+    issue(finish + 1);
+  });
+  issue(0);
+
+  constexpr sim::Cycle kCycles = 100000;
+  for (sim::Cycle t = 0; t < kCycles; ++t) bus.cycle(t);
+
+  Row row{};
+  row.words_per_cycle =
+      static_cast<double>(bus.bandwidth().wordsTransferred(0)) / kCycles;
+  row.hit_rate = memory->hitRate();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(
+      "ABLATION: burst size x memory row locality",
+      "Section 4.1 burst mode, against a banked row-buffer memory",
+      "sequential streams approach 1 word/cycle once bursts span rows; "
+      "random accesses stay activation-bound at any burst size");
+
+  stats::Table table({"burst words", "sequential words/cycle",
+                      "sequential hit rate", "random words/cycle",
+                      "random hit rate"});
+  for (const std::uint32_t burst : {1u, 4u, 16u, 64u}) {
+    const Row seq = run(burst, true);
+    const Row rnd = run(burst, false);
+    table.addRow({std::to_string(burst),
+                  stats::Table::num(seq.words_per_cycle, 3),
+                  stats::Table::pct(seq.hit_rate),
+                  stats::Table::num(rnd.words_per_cycle, 3),
+                  stats::Table::pct(rnd.hit_rate)});
+  }
+  table.printAscii(std::cout);
+  std::cout << "\n(row-buffer defaults: 1KB rows over 4 banks, 6-cycle miss "
+               "setup; a 64-word burst pays at most one activation per 256 "
+               "bytes)\n";
+  return 0;
+}

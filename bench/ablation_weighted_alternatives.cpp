@@ -1,0 +1,88 @@
+// ABLATION — Randomized lottery vs deterministic weighted disciplines.
+//
+// Lottery tickets are not the only road to proportional bandwidth: deficit-
+// weighted round-robin (DRR) and weighted TDMA slots deliver the same
+// long-run shares.  What the lottery's randomization uniquely buys is
+// insensitivity to the *time profile* of requests.  This ablation runs all
+// weighted disciplines (weights 1:2:3:4) over every traffic class and
+// reports (a) how close bandwidth lands to the weights (weighted fairness
+// index) on the saturated classes and (b) the top-weight component's latency
+// on the phase-locked class T6, where the deterministic schedules resonate.
+
+#include <functional>
+#include <iostream>
+#include <memory>
+
+#include "arbiters/tdma.hpp"
+#include "arbiters/weighted_round_robin.hpp"
+#include "bench_util.hpp"
+#include "core/lottery.hpp"
+#include "stats/stats.hpp"
+#include "stats/table.hpp"
+#include "traffic/classes.hpp"
+#include "traffic/testbed.hpp"
+
+namespace {
+
+using namespace lb;
+
+using ArbiterFactory = std::function<std::unique_ptr<bus::IArbiter>()>;
+
+std::vector<std::pair<std::string, ArbiterFactory>> weightedArbiters() {
+  return {
+      {"lottery",
+       [] {
+         return std::make_unique<core::LotteryArbiter>(
+             std::vector<std::uint32_t>{1, 2, 3, 4}, core::LotteryRng::kExact,
+             7);
+       }},
+      {"weighted-rr",
+       [] {
+         return std::make_unique<arb::WeightedRoundRobinArbiter>(
+             std::vector<std::uint32_t>{1, 2, 3, 4});
+       }},
+      {"tdma-2level",
+       [] {
+         return std::make_unique<arb::TdmaArbiter>(
+             arb::TdmaArbiter::contiguousWheel({16, 32, 48, 64}), 4);
+       }},
+  };
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(
+      "ABLATION: lottery vs deterministic weighted disciplines",
+      "design-space context for Section 4 (randomization as the key choice)",
+      "all three match weights on smooth saturated traffic; only the lottery "
+      "stays fast for the top component on the phase-locked class T6");
+
+  constexpr sim::Cycle kCycles = 300000;
+
+  stats::Table table({"arbiter", "class", "weighted fairness (bw vs 1:2:3:4)",
+                      "C4 cycles/word", "C1 cycles/word"});
+
+  for (const auto& [name, factory] : weightedArbiters()) {
+    for (const char* cls : {"T2", "T4", "T6"}) {
+      // T6's closed-loop demand is deeper so DRR weighting can express
+      // itself; see WeightedRoundRobinArbiter docs.
+      const auto result = traffic::runTestbed(
+          traffic::defaultBusConfig(4), factory(),
+          traffic::paramsFor(traffic::trafficClass(cls), 4, 21), kCycles);
+      const double fairness = stats::weightedFairnessIndex(
+          result.traffic_share, {1, 2, 3, 4});
+      table.addRow({name, cls, stats::Table::num(fairness, 4),
+                    stats::Table::num(result.cycles_per_word[3]),
+                    stats::Table::num(result.cycles_per_word[0])});
+    }
+  }
+
+  table.printAscii(std::cout);
+  std::cout << "\nReading: fairness ~1.0 on T2/T4 for every discipline — "
+               "weighting is a solved problem.\nThe T6 rows separate them: "
+               "the deterministic schedules hand the 4-weight component its "
+               "worst latency\nexactly when its requests phase-lock against "
+               "the schedule; the lottery has no schedule to lock onto.\n";
+  return 0;
+}

@@ -1,0 +1,145 @@
+// MICRO — google-benchmark microbenchmarks of per-decision arbiter cost.
+//
+// Not a paper artifact: measures the *simulator's* cost per arbitration
+// decision for every policy, plus the bit-accurate hardware models, so
+// regressions in the hot path are caught.  (Hardware cost in the paper's
+// sense — cell grids and nanoseconds — is bench/hw_complexity.)
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "arbiters/round_robin.hpp"
+#include "arbiters/static_priority.hpp"
+#include "arbiters/tdma.hpp"
+#include "arbiters/token_ring.hpp"
+#include "core/lottery.hpp"
+#include "hw/lottery_manager_hw.hpp"
+#include "traffic/classes.hpp"
+#include "traffic/testbed.hpp"
+
+namespace {
+
+using namespace lb;
+
+std::vector<bus::MasterRequest> allPending(std::size_t n) {
+  std::vector<bus::MasterRequest> reqs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    reqs[i].pending = true;
+    reqs[i].head_words_remaining = 16;
+    reqs[i].tickets = static_cast<std::uint32_t>(i + 1);
+  }
+  return reqs;
+}
+
+void runArbiter(benchmark::State& state, bus::IArbiter& arbiter,
+                std::size_t masters) {
+  const auto reqs = allPending(masters);
+  bus::Cycle now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arbiter.arbitrate(bus::RequestView(reqs), now));
+    ++now;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_StaticPriority(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<unsigned> priorities(n);
+  for (std::size_t i = 0; i < n; ++i) priorities[i] = static_cast<unsigned>(i);
+  arb::StaticPriorityArbiter arbiter(priorities);
+  runArbiter(state, arbiter, n);
+}
+BENCHMARK(BM_StaticPriority)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RoundRobin(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  arb::RoundRobinArbiter arbiter(n);
+  runArbiter(state, arbiter, n);
+}
+BENCHMARK(BM_RoundRobin)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_TokenRing(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  arb::TokenRingArbiter arbiter(n, 0);
+  runArbiter(state, arbiter, n);
+}
+BENCHMARK(BM_TokenRing)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Tdma(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  arb::TdmaArbiter arbiter(
+      arb::TdmaArbiter::contiguousWheel(std::vector<unsigned>(n, 16)), n);
+  runArbiter(state, arbiter, n);
+}
+BENCHMARK(BM_Tdma)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_LotteryExact(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint32_t> tickets(n);
+  for (std::size_t i = 0; i < n; ++i) tickets[i] = static_cast<std::uint32_t>(i + 1);
+  core::LotteryArbiter arbiter(tickets, core::LotteryRng::kExact, 7);
+  runArbiter(state, arbiter, n);
+}
+BENCHMARK(BM_LotteryExact)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_LotteryLfsr(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint32_t> tickets(n);
+  for (std::size_t i = 0; i < n; ++i) tickets[i] = static_cast<std::uint32_t>(i + 1);
+  core::LotteryArbiter arbiter(tickets, core::LotteryRng::kLfsr, 7);
+  runArbiter(state, arbiter, n);
+}
+BENCHMARK(BM_LotteryLfsr)->Arg(4)->Arg(8);
+
+void BM_LotteryDynamic(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::DynamicLotteryArbiter arbiter(7);
+  runArbiter(state, arbiter, n);
+}
+BENCHMARK(BM_LotteryDynamic)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_StaticManagerHw(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  hw::StaticLotteryManagerHw manager(std::vector<std::uint32_t>(n, 2));
+  const std::uint32_t map = (1u << n) - 1u;
+  for (auto _ : state) benchmark::DoNotOptimize(manager.draw(map));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StaticManagerHw)->Arg(4)->Arg(8);
+
+void BM_DynamicManagerHw(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  hw::DynamicLotteryManagerHw manager(n);
+  const std::uint32_t map = (1u << n) - 1u;
+  std::vector<std::uint32_t> tickets(n, 3);
+  for (auto _ : state) benchmark::DoNotOptimize(manager.draw(map, tickets));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DynamicManagerHw)->Arg(4)->Arg(8);
+
+// Whole-simulator throughput: full 4-master test-bed (traffic generators +
+// bus + lottery arbitration + statistics), reported as simulated bus cycles
+// per wall-clock second.
+void BM_FullTestbed(benchmark::State& state) {
+  const auto cycles = static_cast<sim::Cycle>(state.range(0));
+  const auto params =
+      traffic::paramsFor(traffic::trafficClass("T2"), 4, 17);
+  for (auto _ : state) {
+    auto result = traffic::runTestbed(
+        traffic::defaultBusConfig(4),
+        std::make_unique<core::LotteryArbiter>(
+            std::vector<std::uint32_t>{1, 2, 3, 4}, core::LotteryRng::kExact,
+            7),
+        params, cycles);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_FullTestbed)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// EXT — Output-queue sizing for the ATM switch (extension experiment).
+//
+// The paper's output-queued switch (Section 5.3) stores queued cell
+// addresses in per-port local memories; sizing those queues is the classic
+// output-queued-switch provisioning problem.  This harness sweeps the queue
+// capacity under the Table-1 traffic and reports drop rates and port-4
+// latency per architecture — showing that the LOTTERYBUS's bandwidth
+// guarantees also translate into smaller queue-memory requirements for the
+// reserved flows.
+
+#include <iostream>
+
+#include "atm/scenario.hpp"
+#include "bench_util.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace lb;
+
+  benchutil::banner(
+      "EXT: ATM output-queue capacity sweep",
+      "extension of Table 1 (DAC'01 LOTTERYBUS paper, Section 5.3)",
+      "backlogged best-effort ports drop at any finite capacity; the "
+      "latency-critical port needs only a handful of cell slots");
+
+  constexpr sim::Cycle kCycles = 400000;
+
+  stats::Table table({"architecture", "queue capacity", "port1 drop rate",
+                      "port3 drop rate", "port4 drop rate",
+                      "port4 latency (cycles/word)", "port4 max queue"});
+
+  for (const auto architecture :
+       {atm::Architecture::kStaticPriority, atm::Architecture::kTdma,
+        atm::Architecture::kLottery}) {
+    for (const std::size_t capacity : {8u, 32u, 128u, 512u}) {
+      atm::AtmSwitchConfig config = atm::table1Config();
+      config.queue_capacity = capacity;
+      atm::AtmSwitch sw(config, atm::table1Arbiter(architecture));
+      sw.run(kCycles, /*warmup=*/20000);
+
+      auto drop_rate = [&](std::size_t port) {
+        const auto& counters = sw.counters(port);
+        return counters.cells_in == 0
+                   ? 0.0
+                   : static_cast<double>(counters.cells_dropped) /
+                         static_cast<double>(counters.cells_in);
+      };
+      table.addRow({atm::architectureName(architecture),
+                    std::to_string(capacity),
+                    stats::Table::pct(drop_rate(0)),
+                    stats::Table::pct(drop_rate(2)),
+                    stats::Table::pct(drop_rate(3)),
+                    stats::Table::num(sw.cyclesPerWord(3)),
+                    std::to_string(sw.counters(3).max_queue_depth)});
+    }
+  }
+
+  table.printAscii(std::cout);
+  std::cout << "\nReading: ports 1..3 oversubscribe the bus ~2x, so their "
+               "drop rate is capacity-insensitive\n(loss = excess demand, "
+               "split per the arbiter's policy: priority starves port 1 "
+               "outright,\nlottery drops in inverse proportion to tickets); "
+               "port 4's periodic flow never queues\nmore than one cell — "
+               "even TDMA's 9 cycles/word alignment penalty stays within "
+               "its\n208-cycle period — so a single-cell buffer suffices "
+               "for the reserved flow.\n";
+  return 0;
+}

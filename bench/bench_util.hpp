@@ -1,0 +1,40 @@
+#pragma once
+// Shared helpers for the experiment harnesses in bench/.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace lb::benchutil {
+
+/// All 24 permutations of {1,2,3,4}, in the lexicographic order the paper's
+/// Figure 4 / Figure 6(a) x-axes use (the label "1234" means component C1
+/// holds value 1, C2 value 2, ...).
+inline std::vector<std::array<unsigned, 4>> allAssignments4() {
+  std::vector<std::array<unsigned, 4>> result;
+  std::array<unsigned, 4> values = {1, 2, 3, 4};
+  // std::next_permutation enumerates lexicographically from sorted.
+  do {
+    result.push_back(values);
+  } while (std::next_permutation(values.begin(), values.end()));
+  return result;
+}
+
+inline std::string assignmentLabel(const std::array<unsigned, 4>& assignment) {
+  std::string label;
+  for (const unsigned v : assignment) label += static_cast<char>('0' + v);
+  return label;
+}
+
+/// Prints a standard experiment banner so bench output is self-describing.
+inline void banner(const std::string& experiment, const std::string& paper_ref,
+                   const std::string& expectation) {
+  std::cout << "\n=== " << experiment << " ===\n"
+            << "Reproduces: " << paper_ref << "\n"
+            << "Expected shape: " << expectation << "\n\n";
+}
+
+}  // namespace lb::benchutil

@@ -1,0 +1,67 @@
+// EXT — Absolute bandwidth of a flat LOTTERYBUS as it grows.
+//
+// Combines three models this library provides: the cycle-accurate simulator
+// (words/cycle under contention), the lottery manager's timing model
+// (arbitration stage delay vs master count), and the physical channel model
+// (wire/loading delay vs attached components).  The product is the absolute
+// deliverable bandwidth (MB/s on a 32-bit bus) of a flat shared bus as
+// masters are added — the quantitative case for the paper's multi-channel
+// topologies: utilization stays ~100% but the achievable CLOCK falls.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/lottery.hpp"
+#include "hw/channel_model.hpp"
+#include "hw/lottery_manager_hw.hpp"
+#include "stats/table.hpp"
+#include "traffic/testbed.hpp"
+
+int main() {
+  using namespace lb;
+
+  benchutil::banner(
+      "EXT: flat-bus absolute bandwidth vs master count",
+      "Section 2 (channel clock depends on interface complexity & routing)",
+      "words/cycle stays ~1.0 under saturation, but wire loading drops the "
+      "clock, so MB/s decays as the flat bus grows");
+
+  constexpr sim::Cycle kCycles = 50000;
+
+  stats::Table table({"masters", "utilization", "arb stage (ns)",
+                      "wire (ns)", "clock (MHz)", "delivered MB/s"});
+  for (const std::size_t n : {2u, 4u, 6u, 8u, 10u, 12u}) {
+    // Cycle-level: saturated equal-ticket masters.
+    std::vector<traffic::TrafficParams> params(n);
+    for (std::size_t m = 0; m < n; ++m) {
+      params[m].size = traffic::SizeDist::fixed(16);
+      params[m].gap = traffic::GapDist::fixed(0);
+      params[m].max_outstanding = 1;
+      params[m].seed = 70 + m;
+    }
+    const auto result = traffic::runTestbed(
+        traffic::defaultBusConfig(n),
+        std::make_unique<core::LotteryArbiter>(
+            std::vector<std::uint32_t>(n, 1), core::LotteryRng::kExact, 3),
+        params, kCycles);
+    const double utilization = 1.0 - result.unutilized_fraction;
+
+    // Physical: arbitration stage + wires (masters + one memory slave).
+    hw::StaticLotteryManagerHw manager(std::vector<std::uint32_t>(n, 1));
+    const double arb_ns = manager.timing().criticalPathNs();
+    const auto channel = hw::estimateChannel(n + 1, arb_ns);
+
+    const double mbps =
+        channel.peak_bandwidth_mbps * utilization;
+    table.addRow({std::to_string(n), stats::Table::pct(utilization),
+                  stats::Table::num(arb_ns), stats::Table::num(channel.wire_ns),
+                  stats::Table::num(channel.clock_mhz, 0),
+                  stats::Table::num(mbps, 0)});
+  }
+  table.printAscii(std::cout);
+  std::cout << "\n(two bridged 6-master channels would each run at the "
+               "6-master clock — see bench/topology_partitioning for the "
+               "words/cycle side of that trade)\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// EXT — Short-term fairness / convergence time series.
+//
+// The classic critique of lottery scheduling: shares are only
+// *probabilistically* proportional, so short windows show variance where a
+// deterministic schedule (deficit-WRR, TDMA) is exact every frame.  This
+// harness measures per-window share deviation of the top-weighted master
+// (target 40%) across window sizes, for the lottery vs deficit-WRR, on
+// saturated traffic — quantifying the price LOTTERYBUS pays for its
+// phase-insensitivity, and how quickly it vanishes with window size.
+
+#include <iostream>
+#include <memory>
+
+#include "arbiters/weighted_round_robin.hpp"
+#include "bench_util.hpp"
+#include "bus/bus.hpp"
+#include "core/lottery.hpp"
+#include "sim/kernel.hpp"
+#include "stats/table.hpp"
+#include "stats/windowed.hpp"
+#include "traffic/generator.hpp"
+
+namespace {
+
+using namespace lb;
+
+constexpr sim::Cycle kCycles = 400000;
+
+struct Deviation {
+  double mean;
+  double max;
+};
+
+Deviation run(std::unique_ptr<bus::IArbiter> arbiter, std::uint64_t window) {
+  bus::BusConfig config;
+  config.num_masters = 4;
+  config.max_burst_words = 16;
+  bus::Bus bus(config, std::move(arbiter));
+
+  stats::WindowedBandwidth windowed(4, window);
+  // Count each completed message's words at its completion cycle — a
+  // window-resolution approximation that is exact for window >> burst.
+  bus.onCompletion([&windowed](bus::MasterId master,
+                               const bus::Message& message, sim::Cycle now) {
+    for (std::uint32_t w = 0; w < message.words; ++w)
+      windowed.recordWord(static_cast<std::size_t>(master), now);
+  });
+
+  sim::CycleKernel kernel;
+  std::vector<std::unique_ptr<traffic::TrafficSource>> sources;
+  for (bus::MasterId m = 0; m < 4; ++m) {
+    traffic::TrafficParams params;
+    params.size = traffic::SizeDist::fixed(16);
+    params.gap = traffic::GapDist::fixed(0);
+    params.max_outstanding = 4;
+    params.seed = 90 + static_cast<std::uint64_t>(m);
+    sources.push_back(std::make_unique<traffic::TrafficSource>(bus, m, params));
+    kernel.attach(*sources.back());
+  }
+  kernel.attach(bus);
+  kernel.run(kCycles);
+
+  return Deviation{windowed.meanShareDeviation(3, 0.4),
+                   windowed.maxShareDeviation(3, 0.4)};
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(
+      "EXT: short-term fairness vs window size",
+      "lottery-scheduling convergence (context for Section 4.2)",
+      "lottery per-window shares wander at small windows and converge ~ "
+      "1/sqrt(window); deficit-WRR is exact at every frame");
+
+  stats::Table table({"window (cycles)", "lottery mean |dev|",
+                      "lottery max |dev|", "weighted-rr mean |dev|",
+                      "weighted-rr max |dev|"});
+  for (const std::uint64_t window : {160u, 640u, 2560u, 10240u, 40960u}) {
+    const Deviation lottery =
+        run(std::make_unique<core::LotteryArbiter>(
+                std::vector<std::uint32_t>{1, 2, 3, 4},
+                core::LotteryRng::kExact, 7),
+            window);
+    const Deviation wrr = run(std::make_unique<arb::WeightedRoundRobinArbiter>(
+                                  std::vector<std::uint32_t>{1, 2, 3, 4}),
+                              window);
+    table.addRow({std::to_string(window),
+                  stats::Table::pct(lottery.mean),
+                  stats::Table::pct(lottery.max),
+                  stats::Table::pct(wrr.mean),
+                  stats::Table::pct(wrr.max)});
+  }
+  table.printAscii(std::cout);
+  std::cout << "\n(the deviation target is the 4-ticket master's 40% share; "
+               "both disciplines agree in the long run —\nthe lottery trades "
+               "bounded short-term wander for immunity to phase effects)\n";
+  return 0;
+}

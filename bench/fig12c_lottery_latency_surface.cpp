@@ -1,0 +1,59 @@
+// FIG12c — LOTTERYBUS latency surface: traffic classes x ticket assignment.
+//
+// Paper Figure 12(c): the Figure 12(b) experiment with a lottery arbiter,
+// tickets 1:2:3:4.  Expected shape: latency decreases monotonically with
+// tickets in every class (no inversion), and the high-ticket component's
+// latency is uniformly low — the architecture provides low latency to high
+// priority traffic regardless of the traffic's time profile.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/lottery.hpp"
+#include "stats/table.hpp"
+#include "traffic/classes.hpp"
+#include "traffic/testbed.hpp"
+
+int main() {
+  using namespace lb;
+
+  benchutil::banner(
+      "FIG12c: LOTTERYBUS average latency, classes T1..T6 x tickets 1..4",
+      "Figure 12(c) (DAC'01 LOTTERYBUS paper)",
+      "monotone: more tickets -> lower cycles/word, in every class; the "
+      "4-ticket component stays fast across the whole traffic space");
+
+  constexpr sim::Cycle kCycles = 400000;
+
+  stats::Table table(
+      {"class", "1 ticket", "2 tickets", "3 tickets", "4 tickets"});
+  double high_min = 1e18, high_max = 0;
+  int inversions = 0;
+
+  for (std::size_t c = 0; c < 6; ++c) {
+    const auto& cls = traffic::allTrafficClasses()[c];
+    auto arbiter = std::make_unique<core::LotteryArbiter>(
+        std::vector<std::uint32_t>{1, 2, 3, 4}, core::LotteryRng::kExact, 7);
+    const auto result =
+        traffic::runTestbed(traffic::defaultBusConfig(4), std::move(arbiter),
+                            traffic::paramsFor(cls, 4, 21), kCycles);
+    table.addRow({cls.name, stats::Table::num(result.cycles_per_word[0]),
+                  stats::Table::num(result.cycles_per_word[1]),
+                  stats::Table::num(result.cycles_per_word[2]),
+                  stats::Table::num(result.cycles_per_word[3])});
+    high_min = std::min(high_min, result.cycles_per_word[3]);
+    high_max = std::max(high_max, result.cycles_per_word[3]);
+    for (std::size_t m = 0; m + 1 < 4; ++m)
+      if (result.cycles_per_word[m] < result.cycles_per_word[m + 1])
+        ++inversions;
+  }
+
+  table.printAscii(std::cout);
+  std::cout << "\n4-ticket component ranges " << stats::Table::num(high_min)
+            << " .. " << stats::Table::num(high_max)
+            << " cycles/word across classes (paper: ~1.7 under T6, vs 8.55 "
+               "for TDMA);\nticket-order inversions observed: "
+            << inversions << " (expected 0 — unlike Figure 12(b)).\n";
+  return 0;
+}

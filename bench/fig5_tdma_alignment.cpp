@@ -1,0 +1,161 @@
+// FIG5 — Latency sensitivity of TDMA to request/slot phase alignment.
+//
+// Paper Figure 5: three masters on a TDMA bus, slots reserved in contiguous
+// 16-slot blocks.  Two request traces, identical except for a phase shift:
+// in Trace 1 each component's periodic requests arrive exactly at its
+// reserved block, so waits are ~1 slot; in Trace 2 the same pattern is phase
+// shifted and every transaction waits ~30 slots.  A LOTTERYBUS run on the
+// identical traces shows the randomized arbiter is insensitive to the phase.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "arbiters/tdma.hpp"
+#include "bench_util.hpp"
+#include "bus/waveform.hpp"
+#include "core/lottery.hpp"
+#include "stats/table.hpp"
+#include "traffic/testbed.hpp"
+
+namespace {
+
+using namespace lb;
+
+constexpr std::uint32_t kBurst = 16;
+constexpr std::size_t kMasters = 3;
+constexpr sim::Cycle kWheel = kBurst * kMasters;  // 48 slots
+constexpr sim::Cycle kCycles = 48000;
+
+/// Periodic traffic: every master issues one 16-word message per wheel
+/// revolution.  `staggered` (Trace 1) starts each master exactly at its own
+/// slot block, so requests and reservations stay aligned forever; otherwise
+/// (Trace 2 and variants) all three requests arrive bunched at the same
+/// cycle, so the reservations cannot all be aligned and the wheel forces
+/// per-transaction waits.
+traffic::TestbedResult run(std::unique_ptr<bus::IArbiter> arbiter,
+                           bool staggered, sim::Cycle phase,
+                           std::string* waveform = nullptr) {
+  std::vector<traffic::TrafficParams> params(kMasters);
+  for (std::size_t m = 0; m < kMasters; ++m) {
+    params[m].size = traffic::SizeDist::fixed(kBurst);
+    params[m].gap = traffic::GapDist::fixed(kWheel - 1);  // period == wheel
+    params[m].max_outstanding = 2;
+    params[m].first_arrival = staggered ? m * kBurst + phase : phase;
+    params[m].seed = 1 + m;
+  }
+  bus::BusConfig config = traffic::defaultBusConfig(kMasters);
+  config.max_burst_words = kBurst;
+
+  // The test-bed owns the bus, so snapshot its grant trace on the last
+  // simulated cycle via a scheduled kernel event.
+  traffic::TestbedOptions options;
+  std::vector<bus::GrantRecord> trace_copy;
+  if (waveform != nullptr) {
+    options.setup = [&](bus::Bus& bus, sim::CycleKernel& kernel) {
+      bus.setTraceEnabled(true);
+      kernel.at(kCycles - 1, [&bus, &trace_copy](sim::Cycle) {
+        trace_copy = bus.trace();
+      });
+    };
+  }
+
+  auto result = traffic::runTestbed(std::move(config), std::move(arbiter),
+                                    params, kCycles, std::move(options));
+  if (waveform != nullptr) {
+    bus::WaveformOptions wave;
+    wave.start = 0;
+    wave.end = 2 * kWheel;  // two wheel revolutions, like the paper's figure
+    *waveform = bus::waveformToString(trace_copy, kMasters, wave);
+  }
+  return result;
+}
+
+std::unique_ptr<bus::IArbiter> tdma() {
+  return std::make_unique<arb::TdmaArbiter>(
+      arb::TdmaArbiter::contiguousWheel({kBurst, kBurst, kBurst}), kMasters);
+}
+
+std::unique_ptr<bus::IArbiter> lottery() {
+  return std::make_unique<core::LotteryArbiter>(
+      std::vector<std::uint32_t>{1, 1, 1}, core::LotteryRng::kExact, 77);
+}
+
+double meanWaitSlots(const traffic::TestbedResult& result) {
+  // cycles/word includes the kBurst transfer cycles; the rest is waiting.
+  double wait = 0;
+  for (std::size_t m = 0; m < kMasters; ++m)
+    wait += result.cycles_per_word[m] * kBurst - kBurst;
+  return wait / kMasters;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(
+      "FIG5: TDMA latency vs request/slot alignment",
+      "Figure 5 (DAC'01 LOTTERYBUS paper)",
+      "aligned periodic requests wait ~1 slot; a phase shift inflates waits "
+      "to tens of slots; LOTTERYBUS is insensitive to the shift");
+
+  stats::Table table({"architecture", "request phase", "mean wait (slots)",
+                      "avg latency (cycles/word)"});
+
+  struct Scenario {
+    std::string label;
+    bool staggered;
+    sim::Cycle phase;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"aligned (Trace 1)", true, 0},
+      {"bunched at slot 0 (Trace 2)", false, 0},
+      {"bunched at slot 8", false, 8},
+      {"bunched at slot 24", false, 24},
+      {"bunched at slot 40", false, 40},
+  };
+
+  double tdma_min_wait = 1e9, tdma_max_wait = 0;
+  double lottery_min_wait = 1e9, lottery_max_wait = 0;
+  for (const auto& [label, staggered, phase] : scenarios) {
+    const auto tdma_result = run(tdma(), staggered, phase);
+    const auto lottery_result = run(lottery(), staggered, phase);
+    const double tdma_wait = meanWaitSlots(tdma_result);
+    const double lottery_wait = meanWaitSlots(lottery_result);
+    double tdma_cpw = 0, lottery_cpw = 0;
+    for (std::size_t m = 0; m < kMasters; ++m) {
+      tdma_cpw += tdma_result.cycles_per_word[m] / kMasters;
+      lottery_cpw += lottery_result.cycles_per_word[m] / kMasters;
+    }
+    table.addRow({"tdma-2level", label, stats::Table::num(tdma_wait),
+                  stats::Table::num(tdma_cpw)});
+    table.addRow({"lottery", label, stats::Table::num(lottery_wait),
+                  stats::Table::num(lottery_cpw)});
+    tdma_min_wait = std::min(tdma_min_wait, tdma_wait);
+    tdma_max_wait = std::max(tdma_max_wait, tdma_wait);
+    lottery_min_wait = std::min(lottery_min_wait, lottery_wait);
+    lottery_max_wait = std::max(lottery_max_wait, lottery_wait);
+  }
+
+  table.printAscii(std::cout);
+
+  // Symbolic bus traces over two wheel revolutions, like the paper's figure.
+  std::string aligned_wave, bunched_wave;
+  run(tdma(), /*staggered=*/true, 0, &aligned_wave);
+  run(tdma(), /*staggered=*/false, 0, &bunched_wave);
+  std::cout << "\nTDMA bus trace, aligned requests (Trace 1 — requests "
+               "arrive M1@0, M2@16, M3@32,\nexactly at their blocks: zero "
+               "wait):\n"
+            << aligned_wave
+            << "\nTDMA bus trace, bunched requests (Trace 2 — ALL requests "
+               "arrive together at 0, 48, 96, ...;\nM2 waits 16 slots and M3 "
+               "waits 32 slots for the wheel to reach their blocks):\n"
+            << bunched_wave;
+
+  std::cout << "\nTDMA wait swings " << stats::Table::num(tdma_min_wait)
+            << " -> " << stats::Table::num(tdma_max_wait)
+            << " slots purely from the phase shift (paper: ~1 -> ~30);\n"
+            << "LOTTERYBUS stays within ["
+            << stats::Table::num(lottery_min_wait) << ", "
+            << stats::Table::num(lottery_max_wait) << "] slots.\n";
+  return 0;
+}

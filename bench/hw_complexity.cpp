@@ -1,0 +1,97 @@
+// HW — Hardware complexity of the lottery manager (paper Section 5.2).
+//
+// The paper mapped the 4-master static lottery manager to NEC's 0.35u
+// cell-based array: ~14.5k cell grids (OCR-garbled figure, see
+// EXPERIMENTS.md) and a pipelined arbitration time of ~3.2 ns, i.e. one
+// arbitration per cycle at bus speeds up to ~312 MHz.  This harness prints
+// the itemized area and stage timing of our calibrated structural model for
+// both manager variants, and sweeps the master count to expose the scaling
+// trends (exponential LUT for static, linear adder tree for dynamic).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hw/lottery_manager_hw.hpp"
+#include "hw/power_model.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace lb;
+
+  benchutil::banner(
+      "HW: lottery manager area & timing (0.35u cell-based array model)",
+      "Section 5.2 (DAC'01 LOTTERYBUS paper)",
+      "4-master static manager ~paper magnitude (~14.5k cell grids, "
+      "~3.2 ns / ~312 MHz); dynamic variant larger per-master and slower");
+
+  // --- the paper's configuration: 4 masters, tickets 1:2:3:4 --------------
+  hw::StaticLotteryManagerHw manager({1, 2, 3, 4});
+
+  std::cout << "Static lottery manager, 4 masters (itemized):\n";
+  stats::Table area_table({"component", "cell grids"});
+  for (const auto& item : manager.area().items)
+    area_table.addRow({item.component, stats::Table::num(item.grids, 0)});
+  area_table.addRow(
+      {"TOTAL", stats::Table::num(manager.area().totalGrids(), 0)});
+  area_table.printAscii(std::cout);
+
+  stats::Table timing_table({"pipeline stage", "delay (ns)"});
+  for (const auto& stage : manager.timing().stages)
+    timing_table.addRow({stage.stage, stats::Table::num(stage.ns)});
+  timing_table.printAscii(std::cout);
+  std::cout << "arbitration time (pipelined): "
+            << stats::Table::num(manager.timing().criticalPathNs())
+            << " ns -> max bus clock "
+            << stats::Table::num(manager.timing().maxFrequencyMhz(), 0)
+            << " MHz  (paper: ~3.2 ns, ~312 MHz)\n\n";
+
+  // --- dynamic variant ------------------------------------------------------
+  hw::DynamicLotteryManagerHw dynamic(4);
+  std::cout << "Dynamic lottery manager, 4 masters: "
+            << stats::Table::num(dynamic.area().totalGrids(), 0)
+            << " cell grids, stage-critical "
+            << stats::Table::num(dynamic.timing().criticalPathNs())
+            << " ns, flow-through "
+            << stats::Table::num(dynamic.timing().flowThroughNs())
+            << " ns\n\n";
+
+  // --- arbitration energy ----------------------------------------------------
+  const auto static_energy = hw::staticDrawEnergy(manager);
+  const auto dynamic_energy = hw::dynamicDrawEnergy(dynamic);
+  const double mhz = manager.timing().maxFrequencyMhz();
+  std::cout << "Arbitration energy (calibrated 0.35u estimates): static "
+            << stats::Table::num(static_energy.totalPj(), 1)
+            << " pJ/draw, dynamic "
+            << stats::Table::num(dynamic_energy.totalPj(), 1)
+            << " pJ/draw ("
+            << stats::Table::num(dynamic_energy.totalPj() /
+                                     static_energy.totalPj(),
+                                 1)
+            << "x); at " << stats::Table::num(mhz, 0)
+            << " MHz continuous arbitration: "
+            << stats::Table::num(
+                   hw::arbitrationPowerMw(static_energy, mhz * 1e6), 1)
+            << " mW static vs "
+            << stats::Table::num(
+                   hw::arbitrationPowerMw(dynamic_energy, mhz * 1e6), 1)
+            << " mW dynamic\n\n";
+
+  // --- scaling sweep ---------------------------------------------------------
+  std::cout << "Scaling with master count:\n";
+  stats::Table sweep({"masters", "static grids", "static ns", "dynamic grids",
+                      "dynamic ns"});
+  for (const std::size_t n : {2u, 4u, 6u, 8u, 10u, 12u}) {
+    hw::StaticLotteryManagerHw stat(std::vector<std::uint32_t>(n, 1));
+    hw::DynamicLotteryManagerHw dyn(n);
+    sweep.addRow({std::to_string(n),
+                  stats::Table::num(stat.area().totalGrids(), 0),
+                  stats::Table::num(stat.timing().criticalPathNs()),
+                  stats::Table::num(dyn.area().totalGrids(), 0),
+                  stats::Table::num(dyn.timing().criticalPathNs())});
+  }
+  sweep.printAscii(std::cout);
+  std::cout << "\nStatic manager area is dominated by the 2^n-row lookup "
+               "table (exponential);\nthe dynamic manager's adder tree grows "
+               "linearly but pays modulo/adder delay.\n";
+  return 0;
+}

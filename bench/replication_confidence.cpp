@@ -1,0 +1,83 @@
+// EXT — Statistical confidence for the stochastic headline results.
+//
+// The lottery is a randomized algorithm, so any single simulation of its
+// bandwidth shares or latencies is one draw from a distribution.  This
+// harness re-runs the two headline experiments across 10 independent seeds
+// (fresh traffic AND arbiter randomness each time) and reports mean +-
+// stddev [min, max] — demonstrating that the Figure 6(a)/12 results are
+// stable properties, not lucky seeds.
+
+#include <iostream>
+#include <memory>
+
+#include "arbiters/tdma.hpp"
+#include "bench_util.hpp"
+#include "core/lottery.hpp"
+#include "stats/table.hpp"
+#include "traffic/classes.hpp"
+#include "traffic/testbed.hpp"
+
+namespace {
+
+using namespace lb;
+
+std::string cell(const traffic::ReplicatedMetric& metric, bool percent) {
+  const double scale = percent ? 100.0 : 1.0;
+  return stats::Table::num(metric.mean * scale) + " +- " +
+         stats::Table::num(metric.stddev * scale) + " [" +
+         stats::Table::num(metric.min * scale) + ", " +
+         stats::Table::num(metric.max * scale) + "]";
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(
+      "EXT: replication study (10 seeds per configuration)",
+      "statistical backing for Figures 6(a), 12(a) and 12(b/c)",
+      "lottery bandwidth shares concentrate tightly around ticket ratios; "
+      "latency orderings hold across every seed");
+
+  constexpr sim::Cycle kCycles = 150000;
+  constexpr std::size_t kReps = 10;
+
+  const traffic::ArbiterFactory lottery = [](std::uint64_t seed) {
+    return std::make_unique<core::LotteryArbiter>(
+        std::vector<std::uint32_t>{1, 2, 3, 4}, core::LotteryRng::kExact,
+        seed);
+  };
+  const traffic::ArbiterFactory tdma = [](std::uint64_t) {
+    return std::make_unique<arb::TdmaArbiter>(
+        arb::TdmaArbiter::contiguousWheel({16, 32, 48, 64}), 4);
+  };
+
+  std::cout << "Lottery bandwidth shares (%), saturated class T2, tickets "
+               "1:2:3:4, ideal 10/20/30/40:\n";
+  stats::Table bw_table({"master", "share % (mean +- sd [min, max])"});
+  const auto bw = traffic::runReplicated(traffic::defaultBusConfig(4),
+                                         lottery, traffic::trafficClass("T2"),
+                                         kCycles, kReps, 101);
+  for (std::size_t m = 0; m < 4; ++m)
+    bw_table.addRow({"C" + std::to_string(m + 1),
+                     cell(bw.bandwidth_fraction[m], true)});
+  bw_table.printAscii(std::cout);
+
+  std::cout << "\nTop-weighted component cycles/word on the phase-locked "
+               "class T6 (paper: 8.55 TDMA vs 1.7 lottery):\n";
+  stats::Table lat_table({"architecture", "C4 cycles/word (mean +- sd "
+                          "[min, max])"});
+  const auto lottery_lat = traffic::runReplicated(
+      traffic::defaultBusConfig(4), lottery, traffic::trafficClass("T6"),
+      kCycles, kReps, 202);
+  const auto tdma_lat = traffic::runReplicated(
+      traffic::defaultBusConfig(4), tdma, traffic::trafficClass("T6"),
+      kCycles, kReps, 202);
+  lat_table.addRow({"tdma-2level", cell(tdma_lat.cycles_per_word[3], false)});
+  lat_table.addRow({"lottery", cell(lottery_lat.cycles_per_word[3], false)});
+  lat_table.printAscii(std::cout);
+
+  std::cout << "\n(T6's traffic is deterministic, so the TDMA row has zero "
+               "variance — the pathology is structural, while the lottery's "
+               "spread shows only its own randomization)\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Example: the paper's Section-5.3 case study — the cell-forwarding unit of
+// a 4-port output-queued ATM switch — under all three communication
+// architectures.  Shows how to assemble an AtmSwitch, pick an arbiter, run,
+// and read QoS metrics.
+//
+//   ./build/examples/atm_switch
+
+#include <iostream>
+
+#include "atm/scenario.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace lb;
+
+  std::cout << "4-port output-queued ATM switch, QoS goals:\n"
+               "  - port 4 cells forwarded with minimum latency\n"
+               "  - ports 1..3 share bandwidth 1:2:4\n"
+               "  - priorities / slots / tickets assigned 1:2:4:6\n\n";
+
+  stats::Table table({"architecture", "port", "bandwidth", "cells out",
+                      "cells dropped", "bus latency (cycles/word)",
+                      "cell latency (cycles)"});
+
+  for (const auto architecture :
+       {atm::Architecture::kStaticPriority, atm::Architecture::kTdma,
+        atm::Architecture::kLottery}) {
+    auto sw = atm::makeTable1Switch(architecture);
+    sw->run(/*cycles=*/400000, /*warmup=*/20000);
+    for (std::size_t port = 0; port < 4; ++port) {
+      const auto& counters = sw->counters(port);
+      table.addRow({atm::architectureName(architecture),
+                    "port" + std::to_string(port + 1),
+                    stats::Table::pct(sw->bandwidthFraction(port)),
+                    std::to_string(counters.cells_out),
+                    std::to_string(counters.cells_dropped),
+                    stats::Table::num(sw->cyclesPerWord(port)),
+                    stats::Table::num(sw->meanCellLatency(port), 0)});
+    }
+  }
+  table.printAscii(std::cout);
+
+  std::cout
+      << "\nReading the table:\n"
+         "  - static priority starves port 1 outright (0% bandwidth);\n"
+         "  - TDMA's timing wheel makes port-4 cells wait for their slot\n"
+         "    block (high cycles/word) even though port 4 has the largest\n"
+         "    reservation;\n"
+         "  - the LOTTERYBUS keeps port-4 latency near the static-priority\n"
+         "    optimum while ports 1..3 get their reserved 1:2:4 split.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Example: the fine-grained bandwidth dial.
+//
+// Keeps three background masters at 1 ticket each and sweeps the tickets of
+// a foreground master from 1 to 64, showing that its bandwidth share tracks
+// t / (t + 3) — something neither static priority (all-or-nothing) nor
+// round-robin (fixed 25%) can express.
+//
+//   ./build/examples/bandwidth_control
+
+#include <iostream>
+#include <memory>
+
+#include "core/lottery.hpp"
+#include "stats/table.hpp"
+#include "traffic/testbed.hpp"
+
+int main() {
+  using namespace lb;
+
+  std::cout << "Sweeping master C1's lottery tickets against three 1-ticket "
+               "background masters\n(all masters saturate the bus):\n\n";
+
+  std::vector<traffic::TrafficParams> traffic(4);
+  for (std::size_t m = 0; m < 4; ++m) {
+    traffic[m].size = traffic::SizeDist::fixed(16);
+    traffic[m].gap = traffic::GapDist::fixed(0);
+    traffic[m].max_outstanding = 1;
+    traffic[m].seed = 5 + m;
+  }
+
+  stats::Table table({"C1 tickets", "C1 share (measured)", "C1 share (ideal)",
+                      "C1 cycles/word"});
+  for (const std::uint32_t t : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    auto arbiter = std::make_unique<core::LotteryArbiter>(
+        std::vector<std::uint32_t>{t, 1, 1, 1}, core::LotteryRng::kExact, 17);
+    const auto result = traffic::runTestbed(
+        traffic::defaultBusConfig(4), std::move(arbiter), traffic, 150000);
+    const double ideal = static_cast<double>(t) / (t + 3.0);
+    table.addRow({std::to_string(t),
+                  stats::Table::pct(result.bandwidth_fraction[0]),
+                  stats::Table::pct(ideal),
+                  stats::Table::num(result.cycles_per_word[0])});
+  }
+  table.printAscii(std::cout);
+
+  std::cout << "\nEvery intermediate share between 25% and ~95% is reachable "
+               "by choosing tickets —\nthe knob the paper's Figure 6(a) "
+               "demonstrates.\n";
+  return 0;
+}

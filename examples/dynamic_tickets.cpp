@@ -1,0 +1,110 @@
+// Example: the dynamic LOTTERYBUS variant (paper Section 4.4).
+//
+// A video DSP (master 0) alternates between idle and frame-burst phases.
+// With static tickets you must choose between over-provisioning it (hurting
+// everyone else while it idles) or under-provisioning it (missing frame
+// deadlines).  The dynamic variant lets a policy re-assign tickets at run
+// time; here a BacklogTicketPolicy raises the DSP's tickets exactly while
+// its queue is deep.
+//
+//   ./build/examples/dynamic_tickets
+
+#include <iostream>
+#include <memory>
+
+#include "bus/bus.hpp"
+#include "core/lottery.hpp"
+#include "core/ticket_policy.hpp"
+#include "sim/kernel.hpp"
+#include "stats/table.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/testbed.hpp"
+
+namespace {
+
+using namespace lb;
+
+struct Outcome {
+  double dsp_cpw;         // DSP cycles/word (its frame-burst latency)
+  double background_cpw;  // mean cycles/word of the three CPUs
+};
+
+Outcome run(bool use_dynamic) {
+  std::unique_ptr<bus::IArbiter> arbiter;
+  if (use_dynamic) {
+    arbiter = std::make_unique<core::DynamicLotteryArbiter>(9);
+  } else {
+    // Static compromise: permanently over-weight the DSP 4:1:1:1.
+    arbiter = std::make_unique<core::LotteryArbiter>(
+        std::vector<std::uint32_t>{4, 1, 1, 1}, core::LotteryRng::kExact, 9);
+  }
+
+  bus::Bus bus(traffic::defaultBusConfig(4), std::move(arbiter));
+  sim::CycleKernel kernel;
+
+  std::vector<std::unique_ptr<traffic::TrafficSource>> sources;
+  // Master 0: the DSP — long OFF phases, intense frame bursts when ON.
+  traffic::TrafficParams dsp;
+  dsp.size = traffic::SizeDist::fixed(16);
+  dsp.gap = traffic::GapDist::fixed(0);
+  dsp.max_outstanding = 16;
+  dsp.mean_on = 800;
+  dsp.mean_off = 3200;
+  dsp.seed = 1;
+  sources.push_back(std::make_unique<traffic::TrafficSource>(bus, 0, dsp));
+  kernel.attach(*sources.back());
+
+  // Masters 1..3: steadily loaded CPUs (closed loop, shallow queues).
+  for (bus::MasterId m = 1; m < 4; ++m) {
+    traffic::TrafficParams cpu;
+    cpu.size = traffic::SizeDist::fixed(16);
+    cpu.gap = traffic::GapDist::geometric(8);
+    cpu.max_outstanding = 1;
+    cpu.seed = 10 + static_cast<std::uint64_t>(m);
+    sources.push_back(std::make_unique<traffic::TrafficSource>(bus, m, cpu));
+    kernel.attach(*sources.back());
+  }
+
+  std::unique_ptr<core::BacklogTicketPolicy> policy;
+  if (use_dynamic) {
+    policy = std::make_unique<core::BacklogTicketPolicy>(
+        bus, std::vector<std::uint32_t>{1, 1, 1, 1}, /*weight=*/0.5,
+        /*max=*/64, /*period=*/64);
+    kernel.attach(*policy);
+  }
+  kernel.attach(bus);
+  kernel.run(400000);
+
+  Outcome outcome{};
+  outcome.dsp_cpw = bus.latency().cyclesPerWord(0);
+  outcome.background_cpw = (bus.latency().cyclesPerWord(1) +
+                            bus.latency().cyclesPerWord(2) +
+                            bus.latency().cyclesPerWord(3)) /
+                           3.0;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "A bursty DSP against three steady CPUs — static over-weight "
+               "vs dynamic backlog tickets:\n\n";
+
+  const Outcome fixed = run(false);
+  const Outcome dynamic = run(true);
+
+  lb::stats::Table table({"policy", "DSP cycles/word",
+                          "background CPUs cycles/word"});
+  table.addRow({"static 4:1:1:1 (permanent over-weight)",
+                lb::stats::Table::num(fixed.dsp_cpw),
+                lb::stats::Table::num(fixed.background_cpw)});
+  table.addRow({"dynamic backlog-proportional",
+                lb::stats::Table::num(dynamic.dsp_cpw),
+                lb::stats::Table::num(dynamic.background_cpw)});
+  table.printAscii(std::cout);
+
+  std::cout << "\nThe dynamic policy matches (or beats) the static DSP "
+               "latency while treating the CPUs\nbetter whenever the DSP is "
+               "idle — tickets flow to whoever is actually backlogged.\n";
+  return 0;
+}

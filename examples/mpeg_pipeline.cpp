@@ -1,0 +1,157 @@
+// Example: a trace-driven MPEG-2 decode pipeline on one shared bus.
+//
+// The paper's introduction motivates LOTTERYBUS with heterogeneous SoCs
+// (CPUs, DSPs, application-specific cores) whose flows have mixed QoS
+// needs.  This example builds the canonical one: an MPEG decoder whose
+// stages share the memory bus
+//
+//   VLD     — bursty bitstream fetches at frame starts
+//   IDCT/MC — steady macroblock traffic through the frame
+//   DISPLAY — hard-periodic line refills that MUST finish before their
+//             deadline or the screen tears
+//
+// Stage traffic is expressed as replayable traces (traffic::TraceSource), so
+// the same workload runs bit-identically under every architecture.  The
+// output counts display deadline misses per architecture: static priority
+// protects the display but starves VLD at frame starts (decode falls
+// behind); the lottery keeps the display safe AND moves the frame data.
+//
+//   ./build/examples/mpeg_pipeline
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "arbiters/static_priority.hpp"
+#include "arbiters/tdma.hpp"
+#include "bus/bus.hpp"
+#include "core/lottery.hpp"
+#include "sim/kernel.hpp"
+#include "stats/table.hpp"
+#include "traffic/trace_source.hpp"
+
+namespace {
+
+using namespace lb;
+
+constexpr sim::Cycle kFrame = 4000;   // cycles per video frame
+constexpr int kFrames = 40;
+constexpr sim::Cycle kLinePeriod = 200;   // display refill cadence
+constexpr std::uint32_t kLineWords = 16;  // words per refill
+constexpr sim::Cycle kLineDeadline = 120; // refill must land within this
+
+// VLD: a dense burst of bitstream reads in the first quarter of each frame.
+std::vector<traffic::TraceEntry> vldTrace() {
+  std::vector<traffic::TraceEntry> trace;
+  for (int frame = 0; frame < kFrames; ++frame) {
+    const sim::Cycle base = static_cast<sim::Cycle>(frame) * kFrame;
+    for (sim::Cycle t = 0; t < kFrame / 4; t += 40)
+      trace.push_back({base + t, 32, 0});
+  }
+  return trace;
+}
+
+// IDCT/MC: steady 16-word macroblock traffic through the whole frame.
+std::vector<traffic::TraceEntry> idctTrace(sim::Cycle phase) {
+  std::vector<traffic::TraceEntry> trace;
+  for (int frame = 0; frame < kFrames; ++frame) {
+    const sim::Cycle base = static_cast<sim::Cycle>(frame) * kFrame + phase;
+    for (sim::Cycle t = 0; t < kFrame; t += 70)
+      trace.push_back({base + t, 16, 0});
+  }
+  return trace;
+}
+
+// DISPLAY: strictly periodic line refills.
+std::vector<traffic::TraceEntry> displayTrace() {
+  std::vector<traffic::TraceEntry> trace;
+  for (sim::Cycle t = 0; t < static_cast<sim::Cycle>(kFrames) * kFrame;
+       t += kLinePeriod)
+    trace.push_back({t, kLineWords, 0});
+  return trace;
+}
+
+struct Outcome {
+  std::uint64_t display_misses = 0;
+  std::uint64_t display_total = 0;
+  double vld_cpw = 0.0;
+  double idct_cpw = 0.0;
+  double bus_utilization = 0.0;
+};
+
+Outcome run(std::unique_ptr<bus::IArbiter> arbiter) {
+  bus::BusConfig config;
+  config.num_masters = 4;  // VLD, IDCT, MC, DISPLAY
+  config.max_burst_words = 16;
+  bus::Bus bus(config, std::move(arbiter));
+
+  Outcome outcome;
+  bus.onCompletion([&outcome](bus::MasterId master,
+                              const bus::Message& message, sim::Cycle finish) {
+    if (master != 3) return;
+    ++outcome.display_total;
+    if (finish - message.arrival + 1 > kLineDeadline)
+      ++outcome.display_misses;
+  });
+
+  sim::CycleKernel kernel;
+  traffic::TraceSource vld(bus, 0, vldTrace());
+  traffic::TraceSource idct(bus, 1, idctTrace(15));
+  traffic::TraceSource mc(bus, 2, idctTrace(45));
+  traffic::TraceSource display(bus, 3, displayTrace());
+  kernel.attach(vld);
+  kernel.attach(idct);
+  kernel.attach(mc);
+  kernel.attach(display);
+  kernel.attach(bus);
+  kernel.run(static_cast<sim::Cycle>(kFrames) * kFrame + 2000);
+
+  outcome.vld_cpw = bus.latency().cyclesPerWord(0);
+  outcome.idct_cpw = (bus.latency().cyclesPerWord(1) +
+                      bus.latency().cyclesPerWord(2)) /
+                     2.0;
+  outcome.bus_utilization = 1.0 - bus.bandwidth().unutilizedFraction();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "MPEG decode pipeline (trace-driven), " << kFrames
+            << " frames, display deadline " << kLineDeadline
+            << " cycles per " << kLineWords << "-word line refill:\n\n";
+
+  stats::Table table({"architecture", "display misses", "VLD cycles/word",
+                      "IDCT/MC cycles/word", "bus utilization"});
+  auto row = [&](const char* name, const Outcome& outcome) {
+    table.addRow({name,
+                  std::to_string(outcome.display_misses) + " / " +
+                      std::to_string(outcome.display_total),
+                  stats::Table::num(outcome.vld_cpw),
+                  stats::Table::num(outcome.idct_cpw),
+                  stats::Table::pct(outcome.bus_utilization)});
+  };
+
+  row("static-priority (display top)",
+      run(std::make_unique<arb::StaticPriorityArbiter>(
+          std::vector<unsigned>{1, 2, 3, 4})));
+  row("tdma-2level (slots 1:2:2:3 x16)",
+      run(std::make_unique<arb::TdmaArbiter>(
+          arb::TdmaArbiter::contiguousWheel({16, 32, 32, 48}), 4)));
+  row("lottery (tickets 2:3:3:8)",
+      run(std::make_unique<core::LotteryArbiter>(
+          std::vector<std::uint32_t>{2, 3, 3, 8}, core::LotteryRng::kExact,
+          7)));
+  table.printAscii(std::cout);
+
+  std::cout << "\nReading: the frame-start bursts oversubscribe the bus, so "
+               "every architecture backlogs\nVLD — what differs is how the "
+               "pain is shared.  Static priority clears the display\n"
+               "perfectly but makes VLD (lowest priority) wait out everyone; "
+               "the lottery drains VLD\nfastest at the cost of a hair of "
+               "display margin; TDMA sits between, paying its\nwheel-"
+               "alignment tax on both.  Tighten kLineDeadline or densify "
+               "vldTrace() to move\nthe crossover — the traces replay "
+               "bit-identically under every architecture.\n";
+  return 0;
+}

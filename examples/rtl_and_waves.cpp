@@ -1,0 +1,70 @@
+// Example: exporting real hardware artifacts.
+//
+// 1. Emits synthesizable Verilog for a 4-master static lottery manager
+//    (lottery_manager.v) plus a self-checking testbench
+//    (lottery_manager_tb.v) — run them with any Verilog simulator:
+//       iverilog -g2005 lottery_manager.v lottery_manager_tb.v && ./a.out
+// 2. Runs a short bus simulation with grant tracing and writes the trace as
+//    a VCD file (bus_trace.vcd) viewable in GTKWave, alongside the same
+//    trace rendered as an ASCII waveform on stdout.
+//
+//   ./build/examples/rtl_and_waves [output-dir]
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bus/bus.hpp"
+#include "bus/waveform.hpp"
+#include "core/lottery.hpp"
+#include "hw/verilog_export.hpp"
+#include "sim/kernel.hpp"
+#include "traffic/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lb;
+  const std::string dir = argc > 1 ? std::string(argv[1]) + "/" : "";
+
+  // --- 1. RTL export ---------------------------------------------------------
+  const std::vector<std::uint32_t> tickets = {1, 2, 3, 4};
+  {
+    std::ofstream rtl(dir + "lottery_manager.v");
+    rtl << hw::exportStaticManagerVerilog(tickets);
+    std::ofstream tb(dir + "lottery_manager_tb.v");
+    tb << hw::exportManagerTestbench(tickets);
+  }
+  std::cout << "wrote " << dir << "lottery_manager.v and "
+            << dir << "lottery_manager_tb.v\n";
+
+  // --- 2. simulate and dump waves ---------------------------------------------
+  bus::BusConfig config;
+  config.num_masters = 4;
+  config.max_burst_words = 8;
+  bus::Bus bus(config, std::make_unique<core::LotteryArbiter>(tickets));
+  bus.setTraceEnabled(true);
+
+  sim::CycleKernel kernel;
+  std::vector<std::unique_ptr<traffic::TrafficSource>> sources;
+  for (bus::MasterId m = 0; m < 4; ++m) {
+    traffic::TrafficParams params;
+    params.size = traffic::SizeDist::fixed(8);
+    params.gap = traffic::GapDist::geometric(10);
+    params.max_outstanding = 2;
+    params.seed = 7 + static_cast<std::uint64_t>(m);
+    sources.push_back(std::make_unique<traffic::TrafficSource>(bus, m, params));
+    kernel.attach(*sources.back());
+  }
+  kernel.attach(bus);
+  kernel.run(160);
+
+  {
+    std::ofstream vcd(dir + "bus_trace.vcd");
+    vcd << bus::grantTraceToVcd(bus.trace(), 4);
+  }
+  std::cout << "wrote " << dir << "bus_trace.vcd (open with GTKWave)\n\n"
+            << "same trace as ASCII (tickets 1:2:3:4 — note M4 owning the "
+               "bus most often):\n"
+            << bus::waveformToString(bus.trace(), 4);
+  return 0;
+}

@@ -1,0 +1,198 @@
+#include "advisor/advisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "arbiters/static_priority.hpp"
+#include "arbiters/tdma.hpp"
+#include "arbiters/weighted_round_robin.hpp"
+#include "core/lottery.hpp"
+#include "core/ticket_search.hpp"
+
+namespace lb::advisor {
+
+namespace {
+
+/// Weight vector derived from the goals.  Bandwidth floors are provisioned
+/// with ~15% headroom (a reservation met exactly on average is missed half
+/// the time by sampling alone).  A latency bound implies a share floor too:
+/// under weighted arbitration a continuously-requesting master averages
+/// ~1/share cycles per word, so max_cpw = L needs share >= 1/L — also
+/// provisioned with 20% headroom.  The remainder splits equally across
+/// fully-unconstrained masters; the result sums to <= 1.
+std::vector<double> goalShares(const QosGoals& goals, std::size_t n) {
+  constexpr double kBandwidthHeadroom = 1.15;
+  constexpr double kLatencyHeadroom = 1.20;
+  std::vector<double> shares(n, 0.0);
+  double reserved = 0.0;
+  std::size_t unconstrained = 0;
+  for (std::size_t m = 0; m < n; ++m) {
+    double need = 0.0;
+    if (goals.min_bandwidth_share[m] > 0.0)
+      need = goals.min_bandwidth_share[m] * kBandwidthHeadroom;
+    if (goals.max_cycles_per_word[m] > 0.0)
+      need = std::max(
+          need, std::min(0.9, kLatencyHeadroom /
+                                  goals.max_cycles_per_word[m]));
+    shares[m] = need;
+    reserved += need;
+    if (need <= 0.0) ++unconstrained;
+  }
+  if (reserved > 0.95) {
+    // Over-committed even before best-effort traffic: scale the headroom
+    // back proportionally and let the simulation verdicts tell the story.
+    for (double& s : shares) s *= 0.95 / reserved;
+    reserved = 0.95;
+  }
+  const double remainder = 1.0 - reserved;
+  for (std::size_t m = 0; m < n; ++m)
+    if (shares[m] <= 0.0)
+      shares[m] = std::max(
+          0.01, remainder / static_cast<double>(
+                                std::max<std::size_t>(1, unconstrained)));
+  return shares;
+}
+
+CandidateReport evaluate(const std::string& architecture,
+                         std::vector<std::uint32_t> parameters,
+                         std::unique_ptr<bus::IArbiter> arbiter,
+                         const QosGoals& goals,
+                         const std::vector<traffic::TrafficParams>& traffic,
+                         const bus::BusConfig& config, sim::Cycle cycles) {
+  CandidateReport report;
+  report.architecture = architecture;
+  report.parameters = std::move(parameters);
+  report.measured =
+      traffic::runTestbed(config, std::move(arbiter), traffic, cycles);
+
+  report.satisfied = true;
+  report.worst_margin = 1e300;
+  const std::size_t n = config.num_masters;
+  for (std::size_t m = 0; m < n; ++m) {
+    if (goals.min_bandwidth_share[m] > 0.0) {
+      const double have = report.measured.bandwidth_fraction[m];
+      const double want = goals.min_bandwidth_share[m];
+      const double margin = (have - want) / want;
+      report.worst_margin = std::min(report.worst_margin, margin);
+      if (have + 1e-9 < want) {
+        report.satisfied = false;
+        report.violations.push_back(
+            "master " + std::to_string(m) + " bandwidth " +
+            std::to_string(have) + " < goal " + std::to_string(want));
+      }
+    }
+    if (goals.max_cycles_per_word[m] > 0.0) {
+      const double have = report.measured.cycles_per_word[m];
+      const double bound = goals.max_cycles_per_word[m];
+      const double margin = (bound - have) / bound;
+      report.worst_margin = std::min(report.worst_margin, margin);
+      if (have > bound + 1e-9) {
+        report.satisfied = false;
+        report.violations.push_back(
+            "master " + std::to_string(m) + " cycles/word " +
+            std::to_string(have) + " > goal " + std::to_string(bound));
+      }
+    }
+  }
+  if (report.worst_margin == 1e300) report.worst_margin = 0.0;
+  return report;
+}
+
+}  // namespace
+
+Recommendation advise(const QosGoals& goals,
+                      const std::vector<traffic::TrafficParams>& traffic,
+                      bus::BusConfig config, sim::Cycle cycles,
+                      std::uint64_t seed) {
+  const std::size_t n = config.num_masters;
+  if (goals.min_bandwidth_share.size() != n ||
+      goals.max_cycles_per_word.size() != n)
+    throw std::invalid_argument("advise: goal arity != num_masters");
+  if (traffic.size() != n)
+    throw std::invalid_argument("advise: traffic arity != num_masters");
+  double reserved = 0.0;
+  for (std::size_t m = 0; m < n; ++m) {
+    if (goals.min_bandwidth_share[m] < 0.0 ||
+        goals.min_bandwidth_share[m] > 1.0 ||
+        goals.max_cycles_per_word[m] < 0.0)
+      throw std::invalid_argument("advise: malformed goal values");
+    reserved += goals.min_bandwidth_share[m];
+  }
+  if (reserved > 1.0)
+    throw std::invalid_argument(
+        "advise: bandwidth reservations exceed 100% of the bus");
+
+  const std::vector<double> shares = goalShares(goals, n);
+  const core::TicketSearchResult tickets =
+      core::ticketsForShares(shares, 256, 0.02);
+
+  Recommendation recommendation;
+
+  // Candidate 1: LOTTERYBUS with tickets from the goal shares.
+  recommendation.candidates.push_back(evaluate(
+      "lottery", tickets.tickets,
+      std::make_unique<core::LotteryArbiter>(tickets.tickets,
+                                             core::LotteryRng::kExact, seed),
+      goals, traffic, config, cycles));
+
+  // Candidate 2: deficit-weighted round-robin with the same weights.
+  recommendation.candidates.push_back(evaluate(
+      "weighted-rr", tickets.tickets,
+      std::make_unique<arb::WeightedRoundRobinArbiter>(
+          tickets.tickets, config.max_burst_words),
+      goals, traffic, config, cycles));
+
+  // Candidate 3: two-level TDMA, slot blocks of one burst per weight unit.
+  {
+    std::vector<unsigned> slots;
+    for (const std::uint32_t t : tickets.tickets)
+      slots.push_back(t * config.max_burst_words);
+    recommendation.candidates.push_back(evaluate(
+        "tdma-2level", tickets.tickets,
+        std::make_unique<arb::TdmaArbiter>(
+            arb::TdmaArbiter::contiguousWheel(slots), n),
+        goals, traffic, config, cycles));
+  }
+
+  // Candidate 4: static priority ordered by latency-criticality (tightest
+  // cycles/word bound = highest priority; bandwidth-only masters lowest).
+  {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double la = goals.max_cycles_per_word[a] > 0
+                            ? goals.max_cycles_per_word[a]
+                            : 1e18;
+      const double lb = goals.max_cycles_per_word[b] > 0
+                            ? goals.max_cycles_per_word[b]
+                            : 1e18;
+      return la > lb;  // looser bound -> earlier -> lower priority
+    });
+    std::vector<unsigned> priorities(n);
+    std::vector<std::uint32_t> as_params(n);
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      priorities[order[rank]] = static_cast<unsigned>(rank + 1);
+      as_params[order[rank]] = static_cast<std::uint32_t>(rank + 1);
+    }
+    recommendation.candidates.push_back(evaluate(
+        "static-priority", as_params,
+        std::make_unique<arb::StaticPriorityArbiter>(priorities), goals,
+        traffic, config, cycles));
+  }
+
+  // Pick the satisfying candidate with the most headroom.
+  const CandidateReport* best = nullptr;
+  for (const CandidateReport& candidate : recommendation.candidates)
+    if (candidate.satisfied &&
+        (best == nullptr || candidate.worst_margin > best->worst_margin))
+      best = &candidate;
+  if (best != nullptr) {
+    recommendation.found = true;
+    recommendation.best = *best;
+  }
+  return recommendation;
+}
+
+}  // namespace lb::advisor

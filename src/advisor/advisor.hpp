@@ -1,0 +1,58 @@
+#pragma once
+// Communication-architecture advisor: from QoS goals to a validated
+// (architecture, parameters) recommendation.
+//
+// The paper's closing argument is that LOTTERYBUS uniquely satisfies both
+// bandwidth reservations and latency goals; its authors' follow-up work
+// ("Communication Architecture Tuners") automated the selection.  This
+// module provides that workflow: declare per-master goals, give a traffic
+// characterization, and the advisor
+//
+//   1. derives candidate parameterizations (lottery tickets via
+//      ticketsForShares, deficit-WRR weights, TDMA slot blocks, a static
+//      priority order sorted by latency-criticality),
+//   2. simulates each candidate on the supplied traffic, and
+//   3. returns every candidate's scorecard plus the best satisfying one
+//      (preferring, among satisfying candidates, the one with the lowest
+//      worst-case goal margin).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/bus.hpp"
+#include "traffic/testbed.hpp"
+
+namespace lb::advisor {
+
+/// Per-master requirements; 0 means "don't care".
+struct QosGoals {
+  std::vector<double> min_bandwidth_share;  ///< fraction of total bus cycles
+  std::vector<double> max_cycles_per_word;  ///< mean latency bound
+};
+
+struct CandidateReport {
+  std::string architecture;              ///< e.g. "lottery", "tdma-2level"
+  std::vector<std::uint32_t> parameters; ///< tickets / weights / slots / prios
+  bool satisfied = false;
+  std::vector<std::string> violations;   ///< human-readable misses
+  double worst_margin = 0.0;             ///< most negative = worst violation;
+                                         ///< higher = more headroom
+  traffic::TestbedResult measured;
+};
+
+struct Recommendation {
+  bool found = false;
+  CandidateReport best;                   ///< valid when found
+  std::vector<CandidateReport> candidates;  ///< all evaluated, in test order
+};
+
+/// Evaluates the candidate space against `goals` under `traffic` and
+/// returns the scorecards.  Throws std::invalid_argument on malformed goals
+/// (arity mismatch, negative bounds, infeasible total bandwidth > 100%).
+Recommendation advise(const QosGoals& goals,
+                      const std::vector<traffic::TrafficParams>& traffic,
+                      bus::BusConfig config, sim::Cycle cycles = 100000,
+                      std::uint64_t seed = 1);
+
+}  // namespace lb::advisor

@@ -1,0 +1,28 @@
+#include "arbiters/round_robin.hpp"
+
+#include <stdexcept>
+
+namespace lb::arb {
+
+RoundRobinArbiter::RoundRobinArbiter(std::size_t num_masters)
+    : num_masters_(num_masters) {
+  if (num_masters == 0)
+    throw std::invalid_argument("RoundRobinArbiter: no masters");
+}
+
+bus::Grant RoundRobinArbiter::arbitrate(const bus::RequestView& requests,
+                                        bus::Cycle /*now*/) {
+  if (requests.size() != num_masters_)
+    throw std::logic_error("RoundRobinArbiter: master count mismatch");
+
+  for (std::size_t offset = 0; offset < num_masters_; ++offset) {
+    const std::size_t candidate = (next_ + offset) % num_masters_;
+    if (requests[candidate].pending) {
+      next_ = (candidate + 1) % num_masters_;
+      return bus::Grant{static_cast<bus::MasterId>(candidate), 0};
+    }
+  }
+  return bus::Grant{};
+}
+
+}  // namespace lb::arb

@@ -1,0 +1,25 @@
+#pragma once
+// Plain round-robin burst arbitration, one of the "currently used
+// communication architecture protocols" the paper lists in Section 2.
+// Serves as a fairness baseline: equal long-run shares regardless of demand,
+// with no mechanism for weighting components.
+
+#include "bus/arbiter.hpp"
+
+namespace lb::arb {
+
+class RoundRobinArbiter final : public bus::IArbiter {
+public:
+  explicit RoundRobinArbiter(std::size_t num_masters);
+
+  bus::Grant arbitrate(const bus::RequestView& requests,
+                       bus::Cycle now) override;
+  std::string name() const override { return "round-robin"; }
+  void reset() override { next_ = 0; }
+
+private:
+  std::size_t num_masters_;
+  std::size_t next_ = 0;  ///< first master to consider on the next grant
+};
+
+}  // namespace lb::arb

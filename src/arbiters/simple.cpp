@@ -1,0 +1,49 @@
+#include "arbiters/simple.hpp"
+
+#include <stdexcept>
+
+namespace lb::arb {
+
+RandomArbiter::RandomArbiter(std::size_t num_masters, std::uint64_t seed)
+    : num_masters_(num_masters), seed_(seed), rng_(seed) {
+  if (num_masters == 0)
+    throw std::invalid_argument("RandomArbiter: no masters");
+}
+
+bus::Grant RandomArbiter::arbitrate(const bus::RequestView& requests,
+                                    bus::Cycle /*now*/) {
+  if (requests.size() != num_masters_)
+    throw std::logic_error("RandomArbiter: master count mismatch");
+  const std::size_t pending = requests.pendingCount();
+  if (pending == 0) return bus::Grant{};
+  std::uint64_t pick = rng_.below(pending);
+  for (std::size_t m = 0; m < num_masters_; ++m) {
+    if (!requests[m].pending) continue;
+    if (pick == 0) return bus::Grant{static_cast<bus::MasterId>(m), 0};
+    --pick;
+  }
+  throw std::logic_error("RandomArbiter: pick out of range");
+}
+
+FcfsArbiter::FcfsArbiter(std::size_t num_masters)
+    : num_masters_(num_masters) {
+  if (num_masters == 0) throw std::invalid_argument("FcfsArbiter: no masters");
+}
+
+bus::Grant FcfsArbiter::arbitrate(const bus::RequestView& requests,
+                                  bus::Cycle /*now*/) {
+  if (requests.size() != num_masters_)
+    throw std::logic_error("FcfsArbiter: master count mismatch");
+  bus::Grant grant;
+  bus::Cycle oldest = 0;
+  for (std::size_t m = 0; m < num_masters_; ++m) {
+    if (!requests[m].pending) continue;
+    if (!grant.valid() || requests[m].head_arrival < oldest) {
+      grant.master = static_cast<bus::MasterId>(m);
+      oldest = requests[m].head_arrival;
+    }
+  }
+  return grant;
+}
+
+}  // namespace lb::arb

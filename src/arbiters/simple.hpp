@@ -1,0 +1,45 @@
+#pragma once
+// Two simple reference arbiters used as experimental controls:
+//
+//  - RandomArbiter: uniformly random among pending masters — a lottery with
+//    all ticket holdings equal.  Separates "what randomization buys"
+//    (phase-insensitivity) from "what tickets buy" (weighting).
+//  - FcfsArbiter: grants the pending master whose head-of-line message is
+//    oldest — globally first-come-first-served, the latency-optimal
+//    unweighted discipline for symmetric traffic.
+
+#include <cstdint>
+
+#include "bus/arbiter.hpp"
+#include "sim/rng.hpp"
+
+namespace lb::arb {
+
+class RandomArbiter final : public bus::IArbiter {
+public:
+  explicit RandomArbiter(std::size_t num_masters, std::uint64_t seed = 1);
+
+  bus::Grant arbitrate(const bus::RequestView& requests,
+                       bus::Cycle now) override;
+  std::string name() const override { return "random"; }
+  void reset() override { rng_ = sim::Xoshiro256ss(seed_); }
+
+private:
+  std::size_t num_masters_;
+  std::uint64_t seed_;
+  sim::Xoshiro256ss rng_;
+};
+
+class FcfsArbiter final : public bus::IArbiter {
+public:
+  explicit FcfsArbiter(std::size_t num_masters);
+
+  bus::Grant arbitrate(const bus::RequestView& requests,
+                       bus::Cycle now) override;
+  std::string name() const override { return "fcfs"; }
+
+private:
+  std::size_t num_masters_;
+};
+
+}  // namespace lb::arb

@@ -1,0 +1,44 @@
+#include "arbiters/static_priority.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace lb::arb {
+
+StaticPriorityArbiter::StaticPriorityArbiter(std::vector<unsigned> priorities)
+    : priorities_(std::move(priorities)) {
+  if (priorities_.empty())
+    throw std::invalid_argument("StaticPriorityArbiter: no masters");
+  const std::set<unsigned> unique(priorities_.begin(), priorities_.end());
+  if (unique.size() != priorities_.size())
+    throw std::invalid_argument(
+        "StaticPriorityArbiter: priorities must be unique");
+}
+
+bus::Grant StaticPriorityArbiter::arbitrate(const bus::RequestView& requests,
+                                            bus::Cycle /*now*/) {
+  if (requests.size() != priorities_.size())
+    throw std::logic_error("StaticPriorityArbiter: master count mismatch");
+
+  bus::Grant grant;
+  unsigned best = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!requests[i].pending) continue;
+    if (!grant.valid() || priorities_[i] > best) {
+      grant.master = static_cast<bus::MasterId>(i);
+      best = priorities_[i];
+    }
+  }
+  return grant;  // max_words == 0: burst up to the bus limit
+}
+
+bool StaticPriorityArbiter::shouldPreempt(bus::MasterId current,
+                                          const bus::RequestView& requests,
+                                          bus::Cycle /*now*/) {
+  const unsigned held = priorities_.at(static_cast<std::size_t>(current));
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    if (requests[i].pending && priorities_[i] > held) return true;
+  return false;
+}
+
+}  // namespace lb::arb

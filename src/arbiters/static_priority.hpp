@@ -1,0 +1,38 @@
+#pragma once
+// Static priority based shared bus arbitration (paper Section 2.1).
+//
+// Each master holds a unique, fixed priority; the arbiter always grants the
+// highest-priority pending master a burst of up to the bus's maximum transfer
+// size.  This is the architecture whose bandwidth-starvation behaviour
+// Figure 4 of the paper demonstrates.
+
+#include <vector>
+
+#include "bus/arbiter.hpp"
+
+namespace lb::arb {
+
+class StaticPriorityArbiter final : public bus::IArbiter {
+public:
+  /// @param priorities  one value per master; *larger is more important*.
+  /// Values must be unique so the ordering is total.
+  explicit StaticPriorityArbiter(std::vector<unsigned> priorities);
+
+  bus::Grant arbitrate(const bus::RequestView& requests,
+                       bus::Cycle now) override;
+  std::string name() const override { return "static-priority"; }
+
+  /// With BusConfig::allow_preemption, a strictly higher-priority pending
+  /// master aborts the current burst at the next word boundary.
+  bool shouldPreempt(bus::MasterId current, const bus::RequestView& requests,
+                     bus::Cycle now) override;
+
+  unsigned priorityOf(std::size_t master) const {
+    return priorities_.at(master);
+  }
+
+private:
+  std::vector<unsigned> priorities_;
+};
+
+}  // namespace lb::arb

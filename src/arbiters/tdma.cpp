@@ -1,0 +1,78 @@
+#include "arbiters/tdma.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace lb::arb {
+
+TdmaArbiter::TdmaArbiter(std::vector<int> wheel, std::size_t num_masters,
+                         bool two_level)
+    : wheel_(std::move(wheel)), num_masters_(num_masters),
+      two_level_(two_level) {
+  if (wheel_.empty()) throw std::invalid_argument("TdmaArbiter: empty wheel");
+  if (num_masters_ == 0)
+    throw std::invalid_argument("TdmaArbiter: no masters");
+  for (const int owner : wheel_)
+    if (owner < -1 || owner >= static_cast<int>(num_masters_))
+      throw std::invalid_argument("TdmaArbiter: slot owner out of range");
+}
+
+std::vector<int> TdmaArbiter::contiguousWheel(
+    const std::vector<unsigned>& slots_per_master) {
+  std::vector<int> wheel;
+  for (std::size_t master = 0; master < slots_per_master.size(); ++master)
+    wheel.insert(wheel.end(), slots_per_master[master],
+                 static_cast<int>(master));
+  if (wheel.empty())
+    throw std::invalid_argument("TdmaArbiter: zero total slots");
+  return wheel;
+}
+
+std::vector<int> TdmaArbiter::interleavedWheel(
+    const std::vector<unsigned>& slots_per_master) {
+  const unsigned total = std::accumulate(slots_per_master.begin(),
+                                         slots_per_master.end(), 0u);
+  if (total == 0) throw std::invalid_argument("TdmaArbiter: zero total slots");
+  // Largest-remainder spreading: each master claims the slots where its
+  // running quota crosses an integer boundary.
+  std::vector<int> wheel(total, -1);
+  std::vector<double> credit(slots_per_master.size(), 0.0);
+  for (unsigned slot = 0; slot < total; ++slot) {
+    std::size_t best = 0;
+    double best_credit = -1.0;
+    for (std::size_t m = 0; m < slots_per_master.size(); ++m) {
+      credit[m] += static_cast<double>(slots_per_master[m]) / total;
+      if (credit[m] > best_credit) {
+        best_credit = credit[m];
+        best = m;
+      }
+    }
+    wheel[slot] = static_cast<int>(best);
+    credit[best] -= 1.0;
+  }
+  return wheel;
+}
+
+bus::Grant TdmaArbiter::arbitrate(const bus::RequestView& requests,
+                                  bus::Cycle now) {
+  if (requests.size() != num_masters_)
+    throw std::logic_error("TdmaArbiter: master count mismatch");
+
+  const int owner = wheel_[currentSlot(now)];
+  if (owner >= 0 && requests[static_cast<std::size_t>(owner)].pending)
+    return bus::Grant{owner, 1};  // level 1: slot owner, single word
+
+  if (!two_level_) return bus::Grant{};
+
+  // Level 2: grant the idle slot to the next pending master round-robin.
+  for (std::size_t offset = 0; offset < num_masters_; ++offset) {
+    const std::size_t candidate = (rr_ + offset) % num_masters_;
+    if (requests[candidate].pending) {
+      rr_ = (candidate + 1) % num_masters_;
+      return bus::Grant{static_cast<bus::MasterId>(candidate), 1};
+    }
+  }
+  return bus::Grant{};
+}
+
+}  // namespace lb::arb

@@ -1,0 +1,37 @@
+#include "arbiters/token_ring.hpp"
+
+#include <stdexcept>
+
+namespace lb::arb {
+
+TokenRingArbiter::TokenRingArbiter(std::size_t num_masters,
+                                   unsigned hop_cycles)
+    : num_masters_(num_masters), hop_cycles_(hop_cycles) {
+  if (num_masters == 0)
+    throw std::invalid_argument("TokenRingArbiter: no masters");
+}
+
+bus::Grant TokenRingArbiter::arbitrate(const bus::RequestView& requests,
+                                       bus::Cycle now) {
+  if (requests.size() != num_masters_)
+    throw std::logic_error("TokenRingArbiter: master count mismatch");
+  if (now < hop_budget_ready_at_) return bus::Grant{};  // token in flight
+
+  for (std::size_t hops = 0; hops < num_masters_; ++hops) {
+    const std::size_t candidate = (holder_ + hops) % num_masters_;
+    if (requests[candidate].pending) {
+      if (hop_cycles_ > 0 && hops > 0) {
+        // The token physically travels `hops` segments before this master
+        // can transmit; stall the bus for that long, then grant.
+        hop_budget_ready_at_ = now + static_cast<bus::Cycle>(hops) * hop_cycles_;
+        holder_ = candidate;
+        return bus::Grant{};
+      }
+      holder_ = (candidate + 1) % num_masters_;
+      return bus::Grant{static_cast<bus::MasterId>(candidate), 0};
+    }
+  }
+  return bus::Grant{};
+}
+
+}  // namespace lb::arb

@@ -1,0 +1,37 @@
+#pragma once
+// Token-ring style arbitration (paper Section 2.3: "another common
+// architecture is based on token rings", attractive for ATM switches).
+//
+// A token circulates among the masters; only the token holder may transmit.
+// If the holder has no pending request the token hops to the next master,
+// each hop costing `hop_cycles` bus cycles (0 models an idealized centralized
+// emulation, >0 models the physical pass latency of a real ring).  After a
+// transfer the token always moves on, so the ring is fair but — like
+// round-robin — cannot weight components.
+
+#include "bus/arbiter.hpp"
+
+namespace lb::arb {
+
+class TokenRingArbiter final : public bus::IArbiter {
+public:
+  TokenRingArbiter(std::size_t num_masters, unsigned hop_cycles = 0);
+
+  bus::Grant arbitrate(const bus::RequestView& requests,
+                       bus::Cycle now) override;
+  std::string name() const override { return "token-ring"; }
+  void reset() override {
+    holder_ = 0;
+    hop_budget_ready_at_ = 0;
+  }
+
+  std::size_t tokenHolder() const { return holder_; }
+
+private:
+  std::size_t num_masters_;
+  unsigned hop_cycles_;
+  std::size_t holder_ = 0;
+  bus::Cycle hop_budget_ready_at_ = 0;  ///< ring busy hopping until this cycle
+};
+
+}  // namespace lb::arb

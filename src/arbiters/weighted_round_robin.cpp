@@ -1,0 +1,63 @@
+#include "arbiters/weighted_round_robin.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lb::arb {
+
+WeightedRoundRobinArbiter::WeightedRoundRobinArbiter(
+    std::vector<std::uint32_t> weights, std::uint32_t quantum_scale)
+    : weights_(std::move(weights)),
+      quantum_scale_(quantum_scale),
+      deficit_(weights_.size(), 0) {
+  if (weights_.empty())
+    throw std::invalid_argument("WeightedRoundRobinArbiter: no masters");
+  if (quantum_scale_ == 0)
+    throw std::invalid_argument("WeightedRoundRobinArbiter: zero quantum");
+  for (const std::uint32_t w : weights_)
+    if (w == 0)
+      throw std::invalid_argument(
+          "WeightedRoundRobinArbiter: zero-weight master");
+}
+
+bus::Grant WeightedRoundRobinArbiter::arbitrate(
+    const bus::RequestView& requests, bus::Cycle /*now*/) {
+  if (requests.size() != weights_.size())
+    throw std::logic_error("WeightedRoundRobinArbiter: master count mismatch");
+  if (!requests.anyPending()) return bus::Grant{};
+
+  // At most two sweeps: the first may only replenish deficits; the second is
+  // then guaranteed to find a servable pending master.
+  for (std::size_t visit = 0; visit < 2 * weights_.size(); ++visit) {
+    const std::size_t m = cursor_;
+    if (!requests[m].pending) {
+      deficit_[m] = 0;  // classic DRR: no banking credit while idle
+      cursor_ = (cursor_ + 1) % weights_.size();
+      continue;
+    }
+    if (deficit_[m] <= 0)
+      deficit_[m] +=
+          static_cast<std::int64_t>(weights_[m]) * quantum_scale_;
+
+    const std::uint64_t budget = static_cast<std::uint64_t>(deficit_[m]);
+    const std::uint32_t words = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        {requests[m].head_words_remaining, budget, quantum_scale_}));
+    if (words >= 1) {
+      deficit_[m] -= words;
+      // Keep serving this master (its next queued message, if any) until its
+      // quantum is spent; an emptied queue is detected on the next visit and
+      // advances the cursor via the idle branch above.
+      if (deficit_[m] <= 0) cursor_ = (cursor_ + 1) % weights_.size();
+      return bus::Grant{static_cast<bus::MasterId>(m), words};
+    }
+    cursor_ = (cursor_ + 1) % weights_.size();
+  }
+  return bus::Grant{};
+}
+
+void WeightedRoundRobinArbiter::reset() {
+  std::fill(deficit_.begin(), deficit_.end(), 0);
+  cursor_ = 0;
+}
+
+}  // namespace lb::arb

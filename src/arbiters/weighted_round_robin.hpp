@@ -1,0 +1,44 @@
+#pragma once
+// Deficit-weighted round-robin arbitration.
+//
+// The deterministic alternative to LOTTERYBUS for proportional bandwidth:
+// each master holds a quantum proportional to its weight; a master's
+// deficit counter accumulates its quantum once per round and is spent as it
+// transfers words.  Long-run shares converge to the weight ratio exactly
+// (like lottery tickets) but the schedule is deterministic — so, like TDMA,
+// it carries ordering/alignment artifacts that the randomized lottery does
+// not (compared head-to-head in bench/ablation_weighted_alternatives).
+
+#include <cstdint>
+#include <vector>
+
+#include "bus/arbiter.hpp"
+
+namespace lb::arb {
+
+class WeightedRoundRobinArbiter final : public bus::IArbiter {
+public:
+  /// @param weights         per-master weights (>= 1).
+  /// @param quantum_scale   words of quantum per weight unit per round; also
+  ///                        the per-grant cap, so keep it <= the bus's
+  ///                        max_burst_words for exact deficit accounting.
+  explicit WeightedRoundRobinArbiter(std::vector<std::uint32_t> weights,
+                                     std::uint32_t quantum_scale = 16);
+
+  bus::Grant arbitrate(const bus::RequestView& requests,
+                       bus::Cycle now) override;
+  std::string name() const override { return "weighted-rr"; }
+  void reset() override;
+
+  std::int64_t deficit(std::size_t master) const {
+    return deficit_.at(master);
+  }
+
+private:
+  std::vector<std::uint32_t> weights_;
+  std::uint32_t quantum_scale_;
+  std::vector<std::int64_t> deficit_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace lb::arb

@@ -1,0 +1,152 @@
+#include "atm/atm_switch.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lb::atm {
+
+namespace {
+/// Geometric duration with the given mean, >= 1 cycle.
+sim::Cycle drawDuration(sim::Xoshiro256ss& rng, sim::Cycle mean) {
+  if (mean <= 1) return 1;
+  const double q = 1.0 / static_cast<double>(mean);
+  double u = rng.uniform01();
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  const double value = std::ceil(std::log1p(-u) / std::log1p(-q));
+  return value < 1.0 ? 1 : static_cast<sim::Cycle>(value);
+}
+
+bus::BusConfig busConfigFor(const AtmSwitchConfig& config) {
+  bus::BusConfig bus_config = config.bus;
+  bus_config.num_masters = config.num_ports;
+  return bus_config;
+}
+}  // namespace
+
+AtmSwitch::AtmSwitch(AtmSwitchConfig config,
+                     std::unique_ptr<bus::IArbiter> arbiter)
+    : config_(config),
+      bus_(busConfigFor(config), std::move(arbiter)),
+      rng_(config.seed),
+      ports_(config.num_ports) {
+  if (config_.num_ports == 0)
+    throw std::invalid_argument("AtmSwitch: no ports");
+  if (config_.cell_words == 0)
+    throw std::invalid_argument("AtmSwitch: zero-word cells");
+  if (config_.traffic.size() != config_.num_ports)
+    throw std::invalid_argument("AtmSwitch: traffic arity != ports");
+  if (config_.queue_capacity == 0)
+    throw std::invalid_argument("AtmSwitch: zero queue capacity");
+
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    ports_[p].on = true;
+    ports_[p].state_left =
+        config_.traffic[p].mean_off == 0
+            ? 0  // always ON
+            : drawDuration(rng_, config_.traffic[p].mean_on);
+  }
+
+  bus_.onCompletion([this](bus::MasterId master, const bus::Message& message,
+                           sim::Cycle finish) {
+    Port& port = ports_[static_cast<std::size_t>(master)];
+    port.requesting = false;
+    ++port.counters.cells_out;
+    // message.tag carries the cell's switch-arrival cycle.
+    port.counters.queue_latency_sum += finish - message.tag + 1;
+  });
+
+  kernel_.attach(*this);
+  kernel_.attach(bus_);
+}
+
+void AtmSwitch::arrivals(sim::Cycle now) {
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    Port& port = ports_[p];
+    const PortTraffic& traffic = config_.traffic[p];
+
+    if (traffic.period > 0) {
+      if (now % traffic.period == traffic.phase % traffic.period) {
+        ++port.counters.cells_in;
+        if (port.queue.size() >= config_.queue_capacity) {
+          ++port.counters.cells_dropped;
+        } else {
+          port.queue.push_back(Cell{next_cell_id_++, now});
+          port.counters.max_queue_depth =
+              std::max(port.counters.max_queue_depth, port.queue.size());
+        }
+      }
+      continue;
+    }
+
+    if (traffic.mean_off != 0) {
+      if (port.state_left == 0) {
+        port.on = !port.on;
+        port.state_left = drawDuration(
+            rng_, port.on ? traffic.mean_on : traffic.mean_off);
+      }
+      --port.state_left;
+    }
+
+    if (port.on && rng_.chance(traffic.on_rate)) {
+      ++port.counters.cells_in;
+      if (port.queue.size() >= config_.queue_capacity) {
+        ++port.counters.cells_dropped;
+      } else {
+        port.queue.push_back(Cell{next_cell_id_++, now});
+        port.counters.max_queue_depth =
+            std::max(port.counters.max_queue_depth, port.queue.size());
+      }
+    }
+  }
+}
+
+void AtmSwitch::issueRequests(sim::Cycle now) {
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    Port& port = ports_[p];
+    if (port.requesting || port.queue.empty()) continue;
+    const Cell cell = port.queue.front();
+    port.queue.pop_front();
+    bus::Message message;
+    message.words = config_.cell_words;
+    message.slave = 0;  // the shared payload memory
+    message.arrival = now;
+    message.tag = cell.arrival;
+    bus_.push(static_cast<bus::MasterId>(p), message);
+    port.requesting = true;
+  }
+}
+
+void AtmSwitch::cycle(sim::Cycle now) {
+  arrivals(now);
+  issueRequests(now);
+}
+
+void AtmSwitch::run(sim::Cycle cycles, sim::Cycle warmup) {
+  if (warmup > 0) {
+    kernel_.run(warmup);
+    bus_.clearStats();
+    for (Port& port : ports_) port.counters = PortCounters{};
+  }
+  kernel_.run(cycles);
+}
+
+double AtmSwitch::bandwidthFraction(std::size_t port) const {
+  return bus_.bandwidth().fraction(port);
+}
+
+double AtmSwitch::trafficShare(std::size_t port) const {
+  return bus_.bandwidth().shareOfTraffic(port);
+}
+
+double AtmSwitch::cyclesPerWord(std::size_t port) const {
+  return bus_.latency().cyclesPerWord(port);
+}
+
+double AtmSwitch::meanCellLatency(std::size_t port) const {
+  const PortCounters& counters = ports_.at(port).counters;
+  if (counters.cells_out == 0) return 0.0;
+  return static_cast<double>(counters.queue_latency_sum) /
+         static_cast<double>(counters.cells_out);
+}
+
+}  // namespace lb::atm

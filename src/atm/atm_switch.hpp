@@ -1,0 +1,118 @@
+#pragma once
+// Cell-forwarding unit of an output-queued ATM switch (paper Section 5.3,
+// Figure 13).
+//
+// The system has N output ports.  Arriving cell payloads land in a
+// dual-ported shared memory (off the shared bus, so the write path does not
+// contend); the cell's address is appended to the owning port's output
+// queue.  Each port polls its queue; when non-empty it dequeues the head
+// address and requests the shared system bus to read the cell payload out of
+// the shared memory and forward it onto the output link.  The shared bus +
+// its arbiter (static priority / TDMA / LOTTERYBUS) is the resource under
+// evaluation.
+//
+// Traffic per port is an ON/OFF modulated Bernoulli cell-arrival process:
+// always-ON with a high rate models the backlogged best-effort ports 1..3,
+// short ON bursts with long OFF periods model the latency-critical port 4.
+// Output queues are finite; cells arriving to a full queue are dropped and
+// counted (an output-queued switch's defining failure mode).
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "bus/bus.hpp"
+#include "sim/kernel.hpp"
+#include "sim/rng.hpp"
+#include "stats/stats.hpp"
+
+namespace lb::atm {
+
+/// Per-port cell arrival process: either ON/OFF-modulated Bernoulli
+/// (period == 0) or strictly periodic (period > 0), the latter modelling a
+/// synchronous input link delivering cells at a fixed line rate — the
+/// arrival pattern whose phase alignment against a TDMA timing wheel the
+/// paper's Figure 5 dissects.
+struct PortTraffic {
+  double on_rate = 0.1;          ///< P(cell arrives | ON) per cycle
+  sim::Cycle mean_on = 1;        ///< mean ON duration; 0 or with mean_off==0
+                                 ///< means always ON
+  sim::Cycle mean_off = 0;       ///< mean OFF duration (0 = never OFF)
+  sim::Cycle period = 0;         ///< >0: one cell every `period` cycles
+  sim::Cycle phase = 0;          ///< cycle offset of periodic arrivals
+};
+
+struct AtmSwitchConfig {
+  std::size_t num_ports = 4;
+  std::uint32_t cell_words = 14;   ///< 53-byte cell on a 32-bit bus
+  std::size_t queue_capacity = 256;
+  std::vector<PortTraffic> traffic;  ///< one per port
+  bus::BusConfig bus;                ///< masters == ports
+  std::uint64_t seed = 1;
+};
+
+/// One forwarded (or dropped) cell's bookkeeping.
+struct PortCounters {
+  std::uint64_t cells_in = 0;
+  std::uint64_t cells_out = 0;
+  std::uint64_t cells_dropped = 0;
+  std::uint64_t queue_latency_sum = 0;  ///< enqueue -> forwarding complete
+  std::size_t max_queue_depth = 0;
+};
+
+class AtmSwitch final : public sim::ICycleComponent {
+public:
+  AtmSwitch(AtmSwitchConfig config, std::unique_ptr<bus::IArbiter> arbiter);
+
+  /// Runs the switch for `cycles` cycles (plus optional warmup discarded
+  /// from the statistics).
+  void run(sim::Cycle cycles, sim::Cycle warmup = 0);
+
+  void cycle(sim::Cycle now) override;
+  std::string name() const override { return "atm-switch"; }
+
+  // -- results ---------------------------------------------------------------
+
+  /// Share of total bus cycles moving this port's cell payload words.
+  double bandwidthFraction(std::size_t port) const;
+  /// Share of busy bus cycles (what reservations predict when saturated).
+  double trafficShare(std::size_t port) const;
+  /// Average bus cycles per word for this port's cell transfers (request to
+  /// completion, the paper's Table 1 latency metric).
+  double cyclesPerWord(std::size_t port) const;
+  /// Average cycles a cell spends from switch arrival to forwarded.
+  double meanCellLatency(std::size_t port) const;
+
+  const PortCounters& counters(std::size_t port) const {
+    return ports_.at(port).counters;
+  }
+  const bus::Bus& busModel() const { return bus_; }
+  bus::Bus& busModel() { return bus_; }
+
+private:
+  struct Cell {
+    std::uint64_t id;
+    sim::Cycle arrival;
+  };
+  struct Port {
+    std::deque<Cell> queue;
+    bool on = true;
+    sim::Cycle state_left = 0;
+    bool requesting = false;
+    sim::Cycle head_enqueue_time = 0;
+    PortCounters counters;
+  };
+
+  void arrivals(sim::Cycle now);
+  void issueRequests(sim::Cycle now);
+
+  AtmSwitchConfig config_;
+  bus::Bus bus_;
+  sim::CycleKernel kernel_;
+  sim::Xoshiro256ss rng_;
+  std::vector<Port> ports_;
+  std::uint64_t next_cell_id_ = 0;
+};
+
+}  // namespace lb::atm

@@ -1,0 +1,145 @@
+#include "atm/input_queued.hpp"
+
+#include <stdexcept>
+
+namespace lb::atm {
+
+InputQueuedSwitch::InputQueuedSwitch(InputQueuedConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      queued_per_input_(config_.ports, 0),
+      delivered_per_input_(config_.ports, 0) {
+  if (config_.ports == 0)
+    throw std::invalid_argument("InputQueuedSwitch: no ports");
+  if (config_.queue_capacity == 0)
+    throw std::invalid_argument("InputQueuedSwitch: zero queue capacity");
+  if (config_.matching_iterations == 0)
+    throw std::invalid_argument("InputQueuedSwitch: zero matching iterations");
+  if (config_.offered_load < 0.0 || config_.offered_load > 1.0)
+    throw std::invalid_argument("InputQueuedSwitch: load must be in [0,1]");
+  if (config_.hotspot_fraction < 0.0 || config_.hotspot_fraction > 1.0)
+    throw std::invalid_argument(
+        "InputQueuedSwitch: hotspot fraction must be in [0,1]");
+  if (config_.tickets.empty()) {
+    config_.tickets.assign(config_.ports, 1);
+  } else if (config_.tickets.size() != config_.ports) {
+    throw std::invalid_argument("InputQueuedSwitch: tickets arity mismatch");
+  }
+  for (const std::uint32_t t : config_.tickets)
+    if (t == 0)
+      throw std::invalid_argument("InputQueuedSwitch: zero-ticket input");
+
+  const std::size_t voqs = config_.virtual_output_queues ? config_.ports : 1;
+  queues_.assign(config_.ports, std::vector<std::deque<Cell>>(voqs));
+}
+
+void InputQueuedSwitch::arrivals() {
+  for (std::size_t input = 0; input < config_.ports; ++input) {
+    if (!rng_.chance(config_.offered_load)) continue;
+    ++arrived_;
+    if (queued_per_input_[input] >= config_.queue_capacity) {
+      ++dropped_;
+      continue;
+    }
+    const std::size_t output =
+        rng_.chance(config_.hotspot_fraction)
+            ? 0
+            : static_cast<std::size_t>(rng_.below(config_.ports));
+    const std::size_t voq = config_.virtual_output_queues ? output : 0;
+    queues_[input][voq].push_back(Cell{output, slot_});
+    ++queued_per_input_[input];
+  }
+}
+
+void InputQueuedSwitch::schedule() {
+  const std::size_t n = config_.ports;
+  std::vector<bool> input_matched(n, false);
+  std::vector<bool> output_matched(n, false);
+
+  const unsigned rounds =
+      config_.virtual_output_queues ? config_.matching_iterations : 1;
+  for (unsigned round = 0; round < rounds; ++round) {
+    // Request phase: every unmatched input requests the outputs of its
+    // eligible head cells (FIFO: the single HOL cell's output; VOQ: the
+    // head of every non-empty VOQ).
+    // Grant phase: each unmatched output holds a lottery among requesters.
+    std::vector<std::vector<std::size_t>> grants_per_input(n);
+    for (std::size_t output = 0; output < n; ++output) {
+      if (output_matched[output]) continue;
+      std::uint64_t total = 0;
+      for (std::size_t input = 0; input < n; ++input) {
+        if (input_matched[input]) continue;
+        const std::size_t voq = config_.virtual_output_queues ? output : 0;
+        const auto& queue = queues_[input][voq];
+        const bool requesting =
+            !queue.empty() &&
+            (config_.virtual_output_queues || queue.front().output == output);
+        if (requesting) total += config_.tickets[input];
+      }
+      if (total == 0) continue;
+      std::uint64_t number = rng_.below(total);
+      for (std::size_t input = 0; input < n; ++input) {
+        if (input_matched[input]) continue;
+        const std::size_t voq = config_.virtual_output_queues ? output : 0;
+        const auto& queue = queues_[input][voq];
+        const bool requesting =
+            !queue.empty() &&
+            (config_.virtual_output_queues || queue.front().output == output);
+        if (!requesting) continue;
+        if (number < config_.tickets[input]) {
+          grants_per_input[input].push_back(output);
+          break;
+        }
+        number -= config_.tickets[input];
+      }
+    }
+
+    // Accept phase: each input holds a lottery among the grants it won
+    // (uniform — an input's own grants are equally attractive).
+    for (std::size_t input = 0; input < n; ++input) {
+      auto& grants = grants_per_input[input];
+      if (grants.empty()) continue;
+      const std::size_t pick =
+          grants.size() == 1
+              ? 0
+              : static_cast<std::size_t>(rng_.below(grants.size()));
+      const std::size_t output = grants[pick];
+      const std::size_t voq = config_.virtual_output_queues ? output : 0;
+      Cell cell = queues_[input][voq].front();
+      queues_[input][voq].pop_front();
+      --queued_per_input_[input];
+      input_matched[input] = true;
+      output_matched[output] = true;
+      ++delivered_;
+      ++delivered_per_input_[input];
+      delay_sum_ += slot_ - cell.arrival_slot;
+    }
+  }
+}
+
+void InputQueuedSwitch::run(std::uint64_t slots) {
+  for (std::uint64_t s = 0; s < slots; ++s) {
+    arrivals();
+    schedule();
+    ++slot_;
+  }
+}
+
+double InputQueuedSwitch::throughput() const {
+  if (slot_ == 0) return 0.0;
+  return static_cast<double>(delivered_) /
+         (static_cast<double>(slot_) * static_cast<double>(config_.ports));
+}
+
+double InputQueuedSwitch::deliveredShare(std::size_t input) const {
+  if (delivered_ == 0) return 0.0;
+  return static_cast<double>(delivered_per_input_.at(input)) /
+         static_cast<double>(delivered_);
+}
+
+double InputQueuedSwitch::meanQueueDelay() const {
+  if (delivered_ == 0) return 0.0;
+  return static_cast<double>(delay_sum_) / static_cast<double>(delivered_);
+}
+
+}  // namespace lb::atm

@@ -1,0 +1,90 @@
+#pragma once
+// Input-queued crossbar switch with lottery-based matching.
+//
+// The paper's ATM references ([9] Turner & Yamanaka, [13] the Tiny Tera)
+// frame the era's switch-design space: output queueing (Section 5.3's case
+// study) needs fabric speedup, while input queueing is cheap but suffers
+// head-of-line (HOL) blocking — a FIFO input stalls on a busy output even
+// when a later cell could use an idle one, capping uniform-traffic
+// throughput at 2-sqrt(2) ~= 58.6% for large N (~66% at N=4).  Virtual
+// output queues (VOQs) plus an iterative matching scheduler recover ~100%.
+//
+// This model is cell-slotted (one slot = one cell time) and uses the
+// library's lottery as the arbitration primitive in BOTH matching phases,
+// i.e. a distributed LOTTERYBUS: each output draws a lottery among the
+// inputs requesting it (weighted by per-input tickets), then each input
+// draws among the grants it won — one iteration of probabilistic iterative
+// matching; `matching_iterations` repeats the round on the unmatched
+// remainder (PIM converges in O(log N) iterations).
+//
+// bench/iq_switch_throughput sweeps offered load and reproduces the classic
+// saturation curves.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace lb::atm {
+
+struct InputQueuedConfig {
+  std::size_t ports = 4;              ///< N inputs and N outputs
+  bool virtual_output_queues = false; ///< false: one FIFO per input (HOL)
+  std::size_t queue_capacity = 64;    ///< cells per input (across its VOQs)
+  unsigned matching_iterations = 1;   ///< PIM rounds per slot (VOQ mode)
+  double offered_load = 0.9;          ///< cell arrival probability per slot
+  /// Fraction of cells aimed at output 0 (the hotspot); the rest pick an
+  /// output uniformly.  0 = pure uniform traffic.  Oversubscribing one
+  /// output is what makes the per-output grant lottery's ticket weighting
+  /// observable.
+  double hotspot_fraction = 0.0;
+  std::vector<std::uint32_t> tickets; ///< per-input lottery weights
+                                      ///< (empty = all 1)
+  std::uint64_t seed = 1;
+};
+
+class InputQueuedSwitch {
+public:
+  explicit InputQueuedSwitch(InputQueuedConfig config);
+
+  /// Advances the switch by `slots` cell slots.
+  void run(std::uint64_t slots);
+
+  // -- results ---------------------------------------------------------------
+
+  /// Delivered cells per slot per port, in [0,1]: the throughput metric.
+  double throughput() const;
+  /// Per-input delivered share of all delivered cells.
+  double deliveredShare(std::size_t input) const;
+  /// Mean slots a delivered cell waited in its input queue.
+  double meanQueueDelay() const;
+
+  std::uint64_t cellsArrived() const { return arrived_; }
+  std::uint64_t cellsDelivered() const { return delivered_; }
+  std::uint64_t cellsDropped() const { return dropped_; }
+  std::uint64_t slots() const { return slot_; }
+
+private:
+  struct Cell {
+    std::size_t output;
+    std::uint64_t arrival_slot;
+  };
+
+  void arrivals();
+  void schedule();
+
+  InputQueuedConfig config_;
+  sim::Xoshiro256ss rng_;
+  // queues_[input][voq]; FIFO mode uses a single deque per input (voq 0).
+  std::vector<std::vector<std::deque<Cell>>> queues_;
+  std::vector<std::size_t> queued_per_input_;
+  std::vector<std::uint64_t> delivered_per_input_;
+  std::uint64_t slot_ = 0;
+  std::uint64_t arrived_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delay_sum_ = 0;
+};
+
+}  // namespace lb::atm

@@ -1,0 +1,82 @@
+#include "atm/scenario.hpp"
+
+#include <stdexcept>
+
+#include "arbiters/static_priority.hpp"
+#include "arbiters/tdma.hpp"
+#include "core/lottery.hpp"
+
+namespace lb::atm {
+
+const char* architectureName(Architecture architecture) {
+  switch (architecture) {
+    case Architecture::kStaticPriority: return "static-priority";
+    case Architecture::kTdma: return "tdma-2level";
+    case Architecture::kLottery: return "lottery";
+  }
+  return "?";
+}
+
+std::vector<std::uint32_t> table1Weights() { return {1, 2, 4, 6}; }
+
+AtmSwitchConfig table1Config(std::uint64_t seed) {
+  AtmSwitchConfig config;
+  config.num_ports = 4;
+  config.cell_words = 14;  // 53-byte ATM cell over a 32-bit bus
+  config.queue_capacity = 512;
+  config.seed = seed;
+  config.bus.num_masters = 4;
+  config.bus.max_burst_words = 16;  // a whole cell moves in one burst
+  config.bus.pipelined_arbitration = true;
+
+  // Ports 1..3: backlogged best-effort flows.  Each offers ~0.7 words/cycle
+  // (0.05 cells/cycle x 14 words), so together they oversubscribe the bus
+  // ~2x and their *achieved* shares reveal the arbitration policy.
+  PortTraffic best_effort;
+  best_effort.on_rate = 0.05;
+  best_effort.mean_on = 1;
+  best_effort.mean_off = 0;  // always on
+
+  // Port 4: latency-critical real-time flow arriving on a synchronous link,
+  // one cell every 208 cycles (~6.7% of bus bandwidth).  The fixed arrival
+  // phase is exactly the situation of the paper's Figure 5: against the
+  // 208-slot TDMA wheel every cell lands just after port 4's slot block and
+  // must wait for the wheel to come around (the randomized lottery does not
+  // care about the phase).
+  PortTraffic realtime;
+  realtime.period = 208;
+  realtime.phase = 0;
+
+  config.traffic = {best_effort, best_effort, best_effort, realtime};
+  return config;
+}
+
+std::unique_ptr<bus::IArbiter> table1Arbiter(Architecture architecture,
+                                             std::uint64_t seed) {
+  const std::vector<std::uint32_t> weights = table1Weights();
+  switch (architecture) {
+    case Architecture::kStaticPriority:
+      return std::make_unique<arb::StaticPriorityArbiter>(
+          std::vector<unsigned>(weights.begin(), weights.end()));
+    case Architecture::kTdma: {
+      // Reservations are blocks of 16 contiguous single-word slots (the
+      // paper's Figure 5 style), so weights 1:2:4:6 give a 208-slot wheel.
+      std::vector<unsigned> slots;
+      for (const std::uint32_t w : weights) slots.push_back(w * 16);
+      return std::make_unique<arb::TdmaArbiter>(
+          arb::TdmaArbiter::contiguousWheel(slots), weights.size());
+    }
+    case Architecture::kLottery:
+      return std::make_unique<core::LotteryArbiter>(
+          weights, core::LotteryRng::kExact, seed);
+  }
+  throw std::invalid_argument("table1Arbiter: unknown architecture");
+}
+
+std::unique_ptr<AtmSwitch> makeTable1Switch(Architecture architecture,
+                                            std::uint64_t seed) {
+  return std::make_unique<AtmSwitch>(table1Config(seed),
+                                     table1Arbiter(architecture, seed ^ 0x5a));
+}
+
+}  // namespace lb::atm

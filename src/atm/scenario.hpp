@@ -1,0 +1,40 @@
+#pragma once
+// The canonical Table-1 scenario from paper Section 5.3: a 4-port
+// output-queued ATM switch whose cell-forwarding bus must satisfy
+//
+//   (i)  traffic through port 4 passes with minimum latency, and
+//   (ii) ports 1, 2, 3 share the bandwidth in the ratio 1:2:4.
+//
+// Lottery tickets, TDMA time-slots and static priorities are all assigned in
+// the ratio 1:2:4:6 for ports 1..4.  Ports 1..3 are backlogged best-effort
+// flows; port 4 is bursty and latency-critical.  Shared by the
+// bench/table1_atm_switch harness, the atm_switch example, and the
+// integration tests.
+
+#include <memory>
+
+#include "atm/atm_switch.hpp"
+#include "bus/arbiter.hpp"
+
+namespace lb::atm {
+
+/// Architecture choices evaluated in Table 1.
+enum class Architecture { kStaticPriority, kTdma, kLottery };
+
+const char* architectureName(Architecture architecture);
+
+/// QoS weights for ports 1..4 (the paper's 1:2:4:6 assignment).
+std::vector<std::uint32_t> table1Weights();
+
+/// Switch + traffic configuration of the Table-1 experiment.
+AtmSwitchConfig table1Config(std::uint64_t seed = 20010618);
+
+/// Arbiter implementing `architecture` with the Table-1 weights.
+std::unique_ptr<bus::IArbiter> table1Arbiter(Architecture architecture,
+                                             std::uint64_t seed = 7);
+
+/// Fully-assembled switch for one architecture.
+std::unique_ptr<AtmSwitch> makeTable1Switch(Architecture architecture,
+                                            std::uint64_t seed = 20010618);
+
+}  // namespace lb::atm

@@ -1,0 +1,77 @@
+#pragma once
+// Arbiter interface: the single customization point that distinguishes the
+// communication architectures compared in the paper (static priority, two-
+// level TDMA, round-robin, token ring, and the proposed LOTTERYBUS).
+
+#include <span>
+#include <string>
+
+#include "bus/types.hpp"
+
+namespace lb::bus {
+
+/// Read-only snapshot of all masters' request state, handed to the arbiter
+/// once per arbitration.
+class RequestView {
+public:
+  explicit RequestView(std::span<const MasterRequest> requests) noexcept
+      : requests_(requests) {}
+
+  std::size_t size() const noexcept { return requests_.size(); }
+  const MasterRequest& operator[](std::size_t i) const { return requests_[i]; }
+
+  bool anyPending() const noexcept {
+    for (const MasterRequest& r : requests_)
+      if (r.pending) return true;
+    return false;
+  }
+
+  std::size_t pendingCount() const noexcept {
+    std::size_t n = 0;
+    for (const MasterRequest& r : requests_) n += r.pending ? 1 : 0;
+    return n;
+  }
+
+  /// Bitmap r_1 r_2 ... r_n with master 0 in bit 0 (the paper's request map).
+  std::uint32_t requestMap() const noexcept {
+    std::uint32_t map = 0;
+    for (std::size_t i = 0; i < requests_.size(); ++i)
+      if (requests_[i].pending) map |= (1u << i);
+    return map;
+  }
+
+private:
+  std::span<const MasterRequest> requests_;
+};
+
+/// Bus arbitration policy.  The bus calls arbitrate() whenever the channel is
+/// free and decides nothing itself beyond clamping the grant to the head
+/// message and the configured maximum burst size.
+class IArbiter {
+public:
+  virtual ~IArbiter() = default;
+
+  /// Picks the next bus owner among pending masters.  Must return an invalid
+  /// grant if nothing is pending, and must never grant a non-pending master.
+  /// `now` is the current bus cycle (TDMA derives its wheel position from it).
+  virtual Grant arbitrate(const RequestView& requests, Cycle now) = 0;
+
+  /// Architecture name for reports.
+  virtual std::string name() const = 0;
+
+  /// Preemption hook (paper Section 2.3 lists pre-emption among the optional
+  /// protocol features).  Called by the bus at word boundaries of an active
+  /// burst when `BusConfig::allow_preemption` is set: return true to abort
+  /// the remaining words of `current`'s grant and re-arbitrate immediately.
+  /// Default: never preempt.
+  virtual bool shouldPreempt(MasterId /*current*/,
+                             const RequestView& /*requests*/,
+                             Cycle /*now*/) {
+    return false;
+  }
+
+  /// Restores initial state (pointers, RNG seeds) for a fresh run.
+  virtual void reset() {}
+};
+
+}  // namespace lb::bus

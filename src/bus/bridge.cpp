@@ -1,0 +1,34 @@
+#include "bus/bridge.hpp"
+
+namespace lb::bus {
+
+Bridge::Bridge(Bus& upstream, int upstream_slave, Bus& downstream,
+               MasterId downstream_master, int downstream_slave)
+    : downstream_(downstream),
+      downstream_master_(downstream_master),
+      downstream_slave_(downstream_slave) {
+  upstream.onCompletion(
+      [this, upstream_slave](MasterId, const Message& message, Cycle finish) {
+        if (message.slave != upstream_slave) return;
+        Message forwarded = message;
+        forwarded.slave = downstream_slave_;
+        pending_.push_back(PendingMessage{forwarded, finish + 1});
+      });
+  downstream.onCompletion(
+      [this](MasterId master, const Message& message, Cycle finish) {
+        if (master != downstream_master_) return;
+        if (remote_completion_) remote_completion_(message.tag, finish);
+      });
+}
+
+void Bridge::cycle(sim::Cycle now) {
+  while (!pending_.empty() && pending_.front().ready_at <= now) {
+    Message message = pending_.front().message;
+    pending_.pop_front();
+    message.arrival = now;
+    downstream_.push(downstream_master_, message);
+    ++forwarded_;
+  }
+}
+
+}  // namespace lb::bus

@@ -1,0 +1,64 @@
+#pragma once
+// Bus-to-bus bridge.
+//
+// The paper's architecture "does not presume any fixed topology": components
+// may sit on an arbitrary network of shared channels connected by bridges
+// (Sections 2 and 4.1).  A Bridge is a slave on an upstream bus and a master
+// on a downstream bus: when a message addressed to the bridge's upstream
+// slave index finishes its upstream transfer, the bridge re-issues it on the
+// downstream bus one cycle later (its internal register stage).  Each bus
+// keeps its own arbiter, so e.g. a LOTTERYBUS segment can feed a
+// static-priority segment.
+//
+// The bridge is a clocked component: attach it to the same kernel as both
+// buses (order among the three does not matter; forwarding always takes
+// exactly one cycle of bridge latency).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "bus/bus.hpp"
+#include "sim/kernel.hpp"
+
+namespace lb::bus {
+
+class Bridge final : public sim::ICycleComponent {
+public:
+  /// Forwards messages that complete on `upstream` addressed to slave
+  /// `upstream_slave` onto `downstream`, issued by master
+  /// `downstream_master` towards `downstream_slave`.
+  Bridge(Bus& upstream, int upstream_slave, Bus& downstream,
+         MasterId downstream_master, int downstream_slave);
+
+  Bridge(const Bridge&) = delete;
+  Bridge& operator=(const Bridge&) = delete;
+
+  void cycle(sim::Cycle now) override;
+  std::string name() const override { return "bridge"; }
+
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::size_t inFlight() const { return pending_.size(); }
+
+  /// Fires when a forwarded message completes its downstream leg:
+  /// (original message tag, downstream finish cycle).
+  using RemoteCompletion = std::function<void(std::uint64_t, Cycle)>;
+  void onRemoteCompletion(RemoteCompletion callback) {
+    remote_completion_ = std::move(callback);
+  }
+
+private:
+  struct PendingMessage {
+    Message message;
+    Cycle ready_at;
+  };
+
+  Bus& downstream_;
+  MasterId downstream_master_;
+  int downstream_slave_;
+  std::deque<PendingMessage> pending_;
+  std::uint64_t forwarded_ = 0;
+  RemoteCompletion remote_completion_;
+};
+
+}  // namespace lb::bus

@@ -1,0 +1,203 @@
+#include "bus/bus.hpp"
+
+#include <stdexcept>
+
+namespace lb::bus {
+
+Bus::Bus(BusConfig config, std::unique_ptr<IArbiter> arbiter)
+    : config_(std::move(config)),
+      arbiter_(std::move(arbiter)),
+      queues_(config_.num_masters),
+      requests_(config_.num_masters),
+      latency_(config_.num_masters),
+      bandwidth_(config_.num_masters) {
+  if (config_.num_masters == 0)
+    throw std::invalid_argument("Bus: num_masters == 0");
+  if (config_.max_burst_words == 0)
+    throw std::invalid_argument("Bus: max_burst_words == 0");
+  if (config_.slaves.empty())
+    throw std::invalid_argument("Bus: at least one slave required");
+  if (!arbiter_) throw std::invalid_argument("Bus: null arbiter");
+}
+
+void Bus::push(MasterId master, Message message) {
+  if (master < 0 || static_cast<std::size_t>(master) >= queues_.size())
+    throw std::invalid_argument("Bus::push: bad master id");
+  if (message.words == 0)
+    throw std::invalid_argument("Bus::push: zero-length message");
+  if (message.slave < 0 ||
+      static_cast<std::size_t>(message.slave) >= config_.slaves.size())
+    throw std::invalid_argument("Bus::push: bad slave id");
+
+  auto& queue = queues_[master];
+  queue.push_back(message);
+
+  MasterRequest& req = requests_[master];
+  req.backlog_words += message.words;
+  if (!req.pending) {
+    req.pending = true;
+    req.head_words_remaining = message.words;
+    req.head_arrival = message.arrival;
+  }
+}
+
+void Bus::setTickets(MasterId master, std::uint32_t tickets) {
+  requests_.at(static_cast<std::size_t>(master)).tickets = tickets;
+}
+
+std::uint32_t Bus::tickets(MasterId master) const {
+  return requests_.at(static_cast<std::size_t>(master)).tickets;
+}
+
+bool Bus::idle(MasterId master) const {
+  return queues_.at(static_cast<std::size_t>(master)).empty();
+}
+
+std::size_t Bus::queueDepth(MasterId master) const {
+  return queues_.at(static_cast<std::size_t>(master)).size();
+}
+
+std::uint64_t Bus::backlogWords(MasterId master) const {
+  return requests_.at(static_cast<std::size_t>(master)).backlog_words;
+}
+
+std::uint32_t Bus::slaveWaitStates(int slave) const {
+  return config_.slaves[static_cast<std::size_t>(slave)].wait_states;
+}
+
+void Bus::startGrant(const Grant& grant, Cycle now) {
+  const auto m = static_cast<std::size_t>(grant.master);
+  if (m >= requests_.size())
+    throw std::logic_error("Bus: arbiter granted an out-of-range master");
+  const MasterRequest& req = requests_[m];
+  if (!req.pending)
+    throw std::logic_error("Bus: arbiter granted a master with no request");
+
+  std::uint32_t words = config_.max_burst_words;
+  if (grant.max_words != 0) words = std::min(words, grant.max_words);
+  words = std::min(words, req.head_words_remaining);
+
+  grant_master_ = grant.master;
+  grant_words_left_ = words;
+  const Message& head = queues_[m].front();
+  current_word_cost_ = 1 + slaveWaitStates(head.slave);
+  word_cycles_left_ = current_word_cost_;
+  // Address-sensitive slave setup (e.g. a row activation) charges dead
+  // cycles before the first word.
+  const auto& setup =
+      config_.slaves[static_cast<std::size_t>(head.slave)].setup_latency;
+  if (setup) overhead_left_ += setup(head);
+  ++grants_issued_;
+  if (trace_enabled_) trace_.push_back(GrantRecord{grant.master, now, words});
+}
+
+void Bus::transferWord(Cycle now) {
+  const auto m = static_cast<std::size_t>(grant_master_);
+  MasterRequest& req = requests_[m];
+  Message& head = queues_[m].front();
+
+  bandwidth_.recordWord(m);
+  --req.head_words_remaining;
+  --req.backlog_words;
+  --grant_words_left_;
+
+  if (req.head_words_remaining == 0) {
+    // Message complete this cycle; latency spans arrival..now inclusive.
+    const Message done = head;
+    latency_.recordMessage(m, done.words, now - done.arrival + 1);
+    queues_[m].pop_front();
+    if (queues_[m].empty()) {
+      req.pending = false;
+    } else {
+      req.head_words_remaining = queues_[m].front().words;
+      req.head_arrival = queues_[m].front().arrival;
+    }
+    for (const auto& callback : completion_callbacks_)
+      callback(grant_master_, done, now);
+    // A grant never outlives its message: re-arbitrate for the next one.
+    grant_words_left_ = 0;
+  }
+
+  if (grant_words_left_ == 0) {
+    grant_master_ = kNoMaster;
+  } else {
+    current_word_cost_ = 1 + slaveWaitStates(queues_[m].front().slave);
+    word_cycles_left_ = current_word_cost_;
+  }
+}
+
+void Bus::cycle(Cycle now) {
+  if (overhead_left_ > 0) {
+    --overhead_left_;
+    bandwidth_.recordOverheadCycle();
+    return;
+  }
+
+  if (config_.allow_preemption && grant_master_ != kNoMaster &&
+      word_cycles_left_ == current_word_cost_ &&
+      arbiter_->shouldPreempt(grant_master_, RequestView(requests_), now)) {
+    // Abort the burst at the word boundary; the owner's remaining words stay
+    // at the head of its queue and compete in the very next arbitration.
+    grant_master_ = kNoMaster;
+    grant_words_left_ = 0;
+    ++preemptions_;
+  }
+
+  if (grant_master_ == kNoMaster) {
+    const Grant grant = arbiter_->arbitrate(RequestView(requests_), now);
+    if (!grant.valid()) {
+      bandwidth_.recordIdleCycle();
+      return;
+    }
+    startGrant(grant, now);
+    if (!config_.pipelined_arbitration && config_.arb_overhead_cycles > 0) {
+      // Non-pipelined design: the arbitration decision itself occupies the
+      // bus before the first data word.
+      overhead_left_ += config_.arb_overhead_cycles;
+    }
+    if (overhead_left_ > 0) {
+      // Arbitration and/or slave-setup dead cycles precede the first word.
+      --overhead_left_;
+      bandwidth_.recordOverheadCycle();
+      return;
+    }
+  }
+
+  // One cycle of the current word: either a wait state or the word completes.
+  --word_cycles_left_;
+  if (word_cycles_left_ > 0) {
+    bandwidth_.recordOverheadCycle();
+    return;
+  }
+  transferWord(now);
+}
+
+void Bus::clearStats() {
+  latency_.reset();
+  bandwidth_.reset();
+  grants_issued_ = 0;
+  preemptions_ = 0;
+  trace_.clear();
+}
+
+void Bus::reset() {
+  for (auto& queue : queues_) queue.clear();
+  for (auto& req : requests_) {
+    const std::uint32_t tickets = req.tickets;  // keep configuration
+    req = MasterRequest{};
+    req.tickets = tickets;
+  }
+  grant_master_ = kNoMaster;
+  grant_words_left_ = 0;
+  word_cycles_left_ = 0;
+  current_word_cost_ = 0;
+  overhead_left_ = 0;
+  latency_.reset();
+  bandwidth_.reset();
+  grants_issued_ = 0;
+  preemptions_ = 0;
+  trace_.clear();
+  arbiter_->reset();
+}
+
+}  // namespace lb::bus

@@ -1,0 +1,155 @@
+#pragma once
+// Cycle-accurate shared-bus model.
+//
+// The bus moves one word per cycle from the currently granted master towards
+// a slave.  Whenever the channel is free it invokes its arbiter (the pluggable
+// policy under evaluation) to pick the next owner.  Matching the paper's
+// protocol model:
+//
+//  - messages longer than `max_burst_words` are split into multiple grants
+//    with re-arbitration in between (maximum transfer size, Section 4.1);
+//  - arbitration is pipelined with data transfer by default, i.e. back-to-back
+//    grants leave no dead cycle; `arb_overhead_cycles` (with
+//    `pipelined_arbitration = false`) models a non-pipelined design;
+//  - slaves may insert wait states (extra cycles per word), modelling slower
+//    targets; wait-state cycles count as overhead, not data.
+//
+// Metrics: per-master bandwidth fractions and per-word latencies, exactly the
+// two quantities the paper's figures report.
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/arbiter.hpp"
+#include "bus/types.hpp"
+#include "sim/kernel.hpp"
+#include "stats/stats.hpp"
+
+namespace lb::bus {
+
+struct SlaveConfig {
+  std::string name = "mem";
+  std::uint32_t wait_states = 0;  ///< extra cycles per transferred word
+
+  /// Optional address-sensitive setup model: called once when a grant to
+  /// this slave starts, returning extra dead cycles charged before the
+  /// first word (e.g. a row-buffer memory's activate latency on a row
+  /// miss; see bus/memory_model.hpp).  Stateful functors are fine — grants
+  /// are strictly serialized on a bus.
+  std::function<std::uint32_t(const Message&)> setup_latency;
+
+  SlaveConfig() = default;
+  SlaveConfig(std::string slave_name, std::uint32_t waits = 0,
+              std::function<std::uint32_t(const Message&)> setup = {})
+      : name(std::move(slave_name)),
+        wait_states(waits),
+        setup_latency(std::move(setup)) {}
+};
+
+struct BusConfig {
+  std::size_t num_masters = 4;
+  std::uint32_t max_burst_words = 16;     ///< maximum words per grant
+  bool pipelined_arbitration = true;      ///< overlap arbitration with data
+  std::uint32_t arb_overhead_cycles = 1;  ///< dead cycles per grant when not
+                                          ///< pipelined
+  /// When set, the arbiter's shouldPreempt() hook is consulted at every word
+  /// boundary of an active burst; a preempted burst's remaining words stay
+  /// at the head of the owner's queue and re-arbitrate later (Section 2.3
+  /// optional feature).
+  bool allow_preemption = false;
+  std::vector<SlaveConfig> slaves = {SlaveConfig{}};
+};
+
+/// A grant as it actually executed, for trace-level experiments (Fig. 5).
+struct GrantRecord {
+  MasterId master;
+  Cycle start;
+  std::uint32_t words;
+};
+
+class Bus : public sim::ICycleComponent {
+public:
+  Bus(BusConfig config, std::unique_ptr<IArbiter> arbiter);
+
+  // -- request side ---------------------------------------------------------
+
+  /// Queues a message for `master`.  The caller stamps `message.arrival` with
+  /// the cycle the request is issued; latency is measured from that point.
+  /// Throws std::invalid_argument on malformed messages.
+  void push(MasterId master, Message message);
+
+  /// Live lottery tickets for a master (read by dynamic arbiters each draw).
+  void setTickets(MasterId master, std::uint32_t tickets);
+  std::uint32_t tickets(MasterId master) const;
+
+  /// True if the master has no queued or in-flight message.
+  bool idle(MasterId master) const;
+  std::size_t queueDepth(MasterId master) const;
+  std::uint64_t backlogWords(MasterId master) const;
+
+  // -- simulation -----------------------------------------------------------
+
+  void cycle(Cycle now) override;
+  std::string name() const override { return "bus<" + arbiter_->name() + ">"; }
+
+  // -- observation ----------------------------------------------------------
+
+  const stats::LatencyStats& latency() const { return latency_; }
+  const stats::BandwidthStats& bandwidth() const { return bandwidth_; }
+  std::uint64_t grantsIssued() const { return grants_issued_; }
+  std::uint64_t preemptions() const { return preemptions_; }
+  MasterId currentOwner() const { return grant_master_; }
+  std::size_t numMasters() const { return requests_.size(); }
+  const BusConfig& config() const { return config_; }
+  IArbiter& arbiter() { return *arbiter_; }
+  const IArbiter& arbiter() const { return *arbiter_; }
+
+  /// Invoked when a message fully completes: (master, message, finish cycle).
+  using CompletionCallback =
+      std::function<void(MasterId, const Message&, Cycle)>;
+  void onCompletion(CompletionCallback callback) {
+    completion_callbacks_.push_back(std::move(callback));
+  }
+
+  /// When enabled, records every grant for symbolic-trace experiments.
+  void setTraceEnabled(bool enabled) { trace_enabled_ = enabled; }
+  const std::vector<GrantRecord>& trace() const { return trace_; }
+
+  /// Clears queues, statistics, trace, and arbiter state for a fresh run.
+  void reset();
+
+  /// Zeroes statistics only (queues and arbiter state keep running); used to
+  /// discard warm-up transients.
+  void clearStats();
+
+private:
+  void startGrant(const Grant& grant, Cycle now);
+  void transferWord(Cycle now);
+  std::uint32_t slaveWaitStates(int slave) const;
+
+  BusConfig config_;
+  std::unique_ptr<IArbiter> arbiter_;
+
+  std::vector<std::deque<Message>> queues_;
+  std::vector<MasterRequest> requests_;
+
+  MasterId grant_master_ = kNoMaster;
+  std::uint32_t grant_words_left_ = 0;
+  std::uint32_t word_cycles_left_ = 0;
+  std::uint32_t current_word_cost_ = 0;
+  std::uint32_t overhead_left_ = 0;
+
+  stats::LatencyStats latency_;
+  stats::BandwidthStats bandwidth_;
+  std::uint64_t grants_issued_ = 0;
+  std::uint64_t preemptions_ = 0;
+
+  std::vector<CompletionCallback> completion_callbacks_;
+  bool trace_enabled_ = false;
+  std::vector<GrantRecord> trace_;
+};
+
+}  // namespace lb::bus

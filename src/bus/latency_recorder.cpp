@@ -1,0 +1,23 @@
+#include "bus/latency_recorder.hpp"
+
+namespace lb::bus {
+
+LatencyRecorder::LatencyRecorder(Bus& bus, std::uint64_t bin_width,
+                                 std::size_t num_bins, bool per_word)
+    : per_word_(per_word) {
+  histograms_.reserve(bus.numMasters());
+  for (std::size_t m = 0; m < bus.numMasters(); ++m)
+    histograms_.emplace_back(bin_width, num_bins);
+  bus.onCompletion(
+      [this](MasterId master, const Message& message, Cycle finish) {
+        const std::uint64_t latency = finish - message.arrival + 1;
+        histograms_[static_cast<std::size_t>(master)].record(
+            per_word_ ? latency / message.words : latency);
+      });
+}
+
+void LatencyRecorder::reset() {
+  for (stats::Histogram& histogram : histograms_) histogram.reset();
+}
+
+}  // namespace lb::bus

@@ -1,0 +1,53 @@
+#pragma once
+// Per-master latency distributions for a live bus.
+//
+// The Bus's built-in LatencyStats track means (the paper's reported metric);
+// the recorder adds full histograms so experiments can also report tail
+// behavior — where TDMA's alignment sensitivity really shows (its *mean*
+// can look fine while the misaligned tail is terrible, cf. Figure 5).
+//
+// Attach after construction; it hooks the bus's completion callback and
+// lives as long as the bus does.
+
+#include <vector>
+
+#include "bus/bus.hpp"
+#include "stats/stats.hpp"
+
+namespace lb::bus {
+
+class LatencyRecorder {
+public:
+  /// @param bus        bus to observe (the recorder must outlive the run).
+  /// @param bin_width  histogram bin width in cycles.
+  /// @param num_bins   bins before overflow.
+  /// @param per_word   record latency/words instead of raw message latency.
+  LatencyRecorder(Bus& bus, std::uint64_t bin_width = 4,
+                  std::size_t num_bins = 256, bool per_word = false);
+
+  LatencyRecorder(const LatencyRecorder&) = delete;
+  LatencyRecorder& operator=(const LatencyRecorder&) = delete;
+
+  const stats::Histogram& histogram(std::size_t master) const {
+    return histograms_.at(master);
+  }
+
+  /// Latency value below which fraction `q` of this master's messages fall.
+  std::uint64_t quantile(std::size_t master, double q) const {
+    return histograms_.at(master).quantile(q);
+  }
+  double mean(std::size_t master) const {
+    return histograms_.at(master).mean();
+  }
+  std::uint64_t samples(std::size_t master) const {
+    return histograms_.at(master).total();
+  }
+
+  void reset();
+
+private:
+  std::vector<stats::Histogram> histograms_;
+  bool per_word_;
+};
+
+}  // namespace lb::bus

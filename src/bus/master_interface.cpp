@@ -1,0 +1,32 @@
+#include "bus/master_interface.hpp"
+
+namespace lb::bus {
+
+MasterInterface::MasterInterface(Bus& bus, MasterId master)
+    : bus_(bus), master_(master) {
+  bus_.onCompletion(
+      [this](MasterId who, const Message& message, Cycle finish) {
+        if (who != master_) return;
+        auto it = pending_.find(message.tag);
+        if (it == pending_.end()) return;  // pushed outside this interface
+        Completion completion = std::move(it->second);
+        pending_.erase(it);
+        ++completed_;
+        if (completion) completion(finish);
+      });
+}
+
+std::uint64_t MasterInterface::transfer(std::uint32_t words, int slave,
+                                        Cycle now, Completion completion) {
+  const std::uint64_t id = next_id_++;
+  Message message;
+  message.words = words;
+  message.slave = slave;
+  message.arrival = now;
+  message.tag = id;
+  bus_.push(master_, message);  // validates words/slave
+  pending_.emplace(id, std::move(completion));
+  return id;
+}
+
+}  // namespace lb::bus

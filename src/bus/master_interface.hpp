@@ -1,0 +1,61 @@
+#pragma once
+// Transaction-level master interface.
+//
+// Section 1 of the paper points at the era's plug-and-play initiatives
+// (VSIA's OCB attributes, the Open Core Protocol): cores talk to a
+// *consistent interface* so that "innovations in communication
+// architectures (such as LOTTERYBUS)" drop in underneath without touching
+// the cores.  MasterInterface is that seam for this library: cores issue
+// transactions and receive completion callbacks, never touching queue
+// mechanics, arrival stamping, or tag management.
+//
+//   bus::MasterInterface dma(bus, /*master=*/2);
+//   dma.transfer(256, sram, [](bus::Cycle finish) { ... });
+//   ...
+//   dma.outstanding();   // in-flight transactions
+//
+// The interface is clocked only through the bus it wraps; completions fire
+// from the bus's completion hook.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "bus/bus.hpp"
+
+namespace lb::bus {
+
+class MasterInterface {
+public:
+  using Completion = std::function<void(Cycle finish)>;
+
+  /// Wraps `master` on `bus`.  The interface must outlive the bus's runs;
+  /// create all interfaces before simulation starts.
+  MasterInterface(Bus& bus, MasterId master);
+
+  MasterInterface(const MasterInterface&) = delete;
+  MasterInterface& operator=(const MasterInterface&) = delete;
+
+  /// Issues a transaction of `words` towards `slave` at bus time `now`.
+  /// The callback (optional) fires when the last word transfers.  Returns a
+  /// transaction id unique within this interface.
+  std::uint64_t transfer(std::uint32_t words, int slave, Cycle now,
+                         Completion completion = {});
+
+  /// Transactions issued but not yet completed.
+  std::size_t outstanding() const { return pending_.size(); }
+  std::uint64_t issued() const { return next_id_; }
+  std::uint64_t completed() const { return completed_; }
+
+  Bus& bus() { return bus_; }
+  MasterId master() const { return master_; }
+
+private:
+  Bus& bus_;
+  MasterId master_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t completed_ = 0;
+  std::map<std::uint64_t, Completion> pending_;
+};
+
+}  // namespace lb::bus

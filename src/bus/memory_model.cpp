@@ -1,0 +1,47 @@
+#include "bus/memory_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lb::bus {
+
+RowBufferMemory::RowBufferMemory(RowBufferConfig config)
+    : config_(config), open_row_(config.banks, -1) {
+  if (config_.banks == 0 || (config_.banks & (config_.banks - 1)) != 0)
+    throw std::invalid_argument(
+        "RowBufferMemory: banks must be a power of two");
+  if (config_.row_bytes == 0)
+    throw std::invalid_argument("RowBufferMemory: zero row size");
+}
+
+std::uint32_t RowBufferMemory::operator()(const Message& message) {
+  const std::uint64_t row_index = message.address / config_.row_bytes;
+  // Banks interleave at row granularity (row_index low bits pick the bank).
+  const auto bank = static_cast<std::size_t>(row_index % config_.banks);
+  const auto row = static_cast<std::int64_t>(row_index / config_.banks);
+
+  if (open_row_[bank] == row) {
+    ++hits_;
+    return config_.hit_setup;
+  }
+  const bool cold = open_row_[bank] < 0;
+  open_row_[bank] = row;
+  if (cold) {
+    ++cold_;
+    return config_.cold_setup;
+  }
+  ++misses_;
+  return config_.miss_setup;
+}
+
+double RowBufferMemory::hitRate() const {
+  const std::uint64_t total = hits_ + misses_ + cold_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void RowBufferMemory::precharge() {
+  std::fill(open_row_.begin(), open_row_.end(), -1);
+}
+
+}  // namespace lb::bus

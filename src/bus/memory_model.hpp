@@ -1,0 +1,55 @@
+#pragma once
+// Row-buffer (banked DRAM-style) slave memory model.
+//
+// The paper's slaves are "on-chip memories"; real embedded memories are
+// banked with row buffers, so an access's latency depends on locality: a
+// request hitting the currently-open row streams immediately, a different
+// row pays precharge + activate before the first word.  RowBufferMemory is
+// a stateful functor pluggable into SlaveConfig::setup_latency; the bus
+// charges its result as dead cycles at the start of each grant.
+//
+// bench/ablation_memory_locality sweeps access locality and shows the
+// effective bandwidth collapse of row-missing traffic — and why bursts (the
+// paper's multi-word grants) matter on real memory.
+
+#include <cstdint>
+#include <vector>
+
+#include "bus/types.hpp"
+
+namespace lb::bus {
+
+struct RowBufferConfig {
+  unsigned banks = 4;             ///< power of two
+  std::uint32_t row_bytes = 1024; ///< row (page) size
+  std::uint32_t hit_setup = 0;    ///< extra cycles when the row is open
+  std::uint32_t miss_setup = 6;   ///< precharge + activate on a row miss
+  std::uint32_t cold_setup = 3;   ///< first access to an idle bank (activate
+                                  ///< only, nothing to precharge)
+};
+
+class RowBufferMemory {
+public:
+  explicit RowBufferMemory(RowBufferConfig config = {});
+
+  /// SlaveConfig::setup_latency entry point: classifies the access and
+  /// updates the bank state.
+  std::uint32_t operator()(const Message& message);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t coldAccesses() const { return cold_; }
+  double hitRate() const;
+
+  /// Closes every row (e.g. a refresh or power state transition).
+  void precharge();
+
+private:
+  RowBufferConfig config_;
+  std::vector<std::int64_t> open_row_;  // -1 = bank idle
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t cold_ = 0;
+};
+
+}  // namespace lb::bus

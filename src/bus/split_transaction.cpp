@@ -1,0 +1,55 @@
+#include "bus/split_transaction.hpp"
+
+#include <stdexcept>
+
+namespace lb::bus {
+
+SplitSlave::SplitSlave(Bus& bus, SplitSlaveConfig config)
+    : bus_(bus), config_(config) {
+  if (config_.response_words == 0)
+    throw std::invalid_argument("SplitSlave: zero response words");
+  if (config_.max_in_flight == 0)
+    throw std::invalid_argument("SplitSlave: zero pipeline depth");
+
+  bus_.onCompletion([this](MasterId master, const Message& message,
+                           Cycle finish) {
+    if (master == config_.response_master) {
+      // Our own response transfer finished: report to the initiator.
+      if (message.slave == config_.response_slave && responses_ > 0) {
+        if (response_callback_) response_callback_(message.tag, finish);
+      }
+      return;
+    }
+    if (message.slave != config_.request_slave) return;
+    // A request (address phase) reached us; enter the fetch pipeline, or
+    // the overflow queue if the pipeline is full.
+    ++accepted_;
+    if (fetching_.size() < config_.max_in_flight) {
+      fetching_.push_back(PendingFetch{message.tag, finish + config_.latency});
+    } else {
+      waiting_.push_back(message.tag);
+    }
+  });
+}
+
+void SplitSlave::cycle(sim::Cycle now) {
+  // Fetches complete in FIFO order (the pipeline is in-order).
+  while (!fetching_.empty() && fetching_.front().ready_at <= now) {
+    const PendingFetch done = fetching_.front();
+    fetching_.pop_front();
+    Message response;
+    response.words = config_.response_words;
+    response.slave = config_.response_slave;
+    response.arrival = now;
+    response.tag = done.tag;
+    bus_.push(config_.response_master, response);
+    ++responses_;
+    if (!waiting_.empty()) {
+      fetching_.push_back(
+          PendingFetch{waiting_.front(), now + config_.latency});
+      waiting_.pop_front();
+    }
+  }
+}
+
+}  // namespace lb::bus

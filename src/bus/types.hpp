@@ -1,0 +1,51 @@
+#pragma once
+// Shared vocabulary types for the on-chip bus model.
+
+#include <cstdint>
+
+#include "sim/kernel.hpp"
+
+namespace lb::bus {
+
+using sim::Cycle;
+
+/// Master index on a bus; -1 means "none".
+using MasterId = int;
+
+inline constexpr MasterId kNoMaster = -1;
+
+/// One communication transaction: a master asks to move `words` bus words to
+/// (or from) a slave.  A message larger than the bus's maximum burst size is
+/// transferred as several back-to-back grants, re-arbitrating in between, as
+/// in the paper's protocol (Section 4.1, "maximum transfer size").
+struct Message {
+  std::uint32_t words = 1;   ///< payload length in bus words (>= 1)
+  int slave = 0;             ///< target slave index on this bus
+  Cycle arrival = 0;         ///< cycle the request was issued (set by Bus::push
+                             ///< if left at the default and pushed mid-run)
+  std::uint64_t tag = 0;     ///< opaque user cookie (e.g. ATM cell id)
+  std::uint64_t address = 0; ///< byte address at the slave; consumed by
+                             ///< address-sensitive slave models (row-buffer
+                             ///< memories), ignored by flat-latency slaves
+};
+
+/// What an arbiter may observe about one master when making a decision.
+struct MasterRequest {
+  bool pending = false;                    ///< has a head-of-line request
+  std::uint32_t head_words_remaining = 0;  ///< words left in the head message
+  std::uint32_t tickets = 1;               ///< live lottery tickets (dynamic
+                                           ///< arbiters read this each draw)
+  std::uint64_t backlog_words = 0;         ///< total words queued (policies)
+  Cycle head_arrival = 0;                  ///< arrival cycle of head message
+};
+
+/// Arbitration decision: which master drives the bus next and for at most how
+/// many words.  `max_words == 0` means "up to the bus's burst limit".
+struct Grant {
+  MasterId master = kNoMaster;
+  std::uint32_t max_words = 0;
+
+  bool valid() const noexcept { return master != kNoMaster; }
+};
+
+}  // namespace lb::bus

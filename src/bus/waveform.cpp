@@ -1,0 +1,108 @@
+#include "bus/waveform.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/vcd.hpp"
+
+namespace lb::bus {
+
+std::vector<std::string> renderWaveform(const std::vector<GrantRecord>& trace,
+                                        std::size_t num_masters,
+                                        WaveformOptions options) {
+  if (num_masters == 0)
+    throw std::invalid_argument("renderWaveform: no masters");
+  if (options.cycles_per_char == 0)
+    throw std::invalid_argument("renderWaveform: cycles_per_char == 0");
+
+  Cycle end = options.end;
+  if (end == 0) {
+    for (const GrantRecord& grant : trace)
+      end = std::max(end, grant.start + grant.words);
+  }
+  if (end <= options.start) end = options.start + 1;
+
+  const std::size_t columns = static_cast<std::size_t>(
+      (end - options.start + options.cycles_per_char - 1) /
+      options.cycles_per_char);
+
+  // Per-master busy bitmap over the window.
+  std::vector<std::vector<bool>> busy(
+      num_masters, std::vector<bool>(columns, false));
+  for (const GrantRecord& grant : trace) {
+    if (grant.master < 0 ||
+        static_cast<std::size_t>(grant.master) >= num_masters)
+      continue;
+    // A grant of W words occupies cycles [start, start + W).  Wait states
+    // are not distinguished here; the waveform shows ownership.
+    for (Cycle c = grant.start; c < grant.start + grant.words; ++c) {
+      if (c < options.start || c >= end) continue;
+      busy[static_cast<std::size_t>(grant.master)]
+          [static_cast<std::size_t>((c - options.start) /
+                                    options.cycles_per_char)] = true;
+    }
+  }
+
+  std::vector<std::string> lines;
+  if (options.ruler) {
+    // Ruler marks every 10 columns with the cycle number's last digit block.
+    std::string ruler(columns, ' ');
+    for (std::size_t col = 0; col < columns; col += 10) ruler[col] = '|';
+    lines.push_back("     " + ruler + "  (|: every " +
+                    std::to_string(10 * options.cycles_per_char) +
+                    " cycles from " + std::to_string(options.start) + ")");
+  }
+  for (std::size_t m = 0; m < num_masters; ++m) {
+    std::string line;
+    line.reserve(columns);
+    for (std::size_t col = 0; col < columns; ++col)
+      line.push_back(busy[m][col] ? options.busy : options.idle);
+    std::string label = "M" + std::to_string(m + 1);
+    label.resize(4, ' ');
+    lines.push_back(label + "|" + line + "|");
+  }
+  return lines;
+}
+
+std::string waveformToString(const std::vector<GrantRecord>& trace,
+                             std::size_t num_masters,
+                             WaveformOptions options) {
+  std::string out;
+  for (const std::string& line :
+       renderWaveform(trace, num_masters, options)) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string grantTraceToVcd(const std::vector<GrantRecord>& trace,
+                            std::size_t num_masters) {
+  if (num_masters == 0)
+    throw std::invalid_argument("grantTraceToVcd: no masters");
+  unsigned owner_bits = 1;
+  while ((1ull << owner_bits) < num_masters + 1) ++owner_bits;
+
+  sim::VcdWriter vcd("bus");
+  std::vector<sim::VcdWriter::SignalId> gnt(num_masters);
+  for (std::size_t m = 0; m < num_masters; ++m)
+    gnt[m] = vcd.addWire("gnt_M" + std::to_string(m + 1), 1);
+  const auto owner = vcd.addWire("owner", owner_bits);
+
+  // Initial idle state, then edges per grant.
+  for (std::size_t m = 0; m < num_masters; ++m) vcd.change(0, gnt[m], 0);
+  vcd.change(0, owner, 0);
+  for (const GrantRecord& grant : trace) {
+    if (grant.master < 0 ||
+        static_cast<std::size_t>(grant.master) >= num_masters)
+      continue;
+    const auto m = static_cast<std::size_t>(grant.master);
+    vcd.change(grant.start, gnt[m], 1);
+    vcd.change(grant.start, owner, m + 1);
+    vcd.change(grant.start + grant.words, gnt[m], 0);
+    vcd.change(grant.start + grant.words, owner, 0);
+  }
+  return vcd.str();
+}
+
+}  // namespace lb::bus

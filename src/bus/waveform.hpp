@@ -1,0 +1,47 @@
+#pragma once
+// ASCII waveform rendering of bus grant traces.
+//
+// Turns the Bus's GrantRecord trace into per-master occupancy waveforms like
+// the symbolic execution traces of the paper's Figure 5:
+//
+//   M1 |####............####............|
+//   M2 |....########....................|
+//   M3 |............####....########....|
+//
+// Each column is one (or `cycles_per_char`) bus cycle; '#' marks cycles the
+// master owned the bus, '.' marks cycles it did not.
+
+#include <string>
+#include <vector>
+
+#include "bus/bus.hpp"
+
+namespace lb::bus {
+
+struct WaveformOptions {
+  Cycle start = 0;
+  Cycle end = 0;                 ///< exclusive; 0 = trace end
+  std::uint32_t cycles_per_char = 1;
+  char busy = '#';
+  char idle = '.';
+  bool ruler = true;             ///< prepend a cycle-number ruler line
+};
+
+/// Renders `trace` (as recorded by Bus::setTraceEnabled) into one line per
+/// master plus an optional ruler.  Lines are labelled "M1".."Mn".
+std::vector<std::string> renderWaveform(const std::vector<GrantRecord>& trace,
+                                        std::size_t num_masters,
+                                        WaveformOptions options = {});
+
+/// Convenience: joins renderWaveform lines with newlines.
+std::string waveformToString(const std::vector<GrantRecord>& trace,
+                             std::size_t num_masters,
+                             WaveformOptions options = {});
+
+/// Exports the grant trace as a Value Change Dump for GTKWave-style
+/// viewers: one 1-bit gnt_M<i> wire per master plus a multi-bit `owner`
+/// bus (value = master index + 1, 0 = idle).
+std::string grantTraceToVcd(const std::vector<GrantRecord>& trace,
+                            std::size_t num_masters);
+
+}  // namespace lb::bus

@@ -1,0 +1,69 @@
+#include "core/compensation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lb::core {
+
+CompensatedLotteryArbiter::CompensatedLotteryArbiter(
+    std::vector<std::uint32_t> tickets, std::uint32_t quantum,
+    std::uint64_t seed)
+    : base_(std::move(tickets)),
+      quantum_(quantum),
+      seed_(seed),
+      rng_(seed),
+      compensation_(base_.size(), 1.0) {
+  if (base_.empty())
+    throw std::invalid_argument("CompensatedLotteryArbiter: no masters");
+  if (quantum == 0)
+    throw std::invalid_argument("CompensatedLotteryArbiter: zero quantum");
+  for (const std::uint32_t t : base_)
+    if (t == 0)
+      throw std::invalid_argument(
+          "CompensatedLotteryArbiter: zero-ticket master");
+}
+
+bus::Grant CompensatedLotteryArbiter::arbitrate(
+    const bus::RequestView& requests, bus::Cycle /*now*/) {
+  if (requests.size() != base_.size())
+    throw std::logic_error("CompensatedLotteryArbiter: master count mismatch");
+
+  // Effective holdings: base tickets scaled by the compensation factor.
+  // Work in fixed point (x1024) so the draw stays an integer lottery.
+  constexpr std::uint64_t kScale = 1024;
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> effective(base_.size(), 0);
+  for (std::size_t m = 0; m < base_.size(); ++m) {
+    if (!requests[m].pending) continue;
+    effective[m] = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(base_[m]) * compensation_[m] *
+                     static_cast<double>(kScale)));
+    if (effective[m] == 0) effective[m] = 1;
+    total += effective[m];
+  }
+  if (total == 0) return bus::Grant{};
+
+  std::uint64_t number = rng_.below(total);
+  for (std::size_t m = 0; m < base_.size(); ++m) {
+    if (!requests[m].pending) continue;
+    if (number < effective[m]) {
+      // Winner: its compensation resets, then re-arms according to how much
+      // of the quantum this grant will actually use.
+      const std::uint32_t words =
+          std::min(requests[m].head_words_remaining, quantum_);
+      compensation_[m] =
+          static_cast<double>(quantum_) / static_cast<double>(words);
+      return bus::Grant{static_cast<bus::MasterId>(m), 0};
+    }
+    number -= effective[m];
+  }
+  throw std::logic_error("CompensatedLotteryArbiter: draw selected no winner");
+}
+
+void CompensatedLotteryArbiter::reset() {
+  rng_ = sim::Xoshiro256ss(seed_);
+  std::fill(compensation_.begin(), compensation_.end(), 1.0);
+}
+
+}  // namespace lb::core

@@ -1,0 +1,52 @@
+#pragma once
+// Compensation tickets — an extension imported from the paper's own
+// inspiration, Waldspurger & Weihl's lottery scheduling [16].
+//
+// In CPU lottery scheduling, a client that consumes only a fraction f of
+// its quantum receives a 1/f ticket boost until it next wins, preserving
+// its bandwidth share while sharply improving its latency.  The bus analog:
+// a master whose grants move fewer words than the full burst quantum (short
+// messages) is under-served per win, so its effective tickets are inflated
+// by quantum / words_last_grant for subsequent draws.
+//
+// Effect (bench/ablation_compensation): masters with short messages keep
+// their proportional bandwidth AND see latency close to what equal-burst
+// masters get, instead of being penalized for their message size.
+
+#include <cstdint>
+#include <vector>
+
+#include "bus/arbiter.hpp"
+#include "sim/rng.hpp"
+
+namespace lb::core {
+
+class CompensatedLotteryArbiter final : public bus::IArbiter {
+public:
+  /// @param tickets  base per-master holdings (>= 1 each).
+  /// @param quantum  full-burst reference in words; a grant moving w <
+  ///                 quantum words earns a quantum/w boost until the next
+  ///                 win.  Use the bus's max_burst_words.
+  CompensatedLotteryArbiter(std::vector<std::uint32_t> tickets,
+                            std::uint32_t quantum = 16,
+                            std::uint64_t seed = 1);
+
+  bus::Grant arbitrate(const bus::RequestView& requests,
+                       bus::Cycle now) override;
+  std::string name() const override { return "lottery-compensated"; }
+  void reset() override;
+
+  /// Current compensation multiplier for a master (1.0 = none).
+  double compensation(std::size_t master) const {
+    return compensation_.at(master);
+  }
+
+private:
+  std::vector<std::uint32_t> base_;
+  std::uint32_t quantum_;
+  std::uint64_t seed_;
+  sim::Xoshiro256ss rng_;
+  std::vector<double> compensation_;
+};
+
+}  // namespace lb::core

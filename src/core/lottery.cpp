@@ -1,0 +1,136 @@
+#include "core/lottery.hpp"
+
+#include <stdexcept>
+
+namespace lb::core {
+
+namespace {
+constexpr std::size_t kMaxTableMasters = 12;  // 2^12 LUT rows at most
+}
+
+LotteryArbiter::LotteryArbiter(std::vector<std::uint32_t> tickets,
+                               LotteryRng rng, std::uint64_t seed)
+    : original_tickets_(tickets),
+      rng_kind_(rng),
+      seed_(seed),
+      exact_rng_(seed) {
+  if (tickets.empty()) throw std::invalid_argument("LotteryArbiter: no masters");
+  if (tickets.size() > 31)
+    throw std::invalid_argument("LotteryArbiter: too many masters (>31)");
+  for (const std::uint32_t t : tickets)
+    if (t == 0)
+      throw std::invalid_argument(
+          "LotteryArbiter: every master needs at least one ticket");
+
+  if (rng_kind_ == LotteryRng::kLfsr) {
+    // Section 4.3: make the full ticket total a power of two so the LFSR's
+    // low bits cover the all-pending range exactly.
+    ScaledTickets scaled = scaleToPowerOfTwo(tickets);
+    tickets_ = std::move(scaled.tickets);
+    scaling_error_ = scaled.max_ratio_error;
+    // Use a 16-bit register when the ticket range allows it (the paper's
+    // implementation); wider totals snap to the nearest tabulated
+    // maximal-length width.  This must match src/hw's lfsrWidthFor so the
+    // structural model reproduces identical draw sequences.  GaloisLfsr
+    // coerces a zero seed itself, so the seed passes through unmodified.
+    const unsigned reg = sim::GaloisLfsr::widthAtLeast(
+        std::max(scaled.total_bits + 1, 16u));
+    lfsr_ = std::make_unique<sim::GaloisLfsr>(
+        reg, static_cast<std::uint32_t>(seed));
+  } else {
+    tickets_ = std::move(tickets);
+  }
+
+  // Precompute the lookup table: one row of partial sums per request map
+  // (the register file of Figure 9).  For very wide buses fall back to
+  // computing rows on demand — behaviourally identical.
+  if (tickets_.size() <= kMaxTableMasters) {
+    const std::uint32_t rows = 1u << tickets_.size();
+    table_.reserve(rows);
+    for (std::uint32_t map = 0; map < rows; ++map)
+      table_.push_back(partialSums(tickets_, map));
+  }
+}
+
+const std::vector<std::uint64_t>& LotteryArbiter::tableRow(
+    std::uint32_t request_map) const {
+  if (table_.empty())
+    throw std::logic_error("LotteryArbiter: no precomputed table");
+  return table_.at(request_map);
+}
+
+std::uint64_t LotteryArbiter::drawNumber(std::uint64_t bound) {
+  if (rng_kind_ == LotteryRng::kExact) return exact_rng_.below(bound);
+  // LFSR mode: draw ceil(log2(bound)) low bits; values >= bound mean no
+  // comparator fires and the lottery re-draws (rejection keeps the result
+  // exactly uniform).  With all masters pending, bound is the scaled 2^k
+  // total and no rejection ever happens.
+  const unsigned bits = std::max(1u, ceilLog2(bound));
+  for (;;) {
+    const std::uint64_t r = lfsr_->drawBits(std::min(bits, lfsr_->width()));
+    if (r < bound) return r;
+    ++rng_rejections_;
+  }
+}
+
+bus::Grant LotteryArbiter::arbitrate(const bus::RequestView& requests,
+                                     bus::Cycle /*now*/) {
+  if (requests.size() != tickets_.size())
+    throw std::logic_error("LotteryArbiter: master count mismatch");
+  const std::uint32_t map = requests.requestMap();
+  if (map == 0) return bus::Grant{};
+
+  const std::vector<std::uint64_t>& sums =
+      table_.empty() ? partialSums(tickets_, map) : table_[map];
+  const std::uint64_t total = sums.back();
+  const std::uint64_t number = drawNumber(total);
+  ++draws_;
+
+  const int winner = winnerForTicket(sums, map, number);
+  if (winner < 0)
+    throw std::logic_error("LotteryArbiter: draw selected no winner");
+  return bus::Grant{winner, 0};
+}
+
+void LotteryArbiter::reset() {
+  exact_rng_ = sim::Xoshiro256ss(seed_);
+  if (lfsr_)
+    lfsr_ = std::make_unique<sim::GaloisLfsr>(
+        lfsr_->width(), static_cast<std::uint32_t>(seed_));
+  rng_rejections_ = 0;
+  draws_ = 0;
+}
+
+DynamicLotteryArbiter::DynamicLotteryArbiter(std::uint64_t seed)
+    : seed_(seed), rng_(seed) {}
+
+bus::Grant DynamicLotteryArbiter::arbitrate(const bus::RequestView& requests,
+                                            bus::Cycle /*now*/) {
+  // Figure 10 data path: request-masked tickets -> adder tree of partial
+  // sums -> random number mod T -> comparators -> priority select.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    if (requests[i].pending) total += requests[i].tickets;
+  if (total == 0) {
+    // Either nothing pending, or every pending master holds zero tickets;
+    // zero-ticket masters can never win a lottery.
+    return bus::Grant{};
+  }
+
+  std::uint64_t number = rng_.below(total);
+  ++draws_;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!requests[i].pending) continue;
+    if (number < requests[i].tickets)
+      return bus::Grant{static_cast<bus::MasterId>(i), 0};
+    number -= requests[i].tickets;
+  }
+  throw std::logic_error("DynamicLotteryArbiter: draw selected no winner");
+}
+
+void DynamicLotteryArbiter::reset() {
+  rng_ = sim::Xoshiro256ss(seed_);
+  draws_ = 0;
+}
+
+}  // namespace lb::core

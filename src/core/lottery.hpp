@@ -1,0 +1,110 @@
+#pragma once
+// The LOTTERYBUS arbiters — the paper's contribution (Section 4).
+//
+// On every arbitration the lottery manager draws a uniformly random winning
+// ticket among the tickets of the currently requesting masters, so master i
+// wins with probability
+//
+//     P(C_i) = r_i * t_i / sum_j r_j * t_j
+//
+// Two embodiments, matching Sections 4.3 and 4.4:
+//
+//  - LotteryArbiter: statically assigned tickets.  Ticket ranges for every
+//    possible request map are precomputed into a lookup table (the register
+//    file of Figure 9).  The random number source is either an exact uniform
+//    generator or a hardware-faithful LFSR; for the LFSR the ticket holdings
+//    are first scaled so their total is a power of two (Section 4.3).
+//
+//  - DynamicLotteryArbiter: tickets are run-time inputs re-read on every
+//    draw (Bus::setTickets), partial sums recomputed each lottery as by the
+//    bitwise-AND + adder-tree hardware of Figure 10, and the random number
+//    reduced into [0, T) as by the modulo hardware.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bus/arbiter.hpp"
+#include "core/tickets.hpp"
+#include "sim/rng.hpp"
+
+namespace lb::core {
+
+/// Random-number strategy for the static lottery manager.
+enum class LotteryRng {
+  kExact,  ///< xoshiro256** + unbiased rejection; the behavioral reference
+  kLfsr,   ///< Galois LFSR drawing low bits, tickets scaled to a 2^k total
+};
+
+/// Statically-assigned-tickets LOTTERYBUS arbiter (paper Section 4.3).
+class LotteryArbiter final : public bus::IArbiter {
+public:
+  /// @param tickets  per-master holdings (all >= 1).
+  /// @param rng      random number source (see LotteryRng).
+  /// @param seed     seed for the chosen source.
+  explicit LotteryArbiter(std::vector<std::uint32_t> tickets,
+                          LotteryRng rng = LotteryRng::kExact,
+                          std::uint64_t seed = 1);
+
+  bus::Grant arbitrate(const bus::RequestView& requests,
+                       bus::Cycle now) override;
+  std::string name() const override {
+    return rng_kind_ == LotteryRng::kExact ? "lottery" : "lottery-lfsr";
+  }
+  void reset() override;
+
+  /// Tickets actually in effect (post power-of-two scaling in LFSR mode).
+  const std::vector<std::uint32_t>& effectiveTickets() const {
+    return tickets_;
+  }
+  const std::vector<std::uint32_t>& requestedTickets() const {
+    return original_tickets_;
+  }
+  double scalingRatioError() const { return scaling_error_; }
+
+  /// Precomputed partial sums for a request map (the lookup-table row).
+  const std::vector<std::uint64_t>& tableRow(std::uint32_t request_map) const;
+
+  /// Number of random numbers rejected because they fell outside the live
+  /// ticket range (only possible in LFSR mode with a partial request map).
+  std::uint64_t rngRejections() const { return rng_rejections_; }
+  std::uint64_t draws() const { return draws_; }
+
+private:
+  std::uint64_t drawNumber(std::uint64_t bound);
+
+  std::vector<std::uint32_t> original_tickets_;
+  std::vector<std::uint32_t> tickets_;
+  double scaling_error_ = 0.0;
+  LotteryRng rng_kind_;
+  std::uint64_t seed_;
+
+  std::vector<std::vector<std::uint64_t>> table_;  // 2^N rows of partial sums
+
+  sim::Xoshiro256ss exact_rng_;
+  std::unique_ptr<sim::GaloisLfsr> lfsr_;
+  std::uint64_t rng_rejections_ = 0;
+  std::uint64_t draws_ = 0;
+};
+
+/// Dynamically-assigned-tickets LOTTERYBUS arbiter (paper Section 4.4).
+/// Tickets are read from the request view on every draw; components (or a
+/// TicketPolicy) update them at run time through Bus::setTickets.
+class DynamicLotteryArbiter final : public bus::IArbiter {
+public:
+  explicit DynamicLotteryArbiter(std::uint64_t seed = 1);
+
+  bus::Grant arbitrate(const bus::RequestView& requests,
+                       bus::Cycle now) override;
+  std::string name() const override { return "lottery-dynamic"; }
+  void reset() override;
+
+  std::uint64_t draws() const { return draws_; }
+
+private:
+  std::uint64_t seed_;
+  sim::Xoshiro256ss rng_;
+  std::uint64_t draws_ = 0;
+};
+
+}  // namespace lb::core

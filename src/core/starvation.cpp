@@ -1,0 +1,52 @@
+#include "core/starvation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lb::core {
+
+namespace {
+void validate(std::uint64_t tickets, std::uint64_t total) {
+  if (total == 0) throw std::invalid_argument("starvation: total == 0");
+  if (tickets == 0) throw std::invalid_argument("starvation: tickets == 0");
+  if (tickets > total)
+    throw std::invalid_argument("starvation: tickets > total");
+}
+}  // namespace
+
+double accessProbability(std::uint64_t tickets, std::uint64_t total,
+                         std::uint64_t drawings) {
+  validate(tickets, total);
+  const double miss =
+      1.0 - static_cast<double>(tickets) / static_cast<double>(total);
+  return 1.0 - std::pow(miss, static_cast<double>(drawings));
+}
+
+double expectedDrawingsToWin(std::uint64_t tickets, std::uint64_t total) {
+  validate(tickets, total);
+  return static_cast<double>(total) / static_cast<double>(tickets);
+}
+
+std::uint64_t drawingsForConfidence(std::uint64_t tickets, std::uint64_t total,
+                                    double confidence) {
+  validate(tickets, total);
+  if (confidence <= 0.0) return 0;
+  if (confidence >= 1.0)
+    throw std::invalid_argument("starvation: confidence must be < 1");
+  if (tickets == total) return 1;
+  const double miss =
+      1.0 - static_cast<double>(tickets) / static_cast<double>(total);
+  const double n = std::log(1.0 - confidence) / std::log(miss);
+  return static_cast<std::uint64_t>(std::ceil(n));
+}
+
+std::uint64_t waitingDrawingsQuantile(std::uint64_t tickets,
+                                      std::uint64_t total, double q) {
+  validate(tickets, total);
+  if (q < 0.0 || q >= 1.0)
+    throw std::invalid_argument("starvation: quantile must be in [0,1)");
+  if (q == 0.0) return 1;  // the minimum possible: win the first drawing
+  return drawingsForConfidence(tickets, total, q);
+}
+
+}  // namespace lb::core

@@ -1,0 +1,32 @@
+#pragma once
+// Closed-form starvation analysis (paper Section 4.2):
+//
+//   "the probability p that a component with t tickets is able to access the
+//    bus within n lottery drawings is given by 1 - (1 - t/T)^n"
+//
+// These helpers evaluate that expression and its inverses; property tests
+// and bench/starvation_convergence check the simulator against it.
+
+#include <cstdint>
+
+namespace lb::core {
+
+/// P(win at least one of n drawings | t of T tickets, all contenders pending).
+double accessProbability(std::uint64_t tickets, std::uint64_t total,
+                         std::uint64_t drawings);
+
+/// Expected number of drawings until the first win: T / t (geometric mean).
+double expectedDrawingsToWin(std::uint64_t tickets, std::uint64_t total);
+
+/// Smallest n with accessProbability(t, T, n) >= confidence.
+std::uint64_t drawingsForConfidence(std::uint64_t tickets, std::uint64_t total,
+                                    double confidence);
+
+/// q-quantile (q in [0,1)) of the geometric number of drawings until the
+/// first win: the n such that a fraction q of contention episodes win
+/// within n drawings.  Multiplying by the mean grant length bounds waiting
+/// time at that percentile.
+std::uint64_t waitingDrawingsQuantile(std::uint64_t tickets,
+                                      std::uint64_t total, double q);
+
+}  // namespace lb::core

@@ -1,0 +1,60 @@
+#include "core/ticket_policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lb::core {
+
+PeriodicTicketSchedule::PeriodicTicketSchedule(bus::Bus& bus,
+                                               std::vector<Entry> schedule)
+    : bus_(bus), schedule_(std::move(schedule)) {
+  for (const Entry& entry : schedule_)
+    if (entry.tickets.size() != bus_.numMasters())
+      throw std::invalid_argument(
+          "PeriodicTicketSchedule: ticket vector arity mismatch");
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const Entry& a, const Entry& b) { return a.at < b.at; });
+}
+
+void PeriodicTicketSchedule::cycle(sim::Cycle now) {
+  while (next_ < schedule_.size() && schedule_[next_].at <= now) {
+    const Entry& entry = schedule_[next_];
+    for (std::size_t m = 0; m < entry.tickets.size(); ++m)
+      bus_.setTickets(static_cast<bus::MasterId>(m), entry.tickets[m]);
+    ++next_;
+  }
+}
+
+BacklogTicketPolicy::BacklogTicketPolicy(bus::Bus& bus,
+                                         std::vector<std::uint32_t> base,
+                                         double weight,
+                                         std::uint32_t max_tickets,
+                                         sim::Cycle period)
+    : bus_(bus),
+      base_(std::move(base)),
+      weight_(weight),
+      max_tickets_(max_tickets),
+      period_(period) {
+  if (base_.size() != bus_.numMasters())
+    throw std::invalid_argument("BacklogTicketPolicy: base arity mismatch");
+  if (period_ == 0)
+    throw std::invalid_argument("BacklogTicketPolicy: period == 0");
+  if (max_tickets_ == 0)
+    throw std::invalid_argument("BacklogTicketPolicy: max_tickets == 0");
+}
+
+void BacklogTicketPolicy::cycle(sim::Cycle now) {
+  if (now % period_ != 0) return;
+  for (std::size_t m = 0; m < base_.size(); ++m) {
+    const double raw =
+        static_cast<double>(base_[m]) +
+        weight_ * static_cast<double>(
+                      bus_.backlogWords(static_cast<bus::MasterId>(m)));
+    const auto tickets = static_cast<std::uint32_t>(
+        std::clamp(raw, 1.0, static_cast<double>(max_tickets_)));
+    bus_.setTickets(static_cast<bus::MasterId>(m), tickets);
+  }
+  ++updates_;
+}
+
+}  // namespace lb::core

@@ -1,0 +1,66 @@
+#pragma once
+// Run-time ticket management for the dynamic LOTTERYBUS variant.
+//
+// Section 4.4 of the paper specifies the hardware for dynamically assigned
+// tickets but leaves the assignment *policy* to the components ("the number
+// of tickets a component possesses varies dynamically, and is periodically
+// communicated by the component to the lottery manager").  This module
+// provides two concrete, testable policies:
+//
+//  - PeriodicTicketSchedule: replay a fixed schedule of ticket vectors
+//    (models components announcing phase-dependent importance).
+//  - BacklogTicketPolicy: tickets proportional to a master's queued words,
+//    i.e. a self-clocking proportional-share policy that reacts to load
+//    shifts (used by the ablation bench and the dynamic_tickets example).
+
+#include <cstdint>
+#include <vector>
+
+#include "bus/bus.hpp"
+#include "sim/kernel.hpp"
+
+namespace lb::core {
+
+/// Applies scheduled ticket vectors to a bus at fixed cycle boundaries.
+class PeriodicTicketSchedule final : public sim::ICycleComponent {
+public:
+  struct Entry {
+    sim::Cycle at;                        ///< apply when now >= at
+    std::vector<std::uint32_t> tickets;   ///< one value per master
+  };
+
+  PeriodicTicketSchedule(bus::Bus& bus, std::vector<Entry> schedule);
+
+  void cycle(sim::Cycle now) override;
+  std::string name() const override { return "ticket-schedule"; }
+
+private:
+  bus::Bus& bus_;
+  std::vector<Entry> schedule_;
+  std::size_t next_ = 0;
+};
+
+/// Every `period` cycles sets tickets[i] = clamp(base[i] + weight *
+/// backlogWords(i), 1, max_tickets).  The +base keeps idle masters eligible,
+/// the clamp bounds the adder-tree width the hardware must provision.
+class BacklogTicketPolicy final : public sim::ICycleComponent {
+public:
+  BacklogTicketPolicy(bus::Bus& bus, std::vector<std::uint32_t> base,
+                      double weight, std::uint32_t max_tickets,
+                      sim::Cycle period);
+
+  void cycle(sim::Cycle now) override;
+  std::string name() const override { return "backlog-ticket-policy"; }
+
+  std::uint64_t updates() const { return updates_; }
+
+private:
+  bus::Bus& bus_;
+  std::vector<std::uint32_t> base_;
+  double weight_;
+  std::uint32_t max_tickets_;
+  sim::Cycle period_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace lb::core

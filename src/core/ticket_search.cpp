@@ -1,0 +1,99 @@
+#include "core/ticket_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace lb::core {
+
+namespace {
+
+/// Largest-remainder apportionment of `total` tickets to `shares` (which
+/// sum to 1), every master getting at least one.
+std::vector<std::uint32_t> apportion(const std::vector<double>& shares,
+                                     std::uint64_t total) {
+  const std::size_t n = shares.size();
+  std::vector<std::uint32_t> tickets(n, 1);
+  std::vector<std::pair<double, std::size_t>> remainders(n);
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exact = shares[i] * static_cast<double>(total);
+    tickets[i] = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::floor(exact)));
+    remainders[i] = {exact - std::floor(exact), i};
+    assigned += tickets[i];
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::size_t cursor = 0;
+  while (assigned < total) {
+    tickets[remainders[cursor % n].second] += 1;
+    ++assigned;
+    ++cursor;
+  }
+  while (assigned > total) {
+    const std::size_t victim = remainders[(cursor++) % n].second;
+    if (tickets[victim] > 1) {
+      tickets[victim] -= 1;
+      --assigned;
+    }
+  }
+  return tickets;
+}
+
+double maxRelativeError(const std::vector<std::uint32_t>& tickets,
+                        const std::vector<double>& shares,
+                        std::uint64_t total) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const double achieved =
+        static_cast<double>(tickets[i]) / static_cast<double>(total);
+    worst = std::max(worst, std::abs(achieved - shares[i]) / shares[i]);
+  }
+  return worst;
+}
+
+}  // namespace
+
+TicketSearchResult ticketsForShares(const std::vector<double>& target_shares,
+                                    std::uint64_t max_total,
+                                    double tolerance) {
+  if (target_shares.empty())
+    throw std::invalid_argument("ticketsForShares: no targets");
+  if (max_total < target_shares.size())
+    throw std::invalid_argument("ticketsForShares: max_total < masters");
+  for (const double s : target_shares)
+    if (!(s > 0.0))
+      throw std::invalid_argument("ticketsForShares: non-positive target");
+
+  const double sum =
+      std::accumulate(target_shares.begin(), target_shares.end(), 0.0);
+  std::vector<double> shares(target_shares);
+  for (double& s : shares) s /= sum;
+
+  TicketSearchResult best;
+  best.max_relative_error = std::numeric_limits<double>::infinity();
+
+  for (std::uint64_t total = target_shares.size(); total <= max_total;
+       ++total) {
+    const auto tickets = apportion(shares, total);
+    const std::uint64_t actual_total =
+        std::accumulate(tickets.begin(), tickets.end(), std::uint64_t{0});
+    const double error = maxRelativeError(tickets, shares, actual_total);
+    if (error < best.max_relative_error) {
+      best.tickets = tickets;
+      best.total = actual_total;
+      best.max_relative_error = error;
+      best.achieved.assign(tickets.size(), 0.0);
+      for (std::size_t i = 0; i < tickets.size(); ++i)
+        best.achieved[i] = static_cast<double>(tickets[i]) /
+                           static_cast<double>(actual_total);
+      if (error <= tolerance) break;  // smallest total within tolerance
+    }
+  }
+  return best;
+}
+
+}  // namespace lb::core

@@ -1,0 +1,33 @@
+#pragma once
+// Ticket assignment from bandwidth targets.
+//
+// The paper's headline property is that bandwidth shares track ticket
+// ratios, which turns "give port 3 59% of the bus" into an integer
+// apportionment problem: find small integer tickets whose normalized ratios
+// approximate the designer's target shares.  Small totals matter because the
+// static manager's lookup table stores partial sums of the scaled total and
+// the LFSR width grows with log2(total).
+
+#include <cstdint>
+#include <vector>
+
+namespace lb::core {
+
+struct TicketSearchResult {
+  std::vector<std::uint32_t> tickets;  ///< one per master, >= 1
+  std::vector<double> achieved;        ///< tickets / total
+  double max_relative_error = 0.0;     ///< max_i |achieved_i - target_i| / target_i
+  std::uint64_t total = 0;
+};
+
+/// Finds the smallest-total integer ticket vector (total <= max_total) whose
+/// normalized shares approximate `target_shares` within `tolerance` relative
+/// error; if no total meets the tolerance, returns the best vector found.
+/// Targets must be positive; they are normalized internally.
+/// Throws std::invalid_argument on empty/non-positive targets or
+/// max_total < number of masters.
+TicketSearchResult ticketsForShares(const std::vector<double>& target_shares,
+                                    std::uint64_t max_total = 1024,
+                                    double tolerance = 0.01);
+
+}  // namespace lb::core

@@ -1,0 +1,121 @@
+#include "core/tickets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace lb::core {
+
+std::vector<std::uint64_t> partialSums(
+    const std::vector<std::uint32_t>& tickets, std::uint32_t request_map) {
+  std::vector<std::uint64_t> sums(tickets.size(), 0);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    if (request_map & (1u << i)) acc += tickets[i];
+    sums[i] = acc;
+  }
+  return sums;
+}
+
+int winnerForTicket(const std::vector<std::uint64_t>& sums,
+                    std::uint32_t request_map, std::uint64_t number) {
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    if (!(request_map & (1u << i))) continue;
+    if (number < sums[i]) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+unsigned ceilLog2(std::uint64_t x) {
+  if (x == 0) throw std::invalid_argument("ceilLog2: x == 0");
+  unsigned k = 0;
+  while ((1ULL << k) < x) ++k;
+  return k;
+}
+
+namespace {
+
+/// Largest-remainder apportionment of `target` among the original weights;
+/// ties broken deterministically by master index.
+ScaledTickets apportionToPowerOfTwo(const std::vector<std::uint32_t>& tickets,
+                                    std::uint64_t total, unsigned bits) {
+  const std::uint64_t target = 1ULL << bits;
+  const std::size_t n = tickets.size();
+  std::vector<std::uint32_t> scaled(n);
+  std::vector<std::pair<double, std::size_t>> remainders(n);
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exact = static_cast<double>(tickets[i]) *
+                         static_cast<double>(target) /
+                         static_cast<double>(total);
+    scaled[i] = static_cast<std::uint32_t>(exact);  // floor
+    if (scaled[i] == 0) scaled[i] = 1;              // never drop a master
+    remainders[i] = {exact - std::floor(exact), i};
+    assigned += scaled[i];
+  }
+  std::sort(remainders.begin(), remainders.end(), [](const auto& a,
+                                                     const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  std::size_t cursor = 0;
+  while (assigned < target) {
+    scaled[remainders[cursor % n].second] += 1;
+    ++assigned;
+    ++cursor;
+  }
+  cursor = n;
+  while (assigned > target) {
+    // Take from the smallest remainders first, never below 1.
+    const std::size_t victim = remainders[(--cursor) % n].second;
+    if (scaled[victim] > 1) {
+      scaled[victim] -= 1;
+      --assigned;
+    }
+    if (cursor == 0) cursor = n;
+  }
+
+  ScaledTickets result;
+  result.tickets = std::move(scaled);
+  result.total_bits = bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double before =
+        static_cast<double>(tickets[i]) / static_cast<double>(total);
+    const double after = static_cast<double>(result.tickets[i]) /
+                         static_cast<double>(target);
+    result.max_ratio_error =
+        std::max(result.max_ratio_error, std::abs(after - before) / before);
+  }
+  return result;
+}
+
+}  // namespace
+
+ScaledTickets scaleToPowerOfTwo(const std::vector<std::uint32_t>& tickets,
+                                double max_ratio_error) {
+  if (tickets.empty())
+    throw std::invalid_argument("scaleToPowerOfTwo: no tickets");
+  for (const std::uint32_t t : tickets)
+    if (t == 0)
+      throw std::invalid_argument("scaleToPowerOfTwo: zero-ticket master");
+
+  const std::uint64_t total =
+      std::accumulate(tickets.begin(), tickets.end(), std::uint64_t{0});
+  const unsigned first_bits = ceilLog2(total);
+  // Widening the total sharpens the ratios at the cost of a wider LFSR and
+  // wider lookup-table entries; stop at +8 bits (a 256x finer grid).
+  const unsigned last_bits = std::min(first_bits + 8, 30u);
+
+  ScaledTickets best;
+  best.max_ratio_error = std::numeric_limits<double>::infinity();
+  for (unsigned bits = first_bits; bits <= last_bits; ++bits) {
+    ScaledTickets candidate = apportionToPowerOfTwo(tickets, total, bits);
+    if (candidate.max_ratio_error < best.max_ratio_error)
+      best = std::move(candidate);
+    if (best.max_ratio_error <= max_ratio_error) break;
+  }
+  return best;
+}
+
+}  // namespace lb::core

@@ -1,0 +1,48 @@
+#pragma once
+// Ticket arithmetic shared by the behavioral and structural lottery managers.
+
+#include <cstdint>
+#include <vector>
+
+namespace lb::core {
+
+/// Cumulative partial sums over the *pending* masters, in master order, as
+/// produced by the lottery manager's adder tree (paper Figure 10):
+///   sums[i] = sum_{j<=i, pending(j)} tickets[j]
+/// Non-pending masters contribute zero, so sums[i] == sums[i-1] for them.
+/// sums.back() is the live ticket total T.
+std::vector<std::uint64_t> partialSums(const std::vector<std::uint32_t>& tickets,
+                                       std::uint32_t request_map);
+
+/// Given a winning ticket number in [0, T), returns the index of the winning
+/// master: the first pending master i with number < sums[i].  Returns -1 if
+/// the number is out of range (no comparator fires).
+int winnerForTicket(const std::vector<std::uint64_t>& sums,
+                    std::uint32_t request_map, std::uint64_t number);
+
+/// Result of power-of-two ticket scaling (paper Section 4.3: "the ticket
+/// holdings of individual masters are modified such that their sum is a power
+/// of two ... care must be taken to ensure that the ratios are not
+/// significantly altered").
+struct ScaledTickets {
+  std::vector<std::uint32_t> tickets;  ///< scaled holdings, each >= 1
+  unsigned total_bits = 0;             ///< total == 1u << total_bits
+  double max_ratio_error = 0.0;        ///< max_i |p'_i - p_i| / p_i
+};
+
+/// Scales tickets so their sum is a power of two, choosing the smallest
+/// power-of-two total >= the original sum whose largest-remainder
+/// apportionment keeps every master's win probability within
+/// `max_ratio_error` of the original (every master keeps at least one
+/// ticket).  If no total up to 2^(ceil(log2 sum) + 8) meets the bound, the
+/// best candidate is returned.  With the default 10% bound this reproduces
+/// the paper's own example: 1:2:4 (T=7) scales to 5:9:18 (T=32), not to a
+/// badly-rounded T=8 vector — "care must be taken to ensure that the ratios
+/// ... are not significantly altered" (Section 4.3).
+ScaledTickets scaleToPowerOfTwo(const std::vector<std::uint32_t>& tickets,
+                                double max_ratio_error = 0.10);
+
+/// Smallest k with 2^k >= x (x >= 1).
+unsigned ceilLog2(std::uint64_t x);
+
+}  // namespace lb::core

@@ -1,0 +1,38 @@
+#include "hw/area_model.hpp"
+
+#include <algorithm>
+
+namespace lb::hw {
+
+double AreaReport::totalGrids() const {
+  double total = 0.0;
+  for (const Item& item : items) total += item.grids;
+  return total;
+}
+
+void AreaReport::add(std::string component, double grids) {
+  items.push_back(Item{std::move(component), grids});
+}
+
+double TimingReport::criticalPathNs() const {
+  double worst = 0.0;
+  for (const Stage& stage : stages) worst = std::max(worst, stage.ns);
+  return worst;
+}
+
+double TimingReport::maxFrequencyMhz() const {
+  const double period = criticalPathNs();
+  return period > 0.0 ? 1000.0 / period : 0.0;
+}
+
+double TimingReport::flowThroughNs() const {
+  double total = 0.0;
+  for (const Stage& stage : stages) total += stage.ns;
+  return total;
+}
+
+void TimingReport::add(std::string stage, double ns) {
+  stages.push_back(Stage{std::move(stage), ns});
+}
+
+}  // namespace lb::hw

@@ -1,0 +1,29 @@
+#include "hw/channel_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lb::hw {
+
+ChannelEstimate estimateChannel(std::size_t components, double arbitration_ns,
+                                ChannelTechnology tech) {
+  if (components == 0)
+    throw std::invalid_argument("estimateChannel: no components");
+  if (arbitration_ns < 0.0)
+    throw std::invalid_argument("estimateChannel: negative arbitration time");
+
+  ChannelEstimate estimate;
+  const double length_mm =
+      tech.mm_per_component * static_cast<double>(components);
+  estimate.wire_ns = tech.ns_base + length_mm * tech.ns_per_mm +
+                     static_cast<double>(components) * tech.ns_per_load;
+  estimate.arbitration_ns = arbitration_ns;
+  estimate.cycle_ns = std::max(estimate.wire_ns, estimate.arbitration_ns);
+  estimate.clock_mhz = 1000.0 / estimate.cycle_ns;
+  // width bits/cycle * cycles/s / 8 -> bytes/s; report MB/s.
+  estimate.peak_bandwidth_mbps = static_cast<double>(tech.bus_width_bits) /
+                                 8.0 * estimate.clock_mhz * 1e6 / 1e6;
+  return estimate;
+}
+
+}  // namespace lb::hw

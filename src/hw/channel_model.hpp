@@ -1,0 +1,44 @@
+#pragma once
+// Physical channel model: achievable bus clock vs. topology size.
+//
+// Paper Section 2: "Another factor that affects the performance of a
+// communication channel is its clock frequency, which (for a given process
+// technology) depends on the complexity of the interface logic, the
+// placement of the various components, and the routing of the wires."
+//
+// This model turns that qualitative statement into numbers for the 0.35u
+// target: a shared channel's cycle time is the max of (a) the arbitration
+// logic's pipelined critical path (from the lottery manager's TimingReport)
+// and (b) the wire/driver delay of a bus whose length and loading grow with
+// the number of attached components.  bench/channel_scaling combines this
+// with the cycle-accurate simulator to report *absolute* bandwidth
+// (MB/s) as a flat bus grows — the engineering argument for partitioned
+// multi-channel topologies (bench/topology_partitioning).
+
+#include <cstddef>
+
+namespace lb::hw {
+
+/// Wire/driver constants for the 0.35u target.
+struct ChannelTechnology {
+  double mm_per_component = 1.1;   ///< bus length added per attached block
+  double ns_per_mm = 0.16;         ///< distributed RC delay per mm (repeated)
+  double ns_per_load = 0.07;       ///< added driver delay per attached input
+  double ns_base = 1.1;            ///< driver + receiver + clock margin
+  unsigned bus_width_bits = 32;
+};
+
+struct ChannelEstimate {
+  double wire_ns = 0.0;        ///< wire + loading delay
+  double arbitration_ns = 0.0; ///< pipelined arbiter stage (caller-supplied)
+  double cycle_ns = 0.0;       ///< max of the two
+  double clock_mhz = 0.0;
+  double peak_bandwidth_mbps = 0.0;  ///< width * clock, in MB/s
+};
+
+/// Estimates a shared channel with `components` attached blocks (masters +
+/// slaves) whose arbiter needs `arbitration_ns` per pipelined stage.
+ChannelEstimate estimateChannel(std::size_t components, double arbitration_ns,
+                                ChannelTechnology tech = {});
+
+}  // namespace lb::hw

@@ -1,0 +1,44 @@
+#pragma once
+// Adapter that plugs the *structural* static lottery manager into the bus
+// model as an IArbiter, so the gate-level netlist can be validated against
+// the behavioral LotteryArbiter at full-system level (identical seeds must
+// yield identical grant sequences).
+
+#include <cstdint>
+#include <vector>
+
+#include "bus/arbiter.hpp"
+#include "hw/lottery_manager_hw.hpp"
+
+namespace lb::hw {
+
+class HwLotteryArbiter final : public bus::IArbiter {
+public:
+  HwLotteryArbiter(std::vector<std::uint32_t> tickets,
+                   std::uint32_t seed = 0xACE1u)
+      : tickets_(std::move(tickets)), seed_(seed),
+        manager_(tickets_, seed_) {}
+
+  bus::Grant arbitrate(const bus::RequestView& requests,
+                       bus::Cycle /*now*/) override {
+    const std::uint32_t map = requests.requestMap();
+    if (map == 0) return bus::Grant{};
+    const int winner = manager_.drawIndex(map);
+    return bus::Grant{winner, 0};
+  }
+
+  std::string name() const override { return "lottery-hw"; }
+
+  void reset() override {
+    manager_ = StaticLotteryManagerHw(tickets_, seed_);
+  }
+
+  StaticLotteryManagerHw& manager() { return manager_; }
+
+private:
+  std::vector<std::uint32_t> tickets_;
+  std::uint32_t seed_;
+  StaticLotteryManagerHw manager_;
+};
+
+}  // namespace lb::hw

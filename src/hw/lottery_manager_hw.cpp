@@ -1,0 +1,186 @@
+#include "hw/lottery_manager_hw.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/tickets.hpp"
+
+namespace lb::hw {
+
+namespace {
+std::vector<std::uint32_t> scaleOrThrow(
+    const std::vector<std::uint32_t>& tickets) {
+  if (tickets.empty())
+    throw std::invalid_argument("StaticLotteryManagerHw: no tickets");
+  return core::scaleToPowerOfTwo(tickets).tickets;
+}
+
+unsigned lfsrWidthFor(unsigned needed_bits) {
+  // Use the canonical 16-bit register unless the ticket range needs more;
+  // wider requests snap to the nearest tabulated maximal-length width.
+  return sim::GaloisLfsr::widthAtLeast(std::max(needed_bits, 16u));
+}
+}  // namespace
+
+StaticLotteryManagerHw::StaticLotteryManagerHw(
+    const std::vector<std::uint32_t>& tickets, std::uint32_t seed,
+    Technology tech)
+    : tech_(tech),
+      tickets_(scaleOrThrow(tickets)),
+      ticket_bits_(core::ceilLog2(
+          std::accumulate(tickets_.begin(), tickets_.end(), std::uint64_t{0}) +
+          1)),
+      datapath_bits_(std::max(ticket_bits_, 16u)),
+      table_(tickets_),
+      lfsr_(lfsrWidthFor(ticket_bits_), seed),
+      comparators_(tickets_.size(), ticket_bits_),
+      selector_(tickets_.size()) {}
+
+std::uint32_t StaticLotteryManagerHw::draw(std::uint32_t request_map) {
+  const std::uint32_t map_mask = (1u << tickets_.size()) - 1u;
+  request_map &= map_mask;
+  if (request_map == 0) return 0;
+
+  const std::vector<std::uint64_t>& row = table_.row(request_map);
+  const std::uint64_t total = row.back();
+
+  const unsigned bits = std::max(1u, core::ceilLog2(total));
+  for (;;) {
+    const std::uint32_t number = lfsr_.drawBits(bits);
+    const std::uint32_t fired = comparators_.compare(number, row);
+    const std::uint32_t grant = selector_.select(fired);
+    if (grant != 0) return grant;
+    // number >= total: no comparator fired; the manager re-draws next cycle.
+    ++redraws_;
+  }
+}
+
+int StaticLotteryManagerHw::drawIndex(std::uint32_t request_map) {
+  return PrioritySelector::grantIndex(draw(request_map));
+}
+
+AreaReport StaticLotteryManagerHw::area() const {
+  const auto n = static_cast<double>(tickets_.size());
+  const double bits = static_cast<double>(datapath_bits_);
+  AreaReport report;
+  // Physical register file: every entry occupies a full datapath word,
+  // regardless of how few bits the configured tickets would need.
+  report.add("lookup-table storage",
+             static_cast<double>(table_.rows()) * n * bits *
+                 tech_.grids_per_regfile_bit);
+  report.add("lookup-table decoder",
+             static_cast<double>(table_.rows()) * tech_.grids_per_decoder_input);
+  report.add("lfsr", static_cast<double>(lfsr_.width()) *
+                             tech_.grids_per_flipflop +
+                         4.0 * tech_.grids_per_xor);
+  report.add("comparator bank", n * bits * tech_.grids_per_comparator_bit);
+  report.add("priority selector", n * tech_.grids_per_selector_lane);
+  report.add("pipeline registers",
+             (bits + n) * 2.0 * tech_.grids_per_flipflop);
+  report.add("control & interfaces", tech_.grids_control_overhead);
+  return report;
+}
+
+TimingReport StaticLotteryManagerHw::timing() const {
+  TimingReport report;
+  report.add("lookup-table read",
+             tech_.ns_regfile_read + tech_.ns_register_setup);
+  report.add("lfsr step", tech_.ns_lfsr + tech_.ns_register_setup);
+  report.add("compare + grant select",
+             tech_.ns_comparator_base +
+                 tech_.ns_comparator_per_bit * datapath_bits_ +
+                 tech_.ns_selector + tech_.ns_register_setup);
+  return report;
+}
+
+DynamicLotteryManagerHw::DynamicLotteryManagerHw(std::size_t masters,
+                                                 unsigned ticket_bits,
+                                                 std::uint32_t seed,
+                                                 Technology tech)
+    : tech_(tech),
+      masters_(masters),
+      ticket_bits_(ticket_bits),
+      sum_bits_(ticket_bits + core::ceilLog2(std::max<std::size_t>(masters, 2))),
+      adder_tree_(masters, sum_bits_),
+      modulo_(std::clamp(sum_bits_ + 4u, 8u, 32u)),
+      lfsr_(lfsrWidthFor(sum_bits_ + 4u), seed),
+      comparators_(masters, sum_bits_),
+      selector_(masters) {
+  if (masters == 0 || masters > 31)
+    throw std::invalid_argument("DynamicLotteryManagerHw: bad master count");
+  if (ticket_bits == 0 || ticket_bits > 24)
+    throw std::invalid_argument("DynamicLotteryManagerHw: bad ticket width");
+}
+
+std::uint32_t DynamicLotteryManagerHw::draw(
+    std::uint32_t request_map, const std::vector<std::uint32_t>& tickets) {
+  if (tickets.size() != masters_)
+    throw std::invalid_argument("DynamicLotteryManagerHw: arity mismatch");
+  const std::uint32_t ticket_mask = (ticket_bits_ >= 32)
+                                        ? 0xFFFFFFFFu
+                                        : ((1u << ticket_bits_) - 1u);
+  for (const std::uint32_t t : tickets)
+    if ((t & ~ticket_mask) != 0)
+      throw std::invalid_argument(
+          "DynamicLotteryManagerHw: ticket exceeds input width");
+
+  const std::vector<std::uint32_t> masked = maskTickets(tickets, request_map);
+  const std::vector<std::uint64_t> sums = adder_tree_.prefixSums(masked);
+  const std::uint64_t total = sums.back();
+  if (total == 0) return 0;  // nothing pending (or all pending hold 0)
+
+  // The LFSR free-runs; the modulo unit folds its output into [0, T).
+  // R mod T is negligibly biased when 2^w is not a multiple of T — a
+  // property of the real hardware that the distribution tests bound.
+  const std::uint32_t raw = lfsr_.step();
+  const std::uint32_t number =
+      modulo_.reduce(raw, static_cast<std::uint32_t>(total)).remainder;
+
+  const std::uint32_t fired = comparators_.compare(number, sums);
+  return selector_.select(fired);
+}
+
+int DynamicLotteryManagerHw::drawIndex(
+    std::uint32_t request_map, const std::vector<std::uint32_t>& tickets) {
+  return PrioritySelector::grantIndex(draw(request_map, tickets));
+}
+
+AreaReport DynamicLotteryManagerHw::area() const {
+  const auto n = static_cast<double>(masters_);
+  const double sum_bits = static_cast<double>(sum_bits_);
+  AreaReport report;
+  report.add("and mask", n * static_cast<double>(ticket_bits_) * 2.0);
+  report.add("adder tree",
+             static_cast<double>(adder_tree_.adderCount()) * sum_bits *
+                 tech_.grids_per_full_adder);
+  report.add("modulo unit",
+             static_cast<double>(modulo_.widthBits()) *
+                 (tech_.grids_per_full_adder + tech_.grids_per_flipflop));
+  report.add("lfsr", static_cast<double>(lfsr_.width()) *
+                             tech_.grids_per_flipflop +
+                         4.0 * tech_.grids_per_xor);
+  report.add("comparator bank", n * sum_bits * tech_.grids_per_comparator_bit);
+  report.add("priority selector", n * tech_.grids_per_selector_lane);
+  report.add("pipeline registers",
+             (sum_bits * (n + 1.0)) * tech_.grids_per_flipflop);
+  report.add("control & interfaces", tech_.grids_control_overhead);
+  return report;
+}
+
+TimingReport DynamicLotteryManagerHw::timing() const {
+  TimingReport report;
+  report.add("mask + adder tree",
+             tech_.ns_and_mask +
+                 tech_.ns_adder_stage * static_cast<double>(adder_tree_.depth()) +
+                 tech_.ns_register_setup);
+  report.add("modulo reduce",
+             tech_.ns_modulo_per_step * static_cast<double>(modulo_.widthBits()) +
+                 tech_.ns_register_setup);
+  report.add("compare + grant select",
+             tech_.ns_comparator_base + tech_.ns_comparator_per_bit * sum_bits_ +
+                 tech_.ns_selector + tech_.ns_register_setup);
+  return report;
+}
+
+}  // namespace lb::hw

@@ -1,0 +1,105 @@
+#pragma once
+// Structural (bit-accurate) lottery managers.
+//
+// StaticLotteryManagerHw implements Figure 9: request map indexes a
+// register-file lookup table of precomputed partial-sum ranges; a Galois
+// LFSR supplies the random number; a comparator bank plus priority selector
+// produce exactly one grant line.  Tickets are pre-scaled so the all-pending
+// total is a power of two (Section 4.3); draws against a partial request map
+// use the low ceil(log2 T) LFSR bits and re-draw on the (rare) overshoot, in
+// which case no comparator fires — the behavioral model in src/core uses the
+// same rule, so the two produce identical grant sequences from equal seeds.
+//
+// DynamicLotteryManagerHw implements Figure 10: bitwise AND masks the live
+// ticket inputs, an adder tree forms the partial sums, modulo hardware folds
+// the LFSR output into [0, T), and the same comparator/selector back end
+// issues the grant.
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/area_model.hpp"
+#include "hw/primitives.hpp"
+#include "sim/rng.hpp"
+
+namespace lb::hw {
+
+class StaticLotteryManagerHw {
+public:
+  /// @param tickets  requested per-master ticket holdings (pre-scaling).
+  /// @param seed     LFSR seed.
+  /// @param tech     technology constants for area/timing reporting.
+  StaticLotteryManagerHw(const std::vector<std::uint32_t>& tickets,
+                         std::uint32_t seed = 0xACE1u,
+                         Technology tech = Technology{});
+
+  /// Runs one lottery for the given request map.  Returns the one-hot grant
+  /// vector (0 when the map is empty).
+  std::uint32_t draw(std::uint32_t request_map);
+
+  /// Convenience: index of the granted master, -1 if none.
+  int drawIndex(std::uint32_t request_map);
+
+  const std::vector<std::uint32_t>& scaledTickets() const { return tickets_; }
+  const LookupTable& table() const { return table_; }
+  std::uint64_t redraws() const { return redraws_; }
+
+  AreaReport area() const;
+  TimingReport timing() const;
+
+  std::size_t masters() const { return tickets_.size(); }
+  unsigned ticketBits() const { return ticket_bits_; }
+  /// Physical register/comparator width: the datapath is provisioned for a
+  /// full 16-bit ticket space (as the paper's implementation was) even when
+  /// the configured tickets need fewer bits.
+  unsigned datapathBits() const { return datapath_bits_; }
+
+private:
+  Technology tech_;
+  std::vector<std::uint32_t> tickets_;  // post power-of-two scaling
+  unsigned ticket_bits_;                // live width of ranges & random draws
+  unsigned datapath_bits_;              // physical storage/comparator width
+  LookupTable table_;
+  sim::GaloisLfsr lfsr_;
+  ComparatorBank comparators_;
+  PrioritySelector selector_;
+  std::uint64_t redraws_ = 0;
+};
+
+class DynamicLotteryManagerHw {
+public:
+  /// @param masters     number of ticket/request input ports.
+  /// @param ticket_bits width of each ticket input (total is wider by
+  ///                    log2(masters)).
+  DynamicLotteryManagerHw(std::size_t masters, unsigned ticket_bits = 8,
+                          std::uint32_t seed = 0xACE1u,
+                          Technology tech = Technology{});
+
+  /// One lottery with live ticket values.  Ticket values must fit
+  /// ticket_bits.  Returns the one-hot grant vector.
+  std::uint32_t draw(std::uint32_t request_map,
+                     const std::vector<std::uint32_t>& tickets);
+
+  int drawIndex(std::uint32_t request_map,
+                const std::vector<std::uint32_t>& tickets);
+
+  AreaReport area() const;
+  TimingReport timing() const;
+
+  std::size_t masters() const { return masters_; }
+  unsigned ticketBits() const { return ticket_bits_; }
+  unsigned sumBits() const { return sum_bits_; }
+
+private:
+  Technology tech_;
+  std::size_t masters_;
+  unsigned ticket_bits_;
+  unsigned sum_bits_;
+  AdderTree adder_tree_;
+  ModuloUnit modulo_;
+  sim::GaloisLfsr lfsr_;
+  ComparatorBank comparators_;
+  PrioritySelector selector_;
+};
+
+}  // namespace lb::hw

@@ -1,0 +1,67 @@
+#include "hw/power_model.hpp"
+
+#include <algorithm>
+
+namespace lb::hw {
+
+double EnergyReport::totalPj() const {
+  double total = 0.0;
+  for (const Item& item : items) total += item.pj;
+  return total;
+}
+
+void EnergyReport::add(std::string component, double pj) {
+  items.push_back(Item{std::move(component), pj});
+}
+
+EnergyReport staticDrawEnergy(const StaticLotteryManagerHw& manager,
+                              EnergyConstants constants) {
+  const auto n = static_cast<double>(manager.masters());
+  const double bits = static_cast<double>(manager.datapathBits());
+  EnergyReport report;
+  // One LUT row read: n partial sums of datapath width.
+  report.add("lookup-table read",
+             n * bits * constants.pj_per_regfile_bit_read +
+                 static_cast<double>(manager.table().rows()) *
+                     constants.pj_per_decoder_row / 8.0);
+  report.add("lfsr step", 16.0 * 0.5 * constants.pj_per_ff_toggle);
+  report.add("comparator bank", n * bits * constants.pj_per_comparator_bit);
+  report.add("priority select", n * constants.pj_per_selector_lane);
+  report.add("grant/pipeline registers",
+             (bits + n) * 0.5 * constants.pj_per_ff_toggle);
+  report.add("control", constants.pj_control_overhead);
+  return report;
+}
+
+EnergyReport dynamicDrawEnergy(const DynamicLotteryManagerHw& manager,
+                               EnergyConstants constants) {
+  const auto n = static_cast<double>(manager.masters());
+  const double bits = static_cast<double>(manager.sumBits());
+  EnergyReport report;
+  report.add("and mask",
+             n * static_cast<double>(manager.ticketBits()) * 0.05);
+  // Every adder in the prefix network evaluates on every lottery.
+  const AdderTree tree(manager.masters(), manager.sumBits());
+  report.add("adder tree", static_cast<double>(tree.adderCount()) * bits *
+                               constants.pj_per_adder_bit);
+  // Restoring modulo: width iterations, each a subtract across `bits`.
+  const double modulo_bits = static_cast<double>(
+      std::min<unsigned>(manager.sumBits() + 4u, 32u));
+  report.add("modulo reduce",
+             modulo_bits * bits * constants.pj_per_modulo_step_bit);
+  report.add("lfsr step", 16.0 * 0.5 * constants.pj_per_ff_toggle);
+  report.add("comparator bank", n * bits * constants.pj_per_comparator_bit);
+  report.add("priority select", n * constants.pj_per_selector_lane);
+  report.add("grant/pipeline registers",
+             (bits * (n + 1.0)) * 0.5 * constants.pj_per_ff_toggle);
+  report.add("control", constants.pj_control_overhead);
+  return report;
+}
+
+double arbitrationPowerMw(const EnergyReport& per_draw_energy,
+                          double draws_per_second) {
+  // pJ * draws/s = pW; /1e9 -> mW.
+  return per_draw_energy.totalPj() * draws_per_second / 1e9;
+}
+
+}  // namespace lb::hw

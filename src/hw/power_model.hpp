@@ -1,0 +1,54 @@
+#pragma once
+// Arbitration energy model for the lottery managers.
+//
+// The paper motivates communication-architecture work partly through power
+// ("the communication architecture also significantly influences the system
+// ... power consumption", Section 1) but reports no numbers.  This model
+// complements the area/timing model with per-arbitration energy estimates
+// for a 0.35u process: each primitive contributes switched capacitance
+// proportional to its active bits, scaled by calibrated pJ/bit constants.
+// As with area, absolute numbers are estimates; relative trends (static LUT
+// lookups vs dynamic adder-tree recomputation, scaling with master count)
+// come from exact structural counts.
+
+#include "hw/area_model.hpp"
+#include "hw/lottery_manager_hw.hpp"
+
+namespace lb::hw {
+
+/// Energy constants (picojoules) for the 0.35u target at nominal VDD.
+struct EnergyConstants {
+  double pj_per_regfile_bit_read = 0.18;  ///< LUT row read, per stored bit
+  double pj_per_decoder_row = 0.35;       ///< address decode, per row
+  double pj_per_comparator_bit = 0.22;
+  double pj_per_selector_lane = 0.40;
+  double pj_per_ff_toggle = 0.30;         ///< ~half the FFs toggle per cycle
+  double pj_per_adder_bit = 0.45;         ///< one full-adder evaluation
+  double pj_per_modulo_step_bit = 0.40;   ///< subtract/restore iteration
+  double pj_control_overhead = 5.0;       ///< clock tree + FSM per event
+};
+
+/// Itemized energy per lottery (one arbitration event).
+struct EnergyReport {
+  struct Item {
+    std::string component;
+    double pj = 0.0;
+  };
+  std::vector<Item> items;
+  double totalPj() const;
+  void add(std::string component, double pj);
+};
+
+/// Per-arbitration energy of the static (Figure 9) manager.
+EnergyReport staticDrawEnergy(const StaticLotteryManagerHw& manager,
+                              EnergyConstants constants = {});
+
+/// Per-arbitration energy of the dynamic (Figure 10) manager.
+EnergyReport dynamicDrawEnergy(const DynamicLotteryManagerHw& manager,
+                               EnergyConstants constants = {});
+
+/// Arbitration power in milliwatts at the given draw rate.
+double arbitrationPowerMw(const EnergyReport& per_draw_energy,
+                          double draws_per_second);
+
+}  // namespace lb::hw

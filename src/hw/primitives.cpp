@@ -1,0 +1,141 @@
+#include "hw/primitives.hpp"
+
+#include <stdexcept>
+
+#include "core/tickets.hpp"
+
+namespace lb::hw {
+
+std::vector<std::uint32_t> maskTickets(
+    const std::vector<std::uint32_t>& tickets, std::uint32_t request_map) {
+  std::vector<std::uint32_t> masked(tickets.size());
+  for (std::size_t i = 0; i < tickets.size(); ++i)
+    masked[i] = (request_map & (1u << i)) ? tickets[i] : 0u;
+  return masked;
+}
+
+AdderTree::AdderTree(std::size_t inputs, unsigned width_bits)
+    : inputs_(inputs), width_bits_(width_bits) {
+  if (inputs == 0) throw std::invalid_argument("AdderTree: zero inputs");
+  if (width_bits == 0 || width_bits > 64)
+    throw std::invalid_argument("AdderTree: bad width");
+}
+
+std::vector<std::uint64_t> AdderTree::prefixSums(
+    const std::vector<std::uint32_t>& values) const {
+  if (values.size() != inputs_)
+    throw std::invalid_argument("AdderTree: input arity mismatch");
+  const std::uint64_t wrap_mask =
+      width_bits_ >= 64 ? ~0ULL : ((1ULL << width_bits_) - 1ULL);
+  std::vector<std::uint64_t> sums(inputs_);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < inputs_; ++i) {
+    acc = (acc + values[i]) & wrap_mask;
+    sums[i] = acc;
+  }
+  return sums;
+}
+
+std::size_t AdderTree::adderCount() const {
+  // Brent-Kung prefix network: ~2n - log2(n) - 2 adders; never below n-1.
+  std::size_t n = inputs_;
+  if (n <= 1) return 0;
+  unsigned log2n = 0;
+  while ((std::size_t{1} << (log2n + 1)) <= n) ++log2n;
+  const std::size_t bk = 2 * n - log2n - 2;
+  return std::max(bk, n - 1);
+}
+
+unsigned AdderTree::depth() const {
+  if (inputs_ <= 1) return 0;
+  unsigned depth = 0;
+  while ((std::size_t{1} << depth) < inputs_) ++depth;
+  return 2 * depth - 1;  // Brent-Kung: up-sweep + down-sweep
+}
+
+ComparatorBank::ComparatorBank(std::size_t lanes, unsigned width_bits)
+    : lanes_(lanes), width_bits_(width_bits) {
+  if (lanes == 0 || lanes > 32)
+    throw std::invalid_argument("ComparatorBank: bad lane count");
+  if (width_bits == 0 || width_bits > 64)
+    throw std::invalid_argument("ComparatorBank: bad width");
+}
+
+std::uint32_t ComparatorBank::compare(
+    std::uint64_t number, const std::vector<std::uint64_t>& sums) const {
+  if (sums.size() != lanes_)
+    throw std::invalid_argument("ComparatorBank: sum arity mismatch");
+  std::uint32_t out = 0;
+  for (std::size_t i = 0; i < lanes_; ++i)
+    if (number < sums[i]) out |= (1u << i);
+  return out;
+}
+
+PrioritySelector::PrioritySelector(std::size_t lanes) : lanes_(lanes) {
+  if (lanes == 0 || lanes > 32)
+    throw std::invalid_argument("PrioritySelector: bad lane count");
+}
+
+std::uint32_t PrioritySelector::select(std::uint32_t inputs) const {
+  const std::uint32_t mask =
+      lanes_ >= 32 ? 0xFFFFFFFFu : ((1u << lanes_) - 1u);
+  inputs &= mask;
+  if (inputs == 0) return 0;
+  return inputs & (~inputs + 1u);  // isolate lowest set bit
+}
+
+int PrioritySelector::grantIndex(std::uint32_t one_hot) {
+  if (one_hot == 0) return -1;
+  int index = 0;
+  while ((one_hot & 1u) == 0) {
+    one_hot >>= 1;
+    ++index;
+  }
+  return index;
+}
+
+ModuloUnit::ModuloUnit(unsigned width_bits) : width_bits_(width_bits) {
+  if (width_bits == 0 || width_bits > 32)
+    throw std::invalid_argument("ModuloUnit: bad width");
+}
+
+ModuloUnit::Result ModuloUnit::reduce(std::uint32_t value,
+                                      std::uint32_t modulus) const {
+  if (modulus == 0) throw std::invalid_argument("ModuloUnit: modulus == 0");
+  // Restoring division: shift the remainder in bit by bit, conditionally
+  // subtracting the modulus — exactly what the sequential hardware does.
+  Result result;
+  std::uint64_t remainder = 0;
+  for (int bit = static_cast<int>(width_bits_) - 1; bit >= 0; --bit) {
+    remainder = (remainder << 1) | ((value >> bit) & 1u);
+    ++result.iterations;
+    if (remainder >= modulus) remainder -= modulus;
+  }
+  result.remainder = static_cast<std::uint32_t>(remainder);
+  return result;
+}
+
+LookupTable::LookupTable(const std::vector<std::uint32_t>& tickets)
+    : lanes_(tickets.size()) {
+  if (tickets.empty()) throw std::invalid_argument("LookupTable: no tickets");
+  if (tickets.size() > 12)
+    throw std::invalid_argument("LookupTable: too many masters for a LUT");
+  std::uint64_t total = 0;
+  for (const std::uint32_t t : tickets) total += t;
+  entry_bits_ = core::ceilLog2(total + 1);
+  const std::uint32_t row_count = 1u << tickets.size();
+  rows_.reserve(row_count);
+  for (std::uint32_t map = 0; map < row_count; ++map)
+    rows_.push_back(core::partialSums(tickets, map));
+}
+
+const std::vector<std::uint64_t>& LookupTable::row(
+    std::uint32_t request_map) const {
+  return rows_.at(request_map);
+}
+
+std::uint64_t LookupTable::storageBits() const {
+  return static_cast<std::uint64_t>(rows_.size()) * lanes_ * entry_bits_;
+}
+
+}  // namespace lb::hw

@@ -1,0 +1,123 @@
+#pragma once
+// Bit-accurate structural primitives for the lottery-manager hardware
+// (paper Figures 9 and 10): adder tree, comparator bank, priority selector,
+// modulo-reduction unit, and the precomputed-range lookup table.
+//
+// Each primitive computes exactly what the corresponding netlist computes,
+// plus reports its size in technology-independent gate-equivalents that the
+// AreaModel (area_model.hpp) converts into 0.35u cell grids and delays.
+
+#include <cstdint>
+#include <vector>
+
+namespace lb::hw {
+
+/// Bitwise-AND masking stage of Figure 10: r_i ? t_i : 0.
+std::vector<std::uint32_t> maskTickets(const std::vector<std::uint32_t>& tickets,
+                                       std::uint32_t request_map);
+
+/// Balanced adder tree producing all prefix sums r1t1, r1t1+r2t2, ...
+/// exactly as the Figure 10 tree does.  Also reports structural cost.
+class AdderTree {
+public:
+  /// @param inputs     number of leaves (bus masters).
+  /// @param width_bits operand width in bits.
+  AdderTree(std::size_t inputs, unsigned width_bits);
+
+  /// Prefix sums of `values` (size must equal inputs()).  Values wider than
+  /// width_bits wrap, as hardware would; callers size width_bits to the
+  /// maximum ticket total.
+  std::vector<std::uint64_t> prefixSums(
+      const std::vector<std::uint32_t>& values) const;
+
+  std::size_t inputs() const { return inputs_; }
+  unsigned widthBits() const { return width_bits_; }
+
+  /// Number of adders in a Brent-Kung-style prefix network for n inputs.
+  std::size_t adderCount() const;
+  /// Logic depth in adder stages: ceil(log2(n)) for the tree phase plus the
+  /// fan-back phase.
+  unsigned depth() const;
+
+private:
+  std::size_t inputs_;
+  unsigned width_bits_;
+};
+
+/// Bank of parallel magnitude comparators: out[i] = (number < sums[i]).
+class ComparatorBank {
+public:
+  ComparatorBank(std::size_t lanes, unsigned width_bits);
+
+  /// One-bit outputs packed LSB-first: bit i set iff number < sums[i].
+  std::uint32_t compare(std::uint64_t number,
+                        const std::vector<std::uint64_t>& sums) const;
+
+  std::size_t lanes() const { return lanes_; }
+  unsigned widthBits() const { return width_bits_; }
+
+private:
+  std::size_t lanes_;
+  unsigned width_bits_;
+};
+
+/// Standard priority selector: asserts exactly the lowest-indexed set input
+/// (paper: "a standard priority selector circuit ensures that at the end of
+/// a lottery exactly one grant line is asserted").
+class PrioritySelector {
+public:
+  explicit PrioritySelector(std::size_t lanes);
+
+  /// One-hot output; 0 if no input is set.
+  std::uint32_t select(std::uint32_t inputs) const;
+  /// Index of the asserted grant line, -1 if none.
+  static int grantIndex(std::uint32_t one_hot);
+
+  std::size_t lanes() const { return lanes_; }
+
+private:
+  std::size_t lanes_;
+};
+
+/// Restoring shift-subtract modulo unit: remainder = value mod modulus,
+/// the "modulo arithmetic hardware" of Figure 10.
+class ModuloUnit {
+public:
+  explicit ModuloUnit(unsigned width_bits);
+
+  struct Result {
+    std::uint32_t remainder = 0;
+    unsigned iterations = 0;  ///< subtract/restore steps executed
+  };
+  Result reduce(std::uint32_t value, std::uint32_t modulus) const;
+
+  unsigned widthBits() const { return width_bits_; }
+
+private:
+  unsigned width_bits_;
+};
+
+/// Register-file lookup table: one row per request map, each row holding the
+/// per-master partial-sum ranges (Figure 9: "for a given request map, the
+/// range of tickets owned by each component is determined statically and
+/// stored in a look-up table").
+class LookupTable {
+public:
+  /// Builds all 2^n rows from static tickets (n = tickets.size() <= 12).
+  explicit LookupTable(const std::vector<std::uint32_t>& tickets);
+
+  const std::vector<std::uint64_t>& row(std::uint32_t request_map) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t lanes() const { return lanes_; }
+  unsigned entryBits() const { return entry_bits_; }
+  /// Total storage bits (rows * lanes * entry width).
+  std::uint64_t storageBits() const;
+
+private:
+  std::vector<std::vector<std::uint64_t>> rows_;
+  std::size_t lanes_;
+  unsigned entry_bits_;
+};
+
+}  // namespace lb::hw

@@ -1,0 +1,62 @@
+#pragma once
+// Synthesizable Verilog-2001 export of the static lottery manager.
+//
+// Generates an RTL module implementing exactly the Figure-9 datapath the
+// C++ StaticLotteryManagerHw models bit-accurately:
+//
+//   - the request map indexes a precomputed partial-sum lookup table
+//     (emitted as a case statement -> synthesizes to the register
+//     file / ROM the paper used),
+//   - a Galois LFSR with the same maximal-length taps supplies the random
+//     number, masked to ceil(log2 T_map) bits per the live request map,
+//   - a parallel comparator bank and priority selector drive the one-hot
+//     grant lines; an out-of-range draw asserts no grant and the lottery
+//     re-draws the next cycle (matching the C++ model's redraw semantics).
+//
+// The module is a single always-block synchronous design with an active-low
+// reset; grant outputs are registered (the paper's pipelined arbitration).
+
+#include <string>
+#include <vector>
+
+#include "hw/lottery_manager_hw.hpp"
+
+namespace lb::hw {
+
+struct VerilogOptions {
+  std::string module_name = "lottery_manager";
+  bool include_header_comment = true;
+};
+
+/// Emits the RTL for a static lottery manager with the given (pre-scaling)
+/// tickets and LFSR seed.  The generated module has ports:
+///   input  clk, rst_n
+///   input  [N-1:0] req
+///   output reg [N-1:0] gnt   (one-hot or zero)
+std::string exportStaticManagerVerilog(
+    const std::vector<std::uint32_t>& tickets, std::uint32_t seed = 0xACE1u,
+    VerilogOptions options = {});
+
+/// Emits a self-checking Verilog testbench that instantiates the module,
+/// drives a request pattern, and checks the one-hot/grant-validity
+/// invariants (useful for dropping the output into a simulator).
+std::string exportManagerTestbench(const std::vector<std::uint32_t>& tickets,
+                                   const VerilogOptions& options = {});
+
+/// Emits the RTL for a DYNAMIC lottery manager (Figure 10 datapath): live
+/// per-master ticket inputs, combinational masking + prefix-sum adder tree,
+/// an iterative restoring-modulo unit folding the LFSR output into [0, T),
+/// and the comparator/priority-select back end.  Ports:
+///   input  clk, rst_n, start
+///   input  [N-1:0] req
+///   input  [N*TW-1:0] tickets   (master i's tickets at [i*TW +: TW])
+///   output reg [N-1:0] gnt
+///   output reg done
+/// One lottery takes width(modulo)+1 cycles from `start` (the modulo unit
+/// is sequential, matching the C++ model's iteration count).
+std::string exportDynamicManagerVerilog(std::size_t masters,
+                                        unsigned ticket_bits = 8,
+                                        std::uint32_t seed = 0xACE1u,
+                                        VerilogOptions options = {});
+
+}  // namespace lb::hw

@@ -1,0 +1,34 @@
+#include "sim/kernel.hpp"
+
+namespace lb::sim {
+
+void CycleKernel::at(Cycle when, std::function<void(Cycle)> fn) {
+  if (when < now_) when = now_;
+  events_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool CycleKernel::runUntil(const std::function<bool(Cycle)>& done,
+                           Cycle max_cycles) {
+  const Cycle deadline = now_ + max_cycles;
+  while (now_ < deadline) {
+    if (done(now_)) return true;
+    run(1);
+  }
+  return done(now_);
+}
+
+void CycleKernel::run(Cycle cycles) {
+  const Cycle end = now_ + cycles;
+  while (now_ < end) {
+    while (!events_.empty() && events_.top().when <= now_) {
+      // pop before invoking so the callback can schedule new events
+      auto fn = events_.top().fn;
+      events_.pop();
+      fn(now_);
+    }
+    for (ICycleComponent* c : components_) c->cycle(now_);
+    ++now_;
+  }
+}
+
+}  // namespace lb::sim

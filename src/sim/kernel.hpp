@@ -1,0 +1,83 @@
+#pragma once
+// Minimal cycle-driven simulation kernel.
+//
+// The LOTTERYBUS experiments are all synchronous single-clock systems, so the
+// kernel is deliberately simple: components register themselves and are
+// called once per cycle in registration order (which the owner chooses to
+// reflect hardware evaluation order: sources first, then interconnect, then
+// sinks).  A small delayed-callback queue covers the few places that need
+// "do X at cycle T" semantics (e.g. scheduled cell arrivals in the ATM
+// switch).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace lb::sim {
+
+using Cycle = std::uint64_t;
+
+/// Anything clocked by the kernel.
+class ICycleComponent {
+public:
+  virtual ~ICycleComponent() = default;
+
+  /// Called exactly once per simulated cycle, in registration order.
+  virtual void cycle(Cycle now) = 0;
+
+  /// Human-readable name for traces and error messages.
+  virtual std::string name() const { return "component"; }
+};
+
+/// Single-clock cycle-driven kernel.
+class CycleKernel {
+public:
+  /// Registers a component; the kernel does NOT take ownership.  Components
+  /// must outlive the kernel's run() calls.
+  void attach(ICycleComponent& component) { components_.push_back(&component); }
+
+  /// Schedules fn to run at the *start* of cycle `when` (before components).
+  /// Events scheduled for the past run on the next cycle boundary.
+  void at(Cycle when, std::function<void(Cycle)> fn);
+
+  /// Schedules fn to run `delay` cycles from now.
+  void after(Cycle delay, std::function<void(Cycle)> fn) {
+    at(now_ + delay, std::move(fn));
+  }
+
+  /// Advances the simulation by `cycles` cycles.
+  void run(Cycle cycles);
+
+  /// Advances by one cycle.
+  void step() { run(1); }
+
+  /// Runs until `done(now)` returns true (checked before each cycle) or
+  /// `max_cycles` elapse.  Returns true if the predicate fired.
+  bool runUntil(const std::function<bool(Cycle)>& done, Cycle max_cycles);
+
+  /// Current simulation time (number of completed cycles).
+  Cycle now() const noexcept { return now_; }
+
+  std::size_t componentCount() const noexcept { return components_.size(); }
+
+private:
+  struct Event {
+    Cycle when;
+    std::uint64_t seq;  // tie-break: FIFO among same-cycle events
+    std::function<void(Cycle)> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  std::vector<ICycleComponent*> components_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  Cycle now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace lb::sim

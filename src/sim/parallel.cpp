@@ -1,0 +1,11 @@
+#include "sim/parallel.hpp"
+
+namespace lb::sim {
+
+std::size_t defaultWorkerCount(std::size_t jobs) {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const std::size_t workers = hardware == 0 ? 2 : hardware;
+  return std::max<std::size_t>(1, std::min(workers, jobs));
+}
+
+}  // namespace lb::sim

@@ -1,0 +1,116 @@
+#include "sim/rng.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace lb::sim {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+  // An all-zero state (possible only for adversarial seeds) would be a fixed
+  // point; nudge it.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+std::uint64_t Xoshiro256ss::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256ss::below(std::uint64_t bound) noexcept {
+  // Rejection sampling: reject the (tiny) biased tail of the 64-bit range.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Xoshiro256ss::uniform01() noexcept {
+  // 53 high-quality bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256ss::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::uint32_t GaloisLfsr::maximalTaps(unsigned width) {
+  // Standard maximal-length polynomial tap masks (Xilinx XAPP052 style),
+  // expressed as the Galois feedback mask.
+  switch (width) {
+    case 4: return 0x9u;          // x^4 + x + 1
+    case 5: return 0x12u;         // x^5 + x^3 + 1
+    case 6: return 0x21u;         // x^6 + x^5 + 1
+    case 7: return 0x41u;         // x^7 + x^6 + 1
+    case 8: return 0x8Eu;         // x^8 + x^6 + x^5 + x^4 + 1
+    case 9: return 0x108u;        // x^9 + x^5 + 1
+    case 10: return 0x204u;       // x^10 + x^7 + 1
+    case 11: return 0x402u;       // x^11 + x^9 + 1
+    case 12: return 0x829u;       // x^12 + x^6 + x^4 + x + 1
+    case 13: return 0x100Du;      // x^13 + x^4 + x^3 + x + 1
+    case 14: return 0x2015u;      // x^14 + x^5 + x^3 + x + 1
+    case 15: return 0x4001u;      // x^15 + x^14 + 1
+    case 16: return 0xB400u;      // x^16 + x^14 + x^13 + x^11 + 1
+    case 17: return 0x10004u;     // x^17 + x^14 + 1
+    case 18: return 0x20400u;     // x^18 + x^11 + 1
+    case 20: return 0x80004u;     // x^20 + x^17 + 1
+    case 24: return 0xE10000u;    // x^24 + x^23 + x^22 + x^17 + 1
+    case 32: return 0xB4BCD35Cu;  // maximal 32-bit polynomial
+    default:
+      throw std::invalid_argument("GaloisLfsr: no tap table entry for width " +
+                                  std::to_string(width));
+  }
+}
+
+unsigned GaloisLfsr::widthAtLeast(unsigned needed) {
+  if (needed <= 4) return 4;
+  if (needed <= 18) return needed;
+  if (needed <= 20) return 20;
+  if (needed <= 24) return 24;
+  if (needed <= 32) return 32;
+  throw std::invalid_argument("GaloisLfsr: no width >= " +
+                              std::to_string(needed));
+}
+
+GaloisLfsr::GaloisLfsr(unsigned width, std::uint32_t seed)
+    : width_(width),
+      taps_(maximalTaps(width)),
+      mask_(width >= 32 ? 0xFFFFFFFFu : ((1u << width) - 1u)),
+      state_(seed & mask_) {
+  if (width < 4 || width > 32)
+    throw std::invalid_argument("GaloisLfsr: width must be in [4,32]");
+  if (state_ == 0) state_ = 1;  // all-zero is the LFSR's absorbing state
+}
+
+std::uint32_t GaloisLfsr::step() noexcept {
+  const bool lsb = (state_ & 1u) != 0;
+  state_ >>= 1;
+  if (lsb) state_ ^= taps_;
+  state_ &= mask_;
+  return state_;
+}
+
+std::uint32_t GaloisLfsr::drawBits(unsigned bits) noexcept {
+  const std::uint32_t v = step();
+  if (bits >= 32) return v;
+  return v & ((1u << bits) - 1u);
+}
+
+}  // namespace lb::sim

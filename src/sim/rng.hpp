@@ -1,0 +1,104 @@
+#pragma once
+// Deterministic random-number sources for the LOTTERYBUS simulator.
+//
+// Two families are provided:
+//  - Software generators (SplitMix64, Xoshiro256ss) used by traffic
+//    generators and by the *behavioral* lottery manager model.
+//  - GaloisLfsr, a bit-accurate model of the linear feedback shift register
+//    the paper proposes for efficient random number generation in the static
+//    lottery manager (Section 4.3).  The hardware model in src/hw wraps the
+//    same class so behavioral/structural equivalence can be tested.
+//
+// All generators are value types with explicit seeds; simulations are fully
+// reproducible.
+
+#include <array>
+#include <cstdint>
+
+namespace lb::sim {
+
+/// Fast 64-bit mixer; used standalone and to seed Xoshiro256ss.
+class SplitMix64 {
+public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64-bit value.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+class Xoshiro256ss {
+public:
+  /// Seeds the full state via SplitMix64 so that nearby seeds give
+  /// uncorrelated streams.
+  explicit Xoshiro256ss(std::uint64_t seed = 0x1ab01ab0u) noexcept;
+
+  /// Next 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound).  bound must be > 0.  Uses rejection
+  /// sampling (Lemire-style threshold) so the result is exactly uniform.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Bit-accurate Galois LFSR of configurable width (4..32 bits) with
+/// maximal-length taps, as used by the static lottery manager hardware.
+/// A w-bit maximal LFSR cycles through all 2^w - 1 nonzero states; the
+/// lottery manager draws a number in [0, 2^k) by taking the low k bits
+/// (k <= w), which is what makes power-of-two ticket totals attractive.
+class GaloisLfsr {
+public:
+  /// @param width  register width in bits, 4..32.
+  /// @param seed   initial state; forced nonzero (all-zero locks up an LFSR).
+  explicit GaloisLfsr(unsigned width, std::uint32_t seed = 0xACE1u);
+
+  /// Advance one clock; returns the new state.
+  std::uint32_t step() noexcept;
+
+  /// Current register contents.
+  std::uint32_t value() const noexcept { return state_; }
+
+  /// Steps once and returns the low @p bits bits of the new state.
+  /// Precondition: bits <= width().
+  std::uint32_t drawBits(unsigned bits) noexcept;
+
+  unsigned width() const noexcept { return width_; }
+  std::uint32_t tapMask() const noexcept { return taps_; }
+
+  /// Maximal-length tap mask for a given width (from standard tables).
+  static std::uint32_t maximalTaps(unsigned width);
+
+  /// Smallest width >= `needed` that has a tap-table entry (every width in
+  /// 4..18 plus 20, 24, 32).  Throws if needed > 32.
+  static unsigned widthAtLeast(unsigned needed);
+
+  /// Period of a maximal-length LFSR of the given width: 2^w - 1.
+  static std::uint64_t period(unsigned width) noexcept {
+    return (width >= 64) ? ~0ULL : ((1ULL << width) - 1ULL);
+  }
+
+private:
+  unsigned width_;
+  std::uint32_t taps_;
+  std::uint32_t mask_;
+  std::uint32_t state_;
+};
+
+}  // namespace lb::sim

@@ -1,0 +1,101 @@
+#include "sim/vcd.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lb::sim {
+
+VcdWriter::VcdWriter(std::string module, std::string timescale)
+    : module_(std::move(module)), timescale_(std::move(timescale)) {}
+
+std::string VcdWriter::codeFor(std::size_t index) {
+  // Printable identifier codes '!'..'~', extended positionally.
+  std::string code;
+  do {
+    code.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+
+VcdWriter::SignalId VcdWriter::addWire(const std::string& name,
+                                       unsigned width) {
+  if (width == 0 || width > 64)
+    throw std::invalid_argument("VcdWriter: wire width must be 1..64");
+  if (name.empty()) throw std::invalid_argument("VcdWriter: empty wire name");
+  signals_.push_back(Signal{name, width, codeFor(signals_.size())});
+  return signals_.size() - 1;
+}
+
+void VcdWriter::change(std::uint64_t when, SignalId signal,
+                       std::uint64_t value) {
+  if (signal >= signals_.size())
+    throw std::out_of_range("VcdWriter: unknown signal");
+  changes_.push_back(Change{when, signal, value, changes_.size()});
+}
+
+void VcdWriter::writeTo(std::ostream& os) const {
+  os << "$timescale " << timescale_ << " $end\n";
+  os << "$scope module " << module_ << " $end\n";
+  for (const Signal& signal : signals_)
+    os << "$var wire " << signal.width << " " << signal.code << " "
+       << signal.name << " $end\n";
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<Change> sorted = changes_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Change& a, const Change& b) {
+              return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+            });
+
+  auto emit = [&](const Signal& signal, std::uint64_t value) {
+    if (signal.width == 1) {
+      os << (value & 1) << signal.code << "\n";
+    } else {
+      os << "b";
+      bool leading = true;
+      for (int bit = static_cast<int>(signal.width) - 1; bit >= 0; --bit) {
+        const bool set = (value >> bit) & 1;
+        if (set) leading = false;
+        if (!leading || bit == 0) os << (set ? '1' : '0');
+      }
+      os << " " << signal.code << "\n";
+    }
+  };
+
+  // Track last emitted value so repeated writes collapse; within one
+  // timestamp the last write wins.
+  std::map<SignalId, std::uint64_t> current;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    const std::uint64_t when = sorted[i].when;
+    // Collapse all changes at this timestamp: keep each signal's last write.
+    std::map<SignalId, std::uint64_t> at_time;
+    while (i < sorted.size() && sorted[i].when == when) {
+      at_time[sorted[i].signal] = sorted[i].value;
+      ++i;
+    }
+    bool stamped = false;
+    for (const auto& [signal, value] : at_time) {
+      auto it = current.find(signal);
+      if (it != current.end() && it->second == value) continue;
+      if (!stamped) {
+        os << "#" << when << "\n";
+        stamped = true;
+      }
+      emit(signals_[signal], value);
+      current[signal] = value;
+    }
+  }
+}
+
+std::string VcdWriter::str() const {
+  std::ostringstream os;
+  writeTo(os);
+  return os.str();
+}
+
+}  // namespace lb::sim

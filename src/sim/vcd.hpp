@@ -1,0 +1,68 @@
+#pragma once
+// Minimal Value Change Dump (IEEE 1364 §18) writer.
+//
+// Lets any experiment dump signals viewable in GTKWave & friends.  The bus
+// module builds on this to export grant traces (bus/waveform.hpp renders the
+// same data as ASCII for terminals).
+//
+//   VcdWriter vcd("lotterybus");
+//   auto gnt = vcd.addWire("gnt_cpu0", 1);
+//   auto owner = vcd.addWire("owner", 4);
+//   vcd.change(0, gnt, 1);
+//   vcd.change(5, gnt, 0);
+//   vcd.writeTo(file);
+//
+// Changes may be recorded in any time order; rendering sorts and dedupes
+// (last write at a given time wins).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lb::sim {
+
+class VcdWriter {
+public:
+  using SignalId = std::size_t;
+
+  /// @param module    name of the enclosing $scope module.
+  /// @param timescale VCD timescale string; one bus cycle = one tick.
+  explicit VcdWriter(std::string module = "lotterybus",
+                     std::string timescale = "1 ns");
+
+  /// Declares a wire of `width` bits (1..64).  Returns its handle.
+  SignalId addWire(const std::string& name, unsigned width = 1);
+
+  /// Records that `signal` takes `value` at time `when`.
+  void change(std::uint64_t when, SignalId signal, std::uint64_t value);
+
+  std::size_t signalCount() const { return signals_.size(); }
+  std::size_t changeCount() const { return changes_.size(); }
+
+  /// Renders the complete VCD document.
+  void writeTo(std::ostream& os) const;
+  std::string str() const;
+
+private:
+  struct Signal {
+    std::string name;
+    unsigned width;
+    std::string code;  // VCD identifier code
+  };
+  struct Change {
+    std::uint64_t when;
+    SignalId signal;
+    std::uint64_t value;
+    std::uint64_t seq;  // stable tie-break: later writes win
+  };
+
+  static std::string codeFor(std::size_t index);
+
+  std::string module_;
+  std::string timescale_;
+  std::vector<Signal> signals_;
+  std::vector<Change> changes_;
+};
+
+}  // namespace lb::sim

@@ -1,0 +1,154 @@
+#include "stats/stats.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace lb::stats {
+
+void LatencyStats::recordMessage(std::size_t master, std::uint64_t words,
+                                 std::uint64_t latency_cycles) {
+  PerMaster& p = per_.at(master);
+  ++p.messages;
+  p.words += words;
+  p.latency_sum += latency_cycles;
+  p.max_latency = std::max(p.max_latency, latency_cycles);
+  p.min_latency = std::min(p.min_latency, latency_cycles);
+}
+
+double LatencyStats::cyclesPerWord(std::size_t master) const {
+  const PerMaster& p = per_.at(master);
+  if (p.words == 0) return 0.0;
+  return static_cast<double>(p.latency_sum) / static_cast<double>(p.words);
+}
+
+double LatencyStats::overallCyclesPerWord() const {
+  std::uint64_t words = 0, latency = 0;
+  for (const PerMaster& p : per_) {
+    words += p.words;
+    latency += p.latency_sum;
+  }
+  if (words == 0) return 0.0;
+  return static_cast<double>(latency) / static_cast<double>(words);
+}
+
+double LatencyStats::meanMessageLatency(std::size_t master) const {
+  const PerMaster& p = per_.at(master);
+  if (p.messages == 0) return 0.0;
+  return static_cast<double>(p.latency_sum) / static_cast<double>(p.messages);
+}
+
+std::uint64_t LatencyStats::minLatency(std::size_t master) const {
+  const PerMaster& p = per_.at(master);
+  return p.messages ? p.min_latency : 0;
+}
+
+void LatencyStats::reset() {
+  for (PerMaster& p : per_) p = PerMaster{};
+}
+
+std::uint64_t BandwidthStats::totalCycles() const {
+  return std::accumulate(words_.begin(), words_.end(), std::uint64_t{0}) +
+         idle_cycles_ + overhead_cycles_;
+}
+
+double BandwidthStats::fraction(std::size_t master) const {
+  const std::uint64_t total = totalCycles();
+  if (total == 0) return 0.0;
+  return static_cast<double>(words_.at(master)) / static_cast<double>(total);
+}
+
+double BandwidthStats::unutilizedFraction() const {
+  const std::uint64_t total = totalCycles();
+  if (total == 0) return 0.0;
+  return static_cast<double>(idle_cycles_ + overhead_cycles_) /
+         static_cast<double>(total);
+}
+
+double BandwidthStats::shareOfTraffic(std::size_t master) const {
+  const std::uint64_t busy =
+      std::accumulate(words_.begin(), words_.end(), std::uint64_t{0});
+  if (busy == 0) return 0.0;
+  return static_cast<double>(words_.at(master)) / static_cast<double>(busy);
+}
+
+void BandwidthStats::reset() {
+  std::fill(words_.begin(), words_.end(), 0);
+  idle_cycles_ = 0;
+  overhead_cycles_ = 0;
+}
+
+Histogram::Histogram(std::uint64_t bin_width, std::size_t num_bins)
+    : bin_width_(bin_width), bins_(num_bins, 0) {
+  if (bin_width == 0) throw std::invalid_argument("Histogram: bin_width == 0");
+  if (num_bins == 0) throw std::invalid_argument("Histogram: num_bins == 0");
+}
+
+void Histogram::record(std::uint64_t value) {
+  const std::uint64_t bin = value / bin_width_;
+  if (bin < bins_.size()) {
+    ++bins_[bin];
+  } else {
+    ++overflow_;
+  }
+  ++total_;
+  sum_ += value;
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    seen += bins_[i];
+    if (seen >= target) return (i + 1) * bin_width_;
+  }
+  return (bins_.size() + 1) * bin_width_;  // overflow edge
+}
+
+double jainFairnessIndex(const std::vector<double>& allocations) {
+  if (allocations.empty())
+    throw std::invalid_argument("jainFairnessIndex: empty input");
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double x : allocations) {
+    if (x < 0.0)
+      throw std::invalid_argument("jainFairnessIndex: negative allocation");
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;  // everyone got (equally) nothing
+  return (sum * sum) / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+double weightedFairnessIndex(const std::vector<double>& allocations,
+                             const std::vector<double>& weights) {
+  if (allocations.size() != weights.size())
+    throw std::invalid_argument("weightedFairnessIndex: arity mismatch");
+  std::vector<double> normalized(allocations.size());
+  for (std::size_t i = 0; i < allocations.size(); ++i) {
+    if (!(weights[i] > 0.0))
+      throw std::invalid_argument("weightedFairnessIndex: bad weight");
+    normalized[i] = allocations[i] / weights[i];
+  }
+  return jainFairnessIndex(normalized);
+}
+
+void Histogram::reset() {
+  std::fill(bins_.begin(), bins_.end(), 0);
+  overflow_ = 0;
+  total_ = 0;
+  sum_ = 0;
+}
+
+void RunningStats::record(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace lb::stats

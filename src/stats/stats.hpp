@@ -1,0 +1,152 @@
+#pragma once
+// Measurement primitives for the LOTTERYBUS experiments.
+//
+// The paper reports two metrics:
+//  - bandwidth fraction: share of all bus cycles spent transferring a given
+//    master's data words (plus the un-utilized fraction), and
+//  - average communication latency in bus cycles *per word*, where a
+//    message's latency spans from the cycle the request was issued to the
+//    cycle its last word completed, inclusive.
+//
+// These classes do the bookkeeping; the bus calls them, experiments read
+// them.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace lb::stats {
+
+/// Per-master word/latency accounting for one simulation run.
+class LatencyStats {
+public:
+  explicit LatencyStats(std::size_t num_masters) : per_(num_masters) {}
+
+  /// Records one completed message for `master`: `words` words whose total
+  /// request-to-completion latency was `latency_cycles` (inclusive span).
+  void recordMessage(std::size_t master, std::uint64_t words,
+                     std::uint64_t latency_cycles);
+
+  /// Average latency in bus cycles per word for one master:
+  /// sum(message latency) / sum(message words).  Returns 0 if no traffic.
+  double cyclesPerWord(std::size_t master) const;
+
+  /// Average cycles/word over all masters combined.
+  double overallCyclesPerWord() const;
+
+  /// Mean latency per *message* for one master.
+  double meanMessageLatency(std::size_t master) const;
+
+  std::uint64_t messages(std::size_t master) const { return per_[master].messages; }
+  std::uint64_t words(std::size_t master) const { return per_[master].words; }
+  std::uint64_t maxLatency(std::size_t master) const { return per_[master].max_latency; }
+  std::uint64_t minLatency(std::size_t master) const;
+  std::size_t masters() const { return per_.size(); }
+
+  void reset();
+
+private:
+  struct PerMaster {
+    std::uint64_t messages = 0;
+    std::uint64_t words = 0;
+    std::uint64_t latency_sum = 0;
+    std::uint64_t max_latency = 0;
+    std::uint64_t min_latency = std::numeric_limits<std::uint64_t>::max();
+  };
+  std::vector<PerMaster> per_;
+};
+
+/// Bus-bandwidth accounting: one data word moves per busy cycle, so the
+/// bandwidth fraction of a master is (its data cycles) / (total cycles).
+class BandwidthStats {
+public:
+  explicit BandwidthStats(std::size_t num_masters) : words_(num_masters, 0) {}
+
+  void recordWord(std::size_t master) { ++words_[master]; }
+  void recordIdleCycle() { ++idle_cycles_; }
+  void recordOverheadCycle() { ++overhead_cycles_; }
+
+  std::uint64_t totalCycles() const;
+  std::uint64_t wordsTransferred(std::size_t master) const { return words_[master]; }
+  std::uint64_t idleCycles() const { return idle_cycles_; }
+  std::uint64_t overheadCycles() const { return overhead_cycles_; }
+
+  /// Fraction of total bus cycles carrying this master's data, in [0,1].
+  double fraction(std::size_t master) const;
+
+  /// Fraction of cycles the bus moved no data (idle + arbitration overhead).
+  double unutilizedFraction() const;
+
+  /// Fraction of *busy* (data) cycles carrying this master's data; this is
+  /// the quantity ticket ratios predict when the bus is saturated.
+  double shareOfTraffic(std::size_t master) const;
+
+  std::size_t masters() const { return words_.size(); }
+
+  void reset();
+
+private:
+  std::vector<std::uint64_t> words_;
+  std::uint64_t idle_cycles_ = 0;
+  std::uint64_t overhead_cycles_ = 0;
+};
+
+/// Fixed-bin histogram for latency distributions (used by tests and the
+/// alignment-sensitivity experiments).
+class Histogram {
+public:
+  /// Bins: [0,bin_width), [bin_width, 2*bin_width), ..., plus overflow.
+  Histogram(std::uint64_t bin_width, std::size_t num_bins);
+
+  void record(std::uint64_t value);
+
+  std::uint64_t count(std::size_t bin) const { return bins_[bin]; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  std::size_t numBins() const { return bins_.size(); }
+  std::uint64_t binWidth() const { return bin_width_; }
+
+  /// Value below which `q` (in [0,1]) of the samples fall, resolved to bin
+  /// upper edges.  Returns the overflow edge if q lands in overflow.
+  std::uint64_t quantile(double q) const;
+
+  double mean() const { return total_ ? static_cast<double>(sum_) / total_ : 0.0; }
+
+  void reset();
+
+private:
+  std::uint64_t bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// Jain's fairness index over a vector of allocations: (sum x)^2 / (n * sum
+/// x^2), in (0, 1]; 1 means perfectly equal, 1/n means one party takes all.
+/// Used by the arbiter-comparison benches to quantify (un)weighted fairness.
+double jainFairnessIndex(const std::vector<double>& allocations);
+
+/// Weighted variant: fairness of x_i relative to weights w_i (index of
+/// x_i / w_i).  1 means allocations exactly proportional to weights — the
+/// LOTTERYBUS design goal.
+double weightedFairnessIndex(const std::vector<double>& allocations,
+                             const std::vector<double>& weights);
+
+/// Welford running mean/variance, used by property tests.
+class RunningStats {
+public:
+  void record(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+
+private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace lb::stats

@@ -1,0 +1,36 @@
+#pragma once
+// Tiny aligned-ASCII / CSV table printer used by the benchmark harnesses to
+// emit paper-style tables and figure series.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lb::stats {
+
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the header row.
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction01, int precision = 1);
+
+  void printAscii(std::ostream& os) const;
+  void printCsv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+  const std::string& cell(std::size_t row, std::size_t col) const {
+    return rows_.at(row).at(col);
+  }
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lb::stats

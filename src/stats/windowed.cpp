@@ -1,0 +1,68 @@
+#include "stats/windowed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace lb::stats {
+
+WindowedBandwidth::WindowedBandwidth(std::size_t num_masters,
+                                     std::uint64_t window)
+    : num_masters_(num_masters), window_(window),
+      current_(num_masters, 0) {
+  if (num_masters == 0)
+    throw std::invalid_argument("WindowedBandwidth: no masters");
+  if (window == 0)
+    throw std::invalid_argument("WindowedBandwidth: zero window");
+}
+
+void WindowedBandwidth::closeThrough(std::uint64_t now) {
+  while (now >= current_start_ + window_) {
+    closed_.push_back(current_);
+    std::fill(current_.begin(), current_.end(), 0);
+    current_start_ += window_;
+  }
+}
+
+void WindowedBandwidth::recordWord(std::size_t master, std::uint64_t now) {
+  if (master >= num_masters_)
+    throw std::out_of_range("WindowedBandwidth: bad master");
+  closeThrough(now);
+  ++current_[master];
+}
+
+std::uint64_t WindowedBandwidth::words(std::size_t window_index,
+                                       std::size_t master) const {
+  return closed_.at(window_index).at(master);
+}
+
+double WindowedBandwidth::share(std::size_t window_index,
+                                std::size_t master) const {
+  const auto& window = closed_.at(window_index);
+  const std::uint64_t total =
+      std::accumulate(window.begin(), window.end(), std::uint64_t{0});
+  if (total == 0) return 0.0;
+  return static_cast<double>(window.at(master)) / static_cast<double>(total);
+}
+
+double WindowedBandwidth::maxShareDeviation(std::size_t master, double target,
+                                            std::size_t count) const {
+  const std::size_t n = closed_.size();
+  const std::size_t first = (count == 0 || count >= n) ? 0 : n - count;
+  double worst = 0.0;
+  for (std::size_t w = first; w < n; ++w)
+    worst = std::max(worst, std::abs(share(w, master) - target));
+  return worst;
+}
+
+double WindowedBandwidth::meanShareDeviation(std::size_t master,
+                                             double target) const {
+  if (closed_.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t w = 0; w < closed_.size(); ++w)
+    sum += std::abs(share(w, master) - target);
+  return sum / static_cast<double>(closed_.size());
+}
+
+}  // namespace lb::stats

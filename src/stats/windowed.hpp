@@ -1,0 +1,57 @@
+#pragma once
+// Windowed bandwidth tracking: per-interval share time series.
+//
+// A lottery is probabilistically fair: long-run shares converge to ticket
+// ratios but any short window shows variance ("short-term unfairness", the
+// classic critique of lottery scheduling).  Deterministic schedules (TDMA,
+// DRR) are exact per frame.  WindowedBandwidth records who moved how many
+// words in each fixed-size window so experiments can quantify convergence
+// (bench/convergence_timeseries).
+
+#include <cstdint>
+#include <vector>
+
+namespace lb::stats {
+
+class WindowedBandwidth {
+public:
+  /// @param num_masters  masters tracked.
+  /// @param window       cycles per window (> 0).
+  WindowedBandwidth(std::size_t num_masters, std::uint64_t window);
+
+  /// Records one transferred word for `master` at absolute cycle `now`.
+  /// Cycles must be non-decreasing across calls.
+  void recordWord(std::size_t master, std::uint64_t now);
+
+  /// Number of closed windows so far (the current partial window is not
+  /// included until a word lands beyond its end).
+  std::size_t windows() const { return closed_.size(); }
+
+  /// Words master `m` moved in closed window `w`.
+  std::uint64_t words(std::size_t window_index, std::size_t master) const;
+
+  /// Master's share of the words moved in closed window `w` (0 if the
+  /// window was fully idle).
+  double share(std::size_t window_index, std::size_t master) const;
+
+  /// Maximum absolute deviation of this master's per-window share from
+  /// `target`, over the last `count` closed windows (all if count == 0).
+  double maxShareDeviation(std::size_t master, double target,
+                           std::size_t count = 0) const;
+
+  /// Mean absolute deviation over closed windows.
+  double meanShareDeviation(std::size_t master, double target) const;
+
+  std::uint64_t windowCycles() const { return window_; }
+
+private:
+  void closeThrough(std::uint64_t now);
+
+  std::size_t num_masters_;
+  std::uint64_t window_;
+  std::uint64_t current_start_ = 0;
+  std::vector<std::uint64_t> current_;
+  std::vector<std::vector<std::uint64_t>> closed_;
+};
+
+}  // namespace lb::stats

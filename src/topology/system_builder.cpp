@@ -1,0 +1,181 @@
+#include "topology/system_builder.hpp"
+
+#include <stdexcept>
+
+namespace lb::topology {
+
+// ---------------------------------------------------------------------------
+// System
+// ---------------------------------------------------------------------------
+
+bus::Bus& System::bus(const std::string& channel) {
+  auto it = buses_.find(channel);
+  if (it == buses_.end())
+    throw std::out_of_range("System: unknown channel " + channel);
+  return *it->second;
+}
+
+const bus::Bus& System::bus(const std::string& channel) const {
+  auto it = buses_.find(channel);
+  if (it == buses_.end())
+    throw std::out_of_range("System: unknown channel " + channel);
+  return *it->second;
+}
+
+bus::Bridge& System::bridge(const std::string& name) {
+  for (auto& [bridge_name, bridge] : bridges_)
+    if (bridge_name == name) return *bridge;
+  throw std::out_of_range("System: unknown bridge " + name);
+}
+
+MasterRef System::master(const std::string& name) const {
+  auto it = masters_.find(name);
+  if (it == masters_.end())
+    throw std::out_of_range("System: unknown master " + name);
+  return it->second;
+}
+
+SlaveRef System::slave(const std::string& name) const {
+  auto it = slaves_.find(name);
+  if (it == slaves_.end())
+    throw std::out_of_range("System: unknown slave " + name);
+  return it->second;
+}
+
+void System::attach(sim::ICycleComponent& component) {
+  if (finalized_)
+    throw std::logic_error(
+        "System: attach extra components before the first run()");
+  extra_.push_back(&component);
+}
+
+void System::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  // Clocking order: injectors first, then channels in declaration order,
+  // then bridges (a bridge hop therefore costs exactly one cycle).
+  for (sim::ICycleComponent* component : extra_) kernel_.attach(*component);
+  for (const std::string& channel : channel_order_)
+    kernel_.attach(*buses_.at(channel));
+  for (auto& [name, bridge] : bridges_) kernel_.attach(*bridge);
+}
+
+void System::run(sim::Cycle cycles) {
+  finalize();
+  kernel_.run(cycles);
+}
+
+// ---------------------------------------------------------------------------
+// SystemBuilder
+// ---------------------------------------------------------------------------
+
+SystemBuilder::ChannelDecl& SystemBuilder::channel(const std::string& name) {
+  auto it = channels_.find(name);
+  if (it == channels_.end())
+    throw std::out_of_range("SystemBuilder: unknown channel " + name);
+  return it->second;
+}
+
+SystemBuilder& SystemBuilder::addChannel(
+    const std::string& name, bus::BusConfig config,
+    std::unique_ptr<bus::IArbiter> arbiter) {
+  if (channels_.count(name))
+    throw std::invalid_argument("SystemBuilder: duplicate channel " + name);
+  if (!arbiter)
+    throw std::invalid_argument("SystemBuilder: null arbiter for " + name);
+  ChannelDecl decl;
+  decl.config = std::move(config);
+  decl.arbiter = std::move(arbiter);
+  channels_.emplace(name, std::move(decl));
+  channel_order_.push_back(name);
+  return *this;
+}
+
+MasterRef SystemBuilder::addMaster(const std::string& channel_name,
+                                   const std::string& name) {
+  if (masters_.count(name))
+    throw std::invalid_argument("SystemBuilder: duplicate master " + name);
+  ChannelDecl& decl = channel(channel_name);
+  const MasterRef ref{channel_name,
+                      static_cast<bus::MasterId>(decl.masters.size())};
+  decl.masters.push_back(name);
+  masters_.emplace(name, ref);
+  return ref;
+}
+
+SlaveRef SystemBuilder::addSlave(const std::string& channel_name,
+                                 const std::string& name,
+                                 std::uint32_t wait_states) {
+  if (slaves_.count(name))
+    throw std::invalid_argument("SystemBuilder: duplicate slave " + name);
+  ChannelDecl& decl = channel(channel_name);
+  const SlaveRef ref{channel_name, static_cast<int>(decl.slaves.size())};
+  decl.slaves.push_back(bus::SlaveConfig{name, wait_states});
+  slaves_.emplace(name, ref);
+  return ref;
+}
+
+SlaveRef SystemBuilder::addBridge(const std::string& name,
+                                  const std::string& from,
+                                  const std::string& to,
+                                  const std::string& remote_slave) {
+  // The bridge occupies a slave slot on `from` and a master slot on `to`.
+  const SlaveRef from_ref = addSlave(from, name + ".in", 0);
+  ChannelDecl& to_decl = channel(to);
+  const auto to_master = static_cast<bus::MasterId>(to_decl.masters.size());
+  to_decl.masters.push_back(name + ".out");
+
+  BridgeDecl decl;
+  decl.name = name;
+  decl.from = from;
+  decl.from_slave = from_ref.slave;
+  decl.to = to;
+  decl.to_master = to_master;
+  decl.remote_slave = remote_slave;
+  bridges_.push_back(std::move(decl));
+  return from_ref;
+}
+
+std::unique_ptr<System> SystemBuilder::build() {
+  auto system = std::unique_ptr<System>(new System());
+  system->channel_order_ = channel_order_;
+  system->masters_ = std::move(masters_);
+  system->slaves_ = std::move(slaves_);
+
+  for (const std::string& name : channel_order_) {
+    ChannelDecl& decl = channels_.at(name);
+    if (decl.masters.empty())
+      throw std::invalid_argument("SystemBuilder: channel " + name +
+                                  " has no masters (add one or bridge into "
+                                  "it)");
+    if (decl.slaves.empty())
+      throw std::invalid_argument("SystemBuilder: channel " + name +
+                                  " has no slaves");
+    bus::BusConfig config = decl.config;
+    config.num_masters = decl.masters.size();
+    config.slaves = decl.slaves;
+    system->buses_.emplace(
+        name, std::make_unique<bus::Bus>(std::move(config),
+                                         std::move(decl.arbiter)));
+  }
+
+  for (const BridgeDecl& decl : bridges_) {
+    const SlaveRef remote = system->slave(decl.remote_slave);
+    if (remote.channel != decl.to)
+      throw std::invalid_argument("SystemBuilder: bridge " + decl.name +
+                                  " targets slave " + decl.remote_slave +
+                                  " which is not on channel " + decl.to);
+    system->bridges_.emplace_back(
+        decl.name,
+        std::make_unique<bus::Bridge>(system->bus(decl.from), decl.from_slave,
+                                      system->bus(decl.to), decl.to_master,
+                                      remote.slave));
+  }
+
+  channel_order_.clear();
+  channels_.clear();
+  bridges_.clear();
+  return system;
+}
+
+}  // namespace lb::topology

@@ -1,0 +1,135 @@
+#pragma once
+// Declarative construction of multi-channel communication architectures.
+//
+// Section 4.1: "The proposed architecture does not presume any fixed
+// topology of communication channels.  Hence, the components may be
+// interconnected by an arbitrary network of shared channels or by a flat
+// system-wide bus."  SystemBuilder is the productized form of that claim:
+// declare channels (each with its own arbiter — lottery, priority, TDMA,
+// ... can be mixed freely), masters, slaves, and bridges by name; build();
+// and the resulting System owns the buses, bridges and kernel with all the
+// clocking order handled.
+//
+//   topology::SystemBuilder builder;
+//   builder.addChannel("sys", sysConfig(), makeLottery({1,2,3,4}));
+//   builder.addChannel("periph", periphConfig(), makePriority({2,1}));
+//   auto cpu   = builder.addMaster("sys", "cpu0");
+//   auto sram  = builder.addSlave("sys", "sram", 0);
+//   auto regs  = builder.addSlave("periph", "regs", 1);
+//   builder.addBridge("dma-bridge", "sys", "periph");
+//   topology::System system = builder.build();
+//   system.bus("sys").push(cpu.master, message);
+//   system.run(100000);
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/bridge.hpp"
+#include "bus/bus.hpp"
+#include "sim/kernel.hpp"
+
+namespace lb::topology {
+
+/// Resolved endpoint: which bus, which master index.
+struct MasterRef {
+  std::string channel;
+  bus::MasterId master = bus::kNoMaster;
+};
+
+/// Resolved endpoint: which bus, which slave index.
+struct SlaveRef {
+  std::string channel;
+  int slave = -1;
+};
+
+class System {
+public:
+  bus::Bus& bus(const std::string& channel);
+  const bus::Bus& bus(const std::string& channel) const;
+  bus::Bridge& bridge(const std::string& name);
+
+  /// Resolves declared names back to indices.
+  MasterRef master(const std::string& name) const;
+  SlaveRef slave(const std::string& name) const;
+
+  sim::CycleKernel& kernel() { return kernel_; }
+
+  /// Attaches an extra clocked component (traffic source, ticket policy);
+  /// extra components run BEFORE the buses each cycle.
+  void attach(sim::ICycleComponent& component);
+
+  /// Runs the whole system.  Call finalize() happens automatically: the
+  /// first run attaches buses and bridges in declaration order.
+  void run(sim::Cycle cycles);
+
+  std::size_t channelCount() const { return buses_.size(); }
+  std::size_t bridgeCount() const { return bridges_.size(); }
+
+private:
+  friend class SystemBuilder;
+  System() = default;
+  void finalize();
+
+  sim::CycleKernel kernel_;
+  std::vector<std::string> channel_order_;
+  std::map<std::string, std::unique_ptr<bus::Bus>> buses_;
+  std::vector<std::pair<std::string, std::unique_ptr<bus::Bridge>>> bridges_;
+  std::map<std::string, MasterRef> masters_;
+  std::map<std::string, SlaveRef> slaves_;
+  std::vector<sim::ICycleComponent*> extra_;
+  bool finalized_ = false;
+};
+
+class SystemBuilder {
+public:
+  /// Declares a shared channel.  `config.num_masters` and `config.slaves`
+  /// are OVERWRITTEN by subsequent addMaster/addSlave/addBridge calls; the
+  /// other fields (burst size, pipelining, preemption) are honored.
+  SystemBuilder& addChannel(const std::string& channel, bus::BusConfig config,
+                            std::unique_ptr<bus::IArbiter> arbiter);
+
+  /// Declares a named master on a channel; returns its resolved reference.
+  MasterRef addMaster(const std::string& channel, const std::string& name);
+
+  /// Declares a named slave on a channel; returns its resolved reference.
+  SlaveRef addSlave(const std::string& channel, const std::string& name,
+                    std::uint32_t wait_states = 0);
+
+  /// Declares a bridge: a slave endpoint on `from` forwarding to a master
+  /// endpoint on `to`, targeting `to`'s slave named `remote_slave` (which
+  /// must already be declared).  Returns the bridge's slave ref on `from`
+  /// (address messages there to cross the bridge).
+  SlaveRef addBridge(const std::string& name, const std::string& from,
+                     const std::string& to, const std::string& remote_slave);
+
+  /// Materializes the system.  The builder is left empty.
+  std::unique_ptr<System> build();
+
+private:
+  struct ChannelDecl {
+    bus::BusConfig config;
+    std::unique_ptr<bus::IArbiter> arbiter;
+    std::vector<std::string> masters;
+    std::vector<bus::SlaveConfig> slaves;
+  };
+  struct BridgeDecl {
+    std::string name;
+    std::string from;
+    int from_slave;
+    std::string to;
+    bus::MasterId to_master;
+    std::string remote_slave;
+  };
+
+  ChannelDecl& channel(const std::string& name);
+
+  std::vector<std::string> channel_order_;
+  std::map<std::string, ChannelDecl> channels_;
+  std::vector<BridgeDecl> bridges_;
+  std::map<std::string, MasterRef> masters_;
+  std::map<std::string, SlaveRef> slaves_;
+};
+
+}  // namespace lb::topology

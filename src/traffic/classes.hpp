@@ -1,0 +1,54 @@
+#pragma once
+// The nine communication traffic classes T1..T9 used by the paper's
+// traffic-space experiments (Figure 12).
+//
+// The paper characterizes classes only qualitatively (widely varying
+// utilization and burst sizes; T3 and T6 leave the bus partly un-utilized;
+// T6 is the bursty class with the headline 8.55 cycles/word TDMA latency).
+// We span the same space with a grid over {offered load} x {message size}:
+//
+//   T1  saturated, small messages (4 words)
+//   T2  saturated, medium messages (16 words)
+//   T3  sparse, small messages           -> bus largely idle
+//   T4  saturated, large messages (64 words)
+//   T5  ON/OFF streams, bimodal small/large mix
+//   T6  ON/OFF streams of medium messages -> bus partly idle; the class
+//       whose burstiness exposes the TDMA reclaiming/alignment pathology
+//   T7  2x oversubscribed, small messages
+//   T8  2x oversubscribed, medium messages
+//   T9  2x oversubscribed, bimodal mix
+//
+// All masters in a class share the same distribution parameters (per the
+// paper's symmetric test-bed) but draw from independent seeded streams.
+
+#include <string>
+#include <vector>
+
+#include "traffic/generator.hpp"
+
+namespace lb::traffic {
+
+struct TrafficClass {
+  std::string name;         ///< "T1".."T9"
+  std::string description;
+  bool saturating;          ///< true if offered load >= bus capacity
+  SizeDist size;
+  GapDist gap;
+  std::uint32_t max_outstanding;
+  sim::Cycle mean_on = 0;   ///< ON/OFF burst modulation (0/0 = always on)
+  sim::Cycle mean_off = 0;
+};
+
+/// The nine classes, in order T1..T9.
+const std::vector<TrafficClass>& allTrafficClasses();
+
+/// Lookup by name ("T1".."T9"); throws std::out_of_range on unknown names.
+const TrafficClass& trafficClass(const std::string& name);
+
+/// Expands a class into per-master generator parameters with decorrelated
+/// seeds derived from `base_seed`.
+std::vector<TrafficParams> paramsFor(const TrafficClass& cls,
+                                     std::size_t num_masters,
+                                     std::uint64_t base_seed);
+
+}  // namespace lb::traffic

@@ -1,0 +1,95 @@
+#include "traffic/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lb::traffic {
+
+SizeDist SizeDist::fixed(std::uint32_t words) {
+  if (words == 0) throw std::invalid_argument("SizeDist::fixed: zero words");
+  return SizeDist{Kind::kFixed, words, words, 1.0};
+}
+
+SizeDist SizeDist::uniform(std::uint32_t lo, std::uint32_t hi) {
+  if (lo == 0 || hi < lo)
+    throw std::invalid_argument("SizeDist::uniform: bad range");
+  return SizeDist{Kind::kUniform, lo, hi, 1.0};
+}
+
+SizeDist SizeDist::geometric(std::uint32_t mean, std::uint32_t cap) {
+  if (mean == 0 || cap == 0 || cap < mean)
+    throw std::invalid_argument("SizeDist::geometric: bad parameters");
+  return SizeDist{Kind::kGeometric, mean, cap, 1.0};
+}
+
+SizeDist SizeDist::bimodal(std::uint32_t small, std::uint32_t large,
+                           double p_small) {
+  if (small == 0 || large < small)
+    throw std::invalid_argument("SizeDist::bimodal: bad sizes");
+  if (p_small < 0.0 || p_small > 1.0)
+    throw std::invalid_argument("SizeDist::bimodal: bad probability");
+  return SizeDist{Kind::kBimodal, small, large, p_small};
+}
+
+std::uint32_t SizeDist::draw(sim::Xoshiro256ss& rng) const {
+  switch (kind) {
+    case Kind::kFixed:
+      return a;
+    case Kind::kUniform:
+      return a + static_cast<std::uint32_t>(rng.below(b - a + 1));
+    case Kind::kGeometric: {
+      // Geometric on {1,2,...} with mean `a`, truncated at `b`.
+      const double q = 1.0 / static_cast<double>(a);
+      double u = rng.uniform01();
+      if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+      const double value = std::ceil(std::log1p(-u) / std::log1p(-q));
+      return static_cast<std::uint32_t>(
+          std::clamp(value, 1.0, static_cast<double>(b)));
+    }
+    case Kind::kBimodal:
+      return rng.chance(p) ? a : b;
+  }
+  return a;
+}
+
+double SizeDist::mean() const {
+  switch (kind) {
+    case Kind::kFixed:
+      return a;
+    case Kind::kUniform:
+      return (static_cast<double>(a) + b) / 2.0;
+    case Kind::kGeometric:
+      return a;  // truncation bias ignored for reporting
+    case Kind::kBimodal:
+      return p * a + (1.0 - p) * b;
+  }
+  return a;
+}
+
+GapDist GapDist::fixed(std::uint64_t cycles) {
+  return GapDist{Kind::kFixed, cycles};
+}
+
+GapDist GapDist::geometric(std::uint64_t mean) {
+  return GapDist{Kind::kGeometric, mean};
+}
+
+std::uint64_t GapDist::draw(sim::Xoshiro256ss& rng) const {
+  switch (kind) {
+    case Kind::kFixed:
+      return a;
+    case Kind::kGeometric: {
+      if (a == 0) return 0;
+      // Geometric on {0,1,...} with mean `a`.
+      const double q = 1.0 / (static_cast<double>(a) + 1.0);
+      double u = rng.uniform01();
+      if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+      return static_cast<std::uint64_t>(
+          std::floor(std::log1p(-u) / std::log1p(-q)));
+    }
+  }
+  return a;
+}
+
+}  // namespace lb::traffic

@@ -1,0 +1,50 @@
+#pragma once
+// Parameterized distributions for the stochastic on-chip traffic generators
+// (paper Section 5.1: "components modelled as stochastic on-chip
+// communication traffic generators ... parameters of each traffic generator
+// can be varied to control the characteristics of the communication
+// traffic").
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+namespace lb::traffic {
+
+/// Message-size distribution in bus words.
+struct SizeDist {
+  enum class Kind { kFixed, kUniform, kGeometric, kBimodal };
+
+  Kind kind = Kind::kFixed;
+  std::uint32_t a = 16;   ///< fixed size / uniform lo / geometric mean / small
+  std::uint32_t b = 16;   ///< uniform hi / geometric cap / large size
+  double p = 1.0;         ///< bimodal: probability of the small size
+
+  static SizeDist fixed(std::uint32_t words);
+  static SizeDist uniform(std::uint32_t lo, std::uint32_t hi);
+  /// Geometric with the given mean, truncated to [1, cap].
+  static SizeDist geometric(std::uint32_t mean, std::uint32_t cap);
+  static SizeDist bimodal(std::uint32_t small, std::uint32_t large,
+                          double p_small);
+
+  std::uint32_t draw(sim::Xoshiro256ss& rng) const;
+  double mean() const;
+};
+
+/// Inter-message gap distribution in cycles (measured from one message's
+/// generation to the next attempt).
+struct GapDist {
+  enum class Kind { kFixed, kGeometric };
+
+  Kind kind = Kind::kFixed;
+  std::uint64_t a = 0;  ///< fixed gap / geometric mean
+
+  static GapDist fixed(std::uint64_t cycles);
+  /// Memoryless gaps with the given mean (0 mean = back-to-back).
+  static GapDist geometric(std::uint64_t mean);
+
+  std::uint64_t draw(sim::Xoshiro256ss& rng) const;
+  double mean() const { return static_cast<double>(a); }
+};
+
+}  // namespace lb::traffic

@@ -1,0 +1,61 @@
+#include "traffic/generator.hpp"
+
+#include <cmath>
+
+namespace lb::traffic {
+
+namespace {
+/// Geometric duration with the given mean, >= 1 cycle.
+sim::Cycle drawDuration(sim::Xoshiro256ss& rng, sim::Cycle mean) {
+  if (mean <= 1) return 1;
+  const double q = 1.0 / static_cast<double>(mean);
+  double u = rng.uniform01();
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  const double value = std::ceil(std::log1p(-u) / std::log1p(-q));
+  return value < 1.0 ? 1 : static_cast<sim::Cycle>(value);
+}
+}  // namespace
+
+TrafficSource::TrafficSource(bus::Bus& bus, bus::MasterId master,
+                             TrafficParams params)
+    : bus_(bus),
+      master_(master),
+      params_(params),
+      rng_(params.seed),
+      next_attempt_(params.first_arrival) {
+  if (params_.mean_off != 0)
+    state_left_ = drawDuration(rng_, params_.mean_on);
+}
+
+void TrafficSource::updateOnOff() {
+  if (params_.mean_off == 0) return;  // modulation disabled: always ON
+  if (state_left_ == 0) {
+    on_ = !on_;
+    state_left_ =
+        drawDuration(rng_, on_ ? params_.mean_on : params_.mean_off);
+  }
+  --state_left_;
+}
+
+void TrafficSource::cycle(sim::Cycle now) {
+  updateOnOff();
+  if (!on_) return;
+  if (now < next_attempt_) return;
+  if (bus_.queueDepth(master_) >= params_.max_outstanding) {
+    // Backpressured: retry every cycle until a queue slot frees.  The next
+    // message's arrival stamp is the cycle it actually enters the queue,
+    // which is when the request becomes visible to the arbiter.
+    return;
+  }
+  bus::Message message;
+  message.words = params_.size.draw(rng_);
+  message.slave = params_.slave;
+  message.arrival = now;
+  message.tag = generated_;
+  bus_.push(master_, message);
+  ++generated_;
+  words_ += message.words;
+  next_attempt_ = now + 1 + params_.gap.draw(rng_);
+}
+
+}  // namespace lb::traffic

@@ -1,0 +1,61 @@
+#pragma once
+// Parameterized stochastic traffic generator, one per bus master — the C++
+// equivalent of the PTOLEMY traffic-generator blocks in the paper's test-bed
+// (Figure 11).
+
+#include <cstdint>
+
+#include "bus/bus.hpp"
+#include "sim/kernel.hpp"
+#include "traffic/distributions.hpp"
+
+namespace lb::traffic {
+
+struct TrafficParams {
+  SizeDist size = SizeDist::fixed(16);
+  GapDist gap = GapDist::fixed(0);
+
+  /// Generation pauses while this many messages are already queued; keeps
+  /// saturated scenarios at bounded queue depth (1 == classic closed loop:
+  /// the master always has exactly one outstanding request).
+  std::uint32_t max_outstanding = 1;
+
+  /// ON/OFF burst modulation: while ON the source generates per `gap`; while
+  /// OFF it is silent.  Durations are geometric with these means; mean_off=0
+  /// disables modulation (always ON).  Models components whose communication
+  /// comes in activity bursts (the paper's bursty traffic classes).
+  sim::Cycle mean_on = 0;
+  sim::Cycle mean_off = 0;
+
+  int slave = 0;              ///< target slave for every message
+  sim::Cycle first_arrival = 0;  ///< phase offset of the first message
+  std::uint64_t seed = 1;
+};
+
+class TrafficSource final : public sim::ICycleComponent {
+public:
+  TrafficSource(bus::Bus& bus, bus::MasterId master, TrafficParams params);
+
+  void cycle(sim::Cycle now) override;
+  std::string name() const override { return "traffic-source"; }
+
+  std::uint64_t messagesGenerated() const { return generated_; }
+  std::uint64_t wordsGenerated() const { return words_; }
+  bool isOn() const { return on_; }
+  const TrafficParams& params() const { return params_; }
+
+private:
+  void updateOnOff();
+
+  bus::Bus& bus_;
+  bus::MasterId master_;
+  TrafficParams params_;
+  sim::Xoshiro256ss rng_;
+  sim::Cycle next_attempt_;
+  bool on_ = true;
+  sim::Cycle state_left_ = 0;
+  std::uint64_t generated_ = 0;
+  std::uint64_t words_ = 0;
+};
+
+}  // namespace lb::traffic

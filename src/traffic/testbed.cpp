@@ -1,0 +1,126 @@
+#include "traffic/testbed.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+#include "stats/stats.hpp"
+
+namespace lb::traffic {
+
+bus::BusConfig defaultBusConfig(std::size_t num_masters) {
+  bus::BusConfig config;
+  config.num_masters = num_masters;
+  config.max_burst_words = 16;
+  config.pipelined_arbitration = true;
+  return config;
+}
+
+TestbedResult runTestbed(bus::BusConfig config,
+                         std::unique_ptr<bus::IArbiter> arbiter,
+                         const std::vector<TrafficParams>& traffic,
+                         sim::Cycle cycles, TestbedOptions options) {
+  if (traffic.size() != config.num_masters)
+    throw std::invalid_argument("runTestbed: traffic arity != num_masters");
+
+  bus::Bus bus(config, std::move(arbiter));
+  sim::CycleKernel kernel;
+
+  std::vector<std::unique_ptr<TrafficSource>> sources;
+  sources.reserve(traffic.size());
+  for (std::size_t m = 0; m < traffic.size(); ++m) {
+    sources.push_back(std::make_unique<TrafficSource>(
+        bus, static_cast<bus::MasterId>(m), traffic[m]));
+    kernel.attach(*sources.back());  // sources run before the bus each cycle
+  }
+  kernel.attach(bus);
+
+  if (options.setup) options.setup(bus, kernel);
+
+  if (options.warmup > 0) {
+    kernel.run(options.warmup);
+    bus.clearStats();
+  }
+  kernel.run(cycles);
+
+  TestbedResult result;
+  result.cycles = cycles;
+  result.grants = bus.grantsIssued();
+  result.preemptions = bus.preemptions();
+  result.unutilized_fraction = bus.bandwidth().unutilizedFraction();
+  const std::size_t n = config.num_masters;
+  result.bandwidth_fraction.resize(n);
+  result.traffic_share.resize(n);
+  result.cycles_per_word.resize(n);
+  result.mean_message_latency.resize(n);
+  result.messages_completed.resize(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    result.bandwidth_fraction[m] = bus.bandwidth().fraction(m);
+    result.traffic_share[m] = bus.bandwidth().shareOfTraffic(m);
+    result.cycles_per_word[m] = bus.latency().cyclesPerWord(m);
+    result.mean_message_latency[m] = bus.latency().meanMessageLatency(m);
+    result.messages_completed[m] = bus.latency().messages(m);
+  }
+  return result;
+}
+
+namespace {
+ReplicatedMetric summarize(const stats::RunningStats& running, double min,
+                           double max) {
+  ReplicatedMetric metric;
+  metric.mean = running.mean();
+  metric.stddev = running.stddev();
+  metric.min = min;
+  metric.max = max;
+  return metric;
+}
+}  // namespace
+
+ReplicatedResult runReplicated(const bus::BusConfig& config,
+                               const ArbiterFactory& arbiter_factory,
+                               const TrafficClass& cls, sim::Cycle cycles,
+                               std::size_t replications,
+                               std::uint64_t base_seed) {
+  if (replications == 0)
+    throw std::invalid_argument("runReplicated: zero replications");
+
+  const std::size_t n = config.num_masters;
+  std::vector<stats::RunningStats> bw(n), cpw(n);
+  std::vector<double> bw_min(n, 1e300), bw_max(n, -1e300);
+  std::vector<double> cpw_min(n, 1e300), cpw_max(n, -1e300);
+  stats::RunningStats idle;
+  double idle_min = 1e300, idle_max = -1e300;
+
+  sim::SplitMix64 seeder(base_seed ^ 0x5eedba5eULL);
+  for (std::size_t rep = 0; rep < replications; ++rep) {
+    const std::uint64_t traffic_seed = seeder.next();
+    const std::uint64_t arbiter_seed = seeder.next();
+    const TestbedResult result =
+        runTestbed(config, arbiter_factory(arbiter_seed),
+                   paramsFor(cls, n, traffic_seed), cycles);
+    for (std::size_t m = 0; m < n; ++m) {
+      bw[m].record(result.bandwidth_fraction[m]);
+      bw_min[m] = std::min(bw_min[m], result.bandwidth_fraction[m]);
+      bw_max[m] = std::max(bw_max[m], result.bandwidth_fraction[m]);
+      cpw[m].record(result.cycles_per_word[m]);
+      cpw_min[m] = std::min(cpw_min[m], result.cycles_per_word[m]);
+      cpw_max[m] = std::max(cpw_max[m], result.cycles_per_word[m]);
+    }
+    idle.record(result.unutilized_fraction);
+    idle_min = std::min(idle_min, result.unutilized_fraction);
+    idle_max = std::max(idle_max, result.unutilized_fraction);
+  }
+
+  ReplicatedResult result;
+  result.replications = replications;
+  for (std::size_t m = 0; m < n; ++m) {
+    result.bandwidth_fraction.push_back(
+        summarize(bw[m], bw_min[m], bw_max[m]));
+    result.cycles_per_word.push_back(
+        summarize(cpw[m], cpw_min[m], cpw_max[m]));
+  }
+  result.unutilized_fraction = summarize(idle, idle_min, idle_max);
+  return result;
+}
+
+}  // namespace lb::traffic

@@ -1,0 +1,82 @@
+#pragma once
+// System-level test-bed for communication-architecture performance
+// evaluation: the C++ counterpart of the paper's Figure 11 setup (N master
+// components with parameterized traffic generators sharing one bus towards
+// slave components).  Every simulation-based experiment in tests/ and bench/
+// goes through this harness.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bus/bus.hpp"
+#include "sim/kernel.hpp"
+#include "traffic/classes.hpp"
+#include "traffic/generator.hpp"
+
+namespace lb::traffic {
+
+struct TestbedResult {
+  std::vector<double> bandwidth_fraction;  ///< per master, of total cycles
+  std::vector<double> traffic_share;       ///< per master, of busy cycles
+  double unutilized_fraction = 0.0;
+  std::vector<double> cycles_per_word;     ///< per master
+  std::vector<double> mean_message_latency;
+  std::vector<std::uint64_t> messages_completed;
+  std::uint64_t grants = 0;
+  std::uint64_t preemptions = 0;
+  sim::Cycle cycles = 0;
+};
+
+/// Extra knobs for a test-bed run.
+struct TestbedOptions {
+  sim::Cycle warmup = 0;  ///< cycles to run before statistics are reset
+  /// Invoked after construction, before running: configure tickets, attach
+  /// extra components (ticket policies), enable tracing, ...
+  std::function<void(bus::Bus&, sim::CycleKernel&)> setup;
+};
+
+/// Builds kernel + bus + one TrafficSource per master, runs `cycles` cycles,
+/// and summarizes the bus statistics.  The arbiter defines the architecture
+/// under test.
+TestbedResult runTestbed(bus::BusConfig config,
+                         std::unique_ptr<bus::IArbiter> arbiter,
+                         const std::vector<TrafficParams>& traffic,
+                         sim::Cycle cycles, TestbedOptions options = {});
+
+/// 4-master bus with burst size 16 — the example system of Figure 3.
+bus::BusConfig defaultBusConfig(std::size_t num_masters = 4);
+
+// ---------------------------------------------------------------------------
+// Replicated runs: mean / spread across independent seeds, for error bars on
+// the stochastic results.
+// ---------------------------------------------------------------------------
+
+struct ReplicatedMetric {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct ReplicatedResult {
+  std::vector<ReplicatedMetric> bandwidth_fraction;  ///< per master
+  std::vector<ReplicatedMetric> cycles_per_word;     ///< per master
+  ReplicatedMetric unutilized_fraction;
+  std::size_t replications = 0;
+};
+
+/// Fresh arbiter per replication, seeded so randomized arbiters decorrelate.
+using ArbiterFactory =
+    std::function<std::unique_ptr<bus::IArbiter>(std::uint64_t seed)>;
+
+/// Runs `replications` independent test-bed simulations of `cls` (new
+/// traffic and arbiter seeds each time, all derived from `base_seed`) and
+/// aggregates the per-master metrics.
+ReplicatedResult runReplicated(const bus::BusConfig& config,
+                               const ArbiterFactory& arbiter_factory,
+                               const TrafficClass& cls, sim::Cycle cycles,
+                               std::size_t replications,
+                               std::uint64_t base_seed = 1);
+
+}  // namespace lb::traffic

@@ -1,0 +1,77 @@
+#include "traffic/trace_source.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lb::traffic {
+
+std::vector<TraceEntry> parseTrace(const std::string& text) {
+  std::vector<TraceEntry> entries;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const std::size_t comment = line.find('#');
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    std::istringstream fields(line);
+    TraceEntry entry;
+    if (!(fields >> entry.cycle)) continue;  // blank / comment-only line
+    if (!(fields >> entry.words))
+      throw std::invalid_argument("parseTrace: missing word count at line " +
+                                  std::to_string(line_number));
+    fields >> entry.slave;  // optional; defaults to 0
+    std::string excess;
+    if (fields >> excess)
+      throw std::invalid_argument("parseTrace: trailing fields at line " +
+                                  std::to_string(line_number));
+    if (entry.words == 0)
+      throw std::invalid_argument("parseTrace: zero words at line " +
+                                  std::to_string(line_number));
+    if (!entries.empty() && entry.cycle < entries.back().cycle)
+      throw std::invalid_argument(
+          "parseTrace: cycles must be non-decreasing at line " +
+          std::to_string(line_number));
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+std::string formatTrace(const std::vector<TraceEntry>& entries) {
+  std::ostringstream os;
+  os << "# cycle words slave\n";
+  for (const TraceEntry& entry : entries)
+    os << entry.cycle << " " << entry.words << " " << entry.slave << "\n";
+  return os.str();
+}
+
+TraceSource::TraceSource(bus::Bus& bus, bus::MasterId master,
+                         std::vector<TraceEntry> entries,
+                         std::uint32_t max_outstanding)
+    : bus_(bus),
+      master_(master),
+      entries_(std::move(entries)),
+      max_outstanding_(max_outstanding) {
+  if (max_outstanding_ == 0)
+    throw std::invalid_argument("TraceSource: zero outstanding budget");
+  for (std::size_t i = 1; i < entries_.size(); ++i)
+    if (entries_[i].cycle < entries_[i - 1].cycle)
+      throw std::invalid_argument("TraceSource: trace not sorted by cycle");
+}
+
+void TraceSource::cycle(sim::Cycle now) {
+  while (next_ < entries_.size() && entries_[next_].cycle <= now) {
+    if (bus_.queueDepth(master_) >= max_outstanding_) return;  // retry later
+    const TraceEntry& entry = entries_[next_];
+    bus::Message message;
+    message.words = entry.words;
+    message.slave = entry.slave;
+    message.arrival = now;
+    message.tag = next_;
+    bus_.push(master_, message);
+    ++next_;
+    ++replayed_;
+  }
+}
+
+}  // namespace lb::traffic

@@ -1,0 +1,160 @@
+// Tests for the QoS architecture advisor.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "advisor/advisor.hpp"
+#include "traffic/classes.hpp"
+#include "traffic/testbed.hpp"
+
+namespace lb::advisor {
+namespace {
+
+std::vector<traffic::TrafficParams> saturatedTraffic() {
+  std::vector<traffic::TrafficParams> params(4);
+  for (std::size_t m = 0; m < 4; ++m) {
+    params[m].size = traffic::SizeDist::fixed(16);
+    params[m].gap = traffic::GapDist::fixed(0);
+    params[m].max_outstanding = 4;
+    params[m].seed = 30 + m;
+  }
+  return params;
+}
+
+TEST(AdvisorTest, Validation) {
+  QosGoals goals;
+  goals.min_bandwidth_share = {0.5, 0.5};  // arity 2 vs 4 masters
+  goals.max_cycles_per_word = {0, 0};
+  EXPECT_THROW(advise(goals, saturatedTraffic(),
+                      traffic::defaultBusConfig(4), 1000),
+               std::invalid_argument);
+
+  goals.min_bandwidth_share = {0.5, 0.6, 0.0, 0.0};  // > 100%
+  goals.max_cycles_per_word = {0, 0, 0, 0};
+  EXPECT_THROW(advise(goals, saturatedTraffic(),
+                      traffic::defaultBusConfig(4), 1000),
+               std::invalid_argument);
+
+  goals.min_bandwidth_share = {-0.1, 0.0, 0.0, 0.0};
+  EXPECT_THROW(advise(goals, saturatedTraffic(),
+                      traffic::defaultBusConfig(4), 1000),
+               std::invalid_argument);
+}
+
+TEST(AdvisorTest, EvaluatesTheFullCandidateSpace) {
+  QosGoals goals;
+  goals.min_bandwidth_share = {0.3, 0.0, 0.0, 0.0};
+  goals.max_cycles_per_word = {0, 0, 0, 0};
+  const auto rec = advise(goals, saturatedTraffic(),
+                          traffic::defaultBusConfig(4), 30000);
+  ASSERT_EQ(rec.candidates.size(), 4u);
+  EXPECT_EQ(rec.candidates[0].architecture, "lottery");
+  EXPECT_EQ(rec.candidates[1].architecture, "weighted-rr");
+  EXPECT_EQ(rec.candidates[2].architecture, "tdma-2level");
+  EXPECT_EQ(rec.candidates[3].architecture, "static-priority");
+}
+
+TEST(AdvisorTest, BandwidthReservationsAreMetByWeightedArbiters) {
+  QosGoals goals;
+  goals.min_bandwidth_share = {0.45, 0.25, 0.0, 0.0};
+  goals.max_cycles_per_word = {0, 0, 0, 0};
+  const auto rec = advise(goals, saturatedTraffic(),
+                          traffic::defaultBusConfig(4), 60000, 5);
+  ASSERT_TRUE(rec.found);
+  // The weighted candidates should satisfy; priority cannot guarantee the
+  // second master's share against the top master under saturation.
+  EXPECT_TRUE(rec.candidates[0].satisfied) << "lottery";
+  EXPECT_TRUE(rec.candidates[1].satisfied) << "weighted-rr";
+  EXPECT_GE(rec.best.measured.bandwidth_fraction[0], 0.45 - 1e-9);
+  EXPECT_GE(rec.best.measured.bandwidth_fraction[1], 0.25 - 1e-9);
+}
+
+TEST(AdvisorTest, ImpossibleGoalsReportViolations) {
+  // Master 0 wants 80% of the bus AND everyone else wants 1.2 cycles/word
+  // under full saturation: nothing can satisfy this.
+  QosGoals goals;
+  goals.min_bandwidth_share = {0.8, 0.0, 0.0, 0.0};
+  goals.max_cycles_per_word = {0, 1.2, 1.2, 1.2};
+  const auto rec = advise(goals, saturatedTraffic(),
+                          traffic::defaultBusConfig(4), 30000);
+  EXPECT_FALSE(rec.found);
+  for (const auto& candidate : rec.candidates) {
+    EXPECT_FALSE(candidate.satisfied) << candidate.architecture;
+    EXPECT_FALSE(candidate.violations.empty()) << candidate.architecture;
+    EXPECT_LT(candidate.worst_margin, 0.0) << candidate.architecture;
+  }
+}
+
+TEST(AdvisorTest, Table1StyleGoalsRejectStaticPriority) {
+  // The paper's Table-1 situation: bandwidth floors for three best-effort
+  // masters plus a latency bound on the fourth, under saturation.  Static
+  // priority nails the latency but starves the floors; the weighted
+  // disciplines satisfy everything.
+  QosGoals goals;
+  goals.min_bandwidth_share = {0.08, 0.15, 0.25, 0.0};
+  goals.max_cycles_per_word = {0, 0, 0, 4.0};
+  // The latency-critical master is closed-loop (one outstanding request);
+  // the best-effort masters queue deep.
+  auto params = saturatedTraffic();
+  params[3].max_outstanding = 1;
+  const auto rec =
+      advise(goals, params, traffic::defaultBusConfig(4), 60000, 5);
+  ASSERT_TRUE(rec.found);
+
+  const CandidateReport* priority = nullptr;
+  const CandidateReport* lottery = nullptr;
+  for (const auto& candidate : rec.candidates) {
+    if (candidate.architecture == "static-priority") priority = &candidate;
+    if (candidate.architecture == "lottery") lottery = &candidate;
+  }
+  ASSERT_NE(priority, nullptr);
+  ASSERT_NE(lottery, nullptr);
+  EXPECT_TRUE(lottery->satisfied);
+  EXPECT_FALSE(priority->satisfied);  // starves the bandwidth floors
+  EXPECT_FALSE(rec.best.architecture == "static-priority");
+}
+
+TEST(AdvisorTest, PhaseLockedTrafficShowsTdmaPenalty) {
+  // Under the phase-locked periodic class T6, the lottery's measured
+  // latency for the top component beats TDMA's regardless of which side of
+  // a goal they land on (the wheel the advisor derives is co-designed to
+  // the burst size, which softens — but does not erase — the penalty).
+  QosGoals goals;
+  goals.min_bandwidth_share = {0.0, 0.0, 0.0, 0.0};
+  goals.max_cycles_per_word = {0, 0, 0, 3.0};
+  auto params = traffic::paramsFor(traffic::trafficClass("T6"), 4, 3);
+  const auto rec =
+      advise(goals, params, traffic::defaultBusConfig(4), 60000, 5);
+  ASSERT_TRUE(rec.found);
+
+  const CandidateReport* tdma = nullptr;
+  const CandidateReport* lottery = nullptr;
+  for (const auto& candidate : rec.candidates) {
+    if (candidate.architecture == "tdma-2level") tdma = &candidate;
+    if (candidate.architecture == "lottery") lottery = &candidate;
+  }
+  ASSERT_NE(tdma, nullptr);
+  ASSERT_NE(lottery, nullptr);
+  EXPECT_TRUE(lottery->satisfied);
+  EXPECT_LT(lottery->measured.cycles_per_word[3],
+            tdma->measured.cycles_per_word[3]);
+}
+
+TEST(AdvisorTest, MarginPrefersHeadroom) {
+  QosGoals goals;
+  goals.min_bandwidth_share = {0.2, 0.0, 0.0, 0.0};
+  goals.max_cycles_per_word = {0, 0, 0, 0};
+  const auto rec = advise(goals, saturatedTraffic(),
+                          traffic::defaultBusConfig(4), 30000);
+  ASSERT_TRUE(rec.found);
+  // The winner's margin is the max among satisfying candidates.
+  for (const auto& candidate : rec.candidates) {
+    if (candidate.satisfied) {
+      EXPECT_LE(candidate.worst_margin, rec.best.worst_margin + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lb::advisor

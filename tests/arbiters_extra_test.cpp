@@ -1,0 +1,290 @@
+// Tests for the extended arbiter set (deficit-weighted round-robin, random,
+// FCFS) and for bus-level preemption.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "arbiters/simple.hpp"
+#include "arbiters/static_priority.hpp"
+#include "arbiters/weighted_round_robin.hpp"
+#include "bus/bus.hpp"
+#include "core/lottery.hpp"
+#include "traffic/classes.hpp"
+#include "traffic/testbed.hpp"
+
+namespace lb::arb {
+namespace {
+
+using bus::Grant;
+using bus::MasterRequest;
+using bus::RequestView;
+
+std::vector<MasterRequest> requests(std::uint32_t map, std::size_t n,
+                                    std::uint32_t words = 16,
+                                    bus::Cycle base_arrival = 0) {
+  std::vector<MasterRequest> reqs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    reqs[i].pending = (map & (1u << i)) != 0;
+    reqs[i].head_words_remaining = reqs[i].pending ? words : 0;
+    reqs[i].head_arrival = base_arrival + i;
+  }
+  return reqs;
+}
+
+// ---------------------------------------------------------------------------
+// WeightedRoundRobinArbiter
+// ---------------------------------------------------------------------------
+
+TEST(WeightedRrTest, Validation) {
+  EXPECT_THROW(WeightedRoundRobinArbiter({}), std::invalid_argument);
+  EXPECT_THROW(WeightedRoundRobinArbiter({1, 0}), std::invalid_argument);
+  EXPECT_THROW(WeightedRoundRobinArbiter({1, 2}, 0), std::invalid_argument);
+}
+
+TEST(WeightedRrTest, GrantsOnlyPendingMasters) {
+  WeightedRoundRobinArbiter arbiter({1, 2, 3, 4});
+  for (std::uint32_t map = 1; map < 16; ++map) {
+    auto reqs = requests(map, 4);
+    for (int i = 0; i < 50; ++i) {
+      const Grant grant = arbiter.arbitrate(RequestView(reqs), 0);
+      ASSERT_TRUE(grant.valid());
+      ASSERT_TRUE(map & (1u << grant.master)) << "map " << map;
+    }
+  }
+}
+
+TEST(WeightedRrTest, NoPendingNoGrant) {
+  WeightedRoundRobinArbiter arbiter({1, 2});
+  auto reqs = requests(0, 2);
+  EXPECT_FALSE(arbiter.arbitrate(RequestView(reqs), 0).valid());
+}
+
+TEST(WeightedRrTest, GrantWordsAreWeightProportionalPerRound) {
+  // Weights 1:3, quantum 8: over a full round master 0 should move 8 words
+  // and master 1 should move 24.
+  WeightedRoundRobinArbiter arbiter({1, 3}, 8);
+  auto reqs = requests(0b11, 2, /*words=*/1000);
+  std::array<std::uint64_t, 2> served{};
+  for (int i = 0; i < 400; ++i) {
+    const Grant grant = arbiter.arbitrate(RequestView(reqs), 0);
+    ASSERT_TRUE(grant.valid());
+    served[static_cast<std::size_t>(grant.master)] += grant.max_words;
+    reqs[static_cast<std::size_t>(grant.master)].head_words_remaining -=
+        grant.max_words;
+    if (reqs[static_cast<std::size_t>(grant.master)].head_words_remaining == 0)
+      reqs[static_cast<std::size_t>(grant.master)].head_words_remaining = 1000;
+  }
+  const double ratio =
+      static_cast<double>(served[1]) / static_cast<double>(served[0]);
+  EXPECT_NEAR(ratio, 3.0, 0.2);
+}
+
+TEST(WeightedRrTest, EndToEndSharesTrackWeights) {
+  // DRR weighting needs backlogs deeper than one message (a weight-4 master
+  // serves 4 messages per round), so queue up to 8 outstanding.
+  std::vector<traffic::TrafficParams> params(4);
+  for (std::size_t m = 0; m < 4; ++m) {
+    params[m].size = traffic::SizeDist::fixed(16);
+    params[m].gap = traffic::GapDist::fixed(0);
+    params[m].max_outstanding = 8;
+    params[m].seed = 40 + m;
+  }
+  auto result = traffic::runTestbed(
+      traffic::defaultBusConfig(4),
+      std::make_unique<WeightedRoundRobinArbiter>(
+          std::vector<std::uint32_t>{1, 2, 3, 4}),
+      params, 100000);
+  EXPECT_NEAR(result.bandwidth_fraction[0], 0.1, 0.02);
+  EXPECT_NEAR(result.bandwidth_fraction[1], 0.2, 0.02);
+  EXPECT_NEAR(result.bandwidth_fraction[2], 0.3, 0.02);
+  EXPECT_NEAR(result.bandwidth_fraction[3], 0.4, 0.02);
+}
+
+TEST(WeightedRrTest, IdleMasterDoesNotBankCredit) {
+  WeightedRoundRobinArbiter arbiter({1, 1}, 4);
+  // Master 1 idle for a long time while master 0 is served.
+  auto reqs = requests(0b01, 2, 1000);
+  for (int i = 0; i < 100; ++i) {
+    auto grant = arbiter.arbitrate(RequestView(reqs), 0);
+    ASSERT_EQ(grant.master, 0);
+  }
+  // Master 1 wakes up: it must NOT get 100 rounds of banked quantum.
+  EXPECT_LE(arbiter.deficit(1), 4);
+}
+
+TEST(WeightedRrTest, ResetClearsState) {
+  WeightedRoundRobinArbiter arbiter({2, 1}, 4);
+  auto reqs = requests(0b11, 2, 100);
+  arbiter.arbitrate(RequestView(reqs), 0);
+  arbiter.reset();
+  EXPECT_EQ(arbiter.deficit(0), 0);
+  EXPECT_EQ(arbiter.deficit(1), 0);
+}
+
+// ---------------------------------------------------------------------------
+// RandomArbiter
+// ---------------------------------------------------------------------------
+
+TEST(RandomArbiterTest, UniformAmongPending) {
+  RandomArbiter arbiter(4, 9);
+  auto reqs = requests(0b1011, 4);
+  std::array<int, 4> wins{};
+  constexpr int kDraws = 120000;
+  for (int i = 0; i < kDraws; ++i)
+    ++wins[static_cast<std::size_t>(
+        arbiter.arbitrate(RequestView(reqs), 0).master)];
+  EXPECT_EQ(wins[2], 0);
+  for (const std::size_t m : {0u, 1u, 3u})
+    EXPECT_NEAR(wins[m] / static_cast<double>(kDraws), 1.0 / 3.0, 0.008);
+}
+
+TEST(RandomArbiterTest, ResetReplays) {
+  RandomArbiter a(4, 5), b(4, 5);
+  auto reqs = requests(0b1111, 4);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.arbitrate(RequestView(reqs), 0).master,
+              b.arbitrate(RequestView(reqs), 0).master);
+  a.reset();
+  RandomArbiter fresh(4, 5);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.arbitrate(RequestView(reqs), 0).master,
+              fresh.arbitrate(RequestView(reqs), 0).master);
+}
+
+// ---------------------------------------------------------------------------
+// FcfsArbiter
+// ---------------------------------------------------------------------------
+
+TEST(FcfsTest, GrantsOldestHeadOfLine) {
+  FcfsArbiter arbiter(3);
+  auto reqs = requests(0b111, 3);
+  reqs[0].head_arrival = 30;
+  reqs[1].head_arrival = 10;
+  reqs[2].head_arrival = 20;
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 40).master, 1);
+  reqs[1].pending = false;
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 40).master, 2);
+}
+
+TEST(FcfsTest, NoPendingNoGrant) {
+  FcfsArbiter arbiter(2);
+  auto reqs = requests(0, 2);
+  EXPECT_FALSE(arbiter.arbitrate(RequestView(reqs), 0).valid());
+}
+
+// ---------------------------------------------------------------------------
+// Preemption
+// ---------------------------------------------------------------------------
+
+bus::BusConfig preemptiveConfig() {
+  bus::BusConfig config;
+  config.num_masters = 2;
+  config.max_burst_words = 64;
+  config.allow_preemption = true;
+  return config;
+}
+
+TEST(PreemptionTest, HighPriorityInterruptsLongBurst) {
+  bus::Bus bus(preemptiveConfig(), std::make_unique<StaticPriorityArbiter>(
+                                       std::vector<unsigned>{1, 2}));
+  bus::Message low;
+  low.words = 64;
+  low.arrival = 0;
+  bus.push(0, low);
+  for (bus::Cycle t = 0; t < 10; ++t) bus.cycle(t);
+
+  bus::Message high;
+  high.words = 4;
+  high.arrival = 10;
+  bus.push(1, high);
+  for (bus::Cycle t = 10; t < 80; ++t) bus.cycle(t);
+
+  EXPECT_EQ(bus.preemptions(), 1u);
+  // Master 1's message runs cycles 10..13: latency 4 despite the long burst.
+  EXPECT_DOUBLE_EQ(bus.latency().cyclesPerWord(1), 1.0);
+  // Master 0 still completes (its remaining words resume after).
+  EXPECT_EQ(bus.latency().messages(0), 1u);
+  EXPECT_DOUBLE_EQ(bus.latency().cyclesPerWord(0), 68.0 / 64.0);
+}
+
+TEST(PreemptionTest, DisabledByDefault) {
+  bus::BusConfig config = preemptiveConfig();
+  config.allow_preemption = false;
+  bus::Bus bus(config, std::make_unique<StaticPriorityArbiter>(
+                           std::vector<unsigned>{1, 2}));
+  bus::Message low;
+  low.words = 64;
+  bus.push(0, low);
+  for (bus::Cycle t = 0; t < 10; ++t) bus.cycle(t);
+  bus::Message high;
+  high.words = 4;
+  high.arrival = 10;
+  bus.push(1, high);
+  for (bus::Cycle t = 10; t < 80; ++t) bus.cycle(t);
+  EXPECT_EQ(bus.preemptions(), 0u);
+  // Master 1 had to wait for the full 64-word burst: finishes at cycle 67.
+  EXPECT_DOUBLE_EQ(bus.latency().cyclesPerWord(1), 58.0 / 4.0);
+}
+
+TEST(PreemptionTest, NoPreemptionAmongEqualPriorities) {
+  bus::Bus bus(preemptiveConfig(), std::make_unique<StaticPriorityArbiter>(
+                                       std::vector<unsigned>{2, 1}));
+  bus::Message first;
+  first.words = 32;
+  bus.push(0, first);  // master 0 already holds the higher priority
+  bus.cycle(0);
+  bus::Message second;
+  second.words = 4;
+  second.arrival = 1;
+  bus.push(1, second);
+  for (bus::Cycle t = 1; t < 40; ++t) bus.cycle(t);
+  EXPECT_EQ(bus.preemptions(), 0u);
+}
+
+TEST(PreemptionTest, DefaultArbitersNeverPreempt) {
+  bus::BusConfig config = preemptiveConfig();
+  bus::Bus bus(config, std::make_unique<core::LotteryArbiter>(
+                           std::vector<std::uint32_t>{1, 8}));
+  bus::Message low;
+  low.words = 64;
+  bus.push(0, low);
+  bus.cycle(0);
+  bus::Message high;
+  high.words = 4;
+  high.arrival = 1;
+  bus.push(1, high);
+  for (bus::Cycle t = 1; t < 80; ++t) bus.cycle(t);
+  EXPECT_EQ(bus.preemptions(), 0u);  // base-class hook declines
+}
+
+TEST(PreemptionTest, PreemptedWordsAreNotLost) {
+  bus::Bus bus(preemptiveConfig(), std::make_unique<StaticPriorityArbiter>(
+                                       std::vector<unsigned>{1, 2}));
+  std::uint64_t words_done = 0;
+  bus.onCompletion([&](bus::MasterId, const bus::Message& msg, bus::Cycle) {
+    words_done += msg.words;
+  });
+  bus::Message low;
+  low.words = 40;
+  bus.push(0, low);
+  // Repeatedly interrupt with high-priority 2-word messages.
+  for (bus::Cycle t = 0; t < 120; ++t) {
+    if (t % 10 == 5 && bus.idle(1)) {
+      bus::Message high;
+      high.words = 2;
+      high.arrival = t;
+      bus.push(1, high);
+    }
+    bus.cycle(t);
+  }
+  EXPECT_EQ(bus.latency().messages(0), 1u);
+  EXPECT_GT(bus.preemptions(), 3u);
+  EXPECT_EQ(bus.bandwidth().wordsTransferred(0), 40u);
+  EXPECT_EQ(words_done, 40u + bus.latency().messages(1) * 2);
+}
+
+}  // namespace
+}  // namespace lb::arb

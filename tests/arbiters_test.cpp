@@ -1,0 +1,286 @@
+// Unit tests for the baseline arbiters: static priority, round-robin,
+// token ring, and two-level TDMA.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "arbiters/round_robin.hpp"
+#include "arbiters/static_priority.hpp"
+#include "arbiters/tdma.hpp"
+#include "arbiters/token_ring.hpp"
+#include "bus/arbiter.hpp"
+
+namespace lb::arb {
+namespace {
+
+using bus::Grant;
+using bus::MasterRequest;
+using bus::RequestView;
+
+/// Builds a request snapshot from a pending bitmap.
+std::vector<MasterRequest> requests(std::uint32_t map, std::size_t n,
+                                    std::uint32_t words = 8) {
+  std::vector<MasterRequest> reqs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    reqs[i].pending = (map & (1u << i)) != 0;
+    reqs[i].head_words_remaining = reqs[i].pending ? words : 0;
+  }
+  return reqs;
+}
+
+// ---------------------------------------------------------------------------
+// StaticPriorityArbiter
+// ---------------------------------------------------------------------------
+
+TEST(StaticPriorityTest, GrantsHighestPriorityPending) {
+  StaticPriorityArbiter arbiter({1, 4, 2, 3});  // master 1 is top priority
+  auto reqs = requests(0b1111, 4);
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 0).master, 1);
+  reqs = requests(0b1101, 4);  // master 1 idle
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 0).master, 3);
+  reqs = requests(0b0101, 4);
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 0).master, 2);
+  reqs = requests(0b0001, 4);
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 0).master, 0);
+}
+
+TEST(StaticPriorityTest, NoRequestNoGrant) {
+  StaticPriorityArbiter arbiter({1, 2});
+  auto reqs = requests(0, 2);
+  EXPECT_FALSE(arbiter.arbitrate(RequestView(reqs), 0).valid());
+}
+
+TEST(StaticPriorityTest, RejectsDuplicateOrEmptyPriorities) {
+  EXPECT_THROW(StaticPriorityArbiter({1, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(StaticPriorityArbiter({}), std::invalid_argument);
+}
+
+TEST(StaticPriorityTest, MasterCountMismatchIsLogicError) {
+  StaticPriorityArbiter arbiter({1, 2});
+  auto reqs = requests(0b111, 3);
+  EXPECT_THROW(arbiter.arbitrate(RequestView(reqs), 0), std::logic_error);
+}
+
+TEST(StaticPriorityTest, IsDeterministicAcrossTime) {
+  StaticPriorityArbiter arbiter({3, 1, 2});
+  auto reqs = requests(0b111, 3);
+  for (bus::Cycle t = 0; t < 100; ++t)
+    EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), t).master, 0);
+}
+
+// ---------------------------------------------------------------------------
+// RoundRobinArbiter
+// ---------------------------------------------------------------------------
+
+TEST(RoundRobinTest, RotatesAmongPendingMasters) {
+  RoundRobinArbiter arbiter(4);
+  auto reqs = requests(0b1111, 4);
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i)
+    order.push_back(arbiter.arbitrate(RequestView(reqs), 0).master);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST(RoundRobinTest, SkipsIdleMasters) {
+  RoundRobinArbiter arbiter(4);
+  auto reqs = requests(0b1010, 4);  // masters 1, 3
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i)
+    order.push_back(arbiter.arbitrate(RequestView(reqs), 0).master);
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 1, 3}));
+}
+
+TEST(RoundRobinTest, PointerPersistsAcrossIdlePhases) {
+  RoundRobinArbiter arbiter(3);
+  auto all = requests(0b111, 3);
+  EXPECT_EQ(arbiter.arbitrate(RequestView(all), 0).master, 0);
+  auto none = requests(0, 3);
+  EXPECT_FALSE(arbiter.arbitrate(RequestView(none), 1).valid());
+  EXPECT_EQ(arbiter.arbitrate(RequestView(all), 2).master, 1);
+}
+
+TEST(RoundRobinTest, ResetRestartsAtZero) {
+  RoundRobinArbiter arbiter(2);
+  auto reqs = requests(0b11, 2);
+  arbiter.arbitrate(RequestView(reqs), 0);
+  arbiter.reset();
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 0).master, 0);
+}
+
+// ---------------------------------------------------------------------------
+// TokenRingArbiter
+// ---------------------------------------------------------------------------
+
+TEST(TokenRingTest, ZeroHopCostBehavesLikeRoundRobin) {
+  TokenRingArbiter arbiter(3, 0);
+  auto reqs = requests(0b111, 3);
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i)
+    order.push_back(arbiter.arbitrate(RequestView(reqs), 0).master);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(TokenRingTest, HopLatencyStallsTheBus) {
+  TokenRingArbiter arbiter(4, 2);  // 2 cycles per hop
+  auto reqs = requests(0b0100, 4);  // only master 2 pending; token at 0
+  // Token must travel 2 hops = 4 cycles before master 2 can transmit.
+  EXPECT_FALSE(arbiter.arbitrate(RequestView(reqs), 0).valid());
+  EXPECT_FALSE(arbiter.arbitrate(RequestView(reqs), 1).valid());
+  EXPECT_FALSE(arbiter.arbitrate(RequestView(reqs), 2).valid());
+  EXPECT_FALSE(arbiter.arbitrate(RequestView(reqs), 3).valid());
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 4).master, 2);
+}
+
+TEST(TokenRingTest, TokenAdvancesPastServedMaster) {
+  TokenRingArbiter arbiter(2, 0);
+  auto reqs = requests(0b01, 2);
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 0).master, 0);
+  EXPECT_EQ(arbiter.tokenHolder(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// TdmaArbiter: wheel construction
+// ---------------------------------------------------------------------------
+
+TEST(TdmaWheelTest, ContiguousWheelLayout) {
+  const auto wheel = TdmaArbiter::contiguousWheel({2, 1, 3});
+  EXPECT_EQ(wheel, (std::vector<int>{0, 0, 1, 2, 2, 2}));
+}
+
+TEST(TdmaWheelTest, InterleavedWheelPreservesCounts) {
+  const std::vector<unsigned> alloc = {1, 2, 3, 4};
+  const auto wheel = TdmaArbiter::interleavedWheel(alloc);
+  ASSERT_EQ(wheel.size(), 10u);
+  std::array<unsigned, 4> counts{};
+  for (const int owner : wheel) {
+    ASSERT_GE(owner, 0);
+    ASSERT_LT(owner, 4);
+    ++counts[static_cast<std::size_t>(owner)];
+  }
+  EXPECT_EQ(counts, (std::array<unsigned, 4>{1, 2, 3, 4}));
+  // Interleaving: master 3 (4 slots of 10) never owns 3 slots in a row.
+  for (std::size_t i = 0; i + 2 < wheel.size(); ++i)
+    EXPECT_FALSE(wheel[i] == wheel[i + 1] && wheel[i] == wheel[i + 2]);
+}
+
+TEST(TdmaWheelTest, RejectsBadWheels) {
+  EXPECT_THROW(TdmaArbiter({}, 2), std::invalid_argument);
+  EXPECT_THROW(TdmaArbiter({0, 5}, 2), std::invalid_argument);
+  EXPECT_THROW(TdmaArbiter({0, -2}, 2), std::invalid_argument);
+  EXPECT_THROW(TdmaArbiter::contiguousWheel({0, 0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// TdmaArbiter: arbitration semantics
+// ---------------------------------------------------------------------------
+
+TEST(TdmaTest, SlotOwnerGetsSingleWordGrant) {
+  TdmaArbiter arbiter(TdmaArbiter::contiguousWheel({1, 1, 1}), 3);
+  auto reqs = requests(0b111, 3);
+  for (bus::Cycle t = 0; t < 6; ++t) {
+    const Grant grant = arbiter.arbitrate(RequestView(reqs), t);
+    EXPECT_EQ(grant.master, static_cast<int>(t % 3));
+    EXPECT_EQ(grant.max_words, 1u);
+  }
+}
+
+TEST(TdmaTest, WheelPositionTracksAbsoluteTime) {
+  TdmaArbiter arbiter(TdmaArbiter::contiguousWheel({1, 1}), 2);
+  auto reqs = requests(0b11, 2);
+  // Skipping cycles does not desynchronize the wheel.
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 0).master, 0);
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 5).master, 1);
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 6).master, 0);
+}
+
+TEST(TdmaTest, SecondLevelReclaimsIdleSlots) {
+  // Wheel entirely owned by master 0, which is idle; masters 1 and 2 pend.
+  TdmaArbiter arbiter(TdmaArbiter::contiguousWheel({4, 0, 0}), 3);
+  auto reqs = requests(0b110, 3);
+  std::vector<int> order;
+  for (bus::Cycle t = 0; t < 4; ++t)
+    order.push_back(arbiter.arbitrate(RequestView(reqs), t).master);
+  // Round-robin among the pending masters.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2}));
+}
+
+TEST(TdmaTest, SingleLevelWastesIdleSlots) {
+  TdmaArbiter arbiter(TdmaArbiter::contiguousWheel({2, 2}), 2,
+                      /*two_level=*/false);
+  auto reqs = requests(0b10, 2);  // only master 1 pending
+  EXPECT_FALSE(arbiter.arbitrate(RequestView(reqs), 0).valid());
+  EXPECT_FALSE(arbiter.arbitrate(RequestView(reqs), 1).valid());
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 2).master, 1);
+}
+
+TEST(TdmaTest, PhaseShiftsTheWheel) {
+  TdmaArbiter arbiter(TdmaArbiter::contiguousWheel({1, 1}), 2);
+  arbiter.setPhase(1);
+  auto reqs = requests(0b11, 2);
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 0).master, 1);
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 1).master, 0);
+}
+
+TEST(TdmaTest, RoundRobinPointerAdvancesOnlyOnReclaim) {
+  // Paper Figure 2: the rr pointer moves from its *earlier position* to the
+  // next pending request when a slot is reclaimed.
+  TdmaArbiter arbiter(TdmaArbiter::contiguousWheel({1, 1, 1, 1}), 4);
+  // Slot 0 (owner 0 idle): reclaim -> master 1; rr now past 1.
+  auto reqs = requests(0b1110, 4);
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 0).master, 1);
+  // Slot 1 (owner 1 pending): level-1 grant; rr untouched.
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 1).master, 1);
+  // Slot 2 idle-owner? owner 2 pending: level-1 grant.
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 2).master, 2);
+  // Slot 3 pending too.
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 3).master, 3);
+  // Slot 0 again: reclaim continues round-robin from master 2.
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 4).master, 2);
+}
+
+TEST(TdmaTest, NoPendingNoGrant) {
+  TdmaArbiter arbiter(TdmaArbiter::contiguousWheel({1, 1}), 2);
+  auto reqs = requests(0, 2);
+  for (bus::Cycle t = 0; t < 4; ++t)
+    EXPECT_FALSE(arbiter.arbitrate(RequestView(reqs), t).valid());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-arbiter property: a grant always names a pending master
+// ---------------------------------------------------------------------------
+
+class GrantValidityTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(GrantValidityTest, EveryArbiterGrantsOnlyPendingMasters) {
+  const std::uint32_t map = GetParam();
+  std::vector<std::unique_ptr<bus::IArbiter>> arbiters;
+  arbiters.push_back(std::make_unique<StaticPriorityArbiter>(
+      std::vector<unsigned>{2, 4, 1, 3}));
+  arbiters.push_back(std::make_unique<RoundRobinArbiter>(4));
+  arbiters.push_back(std::make_unique<TokenRingArbiter>(4, 0));
+  arbiters.push_back(std::make_unique<TdmaArbiter>(
+      TdmaArbiter::contiguousWheel({1, 2, 3, 4}), 4));
+
+  auto reqs = requests(map, 4);
+  for (auto& arbiter : arbiters) {
+    for (bus::Cycle t = 0; t < 20; ++t) {
+      const Grant grant = arbiter->arbitrate(RequestView(reqs), t);
+      if (map == 0) {
+        EXPECT_FALSE(grant.valid()) << arbiter->name();
+      } else if (grant.valid()) {
+        EXPECT_TRUE(map & (1u << grant.master))
+            << arbiter->name() << " granted idle master " << grant.master;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRequestMaps, GrantValidityTest,
+                         ::testing::Range(0u, 16u));
+
+}  // namespace
+}  // namespace lb::arb

@@ -1,0 +1,209 @@
+// Tests for the output-queued ATM switch cell-forwarding unit and the
+// Table-1 scenario.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "arbiters/round_robin.hpp"
+#include "atm/atm_switch.hpp"
+#include "atm/scenario.hpp"
+#include "core/lottery.hpp"
+
+namespace lb::atm {
+namespace {
+
+AtmSwitchConfig smallConfig(double rate = 0.01) {
+  AtmSwitchConfig config;
+  config.num_ports = 2;
+  config.cell_words = 4;
+  config.queue_capacity = 16;
+  config.seed = 5;
+  config.bus.num_masters = 2;
+  config.bus.max_burst_words = 8;
+  PortTraffic traffic;
+  traffic.on_rate = rate;
+  config.traffic = {traffic, traffic};
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Construction & conservation
+// ---------------------------------------------------------------------------
+
+TEST(AtmSwitchTest, RejectsBadConfig) {
+  auto arb = [] { return std::make_unique<arb::RoundRobinArbiter>(2); };
+  AtmSwitchConfig config = smallConfig();
+  config.traffic.pop_back();
+  EXPECT_THROW(AtmSwitch(config, arb()), std::invalid_argument);
+
+  config = smallConfig();
+  config.cell_words = 0;
+  EXPECT_THROW(AtmSwitch(config, arb()), std::invalid_argument);
+
+  config = smallConfig();
+  config.queue_capacity = 0;
+  EXPECT_THROW(AtmSwitch(config, arb()), std::invalid_argument);
+}
+
+TEST(AtmSwitchTest, CellConservation) {
+  AtmSwitch sw(smallConfig(0.02), std::make_unique<arb::RoundRobinArbiter>(2));
+  sw.run(50000);
+  for (std::size_t p = 0; p < 2; ++p) {
+    const PortCounters& c = sw.counters(p);
+    EXPECT_GT(c.cells_in, 100u) << "port " << p;
+    // in = out + dropped + still queued/in flight
+    EXPECT_GE(c.cells_in, c.cells_out + c.cells_dropped);
+    EXPECT_LE(c.cells_in - c.cells_out - c.cells_dropped,
+              sw.busModel().queueDepth(static_cast<int>(p)) + 17u);
+  }
+}
+
+TEST(AtmSwitchTest, LightLoadHasNoDropsAndLowLatency) {
+  AtmSwitch sw(smallConfig(0.005),
+               std::make_unique<arb::RoundRobinArbiter>(2));
+  sw.run(50000);
+  for (std::size_t p = 0; p < 2; ++p) {
+    EXPECT_EQ(sw.counters(p).cells_dropped, 0u);
+    // Under ~4% utilization a 4-word cell rarely waits: ~1 cycle/word.
+    EXPECT_LT(sw.cyclesPerWord(p), 1.6);
+  }
+}
+
+TEST(AtmSwitchTest, OverloadDropsCellsAtFiniteQueues) {
+  AtmSwitch sw(smallConfig(0.4),  // 2 ports x 0.4 x 4 words >> capacity
+               std::make_unique<arb::RoundRobinArbiter>(2));
+  sw.run(50000);
+  EXPECT_GT(sw.counters(0).cells_dropped, 0u);
+  EXPECT_GT(sw.counters(1).cells_dropped, 0u);
+  EXPECT_EQ(sw.counters(0).max_queue_depth, 16u);
+}
+
+TEST(AtmSwitchTest, BurstyPortAlternatesOnOff) {
+  AtmSwitchConfig config = smallConfig(0.0);
+  config.traffic[0].on_rate = 0.5;
+  config.traffic[0].mean_on = 50;
+  config.traffic[0].mean_off = 50;
+  config.traffic[1].on_rate = 0.0;
+  AtmSwitch sw(config, std::make_unique<arb::RoundRobinArbiter>(2));
+  sw.run(20000);
+  // ~50% duty at 0.5 cells/cycle -> ~5000 cells offered; far from always-on.
+  EXPECT_GT(sw.counters(0).cells_in, 3000u);
+  EXPECT_LT(sw.counters(0).cells_in, 7000u);
+  EXPECT_EQ(sw.counters(1).cells_in, 0u);
+}
+
+TEST(AtmSwitchTest, PeriodicLinkDeliversExactCellRate) {
+  AtmSwitchConfig config = smallConfig(0.0);
+  config.traffic[0].period = 100;
+  config.traffic[0].phase = 7;
+  config.traffic[1].on_rate = 0.0;
+  AtmSwitch sw(config, std::make_unique<arb::RoundRobinArbiter>(2));
+  sw.run(10000);
+  // Exactly one cell per 100 cycles, no randomness.
+  EXPECT_EQ(sw.counters(0).cells_in, 100u);
+  EXPECT_EQ(sw.counters(0).cells_dropped, 0u);
+  EXPECT_EQ(sw.counters(0).max_queue_depth, 1u);
+  // Uncontended periodic cells: latency == transfer time (4 words + the
+  // 1-cycle dequeue-to-request step).
+  EXPECT_NEAR(sw.meanCellLatency(0), 5.0, 1.0);
+}
+
+TEST(AtmSwitchTest, PeriodicPhaseShiftsArrivalCycle) {
+  AtmSwitchConfig config = smallConfig(0.0);
+  config.traffic[0].period = 50;
+  config.traffic[0].phase = 20;
+  config.traffic[1].on_rate = 0.0;
+  AtmSwitch sw(config, std::make_unique<arb::RoundRobinArbiter>(2));
+  sw.run(20);  // phase not reached yet
+  EXPECT_EQ(sw.counters(0).cells_in, 0u);
+  sw.run(1);
+  EXPECT_EQ(sw.counters(0).cells_in, 1u);
+}
+
+TEST(AtmSwitchTest, WarmupDiscardsStatistics) {
+  AtmSwitch sw(smallConfig(0.02), std::make_unique<arb::RoundRobinArbiter>(2));
+  sw.run(10000, /*warmup=*/5000);
+  // Counters only cover the measured window; rough sanity bound.
+  EXPECT_LT(sw.counters(0).cells_in, 400u);
+  EXPECT_GT(sw.counters(0).cells_in, 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Table-1 scenario
+// ---------------------------------------------------------------------------
+
+TEST(Table1ScenarioTest, WeightsAndNames) {
+  EXPECT_EQ(table1Weights(), (std::vector<std::uint32_t>{1, 2, 4, 6}));
+  EXPECT_STREQ(architectureName(Architecture::kLottery), "lottery");
+  EXPECT_STREQ(architectureName(Architecture::kTdma), "tdma-2level");
+  EXPECT_STREQ(architectureName(Architecture::kStaticPriority),
+               "static-priority");
+}
+
+TEST(Table1ScenarioTest, ArbiterFactoryProducesEachKind) {
+  EXPECT_EQ(table1Arbiter(Architecture::kStaticPriority)->name(),
+            "static-priority");
+  EXPECT_EQ(table1Arbiter(Architecture::kTdma)->name(), "tdma-2level");
+  EXPECT_EQ(table1Arbiter(Architecture::kLottery)->name(), "lottery");
+}
+
+// The three QoS assertions of Table 1, run at reduced length for test speed.
+class Table1PropertyTest : public ::testing::Test {
+protected:
+  static constexpr sim::Cycle kCycles = 300000;
+
+  static AtmSwitch& get(Architecture architecture) {
+    static std::map<Architecture, std::unique_ptr<AtmSwitch>> cache;
+    auto it = cache.find(architecture);
+    if (it == cache.end()) {
+      auto sw = makeTable1Switch(architecture);
+      sw->run(kCycles, /*warmup=*/20000);
+      it = cache.emplace(architecture, std::move(sw)).first;
+    }
+    return *it->second;
+  }
+};
+
+TEST_F(Table1PropertyTest, LotteryMatchesReservations) {
+  AtmSwitch& sw = get(Architecture::kLottery);
+  // Ports 1..3 are backlogged; their share of best-effort traffic must track
+  // tickets 1:2:4.
+  const double p0 = sw.trafficShare(0);
+  const double p1 = sw.trafficShare(1);
+  const double p2 = sw.trafficShare(2);
+  EXPECT_NEAR(p1 / p0, 2.0, 0.5);
+  EXPECT_NEAR(p2 / p0, 4.0, 1.0);
+}
+
+TEST_F(Table1PropertyTest, StaticPriorityStarvesLowPriorityPort) {
+  AtmSwitch& sw = get(Architecture::kStaticPriority);
+  // Port 1 (lowest priority) receives almost nothing while ports 2,3 pend.
+  EXPECT_LT(sw.trafficShare(0), 0.08);
+  EXPECT_GT(sw.trafficShare(2), 0.5);
+}
+
+TEST_F(Table1PropertyTest, Port4LatencyOrdering) {
+  const double priority_latency =
+      get(Architecture::kStaticPriority).cyclesPerWord(3);
+  const double tdma_latency = get(Architecture::kTdma).cyclesPerWord(3);
+  const double lottery_latency = get(Architecture::kLottery).cyclesPerWord(3);
+  // Paper: 1.39 (priority) vs 9.18 (TDMA) vs ~1.8 (lottery).
+  EXPECT_LT(priority_latency, lottery_latency * 1.2);
+  EXPECT_GT(tdma_latency, lottery_latency * 2.0);
+  EXPECT_GT(tdma_latency, priority_latency * 3.0);
+}
+
+TEST_F(Table1PropertyTest, Port4IsLightlyLoadedInAllArchitectures) {
+  for (const Architecture architecture :
+       {Architecture::kStaticPriority, Architecture::kTdma,
+        Architecture::kLottery}) {
+    AtmSwitch& sw = get(architecture);
+    EXPECT_LT(sw.bandwidthFraction(3), 0.25) << architectureName(architecture);
+    EXPECT_GT(sw.counters(3).cells_out, 100u);
+  }
+}
+
+}  // namespace
+}  // namespace lb::atm

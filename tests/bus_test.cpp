@@ -1,0 +1,473 @@
+// Unit tests for the cycle-accurate shared-bus model.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "arbiters/round_robin.hpp"
+#include "arbiters/static_priority.hpp"
+#include "bus/bridge.hpp"
+#include "bus/bus.hpp"
+#include "bus/master_interface.hpp"
+#include "sim/kernel.hpp"
+
+namespace lb::bus {
+namespace {
+
+/// Grants the lowest-indexed pending master (deterministic test arbiter).
+class FirstComeArbiter final : public IArbiter {
+public:
+  Grant arbitrate(const RequestView& requests, Cycle) override {
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      if (requests[i].pending) return Grant{static_cast<MasterId>(i), 0};
+    return Grant{};
+  }
+  std::string name() const override { return "first-come"; }
+};
+
+/// Misbehaving arbiter that grants master 1 unconditionally.
+class RogueArbiter final : public IArbiter {
+public:
+  Grant arbitrate(const RequestView&, Cycle) override { return Grant{1, 0}; }
+  std::string name() const override { return "rogue"; }
+};
+
+BusConfig config4(std::uint32_t max_burst = 16) {
+  BusConfig config;
+  config.num_masters = 4;
+  config.max_burst_words = max_burst;
+  return config;
+}
+
+void runCycles(Bus& bus, Cycle from, Cycle count) {
+  for (Cycle t = from; t < from + count; ++t) bus.cycle(t);
+}
+
+// ---------------------------------------------------------------------------
+// Construction & validation
+// ---------------------------------------------------------------------------
+
+TEST(BusValidationTest, RejectsBadConfig) {
+  auto arb = [] { return std::make_unique<FirstComeArbiter>(); };
+  BusConfig no_masters = config4();
+  no_masters.num_masters = 0;
+  EXPECT_THROW(Bus(no_masters, arb()), std::invalid_argument);
+
+  BusConfig no_burst = config4();
+  no_burst.max_burst_words = 0;
+  EXPECT_THROW(Bus(no_burst, arb()), std::invalid_argument);
+
+  BusConfig no_slaves = config4();
+  no_slaves.slaves.clear();
+  EXPECT_THROW(Bus(no_slaves, arb()), std::invalid_argument);
+
+  EXPECT_THROW(Bus(config4(), nullptr), std::invalid_argument);
+}
+
+TEST(BusValidationTest, RejectsBadMessages) {
+  Bus bus(config4(), std::make_unique<FirstComeArbiter>());
+  EXPECT_THROW(bus.push(-1, Message{}), std::invalid_argument);
+  EXPECT_THROW(bus.push(4, Message{}), std::invalid_argument);
+  Message zero;
+  zero.words = 0;
+  EXPECT_THROW(bus.push(0, zero), std::invalid_argument);
+  Message bad_slave;
+  bad_slave.slave = 3;
+  EXPECT_THROW(bus.push(0, bad_slave), std::invalid_argument);
+}
+
+TEST(BusValidationTest, RogueGrantIsALogicError) {
+  Bus bus(config4(), std::make_unique<RogueArbiter>());
+  Message m;
+  m.words = 4;
+  bus.push(0, m);  // master 1 has nothing pending
+  EXPECT_THROW(bus.cycle(0), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Single-master transfer mechanics
+// ---------------------------------------------------------------------------
+
+TEST(BusTransferTest, SingleMessageLatencyEqualsWords) {
+  Bus bus(config4(), std::make_unique<FirstComeArbiter>());
+  Message m;
+  m.words = 4;
+  m.arrival = 0;
+  bus.push(0, m);
+  runCycles(bus, 0, 4);
+  EXPECT_EQ(bus.latency().messages(0), 1u);
+  // Granted in cycle 0, last word in cycle 3: latency 4, 1.0 cycles/word.
+  EXPECT_DOUBLE_EQ(bus.latency().cyclesPerWord(0), 1.0);
+  EXPECT_TRUE(bus.idle(0));
+}
+
+TEST(BusTransferTest, LongMessageSplitsIntoBursts) {
+  Bus bus(config4(16), std::make_unique<FirstComeArbiter>());
+  Message m;
+  m.words = 40;
+  bus.push(0, m);
+  runCycles(bus, 0, 40);
+  EXPECT_EQ(bus.latency().messages(0), 1u);
+  EXPECT_EQ(bus.grantsIssued(), 3u);  // 16 + 16 + 8
+  EXPECT_DOUBLE_EQ(bus.latency().cyclesPerWord(0), 1.0);  // back-to-back
+}
+
+TEST(BusTransferTest, FifoOrderWithinAMaster) {
+  Bus bus(config4(), std::make_unique<FirstComeArbiter>());
+  std::vector<std::uint64_t> completed;
+  bus.onCompletion([&](MasterId, const Message& msg, Cycle) {
+    completed.push_back(msg.tag);
+  });
+  for (std::uint64_t tag = 0; tag < 3; ++tag) {
+    Message m;
+    m.words = 2;
+    m.tag = tag;
+    bus.push(0, m);
+  }
+  runCycles(bus, 0, 6);
+  EXPECT_EQ(completed, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(BusTransferTest, IdleCyclesAreCounted) {
+  Bus bus(config4(), std::make_unique<FirstComeArbiter>());
+  runCycles(bus, 0, 10);
+  EXPECT_EQ(bus.bandwidth().idleCycles(), 10u);
+  EXPECT_DOUBLE_EQ(bus.bandwidth().unutilizedFraction(), 1.0);
+}
+
+TEST(BusTransferTest, CompletionCallbackReportsFinishCycle) {
+  Bus bus(config4(), std::make_unique<FirstComeArbiter>());
+  Cycle finish = 0;
+  bus.onCompletion([&](MasterId master, const Message&, Cycle f) {
+    EXPECT_EQ(master, 0);
+    finish = f;
+  });
+  Message m;
+  m.words = 5;
+  m.arrival = 0;
+  bus.push(0, m);
+  runCycles(bus, 0, 10);
+  EXPECT_EQ(finish, 4u);  // words 5, cycles 0..4
+}
+
+TEST(BusTransferTest, LatencyIncludesWaitForEarlierMessage) {
+  Bus bus(config4(), std::make_unique<FirstComeArbiter>());
+  Message first;
+  first.words = 8;
+  first.arrival = 0;
+  bus.push(0, first);
+  Message second;
+  second.words = 2;
+  second.arrival = 0;
+  bus.push(1, second);
+  runCycles(bus, 0, 10);
+  // Master 1 waits 8 cycles, transfers cycles 8..9 -> latency 10, 5.0 c/w.
+  EXPECT_DOUBLE_EQ(bus.latency().cyclesPerWord(1), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Grant clamping
+// ---------------------------------------------------------------------------
+
+TEST(BusGrantTest, GrantClampedToMaxBurst) {
+  Bus bus(config4(8), std::make_unique<FirstComeArbiter>());
+  bus.setTraceEnabled(true);
+  Message m;
+  m.words = 20;
+  bus.push(0, m);
+  runCycles(bus, 0, 20);
+  ASSERT_EQ(bus.trace().size(), 3u);
+  EXPECT_EQ(bus.trace()[0].words, 8u);
+  EXPECT_EQ(bus.trace()[1].words, 8u);
+  EXPECT_EQ(bus.trace()[2].words, 4u);
+}
+
+TEST(BusGrantTest, ArbiterMaxWordsRespected) {
+  // An arbiter that always grants single words (TDMA-style).
+  class SingleWordArbiter final : public IArbiter {
+  public:
+    Grant arbitrate(const RequestView& requests, Cycle) override {
+      for (std::size_t i = 0; i < requests.size(); ++i)
+        if (requests[i].pending) return Grant{static_cast<MasterId>(i), 1};
+      return Grant{};
+    }
+    std::string name() const override { return "single-word"; }
+  };
+  Bus bus(config4(16), std::make_unique<SingleWordArbiter>());
+  Message m;
+  m.words = 4;
+  bus.push(0, m);
+  runCycles(bus, 0, 4);
+  EXPECT_EQ(bus.grantsIssued(), 4u);
+  EXPECT_EQ(bus.latency().messages(0), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Arbitration overhead & wait states
+// ---------------------------------------------------------------------------
+
+TEST(BusOverheadTest, NonPipelinedArbitrationCostsCycles) {
+  BusConfig config = config4(16);
+  config.pipelined_arbitration = false;
+  config.arb_overhead_cycles = 2;
+  Bus bus(config, std::make_unique<FirstComeArbiter>());
+  Message m;
+  m.words = 4;
+  m.arrival = 0;
+  bus.push(0, m);
+  runCycles(bus, 0, 6);
+  // 2 overhead cycles + 4 data cycles: finish at cycle 5, latency 6.
+  EXPECT_EQ(bus.latency().messages(0), 1u);
+  EXPECT_DOUBLE_EQ(bus.latency().cyclesPerWord(0), 6.0 / 4.0);
+  EXPECT_EQ(bus.bandwidth().overheadCycles(), 2u);
+}
+
+TEST(BusOverheadTest, PipelinedArbitrationHasNoDeadCycles) {
+  BusConfig config = config4(4);
+  config.pipelined_arbitration = true;
+  config.arb_overhead_cycles = 2;  // ignored when pipelined
+  Bus bus(config, std::make_unique<FirstComeArbiter>());
+  Message a;
+  a.words = 4;
+  bus.push(0, a);
+  Message b;
+  b.words = 4;
+  b.arrival = 0;
+  bus.push(1, b);
+  runCycles(bus, 0, 8);
+  EXPECT_EQ(bus.bandwidth().overheadCycles(), 0u);
+  EXPECT_EQ(bus.latency().messages(0), 1u);
+  EXPECT_EQ(bus.latency().messages(1), 1u);
+}
+
+TEST(BusOverheadTest, SlaveWaitStatesStretchWords) {
+  BusConfig config = config4();
+  config.slaves = {SlaveConfig{"slow", 1}};  // 2 cycles per word
+  Bus bus(config, std::make_unique<FirstComeArbiter>());
+  Message m;
+  m.words = 3;
+  m.arrival = 0;
+  bus.push(0, m);
+  runCycles(bus, 0, 6);
+  EXPECT_EQ(bus.latency().messages(0), 1u);
+  EXPECT_DOUBLE_EQ(bus.latency().cyclesPerWord(0), 2.0);
+  EXPECT_EQ(bus.bandwidth().overheadCycles(), 3u);  // one wait per word
+  EXPECT_EQ(bus.bandwidth().wordsTransferred(0), 3u);
+}
+
+TEST(BusOverheadTest, PerSlaveWaitStates) {
+  BusConfig config = config4();
+  config.slaves = {SlaveConfig{"fast", 0}, SlaveConfig{"slow", 3}};
+  Bus bus(config, std::make_unique<FirstComeArbiter>());
+  Message fast;
+  fast.words = 4;
+  fast.slave = 0;
+  bus.push(0, fast);
+  Message slow;
+  slow.words = 1;
+  slow.slave = 1;
+  bus.push(1, slow);
+  runCycles(bus, 0, 8);
+  EXPECT_DOUBLE_EQ(bus.latency().cyclesPerWord(0), 1.0);
+  // Slow slave: waits 4 cycles for master 0, then 4 cycles for its word.
+  EXPECT_DOUBLE_EQ(bus.latency().cyclesPerWord(1), 8.0);
+}
+
+// ---------------------------------------------------------------------------
+// State inspection, reset, tickets
+// ---------------------------------------------------------------------------
+
+TEST(BusStateTest, QueueAndBacklogTracking) {
+  Bus bus(config4(), std::make_unique<FirstComeArbiter>());
+  Message m;
+  m.words = 6;
+  bus.push(0, m);
+  bus.push(0, m);
+  EXPECT_EQ(bus.queueDepth(0), 2u);
+  EXPECT_EQ(bus.backlogWords(0), 12u);
+  runCycles(bus, 0, 6);
+  EXPECT_EQ(bus.queueDepth(0), 1u);
+  EXPECT_EQ(bus.backlogWords(0), 6u);
+}
+
+TEST(BusStateTest, TicketsDefaultToOneAndAreSettable) {
+  Bus bus(config4(), std::make_unique<FirstComeArbiter>());
+  EXPECT_EQ(bus.tickets(2), 1u);
+  bus.setTickets(2, 9);
+  EXPECT_EQ(bus.tickets(2), 9u);
+  EXPECT_THROW(bus.setTickets(7, 1), std::out_of_range);
+}
+
+TEST(BusStateTest, ResetRestoresFreshStateButKeepsTickets) {
+  Bus bus(config4(), std::make_unique<FirstComeArbiter>());
+  bus.setTickets(1, 5);
+  Message m;
+  m.words = 3;
+  bus.push(0, m);
+  runCycles(bus, 0, 2);
+  bus.reset();
+  EXPECT_TRUE(bus.idle(0));
+  EXPECT_EQ(bus.grantsIssued(), 0u);
+  EXPECT_EQ(bus.bandwidth().totalCycles(), 0u);
+  EXPECT_EQ(bus.tickets(1), 5u);
+}
+
+TEST(BusStateTest, ClearStatsKeepsQueues) {
+  Bus bus(config4(), std::make_unique<FirstComeArbiter>());
+  Message m;
+  m.words = 8;
+  bus.push(0, m);
+  runCycles(bus, 0, 4);
+  bus.clearStats();
+  EXPECT_EQ(bus.bandwidth().totalCycles(), 0u);
+  EXPECT_FALSE(bus.idle(0));  // message still in flight
+  runCycles(bus, 4, 4);
+  EXPECT_EQ(bus.latency().messages(0), 1u);
+}
+
+TEST(BusStateTest, CurrentOwnerReflectsActiveGrant) {
+  Bus bus(config4(), std::make_unique<FirstComeArbiter>());
+  EXPECT_EQ(bus.currentOwner(), kNoMaster);
+  Message m;
+  m.words = 3;
+  bus.push(2, m);
+  bus.cycle(0);
+  EXPECT_EQ(bus.currentOwner(), 2);
+  runCycles(bus, 1, 2);
+  EXPECT_EQ(bus.currentOwner(), kNoMaster);
+}
+
+// ---------------------------------------------------------------------------
+// MasterInterface (transaction-level port)
+// ---------------------------------------------------------------------------
+
+TEST(MasterInterfaceTest, CompletionCallbacksFireInOrder) {
+  Bus bus(config4(), std::make_unique<FirstComeArbiter>());
+  MasterInterface port(bus, 0);
+  std::vector<std::uint64_t> done;
+  std::vector<Cycle> finishes;
+  for (int i = 0; i < 3; ++i) {
+    const auto id = port.transfer(2, 0, 0, [&, i](Cycle finish) {
+      done.push_back(static_cast<std::uint64_t>(i));
+      finishes.push_back(finish);
+    });
+    EXPECT_EQ(id, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(port.outstanding(), 3u);
+  runCycles(bus, 0, 6);
+  EXPECT_EQ(done, (std::vector<std::uint64_t>{0, 1, 2}));
+  EXPECT_EQ(finishes, (std::vector<Cycle>{1, 3, 5}));
+  EXPECT_EQ(port.outstanding(), 0u);
+  EXPECT_EQ(port.completed(), 3u);
+}
+
+TEST(MasterInterfaceTest, IgnoresForeignTraffic) {
+  Bus bus(config4(), std::make_unique<FirstComeArbiter>());
+  MasterInterface port(bus, 0);
+  // Direct pushes on the same master and traffic on other masters must not
+  // confuse the interface's bookkeeping.
+  Message raw;
+  raw.words = 2;
+  raw.tag = 999;
+  bus.push(0, raw);
+  Message other;
+  other.words = 2;
+  bus.push(1, other);
+  int fired = 0;
+  port.transfer(2, 0, 0, [&](Cycle) { ++fired; });
+  runCycles(bus, 0, 8);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(port.completed(), 1u);
+}
+
+TEST(MasterInterfaceTest, CallbackFreeTransfersWork) {
+  Bus bus(config4(), std::make_unique<FirstComeArbiter>());
+  MasterInterface port(bus, 0);
+  port.transfer(4, 0, 0);
+  runCycles(bus, 0, 4);
+  EXPECT_EQ(port.completed(), 1u);
+}
+
+TEST(MasterInterfaceTest, ValidationDelegatesToBus) {
+  Bus bus(config4(), std::make_unique<FirstComeArbiter>());
+  MasterInterface port(bus, 0);
+  EXPECT_THROW(port.transfer(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(port.transfer(4, 9, 0), std::invalid_argument);
+  EXPECT_EQ(port.outstanding(), 0u);  // failed pushes leave no pending entry
+}
+
+// ---------------------------------------------------------------------------
+// Bridge / multi-bus topology
+// ---------------------------------------------------------------------------
+
+TEST(BridgeTest, ForwardsMessagesAcrossBuses) {
+  BusConfig up_config = config4();
+  up_config.slaves = {SlaveConfig{"local", 0}, SlaveConfig{"bridge", 0}};
+  Bus upstream(up_config, std::make_unique<FirstComeArbiter>());
+
+  BusConfig down_config;
+  down_config.num_masters = 2;  // master 0 = bridge, master 1 = local CPU
+  Bus downstream(down_config, std::make_unique<FirstComeArbiter>());
+
+  Bridge bridge(upstream, /*upstream_slave=*/1, downstream,
+                /*downstream_master=*/0, /*downstream_slave=*/0);
+
+  std::vector<std::uint64_t> remote_done;
+  Cycle remote_finish = 0;
+  bridge.onRemoteCompletion([&](std::uint64_t tag, Cycle finish) {
+    remote_done.push_back(tag);
+    remote_finish = finish;
+  });
+
+  Message local;
+  local.words = 2;
+  local.slave = 0;
+  local.tag = 7;
+  upstream.push(0, local);
+
+  Message remote;
+  remote.words = 3;
+  remote.slave = 1;
+  remote.tag = 9;
+  upstream.push(1, remote);
+
+  sim::CycleKernel kernel;
+  kernel.attach(upstream);
+  kernel.attach(bridge);
+  kernel.attach(downstream);
+  kernel.run(12);
+
+  EXPECT_EQ(bridge.forwarded(), 1u);  // only the slave-1 message crosses
+  EXPECT_EQ(remote_done, (std::vector<std::uint64_t>{9}));
+  // Upstream: master0 cycles 0..1, master1 cycles 2..4 (finish=4).
+  // Downstream leg arrives at 5, transfers 5..7.
+  EXPECT_EQ(remote_finish, 7u);
+  EXPECT_EQ(downstream.latency().messages(0), 1u);
+  EXPECT_DOUBLE_EQ(downstream.latency().cyclesPerWord(0), 1.0);
+}
+
+TEST(BridgeTest, BridgeOnlyForwardsItsSlave) {
+  BusConfig up_config = config4();
+  up_config.slaves = {SlaveConfig{"local", 0}, SlaveConfig{"bridge", 0}};
+  Bus upstream(up_config, std::make_unique<FirstComeArbiter>());
+  BusConfig down_config;
+  down_config.num_masters = 1;
+  Bus downstream(down_config, std::make_unique<FirstComeArbiter>());
+  Bridge bridge(upstream, 1, downstream, 0, 0);
+
+  Message local;
+  local.words = 4;
+  local.slave = 0;
+  upstream.push(0, local);
+  sim::CycleKernel kernel;
+  kernel.attach(upstream);
+  kernel.attach(bridge);
+  kernel.attach(downstream);
+  kernel.run(8);
+  EXPECT_EQ(bridge.forwarded(), 0u);
+  EXPECT_EQ(downstream.bandwidth().idleCycles(), 8u);
+}
+
+}  // namespace
+}  // namespace lb::bus

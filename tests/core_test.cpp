@@ -1,0 +1,600 @@
+// Unit and property tests for the LOTTERYBUS core: ticket arithmetic,
+// static/dynamic lottery arbiters, starvation analysis, ticket policies.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "bus/bus.hpp"
+#include "core/compensation.hpp"
+#include "core/lottery.hpp"
+#include "core/starvation.hpp"
+#include "core/ticket_policy.hpp"
+#include "core/tickets.hpp"
+#include "sim/kernel.hpp"
+
+namespace lb::core {
+namespace {
+
+using bus::MasterRequest;
+using bus::RequestView;
+
+std::vector<MasterRequest> requests(std::uint32_t map, std::size_t n,
+                                    std::uint32_t tickets_each = 1) {
+  std::vector<MasterRequest> reqs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    reqs[i].pending = (map & (1u << i)) != 0;
+    reqs[i].head_words_remaining = reqs[i].pending ? 8 : 0;
+    reqs[i].tickets = tickets_each;
+  }
+  return reqs;
+}
+
+// ---------------------------------------------------------------------------
+// partialSums / winnerForTicket (the paper's worked example, Figure 8)
+// ---------------------------------------------------------------------------
+
+TEST(TicketMathTest, PaperFigure8Example) {
+  // C1..C4 hold 1, 2, 3, 4 tickets; only C1, C3, C4 pend (map 1101).
+  const std::vector<std::uint32_t> tickets = {1, 2, 3, 4};
+  const std::uint32_t map = 0b1101;
+  const auto sums = partialSums(tickets, map);
+  EXPECT_EQ(sums, (std::vector<std::uint64_t>{1, 1, 4, 8}));
+  // Current total is 1 + 3 + 4 = 8; the drawn number 5 lies in
+  // [r1t1+r2t2+r3t3, .. + r4t4) = [4, 8)  ->  C4 wins.
+  EXPECT_EQ(winnerForTicket(sums, map, 5), 3);
+  // Number 0 -> C1; numbers 1..3 -> C3.
+  EXPECT_EQ(winnerForTicket(sums, map, 0), 0);
+  EXPECT_EQ(winnerForTicket(sums, map, 1), 2);
+  EXPECT_EQ(winnerForTicket(sums, map, 3), 2);
+  // Out-of-range numbers select nobody (no comparator fires).
+  EXPECT_EQ(winnerForTicket(sums, map, 8), -1);
+}
+
+TEST(TicketMathTest, EmptyMapHasZeroTotal) {
+  const auto sums = partialSums({5, 6, 7}, 0);
+  EXPECT_EQ(sums.back(), 0u);
+  EXPECT_EQ(winnerForTicket(sums, 0, 0), -1);
+}
+
+TEST(TicketMathTest, WinnerNeverNonPending) {
+  const std::vector<std::uint32_t> tickets = {3, 1, 4, 1, 5};
+  for (std::uint32_t map = 1; map < 32; ++map) {
+    const auto sums = partialSums(tickets, map);
+    for (std::uint64_t number = 0; number < sums.back(); ++number) {
+      const int winner = winnerForTicket(sums, map, number);
+      ASSERT_GE(winner, 0);
+      ASSERT_TRUE(map & (1u << winner))
+          << "map " << map << " number " << number;
+    }
+  }
+}
+
+TEST(TicketMathTest, EachPendingMasterOwnsExactlyItsTickets) {
+  const std::vector<std::uint32_t> tickets = {2, 3, 5};
+  for (std::uint32_t map = 1; map < 8; ++map) {
+    const auto sums = partialSums(tickets, map);
+    std::array<int, 3> won{};
+    for (std::uint64_t number = 0; number < sums.back(); ++number)
+      ++won[static_cast<std::size_t>(winnerForTicket(sums, map, number))];
+    for (std::size_t i = 0; i < 3; ++i) {
+      const int expected = (map & (1u << i)) ? static_cast<int>(tickets[i]) : 0;
+      EXPECT_EQ(won[i], expected) << "map " << map << " master " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ceilLog2 / scaleToPowerOfTwo
+// ---------------------------------------------------------------------------
+
+TEST(CeilLog2Test, KnownValues) {
+  EXPECT_EQ(ceilLog2(1), 0u);
+  EXPECT_EQ(ceilLog2(2), 1u);
+  EXPECT_EQ(ceilLog2(3), 2u);
+  EXPECT_EQ(ceilLog2(4), 2u);
+  EXPECT_EQ(ceilLog2(5), 3u);
+  EXPECT_EQ(ceilLog2(1024), 10u);
+  EXPECT_EQ(ceilLog2(1025), 11u);
+  EXPECT_THROW(ceilLog2(0), std::invalid_argument);
+}
+
+TEST(ScaleTicketsTest, PowerOfTwoTotalsAreUntouched) {
+  const auto scaled = scaleToPowerOfTwo({1, 3, 4});  // total 8
+  EXPECT_EQ(std::accumulate(scaled.tickets.begin(), scaled.tickets.end(), 0u),
+            8u);
+  EXPECT_EQ(scaled.tickets, (std::vector<std::uint32_t>{1, 3, 4}));
+  EXPECT_DOUBLE_EQ(scaled.max_ratio_error, 0.0);
+}
+
+TEST(ScaleTicketsTest, ReproducesThePaperExample) {
+  // Section 4.3's worked example: holdings in ratio 1:2:4 (T = 7) are
+  // scaled to 5:9:18 (T = 32) — NOT to a badly-rounded T = 8 vector — so
+  // that the ratios are "not significantly altered".
+  const auto scaled = scaleToPowerOfTwo({1, 2, 4});
+  EXPECT_EQ(scaled.tickets, (std::vector<std::uint32_t>{5, 9, 18}));
+  EXPECT_EQ(scaled.total_bits, 5u);
+  EXPECT_LE(scaled.max_ratio_error, 0.10);
+}
+
+TEST(ScaleTicketsTest, WidensTotalUntilErrorBoundMet) {
+  for (const auto& tickets :
+       {std::vector<std::uint32_t>{1, 2, 3, 4},
+        std::vector<std::uint32_t>{7, 11, 13},
+        std::vector<std::uint32_t>{100, 1}}) {
+    const auto scaled = scaleToPowerOfTwo(tickets, 0.10);
+    EXPECT_LE(scaled.max_ratio_error, 0.10)
+        << "tickets[0]=" << tickets[0];
+  }
+  // A tighter bound costs more bits but is honored too.
+  const auto tight = scaleToPowerOfTwo({1, 2, 4}, 0.01);
+  EXPECT_LE(tight.max_ratio_error, 0.01);
+  EXPECT_GT(tight.total_bits, 5u);
+}
+
+TEST(ScaleTicketsTest, EveryMasterKeepsAtLeastOneTicket) {
+  const auto scaled = scaleToPowerOfTwo({1, 1000});
+  for (const auto t : scaled.tickets) EXPECT_GE(t, 1u);
+}
+
+class ScaleRatioErrorTest
+    : public ::testing::TestWithParam<std::vector<std::uint32_t>> {};
+
+TEST_P(ScaleRatioErrorTest, RatiosNotSignificantlyAltered) {
+  const auto& tickets = GetParam();
+  const auto scaled = scaleToPowerOfTwo(tickets);
+  const std::uint64_t before_total =
+      std::accumulate(tickets.begin(), tickets.end(), std::uint64_t{0});
+  const std::uint64_t after_total = std::accumulate(
+      scaled.tickets.begin(), scaled.tickets.end(), std::uint64_t{0});
+  EXPECT_EQ(after_total, 1ULL << scaled.total_bits);
+  EXPECT_LE(scaled.max_ratio_error, 0.10);
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const double before = static_cast<double>(tickets[i]) / before_total;
+    const double after = static_cast<double>(scaled.tickets[i]) / after_total;
+    EXPECT_NEAR(after, before, before * 0.101) << "master " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Vectors, ScaleRatioErrorTest,
+    ::testing::Values(std::vector<std::uint32_t>{1, 2, 3, 4},
+                      std::vector<std::uint32_t>{1, 1, 2},
+                      std::vector<std::uint32_t>{5, 9, 8},
+                      std::vector<std::uint32_t>{7, 11, 13, 17, 19},
+                      std::vector<std::uint32_t>{100, 1},
+                      std::vector<std::uint32_t>{3, 3, 3},
+                      std::vector<std::uint32_t>{1, 2, 4, 6}));
+
+TEST(ScaleTicketsTest, RejectsBadInput) {
+  EXPECT_THROW(scaleToPowerOfTwo({}), std::invalid_argument);
+  EXPECT_THROW(scaleToPowerOfTwo({1, 0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// LotteryArbiter (static tickets)
+// ---------------------------------------------------------------------------
+
+TEST(LotteryArbiterTest, RejectsBadConstruction) {
+  EXPECT_THROW(LotteryArbiter({}), std::invalid_argument);
+  EXPECT_THROW(LotteryArbiter({1, 0, 2}), std::invalid_argument);
+}
+
+TEST(LotteryArbiterTest, NoPendingNoGrant) {
+  LotteryArbiter arbiter({1, 2, 3, 4});
+  auto reqs = requests(0, 4);
+  EXPECT_FALSE(arbiter.arbitrate(RequestView(reqs), 0).valid());
+  EXPECT_EQ(arbiter.draws(), 0u);
+}
+
+TEST(LotteryArbiterTest, SinglePendingMasterAlwaysWins) {
+  LotteryArbiter arbiter({1, 2, 3, 4});
+  for (std::size_t m = 0; m < 4; ++m) {
+    auto reqs = requests(1u << m, 4);
+    for (int i = 0; i < 50; ++i)
+      EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 0).master,
+                static_cast<int>(m));
+  }
+}
+
+TEST(LotteryArbiterTest, GrantsOnlyPendingMasters) {
+  LotteryArbiter arbiter({4, 3, 2, 1});
+  for (std::uint32_t map = 1; map < 16; ++map) {
+    auto reqs = requests(map, 4);
+    for (int i = 0; i < 100; ++i) {
+      const auto grant = arbiter.arbitrate(RequestView(reqs), 0);
+      ASSERT_TRUE(grant.valid());
+      ASSERT_TRUE(map & (1u << grant.master)) << "map " << map;
+    }
+  }
+}
+
+TEST(LotteryArbiterTest, TableRowsMatchPartialSums) {
+  LotteryArbiter arbiter({1, 2, 3, 4});
+  for (std::uint32_t map = 0; map < 16; ++map)
+    EXPECT_EQ(arbiter.tableRow(map), partialSums({1, 2, 3, 4}, map));
+}
+
+TEST(LotteryArbiterTest, DeterministicForEqualSeeds) {
+  LotteryArbiter a({1, 2, 3, 4}, LotteryRng::kExact, 99);
+  LotteryArbiter b({1, 2, 3, 4}, LotteryRng::kExact, 99);
+  auto reqs = requests(0b1111, 4);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(a.arbitrate(RequestView(reqs), 0).master,
+              b.arbitrate(RequestView(reqs), 0).master);
+}
+
+TEST(LotteryArbiterTest, ResetReplaysTheSameSequence) {
+  LotteryArbiter arbiter({1, 2, 3, 4}, LotteryRng::kExact, 5);
+  auto reqs = requests(0b1111, 4);
+  std::vector<int> first;
+  for (int i = 0; i < 50; ++i)
+    first.push_back(arbiter.arbitrate(RequestView(reqs), 0).master);
+  arbiter.reset();
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 0).master, first[i]);
+}
+
+/// Property: win frequencies track ticket shares for every request map.
+class LotteryDistributionTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, LotteryRng>> {};
+
+TEST_P(LotteryDistributionTest, WinFrequencyMatchesTicketShare) {
+  const auto [map, rng_kind] = GetParam();
+  const std::vector<std::uint32_t> tickets = {1, 2, 3, 4};
+  LotteryArbiter arbiter(tickets, rng_kind, 12345);
+  auto reqs = requests(map, 4);
+
+  constexpr int kDraws = 60000;
+  std::array<int, 4> wins{};
+  for (int i = 0; i < kDraws; ++i)
+    ++wins[static_cast<std::size_t>(
+        arbiter.arbitrate(RequestView(reqs), 0).master)];
+
+  const auto& effective = arbiter.effectiveTickets();
+  double total = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    if (map & (1u << i)) total += effective[i];
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double expected =
+        (map & (1u << i)) ? effective[i] / total : 0.0;
+    const double observed = static_cast<double>(wins[i]) / kDraws;
+    EXPECT_NEAR(observed, expected, 0.01)
+        << "master " << i << " map " << map;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MapsAndRngs, LotteryDistributionTest,
+    ::testing::Combine(::testing::Values(0b1111u, 0b1101u, 0b0110u, 0b1010u,
+                                         0b0111u, 0b1110u),
+                       ::testing::Values(LotteryRng::kExact,
+                                         LotteryRng::kLfsr)));
+
+TEST(LotteryLfsrTest, PowerOfTwoFullMapNeverRejects) {
+  // Tickets sum to 8: with all masters pending the LFSR draw always lands
+  // in range, so no redraw cycles are spent.
+  LotteryArbiter arbiter({1, 3, 4}, LotteryRng::kLfsr, 7);
+  auto reqs = requests(0b111, 3);
+  for (int i = 0; i < 1000; ++i) arbiter.arbitrate(RequestView(reqs), 0);
+  EXPECT_EQ(arbiter.rngRejections(), 0u);
+}
+
+TEST(LotteryLfsrTest, PartialMapRejectionsAreBounded) {
+  LotteryArbiter arbiter({1, 3, 4}, LotteryRng::kLfsr, 7);
+  auto reqs = requests(0b101, 3);  // live total 5: draws 3 bits in [0,8)
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) arbiter.arbitrate(RequestView(reqs), 0);
+  // P(reject) = 3/8 per attempt -> E[rejections per draw] = 3/5 = 0.6.
+  EXPECT_LT(arbiter.rngRejections(), kDraws * 7u / 10u);
+  EXPECT_GT(arbiter.rngRejections(), kDraws / 2u);
+}
+
+TEST(LotteryLfsrTest, ScalingErrorIsReported) {
+  LotteryArbiter pow2({1, 3, 4}, LotteryRng::kLfsr, 7);
+  EXPECT_DOUBLE_EQ(pow2.scalingRatioError(), 0.0);
+  LotteryArbiter odd({1, 2, 4}, LotteryRng::kLfsr, 7);  // 7 -> 8
+  EXPECT_GT(odd.scalingRatioError(), 0.0);
+  EXPECT_LT(odd.scalingRatioError(), 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// DynamicLotteryArbiter
+// ---------------------------------------------------------------------------
+
+TEST(DynamicLotteryTest, ReadsLiveTicketsEachDraw) {
+  DynamicLotteryArbiter arbiter(3);
+  auto reqs = requests(0b11, 2);
+  reqs[0].tickets = 1;
+  reqs[1].tickets = 0;  // cannot win with zero tickets
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 0).master, 0);
+  reqs[0].tickets = 0;
+  reqs[1].tickets = 5;
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 0).master, 1);
+}
+
+TEST(DynamicLotteryTest, AllZeroTicketsMeansNoGrant) {
+  DynamicLotteryArbiter arbiter(3);
+  auto reqs = requests(0b11, 2, /*tickets_each=*/0);
+  EXPECT_FALSE(arbiter.arbitrate(RequestView(reqs), 0).valid());
+}
+
+TEST(DynamicLotteryTest, DistributionTracksChangingTickets) {
+  DynamicLotteryArbiter arbiter(777);
+  auto reqs = requests(0b111, 3);
+  reqs[0].tickets = 6;
+  reqs[1].tickets = 3;
+  reqs[2].tickets = 1;
+  constexpr int kDraws = 50000;
+  std::array<int, 3> wins{};
+  for (int i = 0; i < kDraws; ++i)
+    ++wins[static_cast<std::size_t>(
+        arbiter.arbitrate(RequestView(reqs), 0).master)];
+  EXPECT_NEAR(wins[0] / static_cast<double>(kDraws), 0.6, 0.01);
+  EXPECT_NEAR(wins[1] / static_cast<double>(kDraws), 0.3, 0.01);
+  EXPECT_NEAR(wins[2] / static_cast<double>(kDraws), 0.1, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// CompensatedLotteryArbiter (Waldspurger compensation tickets)
+// ---------------------------------------------------------------------------
+
+TEST(CompensationTest, Validation) {
+  EXPECT_THROW(CompensatedLotteryArbiter({}), std::invalid_argument);
+  EXPECT_THROW(CompensatedLotteryArbiter({1, 0}), std::invalid_argument);
+  EXPECT_THROW(CompensatedLotteryArbiter({1, 1}, 0), std::invalid_argument);
+}
+
+TEST(CompensationTest, StartsUncompensatedAndGrantsPendingOnly) {
+  CompensatedLotteryArbiter arbiter({1, 2, 3}, 16, 5);
+  EXPECT_DOUBLE_EQ(arbiter.compensation(0), 1.0);
+  auto reqs = requests(0b101, 3);
+  for (int i = 0; i < 200; ++i) {
+    const auto grant = arbiter.arbitrate(RequestView(reqs), 0);
+    ASSERT_TRUE(grant.valid());
+    ASSERT_NE(grant.master, 1);
+  }
+  auto none = requests(0, 3);
+  EXPECT_FALSE(arbiter.arbitrate(RequestView(none), 0).valid());
+}
+
+TEST(CompensationTest, ShortGrantEarnsProportionalBoost) {
+  CompensatedLotteryArbiter arbiter({1, 1}, 16, 5);
+  // Only master 0 pending, with a 2-word head: it wins, uses 2 of 16.
+  auto reqs = requests(0b01, 2);
+  reqs[0].head_words_remaining = 2;
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 0).master, 0);
+  EXPECT_DOUBLE_EQ(arbiter.compensation(0), 8.0);  // 16 / 2
+  // A full-quantum win resets compensation to 1.
+  reqs[0].head_words_remaining = 16;
+  EXPECT_EQ(arbiter.arbitrate(RequestView(reqs), 0).master, 0);
+  EXPECT_DOUBLE_EQ(arbiter.compensation(0), 1.0);
+}
+
+TEST(CompensationTest, CompensationRestoresEqualService) {
+  // Master 0 always presents 2-word heads, master 1 always 16-word heads,
+  // equal base tickets.  With compensation the WIN frequency of master 0
+  // must approach 8x master 1's, equalizing words per unit time.
+  CompensatedLotteryArbiter arbiter({1, 1}, 16, 99);
+  auto reqs = requests(0b11, 2);
+  int wins0 = 0, wins1 = 0;
+  for (int i = 0; i < 60000; ++i) {
+    reqs[0].head_words_remaining = 2;
+    reqs[1].head_words_remaining = 16;
+    const auto grant = arbiter.arbitrate(RequestView(reqs), 0);
+    (grant.master == 0 ? wins0 : wins1) += 1;
+  }
+  const double ratio = static_cast<double>(wins0) / wins1;
+  // Words ratio = ratio * (2/16); equal service needs ratio ~= 8.
+  EXPECT_NEAR(ratio, 8.0, 1.2);
+}
+
+TEST(CompensationTest, ResetRestoresInitialState) {
+  CompensatedLotteryArbiter arbiter({1, 1}, 16, 7);
+  auto reqs = requests(0b01, 2);
+  reqs[0].head_words_remaining = 4;
+  arbiter.arbitrate(RequestView(reqs), 0);
+  EXPECT_GT(arbiter.compensation(0), 1.0);
+  arbiter.reset();
+  EXPECT_DOUBLE_EQ(arbiter.compensation(0), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Starvation analysis (Section 4.2)
+// ---------------------------------------------------------------------------
+
+TEST(StarvationTest, FormulaKnownValues) {
+  EXPECT_DOUBLE_EQ(accessProbability(1, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(accessProbability(1, 2, 1), 0.5);
+  EXPECT_DOUBLE_EQ(accessProbability(1, 2, 2), 0.75);
+  EXPECT_NEAR(accessProbability(1, 10, 10), 1.0 - std::pow(0.9, 10), 1e-12);
+}
+
+TEST(StarvationTest, ProbabilityIsMonotoneInDrawings) {
+  double previous = 0.0;
+  for (std::uint64_t n = 1; n <= 64; ++n) {
+    const double p = accessProbability(1, 10, n);
+    EXPECT_GT(p, previous);
+    previous = p;
+  }
+  EXPECT_GT(previous, 0.998);  // converges rapidly to one: no starvation
+}
+
+TEST(StarvationTest, ExpectedDrawings) {
+  EXPECT_DOUBLE_EQ(expectedDrawingsToWin(1, 10), 10.0);
+  EXPECT_DOUBLE_EQ(expectedDrawingsToWin(5, 10), 2.0);
+}
+
+TEST(StarvationTest, DrawingsForConfidenceInvertsFormula) {
+  for (std::uint64_t tickets : {1ull, 2ull, 5ull}) {
+    const std::uint64_t n = drawingsForConfidence(tickets, 10, 0.999);
+    EXPECT_GE(accessProbability(tickets, 10, n), 0.999);
+    if (n > 1) {
+      EXPECT_LT(accessProbability(tickets, 10, n - 1), 0.999);
+    }
+  }
+  EXPECT_EQ(drawingsForConfidence(10, 10, 0.99), 1u);
+}
+
+TEST(StarvationTest, EmpiricalMatchesClosedForm) {
+  // Monte-Carlo with the real arbiter: master 0 holds 1 of 10 tickets and
+  // all four masters always pend.
+  LotteryArbiter arbiter({1, 2, 3, 4}, LotteryRng::kExact, 31337);
+  auto reqs = requests(0b1111, 4);
+  constexpr int kTrials = 4000;
+  constexpr std::uint64_t kWindow = 10;
+  int hits = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (std::uint64_t draw = 0; draw < kWindow; ++draw) {
+      if (arbiter.arbitrate(RequestView(reqs), 0).master == 0) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  const double expected = accessProbability(1, 10, kWindow);  // ~0.651
+  EXPECT_NEAR(hits / static_cast<double>(kTrials), expected, 0.025);
+}
+
+TEST(StarvationTest, WaitingQuantiles) {
+  // Median drawings-to-win for 1-of-10 tickets: ceil(ln 0.5 / ln 0.9) = 7.
+  EXPECT_EQ(waitingDrawingsQuantile(1, 10, 0.5), 7u);
+  // 99th percentile: ceil(ln 0.01 / ln 0.9) = 44.
+  EXPECT_EQ(waitingDrawingsQuantile(1, 10, 0.99), 44u);
+  // A majority holder usually wins immediately.
+  EXPECT_EQ(waitingDrawingsQuantile(9, 10, 0.5), 1u);
+  EXPECT_EQ(waitingDrawingsQuantile(1, 10, 0.0), 1u);
+  EXPECT_THROW(waitingDrawingsQuantile(1, 10, 1.0), std::invalid_argument);
+}
+
+TEST(StarvationTest, QuantilesMatchMonteCarlo) {
+  LotteryArbiter arbiter({1, 2, 3, 4}, LotteryRng::kExact, 2024);
+  auto reqs = requests(0b1111, 4);
+  std::vector<std::uint64_t> waits;
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::uint64_t drawings = 0;
+    do {
+      ++drawings;
+    } while (arbiter.arbitrate(RequestView(reqs), 0).master != 0);
+    waits.push_back(drawings);
+  }
+  std::sort(waits.begin(), waits.end());
+  const std::uint64_t empirical_median = waits[waits.size() / 2];
+  const std::uint64_t empirical_p99 =
+      waits[static_cast<std::size_t>(waits.size() * 0.99)];
+  EXPECT_NEAR(static_cast<double>(empirical_median),
+              static_cast<double>(waitingDrawingsQuantile(1, 10, 0.5)), 1.0);
+  EXPECT_NEAR(static_cast<double>(empirical_p99),
+              static_cast<double>(waitingDrawingsQuantile(1, 10, 0.99)), 5.0);
+}
+
+TEST(StarvationTest, InputValidation) {
+  EXPECT_THROW(accessProbability(0, 5, 1), std::invalid_argument);
+  EXPECT_THROW(accessProbability(6, 5, 1), std::invalid_argument);
+  EXPECT_THROW(accessProbability(1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(drawingsForConfidence(1, 2, 1.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Ticket policies
+// ---------------------------------------------------------------------------
+
+class NeverGrantArbiter final : public bus::IArbiter {
+public:
+  bus::Grant arbitrate(const RequestView&, bus::Cycle) override {
+    return bus::Grant{};
+  }
+  std::string name() const override { return "never"; }
+};
+
+TEST(TicketScheduleTest, AppliesEntriesAtTheirCycle) {
+  bus::BusConfig config;
+  config.num_masters = 2;
+  bus::Bus bus(config, std::make_unique<NeverGrantArbiter>());
+  PeriodicTicketSchedule schedule(
+      bus, {{5, {7, 9}}, {0, {2, 3}}});  // out of order on purpose
+  sim::CycleKernel kernel;
+  kernel.attach(schedule);
+  kernel.attach(bus);
+  kernel.run(1);
+  EXPECT_EQ(bus.tickets(0), 2u);
+  EXPECT_EQ(bus.tickets(1), 3u);
+  kernel.run(5);
+  EXPECT_EQ(bus.tickets(0), 7u);
+  EXPECT_EQ(bus.tickets(1), 9u);
+}
+
+TEST(TicketScheduleTest, RejectsArityMismatch) {
+  bus::BusConfig config;
+  config.num_masters = 2;
+  bus::Bus bus(config, std::make_unique<NeverGrantArbiter>());
+  EXPECT_THROW(PeriodicTicketSchedule(bus, {{0, {1, 2, 3}}}),
+               std::invalid_argument);
+}
+
+TEST(BacklogPolicyTest, TicketsTrackBacklog) {
+  bus::BusConfig config;
+  config.num_masters = 2;
+  bus::Bus bus(config, std::make_unique<NeverGrantArbiter>());
+  BacklogTicketPolicy policy(bus, {1, 1}, /*weight=*/1.0, /*max=*/64,
+                             /*period=*/4);
+  bus::Message m;
+  m.words = 10;
+  bus.push(0, m);
+
+  sim::CycleKernel kernel;
+  kernel.attach(policy);
+  kernel.attach(bus);
+  kernel.run(1);
+  EXPECT_EQ(bus.tickets(0), 11u);  // base 1 + backlog 10
+  EXPECT_EQ(bus.tickets(1), 1u);
+}
+
+TEST(BacklogPolicyTest, ClampsToMaxAndMin) {
+  bus::BusConfig config;
+  config.num_masters = 1;
+  bus::Bus bus(config, std::make_unique<NeverGrantArbiter>());
+  BacklogTicketPolicy policy(bus, {1}, 10.0, /*max=*/16, 1);
+  bus::Message m;
+  m.words = 100;
+  bus.push(0, m);
+  sim::CycleKernel kernel;
+  kernel.attach(policy);
+  kernel.attach(bus);
+  kernel.run(1);
+  EXPECT_EQ(bus.tickets(0), 16u);
+}
+
+TEST(BacklogPolicyTest, UpdatesOnlyAtPeriodBoundaries) {
+  bus::BusConfig config;
+  config.num_masters = 1;
+  bus::Bus bus(config, std::make_unique<NeverGrantArbiter>());
+  BacklogTicketPolicy policy(bus, {1}, 1.0, 64, /*period=*/10);
+  sim::CycleKernel kernel;
+  kernel.attach(policy);
+  kernel.attach(bus);
+  kernel.run(25);
+  EXPECT_EQ(policy.updates(), 3u);  // cycles 0, 10, 20
+}
+
+TEST(BacklogPolicyTest, RejectsBadConstruction) {
+  bus::BusConfig config;
+  config.num_masters = 2;
+  bus::Bus bus(config, std::make_unique<NeverGrantArbiter>());
+  EXPECT_THROW(BacklogTicketPolicy(bus, {1}, 1.0, 64, 1),
+               std::invalid_argument);
+  EXPECT_THROW(BacklogTicketPolicy(bus, {1, 1}, 1.0, 64, 0),
+               std::invalid_argument);
+  EXPECT_THROW(BacklogTicketPolicy(bus, {1, 1}, 1.0, 0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lb::core

@@ -1,0 +1,477 @@
+// Tests for the structural hardware models: primitives, the static and
+// dynamic lottery managers, behavioral/structural equivalence, and the
+// area/timing model.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "bus/bus.hpp"
+#include "core/lottery.hpp"
+#include "core/tickets.hpp"
+#include "hw/channel_model.hpp"
+#include "hw/hw_arbiter.hpp"
+#include "hw/lottery_manager_hw.hpp"
+#include "hw/power_model.hpp"
+#include "hw/primitives.hpp"
+#include "sim/kernel.hpp"
+#include "traffic/classes.hpp"
+#include "traffic/testbed.hpp"
+
+namespace lb::hw {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+TEST(MaskTicketsTest, MasksNonPending) {
+  EXPECT_EQ(maskTickets({1, 2, 3, 4}, 0b1010),
+            (std::vector<std::uint32_t>{0, 2, 0, 4}));
+  EXPECT_EQ(maskTickets({1, 2}, 0), (std::vector<std::uint32_t>{0, 0}));
+}
+
+TEST(AdderTreeTest, PrefixSumsMatchReference) {
+  AdderTree tree(4, 16);
+  EXPECT_EQ(tree.prefixSums({1, 2, 3, 4}),
+            (std::vector<std::uint64_t>{1, 3, 6, 10}));
+  EXPECT_EQ(tree.prefixSums({0, 5, 0, 7}),
+            (std::vector<std::uint64_t>{0, 5, 5, 12}));
+}
+
+TEST(AdderTreeTest, AgreesWithCorePartialSums) {
+  AdderTree tree(5, 24);
+  const std::vector<std::uint32_t> tickets = {3, 1, 4, 1, 5};
+  for (std::uint32_t map = 0; map < 32; ++map) {
+    EXPECT_EQ(tree.prefixSums(maskTickets(tickets, map)),
+              core::partialSums(tickets, map));
+  }
+}
+
+TEST(AdderTreeTest, WrapsAtWidth) {
+  AdderTree tree(2, 4);  // 4-bit datapath
+  EXPECT_EQ(tree.prefixSums({15, 2}), (std::vector<std::uint64_t>{15, 1}));
+}
+
+TEST(AdderTreeTest, StructuralCounts) {
+  EXPECT_EQ(AdderTree(4, 16).depth(), 3u);   // log2(4)*2 - 1
+  EXPECT_EQ(AdderTree(8, 16).depth(), 5u);
+  EXPECT_GE(AdderTree(4, 16).adderCount(), 3u);
+  EXPECT_EQ(AdderTree(1, 16).adderCount(), 0u);
+  EXPECT_EQ(AdderTree(1, 16).depth(), 0u);
+}
+
+TEST(AdderTreeTest, Validation) {
+  EXPECT_THROW(AdderTree(0, 16), std::invalid_argument);
+  EXPECT_THROW(AdderTree(4, 0), std::invalid_argument);
+  AdderTree tree(2, 8);
+  EXPECT_THROW(tree.prefixSums({1, 2, 3}), std::invalid_argument);
+}
+
+TEST(ComparatorBankTest, ComparesAllLanes) {
+  ComparatorBank bank(4, 8);
+  // number=5 vs sums {1, 5, 6, 10}: strict less-than per lane.
+  EXPECT_EQ(bank.compare(5, {1, 5, 6, 10}), 0b1100u);
+  EXPECT_EQ(bank.compare(0, {1, 5, 6, 10}), 0b1111u);
+  EXPECT_EQ(bank.compare(10, {1, 5, 6, 10}), 0u);
+}
+
+TEST(PrioritySelectorTest, SelectsLowestSetBit) {
+  PrioritySelector selector(4);
+  EXPECT_EQ(selector.select(0b1100), 0b0100u);
+  EXPECT_EQ(selector.select(0b0001), 0b0001u);
+  EXPECT_EQ(selector.select(0), 0u);
+  EXPECT_EQ(PrioritySelector::grantIndex(0b0100), 2);
+  EXPECT_EQ(PrioritySelector::grantIndex(0), -1);
+}
+
+TEST(PrioritySelectorTest, MasksInputsBeyondLanes) {
+  PrioritySelector selector(2);
+  EXPECT_EQ(selector.select(0b100), 0u);  // lane 2 does not exist
+}
+
+TEST(ModuloUnitTest, MatchesReferenceOperator) {
+  ModuloUnit unit(16);
+  for (std::uint32_t value : {0u, 1u, 5u, 255u, 256u, 65535u}) {
+    for (std::uint32_t modulus : {1u, 2u, 3u, 7u, 10u, 100u, 999u}) {
+      EXPECT_EQ(unit.reduce(value, modulus).remainder, value % modulus)
+          << value << " mod " << modulus;
+    }
+  }
+  EXPECT_THROW(unit.reduce(5, 0), std::invalid_argument);
+}
+
+TEST(ModuloUnitTest, IterationCountIsWidth) {
+  ModuloUnit unit(12);
+  EXPECT_EQ(unit.reduce(100, 7).iterations, 12u);
+}
+
+TEST(LookupTableTest, RowsMatchCorePartialSums) {
+  const std::vector<std::uint32_t> tickets = {1, 2, 3, 4};
+  LookupTable table(tickets);
+  EXPECT_EQ(table.rows(), 16u);
+  for (std::uint32_t map = 0; map < 16; ++map)
+    EXPECT_EQ(table.row(map), core::partialSums(tickets, map));
+}
+
+TEST(LookupTableTest, StorageAccounting) {
+  LookupTable table({1, 3, 4});  // total 8 -> entries need 4 bits ([0,8])
+  EXPECT_EQ(table.rows(), 8u);
+  EXPECT_EQ(table.lanes(), 3u);
+  EXPECT_EQ(table.entryBits(), 4u);
+  EXPECT_EQ(table.storageBits(), 8u * 3u * 4u);
+}
+
+TEST(LookupTableTest, RejectsWideConfigs) {
+  EXPECT_THROW(LookupTable(std::vector<std::uint32_t>(13, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(LookupTable({}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// StaticLotteryManagerHw
+// ---------------------------------------------------------------------------
+
+TEST(StaticManagerTest, EmptyMapGrantsNothing) {
+  StaticLotteryManagerHw manager({1, 2, 3, 4});
+  EXPECT_EQ(manager.draw(0), 0u);
+  EXPECT_EQ(manager.drawIndex(0), -1);
+}
+
+TEST(StaticManagerTest, GrantIsOneHotAndPending) {
+  StaticLotteryManagerHw manager({1, 2, 3, 4}, 0xBEEF);
+  for (std::uint32_t map = 1; map < 16; ++map) {
+    for (int i = 0; i < 200; ++i) {
+      const std::uint32_t grant = manager.draw(map);
+      ASSERT_NE(grant, 0u);
+      ASSERT_EQ(grant & (grant - 1), 0u) << "not one-hot";
+      ASSERT_NE(grant & map, 0u) << "granted a non-pending master";
+    }
+  }
+}
+
+TEST(StaticManagerTest, ScalesTicketsToPowerOfTwo) {
+  StaticLotteryManagerHw manager({1, 2, 3, 4});  // total 10 -> 32 (<=10% err)
+  const auto& scaled = manager.scaledTickets();
+  const unsigned total = std::accumulate(scaled.begin(), scaled.end(), 0u);
+  EXPECT_EQ(total & (total - 1), 0u) << "total must be a power of two";
+  EXPECT_EQ(total, 32u);
+}
+
+TEST(StaticManagerTest, DistributionMatchesScaledTickets) {
+  StaticLotteryManagerHw manager({1, 2, 3, 4}, 0xACE1);
+  const auto& scaled = manager.scaledTickets();
+  const double total =
+      std::accumulate(scaled.begin(), scaled.end(), 0.0);
+  constexpr int kDraws = 60000;
+  std::array<int, 4> wins{};
+  for (int i = 0; i < kDraws; ++i)
+    ++wins[static_cast<std::size_t>(manager.drawIndex(0b1111))];
+  for (std::size_t m = 0; m < 4; ++m)
+    EXPECT_NEAR(wins[m] / static_cast<double>(kDraws), scaled[m] / total, 0.01);
+}
+
+/// Equivalence sweep across ticket vectors and seeds: the structural model
+/// must reproduce the behavioral LFSR arbiter's grant sequence exactly.
+class EquivalenceSweepTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::vector<std::uint32_t>, std::uint32_t>> {};
+
+TEST_P(EquivalenceSweepTest, GrantSequencesIdentical) {
+  const auto& [tickets, seed] = GetParam();
+  StaticLotteryManagerHw manager(tickets, seed);
+  core::LotteryArbiter behavioral(tickets, core::LotteryRng::kLfsr, seed);
+  const std::size_t n = tickets.size();
+
+  sim::SplitMix64 maps(seed * 31 + 7);
+  for (int i = 0; i < 1500; ++i) {
+    const auto map = static_cast<std::uint32_t>(
+        maps.next() % ((1u << n) - 1) + 1);
+    std::vector<bus::MasterRequest> reqs(n);
+    for (std::size_t m = 0; m < n; ++m) {
+      reqs[m].pending = (map & (1u << m)) != 0;
+      reqs[m].head_words_remaining = reqs[m].pending ? 4 : 0;
+    }
+    const int expected =
+        behavioral.arbitrate(bus::RequestView(reqs), 0).master;
+    ASSERT_EQ(manager.drawIndex(map), expected)
+        << "seed " << seed << " iteration " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TicketsAndSeeds, EquivalenceSweepTest,
+    ::testing::Combine(
+        ::testing::Values(std::vector<std::uint32_t>{1, 2, 3, 4},
+                          std::vector<std::uint32_t>{1, 3, 4},
+                          std::vector<std::uint32_t>{7, 11, 13},
+                          std::vector<std::uint32_t>{1, 1, 1, 1, 1},
+                          std::vector<std::uint32_t>{100, 1},
+                          std::vector<std::uint32_t>{5, 9, 18}),
+        ::testing::Values(0xACE1u, 1u, 0xBEEFu)));
+
+TEST(StaticManagerTest, EquivalentToBehavioralLfsrModel) {
+  // The headline verification: the gate-level model and the behavioral
+  // LFSR-mode arbiter produce IDENTICAL grant sequences from the same seed,
+  // across arbitrary request-map interleavings.
+  const std::vector<std::uint32_t> tickets = {1, 2, 3, 4};
+  const std::uint32_t seed = 0x1234;
+  StaticLotteryManagerHw manager(tickets, seed);
+  core::LotteryArbiter behavioral(tickets, core::LotteryRng::kLfsr, seed);
+
+  sim::SplitMix64 maps(42);
+  for (int i = 0; i < 5000; ++i) {
+    const auto map = static_cast<std::uint32_t>(maps.next() % 15 + 1);
+    std::vector<bus::MasterRequest> reqs(4);
+    for (std::size_t m = 0; m < 4; ++m) {
+      reqs[m].pending = (map & (1u << m)) != 0;
+      reqs[m].head_words_remaining = reqs[m].pending ? 4 : 0;
+    }
+    const int expected =
+        behavioral.arbitrate(bus::RequestView(reqs), 0).master;
+    EXPECT_EQ(manager.drawIndex(map), expected) << "iteration " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DynamicLotteryManagerHw
+// ---------------------------------------------------------------------------
+
+TEST(DynamicManagerTest, Validation) {
+  EXPECT_THROW(DynamicLotteryManagerHw(0), std::invalid_argument);
+  EXPECT_THROW(DynamicLotteryManagerHw(4, 0), std::invalid_argument);
+  DynamicLotteryManagerHw manager(4, 4);
+  EXPECT_THROW(manager.draw(0b1111, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(manager.draw(0b1111, {1, 2, 3, 16}), std::invalid_argument);
+}
+
+TEST(DynamicManagerTest, EmptyOrZeroTicketMapGrantsNothing) {
+  DynamicLotteryManagerHw manager(4);
+  EXPECT_EQ(manager.draw(0, {1, 2, 3, 4}), 0u);
+  EXPECT_EQ(manager.draw(0b0011, {0, 0, 3, 4}), 0u);
+}
+
+TEST(DynamicManagerTest, GrantIsOneHotAndPending) {
+  DynamicLotteryManagerHw manager(4, 8, 0x77);
+  for (std::uint32_t map = 1; map < 16; ++map) {
+    for (int i = 0; i < 100; ++i) {
+      const std::uint32_t grant = manager.draw(map, {9, 1, 31, 5});
+      ASSERT_NE(grant, 0u);
+      ASSERT_EQ(grant & (grant - 1), 0u);
+      ASSERT_NE(grant & map, 0u);
+    }
+  }
+}
+
+TEST(DynamicManagerTest, DistributionTracksLiveTickets) {
+  DynamicLotteryManagerHw manager(3, 8, 0xACE1);
+  constexpr int kDraws = 60000;
+  std::array<int, 3> wins{};
+  for (int i = 0; i < kDraws; ++i)
+    ++wins[static_cast<std::size_t>(manager.drawIndex(0b111, {6, 3, 1}))];
+  EXPECT_NEAR(wins[0] / static_cast<double>(kDraws), 0.6, 0.015);
+  EXPECT_NEAR(wins[1] / static_cast<double>(kDraws), 0.3, 0.015);
+  EXPECT_NEAR(wins[2] / static_cast<double>(kDraws), 0.1, 0.015);
+}
+
+TEST(DynamicManagerTest, RespondsToTicketChangeInstantly) {
+  DynamicLotteryManagerHw manager(2, 8, 3);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(manager.drawIndex(0b11, {255, 0}), 0);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(manager.drawIndex(0b11, {0, 255}), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Area / timing model
+// ---------------------------------------------------------------------------
+
+TEST(AreaModelTest, StaticManagerLandsNearPaperMagnitude) {
+  // Paper Section 5.2: the 4-master static lottery manager mapped to NEC's
+  // 0.35u cell-based array came to ~14.5k cell grids (OCR-garbled; see
+  // EXPERIMENTS.md) with arbitration under ~3.2 ns.
+  StaticLotteryManagerHw manager({1, 2, 3, 4});
+  const double grids = manager.area().totalGrids();
+  EXPECT_GT(grids, 5000.0);
+  EXPECT_LT(grids, 30000.0);
+  const double ns = manager.timing().criticalPathNs();
+  EXPECT_GT(ns, 1.0);
+  EXPECT_LT(ns, 5.0);
+  EXPECT_GT(manager.timing().maxFrequencyMhz(), 200.0);
+}
+
+TEST(AreaModelTest, StaticAreaGrowsWithMasters) {
+  double previous = 0.0;
+  for (std::size_t n : {2u, 4u, 6u, 8u}) {
+    StaticLotteryManagerHw manager(std::vector<std::uint32_t>(n, 1));
+    const double grids = manager.area().totalGrids();
+    EXPECT_GT(grids, previous) << n << " masters";
+    previous = grids;
+  }
+}
+
+TEST(AreaModelTest, StaticLutAreaGrowsExponentially) {
+  StaticLotteryManagerHw m4(std::vector<std::uint32_t>(4, 1));
+  StaticLotteryManagerHw m8(std::vector<std::uint32_t>(8, 1));
+  // 2^8 rows vs 2^4 rows: LUT storage alone must grow > 16x.
+  EXPECT_GT(m8.table().storageBits(), m4.table().storageBits() * 16);
+}
+
+TEST(AreaModelTest, DynamicManagerAvoidsExponentialBlowup) {
+  DynamicLotteryManagerHw m4(4), m8(8);
+  // The adder tree grows ~linearly with master count.
+  EXPECT_LT(m8.area().totalGrids(), m4.area().totalGrids() * 4);
+}
+
+TEST(AreaModelTest, DynamicIsSlowerThanStatic) {
+  // Section 4.4: dynamic lotteries are "considerably harder"; the adder tree
+  // + modulo datapath cannot match the static manager's lookup.
+  StaticLotteryManagerHw stat({1, 2, 3, 4});
+  DynamicLotteryManagerHw dyn(4);
+  EXPECT_GT(dyn.timing().criticalPathNs(), stat.timing().criticalPathNs());
+}
+
+TEST(AreaModelTest, ReportsAreItemized) {
+  StaticLotteryManagerHw manager({1, 2, 3, 4});
+  const AreaReport report = manager.area();
+  EXPECT_GE(report.items.size(), 5u);
+  double sum = 0;
+  for (const auto& item : report.items) {
+    EXPECT_GT(item.grids, 0.0) << item.component;
+    sum += item.grids;
+  }
+  EXPECT_DOUBLE_EQ(sum, report.totalGrids());
+  const TimingReport timing = manager.timing();
+  EXPECT_GE(timing.stages.size(), 3u);
+  EXPECT_LE(timing.criticalPathNs(), timing.flowThroughNs());
+}
+
+// ---------------------------------------------------------------------------
+// Channel physical model
+// ---------------------------------------------------------------------------
+
+TEST(ChannelModelTest, CycleTimeIsMaxOfWireAndArbitration) {
+  const auto wire_bound = estimateChannel(12, 1.0);
+  EXPECT_DOUBLE_EQ(wire_bound.cycle_ns, wire_bound.wire_ns);
+  const auto arb_bound = estimateChannel(2, 50.0);
+  EXPECT_DOUBLE_EQ(arb_bound.cycle_ns, 50.0);
+  EXPECT_DOUBLE_EQ(arb_bound.clock_mhz, 1000.0 / 50.0);
+}
+
+TEST(ChannelModelTest, ClockDegradesMonotonicallyWithComponents) {
+  double previous = 1e18;
+  for (const std::size_t n : {2u, 4u, 8u, 16u}) {
+    const auto estimate = estimateChannel(n, 0.0);
+    EXPECT_LT(estimate.clock_mhz, previous) << n;
+    previous = estimate.clock_mhz;
+  }
+}
+
+TEST(ChannelModelTest, BandwidthFollowsWidthAndClock) {
+  ChannelTechnology tech;
+  tech.bus_width_bits = 64;
+  const auto wide = estimateChannel(4, 2.0, tech);
+  tech.bus_width_bits = 32;
+  const auto narrow = estimateChannel(4, 2.0, tech);
+  EXPECT_NEAR(wide.peak_bandwidth_mbps, 2.0 * narrow.peak_bandwidth_mbps,
+              1e-9);
+}
+
+TEST(ChannelModelTest, Validation) {
+  EXPECT_THROW(estimateChannel(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(estimateChannel(4, -1.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Power model
+// ---------------------------------------------------------------------------
+
+TEST(PowerModelTest, ReportsAreItemizedAndPositive) {
+  StaticLotteryManagerHw manager({1, 2, 3, 4});
+  const EnergyReport report = staticDrawEnergy(manager);
+  EXPECT_GE(report.items.size(), 5u);
+  double sum = 0.0;
+  for (const auto& item : report.items) {
+    EXPECT_GT(item.pj, 0.0) << item.component;
+    sum += item.pj;
+  }
+  EXPECT_DOUBLE_EQ(sum, report.totalPj());
+}
+
+TEST(PowerModelTest, DynamicCostsMoreEnergyPerDraw) {
+  // Recomputing partial sums through the adder tree + modulo every lottery
+  // burns more than a LUT read (Section 4.4's cost narrative).
+  StaticLotteryManagerHw stat({1, 2, 3, 4});
+  DynamicLotteryManagerHw dyn(4);
+  EXPECT_GT(dynamicDrawEnergy(dyn).totalPj(),
+            staticDrawEnergy(stat).totalPj());
+}
+
+TEST(PowerModelTest, EnergyGrowsWithMasters) {
+  double previous = 0.0;
+  for (const std::size_t n : {2u, 4u, 8u}) {
+    DynamicLotteryManagerHw manager(n);
+    const double pj = dynamicDrawEnergy(manager).totalPj();
+    EXPECT_GT(pj, previous);
+    previous = pj;
+  }
+}
+
+TEST(PowerModelTest, PowerScalesWithDrawRate) {
+  StaticLotteryManagerHw manager({1, 2, 3, 4});
+  const EnergyReport energy = staticDrawEnergy(manager);
+  const double at_100mhz = arbitrationPowerMw(energy, 100e6);
+  const double at_300mhz = arbitrationPowerMw(energy, 300e6);
+  EXPECT_NEAR(at_300mhz, 3.0 * at_100mhz, 1e-9);
+  // Sanity magnitude: a small arbiter at hundreds of MHz burns milliwatts.
+  EXPECT_GT(at_300mhz, 0.5);
+  EXPECT_LT(at_300mhz, 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// HwLotteryArbiter on a live bus
+// ---------------------------------------------------------------------------
+
+TEST(HwArbiterTest, MatchesBehavioralArbiterAtSystemLevel) {
+  // Same seed, same traffic: the structural arbiter and the behavioral LFSR
+  // arbiter drive byte-identical bandwidth outcomes.
+  const std::vector<std::uint32_t> tickets = {1, 2, 3, 4};
+  auto traffic = traffic::paramsFor(traffic::trafficClass("T2"), 4, 31);
+
+  auto hw_result = traffic::runTestbed(
+      traffic::defaultBusConfig(4),
+      std::make_unique<HwLotteryArbiter>(tickets, 0x55AA), traffic, 30000);
+  auto behavioral_result = traffic::runTestbed(
+      traffic::defaultBusConfig(4),
+      std::make_unique<core::LotteryArbiter>(tickets, core::LotteryRng::kLfsr,
+                                             0x55AA),
+      traffic, 30000);
+
+  for (std::size_t m = 0; m < 4; ++m) {
+    EXPECT_DOUBLE_EQ(hw_result.bandwidth_fraction[m],
+                     behavioral_result.bandwidth_fraction[m]);
+    EXPECT_DOUBLE_EQ(hw_result.cycles_per_word[m],
+                     behavioral_result.cycles_per_word[m]);
+  }
+}
+
+TEST(HwArbiterTest, ResetReplaysSequence) {
+  HwLotteryArbiter arbiter({1, 3, 4}, 0x99);
+  std::vector<bus::MasterRequest> reqs(3);
+  for (auto& r : reqs) {
+    r.pending = true;
+    r.head_words_remaining = 4;
+  }
+  std::vector<int> first;
+  for (int i = 0; i < 100; ++i)
+    first.push_back(arbiter.arbitrate(bus::RequestView(reqs), 0).master);
+  arbiter.reset();
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(arbiter.arbitrate(bus::RequestView(reqs), 0).master, first[i]);
+}
+
+}  // namespace
+}  // namespace lb::hw

@@ -1,0 +1,262 @@
+// Integration tests: full-system properties across arbiters, traffic
+// classes, and topologies.  These are the paper's qualitative claims stated
+// as executable assertions.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "arbiters/round_robin.hpp"
+#include "arbiters/static_priority.hpp"
+#include "arbiters/tdma.hpp"
+#include "arbiters/token_ring.hpp"
+#include "bus/bridge.hpp"
+#include "core/lottery.hpp"
+#include "core/ticket_policy.hpp"
+#include "traffic/classes.hpp"
+#include "traffic/testbed.hpp"
+
+namespace lb {
+namespace {
+
+using traffic::TestbedResult;
+
+std::unique_ptr<bus::IArbiter> makeArbiter(const std::string& kind,
+                                           std::uint64_t seed = 7) {
+  if (kind == "priority")
+    return std::make_unique<arb::StaticPriorityArbiter>(
+        std::vector<unsigned>{1, 2, 3, 4});
+  if (kind == "rr") return std::make_unique<arb::RoundRobinArbiter>(4);
+  if (kind == "token") return std::make_unique<arb::TokenRingArbiter>(4, 0);
+  if (kind == "tdma")
+    // Slot blocks are sized in bursts (16 contiguous single-word slots per
+    // reserved block, as in the paper's Figure 5), so weights 1:2:3:4 give a
+    // 160-slot wheel.
+    return std::make_unique<arb::TdmaArbiter>(
+        arb::TdmaArbiter::contiguousWheel({16, 32, 48, 64}), 4);
+  if (kind == "lottery")
+    return std::make_unique<core::LotteryArbiter>(
+        std::vector<std::uint32_t>{1, 2, 3, 4}, core::LotteryRng::kExact,
+        seed);
+  if (kind == "lottery-lfsr")
+    return std::make_unique<core::LotteryArbiter>(
+        std::vector<std::uint32_t>{1, 2, 3, 4}, core::LotteryRng::kLfsr, seed);
+  if (kind == "lottery-dynamic")
+    return std::make_unique<core::DynamicLotteryArbiter>(seed);
+  throw std::invalid_argument("unknown arbiter kind " + kind);
+}
+
+// ---------------------------------------------------------------------------
+// Work conservation: any arbiter on saturated traffic keeps the bus busy,
+// and every master eventually makes progress (no deadlock, no starvation of
+// the whole system).
+// ---------------------------------------------------------------------------
+
+class WorkConservationTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {};
+
+TEST_P(WorkConservationTest, BusStaysBusyAndAllMastersProgress) {
+  const auto [arbiter_kind, class_name] = GetParam();
+  auto result = traffic::runTestbed(
+      traffic::defaultBusConfig(4), makeArbiter(arbiter_kind),
+      traffic::paramsFor(traffic::trafficClass(class_name), 4, 99), 60000);
+
+  const auto& cls = traffic::trafficClass(class_name);
+  if (cls.saturating) {
+    EXPECT_LT(result.unutilized_fraction, 0.02)
+        << arbiter_kind << "/" << class_name;
+  }
+
+  for (std::size_t m = 0; m < 4; ++m)
+    EXPECT_GT(result.messages_completed[m], 10u)
+        << arbiter_kind << "/" << class_name << " master " << m;
+
+  double sum = result.unutilized_fraction;
+  for (const double f : result.bandwidth_fraction) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArbiterByClass, WorkConservationTest,
+    ::testing::Combine(::testing::Values("rr", "token", "tdma", "lottery",
+                                         "lottery-lfsr", "lottery-dynamic"),
+                       ::testing::Values("T1", "T2", "T3", "T4", "T5", "T6",
+                                         "T7", "T8", "T9")),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name + "_" + std::get<1>(info.param);
+    });
+
+// ---------------------------------------------------------------------------
+// The paper's core comparative claims
+// ---------------------------------------------------------------------------
+
+TEST(PaperClaimsTest, StaticPriorityStarvesLowPriorityUnderSaturation) {
+  auto result = traffic::runTestbed(
+      traffic::defaultBusConfig(4), makeArbiter("priority"),
+      traffic::paramsFor(traffic::trafficClass("T2"), 4, 5), 60000);
+  // Master 3 has top priority (4); master 0 the lowest.
+  EXPECT_GT(result.bandwidth_fraction[3], 0.9);
+  EXPECT_LT(result.bandwidth_fraction[0], 0.05);
+}
+
+TEST(PaperClaimsTest, LotteryNeverStarvesAnyMaster) {
+  auto result = traffic::runTestbed(
+      traffic::defaultBusConfig(4), makeArbiter("lottery"),
+      traffic::paramsFor(traffic::trafficClass("T2"), 4, 5), 60000);
+  for (std::size_t m = 0; m < 4; ++m)
+    EXPECT_GT(result.bandwidth_fraction[m], 0.05) << "master " << m;
+}
+
+TEST(PaperClaimsTest, TdmaGuaranteesProportionalBandwidth) {
+  // TDMA *does* solve proportional allocation (the paper concedes this);
+  // its weakness is latency, not bandwidth.
+  auto result = traffic::runTestbed(
+      traffic::defaultBusConfig(4), makeArbiter("tdma"),
+      traffic::paramsFor(traffic::trafficClass("T1"), 4, 5), 100000);
+  EXPECT_NEAR(result.bandwidth_fraction[0], 0.1, 0.02);
+  EXPECT_NEAR(result.bandwidth_fraction[1], 0.2, 0.02);
+  EXPECT_NEAR(result.bandwidth_fraction[2], 0.3, 0.02);
+  EXPECT_NEAR(result.bandwidth_fraction[3], 0.4, 0.02);
+}
+
+TEST(PaperClaimsTest, LotteryBandwidthTracksTicketsAcrossRngModes) {
+  for (const char* kind : {"lottery", "lottery-lfsr"}) {
+    auto result = traffic::runTestbed(
+        traffic::defaultBusConfig(4), makeArbiter(kind),
+        traffic::paramsFor(traffic::trafficClass("T4"), 4, 5), 200000);
+    EXPECT_NEAR(result.bandwidth_fraction[0], 0.1, 0.025) << kind;
+    EXPECT_NEAR(result.bandwidth_fraction[1], 0.2, 0.025) << kind;
+    EXPECT_NEAR(result.bandwidth_fraction[2], 0.3, 0.025) << kind;
+    EXPECT_NEAR(result.bandwidth_fraction[3], 0.4, 0.025) << kind;
+  }
+}
+
+TEST(PaperClaimsTest, LotteryLatencyOrderedByTickets) {
+  auto result = traffic::runTestbed(
+      traffic::defaultBusConfig(4), makeArbiter("lottery"),
+      traffic::paramsFor(traffic::trafficClass("T2"), 4, 5), 100000);
+  // More tickets -> lower cycles/word, strictly ordered.
+  EXPECT_GT(result.cycles_per_word[0], result.cycles_per_word[1]);
+  EXPECT_GT(result.cycles_per_word[1], result.cycles_per_word[2]);
+  EXPECT_GT(result.cycles_per_word[2], result.cycles_per_word[3]);
+}
+
+TEST(PaperClaimsTest, LotteryBeatsTdmaForHighPriorityBurstyLatency) {
+  // The Figure 6(b) / Figure 12 headline: under bursty traffic the
+  // top-weighted component's per-word latency is several times lower on the
+  // LOTTERYBUS than on the two-level TDMA bus.
+  const auto traffic_params =
+      traffic::paramsFor(traffic::trafficClass("T6"), 4, 11);
+  auto tdma = traffic::runTestbed(traffic::defaultBusConfig(4),
+                                  makeArbiter("tdma"), traffic_params, 300000);
+  auto lottery =
+      traffic::runTestbed(traffic::defaultBusConfig(4), makeArbiter("lottery"),
+                          traffic_params, 300000);
+  EXPECT_GT(tdma.cycles_per_word[3], lottery.cycles_per_word[3] * 1.5);
+}
+
+TEST(PaperClaimsTest, RoundRobinAndTokenRingCannotWeightComponents) {
+  for (const char* kind : {"rr", "token"}) {
+    auto result = traffic::runTestbed(
+        traffic::defaultBusConfig(4), makeArbiter(kind),
+        traffic::paramsFor(traffic::trafficClass("T2"), 4, 5), 60000);
+    for (std::size_t m = 0; m < 4; ++m)
+      EXPECT_NEAR(result.bandwidth_fraction[m], 0.25, 0.02)
+          << kind << " master " << m;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic tickets adapt where static tickets cannot
+// ---------------------------------------------------------------------------
+
+TEST(DynamicTicketsTest, BacklogPolicyTracksLoadShift) {
+  // Master 0 receives a large backlog burst mid-run; under the backlog
+  // policy its tickets and hence its share rise automatically.
+  traffic::TestbedOptions options;
+  std::vector<std::unique_ptr<core::BacklogTicketPolicy>> keep_alive;
+  options.setup = [&](bus::Bus& bus, sim::CycleKernel& kernel) {
+    keep_alive.push_back(std::make_unique<core::BacklogTicketPolicy>(
+        bus, std::vector<std::uint32_t>{1, 1, 1, 1}, /*weight=*/0.25,
+        /*max=*/64, /*period=*/32));
+    kernel.attach(*keep_alive.back());
+  };
+
+  // Master 0 offers much more load than the others.
+  std::vector<traffic::TrafficParams> params(4);
+  for (std::size_t m = 0; m < 4; ++m) {
+    params[m].size = traffic::SizeDist::fixed(16);
+    params[m].gap = traffic::GapDist::fixed(0);
+    params[m].max_outstanding = (m == 0) ? 16 : 1;
+    params[m].seed = 50 + m;
+  }
+
+  auto dynamic_result = traffic::runTestbed(
+      traffic::defaultBusConfig(4), makeArbiter("lottery-dynamic"), params,
+      100000, std::move(options));
+  auto static_result = traffic::runTestbed(
+      traffic::defaultBusConfig(4),
+      std::make_unique<core::LotteryArbiter>(
+          std::vector<std::uint32_t>{1, 1, 1, 1}),
+      params, 100000);
+
+  // With equal static tickets everyone gets ~25%; the backlog policy gives
+  // the heavy master a clear majority.
+  EXPECT_NEAR(static_result.bandwidth_fraction[0], 0.25, 0.03);
+  EXPECT_GT(dynamic_result.bandwidth_fraction[0], 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-bus topology: lottery segment bridged to a priority segment
+// ---------------------------------------------------------------------------
+
+TEST(TopologyTest, BridgedLotterySystemDeliversEndToEnd) {
+  bus::BusConfig up_config = traffic::defaultBusConfig(4);
+  up_config.slaves = {bus::SlaveConfig{"local-mem", 0},
+                      bus::SlaveConfig{"bridge", 0}};
+  bus::Bus upstream(up_config,
+                    std::make_unique<core::LotteryArbiter>(
+                        std::vector<std::uint32_t>{1, 2, 3, 4}));
+
+  bus::BusConfig down_config;
+  down_config.num_masters = 2;  // bridge + a local DMA master
+  bus::Bus downstream(down_config, std::make_unique<arb::StaticPriorityArbiter>(
+                                       std::vector<unsigned>{2, 1}));
+  bus::Bridge bridge(upstream, 1, downstream, 0, 0);
+
+  std::uint64_t delivered = 0;
+  bridge.onRemoteCompletion([&](std::uint64_t, sim::Cycle) { ++delivered; });
+
+  sim::CycleKernel kernel;
+  std::vector<std::unique_ptr<traffic::TrafficSource>> sources;
+  for (int m = 0; m < 4; ++m) {
+    traffic::TrafficParams params;
+    params.size = traffic::SizeDist::fixed(8);
+    params.gap = traffic::GapDist::geometric(40);
+    params.max_outstanding = 2;
+    params.slave = 1;  // all remote via the bridge
+    params.seed = 80 + static_cast<std::uint64_t>(m);
+    sources.push_back(
+        std::make_unique<traffic::TrafficSource>(upstream, m, params));
+    kernel.attach(*sources.back());
+  }
+  kernel.attach(upstream);
+  kernel.attach(bridge);
+  kernel.attach(downstream);
+  kernel.run(50000);
+
+  EXPECT_GT(delivered, 1000u);
+  EXPECT_EQ(bridge.forwarded(),
+            upstream.latency().messages(0) + upstream.latency().messages(1) +
+                upstream.latency().messages(2) + upstream.latency().messages(3));
+  // The downstream leg re-transfers every forwarded word.
+  EXPECT_GT(downstream.bandwidth().fraction(0), 0.3);
+}
+
+}  // namespace
+}  // namespace lb

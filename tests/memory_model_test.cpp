@@ -1,0 +1,154 @@
+// Tests for the row-buffer memory model and the bus's per-grant slave
+// setup-latency path.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arbiters/round_robin.hpp"
+#include "bus/bus.hpp"
+#include "bus/memory_model.hpp"
+#include "sim/kernel.hpp"
+
+namespace lb::bus {
+namespace {
+
+RowBufferConfig smallRows() {
+  RowBufferConfig config;
+  config.banks = 2;
+  config.row_bytes = 64;
+  config.hit_setup = 0;
+  config.miss_setup = 6;
+  config.cold_setup = 3;
+  return config;
+}
+
+Message at(std::uint64_t address, std::uint32_t words = 4) {
+  Message message;
+  message.words = words;
+  message.address = address;
+  return message;
+}
+
+// ---------------------------------------------------------------------------
+// RowBufferMemory classification
+// ---------------------------------------------------------------------------
+
+TEST(RowBufferTest, Validation) {
+  RowBufferConfig config = smallRows();
+  config.banks = 3;
+  EXPECT_THROW(RowBufferMemory{config}, std::invalid_argument);
+  config = smallRows();
+  config.row_bytes = 0;
+  EXPECT_THROW(RowBufferMemory{config}, std::invalid_argument);
+}
+
+TEST(RowBufferTest, ColdThenHitThenMiss) {
+  RowBufferMemory memory(smallRows());
+  // Row 0 lives in bank 0.
+  EXPECT_EQ(memory(at(0)), 3u);    // cold activate
+  EXPECT_EQ(memory(at(32)), 0u);   // same row: hit
+  // Row 2 also maps to bank 0 (rows interleave across 2 banks).
+  EXPECT_EQ(memory(at(128)), 6u);  // bank 0 conflict: miss
+  EXPECT_EQ(memory.hits(), 1u);
+  EXPECT_EQ(memory.misses(), 1u);
+  EXPECT_EQ(memory.coldAccesses(), 1u);
+}
+
+TEST(RowBufferTest, BanksIsolateRows) {
+  RowBufferMemory memory(smallRows());
+  EXPECT_EQ(memory(at(0)), 3u);    // row 0 -> bank 0
+  EXPECT_EQ(memory(at(64)), 3u);   // row 1 -> bank 1: cold, not a conflict
+  EXPECT_EQ(memory(at(0)), 0u);    // bank 0 row still open
+  EXPECT_EQ(memory(at(64)), 0u);   // bank 1 row still open
+  EXPECT_DOUBLE_EQ(memory.hitRate(), 0.5);
+}
+
+TEST(RowBufferTest, PrechargeClosesRows) {
+  RowBufferMemory memory(smallRows());
+  memory(at(0));
+  memory.precharge();
+  EXPECT_EQ(memory(at(0)), 3u);  // cold again
+}
+
+TEST(RowBufferTest, SequentialStreamIsMostlyHits) {
+  RowBufferConfig config = smallRows();
+  config.banks = 4;
+  config.row_bytes = 1024;
+  RowBufferMemory memory(config);
+  for (std::uint64_t address = 0; address < 64 * 1024; address += 64)
+    memory(at(address));
+  // 16 accesses per row: 15/16 hit rate, no conflicts (rows round-robin
+  // over 4 banks, each re-opened only after 3 other rows).
+  EXPECT_GT(memory.hitRate(), 0.9);
+  EXPECT_EQ(memory.misses() + memory.coldAccesses(), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// Bus integration: setup_latency charges dead cycles per grant
+// ---------------------------------------------------------------------------
+
+class FirstComeArbiter final : public IArbiter {
+public:
+  Grant arbitrate(const RequestView& requests, Cycle) override {
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      if (requests[i].pending) return Grant{static_cast<MasterId>(i), 0};
+    return Grant{};
+  }
+  std::string name() const override { return "first-come"; }
+};
+
+TEST(BusSetupLatencyTest, ChargedBeforeFirstWord) {
+  BusConfig config;
+  config.num_masters = 1;
+  config.slaves = {SlaveConfig{"dram", 0, [](const Message&) { return 5u; }}};
+  Bus bus(config, std::make_unique<FirstComeArbiter>());
+  Message m = at(0, 4);
+  m.arrival = 0;
+  bus.push(0, m);
+  for (Cycle t = 0; t < 9; ++t) bus.cycle(t);
+  // 5 setup cycles + 4 data cycles: finish at cycle 8, latency 9.
+  EXPECT_EQ(bus.latency().messages(0), 1u);
+  EXPECT_DOUBLE_EQ(bus.latency().cyclesPerWord(0), 9.0 / 4.0);
+  EXPECT_EQ(bus.bandwidth().overheadCycles(), 5u);
+}
+
+TEST(BusSetupLatencyTest, RowLocalityShowsThroughTheBus) {
+  BusConfig config;
+  config.num_masters = 1;
+  config.max_burst_words = 8;
+  auto memory = std::make_shared<RowBufferMemory>(smallRows());
+  config.slaves = {SlaveConfig{
+      "dram", 0, [memory](const Message& msg) { return (*memory)(msg); }}};
+  Bus bus(config, std::make_unique<FirstComeArbiter>());
+
+  // Two messages in the same row, then one in a conflicting row.
+  Message a = at(0, 8);
+  Message b = at(32, 8);
+  Message c = at(128, 8);
+  bus.push(0, a);
+  bus.push(0, b);
+  bus.push(0, c);
+  for (Cycle t = 0; t < 40; ++t) bus.cycle(t);
+  EXPECT_EQ(bus.latency().messages(0), 3u);
+  EXPECT_EQ(memory->hits(), 1u);
+  EXPECT_EQ(memory->misses(), 1u);
+  EXPECT_EQ(memory->coldAccesses(), 1u);
+  // Total cycles: 3 (cold) + 8 + 0 (hit) + 8 + 6 (miss) + 8 = 33.
+  EXPECT_EQ(bus.bandwidth().overheadCycles(), 9u);
+  EXPECT_EQ(bus.bandwidth().wordsTransferred(0), 24u);
+}
+
+TEST(BusSetupLatencyTest, FlatSlavesAreUnaffected) {
+  BusConfig config;
+  config.num_masters = 1;
+  Bus bus(config, std::make_unique<FirstComeArbiter>());
+  Message m = at(1234, 4);
+  bus.push(0, m);
+  for (Cycle t = 0; t < 4; ++t) bus.cycle(t);
+  EXPECT_DOUBLE_EQ(bus.latency().cyclesPerWord(0), 1.0);
+  EXPECT_EQ(bus.bandwidth().overheadCycles(), 0u);
+}
+
+}  // namespace
+}  // namespace lb::bus

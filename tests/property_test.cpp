@@ -1,0 +1,206 @@
+// Randomized property tests: for every arbiter, across randomized bus
+// configurations and traffic, check the invariants any correct shared-bus
+// simulation must satisfy.
+//
+//   1. Conservation: every generated word is either transferred or still
+//      queued at the end; completed messages report exactly their words.
+//   2. Accounting partition: per-master bandwidth fractions plus the
+//      un-utilized fraction sum to exactly 1.
+//   3. Causality: a message's latency is at least words * (1 + wait_states),
+//      and completion never precedes arrival.
+//   4. FIFO per master: messages complete in push order.
+//   5. Ownership: the grant trace never overlaps two masters in time.
+//   6. Zero preemptions when preemption is disabled.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "arbiters/round_robin.hpp"
+#include "arbiters/simple.hpp"
+#include "arbiters/static_priority.hpp"
+#include "arbiters/tdma.hpp"
+#include "arbiters/token_ring.hpp"
+#include "arbiters/weighted_round_robin.hpp"
+#include "bus/bus.hpp"
+#include "core/compensation.hpp"
+#include "core/lottery.hpp"
+#include "sim/kernel.hpp"
+#include "sim/rng.hpp"
+#include "traffic/generator.hpp"
+
+namespace lb {
+namespace {
+
+std::unique_ptr<bus::IArbiter> makeArbiter(const std::string& kind,
+                                           std::size_t masters,
+                                           std::uint64_t seed) {
+  std::vector<std::uint32_t> weights(masters);
+  std::vector<unsigned> priorities(masters);
+  for (std::size_t i = 0; i < masters; ++i) {
+    weights[i] = static_cast<std::uint32_t>(i % 4 + 1);
+    priorities[i] = static_cast<unsigned>(i);
+  }
+  if (kind == "priority")
+    return std::make_unique<arb::StaticPriorityArbiter>(priorities);
+  if (kind == "rr") return std::make_unique<arb::RoundRobinArbiter>(masters);
+  if (kind == "token")
+    return std::make_unique<arb::TokenRingArbiter>(masters, 0);
+  if (kind == "tdma") {
+    std::vector<unsigned> slots(weights.begin(), weights.end());
+    return std::make_unique<arb::TdmaArbiter>(
+        arb::TdmaArbiter::contiguousWheel(slots), masters);
+  }
+  if (kind == "wrr")
+    return std::make_unique<arb::WeightedRoundRobinArbiter>(weights, 8);
+  if (kind == "random")
+    return std::make_unique<arb::RandomArbiter>(masters, seed);
+  if (kind == "fcfs") return std::make_unique<arb::FcfsArbiter>(masters);
+  if (kind == "lottery")
+    return std::make_unique<core::LotteryArbiter>(
+        weights, core::LotteryRng::kExact, seed);
+  if (kind == "lottery-lfsr")
+    return std::make_unique<core::LotteryArbiter>(
+        weights, core::LotteryRng::kLfsr, seed);
+  if (kind == "lottery-dynamic")
+    return std::make_unique<core::DynamicLotteryArbiter>(seed);
+  if (kind == "lottery-compensated")
+    return std::make_unique<core::CompensatedLotteryArbiter>(weights, 16,
+                                                             seed);
+  throw std::invalid_argument("unknown arbiter " + kind);
+}
+
+class BusInvariantTest
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint64_t>> {
+};
+
+TEST_P(BusInvariantTest, HoldsUnderRandomizedTraffic) {
+  const auto [kind, seed] = GetParam();
+  sim::Xoshiro256ss rng(seed * 7919 + 13);
+
+  // --- randomized configuration ---------------------------------------------
+  const std::size_t masters = 2 + rng.below(7);  // 2..8
+  bus::BusConfig config;
+  config.num_masters = masters;
+  config.max_burst_words = static_cast<std::uint32_t>(1 + rng.below(32));
+  config.pipelined_arbitration = rng.chance(0.7);
+  config.arb_overhead_cycles = static_cast<std::uint32_t>(rng.below(3) + 1);
+  const auto wait_states = static_cast<std::uint32_t>(rng.below(3));
+  config.slaves = {bus::SlaveConfig{"mem", wait_states}};
+
+  bus::Bus bus(config, makeArbiter(kind, masters, seed));
+  bus.setTraceEnabled(true);
+
+  // --- invariant observers ---------------------------------------------------
+  std::vector<std::uint64_t> last_tag(masters, 0);
+  std::uint64_t words_completed = 0;
+  bool fifo_ok = true;
+  bool causality_ok = true;
+  bus.onCompletion([&](bus::MasterId master, const bus::Message& message,
+                       sim::Cycle finish) {
+    const auto m = static_cast<std::size_t>(master);
+    if (message.tag + 1 <= last_tag[m]) fifo_ok = false;  // tags ascend
+    last_tag[m] = message.tag + 1;
+    words_completed += message.words;
+    const std::uint64_t latency = finish - message.arrival + 1;
+    if (latency <
+        static_cast<std::uint64_t>(message.words) * (1 + wait_states))
+      causality_ok = false;
+  });
+
+  // --- randomized traffic -----------------------------------------------------
+  sim::CycleKernel kernel;
+  std::vector<std::unique_ptr<traffic::TrafficSource>> sources;
+  for (std::size_t m = 0; m < masters; ++m) {
+    traffic::TrafficParams params;
+    const auto style = rng.below(4);
+    if (style == 0) {
+      params.size = traffic::SizeDist::fixed(
+          static_cast<std::uint32_t>(1 + rng.below(40)));
+      params.gap = traffic::GapDist::fixed(rng.below(30));
+    } else if (style == 1) {
+      params.size = traffic::SizeDist::uniform(
+          1, static_cast<std::uint32_t>(2 + rng.below(60)));
+      params.gap = traffic::GapDist::geometric(rng.below(50));
+    } else if (style == 2) {
+      params.size = traffic::SizeDist::geometric(
+          static_cast<std::uint32_t>(1 + rng.below(16)), 128);
+      params.gap = traffic::GapDist::geometric(rng.below(10));
+      params.mean_on = 100 + rng.below(400);
+      params.mean_off = 100 + rng.below(1000);
+    } else {
+      params.size = traffic::SizeDist::bimodal(
+          2, static_cast<std::uint32_t>(8 + rng.below(60)), 0.7);
+      params.gap = traffic::GapDist::fixed(0);
+    }
+    params.max_outstanding = static_cast<std::uint32_t>(1 + rng.below(8));
+    params.first_arrival = rng.below(64);
+    params.seed = rng.next();
+    sources.push_back(std::make_unique<traffic::TrafficSource>(
+        bus, static_cast<bus::MasterId>(m), params));
+    kernel.attach(*sources.back());
+  }
+  kernel.attach(bus);
+  kernel.run(20000);
+
+  // --- 1. conservation --------------------------------------------------------
+  std::uint64_t words_generated = 0;
+  for (const auto& source : sources) words_generated += source->wordsGenerated();
+  std::uint64_t backlog = 0;
+  for (std::size_t m = 0; m < masters; ++m)
+    backlog += bus.backlogWords(static_cast<bus::MasterId>(m));
+  std::uint64_t transferred = 0;
+  for (std::size_t m = 0; m < masters; ++m)
+    transferred += bus.bandwidth().wordsTransferred(m);
+  EXPECT_EQ(words_generated, transferred + backlog) << kind;
+  // Completed messages cover all transferred words except each master's
+  // possibly partially-transferred head message (max size 128 words).
+  EXPECT_LE(words_completed, transferred) << kind;
+  EXPECT_LE(transferred - words_completed, masters * 128u) << kind;
+
+  // --- 2. accounting partition -------------------------------------------------
+  double sum = bus.bandwidth().unutilizedFraction();
+  for (std::size_t m = 0; m < masters; ++m)
+    sum += bus.bandwidth().fraction(m);
+  EXPECT_NEAR(sum, 1.0, 1e-9) << kind;
+  EXPECT_EQ(bus.bandwidth().totalCycles(), 20000u) << kind;
+
+  // --- 3/4. causality & FIFO ---------------------------------------------------
+  EXPECT_TRUE(causality_ok) << kind;
+  EXPECT_TRUE(fifo_ok) << kind;
+
+  // --- 5. exclusive ownership ---------------------------------------------------
+  const auto& trace = bus.trace();
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].start, trace[i - 1].start + trace[i - 1].words)
+        << kind << " grants overlap at index " << i;
+  }
+  for (const auto& grant : trace) {
+    EXPECT_LE(grant.words, config.max_burst_words) << kind;
+    EXPECT_GE(grant.words, 1u) << kind;
+  }
+
+  // --- 6. no phantom preemptions -------------------------------------------------
+  EXPECT_EQ(bus.preemptions(), 0u) << kind;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArbiters, BusInvariantTest,
+    ::testing::Combine(::testing::Values("priority", "rr", "token", "tdma",
+                                         "wrr", "random", "fcfs", "lottery",
+                                         "lottery-lfsr", "lottery-dynamic",
+                                         "lottery-compensated"),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace lb

@@ -1,0 +1,342 @@
+// Unit tests for the simulation kernel and random number sources.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/parallel.hpp"
+#include "sim/rng.hpp"
+
+namespace lb::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SplitMix64 / Xoshiro256ss
+// ---------------------------------------------------------------------------
+
+TEST(SplitMix64Test, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(XoshiroTest, IsDeterministic) {
+  Xoshiro256ss a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(XoshiroTest, BelowStaysInRange) {
+  Xoshiro256ss rng(11);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 7ull, 100ull, 12345ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(XoshiroTest, BelowOneAlwaysZero) {
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(XoshiroTest, BelowIsRoughlyUniform) {
+  Xoshiro256ss rng(123);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i)
+    ++counts[rng.below(kBuckets)];
+  // Each bucket expects 10000; allow +-5%.
+  for (int c : counts) {
+    EXPECT_GT(c, 9500);
+    EXPECT_LT(c, 10500);
+  }
+}
+
+TEST(XoshiroTest, Uniform01InRangeWithSaneMean) {
+  Xoshiro256ss rng(99);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(XoshiroTest, ChanceEdgeCases) {
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(XoshiroTest, ChanceMatchesProbability) {
+  Xoshiro256ss rng(17);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// GaloisLfsr
+// ---------------------------------------------------------------------------
+
+class LfsrPeriodTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LfsrPeriodTest, HasMaximalPeriod) {
+  const unsigned width = GetParam();
+  GaloisLfsr lfsr(width, 1);
+  const std::uint32_t start = lfsr.value();
+  std::uint64_t steps = 0;
+  const std::uint64_t expected = GaloisLfsr::period(width);
+  do {
+    lfsr.step();
+    ++steps;
+    ASSERT_LE(steps, expected) << "cycled early or never returned";
+  } while (lfsr.value() != start);
+  EXPECT_EQ(steps, expected) << "period must be 2^" << width << " - 1";
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LfsrPeriodTest,
+                         ::testing::Values(4u, 5u, 6u, 7u, 8u, 9u, 10u, 11u,
+                                           12u, 13u, 14u, 15u, 16u));
+
+TEST(LfsrTest, NeverReachesZero) {
+  GaloisLfsr lfsr(8, 0x5A);
+  for (int i = 0; i < 1000; ++i) EXPECT_NE(lfsr.step(), 0u);
+}
+
+TEST(LfsrTest, ZeroSeedIsCoerced) {
+  GaloisLfsr lfsr(8, 0);
+  EXPECT_NE(lfsr.value(), 0u);
+}
+
+TEST(LfsrTest, SeedIsMaskedToWidth) {
+  GaloisLfsr lfsr(4, 0xFFFF);
+  EXPECT_LE(lfsr.value(), 0xFu);
+}
+
+TEST(LfsrTest, DrawBitsBounded) {
+  GaloisLfsr lfsr(16, 0xACE1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(lfsr.drawBits(5), 32u);
+}
+
+TEST(LfsrTest, DrawBitsLowBitsRoughlyUniform) {
+  GaloisLfsr lfsr(16, 0xACE1);
+  std::map<std::uint32_t, int> counts;
+  constexpr int kSamples = 65535;  // one full period
+  for (int i = 0; i < kSamples; ++i) ++counts[lfsr.drawBits(3)];
+  // Over a full period each 3-bit value appears 8192 times except one
+  // (missing all-zero state affects one count by 1): near-perfect uniform.
+  for (const auto& [value, count] : counts) {
+    EXPECT_GE(count, 8191) << "value " << value;
+    EXPECT_LE(count, 8192) << "value " << value;
+  }
+}
+
+TEST(LfsrTest, RejectsBadWidths) {
+  EXPECT_THROW(GaloisLfsr(3, 1), std::invalid_argument);
+  EXPECT_THROW(GaloisLfsr(33, 1), std::invalid_argument);
+  EXPECT_THROW(GaloisLfsr(19, 1), std::invalid_argument);  // no tap entry
+}
+
+TEST(LfsrTest, WideWidthsSmokeTest) {
+  for (unsigned width : {17u, 18u, 20u, 24u, 32u}) {
+    GaloisLfsr lfsr(width, 0xDEADBEEF);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(lfsr.step());
+    EXPECT_GT(seen.size(), 990u) << "width " << width;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CycleKernel
+// ---------------------------------------------------------------------------
+
+class Counter final : public ICycleComponent {
+public:
+  void cycle(Cycle now) override {
+    ++calls;
+    last_now = now;
+  }
+  int calls = 0;
+  Cycle last_now = 0;
+};
+
+TEST(KernelTest, RunsComponentsOncePerCycle) {
+  CycleKernel kernel;
+  Counter a, b;
+  kernel.attach(a);
+  kernel.attach(b);
+  kernel.run(10);
+  EXPECT_EQ(a.calls, 10);
+  EXPECT_EQ(b.calls, 10);
+  EXPECT_EQ(a.last_now, 9u);
+  EXPECT_EQ(kernel.now(), 10u);
+}
+
+TEST(KernelTest, ComponentsRunInAttachOrder) {
+  CycleKernel kernel;
+  std::vector<int> order;
+  struct Probe final : ICycleComponent {
+    Probe(std::vector<int>& order, int id) : order_(order), id_(id) {}
+    void cycle(Cycle) override { order_.push_back(id_); }
+    std::vector<int>& order_;
+    int id_;
+  };
+  Probe p1(order, 1), p2(order, 2), p3(order, 3);
+  kernel.attach(p1);
+  kernel.attach(p2);
+  kernel.attach(p3);
+  kernel.run(2);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 1, 2, 3}));
+}
+
+TEST(KernelTest, ScheduledEventFiresAtRequestedCycle) {
+  CycleKernel kernel;
+  Cycle fired_at = 999;
+  kernel.at(5, [&](Cycle now) { fired_at = now; });
+  kernel.run(4);
+  EXPECT_EQ(fired_at, 999u);  // not yet
+  kernel.run(2);
+  EXPECT_EQ(fired_at, 5u);
+}
+
+TEST(KernelTest, AfterSchedulesRelativeToNow) {
+  CycleKernel kernel;
+  kernel.run(3);
+  Cycle fired_at = 0;
+  kernel.after(4, [&](Cycle now) { fired_at = now; });
+  kernel.run(10);
+  EXPECT_EQ(fired_at, 7u);
+}
+
+TEST(KernelTest, PastEventsFireOnNextCycle) {
+  CycleKernel kernel;
+  kernel.run(10);
+  Cycle fired_at = 0;
+  kernel.at(2, [&](Cycle now) { fired_at = now; });
+  kernel.run(1);
+  EXPECT_EQ(fired_at, 10u);
+}
+
+TEST(KernelTest, SameCycleEventsFireFifo) {
+  CycleKernel kernel;
+  std::vector<int> order;
+  kernel.at(3, [&](Cycle) { order.push_back(1); });
+  kernel.at(3, [&](Cycle) { order.push_back(2); });
+  kernel.at(3, [&](Cycle) { order.push_back(3); });
+  kernel.run(5);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(KernelTest, EventsRunBeforeComponentsInTheirCycle) {
+  CycleKernel kernel;
+  std::vector<std::string> log;
+  struct Probe final : ICycleComponent {
+    explicit Probe(std::vector<std::string>& log) : log_(log) {}
+    void cycle(Cycle now) override {
+      if (now == 2) log_.push_back("component");
+    }
+    std::vector<std::string>& log_;
+  };
+  Probe probe(log);
+  kernel.attach(probe);
+  kernel.at(2, [&](Cycle) { log.push_back("event"); });
+  kernel.run(5);
+  EXPECT_EQ(log, (std::vector<std::string>{"event", "component"}));
+}
+
+TEST(KernelTest, RunUntilStopsAtPredicate) {
+  CycleKernel kernel;
+  Counter counter;
+  kernel.attach(counter);
+  const bool fired =
+      kernel.runUntil([](Cycle now) { return now == 7; }, 100);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(kernel.now(), 7u);
+  EXPECT_EQ(counter.calls, 7);
+}
+
+TEST(KernelTest, RunUntilHonorsDeadline) {
+  CycleKernel kernel;
+  const bool fired = kernel.runUntil([](Cycle) { return false; }, 25);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(kernel.now(), 25u);
+}
+
+// ---------------------------------------------------------------------------
+// parallelMap
+// ---------------------------------------------------------------------------
+
+TEST(ParallelMapTest, ResultsArriveInIndexOrder) {
+  const auto results = parallelMap<std::size_t>(
+      50, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(results.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ParallelMapTest, MatchesSequentialExecution) {
+  // Each job runs its own deterministic RNG chain: parallel result must be
+  // bit-identical to threads=1.
+  auto job = [](std::size_t i) {
+    Xoshiro256ss rng(1000 + i);
+    std::uint64_t acc = 0;
+    for (int k = 0; k < 1000; ++k) acc ^= rng.next();
+    return acc;
+  };
+  const auto parallel = parallelMap<std::uint64_t>(16, job, 0);
+  const auto sequential = parallelMap<std::uint64_t>(16, job, 1);
+  EXPECT_EQ(parallel, sequential);
+}
+
+TEST(ParallelMapTest, EmptyAndSingleJob) {
+  EXPECT_TRUE(parallelMap<int>(0, [](std::size_t) { return 1; }).empty());
+  const auto one = parallelMap<int>(1, [](std::size_t) { return 7; });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 7);
+}
+
+TEST(ParallelMapTest, ExceptionsPropagate) {
+  EXPECT_THROW(parallelMap<int>(
+                   8,
+                   [](std::size_t i) {
+                     if (i == 3) throw std::runtime_error("boom");
+                     return static_cast<int>(i);
+                   },
+                   4),
+               std::runtime_error);
+}
+
+TEST(ParallelMapTest, WorkerCountDefaults) {
+  EXPECT_GE(defaultWorkerCount(100), 1u);
+  EXPECT_LE(defaultWorkerCount(2), 2u);
+  EXPECT_EQ(defaultWorkerCount(1), 1u);
+}
+
+TEST(KernelTest, EventCanScheduleAnotherEvent) {
+  CycleKernel kernel;
+  std::vector<Cycle> fires;
+  std::function<void(Cycle)> chain = [&](Cycle now) {
+    fires.push_back(now);
+    if (fires.size() < 3) kernel.after(2, chain);
+  };
+  kernel.at(1, chain);
+  kernel.run(10);
+  EXPECT_EQ(fires, (std::vector<Cycle>{1, 3, 5}));
+}
+
+}  // namespace
+}  // namespace lb::sim

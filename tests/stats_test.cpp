@@ -1,0 +1,281 @@
+// Unit tests for the measurement primitives.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hpp"
+#include "stats/table.hpp"
+#include "stats/windowed.hpp"
+
+namespace lb::stats {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LatencyStats
+// ---------------------------------------------------------------------------
+
+TEST(LatencyStatsTest, EmptyStatsReportZero) {
+  LatencyStats stats(3);
+  EXPECT_DOUBLE_EQ(stats.cyclesPerWord(0), 0.0);
+  EXPECT_DOUBLE_EQ(stats.overallCyclesPerWord(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.meanMessageLatency(1), 0.0);
+  EXPECT_EQ(stats.messages(2), 0u);
+  EXPECT_EQ(stats.minLatency(0), 0u);
+}
+
+TEST(LatencyStatsTest, CyclesPerWordIsLatencyOverWords) {
+  LatencyStats stats(2);
+  stats.recordMessage(0, 4, 8);    // 2.0 c/w
+  stats.recordMessage(0, 16, 16);  // 1.0 c/w
+  // aggregate: 24 cycles / 20 words
+  EXPECT_DOUBLE_EQ(stats.cyclesPerWord(0), 24.0 / 20.0);
+  EXPECT_EQ(stats.words(0), 20u);
+  EXPECT_EQ(stats.messages(0), 2u);
+}
+
+TEST(LatencyStatsTest, PerMasterIsolation) {
+  LatencyStats stats(2);
+  stats.recordMessage(0, 1, 100);
+  stats.recordMessage(1, 1, 2);
+  EXPECT_DOUBLE_EQ(stats.cyclesPerWord(0), 100.0);
+  EXPECT_DOUBLE_EQ(stats.cyclesPerWord(1), 2.0);
+  EXPECT_DOUBLE_EQ(stats.overallCyclesPerWord(), 51.0);
+}
+
+TEST(LatencyStatsTest, MinMaxTracking) {
+  LatencyStats stats(1);
+  stats.recordMessage(0, 1, 7);
+  stats.recordMessage(0, 1, 3);
+  stats.recordMessage(0, 1, 12);
+  EXPECT_EQ(stats.minLatency(0), 3u);
+  EXPECT_EQ(stats.maxLatency(0), 12u);
+}
+
+TEST(LatencyStatsTest, ResetClearsEverything) {
+  LatencyStats stats(1);
+  stats.recordMessage(0, 5, 50);
+  stats.reset();
+  EXPECT_EQ(stats.messages(0), 0u);
+  EXPECT_DOUBLE_EQ(stats.cyclesPerWord(0), 0.0);
+}
+
+TEST(LatencyStatsTest, OutOfRangeMasterThrows) {
+  LatencyStats stats(2);
+  EXPECT_THROW(stats.recordMessage(2, 1, 1), std::out_of_range);
+  EXPECT_THROW(stats.cyclesPerWord(5), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// BandwidthStats
+// ---------------------------------------------------------------------------
+
+TEST(BandwidthStatsTest, FractionsPartitionTotalCycles) {
+  BandwidthStats stats(3);
+  for (int i = 0; i < 30; ++i) stats.recordWord(0);
+  for (int i = 0; i < 20; ++i) stats.recordWord(1);
+  for (int i = 0; i < 10; ++i) stats.recordWord(2);
+  for (int i = 0; i < 40; ++i) stats.recordIdleCycle();
+  EXPECT_EQ(stats.totalCycles(), 100u);
+  EXPECT_DOUBLE_EQ(stats.fraction(0), 0.30);
+  EXPECT_DOUBLE_EQ(stats.fraction(1), 0.20);
+  EXPECT_DOUBLE_EQ(stats.fraction(2), 0.10);
+  EXPECT_DOUBLE_EQ(stats.unutilizedFraction(), 0.40);
+  const double sum = stats.fraction(0) + stats.fraction(1) +
+                     stats.fraction(2) + stats.unutilizedFraction();
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(BandwidthStatsTest, ShareOfTrafficIgnoresIdle) {
+  BandwidthStats stats(2);
+  for (int i = 0; i < 3; ++i) stats.recordWord(0);
+  stats.recordWord(1);
+  for (int i = 0; i < 96; ++i) stats.recordIdleCycle();
+  EXPECT_DOUBLE_EQ(stats.shareOfTraffic(0), 0.75);
+  EXPECT_DOUBLE_EQ(stats.shareOfTraffic(1), 0.25);
+}
+
+TEST(BandwidthStatsTest, OverheadCountsAsUnutilized) {
+  BandwidthStats stats(1);
+  stats.recordWord(0);
+  stats.recordOverheadCycle();
+  stats.recordOverheadCycle();
+  stats.recordIdleCycle();
+  EXPECT_EQ(stats.totalCycles(), 4u);
+  EXPECT_DOUBLE_EQ(stats.unutilizedFraction(), 0.75);
+  EXPECT_EQ(stats.overheadCycles(), 2u);
+  EXPECT_EQ(stats.idleCycles(), 1u);
+}
+
+TEST(BandwidthStatsTest, EmptyStatsAreZero) {
+  BandwidthStats stats(2);
+  EXPECT_EQ(stats.totalCycles(), 0u);
+  EXPECT_DOUBLE_EQ(stats.fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(stats.unutilizedFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.shareOfTraffic(1), 0.0);
+}
+
+TEST(BandwidthStatsTest, ResetClears) {
+  BandwidthStats stats(1);
+  stats.recordWord(0);
+  stats.recordIdleCycle();
+  stats.reset();
+  EXPECT_EQ(stats.totalCycles(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BinsValuesByWidth) {
+  Histogram h(10, 5);
+  h.record(0);
+  h.record(9);
+  h.record(10);
+  h.record(49);
+  h.record(50);  // overflow
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h(1, 100);
+  h.record(2);
+  h.record(4);
+  h.record(6);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(HistogramTest, QuantileResolvesToBinEdges) {
+  Histogram h(10, 10);
+  for (int i = 0; i < 90; ++i) h.record(5);   // bin 0
+  for (int i = 0; i < 10; ++i) h.record(95);  // bin 9
+  EXPECT_EQ(h.quantile(0.5), 10u);
+  EXPECT_EQ(h.quantile(0.9), 10u);
+  EXPECT_EQ(h.quantile(0.95), 100u);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(5, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// RunningStats
+// ---------------------------------------------------------------------------
+
+TEST(RunningStatsTest, MeanAndVariance) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.record(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
+  RunningStats stats;
+  stats.record(42.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// WindowedBandwidth
+// ---------------------------------------------------------------------------
+
+TEST(WindowedBandwidthTest, ClosesWindowsOnBoundaries) {
+  WindowedBandwidth wb(2, 10);
+  wb.recordWord(0, 0);
+  wb.recordWord(0, 5);
+  wb.recordWord(1, 9);
+  EXPECT_EQ(wb.windows(), 0u);  // first window still open
+  wb.recordWord(1, 10);         // crosses into window 1
+  ASSERT_EQ(wb.windows(), 1u);
+  EXPECT_EQ(wb.words(0, 0), 2u);
+  EXPECT_EQ(wb.words(0, 1), 1u);
+}
+
+TEST(WindowedBandwidthTest, SharesPartitionEachWindow) {
+  WindowedBandwidth wb(2, 4);
+  for (std::uint64_t t = 0; t < 4; ++t) wb.recordWord(t % 2, t);
+  wb.recordWord(0, 4);
+  EXPECT_DOUBLE_EQ(wb.share(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(wb.share(0, 1), 0.5);
+}
+
+TEST(WindowedBandwidthTest, IdleWindowsHaveZeroShares) {
+  WindowedBandwidth wb(2, 10);
+  wb.recordWord(0, 35);  // windows 0..2 close empty; word in window 3
+  ASSERT_EQ(wb.windows(), 3u);
+  EXPECT_DOUBLE_EQ(wb.share(1, 0), 0.0);
+}
+
+TEST(WindowedBandwidthTest, DeviationMetrics) {
+  WindowedBandwidth wb(2, 4);
+  // Window 0: master 0 gets everything; window 1: perfect 50/50.
+  for (std::uint64_t t = 0; t < 4; ++t) wb.recordWord(0, t);
+  for (std::uint64_t t = 4; t < 8; ++t) wb.recordWord(t % 2, t);
+  wb.recordWord(0, 8);  // close window 1
+  ASSERT_EQ(wb.windows(), 2u);
+  EXPECT_DOUBLE_EQ(wb.maxShareDeviation(0, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(wb.maxShareDeviation(0, 0.5, 1), 0.0);  // last window only
+  EXPECT_DOUBLE_EQ(wb.meanShareDeviation(0, 0.5), 0.25);
+}
+
+TEST(WindowedBandwidthTest, Validation) {
+  EXPECT_THROW(WindowedBandwidth(0, 4), std::invalid_argument);
+  EXPECT_THROW(WindowedBandwidth(2, 0), std::invalid_argument);
+  WindowedBandwidth wb(2, 4);
+  EXPECT_THROW(wb.recordWord(2, 0), std::out_of_range);
+  EXPECT_THROW(wb.words(0, 0), std::out_of_range);  // no closed windows yet
+}
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+TEST(TableTest, FormatsNumbersAndPercent) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.421, 1), "42.1%");
+}
+
+TEST(TableTest, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"1"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, AsciiOutputContainsCells) {
+  Table t({"arch", "latency"});
+  t.addRow({"lottery", "1.70"});
+  t.addRow({"tdma", "8.55"});
+  std::ostringstream os;
+  t.printAscii(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("lottery"), std::string::npos);
+  EXPECT_NE(out.find("8.55"), std::string::npos);
+  EXPECT_NE(out.find("arch"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutputIsCommaSeparated) {
+  Table t({"a", "b"});
+  t.addRow({"1", "2"});
+  std::ostringstream os;
+  t.printCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, CellAccess) {
+  Table t({"x"});
+  t.addRow({"y"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 1u);
+  EXPECT_EQ(t.cell(0, 0), "y");
+}
+
+}  // namespace
+}  // namespace lb::stats

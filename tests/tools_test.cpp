@@ -1,0 +1,198 @@
+// Tests for the designer-facing tools: ticket search (bandwidth targets ->
+// tickets), fairness indices, and ASCII waveform rendering.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "arbiters/round_robin.hpp"
+#include "bus/bus.hpp"
+#include "bus/waveform.hpp"
+#include "core/lottery.hpp"
+#include "core/ticket_search.hpp"
+#include "stats/stats.hpp"
+#include "traffic/classes.hpp"
+#include "traffic/testbed.hpp"
+
+namespace lb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ticketsForShares
+// ---------------------------------------------------------------------------
+
+TEST(TicketSearchTest, ExactRatiosGetMinimalTotals) {
+  const auto result = core::ticketsForShares({0.1, 0.2, 0.3, 0.4});
+  EXPECT_EQ(result.tickets, (std::vector<std::uint32_t>{1, 2, 3, 4}));
+  EXPECT_EQ(result.total, 10u);
+  EXPECT_NEAR(result.max_relative_error, 0.0, 1e-12);
+}
+
+TEST(TicketSearchTest, NormalizesTargets) {
+  // Same ratios, unnormalized inputs.
+  const auto result = core::ticketsForShares({1.0, 2.0, 4.0});
+  EXPECT_EQ(result.tickets, (std::vector<std::uint32_t>{1, 2, 4}));
+}
+
+TEST(TicketSearchTest, ApproximatesAwkwardShares) {
+  const auto result = core::ticketsForShares({0.59, 0.27, 0.14}, 1024, 0.02);
+  ASSERT_EQ(result.tickets.size(), 3u);
+  EXPECT_LE(result.max_relative_error, 0.02);
+  const double total = static_cast<double>(result.total);
+  EXPECT_NEAR(result.tickets[0] / total, 0.59, 0.02);
+  EXPECT_NEAR(result.tickets[1] / total, 0.27, 0.02);
+  EXPECT_NEAR(result.tickets[2] / total, 0.14, 0.02);
+}
+
+TEST(TicketSearchTest, EveryMasterGetsATicket) {
+  const auto result = core::ticketsForShares({0.001, 0.999}, 64);
+  EXPECT_GE(result.tickets[0], 1u);
+}
+
+TEST(TicketSearchTest, AchievedSharesAreConsistent) {
+  const auto result = core::ticketsForShares({0.5, 0.3, 0.2});
+  double sum = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(result.achieved[i],
+                static_cast<double>(result.tickets[i]) / result.total, 1e-12);
+    sum += result.achieved[i];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(TicketSearchTest, Validation) {
+  EXPECT_THROW(core::ticketsForShares({}), std::invalid_argument);
+  EXPECT_THROW(core::ticketsForShares({0.5, 0.0}), std::invalid_argument);
+  EXPECT_THROW(core::ticketsForShares({0.5, -0.1}), std::invalid_argument);
+  EXPECT_THROW(core::ticketsForShares({0.5, 0.5}, 1), std::invalid_argument);
+}
+
+TEST(TicketSearchTest, EndToEndMeetsTargets) {
+  // Designer wants 50 / 30 / 15 / 5: search tickets, simulate, verify.
+  const auto found = core::ticketsForShares({0.50, 0.30, 0.15, 0.05});
+  auto result = traffic::runTestbed(
+      traffic::defaultBusConfig(4),
+      std::make_unique<core::LotteryArbiter>(found.tickets,
+                                             core::LotteryRng::kExact, 3),
+      traffic::paramsFor(traffic::trafficClass("T2"), 4, 5), 200000);
+  EXPECT_NEAR(result.bandwidth_fraction[0], 0.50, 0.025);
+  EXPECT_NEAR(result.bandwidth_fraction[1], 0.30, 0.025);
+  EXPECT_NEAR(result.bandwidth_fraction[2], 0.15, 0.02);
+  EXPECT_NEAR(result.bandwidth_fraction[3], 0.05, 0.015);
+}
+
+// ---------------------------------------------------------------------------
+// Fairness indices
+// ---------------------------------------------------------------------------
+
+TEST(FairnessTest, EqualAllocationsScoreOne) {
+  EXPECT_DOUBLE_EQ(stats::jainFairnessIndex({3, 3, 3, 3}), 1.0);
+}
+
+TEST(FairnessTest, MonopolyScoresOneOverN) {
+  EXPECT_DOUBLE_EQ(stats::jainFairnessIndex({1, 0, 0, 0}), 0.25);
+}
+
+TEST(FairnessTest, KnownIntermediateValue) {
+  // (1+2+3)^2 / (3 * (1+4+9)) = 36/42
+  EXPECT_NEAR(stats::jainFairnessIndex({1, 2, 3}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(FairnessTest, WeightedIndexRewardsProportionality) {
+  // Allocations exactly proportional to weights: index 1.
+  EXPECT_NEAR(stats::weightedFairnessIndex({0.1, 0.2, 0.3, 0.4},
+                                           {1, 2, 3, 4}),
+              1.0, 1e-12);
+  // Equal allocations against unequal weights score lower.
+  EXPECT_LT(stats::weightedFairnessIndex({0.25, 0.25, 0.25, 0.25},
+                                         {1, 2, 3, 4}),
+            0.9);
+}
+
+TEST(FairnessTest, Validation) {
+  EXPECT_THROW(stats::jainFairnessIndex({}), std::invalid_argument);
+  EXPECT_THROW(stats::jainFairnessIndex({-1.0}), std::invalid_argument);
+  EXPECT_THROW(stats::weightedFairnessIndex({1.0}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(stats::weightedFairnessIndex({1.0}, {0.0}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Waveform rendering
+// ---------------------------------------------------------------------------
+
+class FirstComeArbiter final : public bus::IArbiter {
+public:
+  bus::Grant arbitrate(const bus::RequestView& requests, bus::Cycle) override {
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      if (requests[i].pending)
+        return bus::Grant{static_cast<bus::MasterId>(i), 0};
+    return bus::Grant{};
+  }
+  std::string name() const override { return "first-come"; }
+};
+
+TEST(WaveformTest, RendersOwnershipPerMaster) {
+  std::vector<bus::GrantRecord> trace = {
+      {0, 0, 4},   // M1 owns cycles 0..3
+      {1, 4, 2},   // M2 owns cycles 4..5
+      {0, 8, 2},   // M1 owns cycles 8..9 (6..7 idle)
+  };
+  bus::WaveformOptions options;
+  options.ruler = false;
+  const auto lines = bus::renderWaveform(trace, 2, options);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "M1  |####....##|");
+  EXPECT_EQ(lines[1], "M2  |....##....|");
+}
+
+TEST(WaveformTest, WindowAndScale) {
+  std::vector<bus::GrantRecord> trace = {{0, 0, 20}};
+  bus::WaveformOptions options;
+  options.ruler = false;
+  options.start = 4;
+  options.end = 12;
+  options.cycles_per_char = 4;
+  const auto lines = bus::renderWaveform(trace, 1, options);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "M1  |##|");
+}
+
+TEST(WaveformTest, RulerLineWhenRequested) {
+  std::vector<bus::GrantRecord> trace = {{0, 0, 1}};
+  const auto lines = bus::renderWaveform(trace, 1);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find('|'), std::string::npos);
+}
+
+TEST(WaveformTest, Validation) {
+  EXPECT_THROW(bus::renderWaveform({}, 0), std::invalid_argument);
+  bus::WaveformOptions options;
+  options.cycles_per_char = 0;
+  EXPECT_THROW(bus::renderWaveform({}, 1, options), std::invalid_argument);
+}
+
+TEST(WaveformTest, LiveBusTraceRoundTrip) {
+  bus::BusConfig config;
+  config.num_masters = 2;
+  config.max_burst_words = 4;
+  bus::Bus bus(config, std::make_unique<FirstComeArbiter>());
+  bus.setTraceEnabled(true);
+  bus::Message a;
+  a.words = 4;
+  bus.push(0, a);
+  bus::Message b;
+  b.words = 4;
+  b.arrival = 0;
+  bus.push(1, b);
+  for (bus::Cycle t = 0; t < 8; ++t) bus.cycle(t);
+
+  const std::string rendered = bus::waveformToString(bus.trace(), 2);
+  EXPECT_NE(rendered.find("M1  |####....|"), std::string::npos);
+  EXPECT_NE(rendered.find("M2  |....####|"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lb

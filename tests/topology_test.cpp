@@ -1,0 +1,240 @@
+// Tests for the declarative multi-channel SystemBuilder.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arbiters/round_robin.hpp"
+#include "arbiters/static_priority.hpp"
+#include "core/lottery.hpp"
+#include "topology/system_builder.hpp"
+#include "traffic/generator.hpp"
+
+namespace lb::topology {
+namespace {
+
+std::unique_ptr<bus::IArbiter> rr(std::size_t n) {
+  return std::make_unique<arb::RoundRobinArbiter>(n);
+}
+
+bus::BusConfig smallConfig() {
+  bus::BusConfig config;
+  config.max_burst_words = 8;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Builder validation
+// ---------------------------------------------------------------------------
+
+TEST(SystemBuilderTest, RejectsDuplicatesAndUnknownNames) {
+  SystemBuilder builder;
+  builder.addChannel("sys", smallConfig(), rr(1));
+  EXPECT_THROW(builder.addChannel("sys", smallConfig(), rr(1)),
+               std::invalid_argument);
+  EXPECT_THROW(builder.addChannel("x", smallConfig(), nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(builder.addMaster("nope", "m"), std::out_of_range);
+  EXPECT_THROW(builder.addSlave("nope", "s"), std::out_of_range);
+
+  builder.addMaster("sys", "cpu");
+  EXPECT_THROW(builder.addMaster("sys", "cpu"), std::invalid_argument);
+  builder.addSlave("sys", "mem");
+  EXPECT_THROW(builder.addSlave("sys", "mem"), std::invalid_argument);
+}
+
+TEST(SystemBuilderTest, RejectsChannelsWithoutEndpoints) {
+  {
+    SystemBuilder builder;
+    builder.addChannel("sys", smallConfig(), rr(1));
+    builder.addSlave("sys", "mem");
+    EXPECT_THROW(builder.build(), std::invalid_argument);  // no masters
+  }
+  {
+    SystemBuilder builder;
+    builder.addChannel("sys", smallConfig(), rr(1));
+    builder.addMaster("sys", "cpu");
+    EXPECT_THROW(builder.build(), std::invalid_argument);  // no slaves
+  }
+}
+
+TEST(SystemBuilderTest, RejectsBridgeToForeignSlave) {
+  SystemBuilder builder;
+  builder.addChannel("a", smallConfig(), rr(2));
+  builder.addChannel("b", smallConfig(), rr(1));
+  builder.addMaster("a", "cpu");
+  builder.addSlave("a", "mem_a");
+  builder.addMaster("b", "dma");
+  builder.addSlave("b", "mem_b");
+  // remote slave lives on channel a, not b:
+  builder.addBridge("br", "a", "b", "mem_a");
+  EXPECT_THROW(builder.build(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Single-channel system
+// ---------------------------------------------------------------------------
+
+TEST(SystemTest, SingleChannelRoundTrip) {
+  SystemBuilder builder;
+  builder.addChannel("sys", smallConfig(),
+                     std::make_unique<core::LotteryArbiter>(
+                         std::vector<std::uint32_t>{1, 3}));
+  const MasterRef cpu = builder.addMaster("sys", "cpu");
+  const MasterRef dsp = builder.addMaster("sys", "dsp");
+  const SlaveRef mem = builder.addSlave("sys", "mem");
+  auto system = builder.build();
+
+  EXPECT_EQ(system->channelCount(), 1u);
+  EXPECT_EQ(system->master("cpu").master, cpu.master);
+  EXPECT_EQ(system->master("dsp").master, 1);
+  EXPECT_EQ(system->slave("mem").slave, mem.slave);
+  EXPECT_THROW(system->master("gpu"), std::out_of_range);
+
+  bus::Message message;
+  message.words = 4;
+  message.slave = mem.slave;
+  system->bus("sys").push(cpu.master, message);
+  system->run(10);
+  EXPECT_EQ(system->bus("sys").latency().messages(0), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Bridged two-channel system with mixed arbiters
+// ---------------------------------------------------------------------------
+
+class BridgedSystemTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    SystemBuilder builder;
+    builder.addChannel("sys", smallConfig(),
+                       std::make_unique<core::LotteryArbiter>(
+                           std::vector<std::uint32_t>{1, 2}));
+    builder.addChannel("periph", smallConfig(),
+                       std::make_unique<arb::StaticPriorityArbiter>(
+                           std::vector<unsigned>{2, 1}));
+    cpu_ = builder.addMaster("sys", "cpu");
+    builder.addMaster("sys", "dsp");
+    builder.addSlave("sys", "sram");
+    builder.addMaster("periph", "dma");
+    regs_ = builder.addSlave("periph", "regs");
+    bridge_in_ = builder.addBridge("br", "sys", "periph", "regs");
+    system_ = builder.build();
+  }
+
+  MasterRef cpu_;
+  SlaveRef regs_;
+  SlaveRef bridge_in_;
+  std::unique_ptr<System> system_;
+};
+
+TEST_F(BridgedSystemTest, TopologyShape) {
+  EXPECT_EQ(system_->channelCount(), 2u);
+  EXPECT_EQ(system_->bridgeCount(), 1u);
+  // Bridge occupies slave 1 on sys (after sram) and master 1 on periph.
+  EXPECT_EQ(bridge_in_.slave, 1);
+  EXPECT_EQ(system_->bus("sys").numMasters(), 2u);
+  EXPECT_EQ(system_->bus("periph").numMasters(), 2u);  // dma + bridge
+}
+
+TEST_F(BridgedSystemTest, MessagesCrossTheBridge) {
+  std::uint64_t delivered = 0;
+  system_->bridge("br").onRemoteCompletion(
+      [&](std::uint64_t, sim::Cycle) { ++delivered; });
+
+  bus::Message remote;
+  remote.words = 4;
+  remote.slave = bridge_in_.slave;
+  remote.tag = 5;
+  system_->bus("sys").push(cpu_.master, remote);
+  system_->run(20);
+
+  EXPECT_EQ(system_->bridge("br").forwarded(), 1u);
+  EXPECT_EQ(delivered, 1u);
+  // The downstream leg ran on the periph bus as master 1.
+  EXPECT_EQ(system_->bus("periph").latency().messages(1), 1u);
+}
+
+TEST_F(BridgedSystemTest, ExtraComponentsClockBeforeBuses) {
+  traffic::TrafficParams params;
+  params.size = traffic::SizeDist::fixed(4);
+  params.gap = traffic::GapDist::fixed(3);
+  params.slave = 0;
+  traffic::TrafficSource source(system_->bus("sys"), cpu_.master, params);
+  system_->attach(source);
+  system_->run(100);
+  EXPECT_GT(source.messagesGenerated(), 10u);
+  EXPECT_EQ(system_->bus("sys").latency().messages(0),
+            source.messagesGenerated());
+  // Attaching after the first run is an error.
+  EXPECT_THROW(system_->attach(source), std::logic_error);
+}
+
+TEST_F(BridgedSystemTest, MixedArbitersKeepTheirPolicies) {
+  EXPECT_EQ(system_->bus("sys").arbiter().name(), "lottery");
+  EXPECT_EQ(system_->bus("periph").arbiter().name(), "static-priority");
+}
+
+// ---------------------------------------------------------------------------
+// Property: word conservation across a bridged chain of channels
+// ---------------------------------------------------------------------------
+
+class ChainConservationTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChainConservationTest, WordsSurviveEveryHop) {
+  // Build a chain ch0 -> ch1 -> ... -> chK: a producer on ch0 sends
+  // messages addressed through K bridges to a sink on the last channel.
+  const std::size_t hops = GetParam();
+  SystemBuilder builder;
+  // Every channel ends up with exactly one master: the producer on ch0, a
+  // bridge's output port on each downstream channel.
+  for (std::size_t c = 0; c <= hops; ++c)
+    builder.addChannel("ch" + std::to_string(c), smallConfig(), rr(1));
+  const MasterRef producer = builder.addMaster("ch0", "producer");
+  builder.addSlave("ch" + std::to_string(hops), "sink");
+  // Bridges are declared back to front so each one's remote slave exists.
+  std::vector<SlaveRef> entries(hops + 1);
+  entries[hops] = SlaveRef{"ch" + std::to_string(hops), 0};  // the sink
+  for (std::size_t c = hops; c-- > 0;) {
+    // Bridge from ch[c] into ch[c+1], targeting the next hop's entry point.
+    const std::string next_entry_name =
+        (c + 1 == hops) ? "sink" : ("hop" + std::to_string(c + 1) + ".in");
+    entries[c] = builder.addBridge("hop" + std::to_string(c),
+                                   "ch" + std::to_string(c),
+                                   "ch" + std::to_string(c + 1),
+                                   next_entry_name);
+  }
+  auto system = builder.build();
+
+  std::uint64_t delivered_words = 0;
+  system->bus("ch" + std::to_string(hops))
+      .onCompletion([&](bus::MasterId, const bus::Message& message,
+                        sim::Cycle) {
+        // Count only transfers that land on the sink (slave 0).
+        if (message.slave == 0) delivered_words += message.words;
+      });
+
+  constexpr int kMessages = 40;
+  std::uint64_t sent_words = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    bus::Message message;
+    message.words = 1 + static_cast<std::uint32_t>(i % 7);
+    message.slave = entries[0].slave;
+    message.arrival = 0;
+    message.tag = static_cast<std::uint64_t>(i);
+    system->bus("ch0").push(producer.master, message);
+    sent_words += message.words;
+  }
+  system->run(8000);
+
+  EXPECT_EQ(delivered_words, sent_words) << hops << " hops";
+  for (std::size_t c = 0; c < hops; ++c)
+    EXPECT_EQ(system->bridge("hop" + std::to_string(c)).forwarded(),
+              static_cast<std::uint64_t>(kMessages));
+}
+
+INSTANTIATE_TEST_SUITE_P(Chains, ChainConservationTest,
+                         ::testing::Values(1u, 2u, 3u, 5u));
+
+}  // namespace
+}  // namespace lb::topology

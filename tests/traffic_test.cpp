@@ -1,0 +1,459 @@
+// Unit tests for distributions, traffic generators, traffic classes, and the
+// test-bed harness.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arbiters/round_robin.hpp"
+#include "core/lottery.hpp"
+#include "sim/kernel.hpp"
+#include "stats/stats.hpp"
+#include "traffic/classes.hpp"
+#include "traffic/distributions.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/testbed.hpp"
+#include "traffic/trace_source.hpp"
+
+namespace lb::traffic {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SizeDist
+// ---------------------------------------------------------------------------
+
+TEST(SizeDistTest, FixedAlwaysReturnsSameValue) {
+  sim::Xoshiro256ss rng(1);
+  const auto dist = SizeDist::fixed(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.draw(rng), 7u);
+  EXPECT_DOUBLE_EQ(dist.mean(), 7.0);
+}
+
+TEST(SizeDistTest, UniformCoversRangeInclusive) {
+  sim::Xoshiro256ss rng(2);
+  const auto dist = SizeDist::uniform(3, 6);
+  bool saw3 = false, saw6 = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = dist.draw(rng);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 6u);
+    saw3 |= (v == 3);
+    saw6 |= (v == 6);
+  }
+  EXPECT_TRUE(saw3);
+  EXPECT_TRUE(saw6);
+  EXPECT_DOUBLE_EQ(dist.mean(), 4.5);
+}
+
+TEST(SizeDistTest, GeometricHasRequestedMean) {
+  sim::Xoshiro256ss rng(3);
+  const auto dist = SizeDist::geometric(8, 1000);
+  double sum = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto v = dist.draw(rng);
+    ASSERT_GE(v, 1u);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kSamples, 8.0, 0.15);
+}
+
+TEST(SizeDistTest, GeometricRespectsCap) {
+  sim::Xoshiro256ss rng(4);
+  const auto dist = SizeDist::geometric(8, 16);
+  for (int i = 0; i < 5000; ++i) EXPECT_LE(dist.draw(rng), 16u);
+}
+
+TEST(SizeDistTest, BimodalMixesTwoSizes) {
+  sim::Xoshiro256ss rng(5);
+  const auto dist = SizeDist::bimodal(4, 64, 0.8);
+  int small = 0, large = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto v = dist.draw(rng);
+    if (v == 4)
+      ++small;
+    else if (v == 64)
+      ++large;
+    else
+      FAIL() << "unexpected size " << v;
+  }
+  EXPECT_NEAR(small / static_cast<double>(kSamples), 0.8, 0.01);
+  EXPECT_DOUBLE_EQ(dist.mean(), 0.8 * 4 + 0.2 * 64);
+}
+
+TEST(SizeDistTest, RejectsBadParameters) {
+  EXPECT_THROW(SizeDist::fixed(0), std::invalid_argument);
+  EXPECT_THROW(SizeDist::uniform(5, 3), std::invalid_argument);
+  EXPECT_THROW(SizeDist::uniform(0, 3), std::invalid_argument);
+  EXPECT_THROW(SizeDist::geometric(0, 5), std::invalid_argument);
+  EXPECT_THROW(SizeDist::geometric(10, 5), std::invalid_argument);
+  EXPECT_THROW(SizeDist::bimodal(8, 4, 0.5), std::invalid_argument);
+  EXPECT_THROW(SizeDist::bimodal(4, 8, 1.5), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// GapDist
+// ---------------------------------------------------------------------------
+
+TEST(GapDistTest, FixedGap) {
+  sim::Xoshiro256ss rng(6);
+  const auto dist = GapDist::fixed(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.draw(rng), 5u);
+}
+
+TEST(GapDistTest, GeometricMeanIsRespected) {
+  sim::Xoshiro256ss rng(7);
+  const auto dist = GapDist::geometric(20);
+  double sum = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += static_cast<double>(dist.draw(rng));
+  EXPECT_NEAR(sum / kSamples, 20.0, 0.4);
+}
+
+TEST(GapDistTest, ZeroMeanIsAlwaysZero) {
+  sim::Xoshiro256ss rng(8);
+  const auto dist = GapDist::geometric(0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.draw(rng), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// TrafficSource
+// ---------------------------------------------------------------------------
+
+class AlwaysFirstArbiter final : public bus::IArbiter {
+public:
+  bus::Grant arbitrate(const bus::RequestView& requests, bus::Cycle) override {
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      if (requests[i].pending) return bus::Grant{static_cast<int>(i), 0};
+    return bus::Grant{};
+  }
+  std::string name() const override { return "first"; }
+};
+
+TEST(TrafficSourceTest, ClosedLoopKeepsOneOutstanding) {
+  bus::BusConfig config;
+  config.num_masters = 1;
+  bus::Bus bus(config, std::make_unique<AlwaysFirstArbiter>());
+  TrafficParams params;
+  params.size = SizeDist::fixed(4);
+  params.gap = GapDist::fixed(0);
+  params.max_outstanding = 1;
+  TrafficSource source(bus, 0, params);
+  sim::CycleKernel kernel;
+  kernel.attach(source);
+  kernel.attach(bus);
+  kernel.run(400);
+  // Saturated single master: 4-word messages back to back, ~100 completions.
+  EXPECT_GE(bus.latency().messages(0), 98u);
+  EXPECT_LE(bus.queueDepth(0), 1u);
+  // Bus is essentially never idle.
+  EXPECT_LT(bus.bandwidth().unutilizedFraction(), 0.02);
+}
+
+TEST(TrafficSourceTest, FirstArrivalDelaysTraffic) {
+  bus::BusConfig config;
+  config.num_masters = 1;
+  bus::Bus bus(config, std::make_unique<AlwaysFirstArbiter>());
+  TrafficParams params;
+  params.size = SizeDist::fixed(2);
+  params.first_arrival = 50;
+  TrafficSource source(bus, 0, params);
+  sim::CycleKernel kernel;
+  kernel.attach(source);
+  kernel.attach(bus);
+  kernel.run(50);
+  EXPECT_EQ(source.messagesGenerated(), 0u);
+  kernel.run(1);
+  EXPECT_EQ(source.messagesGenerated(), 1u);
+}
+
+TEST(TrafficSourceTest, PeriodicTrafficHasExactPeriod) {
+  bus::BusConfig config;
+  config.num_masters = 1;
+  bus::Bus bus(config, std::make_unique<AlwaysFirstArbiter>());
+  TrafficParams params;
+  params.size = SizeDist::fixed(2);
+  params.gap = GapDist::fixed(9);  // period 10 when unconstrained
+  params.max_outstanding = 4;
+  TrafficSource source(bus, 0, params);
+  sim::CycleKernel kernel;
+  kernel.attach(source);
+  kernel.attach(bus);
+  kernel.run(100);
+  EXPECT_EQ(source.messagesGenerated(), 10u);
+}
+
+TEST(TrafficSourceTest, BackpressureStallsGeneration) {
+  bus::BusConfig config;
+  config.num_masters = 1;
+  // Arbiter that never grants: the queue can only fill.
+  class NeverArbiter final : public bus::IArbiter {
+  public:
+    bus::Grant arbitrate(const bus::RequestView&, bus::Cycle) override {
+      return bus::Grant{};
+    }
+    std::string name() const override { return "never"; }
+  };
+  bus::Bus bus(config, std::make_unique<NeverArbiter>());
+  TrafficParams params;
+  params.size = SizeDist::fixed(1);
+  params.gap = GapDist::fixed(0);
+  params.max_outstanding = 3;
+  TrafficSource source(bus, 0, params);
+  sim::CycleKernel kernel;
+  kernel.attach(source);
+  kernel.attach(bus);
+  kernel.run(100);
+  EXPECT_EQ(source.messagesGenerated(), 3u);
+  EXPECT_EQ(bus.queueDepth(0), 3u);
+}
+
+TEST(TrafficSourceTest, OnOffModulationGatesGeneration) {
+  bus::BusConfig config;
+  config.num_masters = 1;
+  bus::Bus bus(config, std::make_unique<AlwaysFirstArbiter>());
+  TrafficParams params;
+  params.size = SizeDist::fixed(1);
+  params.gap = GapDist::fixed(0);
+  params.max_outstanding = 2;
+  params.mean_on = 100;
+  params.mean_off = 300;
+  params.seed = 5;
+  TrafficSource source(bus, 0, params);
+  sim::CycleKernel kernel;
+  kernel.attach(source);
+  kernel.attach(bus);
+  kernel.run(100000);
+  // Duty cycle ~= 100/(100+300) = 25%; one word per ON cycle.
+  const double rate =
+      static_cast<double>(source.messagesGenerated()) / 100000.0;
+  EXPECT_NEAR(rate, 0.25, 0.05);
+}
+
+TEST(TrafficSourceTest, OnOffDisabledWhenMeanOffZero) {
+  bus::BusConfig config;
+  config.num_masters = 1;
+  bus::Bus bus(config, std::make_unique<AlwaysFirstArbiter>());
+  TrafficParams params;
+  params.size = SizeDist::fixed(1);
+  params.gap = GapDist::fixed(0);
+  params.max_outstanding = 2;
+  params.mean_on = 50;  // ignored: mean_off == 0 means always ON
+  params.mean_off = 0;
+  TrafficSource source(bus, 0, params);
+  sim::CycleKernel kernel;
+  kernel.attach(source);
+  kernel.attach(bus);
+  kernel.run(1000);
+  EXPECT_TRUE(source.isOn());
+  EXPECT_EQ(source.messagesGenerated(), 1000u);
+}
+
+TEST(TrafficSourceTest, WordCountingMatchesMessages) {
+  bus::BusConfig config;
+  config.num_masters = 1;
+  bus::Bus bus(config, std::make_unique<AlwaysFirstArbiter>());
+  TrafficParams params;
+  params.size = SizeDist::fixed(5);
+  params.gap = GapDist::fixed(20);
+  TrafficSource source(bus, 0, params);
+  sim::CycleKernel kernel;
+  kernel.attach(source);
+  kernel.attach(bus);
+  kernel.run(200);
+  EXPECT_EQ(source.wordsGenerated(), source.messagesGenerated() * 5);
+}
+
+// ---------------------------------------------------------------------------
+// Trace parsing & replay
+// ---------------------------------------------------------------------------
+
+TEST(TraceParseTest, ParsesEntriesCommentsAndBlanks) {
+  const auto entries = parseTrace(
+      "# header comment\n"
+      "0 4\n"
+      "\n"
+      "10 16 1   # inline comment\n"
+      "10 2\n");
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].cycle, 0u);
+  EXPECT_EQ(entries[0].words, 4u);
+  EXPECT_EQ(entries[0].slave, 0);
+  EXPECT_EQ(entries[1].cycle, 10u);
+  EXPECT_EQ(entries[1].slave, 1);
+  EXPECT_EQ(entries[2].words, 2u);
+}
+
+TEST(TraceParseTest, RejectsMalformedLines) {
+  EXPECT_THROW(parseTrace("5\n"), std::invalid_argument);        // no words
+  EXPECT_THROW(parseTrace("5 0\n"), std::invalid_argument);      // zero words
+  EXPECT_THROW(parseTrace("5 1 0 9\n"), std::invalid_argument);  // excess
+  EXPECT_THROW(parseTrace("9 1\n5 1\n"), std::invalid_argument); // unsorted
+}
+
+TEST(TraceParseTest, FormatRoundTrips) {
+  const std::vector<TraceEntry> entries = {{0, 4, 0}, {7, 16, 1}, {7, 1, 0}};
+  EXPECT_EQ(parseTrace(formatTrace(entries)).size(), entries.size());
+  const auto round = parseTrace(formatTrace(entries));
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(round[i].cycle, entries[i].cycle);
+    EXPECT_EQ(round[i].words, entries[i].words);
+    EXPECT_EQ(round[i].slave, entries[i].slave);
+  }
+}
+
+TEST(TraceSourceTest, ConstructorValidation) {
+  bus::BusConfig config;
+  config.num_masters = 1;
+  bus::Bus bus(config, std::make_unique<AlwaysFirstArbiter>());
+  EXPECT_THROW(TraceSource(bus, 0, {{0, 1, 0}}, /*max_outstanding=*/0),
+               std::invalid_argument);
+  EXPECT_THROW(TraceSource(bus, 0, {{9, 1, 0}, {5, 1, 0}}),
+               std::invalid_argument);
+}
+
+TEST(TraceSourceTest, ReplaysAtExactCycles) {
+  bus::BusConfig config;
+  config.num_masters = 1;
+  bus::Bus bus(config, std::make_unique<AlwaysFirstArbiter>());
+  TraceSource source(bus, 0, {{0, 2, 0}, {10, 4, 0}, {30, 1, 0}});
+  sim::CycleKernel kernel;
+  kernel.attach(source);
+  kernel.attach(bus);
+  kernel.run(40);
+  EXPECT_TRUE(source.finished());
+  EXPECT_EQ(source.replayed(), 3u);
+  EXPECT_EQ(bus.latency().messages(0), 3u);
+  // Each message was served immediately: latency == its word count.
+  EXPECT_DOUBLE_EQ(bus.latency().cyclesPerWord(0), 1.0);
+}
+
+TEST(TraceSourceTest, BackpressureDefersWithoutDropping) {
+  bus::BusConfig config;
+  config.num_masters = 1;
+  class NeverArbiter final : public bus::IArbiter {
+  public:
+    bus::Grant arbitrate(const bus::RequestView&, bus::Cycle) override {
+      return bus::Grant{};
+    }
+    std::string name() const override { return "never"; }
+  };
+  bus::Bus bus(config, std::make_unique<NeverArbiter>());
+  TraceSource source(bus, 0, {{0, 1, 0}, {0, 1, 0}, {0, 1, 0}},
+                     /*max_outstanding=*/2);
+  sim::CycleKernel kernel;
+  kernel.attach(source);
+  kernel.attach(bus);
+  kernel.run(10);
+  EXPECT_EQ(source.replayed(), 2u);  // third entry deferred forever
+  EXPECT_FALSE(source.finished());
+}
+
+// ---------------------------------------------------------------------------
+// Traffic classes
+// ---------------------------------------------------------------------------
+
+TEST(TrafficClassTest, AllNineClassesExist) {
+  const auto& classes = allTrafficClasses();
+  ASSERT_EQ(classes.size(), 9u);
+  for (std::size_t i = 0; i < 9; ++i)
+    EXPECT_EQ(classes[i].name, "T" + std::to_string(i + 1));
+}
+
+TEST(TrafficClassTest, LookupByName) {
+  EXPECT_EQ(trafficClass("T6").name, "T6");
+  EXPECT_THROW(trafficClass("T10"), std::out_of_range);
+}
+
+TEST(TrafficClassTest, SparseClassesAreMarkedNonSaturating) {
+  EXPECT_FALSE(trafficClass("T3").saturating);
+  EXPECT_FALSE(trafficClass("T6").saturating);
+  EXPECT_TRUE(trafficClass("T1").saturating);
+  EXPECT_TRUE(trafficClass("T4").saturating);
+}
+
+TEST(TrafficClassTest, ParamsForDecorrelatesSeeds) {
+  const auto params = paramsFor(trafficClass("T1"), 4, 99);
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_NE(params[0].seed, params[1].seed);
+  EXPECT_NE(params[1].seed, params[2].seed);
+}
+
+TEST(TrafficClassTest, SaturatingClassesKeepBusBusy) {
+  for (const char* name : {"T1", "T2", "T4"}) {
+    auto result = runTestbed(defaultBusConfig(4),
+                             std::make_unique<arb::RoundRobinArbiter>(4),
+                             paramsFor(trafficClass(name), 4, 7), 20000);
+    EXPECT_LT(result.unutilized_fraction, 0.02) << name;
+  }
+}
+
+TEST(TrafficClassTest, SparseClassesLeaveBusIdle) {
+  for (const char* name : {"T3", "T6"}) {
+    auto result = runTestbed(defaultBusConfig(4),
+                             std::make_unique<arb::RoundRobinArbiter>(4),
+                             paramsFor(trafficClass(name), 4, 7), 50000);
+    EXPECT_GT(result.unutilized_fraction, 0.15) << name;
+    EXPECT_LT(result.unutilized_fraction, 0.95) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Testbed harness
+// ---------------------------------------------------------------------------
+
+TEST(TestbedTest, RejectsArityMismatch) {
+  EXPECT_THROW(runTestbed(defaultBusConfig(4),
+                          std::make_unique<arb::RoundRobinArbiter>(4),
+                          std::vector<TrafficParams>(3), 100),
+               std::invalid_argument);
+}
+
+TEST(TestbedTest, FractionsArePartitionOfUnity) {
+  auto result = runTestbed(defaultBusConfig(4),
+                           std::make_unique<arb::RoundRobinArbiter>(4),
+                           paramsFor(trafficClass("T8"), 4, 3), 30000);
+  double sum = result.unutilized_fraction;
+  for (const double f : result.bandwidth_fraction) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(result.cycles, 30000u);
+}
+
+TEST(TestbedTest, SetupHookRuns) {
+  bool ran = false;
+  TestbedOptions options;
+  options.setup = [&](bus::Bus& bus, sim::CycleKernel&) {
+    ran = true;
+    bus.setTickets(0, 5);
+  };
+  runTestbed(defaultBusConfig(4), std::make_unique<arb::RoundRobinArbiter>(4),
+             paramsFor(trafficClass("T1"), 4, 3), 100, options);
+  EXPECT_TRUE(ran);
+}
+
+TEST(TestbedTest, WarmupDiscardsTransient) {
+  TestbedOptions options;
+  options.warmup = 10000;
+  auto result = runTestbed(defaultBusConfig(4),
+                           std::make_unique<arb::RoundRobinArbiter>(4),
+                           paramsFor(trafficClass("T2"), 4, 3), 20000, options);
+  EXPECT_EQ(result.cycles, 20000u);
+  // Round-robin on symmetric saturated traffic: near-perfect 25% each.
+  for (const double f : result.bandwidth_fraction) EXPECT_NEAR(f, 0.25, 0.01);
+}
+
+TEST(TestbedTest, LotterySharesFollowTicketsUnderSaturation) {
+  auto result = runTestbed(
+      defaultBusConfig(4),
+      std::make_unique<core::LotteryArbiter>(
+          std::vector<std::uint32_t>{1, 2, 3, 4}, core::LotteryRng::kExact, 11),
+      paramsFor(trafficClass("T2"), 4, 5), 200000);
+  EXPECT_NEAR(result.bandwidth_fraction[0], 0.1, 0.02);
+  EXPECT_NEAR(result.bandwidth_fraction[1], 0.2, 0.02);
+  EXPECT_NEAR(result.bandwidth_fraction[2], 0.3, 0.02);
+  EXPECT_NEAR(result.bandwidth_fraction[3], 0.4, 0.02);
+}
+
+}  // namespace
+}  // namespace lb::traffic

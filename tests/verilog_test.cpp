@@ -1,0 +1,157 @@
+// Tests for the synthesizable Verilog export of the static lottery manager.
+// Without a Verilog simulator in the toolchain these validate structure:
+// ports, LUT contents matching the C++ model, LFSR taps, and the grant
+// logic idioms the module must contain.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hw/lottery_manager_hw.hpp"
+#include "hw/verilog_export.hpp"
+#include "sim/rng.hpp"
+
+namespace lb::hw {
+namespace {
+
+std::size_t countOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0, pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(VerilogExportTest, ModuleShellAndPorts) {
+  const std::string rtl = exportStaticManagerVerilog({1, 2, 3, 4});
+  EXPECT_NE(rtl.find("module lottery_manager ("), std::string::npos);
+  EXPECT_NE(rtl.find("input  wire clk"), std::string::npos);
+  EXPECT_NE(rtl.find("input  wire rst_n"), std::string::npos);
+  EXPECT_NE(rtl.find("input  wire [3:0] req"), std::string::npos);
+  EXPECT_NE(rtl.find("output reg  [3:0] gnt"), std::string::npos);
+  EXPECT_NE(rtl.find("endmodule"), std::string::npos);
+}
+
+TEST(VerilogExportTest, CustomModuleName) {
+  VerilogOptions options;
+  options.module_name = "my_arbiter";
+  options.include_header_comment = false;
+  const std::string rtl = exportStaticManagerVerilog({1, 1}, 0xACE1, options);
+  EXPECT_NE(rtl.find("module my_arbiter ("), std::string::npos);
+  EXPECT_EQ(rtl.find("Auto-generated"), std::string::npos);
+}
+
+TEST(VerilogExportTest, LutHasOneCasePerRequestMap) {
+  const std::string rtl = exportStaticManagerVerilog({1, 2, 3, 4});
+  // 16 explicit case rows for 4 masters, plus the default row.
+  EXPECT_EQ(countOccurrences(rtl, ": begin sum0 = "), 17u);
+  EXPECT_NE(rtl.find("default: begin"), std::string::npos);
+}
+
+TEST(VerilogExportTest, LutRowsMatchCppModel) {
+  const std::vector<std::uint32_t> tickets = {1, 3, 4};  // power-of-two total
+  StaticLotteryManagerHw model(tickets);
+  const std::string rtl = exportStaticManagerVerilog(tickets);
+  // Spot-check the all-pending row: partial sums 1, 4, 8 in `width` bits.
+  const auto& row = model.table().row(0b111);
+  ASSERT_EQ(row.back(), 8u);
+  // width = ceil(log2(9)) = 4 bits
+  EXPECT_NE(rtl.find("111: begin sum0 = 4'b0001; sum1 = 4'b0100; "
+                     "sum2 = 4'b1000; total = 4'b1000; end"),
+            std::string::npos);
+}
+
+TEST(VerilogExportTest, LfsrUsesMaximalTaps) {
+  const std::string rtl = exportStaticManagerVerilog({1, 2, 3, 4});
+  // 16-bit register with the canonical 0xB400 Galois mask.
+  EXPECT_NE(rtl.find("reg [15:0] lfsr"), std::string::npos);
+  EXPECT_NE(rtl.find("16'b1011010000000000"), std::string::npos);
+}
+
+TEST(VerilogExportTest, GrantLogicIdioms) {
+  const std::string rtl = exportStaticManagerVerilog({1, 2, 3, 4});
+  // Comparator bank, lowest-set-bit priority select, registered grant.
+  EXPECT_NE(rtl.find("assign fires[0] = (number < sum0);"),
+            std::string::npos);
+  EXPECT_NE(rtl.find("fires & (~fires + "), std::string::npos);
+  EXPECT_NE(rtl.find("always @(posedge clk or negedge rst_n)"),
+            std::string::npos);
+}
+
+TEST(VerilogExportTest, SeedZeroIsCoerced) {
+  const std::string rtl = exportStaticManagerVerilog({1, 1}, 0);
+  // Reset must not load the LFSR's absorbing all-zero state.
+  EXPECT_NE(rtl.find("lfsr <= 16'b0000000000000001"), std::string::npos);
+}
+
+TEST(VerilogExportTest, Validation) {
+  EXPECT_THROW(exportStaticManagerVerilog({}), std::invalid_argument);
+  EXPECT_THROW(
+      exportStaticManagerVerilog(std::vector<std::uint32_t>(13, 1)),
+      std::invalid_argument);
+}
+
+TEST(VerilogExportTest, TestbenchChecksInvariants) {
+  const std::string tb = exportManagerTestbench({1, 2, 3, 4});
+  EXPECT_NE(tb.find("module lottery_manager_tb;"), std::string::npos);
+  EXPECT_NE(tb.find("(gnt & (gnt - 1)) != 0"), std::string::npos);  // one-hot
+  EXPECT_NE(tb.find("$past(req)"), std::string::npos);  // subset-of-req
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+}
+
+TEST(DynamicVerilogTest, ModuleShellAndPorts) {
+  const std::string rtl = exportDynamicManagerVerilog(4, 8);
+  EXPECT_NE(rtl.find("module dyn_lottery_manager ("), std::string::npos);
+  EXPECT_NE(rtl.find("input  wire start"), std::string::npos);
+  EXPECT_NE(rtl.find("input  wire [31:0] tickets"), std::string::npos);
+  EXPECT_NE(rtl.find("output reg  done"), std::string::npos);
+  EXPECT_NE(rtl.find("endmodule"), std::string::npos);
+}
+
+TEST(DynamicVerilogTest, ContainsAdderTreeAndModulo) {
+  const std::string rtl = exportDynamicManagerVerilog(3, 6);
+  // Prefix sums chain t0, t0+t1, t0+t1+t2.
+  EXPECT_NE(rtl.find("sum2 = t0 + t1 + t2;"), std::string::npos);
+  // sum width = ticket bits (6) + ceil(log2 masters) (2) = 8 bits.
+  EXPECT_NE(rtl.find("wire [7:0] total = sum2;"), std::string::npos);
+  // Restoring-division idiom.
+  EXPECT_NE(rtl.find("(shifted >= {1'b0, total_q})"), std::string::npos);
+}
+
+TEST(DynamicVerilogTest, MaskingFollowsRequestMap) {
+  const std::string rtl = exportDynamicManagerVerilog(2, 4);
+  EXPECT_NE(rtl.find("req[0] ?"), std::string::npos);
+  EXPECT_NE(rtl.find("req[1] ?"), std::string::npos);
+}
+
+TEST(DynamicVerilogTest, Validation) {
+  EXPECT_THROW(exportDynamicManagerVerilog(0), std::invalid_argument);
+  EXPECT_THROW(exportDynamicManagerVerilog(13), std::invalid_argument);
+  EXPECT_THROW(exportDynamicManagerVerilog(4, 0), std::invalid_argument);
+  EXPECT_THROW(exportDynamicManagerVerilog(4, 25), std::invalid_argument);
+}
+
+TEST(LfsrWidthTest, WidthAtLeastSnapsToTabulatedWidths) {
+  EXPECT_EQ(sim::GaloisLfsr::widthAtLeast(1), 4u);
+  EXPECT_EQ(sim::GaloisLfsr::widthAtLeast(16), 16u);
+  EXPECT_EQ(sim::GaloisLfsr::widthAtLeast(18), 18u);
+  EXPECT_EQ(sim::GaloisLfsr::widthAtLeast(19), 20u);
+  EXPECT_EQ(sim::GaloisLfsr::widthAtLeast(21), 24u);
+  EXPECT_EQ(sim::GaloisLfsr::widthAtLeast(25), 32u);
+  EXPECT_THROW(sim::GaloisLfsr::widthAtLeast(33), std::invalid_argument);
+}
+
+TEST(LfsrWidthTest, WideTicketTotalsStillConstruct) {
+  // 100:1 scales to 507:5 (total 512, 10 bits) — still a 16-bit LFSR.
+  StaticLotteryManagerHw manager({100, 1});
+  EXPECT_EQ(manager.ticketBits(), 10u);
+  for (int i = 0; i < 100; ++i) {
+    const int winner = manager.drawIndex(0b11);
+    EXPECT_TRUE(winner == 0 || winner == 1);
+  }
+}
+
+}  // namespace
+}  // namespace lb::hw
