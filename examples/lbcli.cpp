@@ -1,0 +1,213 @@
+// lbcli — command-line client for the lbd daemon.
+//
+//   ./build/examples/lbcli --port 4817 run --arbiter lottery --tickets 1,2,3,4
+//   ./build/examples/lbcli --port 4817 sweep --class T2 --seeds 10
+//   ./build/examples/lbcli --port 4817 stats
+//   ./build/examples/lbcli --port 4817 shutdown
+//
+// `run` accepts exactly the scenario flags lbsim takes and prints the same
+// report from the daemon's response — same seed, byte-identical stdout —
+// while cache/latency metadata goes to stderr.  `sweep` expands --seeds N
+// into N scenarios (seed, seed+1, ...) submitted as one request; rerunning
+// it is served from the daemon's result cache.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "service/client.hpp"
+#include "service/parse.hpp"
+#include "service/report.hpp"
+#include "service/scenario.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace lb;
+
+void usage() {
+  std::cout <<
+      "lbcli — LOTTERYBUS daemon client\n"
+      "  lbcli [--port N] run [scenario flags] [--csv] [--json]\n"
+      "  lbcli [--port N] sweep [scenario flags] [--seeds N] [--csv]\n"
+      "  lbcli [--port N] stats\n"
+      "  lbcli [--port N] shutdown\n"
+      "scenario flags (same as lbsim):\n"
+      "  --arbiter X    lottery | lottery-dynamic | priority | tdma | rr |\n"
+      "                 wrr | token | random | fcfs        (default lottery)\n"
+      "  --tickets L    comma list, also accepted as --weights / --priorities\n"
+      "  --class TN     traffic class T1..T9               (default T2)\n"
+      "  --masters N    number of bus masters              (default 4)\n"
+      "  --cycles N     simulation length                  (default 200000)\n"
+      "  --burst N      maximum burst words                (default 16)\n"
+      "  --seed N       RNG seed                           (default 7)\n"
+      "  --lfsr         use the hardware LFSR lottery variant\n"
+      "other:\n"
+      "  --port N       daemon port                        (default 4817)\n"
+      "  --seeds N      sweep: seeds seed..seed+N-1        (default 8)\n"
+      "  --csv          emit CSV instead of an ASCII table\n"
+      "  --json         run: print the raw response document\n";
+}
+
+int failProtocol(const service::Json& response) {
+  const service::Json* error = response.find("error");
+  std::cerr << "error: "
+            << (error ? error->asString() : std::string("request failed"))
+            << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 4817;
+  std::string verb;
+  service::Scenario scenario;
+  std::uint64_t sweep_seeds = 8;
+  bool csv = false;
+  bool raw_json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+      return argv[++i];
+    };
+    try {
+      if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else if (arg == "--port") {
+        port = static_cast<std::uint16_t>(
+            service::parseU64InRange(arg, value(), 1, 65535));
+      } else if (arg == "--arbiter") {
+        scenario.arbiter = value();
+      } else if (arg == "--tickets" || arg == "--weights" ||
+                 arg == "--priorities") {
+        scenario.weights = service::parseU32List(arg, value());
+      } else if (arg == "--class") {
+        scenario.traffic_class = value();
+      } else if (arg == "--masters") {
+        scenario.masters = service::parseU64InRange(arg, value(), 1, 1 << 16);
+      } else if (arg == "--cycles") {
+        scenario.cycles = service::parseU64(arg, value());
+      } else if (arg == "--burst") {
+        scenario.burst = service::parseU32(arg, value());
+      } else if (arg == "--seed") {
+        scenario.seed = service::parseU64(arg, value());
+      } else if (arg == "--seeds") {
+        sweep_seeds = service::parseU64InRange(arg, value(), 1, 100000);
+      } else if (arg == "--lfsr") {
+        scenario.lfsr = true;
+      } else if (arg == "--csv") {
+        csv = true;
+      } else if (arg == "--json") {
+        raw_json = true;
+      } else if (!arg.empty() && arg[0] != '-' && verb.empty()) {
+        verb = arg;
+      } else {
+        std::cerr << "error: unknown option " << arg << "\n";
+        usage();
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      usage();
+      return 2;
+    }
+  }
+
+  if (verb.empty()) {
+    std::cerr << "error: no verb given (run | sweep | stats | shutdown)\n";
+    usage();
+    return 2;
+  }
+
+  try {
+    service::Client client(port);
+
+    if (verb == "run") {
+      const service::Json response =
+          client.run(service::toJson(service::normalized(scenario)));
+      if (raw_json) {
+        std::cout << response.dump() << "\n";
+        return response.at("ok").asBool() ? 0 : 1;
+      }
+      if (!response.at("ok").asBool()) return failProtocol(response);
+      const service::ScenarioResult result =
+          service::resultFromJson(response.at("result"));
+      service::writeResultReport(std::cout, scenario, result, csv);
+      std::cerr << "[lbd " << response.at("hash").asString()
+                << " cached=" << (response.at("cached").asBool() ? "yes" : "no")
+                << " execute_us=" << response.at("execute_micros").asDouble()
+                << "]\n";
+      return 0;
+    }
+
+    if (verb == "sweep") {
+      service::Json scenarios = service::Json::array();
+      const std::uint64_t base = scenario.seed;
+      for (std::uint64_t s = 0; s < sweep_seeds; ++s) {
+        service::Scenario variant = scenario;
+        variant.seed = base + s;
+        scenarios.push(service::toJson(service::normalized(variant)));
+      }
+      const service::Json response = client.sweep(std::move(scenarios));
+      if (!response.at("ok").asBool()) return failProtocol(response);
+      stats::Table table({"seed", "cached", "bandwidth", "overall c/w"});
+      std::uint64_t hits = 0;
+      const auto& results = response.at("results").asArray();
+      for (std::size_t s = 0; s < results.size(); ++s) {
+        const service::Json& entry = results[s];
+        if (!entry.at("ok").asBool()) {
+          table.addRow({std::to_string(base + s), "error",
+                        entry.at("error").asString(), "-"});
+          continue;
+        }
+        const service::ScenarioResult result =
+            service::resultFromJson(entry.at("result"));
+        const bool cached = entry.at("cached").asBool();
+        hits += cached ? 1 : 0;
+        std::string shares;
+        double words = 0, weighted = 0;
+        for (std::size_t m = 0; m < result.bandwidth_fraction.size(); ++m) {
+          shares += (m ? ":" : "") +
+                    stats::Table::pct(result.bandwidth_fraction[m]);
+          weighted += result.cycles_per_word[m] *
+                      static_cast<double>(result.messages_completed[m]);
+          words += static_cast<double>(result.messages_completed[m]);
+        }
+        table.addRow({std::to_string(base + s), cached ? "yes" : "no", shares,
+                      stats::Table::num(words > 0 ? weighted / words : 0)});
+      }
+      if (csv)
+        table.printCsv(std::cout);
+      else
+        table.printAscii(std::cout);
+      std::cout << "cache hits: " << hits << "/" << results.size() << "\n";
+      return 0;
+    }
+
+    if (verb == "stats") {
+      const service::Json response = client.stats();
+      if (!response.at("ok").asBool()) return failProtocol(response);
+      for (const auto& [key, value] : response.at("stats").asObject())
+        std::cout << key << ": " << value.dump() << "\n";
+      return 0;
+    }
+
+    if (verb == "shutdown") {
+      const service::Json response = client.shutdown();
+      if (!response.at("ok").asBool()) return failProtocol(response);
+      std::cout << "daemon stopping\n";
+      return 0;
+    }
+
+    std::cerr << "error: unknown verb \"" << verb << "\"\n";
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -10,50 +10,25 @@
 //
 // Prints the paper's two metrics (bandwidth fractions, cycles/word) for the
 // chosen architecture over the chosen traffic class.
+//
+// The command line builds a service::Scenario and runs it through the same
+// service::runScenario path the lbd daemon uses, so
+// `lbsim <flags>` and `lbcli run <flags>` print byte-identical reports.
+// Option values are parsed with the strict service::parse* helpers: junk
+// like `--masters x` gets a one-line error + usage and exit code 2, never
+// an uncaught std::invalid_argument.
 
-#include <cstdint>
 #include <iostream>
-#include <memory>
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "arbiters/round_robin.hpp"
-#include "arbiters/simple.hpp"
-#include "arbiters/static_priority.hpp"
-#include "arbiters/tdma.hpp"
-#include "arbiters/token_ring.hpp"
-#include "arbiters/weighted_round_robin.hpp"
-#include "core/lottery.hpp"
+#include "service/parse.hpp"
+#include "service/report.hpp"
+#include "service/scenario.hpp"
 #include "stats/table.hpp"
-#include "traffic/classes.hpp"
-#include "traffic/testbed.hpp"
 
 namespace {
 
 using namespace lb;
-
-struct Options {
-  std::string arbiter = "lottery";
-  std::vector<std::uint32_t> weights = {1, 2, 3, 4};
-  std::string traffic_class = "T2";
-  std::size_t masters = 4;
-  sim::Cycle cycles = 200000;
-  std::uint32_t burst = 16;
-  std::uint64_t seed = 7;
-  bool lfsr = false;
-  bool csv = false;
-  bool compare = false;  ///< run every architecture side by side
-};
-
-std::vector<std::uint32_t> parseList(const std::string& text) {
-  std::vector<std::uint32_t> values;
-  std::stringstream stream(text);
-  std::string item;
-  while (std::getline(stream, item, ','))
-    values.push_back(static_cast<std::uint32_t>(std::stoul(item)));
-  return values;
-}
 
 void usage() {
   std::cout <<
@@ -72,40 +47,13 @@ void usage() {
       "                 one summary row per (architecture, master)\n";
 }
 
-std::unique_ptr<bus::IArbiter> makeArbiter(const Options& options) {
-  const auto& w = options.weights;
-  if (options.arbiter == "lottery")
-    return std::make_unique<core::LotteryArbiter>(
-        w, options.lfsr ? core::LotteryRng::kLfsr : core::LotteryRng::kExact,
-        options.seed);
-  if (options.arbiter == "lottery-dynamic")
-    return std::make_unique<core::DynamicLotteryArbiter>(options.seed);
-  if (options.arbiter == "priority")
-    return std::make_unique<arb::StaticPriorityArbiter>(
-        std::vector<unsigned>(w.begin(), w.end()));
-  if (options.arbiter == "tdma") {
-    std::vector<unsigned> slots;
-    for (const std::uint32_t v : w) slots.push_back(v * options.burst);
-    return std::make_unique<arb::TdmaArbiter>(
-        arb::TdmaArbiter::contiguousWheel(slots), w.size());
-  }
-  if (options.arbiter == "rr")
-    return std::make_unique<arb::RoundRobinArbiter>(options.masters);
-  if (options.arbiter == "wrr")
-    return std::make_unique<arb::WeightedRoundRobinArbiter>(w, options.burst);
-  if (options.arbiter == "token")
-    return std::make_unique<arb::TokenRingArbiter>(options.masters, 0);
-  if (options.arbiter == "random")
-    return std::make_unique<arb::RandomArbiter>(options.masters, options.seed);
-  if (options.arbiter == "fcfs")
-    return std::make_unique<arb::FcfsArbiter>(options.masters);
-  throw std::invalid_argument("unknown arbiter: " + options.arbiter);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options options;
+  service::Scenario scenario;
+  bool csv = false;
+  bool compare = false;
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
@@ -117,99 +65,61 @@ int main(int argc, char** argv) {
         usage();
         return 0;
       } else if (arg == "--arbiter") {
-        options.arbiter = value();
+        scenario.arbiter = value();
       } else if (arg == "--tickets" || arg == "--weights" ||
                  arg == "--priorities") {
-        options.weights = parseList(value());
+        scenario.weights = service::parseU32List(arg, value());
       } else if (arg == "--class") {
-        options.traffic_class = value();
+        scenario.traffic_class = value();
       } else if (arg == "--masters") {
-        options.masters = std::stoul(value());
+        scenario.masters = service::parseU64InRange(arg, value(), 1, 1 << 16);
       } else if (arg == "--cycles") {
-        options.cycles = std::stoull(value());
+        scenario.cycles = service::parseU64(arg, value());
       } else if (arg == "--burst") {
-        options.burst = static_cast<std::uint32_t>(std::stoul(value()));
+        scenario.burst = service::parseU32(arg, value());
       } else if (arg == "--seed") {
-        options.seed = std::stoull(value());
+        scenario.seed = service::parseU64(arg, value());
       } else if (arg == "--lfsr") {
-        options.lfsr = true;
+        scenario.lfsr = true;
       } else if (arg == "--csv") {
-        options.csv = true;
+        csv = true;
       } else if (arg == "--compare") {
-        options.compare = true;
+        compare = true;
       } else {
-        std::cerr << "unknown option " << arg << "\n";
+        std::cerr << "error: unknown option " << arg << "\n";
         usage();
         return 2;
       }
     } catch (const std::exception& e) {
       std::cerr << "error: " << e.what() << "\n";
+      usage();
       return 2;
     }
   }
 
   try {
-    if (options.weights.size() != options.masters) {
-      // Re-derive: either the user set --masters or gave a list; prefer the
-      // list's arity when one was provided.
-      if (options.weights.size() > 1) {
-        options.masters = options.weights.size();
-      } else {
-        options.weights.assign(options.masters, 1);
-      }
-    }
+    scenario = service::normalized(scenario);
 
-    bus::BusConfig config = traffic::defaultBusConfig(options.masters);
-    config.max_burst_words = options.burst;
-
-    if (options.compare) {
+    if (compare) {
       stats::Table table({"arbiter", "master", "bandwidth", "cycles/word"});
-      for (const char* kind :
-           {"lottery", "lottery-dynamic", "priority", "tdma", "rr", "wrr",
-            "token", "random", "fcfs"}) {
-        Options variant = options;
+      for (const std::string& kind : service::knownArbiters()) {
+        service::Scenario variant = scenario;
         variant.arbiter = kind;
-        const auto result = traffic::runTestbed(
-            config, makeArbiter(variant),
-            traffic::paramsFor(traffic::trafficClass(options.traffic_class),
-                               options.masters, options.seed),
-            options.cycles);
-        for (std::size_t m = 0; m < options.masters; ++m)
+        const auto result = service::runScenario(variant);
+        for (std::size_t m = 0; m < scenario.masters; ++m)
           table.addRow({kind, "C" + std::to_string(m + 1),
                         stats::Table::pct(result.bandwidth_fraction[m]),
                         stats::Table::num(result.cycles_per_word[m])});
       }
-      if (options.csv)
+      if (csv)
         table.printCsv(std::cout);
       else
         table.printAscii(std::cout);
       return 0;
     }
 
-    const auto result = traffic::runTestbed(
-        std::move(config), makeArbiter(options),
-        traffic::paramsFor(traffic::trafficClass(options.traffic_class),
-                           options.masters, options.seed),
-        options.cycles);
-
-    stats::Table table({"master", "weight", "bandwidth", "traffic share",
-                        "cycles/word", "messages"});
-    for (std::size_t m = 0; m < options.masters; ++m)
-      table.addRow({"C" + std::to_string(m + 1),
-                    std::to_string(options.weights[m]),
-                    stats::Table::pct(result.bandwidth_fraction[m]),
-                    stats::Table::pct(result.traffic_share[m]),
-                    stats::Table::num(result.cycles_per_word[m]),
-                    std::to_string(result.messages_completed[m])});
-    if (options.csv)
-      table.printCsv(std::cout);
-    else
-      table.printAscii(std::cout);
-    std::cout << (options.csv ? "" : "\n")
-              << "unutilized: " << stats::Table::pct(result.unutilized_fraction)
-              << "  grants: " << result.grants << "  arbiter: "
-              << options.arbiter << "  class: " << options.traffic_class
-              << "\n";
+    const auto result = service::runScenario(scenario);
+    service::writeResultReport(std::cout, scenario, result, csv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

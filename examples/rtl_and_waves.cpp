@@ -8,8 +8,13 @@
 //    a VCD file (bus_trace.vcd) viewable in GTKWave, alongside the same
 //    trace rendered as an ASCII waveform on stdout.
 //
-//   ./build/examples/rtl_and_waves [output-dir]
+//   ./build/examples/rtl_and_waves [--out-dir DIR]
+//
+// Artifacts land under build/rtl_and_waves/ by default (never the
+// repository root); pass --out-dir (or a bare directory argument, the old
+// calling convention) to redirect them.
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -24,7 +29,30 @@
 
 int main(int argc, char** argv) {
   using namespace lb;
-  const std::string dir = argc > 1 ? std::string(argv[1]) + "/" : "";
+  std::string out_dir = "build/rtl_and_waves";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: rtl_and_waves [--out-dir DIR]   (default "
+                   "build/rtl_and_waves)\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      out_dir = arg;  // legacy positional form
+    } else {
+      std::cerr << "error: unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::cerr << "error: cannot create " << out_dir << ": " << ec.message()
+              << "\n";
+    return 1;
+  }
+  const std::string dir = out_dir + "/";
 
   // --- 1. RTL export ---------------------------------------------------------
   const std::vector<std::uint32_t> tickets = {1, 2, 3, 4};

@@ -10,6 +10,10 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# lbserve daemon/client loopback smoke test (run / cache hit / sweep /
+# stats / shutdown against a real socket).
+scripts/smoke_lbserve.sh build
+
 : > bench_output.txt
 for b in build/bench/*; do
   "$b" 2>&1 | tee -a bench_output.txt

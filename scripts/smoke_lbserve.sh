@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Loopback smoke test for the lbserve subsystem: boots lbd on an ephemeral
+# port, checks that lbcli run is bit-identical to lbsim, that a repeated
+# run is a cache hit, that stats report hits and nonzero latency
+# percentiles, and that shutdown terminates the daemon.  Exits nonzero on
+# any failure.  Usage: scripts/smoke_lbserve.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+LBD="$BUILD/examples/lbd"
+LBCLI="$BUILD/examples/lbcli"
+LBSIM="$BUILD/examples/lbsim"
+for bin in "$LBD" "$LBCLI" "$LBSIM"; do
+  [[ -x "$bin" ]] || { echo "smoke_lbserve: missing $bin (build first)"; exit 1; }
+done
+
+WORK="$(mktemp -d)"
+LBD_PID=""
+cleanup() {
+  [[ -n "$LBD_PID" ]] && kill "$LBD_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$LBD" --port 0 --cache-dir "$WORK/cache" > "$WORK/lbd.log" 2>&1 &
+LBD_PID=$!
+
+PORT=""
+for _ in $(seq 1 50); do
+  PORT="$(sed -n 's/.*127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$WORK/lbd.log" | head -1)"
+  [[ -n "$PORT" ]] && break
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "smoke_lbserve: lbd never reported its port"; cat "$WORK/lbd.log"; exit 1; }
+echo "smoke_lbserve: lbd up on port $PORT"
+
+SCENARIO=(--arbiter lottery --tickets 1,2,3,4 --class T2 --cycles 100000 --seed 11)
+
+# 1. lbcli run == lbsim, byte for byte.
+"$LBSIM" "${SCENARIO[@]}" > "$WORK/local.out"
+"$LBCLI" --port "$PORT" run "${SCENARIO[@]}" > "$WORK/remote1.out" 2> "$WORK/remote1.err"
+diff -u "$WORK/local.out" "$WORK/remote1.out" || { echo "smoke_lbserve: daemon result differs from local run"; exit 1; }
+grep -q "cached=no" "$WORK/remote1.err" || { echo "smoke_lbserve: first run unexpectedly cached"; exit 1; }
+
+# 2. The identical run again is a cache hit with the same payload.
+"$LBCLI" --port "$PORT" run "${SCENARIO[@]}" > "$WORK/remote2.out" 2> "$WORK/remote2.err"
+diff -u "$WORK/remote1.out" "$WORK/remote2.out" || { echo "smoke_lbserve: cached result differs"; exit 1; }
+grep -q "cached=yes" "$WORK/remote2.err" || { echo "smoke_lbserve: repeat run was not a cache hit"; exit 1; }
+
+# 3. A warm sweep is served from the cache.
+"$LBCLI" --port "$PORT" sweep --class T3 --cycles 50000 --seeds 4 > /dev/null
+"$LBCLI" --port "$PORT" sweep --class T3 --cycles 50000 --seeds 4 > "$WORK/sweep2.out"
+grep -q "cache hits: 4/4" "$WORK/sweep2.out" || { echo "smoke_lbserve: warm sweep missed the cache"; cat "$WORK/sweep2.out"; exit 1; }
+
+# 4. Stats: >= 1 hit and nonzero latency percentiles.
+"$LBCLI" --port "$PORT" stats > "$WORK/stats.out"
+HITS="$(awk -F': ' '$1 == "hits" {print $2}' "$WORK/stats.out")"
+P50="$(awk -F': ' '$1 == "p50_us" {print $2}' "$WORK/stats.out")"
+P95="$(awk -F': ' '$1 == "p95_us" {print $2}' "$WORK/stats.out")"
+[[ "$HITS" -ge 1 ]] || { echo "smoke_lbserve: expected cache hits in stats, got '$HITS'"; cat "$WORK/stats.out"; exit 1; }
+awk -v v="$P50" 'BEGIN { exit !(v > 0) }' || { echo "smoke_lbserve: p50_us not positive: '$P50'"; exit 1; }
+awk -v v="$P95" 'BEGIN { exit !(v > 0) }' || { echo "smoke_lbserve: p95_us not positive: '$P95'"; exit 1; }
+
+# 5. Clean shutdown.
+"$LBCLI" --port "$PORT" shutdown > /dev/null
+for _ in $(seq 1 50); do
+  kill -0 "$LBD_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$LBD_PID" 2>/dev/null; then
+  echo "smoke_lbserve: lbd still running after shutdown"; exit 1
+fi
+wait "$LBD_PID" 2>/dev/null || true
+LBD_PID=""
+
+echo "smoke_lbserve: OK (bit-identical run, cache hit, warm sweep, stats, shutdown)"

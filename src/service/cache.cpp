@@ -1,0 +1,114 @@
+#include "service/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+namespace lb::service {
+
+ResultCache::ResultCache(std::size_t capacity, std::string persist_dir)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      persist_dir_(std::move(persist_dir)) {
+  stats_.capacity = capacity_;
+  if (!persist_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(persist_dir_, ec);
+    // A failure surfaces later as load/store misses; the cache still works
+    // in-memory.
+  }
+}
+
+std::string ResultCache::pathFor(std::uint64_t hash) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.json",
+                static_cast<unsigned long long>(hash));
+  return persist_dir_ + "/" + name;
+}
+
+std::optional<ScenarioResult> ResultCache::get(std::uint64_t hash) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(hash);
+  if (it != index_.end()) {
+    entries_.splice(entries_.begin(), entries_, it->second);
+    ++stats_.hits;
+    return it->second->second;
+  }
+  if (!persist_dir_.empty()) {
+    if (auto loaded = loadFromDisk(hash)) {
+      insertLocked(hash, *loaded);
+      ++stats_.disk_hits;
+      return loaded;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::put(std::uint64_t hash, const Scenario& scenario,
+                      const ScenarioResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  insertLocked(hash, result);
+  ++stats_.insertions;
+  if (!persist_dir_.empty()) storeToDisk(hash, scenario, result);
+}
+
+void ResultCache::insertLocked(std::uint64_t hash,
+                               const ScenarioResult& result) {
+  const auto it = index_.find(hash);
+  if (it != index_.end()) {
+    it->second->second = result;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return;
+  }
+  entries_.emplace_front(hash, result);
+  index_[hash] = entries_.begin();
+  while (entries_.size() > capacity_) {
+    index_.erase(entries_.back().first);
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::optional<ScenarioResult> ResultCache::loadFromDisk(std::uint64_t hash) {
+  std::ifstream in(pathFor(hash));
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const Json doc = Json::parse(buffer.str());
+    return resultFromJson(doc.at("result"));
+  } catch (const std::exception&) {
+    return std::nullopt;  // corrupt file == miss; will be overwritten
+  }
+}
+
+void ResultCache::storeToDisk(std::uint64_t hash, const Scenario& scenario,
+                              const ScenarioResult& result) {
+  Json doc = Json::object();
+  doc.set("scenario", toJson(scenario)).set("result", toJson(result));
+  const std::string path = pathFor(hash);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;
+    out << doc.dump() << "\n";
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);  // atomic publish on POSIX
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats snapshot = stats_;
+  snapshot.size = entries_.size();
+  return snapshot;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace lb::service

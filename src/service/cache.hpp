@@ -1,0 +1,73 @@
+#pragma once
+// Content-addressed result cache for lbserve.
+//
+// Keyed by the 64-bit scenario hash (scenario.hpp): identical normalized
+// scenarios map to identical keys, so a repeated `run` or an overlapping
+// `sweep` is served without re-simulating.  In-memory storage is a classic
+// LRU (hash map + intrusive recency list) bounded by entry count; an
+// optional directory adds write-through persistence — one
+// `<hash>.json` file per entry holding {scenario, result} — so a restarted
+// daemon starts warm.  Disk loads are promoted into memory and counted
+// separately (disk_hits).
+//
+// Thread-safe; all operations take one internal mutex (entries are small —
+// a few hundred bytes of metric vectors — so contention is negligible next
+// to the simulations they replace).
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "service/scenario.hpp"
+
+namespace lb::service {
+
+struct CacheStats {
+  std::uint64_t hits = 0;       ///< served from memory
+  std::uint64_t disk_hits = 0;  ///< served from the persistence directory
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;         ///< current in-memory entries
+  std::size_t capacity = 0;
+};
+
+class ResultCache {
+public:
+  /// `capacity` bounds in-memory entries (>= 1).  `persist_dir`, when
+  /// non-empty, is created if needed and used for write-through
+  /// persistence; unreadable/corrupt files are treated as misses.
+  explicit ResultCache(std::size_t capacity, std::string persist_dir = "");
+
+  /// Looks up by scenario hash; promotes to most-recently-used.
+  std::optional<ScenarioResult> get(std::uint64_t hash);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entry beyond capacity.  `scenario` is stored alongside the result on
+  /// disk so cache files are self-describing.
+  void put(std::uint64_t hash, const Scenario& scenario,
+           const ScenarioResult& result);
+
+  CacheStats stats() const;
+  std::size_t size() const;
+
+private:
+  std::string pathFor(std::uint64_t hash) const;
+  std::optional<ScenarioResult> loadFromDisk(std::uint64_t hash);
+  void storeToDisk(std::uint64_t hash, const Scenario& scenario,
+                   const ScenarioResult& result);
+  void insertLocked(std::uint64_t hash, const ScenarioResult& result);
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::string persist_dir_;
+  /// Most-recently-used at the front.
+  std::list<std::pair<std::uint64_t, ScenarioResult>> entries_;
+  std::unordered_map<std::uint64_t, decltype(entries_)::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace lb::service

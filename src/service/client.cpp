@@ -1,0 +1,93 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace lb::service {
+
+Client::Client(std::uint16_t port, const std::string& host) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("cannot connect to " + host + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(err) +
+                             " (is lbd running?)");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Client::exchangeLine(const std::string& line) {
+  const std::string framed = line + "\n";
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent, 0);
+    if (n <= 0) throw std::runtime_error("send() failed (daemon gone?)");
+    sent += static_cast<std::size_t>(n);
+  }
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string response = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return response;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0)
+      throw std::runtime_error("connection closed before a response arrived");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Json Client::call(const Json& request) {
+  return Json::parse(exchangeLine(request.dump()));
+}
+
+Json Client::run(const Json& scenario) {
+  Json request = Json::object();
+  request.set("verb", Json("run")).set("scenario", scenario);
+  return call(request);
+}
+
+Json Client::sweep(Json scenarios) {
+  Json request = Json::object();
+  request.set("verb", Json("sweep")).set("scenarios", std::move(scenarios));
+  return call(request);
+}
+
+Json Client::stats() {
+  Json request = Json::object();
+  request.set("verb", Json("stats"));
+  return call(request);
+}
+
+Json Client::shutdown() {
+  Json request = Json::object();
+  request.set("verb", Json("shutdown"));
+  return call(request);
+}
+
+}  // namespace lb::service

@@ -1,0 +1,42 @@
+#pragma once
+// Blocking TCP client for the lbserve daemon: connects to 127.0.0.1,
+// writes one JSON request per line, reads one JSON response per line.
+// Used by lbcli and by the loopback tests; a connection may issue any
+// number of requests (the daemon keeps it open until `shutdown` or EOF).
+
+#include <cstdint>
+#include <string>
+
+#include "service/json.hpp"
+
+namespace lb::service {
+
+class Client {
+public:
+  /// Connects immediately; throws std::runtime_error when the daemon is
+  /// not reachable.
+  explicit Client(std::uint16_t port, const std::string& host = "127.0.0.1");
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends `request` and blocks for the matching response line.  Throws
+  /// std::runtime_error on transport failure; protocol-level failures come
+  /// back as {"ok":false,...} documents.
+  Json call(const Json& request);
+
+  /// Convenience wrappers for the protocol verbs.
+  Json run(const Json& scenario);
+  Json sweep(Json scenarios);
+  Json stats();
+  Json shutdown();
+
+private:
+  std::string exchangeLine(const std::string& line);
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last newline
+};
+
+}  // namespace lb::service

@@ -1,0 +1,186 @@
+#include "service/job_engine.hpp"
+
+#include <algorithm>
+
+namespace lb::service {
+
+namespace {
+
+std::shared_future<JobOutcome> readyFuture(JobOutcome outcome) {
+  std::promise<JobOutcome> promise;
+  promise.set_value(std::move(outcome));
+  return promise.get_future().share();
+}
+
+}  // namespace
+
+JobEngine::JobEngine(JobEngineOptions options)
+    : options_(options),
+      cache_(options.cache_capacity, options.cache_dir) {
+  std::size_t workers = options_.workers;
+  if (workers == 0) {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    workers = hardware == 0 ? 2 : hardware;
+  }
+  options_.workers = workers;
+  if (options_.queue_depth == 0) options_.queue_depth = 1;
+  pool_ = std::make_unique<sim::ThreadPool>(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    pool_->post([this] { workerLoop(); });
+}
+
+JobEngine::~JobEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  pool_.reset();  // drains the bounded queue, then joins the workers
+}
+
+void JobEngine::workerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_cv_.notify_all();  // space freed for blocked submitters
+    execute(job);
+  }
+}
+
+void JobEngine::execute(const std::shared_ptr<Job>& job) {
+  JobOutcome outcome;
+  outcome.hash = job->hash;
+  const auto started = std::chrono::steady_clock::now();
+  try {
+    outcome.result = runScenario(job->scenario);
+    outcome.status = JobStatus::kOk;
+  } catch (const std::exception& e) {
+    outcome.status = JobStatus::kError;
+    outcome.error = e.what();
+  }
+  outcome.execute_micros =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  if (outcome.status == JobStatus::kOk)
+    cache_.put(job->hash, job->scenario, outcome.result);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_.erase(job->hash);
+    if (outcome.status == JobStatus::kOk)
+      ++stats_.completed;
+    else
+      ++stats_.failed;
+  }
+  job->promise.set_value(std::move(outcome));
+}
+
+std::pair<std::shared_future<JobOutcome>, bool> JobEngine::submit(
+    const Scenario& raw) {
+  Scenario scenario;
+  try {
+    scenario = normalized(raw);
+  } catch (const std::exception& e) {
+    JobOutcome outcome;
+    outcome.status = JobStatus::kError;
+    outcome.error = e.what();
+    return {readyFuture(std::move(outcome)), false};
+  }
+  const std::uint64_t hash = scenarioHash(scenario);
+
+  if (auto cached = cache_.get(hash)) {
+    JobOutcome outcome;
+    outcome.status = JobStatus::kOk;
+    outcome.result = std::move(*cached);
+    outcome.hash = hash;
+    outcome.cache_hit = true;
+    return {readyFuture(std::move(outcome)), false};
+  }
+
+  auto job = std::make_shared<Job>();
+  job->scenario = std::move(scenario);
+  job->hash = hash;
+  job->future = job->promise.get_future().share();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto flying = in_flight_.find(hash);
+  if (flying != in_flight_.end()) {
+    ++stats_.coalesced;
+    return {flying->second, true};  // piggyback on the identical running job
+  }
+  // Bounded FIFO: block until the queue has room (backpressure towards the
+  // daemon's connection handlers).
+  queue_cv_.wait(lock, [this] {
+    return stopping_ || queue_.size() < options_.queue_depth;
+  });
+  if (stopping_) {
+    JobOutcome outcome;
+    outcome.status = JobStatus::kError;
+    outcome.error = "job engine is shutting down";
+    outcome.hash = hash;
+    return {readyFuture(std::move(outcome)), false};
+  }
+  auto future = job->future;
+  in_flight_[hash] = future;
+  queue_.push_back(std::move(job));
+  ++stats_.submitted;
+  lock.unlock();
+  queue_cv_.notify_all();
+  return {future, false};
+}
+
+JobOutcome JobEngine::await(std::shared_future<JobOutcome> future) {
+  if (future.wait_for(options_.timeout) != std::future_status::ready) {
+    JobOutcome outcome;
+    outcome.status = JobStatus::kTimeout;
+    outcome.error = "job exceeded " +
+                    std::to_string(options_.timeout.count()) +
+                    " ms (still running; retry later for a cache hit)";
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.timeouts;
+    return outcome;
+  }
+  return future.get();
+}
+
+JobOutcome JobEngine::run(const Scenario& scenario) {
+  auto [future, coalesced] = submit(scenario);
+  JobOutcome outcome = await(std::move(future));
+  outcome.coalesced = outcome.coalesced || coalesced;
+  return outcome;
+}
+
+std::vector<JobOutcome> JobEngine::sweep(
+    const std::vector<Scenario>& scenarios) {
+  std::vector<std::pair<std::shared_future<JobOutcome>, bool>> futures;
+  futures.reserve(scenarios.size());
+  for (const Scenario& scenario : scenarios) futures.push_back(submit(scenario));
+  std::vector<JobOutcome> outcomes;
+  outcomes.reserve(futures.size());
+  for (auto& [future, coalesced] : futures) {
+    JobOutcome outcome = await(std::move(future));
+    outcome.coalesced = outcome.coalesced || coalesced;
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+JobEngineStats JobEngine::stats() const {
+  JobEngineStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = stats_;
+    snapshot.queue_depth = queue_.size();
+    snapshot.in_flight = in_flight_.size();
+  }
+  snapshot.cache = cache_.stats();
+  return snapshot;
+}
+
+}  // namespace lb::service

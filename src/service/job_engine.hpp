@@ -1,0 +1,127 @@
+#pragma once
+// The lbserve job engine: a bounded FIFO of scenario jobs executed by
+// persistent sim::ThreadPool workers, fronted by the content-addressed
+// result cache.
+//
+// Request flow for run()/sweep():
+//
+//   normalize + hash ──> cache?  ──hit──> outcome (cache_hit)
+//                         │miss
+//                         ├─> identical job already in flight?
+//                         │      └─yes─> wait on its future (coalesced)
+//                         └─> enqueue (blocks when the FIFO is full —
+//                             bounded-queue backpressure), worker runs
+//                             runScenario, result enters the cache
+//
+// Per-job timeout: callers wait on the job future for at most
+// `options.timeout`; expiry yields a kTimeout outcome.  The simulation is
+// not preempted (cycle-accurate kernels have no safe cancellation point) —
+// it finishes in the background and still populates the cache, so a retry
+// is typically a hit.  Exceptions thrown by a job (bad scenario reaching
+// the testbed, bugs) are captured into kError outcomes with the what()
+// string; they never take down a worker.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "service/cache.hpp"
+#include "service/scenario.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace lb::service {
+
+enum class JobStatus { kOk, kError, kTimeout };
+
+struct JobOutcome {
+  JobStatus status = JobStatus::kOk;
+  std::string error;          ///< populated for kError / kTimeout
+  ScenarioResult result;      ///< valid when status == kOk
+  std::uint64_t hash = 0;     ///< scenario content-address
+  bool cache_hit = false;     ///< served from the cache (memory or disk)
+  bool coalesced = false;     ///< waited on an identical in-flight job
+  double execute_micros = 0;  ///< simulation time (0 for pure cache hits)
+};
+
+struct JobEngineOptions {
+  std::size_t workers = 0;       ///< 0 = hardware concurrency
+  std::size_t queue_depth = 64;  ///< bounded FIFO capacity
+  std::chrono::milliseconds timeout{60000};  ///< per-job wait budget
+  std::size_t cache_capacity = 1024;
+  std::string cache_dir;  ///< empty = memory-only cache
+};
+
+struct JobEngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t coalesced = 0;
+  std::size_t queue_depth = 0;  ///< jobs waiting for a worker right now
+  std::size_t in_flight = 0;    ///< queued + executing
+  CacheStats cache;
+};
+
+class JobEngine {
+public:
+  explicit JobEngine(JobEngineOptions options = {});
+
+  /// Drains the queue (every accepted job completes) and joins the workers.
+  ~JobEngine();
+
+  JobEngine(const JobEngine&) = delete;
+  JobEngine& operator=(const JobEngine&) = delete;
+
+  /// Cache-or-execute, blocking up to the per-job timeout.  Scenario
+  /// validation errors come back as kError outcomes, not exceptions.
+  JobOutcome run(const Scenario& scenario);
+
+  /// Submits every scenario, then collects outcomes in input order.
+  /// Duplicate scenarios within one sweep coalesce onto a single job.
+  std::vector<JobOutcome> sweep(const std::vector<Scenario>& scenarios);
+
+  JobEngineStats stats() const;
+  ResultCache& cache() { return cache_; }
+
+private:
+  struct Job {
+    Scenario scenario;
+    std::uint64_t hash = 0;
+    std::promise<JobOutcome> promise;
+    std::shared_future<JobOutcome> future;
+  };
+
+  /// Cache lookup / coalesce / enqueue; never blocks on execution (only on
+  /// queue space).  Ready outcomes are returned via immediately-ready
+  /// futures.  `.second` is true when the caller was coalesced onto an
+  /// already-in-flight identical job.
+  std::pair<std::shared_future<JobOutcome>, bool> submit(
+      const Scenario& scenario);
+  JobOutcome await(std::shared_future<JobOutcome> future);
+  void workerLoop();
+  void execute(const std::shared_ptr<Job>& job);
+
+  JobEngineOptions options_;
+  ResultCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;  ///< space freed / job available
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::unordered_map<std::uint64_t, std::shared_future<JobOutcome>> in_flight_;
+  bool stopping_ = false;
+  JobEngineStats stats_;
+
+  /// Owns the worker threads; last member so it joins before the queue and
+  /// maps are destroyed.
+  std::unique_ptr<sim::ThreadPool> pool_;
+};
+
+}  // namespace lb::service

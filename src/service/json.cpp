@@ -1,0 +1,450 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace lb::service {
+
+namespace {
+
+[[noreturn]] void typeError(const char* expected, Json::Type actual) {
+  static const char* names[] = {"null",   "bool",  "number",
+                                "string", "array", "object"};
+  throw JsonError(std::string("expected ") + expected + ", got " +
+                      names[static_cast<int>(actual)],
+                  0);
+}
+
+}  // namespace
+
+bool Json::asBool() const {
+  if (type_ != Type::kBool) typeError("bool", type_);
+  return bool_;
+}
+
+double Json::asDouble() const {
+  if (type_ != Type::kNumber) typeError("number", type_);
+  return number_;
+}
+
+std::int64_t Json::asInt64() const {
+  if (type_ != Type::kNumber || !is_integer_) typeError("integer", type_);
+  if (is_unsigned_ && integer_ < 0)
+    throw JsonError("integer out of int64 range", 0);
+  return integer_;
+}
+
+std::uint64_t Json::asUint64() const {
+  if (type_ != Type::kNumber || !is_integer_) typeError("integer", type_);
+  if (!is_unsigned_ && integer_ < 0)
+    throw JsonError("expected non-negative integer", 0);
+  return static_cast<std::uint64_t>(integer_);
+}
+
+const std::string& Json::asString() const {
+  if (type_ != Type::kString) typeError("string", type_);
+  return string_;
+}
+
+const Json::Array& Json::asArray() const {
+  if (type_ != Type::kArray) typeError("array", type_);
+  return array_;
+}
+
+const Json::Object& Json::asObject() const {
+  if (type_ != Type::kObject) typeError("object", type_);
+  return object_;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  if (type_ != Type::kObject) typeError("object", type_);
+  for (auto& member : object_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) typeError("object", type_);
+  for (const auto& member : object_)
+    if (member.first == key) return &member.second;
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* value = find(key);
+  if (!value) throw JsonError("missing member \"" + key + "\"", 0);
+  return *value;
+}
+
+Json& Json::push(Json value) {
+  if (type_ != Type::kArray) typeError("array", type_);
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  typeError("array", type_);
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      if (is_integer_ && other.is_integer_)
+        return integer_ == other.integer_ && is_unsigned_ == other.is_unsigned_;
+      return number_ == other.number_ && is_integer_ == other.is_integer_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return array_ == other.array_;
+    case Type::kObject:
+      return object_ == other.object_;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void appendEscaped(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;  // UTF-8 bytes pass through
+        }
+    }
+  }
+  out += '"';
+}
+
+void appendDouble(std::string& out, double value) {
+  if (!std::isfinite(value)) throw JsonError("non-finite number", 0);
+  char buffer[32];
+  // 17 significant digits: every double round-trips exactly through
+  // strtod, which is what makes daemon results bit-identical to local runs.
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out += buffer;
+}
+
+}  // namespace
+
+void Json::dumpTo(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      if (is_integer_) {
+        if (is_unsigned_)
+          out += std::to_string(static_cast<std::uint64_t>(integer_));
+        else
+          out += std::to_string(integer_);
+      } else {
+        appendDouble(out, number_);
+      }
+      break;
+    case Type::kString:
+      appendEscaped(out, string_);
+      break;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& item : array_) {
+        if (!first) out += ',';
+        first = false;
+        item.dumpTo(out);
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& member : object_) {
+        if (!first) out += ',';
+        first = false;
+        appendEscaped(out, member.first);
+        out += ':';
+        member.second.dumpTo(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dumpTo(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser — recursive descent over a string_view-ish cursor.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parseDocument() {
+    Json value = parseValue();
+    skipWhitespace();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonError(message, pos_);
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  void skipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consumeLiteral(const char* literal) {
+    const std::size_t len = std::strlen(literal);
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Json parseValue(std::size_t depth = 0) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skipWhitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parseObject(depth);
+      case '[': return parseArray(depth);
+      case '"': return Json(parseString());
+      case 't':
+        if (consumeLiteral("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consumeLiteral("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consumeLiteral("null")) return Json(nullptr);
+        fail("invalid literal");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parseNumber();
+        fail("unexpected character");
+    }
+  }
+
+  Json parseObject(std::size_t depth) {
+    expect('{');
+    Json object = Json::object();
+    skipWhitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    for (;;) {
+      skipWhitespace();
+      if (peek() != '"') fail("expected object key");
+      std::string key = parseString();
+      skipWhitespace();
+      expect(':');
+      if (object.find(key)) fail("duplicate key \"" + key + "\"");
+      object.set(key, parseValue(depth + 1));
+      skipWhitespace();
+      const char next = take();
+      if (next == '}') return object;
+      if (next != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  Json parseArray(std::size_t depth) {
+    expect('[');
+    Json array = Json::array();
+    skipWhitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    for (;;) {
+      array.push(parseValue(depth + 1));
+      skipWhitespace();
+      const char next = take();
+      if (next == ']') return array;
+      if (next != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char escape = take();
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          if (code >= 0xD800 && code <= 0xDFFF)
+            fail("surrogate pairs not supported");
+          // Encode the BMP code point as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  Json parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      fail("invalid number");
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        fail("invalid number");
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        fail("invalid number");
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (integral) {
+      errno = 0;
+      if (token[0] == '-') {
+        char* end = nullptr;
+        const long long value = std::strtoll(token.c_str(), &end, 10);
+        if (errno == 0 && end && *end == '\0')
+          return Json(static_cast<std::int64_t>(value));
+      } else {
+        char* end = nullptr;
+        const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+        if (errno == 0 && end && *end == '\0') {
+          if (value <= static_cast<unsigned long long>(
+                           std::numeric_limits<std::int64_t>::max()))
+            return Json(static_cast<std::int64_t>(value));
+          return Json(static_cast<std::uint64_t>(value));
+        }
+      }
+      // Integer overflow: fall through to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (errno == ERANGE || !end || *end != '\0') fail("number out of range");
+    return Json(value);
+  }
+
+  static constexpr std::size_t kMaxDepth = 64;
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  Parser parser(text);
+  return parser.parseDocument();
+}
+
+}  // namespace lb::service

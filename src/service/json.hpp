@@ -1,0 +1,134 @@
+#pragma once
+// Minimal JSON value / parser / serializer for the lbserve wire protocol
+// and the scenario codec.  Deliberately small and dependency-free:
+//
+//   - objects preserve insertion order (vector of pairs), so a value
+//     serialized from code has a *deterministic* byte representation —
+//     the scenario hash (scenario.hpp) relies on this;
+//   - numbers remember whether they were written as integers, and integral
+//     values round-trip exactly (seeds are uint64 and must not pass through
+//     a double);
+//   - doubles serialize with 17 significant digits, so results round-trip
+//     bit-identically through the daemon (lbcli output == lbsim output);
+//   - parse errors throw JsonError with a byte offset, never assert.
+//
+// Supported: null, true/false, numbers, strings (with \uXXXX escapes for
+// BMP code points), arrays, objects.  Not supported (not needed on a
+// loopback wire format we also produce): surrogate pairs, NaN/Inf.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lb::service {
+
+class JsonError : public std::runtime_error {
+public:
+  JsonError(const std::string& message, std::size_t offset)
+      : std::runtime_error(message + " (at byte " + std::to_string(offset) +
+                           ")"),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+private:
+  std::size_t offset_;
+};
+
+class Json {
+public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(double value) : type_(Type::kNumber), number_(value) {}
+  Json(int value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(std::int64_t value)
+      : type_(Type::kNumber),
+        number_(static_cast<double>(value)),
+        integer_(value),
+        is_integer_(true) {}
+  Json(std::uint64_t value)
+      : type_(Type::kNumber),
+        number_(static_cast<double>(value)),
+        integer_(static_cast<std::int64_t>(value)),
+        is_integer_(true),
+        is_unsigned_(true) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Json(Array value) : type_(Type::kArray), array_(std::move(value)) {}
+  Json(Object value) : type_(Type::kObject), object_(std::move(value)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  Type type() const { return type_; }
+  bool isNull() const { return type_ == Type::kNull; }
+  bool isBool() const { return type_ == Type::kBool; }
+  bool isNumber() const { return type_ == Type::kNumber; }
+  /// True for numbers written without fraction/exponent that fit an int64
+  /// or uint64.
+  bool isInteger() const { return type_ == Type::kNumber && is_integer_; }
+  bool isString() const { return type_ == Type::kString; }
+  bool isArray() const { return type_ == Type::kArray; }
+  bool isObject() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw JsonError on type mismatch so codec callers get
+  /// uniform "malformed input" failures.
+  bool asBool() const;
+  double asDouble() const;
+  std::int64_t asInt64() const;
+  std::uint64_t asUint64() const;  ///< throws on negatives and fractions
+  const std::string& asString() const;
+  const Array& asArray() const;
+  const Object& asObject() const;
+
+  // -- object helpers --------------------------------------------------------
+
+  /// Appends (or replaces) a member, preserving first-insertion order.
+  Json& set(const std::string& key, Json value);
+
+  /// Member lookup; nullptr when absent (throws if not an object).
+  const Json* find(const std::string& key) const;
+
+  /// Member lookup; throws JsonError when absent.
+  const Json& at(const std::string& key) const;
+
+  // -- array helpers ---------------------------------------------------------
+
+  Json& push(Json value);
+  std::size_t size() const;
+
+  // -- codec -----------------------------------------------------------------
+
+  /// Compact serialization (no whitespace); objects in insertion order.
+  std::string dump() const;
+
+  /// Strict parse of exactly one JSON document (trailing garbage rejected).
+  static Json parse(const std::string& text);
+
+  bool operator==(const Json& other) const;
+  bool operator!=(const Json& other) const { return !(*this == other); }
+
+private:
+  void dumpTo(std::string& out) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::int64_t integer_ = 0;
+  bool is_integer_ = false;
+  bool is_unsigned_ = false;  ///< integer_ holds a reinterpreted uint64
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace lb::service

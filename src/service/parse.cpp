@@ -1,0 +1,61 @@
+#include "service/parse.hpp"
+
+#include <cctype>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace lb::service {
+
+std::uint64_t parseU64(const std::string& option, const std::string& text) {
+  if (text.empty())
+    throw std::invalid_argument(option + " expects a non-negative integer, "
+                                         "got an empty value");
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c)))
+      throw std::invalid_argument(option +
+                                  " expects a non-negative integer, got \"" +
+                                  text + "\"");
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+      throw std::invalid_argument(option + " value \"" + text +
+                                  "\" is out of range");
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::uint32_t parseU32(const std::string& option, const std::string& text) {
+  const std::uint64_t value = parseU64(option, text);
+  if (value > std::numeric_limits<std::uint32_t>::max())
+    throw std::invalid_argument(option + " value \"" + text +
+                                "\" is out of range");
+  return static_cast<std::uint32_t>(value);
+}
+
+std::uint64_t parseU64InRange(const std::string& option,
+                              const std::string& text, std::uint64_t min,
+                              std::uint64_t max) {
+  const std::uint64_t value = parseU64(option, text);
+  if (value < min || value > max)
+    throw std::invalid_argument(option + " value \"" + text +
+                                "\" must be in [" + std::to_string(min) +
+                                ", " + std::to_string(max) + "]");
+  return value;
+}
+
+std::vector<std::uint32_t> parseU32List(const std::string& option,
+                                        const std::string& text) {
+  std::vector<std::uint32_t> values;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ','))
+    values.push_back(parseU32(option, item));
+  if (values.empty())
+    throw std::invalid_argument(option + " expects a comma-separated list, "
+                                         "got \"" + text + "\"");
+  return values;
+}
+
+}  // namespace lb::service

@@ -1,0 +1,34 @@
+#pragma once
+// Strict command-line number parsing shared by lbsim, lbd, and lbcli.
+//
+// std::stoul("7x") happily returns 7 and std::stoul("x") throws a bare
+// std::invalid_argument whose what() is just "stoul" — neither is an
+// acceptable CLI experience.  These helpers parse the *entire* token or
+// throw std::invalid_argument with a message that names the offending
+// option and value, so drivers can print one line and exit 2.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lb::service {
+
+/// Parses a full decimal token into a uint64; throws std::invalid_argument
+/// ("--cycles expects a non-negative integer, got \"x\"") on junk, partial
+/// parses, or overflow.  `option` only decorates the error message.
+std::uint64_t parseU64(const std::string& option, const std::string& text);
+
+/// parseU64 restricted to uint32 range.
+std::uint32_t parseU32(const std::string& option, const std::string& text);
+
+/// parseU64 restricted to [min, max]; use for counts that must be >= 1.
+std::uint64_t parseU64InRange(const std::string& option,
+                              const std::string& text, std::uint64_t min,
+                              std::uint64_t max);
+
+/// Parses a comma-separated list of uint32s ("1,2,3,4"); rejects empty
+/// items and junk with the same contract as parseU64.
+std::vector<std::uint32_t> parseU32List(const std::string& option,
+                                        const std::string& text);
+
+}  // namespace lb::service

@@ -1,0 +1,31 @@
+#include "service/report.hpp"
+
+#include <ostream>
+
+#include "stats/table.hpp"
+
+namespace lb::service {
+
+void writeResultReport(std::ostream& out, const Scenario& raw,
+                       const ScenarioResult& result, bool csv) {
+  const Scenario scenario = normalized(raw);
+  stats::Table table({"master", "weight", "bandwidth", "traffic share",
+                      "cycles/word", "messages"});
+  for (std::size_t m = 0; m < scenario.masters; ++m)
+    table.addRow({"C" + std::to_string(m + 1),
+                  std::to_string(scenario.weights[m]),
+                  stats::Table::pct(result.bandwidth_fraction[m]),
+                  stats::Table::pct(result.traffic_share[m]),
+                  stats::Table::num(result.cycles_per_word[m]),
+                  std::to_string(result.messages_completed[m])});
+  if (csv)
+    table.printCsv(out);
+  else
+    table.printAscii(out);
+  out << (csv ? "" : "\n")
+      << "unutilized: " << stats::Table::pct(result.unutilized_fraction)
+      << "  grants: " << result.grants << "  arbiter: " << scenario.arbiter
+      << "  class: " << scenario.traffic_class << "\n";
+}
+
+}  // namespace lb::service

@@ -1,0 +1,18 @@
+#pragma once
+// Human-readable rendering of scenario results — shared by lbsim (local
+// execution) and lbcli (daemon execution) so that the two print
+// byte-identical reports for the same scenario.  That equality is the
+// acceptance check that the wire codec is lossless.
+
+#include <iosfwd>
+
+#include "service/scenario.hpp"
+
+namespace lb::service {
+
+/// The per-master metric table plus the one-line footer lbsim has always
+/// printed.  `csv` selects CSV rows instead of the ASCII box.
+void writeResultReport(std::ostream& out, const Scenario& scenario,
+                       const ScenarioResult& result, bool csv);
+
+}  // namespace lb::service

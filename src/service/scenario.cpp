@@ -1,0 +1,239 @@
+#include "service/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "arbiters/round_robin.hpp"
+#include "arbiters/simple.hpp"
+#include "arbiters/static_priority.hpp"
+#include "arbiters/tdma.hpp"
+#include "arbiters/token_ring.hpp"
+#include "arbiters/weighted_round_robin.hpp"
+#include "core/lottery.hpp"
+#include "traffic/classes.hpp"
+#include "traffic/testbed.hpp"
+
+namespace lb::service {
+
+const std::vector<std::string>& knownArbiters() {
+  static const std::vector<std::string> kinds = {
+      "lottery", "lottery-dynamic", "priority", "tdma", "rr",
+      "wrr",     "token",           "random",   "fcfs"};
+  return kinds;
+}
+
+bool isKnownArbiter(const std::string& kind) {
+  const auto& kinds = knownArbiters();
+  return std::find(kinds.begin(), kinds.end(), kind) != kinds.end();
+}
+
+Scenario normalized(Scenario scenario) {
+  if (!isKnownArbiter(scenario.arbiter))
+    throw ScenarioError("unknown arbiter: " + scenario.arbiter);
+  bool class_ok = false;
+  for (const auto& cls : traffic::allTrafficClasses())
+    class_ok = class_ok || cls.name == scenario.traffic_class;
+  if (!class_ok)
+    throw ScenarioError("unknown traffic class: " + scenario.traffic_class);
+  if (scenario.masters == 0) throw ScenarioError("masters must be >= 1");
+  if (scenario.cycles == 0) throw ScenarioError("cycles must be >= 1");
+  if (scenario.burst == 0) throw ScenarioError("burst must be >= 1");
+  // lbsim's historical reconciliation: an explicit multi-element weight
+  // list defines the master count; otherwise weights broadcast to 1s.
+  if (scenario.weights.size() != scenario.masters) {
+    if (scenario.weights.size() > 1)
+      scenario.masters = scenario.weights.size();
+    else
+      scenario.weights.assign(scenario.masters, 1);
+  }
+  for (const std::uint32_t w : scenario.weights)
+    if (w == 0) throw ScenarioError("weights must be >= 1");
+  return scenario;
+}
+
+Json toJson(const Scenario& scenario) {
+  Json weights = Json::array();
+  for (const std::uint32_t w : scenario.weights)
+    weights.push(Json(static_cast<std::uint64_t>(w)));
+  Json json = Json::object();
+  json.set("arbiter", Json(scenario.arbiter))
+      .set("weights", std::move(weights))
+      .set("class", Json(scenario.traffic_class))
+      .set("masters", Json(static_cast<std::uint64_t>(scenario.masters)))
+      .set("cycles", Json(static_cast<std::uint64_t>(scenario.cycles)))
+      .set("burst", Json(static_cast<std::uint64_t>(scenario.burst)))
+      .set("seed", Json(scenario.seed))
+      .set("lfsr", Json(scenario.lfsr));
+  return json;
+}
+
+Scenario scenarioFromJson(const Json& json) {
+  Scenario scenario;
+  bool weights_given = false;
+  for (const auto& [key, value] : json.asObject()) {
+    if (key == "arbiter") {
+      scenario.arbiter = value.asString();
+    } else if (key == "weights" || key == "tickets" || key == "priorities") {
+      if (weights_given)
+        throw ScenarioError("weights given more than once");
+      weights_given = true;
+      scenario.weights.clear();
+      for (const Json& item : value.asArray()) {
+        const std::uint64_t w = item.asUint64();
+        if (w > 0xFFFFFFFFull) throw ScenarioError("weight out of range");
+        scenario.weights.push_back(static_cast<std::uint32_t>(w));
+      }
+    } else if (key == "class") {
+      scenario.traffic_class = value.asString();
+    } else if (key == "masters") {
+      scenario.masters = static_cast<std::size_t>(value.asUint64());
+    } else if (key == "cycles") {
+      scenario.cycles = value.asUint64();
+    } else if (key == "burst") {
+      const std::uint64_t b = value.asUint64();
+      if (b > 0xFFFFFFFFull) throw ScenarioError("burst out of range");
+      scenario.burst = static_cast<std::uint32_t>(b);
+    } else if (key == "seed") {
+      scenario.seed = value.asUint64();
+    } else if (key == "lfsr") {
+      scenario.lfsr = value.asBool();
+    } else {
+      throw ScenarioError("unknown scenario member \"" + key + "\"");
+    }
+  }
+  return normalized(scenario);
+}
+
+std::string canonicalJson(const Scenario& scenario) {
+  return toJson(normalized(scenario)).dump();
+}
+
+std::uint64_t scenarioHash(const Scenario& scenario) {
+  const std::string bytes = canonicalJson(scenario);
+  std::uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+std::string scenarioHashHex(const Scenario& scenario) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(scenarioHash(scenario)));
+  return buffer;
+}
+
+// ---------------------------------------------------------------------------
+// Result codec
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Json doublesToJson(const std::vector<double>& values) {
+  Json array = Json::array();
+  for (const double v : values) array.push(Json(v));
+  return array;
+}
+
+std::vector<double> doublesFromJson(const Json& json) {
+  std::vector<double> values;
+  for (const Json& item : json.asArray()) values.push_back(item.asDouble());
+  return values;
+}
+
+}  // namespace
+
+Json toJson(const ScenarioResult& result) {
+  Json messages = Json::array();
+  for (const std::uint64_t m : result.messages_completed)
+    messages.push(Json(m));
+  Json json = Json::object();
+  json.set("bandwidth_fraction", doublesToJson(result.bandwidth_fraction))
+      .set("traffic_share", doublesToJson(result.traffic_share))
+      .set("cycles_per_word", doublesToJson(result.cycles_per_word))
+      .set("mean_message_latency",
+           doublesToJson(result.mean_message_latency))
+      .set("messages_completed", std::move(messages))
+      .set("unutilized_fraction", Json(result.unutilized_fraction))
+      .set("grants", Json(result.grants))
+      .set("preemptions", Json(result.preemptions))
+      .set("cycles", Json(static_cast<std::uint64_t>(result.cycles)));
+  return json;
+}
+
+ScenarioResult resultFromJson(const Json& json) {
+  ScenarioResult result;
+  result.bandwidth_fraction = doublesFromJson(json.at("bandwidth_fraction"));
+  result.traffic_share = doublesFromJson(json.at("traffic_share"));
+  result.cycles_per_word = doublesFromJson(json.at("cycles_per_word"));
+  result.mean_message_latency =
+      doublesFromJson(json.at("mean_message_latency"));
+  for (const Json& item : json.at("messages_completed").asArray())
+    result.messages_completed.push_back(item.asUint64());
+  result.unutilized_fraction = json.at("unutilized_fraction").asDouble();
+  result.grants = json.at("grants").asUint64();
+  result.preemptions = json.at("preemptions").asUint64();
+  result.cycles = json.at("cycles").asUint64();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<bus::IArbiter> makeArbiter(const Scenario& scenario) {
+  const auto& w = scenario.weights;
+  if (scenario.arbiter == "lottery")
+    return std::make_unique<core::LotteryArbiter>(
+        w, scenario.lfsr ? core::LotteryRng::kLfsr : core::LotteryRng::kExact,
+        scenario.seed);
+  if (scenario.arbiter == "lottery-dynamic")
+    return std::make_unique<core::DynamicLotteryArbiter>(scenario.seed);
+  if (scenario.arbiter == "priority")
+    return std::make_unique<arb::StaticPriorityArbiter>(
+        std::vector<unsigned>(w.begin(), w.end()));
+  if (scenario.arbiter == "tdma") {
+    std::vector<unsigned> slots;
+    for (const std::uint32_t v : w) slots.push_back(v * scenario.burst);
+    return std::make_unique<arb::TdmaArbiter>(
+        arb::TdmaArbiter::contiguousWheel(slots), w.size());
+  }
+  if (scenario.arbiter == "rr")
+    return std::make_unique<arb::RoundRobinArbiter>(scenario.masters);
+  if (scenario.arbiter == "wrr")
+    return std::make_unique<arb::WeightedRoundRobinArbiter>(w, scenario.burst);
+  if (scenario.arbiter == "token")
+    return std::make_unique<arb::TokenRingArbiter>(scenario.masters, 0);
+  if (scenario.arbiter == "random")
+    return std::make_unique<arb::RandomArbiter>(scenario.masters,
+                                                scenario.seed);
+  if (scenario.arbiter == "fcfs")
+    return std::make_unique<arb::FcfsArbiter>(scenario.masters);
+  throw ScenarioError("unknown arbiter: " + scenario.arbiter);
+}
+
+ScenarioResult runScenario(const Scenario& raw) {
+  const Scenario scenario = normalized(raw);
+  bus::BusConfig config = traffic::defaultBusConfig(scenario.masters);
+  config.max_burst_words = scenario.burst;
+  const traffic::TestbedResult run = traffic::runTestbed(
+      std::move(config), makeArbiter(scenario),
+      traffic::paramsFor(traffic::trafficClass(scenario.traffic_class),
+                         scenario.masters, scenario.seed),
+      scenario.cycles);
+  ScenarioResult result;
+  result.bandwidth_fraction = run.bandwidth_fraction;
+  result.traffic_share = run.traffic_share;
+  result.cycles_per_word = run.cycles_per_word;
+  result.mean_message_latency = run.mean_message_latency;
+  result.messages_completed = run.messages_completed;
+  result.unutilized_fraction = run.unutilized_fraction;
+  result.grants = run.grants;
+  result.preemptions = run.preemptions;
+  result.cycles = run.cycles;
+  return result;
+}
+
+}  // namespace lb::service

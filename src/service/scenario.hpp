@@ -1,0 +1,107 @@
+#pragma once
+// Declarative simulation scenarios: the unit of work lbserve accepts.
+//
+// A Scenario is everything `lbsim` takes on its command line — arbiter
+// kind, ticket/weight vector, traffic class, master count, cycle budget,
+// burst limit, RNG seed, LFSR flag — as a plain struct with a JSON codec.
+// Scenarios are *content-addressed*: canonicalJson() renders the normalized
+// scenario with a fixed field order and hash() runs 64-bit FNV-1a over
+// those bytes, so the hash is a stable cache key across processes and
+// sessions (tests/service_test.cpp pins golden hashes).
+//
+// runScenario() is the single execution path shared by lbsim, the job
+// engine, and the daemon: identical Scenario -> bit-identical
+// ScenarioResult, which is what makes the result cache sound.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/arbiter.hpp"
+#include "service/json.hpp"
+#include "sim/kernel.hpp"
+
+namespace lb::service {
+
+/// Thrown for semantically invalid scenarios (unknown arbiter/class, zero
+/// masters, ...); JsonError covers syntactic problems.
+class ScenarioError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Scenario {
+  std::string arbiter = "lottery";
+  std::vector<std::uint32_t> weights = {1, 2, 3, 4};
+  std::string traffic_class = "T2";
+  std::size_t masters = 4;
+  sim::Cycle cycles = 200000;
+  std::uint32_t burst = 16;
+  std::uint64_t seed = 7;
+  bool lfsr = false;
+
+  bool operator==(const Scenario&) const = default;
+};
+
+/// Arbiter kinds runScenario understands, in lbsim's --compare order.
+const std::vector<std::string>& knownArbiters();
+bool isKnownArbiter(const std::string& kind);
+
+/// Reconciles `masters` with `weights` the same way lbsim always has: a
+/// multi-element weight list wins over --masters; a scalar/empty list is
+/// broadcast to `masters` ones.  Throws ScenarioError on invalid scenarios
+/// (unknown arbiter or traffic class, masters == 0, cycles == 0, burst
+/// == 0, weight arity mismatch that cannot be reconciled).
+Scenario normalized(Scenario scenario);
+
+/// Scenario <-> JSON.  fromJson validates field types and rejects unknown
+/// members (catching typos like "ticket" early); missing members take the
+/// struct defaults.
+Json toJson(const Scenario& scenario);
+Scenario scenarioFromJson(const Json& json);
+
+/// Canonical byte representation: normalized scenario, fixed member order,
+/// integer formatting.  Equal scenarios (after normalization) produce equal
+/// bytes.
+std::string canonicalJson(const Scenario& scenario);
+
+/// 64-bit FNV-1a over canonicalJson(); the content-address used by the
+/// result cache and the wire protocol.
+std::uint64_t scenarioHash(const Scenario& scenario);
+
+/// scenarioHash rendered as 16 lowercase hex digits.
+std::string scenarioHashHex(const Scenario& scenario);
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// The testbed metrics a scenario produces, JSON-serializable so cached
+/// results survive the wire and the disk.
+struct ScenarioResult {
+  std::vector<double> bandwidth_fraction;
+  std::vector<double> traffic_share;
+  std::vector<double> cycles_per_word;
+  std::vector<double> mean_message_latency;
+  std::vector<std::uint64_t> messages_completed;
+  double unutilized_fraction = 0.0;
+  std::uint64_t grants = 0;
+  std::uint64_t preemptions = 0;
+  sim::Cycle cycles = 0;
+
+  bool operator==(const ScenarioResult&) const = default;
+};
+
+Json toJson(const ScenarioResult& result);
+ScenarioResult resultFromJson(const Json& json);
+
+/// Builds the arbiter a (normalized) scenario describes — the factory
+/// previously private to examples/lbsim.cpp.
+std::unique_ptr<bus::IArbiter> makeArbiter(const Scenario& scenario);
+
+/// Runs the scenario through traffic::runTestbed.  Pure function of the
+/// normalized scenario: same input, bit-identical output.
+ScenarioResult runScenario(const Scenario& scenario);
+
+}  // namespace lb::service

@@ -1,0 +1,262 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace lb::service {
+
+namespace {
+
+constexpr std::size_t kLatencyReservoir = 4096;
+constexpr std::size_t kMaxLineBytes = 4 << 20;  // 4 MiB guards the parser
+
+Json errorResponse(const std::string& message) {
+  Json response = Json::object();
+  response.set("ok", Json(false)).set("error", Json(message));
+  return response;
+}
+
+Json outcomeToJson(const JobOutcome& outcome) {
+  if (outcome.status != JobStatus::kOk) {
+    Json response = errorResponse(outcome.error);
+    response.set("timeout", Json(outcome.status == JobStatus::kTimeout));
+    return response;
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(outcome.hash));
+  Json response = Json::object();
+  response.set("ok", Json(true))
+      .set("hash", Json(std::string(hex)))
+      .set("cached", Json(outcome.cache_hit))
+      .set("coalesced", Json(outcome.coalesced))
+      .set("execute_micros", Json(outcome.execute_micros))
+      .set("result", toJson(outcome.result));
+  return response;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(options), engine_(options.engine) {
+  latency_reservoir_.reserve(kLatencyReservoir);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("bind() failed on 127.0.0.1:" +
+                             std::to_string(options_.port) + ": " +
+                             std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("listen() failed");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+Server::~Server() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Server::start() {
+  serve_thread_ = std::thread([this] { serve(); });
+}
+
+void Server::pokeListener() {
+  // Unblock accept() by connecting to ourselves; shutdown() on the listen
+  // fd is not portable enough to rely on.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd >= 0) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port_);
+    ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    ::close(fd);
+  }
+}
+
+void Server::stop() {
+  if (!stopping_.exchange(true)) pokeListener();
+  if (serve_thread_.joinable() &&
+      serve_thread_.get_id() != std::this_thread::get_id())
+    serve_thread_.join();
+}
+
+void Server::serve() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (stopping_.load()) {
+      if (fd >= 0) ::close(fd);
+      break;
+    }
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener broken; shut down
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    connection_threads_.emplace_back([this, fd] { handleConnection(fd); });
+  }
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  for (std::thread& thread : connection_threads_)
+    if (thread.joinable()) thread.join();
+  connection_threads_.clear();
+}
+
+void Server::handleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      const std::string response = handleRequest(line) + "\n";
+      std::size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t n =
+            ::send(fd, response.data() + sent, response.size() - sent, 0);
+        if (n <= 0) {
+          ::close(fd);
+          return;
+        }
+        sent += static_cast<std::size_t>(n);
+      }
+      if (stopping_.load()) break;  // shutdown verb answered on this line
+      continue;
+    }
+    if (buffer.size() > kMaxLineBytes) break;
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;  // peer closed or error
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+}
+
+std::string Server::handleRequest(const std::string& line) {
+  const auto started = std::chrono::steady_clock::now();
+  ++requests_;
+  Json response;
+  try {
+    const Json request = Json::parse(line);
+    const std::string& verb = request.at("verb").asString();
+    if (verb == "run") {
+      const Scenario scenario = scenarioFromJson(request.at("scenario"));
+      response = outcomeToJson(engine_.run(scenario));
+    } else if (verb == "sweep") {
+      std::vector<Scenario> scenarios;
+      for (const Json& item : request.at("scenarios").asArray())
+        scenarios.push_back(scenarioFromJson(item));
+      Json results = Json::array();
+      for (const JobOutcome& outcome : engine_.sweep(scenarios))
+        results.push(outcomeToJson(outcome));
+      response = Json::object();
+      response.set("ok", Json(true)).set("results", std::move(results));
+    } else if (verb == "stats") {
+      response = Json::object();
+      response.set("ok", Json(true)).set("stats", statsJson());
+    } else if (verb == "shutdown") {
+      if (!stopping_.exchange(true)) pokeListener();
+      response = Json::object();
+      response.set("ok", Json(true)).set("stopping", Json(true));
+    } else {
+      ++protocol_errors_;
+      response = errorResponse("unknown verb \"" + verb + "\"");
+    }
+  } catch (const std::exception& e) {
+    ++protocol_errors_;
+    response = errorResponse(e.what());
+  }
+  recordLatency(std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - started)
+                    .count());
+  return response.dump();
+}
+
+void Server::recordLatency(double micros) {
+  // Latency resolution is nanoseconds via steady_clock, but clamp away
+  // exact zeros so percentile reports are always nonzero for served
+  // requests.
+  micros = std::max(micros, 1e-3);
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  if (latency_reservoir_.size() < kLatencyReservoir) {
+    latency_reservoir_.push_back(micros);
+  } else {
+    latency_reservoir_[latency_next_] = micros;
+    latency_next_ = (latency_next_ + 1) % kLatencyReservoir;
+  }
+  ++latency_count_;
+}
+
+namespace {
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+}  // namespace
+
+Json Server::statsJson() {
+  std::vector<double> latencies;
+  std::uint64_t observed = 0;
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    latencies = latency_reservoir_;
+    observed = latency_count_;
+  }
+  const JobEngineStats engine = engine_.stats();
+  Json json = Json::object();
+  json.set("requests", Json(requests_.load()))
+      .set("protocol_errors", Json(protocol_errors_.load()))
+      .set("hits", Json(engine.cache.hits))
+      .set("disk_hits", Json(engine.cache.disk_hits))
+      .set("misses", Json(engine.cache.misses))
+      .set("evictions", Json(engine.cache.evictions))
+      .set("cache_size", Json(static_cast<std::uint64_t>(engine.cache.size)))
+      .set("cache_capacity",
+           Json(static_cast<std::uint64_t>(engine.cache.capacity)))
+      .set("jobs_submitted", Json(engine.submitted))
+      .set("jobs_completed", Json(engine.completed))
+      .set("jobs_failed", Json(engine.failed))
+      .set("jobs_timed_out", Json(engine.timeouts))
+      .set("jobs_coalesced", Json(engine.coalesced))
+      .set("queue_depth", Json(static_cast<std::uint64_t>(engine.queue_depth)))
+      .set("in_flight", Json(static_cast<std::uint64_t>(engine.in_flight)))
+      .set("latency_samples", Json(observed))
+      .set("p50_us", Json(percentile(latencies, 0.50)))
+      .set("p95_us", Json(percentile(std::move(latencies), 0.95)));
+  return json;
+}
+
+}  // namespace lb::service

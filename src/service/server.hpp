@@ -1,0 +1,95 @@
+#pragma once
+// lbserve TCP daemon: newline-delimited JSON over a loopback socket.
+//
+// Wire protocol (one request line -> one response line, UTF-8 JSON):
+//
+//   {"verb":"run","scenario":{...}}          -> {"ok":true,"hash":"...",
+//                                                "cached":bool,
+//                                                "coalesced":bool,
+//                                                "result":{...}}
+//   {"verb":"sweep","scenarios":[{...},...]} -> {"ok":true,"results":[
+//                                                {"ok":true,...} |
+//                                                {"ok":false,"error":"..."}]}
+//   {"verb":"stats"}                         -> {"ok":true,"stats":{...}}
+//   {"verb":"shutdown"}                      -> {"ok":true} then the
+//                                               listener stops
+//
+// Any malformed line yields {"ok":false,"error":"..."}; the connection
+// stays open (clients may pipeline many requests per connection).  Each
+// accepted connection is handled on its own thread; simulation work is
+// bounded by the job engine, not by the connection count.
+//
+// The server records wall-clock service latency per request (parse ->
+// response ready) in a fixed-size reservoir and reports p50/p95 via
+// `stats` — the observable difference between a cold simulation and a
+// cache hit.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/job_engine.hpp"
+
+namespace lb::service {
+
+struct ServerOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see Server::port()
+  JobEngineOptions engine;
+};
+
+class Server {
+public:
+  /// Binds + listens on 127.0.0.1 immediately (throws std::runtime_error
+  /// on socket failure) but does not accept until serve()/start().
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves ephemeral port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocking accept loop; returns after a `shutdown` verb or stop().
+  void serve();
+
+  /// serve() on a background thread (for in-process tests).
+  void start();
+
+  /// Stops the accept loop from another thread and joins connections.
+  void stop();
+
+  /// Handles one already-parsed request (exposed for protocol tests; the
+  /// socket layer is a thin line-framing wrapper around this).
+  std::string handleRequest(const std::string& line);
+
+  JobEngine& engine() { return engine_; }
+
+private:
+  void handleConnection(int fd);
+  void pokeListener();
+  void recordLatency(double micros);
+  Json statsJson();
+
+  ServerOptions options_;
+  JobEngine engine_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+
+  std::mutex latency_mutex_;
+  std::vector<double> latency_reservoir_;  ///< ring buffer, micros
+  std::size_t latency_next_ = 0;
+  std::uint64_t latency_count_ = 0;
+
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::thread serve_thread_;
+};
+
+}  // namespace lb::service

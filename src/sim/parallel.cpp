@@ -1,5 +1,7 @@
 #include "sim/parallel.hpp"
 
+#include <thread>
+
 namespace lb::sim {
 
 std::size_t defaultWorkerCount(std::size_t jobs) {

@@ -4,8 +4,9 @@
 // Experiment grids (24 permutations x 100k cycles, 10-seed replications,
 // ...) are embarrassingly parallel: every simulation owns its kernel, bus,
 // and RNGs, with no shared mutable state.  parallelMap runs an indexed job
-// over a thread pool and returns results in index order, so sweeps remain
-// bit-identical to their sequential runs regardless of thread count.
+// over the persistent process-wide ThreadPool and returns results in index
+// order, so sweeps remain bit-identical to their sequential runs regardless
+// of thread count.
 //
 //   auto rows = sim::parallelMap<Row>(24, [&](std::size_t i) {
 //     return simulatePermutation(i);   // pure function of i
@@ -13,14 +14,23 @@
 //
 // Exceptions thrown by jobs are captured and rethrown on the caller's
 // thread (first failing index wins).
+//
+// Workers are `runner` closures pulling indices from a shared counter; they
+// are posted to ThreadPool::shared() instead of spawning threads, and the
+// calling thread runs one runner inline, which both contributes work and
+// guarantees forward progress even when the pool is saturated by other
+// callers.  Calls made *from* a pool worker degrade to a sequential loop so
+// nested parallelism cannot deadlock the pool.
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <mutex>
-#include <thread>
 #include <vector>
+
+#include "sim/thread_pool.hpp"
 
 namespace lb::sim {
 
@@ -28,9 +38,10 @@ namespace lb::sim {
 /// clamped to [1, jobs].
 std::size_t defaultWorkerCount(std::size_t jobs);
 
-/// Runs `fn(0..jobs-1)` across a thread pool; returns results in index
-/// order.  `threads == 0` picks defaultWorkerCount(jobs); `threads == 1`
-/// degenerates to a plain sequential loop (useful under debuggers).
+/// Runs `fn(0..jobs-1)` across the shared thread pool; returns results in
+/// index order.  `threads == 0` picks defaultWorkerCount(jobs);
+/// `threads == 1` degenerates to a plain sequential loop (useful under
+/// debuggers).
 template <typename Result>
 std::vector<Result> parallelMap(std::size_t jobs,
                                 const std::function<Result(std::size_t)>& fn,
@@ -40,17 +51,19 @@ std::vector<Result> parallelMap(std::size_t jobs,
   const std::size_t workers =
       threads == 0 ? defaultWorkerCount(jobs) : std::min(threads, jobs);
 
-  if (workers <= 1) {
+  if (workers <= 1 || ThreadPool::onPoolThread()) {
     for (std::size_t i = 0; i < jobs; ++i) results[i] = fn(i);
     return results;
   }
 
   std::mutex mutex;
+  std::condition_variable done_cv;
   std::size_t next = 0;
+  std::size_t runners_live = 0;
   std::exception_ptr first_error;
   std::size_t first_error_index = jobs;
 
-  auto worker = [&] {
+  auto runner = [&] {
     for (;;) {
       std::size_t index;
       {
@@ -71,10 +84,22 @@ std::vector<Result> parallelMap(std::size_t jobs,
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (std::thread& thread : pool) thread.join();
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t posted = workers - 1;  // caller thread is runner #0
+  runners_live = posted;
+  for (std::size_t w = 0; w < posted; ++w) {
+    pool.post([&] {
+      runner();
+      std::lock_guard<std::mutex> lock(mutex);
+      if (--runners_live == 0) done_cv.notify_all();
+    });
+  }
+  runner();
+  {
+    // Posted runners reference this frame; wait for every one to finish.
+    std::unique_lock<std::mutex> lock(mutex);
+    done_cv.wait(lock, [&] { return runners_live == 0; });
+  }
   if (first_error) std::rethrow_exception(first_error);
   return results;
 }

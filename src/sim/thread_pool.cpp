@@ -1,0 +1,64 @@
+#include "sim/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace lb::sim {
+
+namespace {
+thread_local bool t_on_pool_thread = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = std::max<std::size_t>(1, threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+std::size_t ThreadPool::queuedTasks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+void ThreadPool::workerLoop() {
+  t_on_pool_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(std::thread::hardware_concurrency() == 0
+                             ? 2
+                             : std::thread::hardware_concurrency());
+  return pool;
+}
+
+bool ThreadPool::onPoolThread() { return t_on_pool_thread; }
+
+}  // namespace lb::sim

@@ -1,0 +1,69 @@
+#pragma once
+// Persistent worker-thread pool.
+//
+// The original sim::parallelMap spawned (and joined) a fresh std::thread per
+// worker on every call, which is fine for one 24-permutation sweep but adds
+// milliseconds of thread churn once sweeps are issued continuously by the
+// lbserve job engine.  ThreadPool keeps the workers alive: tasks are posted
+// to an internal FIFO and executed by the next free worker.
+//
+// Two consumers:
+//   - sim::parallelMap posts its index-pulling runners here instead of
+//     spawning threads (see parallel.hpp);
+//   - service::JobEngine posts long-running queue consumers here.
+//
+// A process-wide pool (ThreadPool::shared()) is created lazily with
+// hardware_concurrency() workers.  Code running *on* a pool worker can check
+// ThreadPool::onPoolThread() and fall back to sequential execution instead
+// of posting nested work, which avoids self-deadlock.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lb::sim {
+
+class ThreadPool {
+public:
+  /// Starts `threads` workers immediately (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Finishes all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the queue is unbounded (bounding is the job engine's
+  /// responsibility).  Must not be called after destruction has begun.
+  void post(std::function<void()> task);
+
+  std::size_t threadCount() const { return workers_.size(); }
+
+  /// Tasks waiting for a worker (excludes tasks currently running).
+  std::size_t queuedTasks() const;
+
+  /// Process-wide pool sized to hardware_concurrency(); created on first
+  /// use, joined at exit.
+  static ThreadPool& shared();
+
+  /// True when the calling thread is a worker of *any* ThreadPool.  Used by
+  /// parallelMap to degrade to sequential execution instead of deadlocking
+  /// on nested parallelism.
+  static bool onPoolThread();
+
+private:
+  void workerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lb::sim

@@ -1,0 +1,161 @@
+// Loopback tests for the lbd wire protocol: an in-process Server on an
+// ephemeral port exercised through the real Client socket path, plus
+// protocol-level tests against Server::handleRequest directly (no socket).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/scenario.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using namespace lb;
+using service::Json;
+using service::Scenario;
+
+service::ServerOptions testOptions() {
+  service::ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.engine.workers = 2;
+  options.engine.queue_depth = 8;
+  options.engine.cache_capacity = 64;
+  return options;
+}
+
+Json smallScenarioJson(std::uint64_t seed) {
+  Scenario scenario;
+  scenario.cycles = 15000;
+  scenario.seed = seed;
+  return service::toJson(scenario);
+}
+
+TEST(ServerProtocolTest, RunVerbMatchesLocalExecution) {
+  service::Server server(testOptions());
+  Json request = Json::object();
+  request.set("verb", Json("run")).set("scenario", smallScenarioJson(7));
+  const Json response = Json::parse(server.handleRequest(request.dump()));
+  ASSERT_TRUE(response.at("ok").asBool());
+  EXPECT_FALSE(response.at("cached").asBool());
+
+  Scenario scenario;
+  scenario.cycles = 15000;
+  scenario.seed = 7;
+  EXPECT_EQ(service::resultFromJson(response.at("result")),
+            service::runScenario(scenario));
+  EXPECT_EQ(response.at("hash").asString(),
+            service::scenarioHashHex(scenario));
+
+  // Identical request again: served from the cache, same payload.
+  const Json again = Json::parse(server.handleRequest(request.dump()));
+  ASSERT_TRUE(again.at("ok").asBool());
+  EXPECT_TRUE(again.at("cached").asBool());
+  EXPECT_EQ(again.at("result").dump(), response.at("result").dump());
+}
+
+TEST(ServerProtocolTest, MalformedRequestsReportErrors) {
+  service::Server server(testOptions());
+  const char* bad[] = {
+      "not json at all",
+      R"({"noverb":1})",
+      R"({"verb":"frobnicate"})",
+      R"({"verb":"run"})",                                  // missing scenario
+      R"({"verb":"run","scenario":{"arbiter":"quantum"}})",  // bad scenario
+      R"({"verb":"sweep","scenarios":{}})",                  // wrong type
+  };
+  for (const char* line : bad) {
+    const Json response = Json::parse(server.handleRequest(line));
+    EXPECT_FALSE(response.at("ok").asBool()) << line;
+    EXPECT_FALSE(response.at("error").asString().empty()) << line;
+  }
+  // Protocol failures never kill the server; stats still work.
+  const Json stats = Json::parse(server.handleRequest(R"({"verb":"stats"})"));
+  EXPECT_TRUE(stats.at("ok").asBool());
+  EXPECT_GE(stats.at("stats").at("protocol_errors").asUint64(), 6u);
+}
+
+TEST(ServerLoopbackTest, EndToEndRunSweepStatsShutdown) {
+  service::Server server(testOptions());
+  server.start();
+
+  {
+    service::Client client(server.port());
+
+    // Cold run, then warm run of the same scenario.
+    const Json cold = client.run(smallScenarioJson(3));
+    ASSERT_TRUE(cold.at("ok").asBool());
+    EXPECT_FALSE(cold.at("cached").asBool());
+    const Json warm = client.run(smallScenarioJson(3));
+    ASSERT_TRUE(warm.at("ok").asBool());
+    EXPECT_TRUE(warm.at("cached").asBool());
+    EXPECT_EQ(warm.at("result").dump(), cold.at("result").dump());
+
+    // Sweep over four seeds, twice: second pass is all cache hits.
+    Json scenarios = Json::array();
+    for (std::uint64_t seed = 10; seed < 14; ++seed)
+      scenarios.push(smallScenarioJson(seed));
+    const Json sweep_cold = client.sweep(scenarios);
+    ASSERT_TRUE(sweep_cold.at("ok").asBool());
+    ASSERT_EQ(sweep_cold.at("results").size(), 4u);
+    const Json sweep_warm = client.sweep(scenarios);
+    for (const Json& entry : sweep_warm.at("results").asArray()) {
+      ASSERT_TRUE(entry.at("ok").asBool());
+      EXPECT_TRUE(entry.at("cached").asBool());
+    }
+
+    // Stats reflect the traffic: hits present, latency percentiles nonzero.
+    const Json stats = client.stats().at("stats");
+    EXPECT_GE(stats.at("hits").asUint64(), 5u);  // 1 warm run + 4 warm sweep
+    EXPECT_GE(stats.at("misses").asUint64(), 5u);
+    EXPECT_GT(stats.at("p50_us").asDouble(), 0.0);
+    EXPECT_GT(stats.at("p95_us").asDouble(), 0.0);
+    EXPECT_GE(stats.at("requests").asUint64(), 5u);
+
+    const Json bye = client.shutdown();
+    EXPECT_TRUE(bye.at("ok").asBool());
+  }
+
+  server.stop();  // joins the serve thread; must not hang
+}
+
+TEST(ServerLoopbackTest, ManyClientsShareTheCache) {
+  service::Server server(testOptions());
+  server.start();
+
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < 6; ++t) {
+    clients.emplace_back([&server, &ok] {
+      service::Client client(server.port());
+      const Json response = client.run(smallScenarioJson(42));
+      if (response.at("ok").asBool()) ++ok;
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(ok.load(), 6);
+
+  // Six identical scenarios: exactly one simulation ran; everyone else hit
+  // the cache or coalesced onto the in-flight job.
+  const auto stats = server.engine().stats();
+  EXPECT_EQ(stats.completed, 1u);
+  server.stop();
+}
+
+TEST(ServerLoopbackTest, PipelinedRequestsOnOneConnection) {
+  service::Server server(testOptions());
+  server.start();
+  {
+    service::Client client(server.port());
+    for (int i = 0; i < 3; ++i) {
+      const Json stats = client.stats();
+      ASSERT_TRUE(stats.at("ok").asBool());
+    }
+  }
+  server.stop();
+}
+
+}  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <set>
 #include <vector>
@@ -324,6 +325,53 @@ TEST(ParallelMapTest, WorkerCountDefaults) {
   EXPECT_GE(defaultWorkerCount(100), 1u);
   EXPECT_LE(defaultWorkerCount(2), 2u);
   EXPECT_EQ(defaultWorkerCount(1), 1u);
+}
+
+TEST(ParallelMapTest, NestedCallsDegradeToSequentialWithoutDeadlock) {
+  // A job that itself calls parallelMap must not deadlock the shared pool;
+  // inner calls run sequentially on the worker thread.
+  const auto outer = parallelMap<std::uint64_t>(8, [](std::size_t i) {
+    const auto inner = parallelMap<std::uint64_t>(
+        4, [i](std::size_t j) { return (i + 1) * (j + 1); });
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : inner) sum += v;
+    return sum;
+  });
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(outer[i], (i + 1) * 10);
+}
+
+TEST(ParallelMapTest, RepeatedCallsReuseThePersistentPool) {
+  // Regression guard for the ThreadPool refactor: many small maps in a row
+  // stay deterministic and don't leak workers.
+  for (int round = 0; round < 20; ++round) {
+    const auto results = parallelMap<std::size_t>(
+        10, [](std::size_t i) { return i + 1; });
+    for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(results[i], i + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllPostedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.threadCount(), 3u);
+    for (int i = 0; i < 100; ++i) pool.post([&count] { ++count; });
+  }  // destructor drains the queue before joining
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WorkerThreadsKnowTheyAreWorkers) {
+  EXPECT_FALSE(ThreadPool::onPoolThread());
+  std::atomic<bool> seen_on_pool{false};
+  {
+    ThreadPool pool(1);
+    pool.post([&seen_on_pool] { seen_on_pool = ThreadPool::onPoolThread(); });
+  }
+  EXPECT_TRUE(seen_on_pool.load());
 }
 
 TEST(KernelTest, EventCanScheduleAnotherEvent) {
