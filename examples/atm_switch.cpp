@@ -8,10 +8,16 @@
 #include <iostream>
 
 #include "atm/scenario.hpp"
+#include "service/parse.hpp"
 #include "stats/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lb;
+
+  // No tunables — OptionSet still provides --help and strict flag
+  // rejection consistent with the other example binaries.
+  service::OptionSet options("atm_switch", "4-port ATM switch case study (paper Section 5.3)");
+  if (const int rc = options.parse(argc, argv); rc >= 0) return rc;
 
   std::cout << "4-port output-queued ATM switch, QoS goals:\n"
                "  - port 4 cells forwarded with minimum latency\n"

@@ -11,11 +11,17 @@
 #include <memory>
 
 #include "core/lottery.hpp"
+#include "service/parse.hpp"
 #include "stats/table.hpp"
 #include "traffic/testbed.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lb;
+
+  // No tunables — OptionSet still provides --help and strict flag
+  // rejection consistent with the other example binaries.
+  service::OptionSet options("bandwidth_control", "lottery-ticket bandwidth dial sweep");
+  if (const int rc = options.parse(argc, argv); rc >= 0) return rc;
 
   std::cout << "Sweeping master C1's lottery tickets against three 1-ticket "
                "background masters\n(all masters saturate the bus):\n\n";

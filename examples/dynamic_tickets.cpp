@@ -15,6 +15,7 @@
 #include "bus/bus.hpp"
 #include "core/lottery.hpp"
 #include "core/ticket_policy.hpp"
+#include "service/parse.hpp"
 #include "sim/kernel.hpp"
 #include "stats/table.hpp"
 #include "traffic/generator.hpp"
@@ -86,7 +87,12 @@ Outcome run(bool use_dynamic) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+
+  // No tunables — OptionSet still provides --help and strict flag
+  // rejection consistent with the other example binaries.
+  lb::service::OptionSet options("dynamic_tickets", "static vs dynamic backlog-driven tickets");
+  if (const int rc = options.parse(argc, argv); rc >= 0) return rc;
   std::cout << "A bursty DSP against three steady CPUs — static over-weight "
                "vs dynamic backlog tickets:\n\n";
 

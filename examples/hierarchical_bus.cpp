@@ -22,13 +22,19 @@
 #include "bus/bridge.hpp"
 #include "bus/bus.hpp"
 #include "core/lottery.hpp"
+#include "service/parse.hpp"
 #include "sim/kernel.hpp"
 #include "stats/table.hpp"
 #include "traffic/generator.hpp"
 #include "traffic/testbed.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lb;
+
+  // No tunables — OptionSet still provides --help and strict flag
+  // rejection consistent with the other example binaries.
+  service::OptionSet options("hierarchical_bus", "LOTTERYBUS bridged into a priority peripheral bus");
+  if (const int rc = options.parse(argc, argv); rc >= 0) return rc;
 
   // --- system bus: 4 CPUs, lottery arbitration ------------------------------
   bus::BusConfig system_config = traffic::defaultBusConfig(4);

@@ -3,16 +3,22 @@
 //   ./build/examples/lbcli --port 4817 run --arbiter lottery --tickets 1,2,3,4
 //   ./build/examples/lbcli --port 4817 sweep --class T2 --seeds 10
 //   ./build/examples/lbcli --port 4817 stats
+//   ./build/examples/lbcli --port 4817 metrics | grep lb_server
 //   ./build/examples/lbcli --port 4817 shutdown
 //
 // `run` accepts exactly the scenario flags lbsim takes and prints the same
 // report from the daemon's response — same seed, byte-identical stdout —
 // while cache/latency metadata goes to stderr.  `sweep` expands --seeds N
 // into N scenarios (seed, seed+1, ...) submitted as one request; rerunning
-// it is served from the daemon's result cache.
+// it is served from the daemon's result cache.  `metrics` prints the
+// daemon's Prometheus text exposition verbatim, ready to pipe into
+// promtool or a node_exporter textfile collector.
+//
+// Every response is checked for the wire protocol version ("v": 1); a
+// daemon speaking a different protocol is reported as an error rather
+// than mis-parsed.
 
 #include <iostream>
-#include <sstream>
 #include <string>
 
 #include "service/client.hpp"
@@ -24,30 +30,6 @@
 namespace {
 
 using namespace lb;
-
-void usage() {
-  std::cout <<
-      "lbcli — LOTTERYBUS daemon client\n"
-      "  lbcli [--port N] run [scenario flags] [--csv] [--json]\n"
-      "  lbcli [--port N] sweep [scenario flags] [--seeds N] [--csv]\n"
-      "  lbcli [--port N] stats\n"
-      "  lbcli [--port N] shutdown\n"
-      "scenario flags (same as lbsim):\n"
-      "  --arbiter X    lottery | lottery-dynamic | priority | tdma | rr |\n"
-      "                 wrr | token | random | fcfs        (default lottery)\n"
-      "  --tickets L    comma list, also accepted as --weights / --priorities\n"
-      "  --class TN     traffic class T1..T9               (default T2)\n"
-      "  --masters N    number of bus masters              (default 4)\n"
-      "  --cycles N     simulation length                  (default 200000)\n"
-      "  --burst N      maximum burst words                (default 16)\n"
-      "  --seed N       RNG seed                           (default 7)\n"
-      "  --lfsr         use the hardware LFSR lottery variant\n"
-      "other:\n"
-      "  --port N       daemon port                        (default 4817)\n"
-      "  --seeds N      sweep: seeds seed..seed+N-1        (default 8)\n"
-      "  --csv          emit CSV instead of an ASCII table\n"
-      "  --json         run: print the raw response document\n";
-}
 
 int failProtocol(const service::Json& response) {
   const service::Json* error = response.find("error");
@@ -67,59 +49,65 @@ int main(int argc, char** argv) {
   bool csv = false;
   bool raw_json = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> std::string {
-      if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
-      return argv[++i];
-    };
-    try {
-      if (arg == "--help" || arg == "-h") {
-        usage();
-        return 0;
-      } else if (arg == "--port") {
-        port = static_cast<std::uint16_t>(
-            service::parseU64InRange(arg, value(), 1, 65535));
-      } else if (arg == "--arbiter") {
-        scenario.arbiter = value();
-      } else if (arg == "--tickets" || arg == "--weights" ||
-                 arg == "--priorities") {
-        scenario.weights = service::parseU32List(arg, value());
-      } else if (arg == "--class") {
-        scenario.traffic_class = value();
-      } else if (arg == "--masters") {
-        scenario.masters = service::parseU64InRange(arg, value(), 1, 1 << 16);
-      } else if (arg == "--cycles") {
-        scenario.cycles = service::parseU64(arg, value());
-      } else if (arg == "--burst") {
-        scenario.burst = service::parseU32(arg, value());
-      } else if (arg == "--seed") {
-        scenario.seed = service::parseU64(arg, value());
-      } else if (arg == "--seeds") {
-        sweep_seeds = service::parseU64InRange(arg, value(), 1, 100000);
-      } else if (arg == "--lfsr") {
-        scenario.lfsr = true;
-      } else if (arg == "--csv") {
-        csv = true;
-      } else if (arg == "--json") {
-        raw_json = true;
-      } else if (!arg.empty() && arg[0] != '-' && verb.empty()) {
-        verb = arg;
-      } else {
-        std::cerr << "error: unknown option " << arg << "\n";
-        usage();
-        return 2;
-      }
-    } catch (const std::exception& e) {
-      std::cerr << "error: " << e.what() << "\n";
-      usage();
-      return 2;
-    }
-  }
+  service::OptionSet options("lbcli", "LOTTERYBUS daemon client");
+  options
+      .positional("VERB", "run | sweep | stats | metrics | shutdown",
+                  [&](const std::string& v) {
+                    if (!verb.empty())
+                      throw std::invalid_argument("more than one verb given (\"" +
+                                                  verb + "\" and \"" + v + "\")");
+                    verb = v;
+                  })
+      .value({"--port"}, "N", "daemon port (default 4817)",
+             [&](const std::string& opt, const std::string& v) {
+               port = static_cast<std::uint16_t>(
+                   service::parseU64InRange(opt, v, 1, 65535));
+             })
+      .value({"--arbiter"}, "X",
+             "lottery | lottery-dynamic | priority | tdma | rr |\n"
+             "wrr | token | random | fcfs        (default lottery)",
+             [&](const std::string&, const std::string& v) {
+               scenario.arbiter = v;
+             })
+      .value({"--tickets", "--weights", "--priorities"}, "L",
+             "comma list of per-master weights",
+             [&](const std::string& opt, const std::string& v) {
+               scenario.weights = service::parseU32List(opt, v);
+             })
+      .value({"--class"}, "TN", "traffic class T1..T9 (default T2)",
+             [&](const std::string&, const std::string& v) {
+               scenario.traffic_class = v;
+             })
+      .value({"--masters"}, "N", "number of bus masters (default 4)",
+             [&](const std::string& opt, const std::string& v) {
+               scenario.masters = service::parseU64InRange(opt, v, 1, 1 << 16);
+             })
+      .value({"--cycles"}, "N", "simulation length (default 200000)",
+             [&](const std::string& opt, const std::string& v) {
+               scenario.cycles = service::parseU64(opt, v);
+             })
+      .value({"--burst"}, "N", "maximum burst words (default 16)",
+             [&](const std::string& opt, const std::string& v) {
+               scenario.burst = service::parseU32(opt, v);
+             })
+      .value({"--seed"}, "N", "RNG seed (default 7)",
+             [&](const std::string& opt, const std::string& v) {
+               scenario.seed = service::parseU64(opt, v);
+             })
+      .value({"--seeds"}, "N", "sweep: seeds seed..seed+N-1 (default 8)",
+             [&](const std::string& opt, const std::string& v) {
+               sweep_seeds = service::parseU64InRange(opt, v, 1, 100000);
+             })
+      .flag({"--lfsr"}, "use the hardware LFSR lottery variant",
+            &scenario.lfsr)
+      .flag({"--csv"}, "emit CSV instead of an ASCII table", &csv)
+      .flag({"--json"}, "run: print the raw response document", &raw_json);
+  if (const int rc = options.parse(argc, argv); rc >= 0) return rc;
 
   if (verb.empty()) {
-    std::cerr << "error: no verb given (run | sweep | stats | shutdown)\n";
-    usage();
+    std::cerr << "error: no verb given (run | sweep | stats | metrics |"
+                 " shutdown)\n";
+    options.printUsage(std::cerr);
     return 2;
   }
 
@@ -196,6 +184,14 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (verb == "metrics") {
+      const service::Json response = client.metrics();
+      if (!response.at("ok").asBool()) return failProtocol(response);
+      // Already newline-terminated Prometheus text; print verbatim.
+      std::cout << response.at("metrics").asString();
+      return 0;
+    }
+
     if (verb == "shutdown") {
       const service::Json response = client.shutdown();
       if (!response.at("ok").asBool()) return failProtocol(response);
@@ -204,7 +200,7 @@ int main(int argc, char** argv) {
     }
 
     std::cerr << "error: unknown verb \"" << verb << "\"\n";
-    usage();
+    options.printUsage(std::cerr);
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,10 +1,12 @@
 // lbd — the lbserve daemon.
 //
 // Turns the simulator into a long-running service: listens on loopback,
-// accepts newline-delimited JSON requests (run / sweep / stats /
+// accepts newline-delimited JSON requests (run / sweep / stats / metrics /
 // shutdown), executes scenarios on a persistent worker pool behind a
 // bounded job queue, and serves repeated scenarios from a
-// content-addressed result cache.
+// content-addressed result cache.  Every response carries the wire
+// protocol version ("v": 1); the `metrics` verb exposes the process
+// metrics registry as Prometheus text.
 //
 //   ./build/examples/lbd --port 4817
 //   ./build/examples/lbd --port 0 --cache-dir build/lbd-cache  # ephemeral
@@ -18,66 +20,50 @@
 #include "service/parse.hpp"
 #include "service/server.hpp"
 
-namespace {
-
-void usage() {
-  std::cout <<
-      "lbd — LOTTERYBUS simulation daemon\n"
-      "  --port N            TCP port on 127.0.0.1; 0 = ephemeral (default 4817)\n"
-      "  --threads N         simulation workers       (default: hardware)\n"
-      "  --queue-depth N     bounded job-queue length (default 64)\n"
-      "  --timeout-ms N      per-job wait budget      (default 60000)\n"
-      "  --cache-capacity N  in-memory result entries (default 1024)\n"
-      "  --cache-dir DIR     persist results as <hash>.json under DIR\n";
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace lb;
 
-  service::ServerOptions options;
-  options.port = 4817;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> std::string {
-      if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
-      return argv[++i];
-    };
-    try {
-      if (arg == "--help" || arg == "-h") {
-        usage();
-        return 0;
-      } else if (arg == "--port") {
-        options.port = static_cast<std::uint16_t>(
-            service::parseU64InRange(arg, value(), 0, 65535));
-      } else if (arg == "--threads") {
-        options.engine.workers = service::parseU64InRange(arg, value(), 1, 4096);
-      } else if (arg == "--queue-depth") {
-        options.engine.queue_depth =
-            service::parseU64InRange(arg, value(), 1, 1 << 20);
-      } else if (arg == "--timeout-ms") {
-        options.engine.timeout = std::chrono::milliseconds(
-            service::parseU64InRange(arg, value(), 1, 86400000));
-      } else if (arg == "--cache-capacity") {
-        options.engine.cache_capacity =
-            service::parseU64InRange(arg, value(), 1, 1 << 24);
-      } else if (arg == "--cache-dir") {
-        options.engine.cache_dir = value();
-      } else {
-        std::cerr << "error: unknown option " << arg << "\n";
-        usage();
-        return 2;
-      }
-    } catch (const std::exception& e) {
-      std::cerr << "error: " << e.what() << "\n";
-      usage();
-      return 2;
-    }
-  }
+  service::ServerOptions server_options;
+  server_options.port = 4817;
+
+  service::OptionSet options("lbd", "LOTTERYBUS simulation daemon");
+  options
+      .value({"--port"}, "N",
+             "TCP port on 127.0.0.1; 0 = ephemeral (default 4817)",
+             [&](const std::string& opt, const std::string& v) {
+               server_options.port = static_cast<std::uint16_t>(
+                   service::parseU64InRange(opt, v, 0, 65535));
+             })
+      .value({"--threads"}, "N", "simulation workers (default: hardware)",
+             [&](const std::string& opt, const std::string& v) {
+               server_options.engine.workers =
+                   service::parseU64InRange(opt, v, 1, 4096);
+             })
+      .value({"--queue-depth"}, "N", "bounded job-queue length (default 64)",
+             [&](const std::string& opt, const std::string& v) {
+               server_options.engine.queue_depth =
+                   service::parseU64InRange(opt, v, 1, 1 << 20);
+             })
+      .value({"--timeout-ms"}, "N", "per-job wait budget (default 60000)",
+             [&](const std::string& opt, const std::string& v) {
+               server_options.engine.timeout = std::chrono::milliseconds(
+                   service::parseU64InRange(opt, v, 1, 86400000));
+             })
+      .value({"--cache-capacity"}, "N",
+             "in-memory result entries (default 1024)",
+             [&](const std::string& opt, const std::string& v) {
+               server_options.engine.cache_capacity =
+                   service::parseU64InRange(opt, v, 1, 1 << 24);
+             })
+      .value({"--cache-dir"}, "DIR",
+             "persist results as <hash>.json under DIR",
+             [&](const std::string&, const std::string& v) {
+               server_options.engine.cache_dir = v;
+             });
+  if (const int rc = options.parse(argc, argv); rc >= 0) return rc;
 
   try {
-    service::Server server(options);
+    service::Server server(server_options);
     std::cout << "lbd listening on 127.0.0.1:" << server.port() << std::endl;
     server.serve();
     std::cout << "lbd stopped\n";

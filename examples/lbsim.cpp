@@ -6,6 +6,7 @@
 //   ./build/examples/lbsim --arbiter tdma --weights 1,2,3,4 --class T6
 //   ./build/examples/lbsim --arbiter priority --class T2 --cycles 500000
 //   ./build/examples/lbsim --arbiter wrr --weights 5,1,1,1 --burst 32
+//   ./build/examples/lbsim --trace-out grants.json   # chrome://tracing
 //   ./build/examples/lbsim --help
 //
 // Prints the paper's two metrics (bandwidth fractions, cycles/word) for the
@@ -14,13 +15,15 @@
 // The command line builds a service::Scenario and runs it through the same
 // service::runScenario path the lbd daemon uses, so
 // `lbsim <flags>` and `lbcli run <flags>` print byte-identical reports.
-// Option values are parsed with the strict service::parse* helpers: junk
-// like `--masters x` gets a one-line error + usage and exit code 2, never
-// an uncaught std::invalid_argument.
+// Options are declared on a service::OptionSet: junk like `--masters x`
+// gets a one-line error + usage and exit code 2, never an uncaught
+// std::invalid_argument.
 
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "service/parse.hpp"
 #include "service/report.hpp"
 #include "service/scenario.hpp"
@@ -30,21 +33,25 @@ namespace {
 
 using namespace lb;
 
-void usage() {
-  std::cout <<
-      "lbsim — LOTTERYBUS experiment driver\n"
-      "  --arbiter X    lottery | lottery-dynamic | priority | tdma | rr |\n"
-      "                 wrr | token | random | fcfs        (default lottery)\n"
-      "  --tickets L    comma list, also accepted as --weights / --priorities\n"
-      "  --class TN     traffic class T1..T9               (default T2)\n"
-      "  --masters N    number of bus masters              (default 4)\n"
-      "  --cycles N     simulation length                  (default 200000)\n"
-      "  --burst N      maximum burst words                (default 16)\n"
-      "  --seed N       RNG seed                           (default 7)\n"
-      "  --lfsr         use the hardware LFSR lottery variant\n"
-      "  --csv          emit CSV instead of an ASCII table\n"
-      "  --compare      run ALL architectures on the same traffic and print\n"
-      "                 one summary row per (architecture, master)\n";
+/// Renders executed grants as Chrome trace_event JSON: one lane per master,
+/// one complete event per grant, one simulated cycle per microsecond.
+void writeChromeTrace(std::ostream& out, const service::Scenario& scenario,
+                      const std::vector<bus::GrantRecord>& grants) {
+  obs::TraceRecorder recorder;
+  recorder.setProcessName(0, "lbsim " + scenario.arbiter);
+  for (std::size_t m = 0; m < scenario.masters; ++m)
+    recorder.setThreadName(0, static_cast<std::uint32_t>(m),
+                           "master " + std::to_string(m));
+  for (const bus::GrantRecord& grant : grants) {
+    if (grant.master < 0) continue;
+    recorder.addComplete("grant", "bus",
+                         /*pid=*/0,
+                         /*tid=*/static_cast<std::uint32_t>(grant.master),
+                         /*ts_us=*/static_cast<double>(grant.start),
+                         /*dur_us=*/static_cast<double>(grant.words),
+                         {{"words", static_cast<double>(grant.words)}});
+  }
+  recorder.writeJson(out);
 }
 
 }  // namespace
@@ -53,49 +60,53 @@ int main(int argc, char** argv) {
   service::Scenario scenario;
   bool csv = false;
   bool compare = false;
+  std::string trace_out;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> std::string {
-      if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
-      return argv[++i];
-    };
-    try {
-      if (arg == "--help" || arg == "-h") {
-        usage();
-        return 0;
-      } else if (arg == "--arbiter") {
-        scenario.arbiter = value();
-      } else if (arg == "--tickets" || arg == "--weights" ||
-                 arg == "--priorities") {
-        scenario.weights = service::parseU32List(arg, value());
-      } else if (arg == "--class") {
-        scenario.traffic_class = value();
-      } else if (arg == "--masters") {
-        scenario.masters = service::parseU64InRange(arg, value(), 1, 1 << 16);
-      } else if (arg == "--cycles") {
-        scenario.cycles = service::parseU64(arg, value());
-      } else if (arg == "--burst") {
-        scenario.burst = service::parseU32(arg, value());
-      } else if (arg == "--seed") {
-        scenario.seed = service::parseU64(arg, value());
-      } else if (arg == "--lfsr") {
-        scenario.lfsr = true;
-      } else if (arg == "--csv") {
-        csv = true;
-      } else if (arg == "--compare") {
-        compare = true;
-      } else {
-        std::cerr << "error: unknown option " << arg << "\n";
-        usage();
-        return 2;
-      }
-    } catch (const std::exception& e) {
-      std::cerr << "error: " << e.what() << "\n";
-      usage();
-      return 2;
-    }
-  }
+  service::OptionSet options("lbsim", "LOTTERYBUS experiment driver");
+  options
+      .value({"--arbiter"}, "X",
+             "lottery | lottery-dynamic | priority | tdma | rr |\n"
+             "wrr | token | random | fcfs        (default lottery)",
+             [&](const std::string&, const std::string& v) {
+               scenario.arbiter = v;
+             })
+      .value({"--tickets", "--weights", "--priorities"}, "L",
+             "comma list of per-master weights",
+             [&](const std::string& opt, const std::string& v) {
+               scenario.weights = service::parseU32List(opt, v);
+             })
+      .value({"--class"}, "TN", "traffic class T1..T9 (default T2)",
+             [&](const std::string&, const std::string& v) {
+               scenario.traffic_class = v;
+             })
+      .value({"--masters"}, "N", "number of bus masters (default 4)",
+             [&](const std::string& opt, const std::string& v) {
+               scenario.masters = service::parseU64InRange(opt, v, 1, 1 << 16);
+             })
+      .value({"--cycles"}, "N", "simulation length (default 200000)",
+             [&](const std::string& opt, const std::string& v) {
+               scenario.cycles = service::parseU64(opt, v);
+             })
+      .value({"--burst"}, "N", "maximum burst words (default 16)",
+             [&](const std::string& opt, const std::string& v) {
+               scenario.burst = service::parseU32(opt, v);
+             })
+      .value({"--seed"}, "N", "RNG seed (default 7)",
+             [&](const std::string& opt, const std::string& v) {
+               scenario.seed = service::parseU64(opt, v);
+             })
+      .flag({"--lfsr"}, "use the hardware LFSR lottery variant",
+            &scenario.lfsr)
+      .flag({"--csv"}, "emit CSV instead of an ASCII table", &csv)
+      .flag({"--compare"},
+            "run ALL architectures on the same traffic and print\n"
+            "one summary row per (architecture, master)",
+            &compare)
+      .value({"--trace-out"}, "FILE",
+             "write executed grants as Chrome trace_event JSON\n"
+             "(load in chrome://tracing or ui.perfetto.dev)",
+             [&](const std::string&, const std::string& v) { trace_out = v; });
+  if (const int rc = options.parse(argc, argv); rc >= 0) return rc;
 
   try {
     scenario = service::normalized(scenario);
@@ -118,8 +129,19 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const auto result = service::runScenario(scenario);
+    std::vector<bus::GrantRecord> grants;
+    service::RunOptions run_options;
+    if (!trace_out.empty()) run_options.capture_trace = &grants;
+    const auto result = service::runScenario(scenario, run_options);
     service::writeResultReport(std::cout, scenario, result, csv);
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out, std::ios::trunc);
+      if (!out)
+        throw std::runtime_error("cannot open --trace-out file " + trace_out);
+      writeChromeTrace(out, scenario, grants);
+      std::cerr << "wrote " << grants.size() << " grant spans to " << trace_out
+                << "\n";
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -26,6 +26,7 @@
 #include "arbiters/tdma.hpp"
 #include "bus/bus.hpp"
 #include "core/lottery.hpp"
+#include "service/parse.hpp"
 #include "sim/kernel.hpp"
 #include "stats/table.hpp"
 #include "traffic/trace_source.hpp"
@@ -116,7 +117,12 @@ Outcome run(std::unique_ptr<bus::IArbiter> arbiter) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+
+  // No tunables — OptionSet still provides --help and strict flag
+  // rejection consistent with the other example binaries.
+  lb::service::OptionSet options("mpeg_pipeline", "trace-driven MPEG decode pipeline comparison");
+  if (const int rc = options.parse(argc, argv); rc >= 0) return rc;
   std::cout << "MPEG decode pipeline (trace-driven), " << kFrames
             << " frames, display deadline " << kLineDeadline
             << " cycles per " << kLineWords << "-word line refill:\n\n";

@@ -12,11 +12,17 @@
 #include <iostream>
 
 #include "advisor/advisor.hpp"
+#include "service/parse.hpp"
 #include "stats/table.hpp"
 #include "traffic/testbed.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lb;
+
+  // No tunables — OptionSet still provides --help and strict flag
+  // rejection consistent with the other example binaries.
+  service::OptionSet options("qos_advisor", "derive and validate architectures from QoS goals");
+  if (const int rc = options.parse(argc, argv); rc >= 0) return rc;
 
   // The system: CPU + GPU backlogged, NIC owed bandwidth, display engine
   // latency-critical with one outstanding request at a time.

@@ -9,11 +9,17 @@
 #include <memory>
 
 #include "core/lottery.hpp"
+#include "service/parse.hpp"
 #include "stats/table.hpp"
 #include "traffic/testbed.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lb;
+
+  // No tunables — OptionSet still provides --help and strict flag
+  // rejection consistent with the other example binaries.
+  service::OptionSet options("quickstart", "saturated LOTTERYBUS with static tickets 1:2:3:4");
+  if (const int rc = options.parse(argc, argv); rc >= 0) return rc;
 
   // 1. Describe the bus: 4 masters, bursts capped at 16 words, pipelined
   //    arbitration (the library's defaults, spelled out here).

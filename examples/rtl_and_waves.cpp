@@ -24,27 +24,22 @@
 #include "bus/waveform.hpp"
 #include "core/lottery.hpp"
 #include "hw/verilog_export.hpp"
+#include "service/parse.hpp"
 #include "sim/kernel.hpp"
 #include "traffic/generator.hpp"
 
 int main(int argc, char** argv) {
   using namespace lb;
   std::string out_dir = "build/rtl_and_waves";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--out-dir" && i + 1 < argc) {
-      out_dir = argv[++i];
-    } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: rtl_and_waves [--out-dir DIR]   (default "
-                   "build/rtl_and_waves)\n";
-      return 0;
-    } else if (!arg.empty() && arg[0] != '-') {
-      out_dir = arg;  // legacy positional form
-    } else {
-      std::cerr << "error: unknown option " << arg << "\n";
-      return 2;
-    }
-  }
+  service::OptionSet options("rtl_and_waves",
+                             "Verilog + VCD + ASCII waveform export");
+  options
+      .positional("DIR", "legacy form of --out-dir",
+                  [&](const std::string& v) { out_dir = v; })
+      .value({"--out-dir"}, "DIR",
+             "artifact directory (default build/rtl_and_waves)",
+             [&](const std::string&, const std::string& v) { out_dir = v; });
+  if (const int rc = options.parse(argc, argv); rc >= 0) return rc;
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
   if (ec) {

@@ -62,7 +62,17 @@ P95="$(awk -F': ' '$1 == "p95_us" {print $2}' "$WORK/stats.out")"
 awk -v v="$P50" 'BEGIN { exit !(v > 0) }' || { echo "smoke_lbserve: p50_us not positive: '$P50'"; exit 1; }
 awk -v v="$P95" 'BEGIN { exit !(v > 0) }' || { echo "smoke_lbserve: p95_us not positive: '$P95'"; exit 1; }
 
-# 5. Clean shutdown.
+# 5. Metrics: the Prometheus scrape parses and the request counter is live.
+"$LBCLI" --port "$PORT" metrics > "$WORK/metrics.out"
+grep -q '^# TYPE lb_server_requests_total counter$' "$WORK/metrics.out" \
+  || { echo "smoke_lbserve: metrics scrape missing lb_server_requests_total TYPE line"; cat "$WORK/metrics.out"; exit 1; }
+RUNS="$(awk '$1 == "lb_server_requests_total{verb=\"run\"}" {print $2}' "$WORK/metrics.out")"
+[[ -n "$RUNS" && "$RUNS" -ge 2 ]] \
+  || { echo "smoke_lbserve: expected >=2 run requests in metrics, got '$RUNS'"; cat "$WORK/metrics.out"; exit 1; }
+grep -q '^lb_bus_grants_total' "$WORK/metrics.out" \
+  || { echo "smoke_lbserve: metrics scrape missing bus-layer counters"; exit 1; }
+
+# 6. Clean shutdown.
 "$LBCLI" --port "$PORT" shutdown > /dev/null
 for _ in $(seq 1 50); do
   kill -0 "$LBD_PID" 2>/dev/null || break
@@ -74,4 +84,4 @@ fi
 wait "$LBD_PID" 2>/dev/null || true
 LBD_PID=""
 
-echo "smoke_lbserve: OK (bit-identical run, cache hit, warm sweep, stats, shutdown)"
+echo "smoke_lbserve: OK (bit-identical run, cache hit, warm sweep, stats, metrics, shutdown)"

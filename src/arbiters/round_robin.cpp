@@ -10,8 +10,8 @@ RoundRobinArbiter::RoundRobinArbiter(std::size_t num_masters)
     throw std::invalid_argument("RoundRobinArbiter: no masters");
 }
 
-bus::Grant RoundRobinArbiter::arbitrate(const bus::RequestView& requests,
-                                        bus::Cycle /*now*/) {
+bus::Grant RoundRobinArbiter::decide(const bus::RequestView& requests,
+                                     bus::Cycle /*now*/) {
   if (requests.size() != num_masters_)
     throw std::logic_error("RoundRobinArbiter: master count mismatch");
 

@@ -12,8 +12,8 @@ class RoundRobinArbiter final : public bus::IArbiter {
 public:
   explicit RoundRobinArbiter(std::size_t num_masters);
 
-  bus::Grant arbitrate(const bus::RequestView& requests,
-                       bus::Cycle now) override;
+  bus::Grant decide(const bus::RequestView& requests,
+                    bus::Cycle now) override;
   std::string name() const override { return "round-robin"; }
   void reset() override { next_ = 0; }
 

@@ -10,8 +10,8 @@ RandomArbiter::RandomArbiter(std::size_t num_masters, std::uint64_t seed)
     throw std::invalid_argument("RandomArbiter: no masters");
 }
 
-bus::Grant RandomArbiter::arbitrate(const bus::RequestView& requests,
-                                    bus::Cycle /*now*/) {
+bus::Grant RandomArbiter::decide(const bus::RequestView& requests,
+                                 bus::Cycle /*now*/) {
   if (requests.size() != num_masters_)
     throw std::logic_error("RandomArbiter: master count mismatch");
   const std::size_t pending = requests.pendingCount();
@@ -30,8 +30,8 @@ FcfsArbiter::FcfsArbiter(std::size_t num_masters)
   if (num_masters == 0) throw std::invalid_argument("FcfsArbiter: no masters");
 }
 
-bus::Grant FcfsArbiter::arbitrate(const bus::RequestView& requests,
-                                  bus::Cycle /*now*/) {
+bus::Grant FcfsArbiter::decide(const bus::RequestView& requests,
+                               bus::Cycle /*now*/) {
   if (requests.size() != num_masters_)
     throw std::logic_error("FcfsArbiter: master count mismatch");
   bus::Grant grant;

@@ -19,8 +19,8 @@ class RandomArbiter final : public bus::IArbiter {
 public:
   explicit RandomArbiter(std::size_t num_masters, std::uint64_t seed = 1);
 
-  bus::Grant arbitrate(const bus::RequestView& requests,
-                       bus::Cycle now) override;
+  bus::Grant decide(const bus::RequestView& requests,
+                    bus::Cycle now) override;
   std::string name() const override { return "random"; }
   void reset() override { rng_ = sim::Xoshiro256ss(seed_); }
 
@@ -34,9 +34,10 @@ class FcfsArbiter final : public bus::IArbiter {
 public:
   explicit FcfsArbiter(std::size_t num_masters);
 
-  bus::Grant arbitrate(const bus::RequestView& requests,
-                       bus::Cycle now) override;
+  bus::Grant decide(const bus::RequestView& requests,
+                    bus::Cycle now) override;
   std::string name() const override { return "fcfs"; }
+  void reset() override {}  // stateless: ages come from the request view
 
 private:
   std::size_t num_masters_;

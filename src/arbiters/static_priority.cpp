@@ -15,8 +15,8 @@ StaticPriorityArbiter::StaticPriorityArbiter(std::vector<unsigned> priorities)
         "StaticPriorityArbiter: priorities must be unique");
 }
 
-bus::Grant StaticPriorityArbiter::arbitrate(const bus::RequestView& requests,
-                                            bus::Cycle /*now*/) {
+bus::Grant StaticPriorityArbiter::decide(const bus::RequestView& requests,
+                                         bus::Cycle /*now*/) {
   if (requests.size() != priorities_.size())
     throw std::logic_error("StaticPriorityArbiter: master count mismatch");
 

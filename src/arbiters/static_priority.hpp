@@ -18,9 +18,10 @@ public:
   /// Values must be unique so the ordering is total.
   explicit StaticPriorityArbiter(std::vector<unsigned> priorities);
 
-  bus::Grant arbitrate(const bus::RequestView& requests,
-                       bus::Cycle now) override;
+  bus::Grant decide(const bus::RequestView& requests,
+                    bus::Cycle now) override;
   std::string name() const override { return "static-priority"; }
+  void reset() override {}  // stateless: priorities are fixed at build time
 
   /// With BusConfig::allow_preemption, a strictly higher-priority pending
   /// master aborts the current burst at the next word boundary.

@@ -53,8 +53,8 @@ std::vector<int> TdmaArbiter::interleavedWheel(
   return wheel;
 }
 
-bus::Grant TdmaArbiter::arbitrate(const bus::RequestView& requests,
-                                  bus::Cycle now) {
+bus::Grant TdmaArbiter::decide(const bus::RequestView& requests,
+                               bus::Cycle now) {
   if (requests.size() != num_masters_)
     throw std::logic_error("TdmaArbiter: master count mismatch");
 

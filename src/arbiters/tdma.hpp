@@ -39,8 +39,8 @@ public:
   static std::vector<int> interleavedWheel(
       const std::vector<unsigned>& slots_per_master);
 
-  bus::Grant arbitrate(const bus::RequestView& requests,
-                       bus::Cycle now) override;
+  bus::Grant decide(const bus::RequestView& requests,
+                    bus::Cycle now) override;
   std::string name() const override {
     return two_level_ ? "tdma-2level" : "tdma";
   }

@@ -11,8 +11,8 @@ TokenRingArbiter::TokenRingArbiter(std::size_t num_masters,
     throw std::invalid_argument("TokenRingArbiter: no masters");
 }
 
-bus::Grant TokenRingArbiter::arbitrate(const bus::RequestView& requests,
-                                       bus::Cycle now) {
+bus::Grant TokenRingArbiter::decide(const bus::RequestView& requests,
+                                    bus::Cycle now) {
   if (requests.size() != num_masters_)
     throw std::logic_error("TokenRingArbiter: master count mismatch");
   if (now < hop_budget_ready_at_) return bus::Grant{};  // token in flight

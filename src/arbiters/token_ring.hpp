@@ -17,8 +17,8 @@ class TokenRingArbiter final : public bus::IArbiter {
 public:
   TokenRingArbiter(std::size_t num_masters, unsigned hop_cycles = 0);
 
-  bus::Grant arbitrate(const bus::RequestView& requests,
-                       bus::Cycle now) override;
+  bus::Grant decide(const bus::RequestView& requests,
+                    bus::Cycle now) override;
   std::string name() const override { return "token-ring"; }
   void reset() override {
     holder_ = 0;

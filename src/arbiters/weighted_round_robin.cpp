@@ -20,8 +20,8 @@ WeightedRoundRobinArbiter::WeightedRoundRobinArbiter(
           "WeightedRoundRobinArbiter: zero-weight master");
 }
 
-bus::Grant WeightedRoundRobinArbiter::arbitrate(
-    const bus::RequestView& requests, bus::Cycle /*now*/) {
+bus::Grant WeightedRoundRobinArbiter::decide(
+ const bus::RequestView& requests, bus::Cycle /*now*/) {
   if (requests.size() != weights_.size())
     throw std::logic_error("WeightedRoundRobinArbiter: master count mismatch");
   if (!requests.anyPending()) return bus::Grant{};

@@ -25,8 +25,8 @@ public:
   explicit WeightedRoundRobinArbiter(std::vector<std::uint32_t> weights,
                                      std::uint32_t quantum_scale = 16);
 
-  bus::Grant arbitrate(const bus::RequestView& requests,
-                       bus::Cycle now) override;
+  bus::Grant decide(const bus::RequestView& requests,
+                    bus::Cycle now) override;
   std::string name() const override { return "weighted-rr"; }
   void reset() override;
 

@@ -44,17 +44,46 @@ private:
   std::span<const MasterRequest> requests_;
 };
 
+class IArbiter;
+
+/// Passive observer of arbitration outcomes.  The observability layer hangs
+/// off this single hook instead of each arbiter growing ad-hoc counters;
+/// observers must not mutate arbiter or bus state (the decision has already
+/// been made when they are called, so a well-behaved observer cannot change
+/// simulation results).
+class IArbiterObserver {
+public:
+  virtual ~IArbiterObserver() = default;
+
+  /// Called after every arbitration decision, granted or not.  `grant` is
+  /// invalid when nothing was pending (or the policy withheld the bus).
+  virtual void onArbitration(const IArbiter& arbiter,
+                             const RequestView& requests, Cycle now,
+                             const Grant& grant) = 0;
+};
+
 /// Bus arbitration policy.  The bus calls arbitrate() whenever the channel is
 /// free and decides nothing itself beyond clamping the grant to the head
 /// message and the configured maximum burst size.
+///
+/// Non-virtual interface: concrete policies implement the protected decide()
+/// hook; the public arbitrate() wrapper notifies the attached observer (if
+/// any) after each decision.  Policies therefore never need observer
+/// plumbing of their own.
 class IArbiter {
 public:
   virtual ~IArbiter() = default;
 
-  /// Picks the next bus owner among pending masters.  Must return an invalid
-  /// grant if nothing is pending, and must never grant a non-pending master.
-  /// `now` is the current bus cycle (TDMA derives its wheel position from it).
-  virtual Grant arbitrate(const RequestView& requests, Cycle now) = 0;
+  /// Picks the next bus owner among pending masters and reports the outcome
+  /// to the attached observer.  Returns an invalid grant if nothing is
+  /// pending, and never grants a non-pending master.  `now` is the current
+  /// bus cycle (TDMA derives its wheel position from it).
+  Grant arbitrate(const RequestView& requests, Cycle now) {
+    const Grant grant = decide(requests, now);
+    if (observer_ != nullptr)
+      observer_->onArbitration(*this, requests, now, grant);
+    return grant;
+  }
 
   /// Architecture name for reports.
   virtual std::string name() const = 0;
@@ -70,8 +99,23 @@ public:
     return false;
   }
 
-  /// Restores initial state (pointers, RNG seeds) for a fresh run.
-  virtual void reset() {}
+  /// Restores initial state (pointers, RNG seeds) for a fresh run.  Pure so
+  /// every policy states its reset story explicitly ({} for stateless ones).
+  /// Does not detach the observer.
+  virtual void reset() = 0;
+
+  /// Attaches (or, with nullptr, detaches) the single decision observer.
+  void setObserver(IArbiterObserver* observer) noexcept {
+    observer_ = observer;
+  }
+  IArbiterObserver* observer() const noexcept { return observer_; }
+
+protected:
+  /// The actual policy: see arbitrate() for the contract.
+  virtual Grant decide(const RequestView& requests, Cycle now) = 0;
+
+private:
+  IArbiterObserver* observer_ = nullptr;
 };
 
 }  // namespace lb::bus

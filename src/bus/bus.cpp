@@ -89,6 +89,14 @@ void Bus::startGrant(const Grant& grant, Cycle now) {
   if (setup) overhead_left_ += setup(head);
   ++grants_issued_;
   if (trace_enabled_) trace_.push_back(GrantRecord{grant.master, now, words});
+  if (sinks_) {
+    if (sinks_->grants) sinks_->grants->inc();
+    if (m < sinks_->grants_by_master.size() && sinks_->grants_by_master[m])
+      sinks_->grants_by_master[m]->inc();
+    if (sinks_->grant_wait_cycles && now >= req.head_arrival)
+      sinks_->grant_wait_cycles->observe(
+          static_cast<double>(now - req.head_arrival));
+  }
 }
 
 void Bus::transferWord(Cycle now) {
@@ -97,6 +105,9 @@ void Bus::transferWord(Cycle now) {
   Message& head = queues_[m].front();
 
   bandwidth_.recordWord(m);
+  if (sinks_ && m < sinks_->words_by_master.size() &&
+      sinks_->words_by_master[m])
+    sinks_->words_by_master[m]->inc();
   --req.head_words_remaining;
   --req.backlog_words;
   --grant_words_left_;
@@ -130,6 +141,7 @@ void Bus::cycle(Cycle now) {
   if (overhead_left_ > 0) {
     --overhead_left_;
     bandwidth_.recordOverheadCycle();
+    if (sinks_ && sinks_->overhead_cycles) sinks_->overhead_cycles->inc();
     return;
   }
 
@@ -141,12 +153,14 @@ void Bus::cycle(Cycle now) {
     grant_master_ = kNoMaster;
     grant_words_left_ = 0;
     ++preemptions_;
+    if (sinks_ && sinks_->preemptions) sinks_->preemptions->inc();
   }
 
   if (grant_master_ == kNoMaster) {
     const Grant grant = arbiter_->arbitrate(RequestView(requests_), now);
     if (!grant.valid()) {
       bandwidth_.recordIdleCycle();
+      if (sinks_ && sinks_->idle_cycles) sinks_->idle_cycles->inc();
       return;
     }
     startGrant(grant, now);
@@ -159,6 +173,7 @@ void Bus::cycle(Cycle now) {
       // Arbitration and/or slave-setup dead cycles precede the first word.
       --overhead_left_;
       bandwidth_.recordOverheadCycle();
+      if (sinks_ && sinks_->overhead_cycles) sinks_->overhead_cycles->inc();
       return;
     }
   }
@@ -167,6 +182,7 @@ void Bus::cycle(Cycle now) {
   --word_cycles_left_;
   if (word_cycles_left_ > 0) {
     bandwidth_.recordOverheadCycle();
+    if (sinks_ && sinks_->overhead_cycles) sinks_->overhead_cycles->inc();
     return;
   }
   transferWord(now);

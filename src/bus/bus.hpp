@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bus/arbiter.hpp"
+#include "bus/metrics_sinks.hpp"
 #include "bus/types.hpp"
 #include "sim/kernel.hpp"
 #include "stats/stats.hpp"
@@ -118,6 +119,13 @@ public:
   void setTraceEnabled(bool enabled) { trace_enabled_ = enabled; }
   const std::vector<GrantRecord>& trace() const { return trace_; }
 
+  /// Attaches (nullptr detaches) observability instruments; see
+  /// bus/metrics_sinks.hpp.  Sinks are cumulative process-level counters:
+  /// reset()/clearStats() deliberately leave them alone.
+  void setMetricsSinks(std::shared_ptr<const BusMetricsSinks> sinks) {
+    sinks_ = std::move(sinks);
+  }
+
   /// Clears queues, statistics, trace, and arbiter state for a fresh run.
   void reset();
 
@@ -150,6 +158,7 @@ private:
   std::vector<CompletionCallback> completion_callbacks_;
   bool trace_enabled_ = false;
   std::vector<GrantRecord> trace_;
+  std::shared_ptr<const BusMetricsSinks> sinks_;
 };
 
 }  // namespace lb::bus

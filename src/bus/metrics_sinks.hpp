@@ -1,0 +1,32 @@
+#pragma once
+// Pre-resolved observability instruments for the bus hot path.
+//
+// The bus layer does not know metric names or label conventions — the obs
+// consumer (src/service/metrics.hpp) resolves instruments out of a
+// MetricsRegistry once, bundles the raw pointers here, and hands the bundle
+// to Bus::setMetricsSinks().  Per-cycle cost with sinks attached is a null
+// check plus a relaxed atomic add; with no sinks attached it is one branch.
+//
+// Instruments are observation-only by construction (Counter/Histogram carry
+// no state the bus reads back), so attaching sinks cannot perturb simulation
+// results.
+
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace lb::bus {
+
+struct BusMetricsSinks {
+  obs::Counter* grants = nullptr;
+  obs::Counter* preemptions = nullptr;
+  obs::Counter* idle_cycles = nullptr;
+  obs::Counter* overhead_cycles = nullptr;
+  /// Cycles a head-of-line message waited between arrival and its grant.
+  obs::Histogram* grant_wait_cycles = nullptr;
+  /// Indexed by master id; entries may alias (label-capped "other" bucket).
+  std::vector<obs::Counter*> words_by_master;
+  std::vector<obs::Counter*> grants_by_master;
+};
+
+}  // namespace lb::bus

@@ -24,8 +24,8 @@ CompensatedLotteryArbiter::CompensatedLotteryArbiter(
           "CompensatedLotteryArbiter: zero-ticket master");
 }
 
-bus::Grant CompensatedLotteryArbiter::arbitrate(
-    const bus::RequestView& requests, bus::Cycle /*now*/) {
+bus::Grant CompensatedLotteryArbiter::decide(
+ const bus::RequestView& requests, bus::Cycle /*now*/) {
   if (requests.size() != base_.size())
     throw std::logic_error("CompensatedLotteryArbiter: master count mismatch");
 

@@ -31,8 +31,8 @@ public:
                             std::uint32_t quantum = 16,
                             std::uint64_t seed = 1);
 
-  bus::Grant arbitrate(const bus::RequestView& requests,
-                       bus::Cycle now) override;
+  bus::Grant decide(const bus::RequestView& requests,
+                    bus::Cycle now) override;
   std::string name() const override { return "lottery-compensated"; }
   void reset() override;
 

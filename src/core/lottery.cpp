@@ -73,8 +73,8 @@ std::uint64_t LotteryArbiter::drawNumber(std::uint64_t bound) {
   }
 }
 
-bus::Grant LotteryArbiter::arbitrate(const bus::RequestView& requests,
-                                     bus::Cycle /*now*/) {
+bus::Grant LotteryArbiter::decide(const bus::RequestView& requests,
+                                  bus::Cycle /*now*/) {
   if (requests.size() != tickets_.size())
     throw std::logic_error("LotteryArbiter: master count mismatch");
   const std::uint32_t map = requests.requestMap();
@@ -104,8 +104,8 @@ void LotteryArbiter::reset() {
 DynamicLotteryArbiter::DynamicLotteryArbiter(std::uint64_t seed)
     : seed_(seed), rng_(seed) {}
 
-bus::Grant DynamicLotteryArbiter::arbitrate(const bus::RequestView& requests,
-                                            bus::Cycle /*now*/) {
+bus::Grant DynamicLotteryArbiter::decide(const bus::RequestView& requests,
+                                         bus::Cycle /*now*/) {
   // Figure 10 data path: request-masked tickets -> adder tree of partial
   // sums -> random number mod T -> comparators -> priority select.
   std::uint64_t total = 0;

@@ -46,8 +46,8 @@ public:
                           LotteryRng rng = LotteryRng::kExact,
                           std::uint64_t seed = 1);
 
-  bus::Grant arbitrate(const bus::RequestView& requests,
-                       bus::Cycle now) override;
+  bus::Grant decide(const bus::RequestView& requests,
+                    bus::Cycle now) override;
   std::string name() const override {
     return rng_kind_ == LotteryRng::kExact ? "lottery" : "lottery-lfsr";
   }
@@ -94,8 +94,8 @@ class DynamicLotteryArbiter final : public bus::IArbiter {
 public:
   explicit DynamicLotteryArbiter(std::uint64_t seed = 1);
 
-  bus::Grant arbitrate(const bus::RequestView& requests,
-                       bus::Cycle now) override;
+  bus::Grant decide(const bus::RequestView& requests,
+                    bus::Cycle now) override;
   std::string name() const override { return "lottery-dynamic"; }
   void reset() override;
 

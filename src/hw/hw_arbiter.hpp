@@ -19,8 +19,8 @@ public:
       : tickets_(std::move(tickets)), seed_(seed),
         manager_(tickets_, seed_) {}
 
-  bus::Grant arbitrate(const bus::RequestView& requests,
-                       bus::Cycle /*now*/) override {
+  bus::Grant decide(const bus::RequestView& requests,
+                    bus::Cycle /*now*/) override {
     const std::uint32_t map = requests.requestMap();
     if (map == 0) return bus::Grant{};
     const int winner = manager_.drawIndex(map);

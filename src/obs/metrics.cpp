@@ -1,0 +1,258 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace lb::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (!(bounds_[i - 1] < bounds_[i]))
+      throw std::invalid_argument(
+          "Histogram: bucket bounds must be strictly ascending");
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double value) noexcept {
+  std::size_t bucket = bounds_.size();  // +Inf
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // C++20 has atomic<double>::fetch_add, but a CAS loop keeps us portable
+  // across the toolchains this repo targets.
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+namespace {
+
+std::string escapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string canonicalLabels(Labels labels) {
+  if (labels.empty()) return "";
+  std::sort(labels.begin(), labels.end());
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out.push_back(',');
+    out += labels[i].first;
+    out += "=\"";
+    out += escapeLabelValue(labels[i].second);
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+void validateMetricName(const std::string& name) {
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  bool ok = !name.empty() && head(name[0]);
+  for (std::size_t i = 1; ok && i < name.size(); ++i) ok = tail(name[i]);
+  if (!ok)
+    throw std::invalid_argument("invalid metric name \"" + name + "\"");
+}
+
+}  // namespace detail
+
+std::string formatNumber(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(value)) return "NaN";
+  if (value == std::rint(value) && std::fabs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%lld",
+                  static_cast<long long>(value));
+    return buffer;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+std::vector<double> cycleBuckets() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192};
+}
+
+std::vector<double> microsBuckets() {
+  return {1,     10,     100,     1000,     10000,
+          100000, 1000000, 5000000, 10000000};
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry::Entry* MetricsRegistry::findLocked(const std::string& name) {
+  for (auto& [entry_name, entry] : entries_)
+    if (entry_name == name) return &entry;
+  return nullptr;
+}
+
+Family<Counter>& MetricsRegistry::counter(const std::string& name,
+                                          const std::string& help) {
+  detail::validateMetricName(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* entry = findLocked(name)) {
+    if (entry->kind != Kind::kCounter)
+      throw std::invalid_argument("metric \"" + name +
+                                  "\" already registered with another type");
+    return *entry->counter;
+  }
+  Entry entry;
+  entry.kind = Kind::kCounter;
+  entry.counter = std::make_unique<Family<Counter>>(name, help);
+  entries_.emplace_back(name, std::move(entry));
+  return *entries_.back().second.counter;
+}
+
+Family<Gauge>& MetricsRegistry::gauge(const std::string& name,
+                                      const std::string& help) {
+  detail::validateMetricName(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* entry = findLocked(name)) {
+    if (entry->kind != Kind::kGauge)
+      throw std::invalid_argument("metric \"" + name +
+                                  "\" already registered with another type");
+    return *entry->gauge;
+  }
+  Entry entry;
+  entry.kind = Kind::kGauge;
+  entry.gauge = std::make_unique<Family<Gauge>>(name, help);
+  entries_.emplace_back(name, std::move(entry));
+  return *entries_.back().second.gauge;
+}
+
+Family<Histogram>& MetricsRegistry::histogram(const std::string& name,
+                                              const std::string& help,
+                                              std::vector<double> bounds) {
+  detail::validateMetricName(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* entry = findLocked(name)) {
+    if (entry->kind != Kind::kHistogram)
+      throw std::invalid_argument("metric \"" + name +
+                                  "\" already registered with another type");
+    return *entry->histogram;
+  }
+  Entry entry;
+  entry.kind = Kind::kHistogram;
+  entry.histogram =
+      std::make_unique<Family<Histogram>>(name, help, std::move(bounds));
+  entries_.emplace_back(name, std::move(entry));
+  return *entries_.back().second.histogram;
+}
+
+namespace {
+
+// Inserts extra labels into a canonical label string, e.g.
+// withExtraLabel("{a=\"1\"}", "le", "42") -> {a="1",le="42"}.  The `le`
+// label intentionally goes last; Prometheus does not care about order.
+std::string withExtraLabel(const std::string& labels, const std::string& key,
+                           const std::string& value) {
+  std::string out;
+  if (labels.empty()) {
+    out = "{" + key + "=\"" + value + "\"}";
+  } else {
+    out = labels.substr(0, labels.size() - 1) + "," + key + "=\"" + value +
+          "\"}";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::renderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter: {
+        out += "# HELP " + name + " " + entry.counter->help() + "\n";
+        out += "# TYPE " + name + " counter\n";
+        for (const auto& [labels, counter] : entry.counter->children())
+          out += name + labels + " " +
+                 std::to_string(counter->value()) + "\n";
+        break;
+      }
+      case Kind::kGauge: {
+        out += "# HELP " + name + " " + entry.gauge->help() + "\n";
+        out += "# TYPE " + name + " gauge\n";
+        for (const auto& [labels, gauge] : entry.gauge->children())
+          out += name + labels + " " + std::to_string(gauge->value()) + "\n";
+        break;
+      }
+      case Kind::kHistogram: {
+        out += "# HELP " + name + " " + entry.histogram->help() + "\n";
+        out += "# TYPE " + name + " histogram\n";
+        for (const auto& [labels, histogram] :
+             entry.histogram->children()) {
+          std::uint64_t cumulative = 0;
+          const auto& bounds = histogram->bounds();
+          for (std::size_t i = 0; i < bounds.size(); ++i) {
+            cumulative += histogram->bucketCount(i);
+            out += name + "_bucket" +
+                   withExtraLabel(labels, "le", formatNumber(bounds[i])) +
+                   " " + std::to_string(cumulative) + "\n";
+          }
+          cumulative += histogram->bucketCount(bounds.size());
+          out += name + "_bucket" + withExtraLabel(labels, "le", "+Inf") +
+                 " " + std::to_string(cumulative) + "\n";
+          out += name + "_sum" + labels + " " +
+                 formatNumber(histogram->sum()) + "\n";
+          out += name + "_count" + labels + " " +
+                 std::to_string(histogram->count()) + "\n";
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // never dies
+  return *instance;
+}
+
+}  // namespace lb::obs

@@ -1,0 +1,222 @@
+#pragma once
+// Dependency-free metrics primitives for the observability subsystem.
+//
+// A MetricsRegistry holds named metric *families* (counter, gauge,
+// histogram); each family holds one instrument per label set.  Instruments
+// are lock-free on the hot path — a counter increment is a single relaxed
+// atomic add — so code can stay instrumented permanently: when nothing
+// scrapes the registry the only cost is that add.  Family/child creation
+// takes a mutex, so look instruments up once and cache the reference
+// (children are never deallocated while the registry lives; references
+// remain valid).
+//
+// renderPrometheus() emits the Prometheus text exposition format
+// (https://prometheus.io/docs/instrumenting/exposition_formats/): families
+// in registration order, children in sorted label order, histograms with
+// cumulative `_bucket{le=...}` series plus `_sum`/`_count`.  The output is
+// deterministic for a deterministic sequence of updates, which is what the
+// golden exposition tests pin.
+//
+// Naming convention (docs/observability.md): `lb_<layer>_<quantity>_total`
+// for counters, `lb_<layer>_<quantity>` for gauges and histograms; label
+// keys are bare identifiers (`master`, `verb`, `arbiter`, `tier`).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace lb::obs {
+
+/// One label set: (key, value) pairs.  Families normalize these by sorting
+/// on key, so {a=1,b=2} and {b=2,a=1} name the same child.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing 64-bit counter.  Thread-safe, lock-free.
+class Counter {
+public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Settable signed instantaneous value (queue depths, cache sizes).
+/// Thread-safe, lock-free.
+class Gauge {
+public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bucket edges in
+/// ascending order; an implicit +Inf bucket catches the rest.  observe() is
+/// a branchless-ish linear scan (bucket counts are small and fixed) plus
+/// two relaxed atomic adds — safe from any thread.
+class Histogram {
+public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value) noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Non-cumulative count of bucket `i`; index bounds_.size() is +Inf.
+  std::uint64_t bucketCount(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept;
+
+private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds + Inf
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+namespace detail {
+
+/// Renders labels canonically: sorted by key, values escaped, `{k="v",...}`
+/// or an empty string for the empty label set.
+std::string canonicalLabels(Labels labels);
+
+/// Throws std::invalid_argument unless `name` matches
+/// [a-zA-Z_:][a-zA-Z0-9_:]*.
+void validateMetricName(const std::string& name);
+
+}  // namespace detail
+
+/// A named metric family: one instrument of type T per label set.
+template <typename T>
+class Family {
+public:
+  Family(std::string name, std::string help, std::vector<double> bounds = {})
+      : name_(std::move(name)),
+        help_(std::move(help)),
+        bounds_(std::move(bounds)) {}
+
+  Family(const Family&) = delete;
+  Family& operator=(const Family&) = delete;
+
+  /// Returns the instrument for `labels`, creating it on first use.  The
+  /// reference stays valid for the registry's lifetime.
+  T& withLabels(Labels labels) {
+    const std::string key = detail::canonicalLabels(std::move(labels));
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& child : children_)
+      if (child.labels == key) return *child.instrument;
+    Child child;
+    child.labels = key;
+    if constexpr (std::is_same_v<T, Histogram>)
+      child.instrument = std::make_unique<Histogram>(bounds_);
+    else
+      child.instrument = std::make_unique<T>();
+    T& instrument = *child.instrument;
+    children_.push_back(std::move(child));
+    // Keep exposition deterministic: children sorted by label string.
+    for (std::size_t i = children_.size(); i-- > 1;) {
+      if (children_[i - 1].labels <= children_[i].labels) break;
+      std::swap(children_[i - 1], children_[i]);
+    }
+    return instrument;
+  }
+
+  /// The unlabeled instrument.
+  T& get() { return withLabels({}); }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+  /// Snapshot of (canonical label string, instrument) for rendering.
+  std::vector<std::pair<std::string, const T*>> children() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, const T*>> out;
+    out.reserve(children_.size());
+    for (const auto& child : children_)
+      out.emplace_back(child.labels, child.instrument.get());
+    return out;
+  }
+
+private:
+  struct Child {
+    std::string labels;
+    std::unique_ptr<T> instrument;  // stable address across vector growth
+  };
+
+  std::string name_;
+  std::string help_;
+  std::vector<double> bounds_;
+  mutable std::mutex mutex_;
+  std::vector<Child> children_;
+};
+
+/// Default bucket edges for cycle-valued histograms (powers of two to 8192).
+std::vector<double> cycleBuckets();
+
+/// Default bucket edges for microsecond-valued histograms (1us .. 10s).
+std::vector<double> microsBuckets();
+
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or returns the existing) family.  Re-registration with the
+  /// same name must use the same type, or std::invalid_argument is thrown.
+  Family<Counter>& counter(const std::string& name, const std::string& help);
+  Family<Gauge>& gauge(const std::string& name, const std::string& help);
+  /// `bounds` applies on first registration only (subsequent calls reuse
+  /// the original buckets).
+  Family<Histogram>& histogram(const std::string& name,
+                               const std::string& help,
+                               std::vector<double> bounds);
+
+  /// Full Prometheus text exposition of every family.
+  std::string renderPrometheus() const;
+
+private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Family<Counter>> counter;
+    std::unique_ptr<Family<Gauge>> gauge;
+    std::unique_ptr<Family<Histogram>> histogram;
+  };
+  Entry* findLocked(const std::string& name);
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, Entry>> entries_;  // registration order
+};
+
+/// Process-wide default registry: the one `lbd --metrics`, lbsim, and the
+/// thread-pool instruments use unless a registry is injected explicitly.
+MetricsRegistry& registry();
+
+/// Renders a finite double the way Prometheus expects: integral values
+/// without a fraction ("42"), others with up to 17 significant digits.
+std::string formatNumber(double value);
+
+}  // namespace lb::obs

@@ -1,0 +1,146 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"  // formatNumber
+
+namespace lb::obs {
+
+namespace {
+
+std::string escapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceRecorder::append(Event event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::addComplete(const std::string& name,
+                                const std::string& category,
+                                std::uint32_t pid, std::uint32_t tid,
+                                double ts_us, double dur_us, TraceArgs args) {
+  Event event;
+  event.phase = 'X';
+  event.name = name;
+  event.category = category;
+  event.pid = pid;
+  event.tid = tid;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.args = std::move(args);
+  append(std::move(event));
+}
+
+void TraceRecorder::addInstant(const std::string& name,
+                               const std::string& category, std::uint32_t pid,
+                               std::uint32_t tid, double ts_us,
+                               TraceArgs args) {
+  Event event;
+  event.phase = 'i';
+  event.name = name;
+  event.category = category;
+  event.pid = pid;
+  event.tid = tid;
+  event.ts_us = ts_us;
+  event.args = std::move(args);
+  append(std::move(event));
+}
+
+void TraceRecorder::addCounter(const std::string& name, std::uint32_t pid,
+                               double ts_us, TraceArgs series) {
+  Event event;
+  event.phase = 'C';
+  event.name = name;
+  event.pid = pid;
+  event.ts_us = ts_us;
+  event.args = std::move(series);
+  append(std::move(event));
+}
+
+void TraceRecorder::setProcessName(std::uint32_t pid,
+                                   const std::string& name) {
+  Event event;
+  event.phase = 'M';
+  event.name = "process_name";
+  event.pid = pid;
+  event.string_arg_key = "name";
+  event.string_arg_value = name;
+  append(std::move(event));
+}
+
+void TraceRecorder::setThreadName(std::uint32_t pid, std::uint32_t tid,
+                                  const std::string& name) {
+  Event event;
+  event.phase = 'M';
+  event.name = "thread_name";
+  event.pid = pid;
+  event.tid = tid;
+  event.string_arg_key = "name";
+  event.string_arg_value = name;
+  append(std::move(event));
+}
+
+std::size_t TraceRecorder::eventCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::writeJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& event : events_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << escapeJson(event.name) << "\",\"ph\":\""
+        << event.phase << "\"";
+    if (!event.category.empty())
+      out << ",\"cat\":\"" << escapeJson(event.category) << "\"";
+    out << ",\"pid\":" << event.pid << ",\"tid\":" << event.tid
+        << ",\"ts\":" << formatNumber(event.ts_us);
+    if (event.phase == 'X') out << ",\"dur\":" << formatNumber(event.dur_us);
+    if (event.phase == 'i') out << ",\"s\":\"t\"";
+    if (!event.args.empty() || !event.string_arg_key.empty()) {
+      out << ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.args) {
+        if (!first_arg) out << ",";
+        first_arg = false;
+        out << "\"" << escapeJson(key) << "\":" << formatNumber(value);
+      }
+      if (!event.string_arg_key.empty()) {
+        if (!first_arg) out << ",";
+        out << "\"" << escapeJson(event.string_arg_key) << "\":\""
+            << escapeJson(event.string_arg_value) << "\"";
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace lb::obs

@@ -1,0 +1,79 @@
+#pragma once
+// Lightweight trace-span/event recorder emitting the Chrome trace_event
+// JSON format, loadable in chrome://tracing (or https://ui.perfetto.dev).
+//
+// The recorder is timestamp-agnostic: callers stamp events themselves, so
+// the same recorder serves wall-clock service traces (microseconds from
+// steady_clock) and simulated-time traces (bus cycles interpreted as
+// microseconds, which is what `lbsim --trace-out` writes — one simulated
+// cycle renders as one microsecond on the tracing timeline).
+//
+// Supported event phases:
+//   X  complete event  (a span: ts + dur)
+//   i  instant event
+//   C  counter event   (stacked counter tracks)
+//   M  metadata        (process/thread names, emitted via the setters)
+//
+// Thread-safe: appends take a mutex (tracing is opt-in and per-grant, not
+// per-cycle, so contention is irrelevant).  writeJson() renders
+// {"traceEvents":[...],"displayTimeUnit":"ms"} with stable field order.
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lb::obs {
+
+/// One key -> number argument shown in the trace viewer's detail pane.
+using TraceArgs = std::vector<std::pair<std::string, double>>;
+
+class TraceRecorder {
+public:
+  /// A span: [ts_us, ts_us + dur_us) on track (pid, tid).
+  void addComplete(const std::string& name, const std::string& category,
+                   std::uint32_t pid, std::uint32_t tid, double ts_us,
+                   double dur_us, TraceArgs args = {});
+
+  /// A zero-duration marker on track (pid, tid).
+  void addInstant(const std::string& name, const std::string& category,
+                  std::uint32_t pid, std::uint32_t tid, double ts_us,
+                  TraceArgs args = {});
+
+  /// A sample of counter track `name` (one stacked series per arg).
+  void addCounter(const std::string& name, std::uint32_t pid, double ts_us,
+                  TraceArgs series);
+
+  /// Names the (pid) process / (pid, tid) thread lane in the viewer.
+  void setProcessName(std::uint32_t pid, const std::string& name);
+  void setThreadName(std::uint32_t pid, std::uint32_t tid,
+                     const std::string& name);
+
+  std::size_t eventCount() const;
+
+  /// Serializes every recorded event as one JSON document.
+  void writeJson(std::ostream& out) const;
+
+private:
+  struct Event {
+    char phase;
+    std::string name;
+    std::string category;
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    double ts_us = 0;
+    double dur_us = 0;
+    TraceArgs args;
+    std::string string_arg_key;    // metadata events carry a string arg
+    std::string string_arg_value;
+  };
+
+  void append(Event event);
+
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+}  // namespace lb::obs

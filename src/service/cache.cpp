@@ -8,9 +8,46 @@
 
 namespace lb::service {
 
-ResultCache::ResultCache(std::size_t capacity, std::string persist_dir)
+namespace {
+
+obs::MetricsRegistry& resolve(obs::MetricsRegistry* registry) {
+  return registry != nullptr ? *registry : obs::registry();
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity, std::string persist_dir,
+                         obs::MetricsRegistry* registry)
     : capacity_(capacity == 0 ? 1 : capacity),
-      persist_dir_(std::move(persist_dir)) {
+      persist_dir_(std::move(persist_dir)),
+      memory_hits_(resolve(registry)
+                       .counter("lb_cache_hits_total", "Cache hits by tier")
+                       .withLabels({{"tier", "memory"}})),
+      disk_hits_(resolve(registry)
+                     .counter("lb_cache_hits_total", "Cache hits by tier")
+                     .withLabels({{"tier", "disk"}})),
+      misses_(resolve(registry)
+                  .counter("lb_cache_misses_total", "Cache misses")
+                  .get()),
+      insertions_(resolve(registry)
+                      .counter("lb_cache_insertions_total",
+                               "Entries inserted or refreshed")
+                      .get()),
+      evictions_(resolve(registry)
+                     .counter("lb_cache_evictions_total",
+                              "LRU entries evicted")
+                     .get()),
+      disk_reads_(resolve(registry)
+                      .counter("lb_cache_disk_reads_total",
+                               "Persistence-directory load attempts")
+                      .get()),
+      disk_writes_(resolve(registry)
+                       .counter("lb_cache_disk_writes_total",
+                                "Entries written through to disk")
+                       .get()),
+      entries_gauge_(resolve(registry)
+                         .gauge("lb_cache_entries", "In-memory cache entries")
+                         .get()) {
   stats_.capacity = capacity_;
   if (!persist_dir_.empty()) {
     std::error_code ec;
@@ -33,16 +70,20 @@ std::optional<ScenarioResult> ResultCache::get(std::uint64_t hash) {
   if (it != index_.end()) {
     entries_.splice(entries_.begin(), entries_, it->second);
     ++stats_.hits;
+    memory_hits_.inc();
     return it->second->second;
   }
   if (!persist_dir_.empty()) {
+    disk_reads_.inc();
     if (auto loaded = loadFromDisk(hash)) {
       insertLocked(hash, *loaded);
       ++stats_.disk_hits;
+      disk_hits_.inc();
       return loaded;
     }
   }
   ++stats_.misses;
+  misses_.inc();
   return std::nullopt;
 }
 
@@ -51,6 +92,7 @@ void ResultCache::put(std::uint64_t hash, const Scenario& scenario,
   std::lock_guard<std::mutex> lock(mutex_);
   insertLocked(hash, result);
   ++stats_.insertions;
+  insertions_.inc();
   if (!persist_dir_.empty()) storeToDisk(hash, scenario, result);
 }
 
@@ -68,7 +110,9 @@ void ResultCache::insertLocked(std::uint64_t hash,
     index_.erase(entries_.back().first);
     entries_.pop_back();
     ++stats_.evictions;
+    evictions_.inc();
   }
+  entries_gauge_.set(static_cast<std::int64_t>(entries_.size()));
 }
 
 std::optional<ScenarioResult> ResultCache::loadFromDisk(std::uint64_t hash) {
@@ -97,6 +141,7 @@ void ResultCache::storeToDisk(std::uint64_t hash, const Scenario& scenario,
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);  // atomic publish on POSIX
+  if (!ec) disk_writes_.inc();
 }
 
 CacheStats ResultCache::stats() const {

@@ -21,6 +21,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "service/scenario.hpp"
 
 namespace lb::service {
@@ -40,7 +41,10 @@ public:
   /// `capacity` bounds in-memory entries (>= 1).  `persist_dir`, when
   /// non-empty, is created if needed and used for write-through
   /// persistence; unreadable/corrupt files are treated as misses.
-  explicit ResultCache(std::size_t capacity, std::string persist_dir = "");
+  /// `registry` receives the lb_cache_* metrics (nullptr: the process-wide
+  /// obs::registry()).
+  explicit ResultCache(std::size_t capacity, std::string persist_dir = "",
+                       obs::MetricsRegistry* registry = nullptr);
 
   /// Looks up by scenario hash; promotes to most-recently-used.
   std::optional<ScenarioResult> get(std::uint64_t hash);
@@ -68,6 +72,16 @@ private:
   std::list<std::pair<std::uint64_t, ScenarioResult>> entries_;
   std::unordered_map<std::uint64_t, decltype(entries_)::iterator> index_;
   CacheStats stats_;
+
+  // Pre-resolved obs instruments (mirror stats_; cumulative per process).
+  obs::Counter& memory_hits_;
+  obs::Counter& disk_hits_;
+  obs::Counter& misses_;
+  obs::Counter& insertions_;
+  obs::Counter& evictions_;
+  obs::Counter& disk_reads_;
+  obs::Counter& disk_writes_;
+  obs::Gauge& entries_gauge_;
 };
 
 }  // namespace lb::service

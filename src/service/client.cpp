@@ -9,6 +9,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "service/protocol.hpp"
+
 namespace lb::service {
 
 Client::Client(std::uint16_t port, const std::string& host) {
@@ -63,7 +65,9 @@ std::string Client::exchangeLine(const std::string& line) {
 }
 
 Json Client::call(const Json& request) {
-  return Json::parse(exchangeLine(request.dump()));
+  Json response = Json::parse(exchangeLine(request.dump()));
+  requireProtocolVersion(response);
+  return response;
 }
 
 Json Client::run(const Json& scenario) {
@@ -81,6 +85,12 @@ Json Client::sweep(Json scenarios) {
 Json Client::stats() {
   Json request = Json::object();
   request.set("verb", Json("stats"));
+  return call(request);
+}
+
+Json Client::metrics() {
+  Json request = Json::object();
+  request.set("verb", Json("metrics"));
   return call(request);
 }
 

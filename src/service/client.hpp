@@ -22,14 +22,16 @@ public:
   Client& operator=(const Client&) = delete;
 
   /// Sends `request` and blocks for the matching response line.  Throws
-  /// std::runtime_error on transport failure; protocol-level failures come
-  /// back as {"ok":false,...} documents.
+  /// std::runtime_error on transport failure or when the response carries
+  /// an unexpected protocol version (service/protocol.hpp); protocol-level
+  /// failures come back as {"ok":false,...} documents.
   Json call(const Json& request);
 
   /// Convenience wrappers for the protocol verbs.
   Json run(const Json& scenario);
   Json sweep(Json scenarios);
   Json stats();
+  Json metrics();
   Json shutdown();
 
 private:

@@ -16,7 +16,37 @@ std::shared_future<JobOutcome> readyFuture(JobOutcome outcome) {
 
 JobEngine::JobEngine(JobEngineOptions options)
     : options_(options),
-      cache_(options.cache_capacity, options.cache_dir) {
+      registry_(options.registry != nullptr ? *options.registry
+                                            : obs::registry()),
+      cache_(options.cache_capacity, options.cache_dir, &registry_),
+      submitted_counter_(
+          registry_.counter("lb_jobs_submitted_total", "Jobs enqueued").get()),
+      completed_counter_(
+          registry_.counter("lb_jobs_completed_total", "Jobs finished ok")
+              .get()),
+      failed_counter_(
+          registry_.counter("lb_jobs_failed_total", "Jobs ending in error")
+              .get()),
+      timeout_counter_(
+          registry_
+              .counter("lb_jobs_timeout_total", "Job waits that timed out")
+              .get()),
+      coalesced_counter_(
+          registry_
+              .counter("lb_jobs_coalesced_total",
+                       "Submissions piggybacked on an in-flight job")
+              .get()),
+      queue_depth_gauge_(
+          registry_.gauge("lb_job_queue_depth", "Jobs waiting for a worker")
+              .get()),
+      in_flight_gauge_(
+          registry_.gauge("lb_jobs_in_flight", "Jobs queued or executing")
+              .get()),
+      execute_micros_(registry_
+                          .histogram("lb_job_execute_micros",
+                                     "Wall-clock simulation time per job",
+                                     obs::microsBuckets())
+                          .get()) {
   std::size_t workers = options_.workers;
   if (workers == 0) {
     const unsigned hardware = std::thread::hardware_concurrency();
@@ -47,6 +77,7 @@ void JobEngine::workerLoop() {
       if (queue_.empty()) return;  // stopping_ and fully drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_gauge_.set(static_cast<std::int64_t>(queue_.size()));
     }
     queue_cv_.notify_all();  // space freed for blocked submitters
     execute(job);
@@ -58,7 +89,9 @@ void JobEngine::execute(const std::shared_ptr<Job>& job) {
   outcome.hash = job->hash;
   const auto started = std::chrono::steady_clock::now();
   try {
-    outcome.result = runScenario(job->scenario);
+    RunOptions run_options;
+    run_options.registry = &registry_;
+    outcome.result = runScenario(job->scenario, run_options);
     outcome.status = JobStatus::kOk;
   } catch (const std::exception& e) {
     outcome.status = JobStatus::kError;
@@ -68,15 +101,20 @@ void JobEngine::execute(const std::shared_ptr<Job>& job) {
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - started)
           .count();
+  execute_micros_.observe(outcome.execute_micros);
   if (outcome.status == JobStatus::kOk)
     cache_.put(job->hash, job->scenario, outcome.result);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     in_flight_.erase(job->hash);
-    if (outcome.status == JobStatus::kOk)
+    in_flight_gauge_.set(static_cast<std::int64_t>(in_flight_.size()));
+    if (outcome.status == JobStatus::kOk) {
       ++stats_.completed;
-    else
+      completed_counter_.inc();
+    } else {
       ++stats_.failed;
+      failed_counter_.inc();
+    }
   }
   job->promise.set_value(std::move(outcome));
 }
@@ -112,6 +150,7 @@ std::pair<std::shared_future<JobOutcome>, bool> JobEngine::submit(
   const auto flying = in_flight_.find(hash);
   if (flying != in_flight_.end()) {
     ++stats_.coalesced;
+    coalesced_counter_.inc();
     return {flying->second, true};  // piggyback on the identical running job
   }
   // Bounded FIFO: block until the queue has room (backpressure towards the
@@ -130,6 +169,9 @@ std::pair<std::shared_future<JobOutcome>, bool> JobEngine::submit(
   in_flight_[hash] = future;
   queue_.push_back(std::move(job));
   ++stats_.submitted;
+  submitted_counter_.inc();
+  queue_depth_gauge_.set(static_cast<std::int64_t>(queue_.size()));
+  in_flight_gauge_.set(static_cast<std::int64_t>(in_flight_.size()));
   lock.unlock();
   queue_cv_.notify_all();
   return {future, false};
@@ -144,6 +186,7 @@ JobOutcome JobEngine::await(std::shared_future<JobOutcome> future) {
                     " ms (still running; retry later for a cache hit)";
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.timeouts;
+    timeout_counter_.inc();
     return outcome;
   }
   return future.get();

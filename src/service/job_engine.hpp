@@ -57,6 +57,11 @@ struct JobEngineOptions {
   std::chrono::milliseconds timeout{60000};  ///< per-job wait budget
   std::size_t cache_capacity = 1024;
   std::string cache_dir;  ///< empty = memory-only cache
+  /// Registry receiving lb_job_* / lb_cache_* / lb_bus_* metrics for this
+  /// engine and the scenarios it runs (nullptr: process-wide
+  /// obs::registry()).  Injectable so tests can reconcile counters against
+  /// a fresh registry.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 struct JobEngineStats {
@@ -90,6 +95,7 @@ public:
 
   JobEngineStats stats() const;
   ResultCache& cache() { return cache_; }
+  obs::MetricsRegistry& metricsRegistry() { return registry_; }
 
 private:
   struct Job {
@@ -110,7 +116,18 @@ private:
   void execute(const std::shared_ptr<Job>& job);
 
   JobEngineOptions options_;
+  obs::MetricsRegistry& registry_;  ///< resolved from options_.registry
   ResultCache cache_;
+
+  // Pre-resolved obs instruments (mirror stats_).
+  obs::Counter& submitted_counter_;
+  obs::Counter& completed_counter_;
+  obs::Counter& failed_counter_;
+  obs::Counter& timeout_counter_;
+  obs::Counter& coalesced_counter_;
+  obs::Gauge& queue_depth_gauge_;
+  obs::Gauge& in_flight_gauge_;
+  obs::Histogram& execute_micros_;
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;  ///< space freed / job available

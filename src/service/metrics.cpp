@@ -1,0 +1,76 @@
+#include "service/metrics.hpp"
+
+namespace lb::service {
+
+std::string masterLabel(std::size_t master) {
+  if (master > kMaxMasterLabel) return "other";
+  return std::to_string(master);
+}
+
+std::shared_ptr<bus::BusMetricsSinks> makeBusSinks(
+    obs::MetricsRegistry& registry, const std::string& arbiter_name,
+    std::size_t num_masters) {
+  auto sinks = std::make_shared<bus::BusMetricsSinks>();
+  const obs::Labels arb{{"arbiter", arbiter_name}};
+  sinks->grants =
+      &registry.counter("lb_bus_grants_total", "Bus grants issued")
+           .withLabels(arb);
+  sinks->preemptions =
+      &registry.counter("lb_bus_preemptions_total", "Bursts preempted")
+           .withLabels(arb);
+  sinks->idle_cycles =
+      &registry
+           .counter("lb_bus_idle_cycles_total",
+                    "Cycles with no pending request")
+           .withLabels(arb);
+  sinks->overhead_cycles =
+      &registry
+           .counter("lb_bus_overhead_cycles_total",
+                    "Arbitration, slave-setup and wait-state cycles")
+           .withLabels(arb);
+  sinks->grant_wait_cycles =
+      &registry
+           .histogram("lb_bus_grant_wait_cycles",
+                      "Cycles between head-of-line arrival and grant",
+                      obs::cycleBuckets())
+           .withLabels(arb);
+  auto& words = registry.counter("lb_bus_words_total",
+                                 "Data words transferred per master");
+  sinks->words_by_master.reserve(num_masters);
+  for (std::size_t m = 0; m < num_masters; ++m) {
+    obs::Labels labels = arb;
+    labels.emplace_back("master", masterLabel(m));
+    sinks->words_by_master.push_back(&words.withLabels(std::move(labels)));
+  }
+  return sinks;
+}
+
+void GrantTally::onArbitration(const bus::IArbiter& /*arbiter*/,
+                               const bus::RequestView& /*requests*/,
+                               bus::Cycle /*now*/, const bus::Grant& grant) {
+  ++decisions_;
+  if (grant.valid()) {
+    const auto m = static_cast<std::size_t>(grant.master);
+    if (m < wins_.size()) ++wins_[m];
+  }
+}
+
+void GrantTally::publish(obs::MetricsRegistry& registry,
+                         const std::string& arbiter_name) const {
+  const obs::Labels arb{{"arbiter", arbiter_name}};
+  registry
+      .counter("lb_arbiter_decisions_total",
+               "Arbitration decisions (granted or not)")
+      .withLabels(arb)
+      .inc(decisions_);
+  auto& wins = registry.counter("lb_arbiter_wins_total",
+                                "Grants won per master");
+  for (std::size_t m = 0; m < wins_.size(); ++m) {
+    if (wins_[m] == 0) continue;
+    obs::Labels labels = arb;
+    labels.emplace_back("master", masterLabel(m));
+    wins.withLabels(std::move(labels)).inc(wins_[m]);
+  }
+}
+
+}  // namespace lb::service

@@ -1,0 +1,62 @@
+#pragma once
+// Service-side bindings between the domain layers and the obs registry.
+//
+// This is the one translation unit that knows the metric *names* and label
+// conventions (documented in docs/observability.md).  The bus layer exports
+// a raw-pointer sink bundle (bus/metrics_sinks.hpp) and a single arbiter
+// observer hook (bus/arbiter.hpp); everything here resolves instruments out
+// of a MetricsRegistry and plugs them in.
+//
+// Label cardinality is capped: per-master series use master="0".."15" and
+// collapse the rest into master="other", so a pathological 1000-master
+// scenario cannot blow up the exposition.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/arbiter.hpp"
+#include "bus/metrics_sinks.hpp"
+#include "obs/metrics.hpp"
+
+namespace lb::service {
+
+/// Highest master id that gets its own label value; above it, "other".
+inline constexpr std::size_t kMaxMasterLabel = 15;
+
+/// "0".."15" for small ids, "other" beyond kMaxMasterLabel.
+std::string masterLabel(std::size_t master);
+
+/// Resolves the bus hot-path instruments (lb_bus_* families, labeled with
+/// the arbiter name) against `registry` for a bus of `num_masters`.
+std::shared_ptr<bus::BusMetricsSinks> makeBusSinks(
+    obs::MetricsRegistry& registry, const std::string& arbiter_name,
+    std::size_t num_masters);
+
+/// Arbiter observer tallying decisions and per-master wins locally during a
+/// run; publish() folds the tallies into lb_arbiter_* counters afterwards.
+/// Tallying locally (two integer bumps per decision) keeps the per-decision
+/// cost trivial and the publication atomic per run.
+class GrantTally final : public bus::IArbiterObserver {
+public:
+  explicit GrantTally(std::size_t num_masters) : wins_(num_masters, 0) {}
+
+  void onArbitration(const bus::IArbiter& arbiter,
+                     const bus::RequestView& requests, bus::Cycle now,
+                     const bus::Grant& grant) override;
+
+  std::uint64_t decisions() const { return decisions_; }
+  const std::vector<std::uint64_t>& wins() const { return wins_; }
+
+  /// Adds the tallies to lb_arbiter_decisions_total{arbiter} and
+  /// lb_arbiter_wins_total{arbiter,master}.
+  void publish(obs::MetricsRegistry& registry,
+               const std::string& arbiter_name) const;
+
+private:
+  std::uint64_t decisions_ = 0;
+  std::vector<std::uint64_t> wins_;
+};
+
+}  // namespace lb::service

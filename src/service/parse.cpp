@@ -1,9 +1,12 @@
 #include "service/parse.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <iostream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace lb::service {
 
@@ -56,6 +59,140 @@ std::vector<std::uint32_t> parseU32List(const std::string& option,
     throw std::invalid_argument(option + " expects a comma-separated list, "
                                          "got \"" + text + "\"");
   return values;
+}
+
+// ---------------------------------------------------------------------------
+// OptionSet
+// ---------------------------------------------------------------------------
+
+OptionSet::OptionSet(std::string tool, std::string summary)
+    : tool_(std::move(tool)), summary_(std::move(summary)) {}
+
+OptionSet& OptionSet::flag(std::vector<std::string> names, std::string help,
+                           bool* target) {
+  Entry entry;
+  entry.names = std::move(names);
+  entry.help = std::move(help);
+  entry.flag_target = target;
+  entries_.push_back(std::move(entry));
+  return *this;
+}
+
+OptionSet& OptionSet::value(std::vector<std::string> names,
+                            std::string metavar, std::string help,
+                            ValueHandler handler) {
+  Entry entry;
+  entry.names = std::move(names);
+  entry.metavar = std::move(metavar);
+  entry.help = std::move(help);
+  entry.handler = std::move(handler);
+  entries_.push_back(std::move(entry));
+  return *this;
+}
+
+OptionSet& OptionSet::positional(std::string metavar, std::string help,
+                                 PositionalHandler handler) {
+  positional_metavar_ = std::move(metavar);
+  positional_help_ = std::move(help);
+  positional_ = std::move(handler);
+  return *this;
+}
+
+const OptionSet::Entry* OptionSet::findEntry(const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (std::find(entry.names.begin(), entry.names.end(), name) !=
+        entry.names.end())
+      return &entry;
+  }
+  return nullptr;
+}
+
+void OptionSet::printUsage(std::ostream& out) const {
+  out << tool_ << " — " << summary_ << "\n";
+  if (!positional_metavar_.empty()) {
+    out << "  usage: " << tool_ << " " << positional_metavar_
+        << " [options]\n";
+    if (!positional_help_.empty()) {
+      out << "  " << positional_metavar_;
+      for (std::size_t i = positional_metavar_.size(); i < 13; ++i)
+        out << ' ';
+      out << ' ' << positional_help_ << "\n";
+    }
+  }
+
+  // Left column: "  --name, -n METAVAR", padded to the widest entry.
+  std::vector<std::string> left;
+  std::size_t width = 0;
+  for (const Entry& entry : entries_) {
+    std::string column;
+    for (std::size_t i = 0; i < entry.names.size(); ++i) {
+      if (i) column += ", ";
+      column += entry.names[i];
+    }
+    if (!entry.metavar.empty()) column += " " + entry.metavar;
+    width = std::max(width, column.size());
+    left.push_back(std::move(column));
+  }
+  width = std::max<std::size_t>(width, 13);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    out << "  " << left[i];
+    for (std::size_t pad = left[i].size(); pad < width; ++pad) out << ' ';
+    // '\n' inside help continues aligned under the help column.
+    std::string line;
+    std::stringstream help(entries_[i].help);
+    bool first = true;
+    while (std::getline(help, line)) {
+      if (!first) {
+        out << "  ";
+        for (std::size_t pad = 0; pad < width; ++pad) out << ' ';
+      }
+      first = false;
+      out << ' ' << line << "\n";
+    }
+    if (first) out << "\n";  // empty help string
+  }
+  out << "  --help, -h";
+  for (std::size_t pad = 10; pad < width; ++pad) out << ' ';
+  out << " print this help and exit\n";
+}
+
+int OptionSet::fail(const std::string& message) const {
+  std::cerr << "error: " << message << "\n";
+  printUsage(std::cerr);
+  return 2;
+}
+
+int OptionSet::parse(int argc, char** argv) const {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      printUsage(std::cout);
+      return 0;
+    }
+    const Entry* entry = findEntry(arg);
+    if (entry == nullptr) {
+      if (!arg.empty() && arg[0] == '-')
+        return fail("unknown option " + arg);
+      if (!positional_) return fail("unexpected argument \"" + arg + "\"");
+      try {
+        positional_(arg);
+      } catch (const std::exception& e) {
+        return fail(e.what());
+      }
+      continue;
+    }
+    if (entry->flag_target != nullptr) {
+      *entry->flag_target = true;
+      continue;
+    }
+    if (i + 1 >= argc) return fail(arg + " needs a value");
+    try {
+      entry->handler(arg, argv[++i]);
+    } catch (const std::exception& e) {
+      return fail(e.what());
+    }
+  }
+  return -1;
 }
 
 }  // namespace lb::service

@@ -1,13 +1,23 @@
 #pragma once
-// Strict command-line number parsing shared by lbsim, lbd, and lbcli.
+// Strict command-line parsing shared by every binary in examples/.
 //
-// std::stoul("7x") happily returns 7 and std::stoul("x") throws a bare
-// std::invalid_argument whose what() is just "stoul" — neither is an
-// acceptable CLI experience.  These helpers parse the *entire* token or
-// throw std::invalid_argument with a message that names the offending
-// option and value, so drivers can print one line and exit 2.
+// Two layers:
+//
+//  - parse* value helpers.  std::stoul("7x") happily returns 7 and
+//    std::stoul("x") throws a bare std::invalid_argument whose what() is
+//    just "stoul" — neither is an acceptable CLI experience.  These parse
+//    the *entire* token or throw std::invalid_argument with a message that
+//    names the offending option and value.
+//
+//  - OptionSet, the declarative driver loop.  Each tool registers its
+//    flags/options/positionals once and gets uniform behaviour for free:
+//    `--help`/`-h` prints a generated usage page and exits 0; junk flags,
+//    missing values, and handler rejections print one `error: ...` line
+//    plus the usage to stderr and exit 2.
 
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -30,5 +40,74 @@ std::uint64_t parseU64InRange(const std::string& option,
 /// items and junk with the same contract as parseU64.
 std::vector<std::uint32_t> parseU32List(const std::string& option,
                                         const std::string& text);
+
+// ---------------------------------------------------------------------------
+// OptionSet
+// ---------------------------------------------------------------------------
+
+/// Declarative option table + parse loop for the example binaries.
+///
+///   service::OptionSet options("lbsim", "LOTTERYBUS experiment driver");
+///   options.value({"--cycles"}, "N", "simulation length",
+///                 [&](const std::string& opt, const std::string& v) {
+///                   scenario.cycles = service::parseU64(opt, v);
+///                 });
+///   options.flag({"--csv"}, "emit CSV instead of an ASCII table", &csv);
+///   if (const int rc = options.parse(argc, argv); rc >= 0) return rc;
+///
+/// parse() returns -1 when the tool should proceed, 0 after printing
+/// `--help` (exit success), or 2 after reporting a bad command line.
+/// Handlers signal rejection by throwing std::exception (the parse*
+/// helpers already do); the message is printed as `error: <what>`.
+class OptionSet {
+public:
+  using ValueHandler =
+      std::function<void(const std::string& option, const std::string& value)>;
+  using PositionalHandler = std::function<void(const std::string& value)>;
+
+  /// `tool` is the binary name shown in the usage header; `summary` the
+  /// one-line description after the em dash.
+  OptionSet(std::string tool, std::string summary);
+
+  /// Boolean switch; any name in `names` ("--lfsr", "-l", ...) sets
+  /// *target to true.  Help lines may contain '\n' for continuations.
+  OptionSet& flag(std::vector<std::string> names, std::string help,
+                  bool* target);
+
+  /// Option taking one value ("--cycles N"); `handler` is called with the
+  /// matched option name and the raw value token.
+  OptionSet& value(std::vector<std::string> names, std::string metavar,
+                   std::string help, ValueHandler handler);
+
+  /// Accepts non-option arguments ("lbcli <verb>", "rtl_and_waves DIR");
+  /// without a registered positional handler they are rejected.
+  OptionSet& positional(std::string metavar, std::string help,
+                        PositionalHandler handler);
+
+  /// The generated usage page (also printed by parse() on --help/errors).
+  void printUsage(std::ostream& out) const;
+
+  /// Parses argv[1..argc); see the class comment for the return contract.
+  int parse(int argc, char** argv) const;
+
+private:
+  struct Entry {
+    std::vector<std::string> names;
+    std::string metavar;  ///< empty for flags
+    std::string help;
+    bool* flag_target = nullptr;
+    ValueHandler handler;
+  };
+
+  const Entry* findEntry(const std::string& name) const;
+  int fail(const std::string& message) const;
+
+  std::string tool_;
+  std::string summary_;
+  std::vector<Entry> entries_;
+  std::string positional_metavar_;
+  std::string positional_help_;
+  PositionalHandler positional_;
+};
 
 }  // namespace lb::service

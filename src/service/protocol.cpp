@@ -1,0 +1,44 @@
+#include "service/protocol.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lb::service {
+
+const std::vector<std::string>& protocolVerbs() {
+  static const std::vector<std::string> verbs = {"run", "sweep", "stats",
+                                                 "metrics", "shutdown"};
+  return verbs;
+}
+
+bool isProtocolVerb(const std::string& verb) {
+  const auto& verbs = protocolVerbs();
+  return std::find(verbs.begin(), verbs.end(), verb) != verbs.end();
+}
+
+Json protocolVerbsJson() {
+  Json array = Json::array();
+  for (const std::string& verb : protocolVerbs()) array.push(Json(verb));
+  return array;
+}
+
+Json& stampProtocolVersion(Json& response) {
+  return response.set("v", Json(kProtocolVersion));
+}
+
+void requireProtocolVersion(const Json& response) {
+  const auto& members = response.asObject();
+  const auto it =
+      std::find_if(members.begin(), members.end(),
+                   [](const auto& member) { return member.first == "v"; });
+  if (it == members.end())
+    throw std::runtime_error(
+        "response carries no protocol version (daemon too old?)");
+  const std::uint64_t v = it->second.asUint64();
+  if (v != kProtocolVersion)
+    throw std::runtime_error("unsupported protocol version " +
+                             std::to_string(v) + " (this client speaks " +
+                             std::to_string(kProtocolVersion) + ")");
+}
+
+}  // namespace lb::service

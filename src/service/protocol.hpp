@@ -1,0 +1,36 @@
+#pragma once
+// lbd wire-protocol surface: the version stamp and the verb table.
+//
+// Every response the daemon writes carries `"v":1`.  Clients must check it
+// (Client::call does) so that a future incompatible protocol bump fails
+// loudly at the first response instead of mis-parsing fields.  Unknown
+// verbs come back as structured errors listing the supported verbs, so a
+// client talking to an older/newer daemon can see exactly what it offers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/json.hpp"
+
+namespace lb::service {
+
+/// Wire protocol generation.  Bump only on incompatible response changes;
+/// adding fields or verbs is compatible and does not bump it.
+inline constexpr std::uint64_t kProtocolVersion = 1;
+
+/// Verbs the daemon understands, in documentation order.
+const std::vector<std::string>& protocolVerbs();
+bool isProtocolVerb(const std::string& verb);
+
+/// protocolVerbs() as a JSON array (for unknown-verb error responses).
+Json protocolVerbsJson();
+
+/// Stamps "v" onto a response object (server side, every response).
+Json& stampProtocolVersion(Json& response);
+
+/// Validates a response's "v" member (client side).  Throws
+/// std::runtime_error when it is missing or not kProtocolVersion.
+void requireProtocolVersion(const Json& response);
+
+}  // namespace lb::service

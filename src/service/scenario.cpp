@@ -10,6 +10,7 @@
 #include "arbiters/token_ring.hpp"
 #include "arbiters/weighted_round_robin.hpp"
 #include "core/lottery.hpp"
+#include "service/metrics.hpp"
 #include "traffic/classes.hpp"
 #include "traffic/testbed.hpp"
 
@@ -215,14 +216,40 @@ std::unique_ptr<bus::IArbiter> makeArbiter(const Scenario& scenario) {
 }
 
 ScenarioResult runScenario(const Scenario& raw) {
+  return runScenario(raw, RunOptions{});
+}
+
+ScenarioResult runScenario(const Scenario& raw, const RunOptions& options) {
   const Scenario scenario = normalized(raw);
   bus::BusConfig config = traffic::defaultBusConfig(scenario.masters);
   config.max_burst_words = scenario.burst;
+
+  obs::MetricsRegistry& registry =
+      options.registry != nullptr ? *options.registry : obs::registry();
+  GrantTally tally(scenario.masters);
+  std::string arbiter_label;
+
+  traffic::TestbedOptions testbed_options;
+  testbed_options.setup = [&](bus::Bus& bus, sim::CycleKernel&) {
+    arbiter_label = bus.arbiter().name();
+    if (options.instrument) {
+      bus.setMetricsSinks(
+          makeBusSinks(registry, arbiter_label, scenario.masters));
+      bus.arbiter().setObserver(&tally);
+    }
+    if (options.capture_trace != nullptr) bus.setTraceEnabled(true);
+  };
+  testbed_options.teardown = [&](bus::Bus& bus) {
+    if (options.capture_trace != nullptr) *options.capture_trace = bus.trace();
+    bus.arbiter().setObserver(nullptr);
+  };
+
   const traffic::TestbedResult run = traffic::runTestbed(
       std::move(config), makeArbiter(scenario),
       traffic::paramsFor(traffic::trafficClass(scenario.traffic_class),
                          scenario.masters, scenario.seed),
-      scenario.cycles);
+      scenario.cycles, std::move(testbed_options));
+  if (options.instrument) tally.publish(registry, arbiter_label);
   ScenarioResult result;
   result.bandwidth_fraction = run.bandwidth_fraction;
   result.traffic_share = run.traffic_share;

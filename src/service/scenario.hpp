@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "bus/arbiter.hpp"
+#include "bus/bus.hpp"
+#include "obs/metrics.hpp"
 #include "service/json.hpp"
 #include "sim/kernel.hpp"
 
@@ -100,8 +102,26 @@ ScenarioResult resultFromJson(const Json& json);
 /// previously private to examples/lbsim.cpp.
 std::unique_ptr<bus::IArbiter> makeArbiter(const Scenario& scenario);
 
+/// Observability knobs for a scenario run.  Everything here is strictly
+/// passive: any combination of options yields bit-identical ScenarioResults
+/// (pinned by service_test's inertness golden check), because instruments
+/// and observers never feed back into arbitration or traffic state.
+struct RunOptions {
+  /// Publish lb_bus_* / lb_arbiter_* metrics for this run.
+  bool instrument = true;
+  /// Registry to publish into; nullptr means the process-wide
+  /// obs::registry().
+  obs::MetricsRegistry* registry = nullptr;
+  /// When set, every executed grant is copied here after the run (the
+  /// source of `lbsim --trace-out`'s Chrome trace).
+  std::vector<bus::GrantRecord>* capture_trace = nullptr;
+};
+
 /// Runs the scenario through traffic::runTestbed.  Pure function of the
-/// normalized scenario: same input, bit-identical output.
+/// normalized scenario: same input, bit-identical output regardless of
+/// `options`.
 ScenarioResult runScenario(const Scenario& scenario);
+ScenarioResult runScenario(const Scenario& scenario,
+                           const RunOptions& options);
 
 }  // namespace lb::service

@@ -13,6 +13,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "service/protocol.hpp"
+
 namespace lb::service {
 
 namespace {
@@ -47,7 +49,16 @@ Json outcomeToJson(const JobOutcome& outcome) {
 
 }  // namespace
 
-Server::Server(ServerOptions options) : options_(options), engine_(options.engine) {
+Server::Server(ServerOptions options)
+    : options_(options),
+      engine_(options.engine),
+      requests_family_(engine_.metricsRegistry().counter(
+          "lb_server_requests_total", "Requests handled per verb")),
+      protocol_errors_counter_(
+          engine_.metricsRegistry()
+              .counter("lb_server_protocol_errors_total",
+                       "Malformed or unknown requests")
+              .get()) {
   latency_reservoir_.reserve(kLatencyReservoir);
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -165,6 +176,9 @@ std::string Server::handleRequest(const std::string& line) {
   try {
     const Json request = Json::parse(line);
     const std::string& verb = request.at("verb").asString();
+    requests_family_
+        .withLabels({{"verb", isProtocolVerb(verb) ? verb : "unknown"}})
+        .inc();
     if (verb == "run") {
       const Scenario scenario = scenarioFromJson(request.at("scenario"));
       response = outcomeToJson(engine_.run(scenario));
@@ -180,18 +194,26 @@ std::string Server::handleRequest(const std::string& line) {
     } else if (verb == "stats") {
       response = Json::object();
       response.set("ok", Json(true)).set("stats", statsJson());
+    } else if (verb == "metrics") {
+      response = Json::object();
+      response.set("ok", Json(true))
+          .set("metrics", Json(engine_.metricsRegistry().renderPrometheus()));
     } else if (verb == "shutdown") {
       if (!stopping_.exchange(true)) pokeListener();
       response = Json::object();
       response.set("ok", Json(true)).set("stopping", Json(true));
     } else {
       ++protocol_errors_;
+      protocol_errors_counter_.inc();
       response = errorResponse("unknown verb \"" + verb + "\"");
+      response.set("supported_verbs", protocolVerbsJson());
     }
   } catch (const std::exception& e) {
     ++protocol_errors_;
+    protocol_errors_counter_.inc();
     response = errorResponse(e.what());
   }
+  stampProtocolVersion(response);
   recordLatency(std::chrono::duration<double, std::micro>(
                     std::chrono::steady_clock::now() - started)
                     .count());

@@ -11,8 +11,13 @@
 //                                                {"ok":true,...} |
 //                                                {"ok":false,"error":"..."}]}
 //   {"verb":"stats"}                         -> {"ok":true,"stats":{...}}
+//   {"verb":"metrics"}                       -> {"ok":true,"metrics":
+//                                                "<Prometheus text>"}
 //   {"verb":"shutdown"}                      -> {"ok":true} then the
 //                                               listener stops
+//
+// Every response additionally carries `"v":1` (see service/protocol.hpp);
+// unknown verbs yield {"ok":false,"error":...,"supported_verbs":[...]}.
 //
 // Any malformed line yields {"ok":false,"error":"..."}; the connection
 // stays open (clients may pipeline many requests per connection).  Each
@@ -76,6 +81,10 @@ private:
 
   ServerOptions options_;
   JobEngine engine_;
+  /// Per-verb request counters and the protocol-error counter, resolved
+  /// against the engine's registry (so a `metrics` scrape includes them).
+  obs::Family<obs::Counter>& requests_family_;
+  obs::Counter& protocol_errors_counter_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

@@ -2,10 +2,30 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace lb::sim {
 
 namespace {
 thread_local bool t_on_pool_thread = false;
+
+// Process-wide pool instruments (all ThreadPool instances share them; the
+// split per pool is not interesting, total pressure is).
+obs::Counter& tasksCounter() {
+  static obs::Counter& counter =
+      obs::registry()
+          .counter("lb_threadpool_tasks_total", "Tasks executed by workers")
+          .get();
+  return counter;
+}
+
+obs::Gauge& queuedGauge() {
+  static obs::Gauge& gauge =
+      obs::registry()
+          .gauge("lb_threadpool_queued", "Tasks waiting for a worker")
+          .get();
+  return gauge;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -29,6 +49,7 @@ void ThreadPool::post(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push_back(std::move(task));
   }
+  queuedGauge().add(1);
   cv_.notify_one();
 }
 
@@ -48,6 +69,8 @@ void ThreadPool::workerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
+    queuedGauge().add(-1);
+    tasksCounter().inc();
     task();
   }
 }

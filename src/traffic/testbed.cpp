@@ -61,6 +61,7 @@ TestbedResult runTestbed(bus::BusConfig config,
     result.mean_message_latency[m] = bus.latency().meanMessageLatency(m);
     result.messages_completed[m] = bus.latency().messages(m);
   }
+  if (options.teardown) options.teardown(bus);
   return result;
 }
 

@@ -34,6 +34,9 @@ struct TestbedOptions {
   /// Invoked after construction, before running: configure tickets, attach
   /// extra components (ticket policies), enable tracing, ...
   std::function<void(bus::Bus&, sim::CycleKernel&)> setup;
+  /// Invoked after the run and statistics collection, while the bus still
+  /// exists: copy out traces, detach observers, ...
+  std::function<void(bus::Bus&)> teardown;
 };
 
 /// Builds kernel + bus + one TrafficSource per master, runs `cycles` cycles,

@@ -18,19 +18,21 @@ namespace {
 /// Grants the lowest-indexed pending master (deterministic test arbiter).
 class FirstComeArbiter final : public IArbiter {
 public:
-  Grant arbitrate(const RequestView& requests, Cycle) override {
+  Grant decide(const RequestView& requests, Cycle) override {
     for (std::size_t i = 0; i < requests.size(); ++i)
       if (requests[i].pending) return Grant{static_cast<MasterId>(i), 0};
     return Grant{};
   }
   std::string name() const override { return "first-come"; }
+  void reset() override {}
 };
 
 /// Misbehaving arbiter that grants master 1 unconditionally.
 class RogueArbiter final : public IArbiter {
 public:
-  Grant arbitrate(const RequestView&, Cycle) override { return Grant{1, 0}; }
+  Grant decide(const RequestView&, Cycle) override { return Grant{1, 0}; }
   std::string name() const override { return "rogue"; }
+  void reset() override {}
 };
 
 BusConfig config4(std::uint32_t max_burst = 16) {
@@ -187,12 +189,13 @@ TEST(BusGrantTest, ArbiterMaxWordsRespected) {
   // An arbiter that always grants single words (TDMA-style).
   class SingleWordArbiter final : public IArbiter {
   public:
-    Grant arbitrate(const RequestView& requests, Cycle) override {
+    Grant decide(const RequestView& requests, Cycle) override {
       for (std::size_t i = 0; i < requests.size(); ++i)
         if (requests[i].pending) return Grant{static_cast<MasterId>(i), 1};
       return Grant{};
     }
     std::string name() const override { return "single-word"; }
+    void reset() override {}
   };
   Bus bus(config4(16), std::make_unique<SingleWordArbiter>());
   Message m;

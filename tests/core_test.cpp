@@ -508,10 +508,11 @@ TEST(StarvationTest, InputValidation) {
 
 class NeverGrantArbiter final : public bus::IArbiter {
 public:
-  bus::Grant arbitrate(const RequestView&, bus::Cycle) override {
+  bus::Grant decide(const RequestView&, bus::Cycle) override {
     return bus::Grant{};
   }
   std::string name() const override { return "never"; }
+  void reset() override {}
 };
 
 TEST(TicketScheduleTest, AppliesEntriesAtTheirCycle) {

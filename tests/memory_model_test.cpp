@@ -90,12 +90,13 @@ TEST(RowBufferTest, SequentialStreamIsMostlyHits) {
 
 class FirstComeArbiter final : public IArbiter {
 public:
-  Grant arbitrate(const RequestView& requests, Cycle) override {
+  Grant decide(const RequestView& requests, Cycle) override {
     for (std::size_t i = 0; i < requests.size(); ++i)
       if (requests[i].pending) return Grant{static_cast<MasterId>(i), 0};
     return Grant{};
   }
   std::string name() const override { return "first-come"; }
+  void reset() override {}
 };
 
 TEST(BusSetupLatencyTest, ChargedBeforeFirstWord) {

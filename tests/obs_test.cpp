@@ -1,0 +1,242 @@
+// Tests for the observability subsystem: instrument semantics, thread
+// safety of the lock-free hot paths, the exact Prometheus exposition text
+// (golden — scrapers parse this format, so it must not drift), and the
+// Chrome trace_event JSON emitted by TraceRecorder.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace lb;
+
+// ---------------------------------------------------------------------------
+// instruments
+// ---------------------------------------------------------------------------
+
+TEST(ObsCounterTest, IncrementAndRead) {
+  obs::Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.inc();
+  counter.inc(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(ObsCounterTest, ConcurrentIncrementsAllLand) {
+  obs::Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.inc();
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(ObsGaugeTest, SetAndAdd) {
+  obs::Gauge gauge;
+  gauge.set(10);
+  gauge.add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.add(-10);
+  EXPECT_EQ(gauge.value(), -3);  // gauges may go negative
+}
+
+TEST(ObsHistogramTest, BucketEdgesAreInclusive) {
+  obs::Histogram histogram({1.0, 2.0, 4.0});
+  histogram.observe(1.0);  // == first edge -> bucket 0
+  histogram.observe(1.5);  // -> bucket 1
+  histogram.observe(2.0);  // == second edge -> bucket 1
+  histogram.observe(4.0);  // == last edge -> bucket 2
+  histogram.observe(4.5);  // -> +Inf
+  EXPECT_EQ(histogram.bucketCount(0), 1u);
+  EXPECT_EQ(histogram.bucketCount(1), 2u);
+  EXPECT_EQ(histogram.bucketCount(2), 1u);
+  EXPECT_EQ(histogram.bucketCount(3), 1u);  // +Inf
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 13.0);
+}
+
+TEST(ObsHistogramTest, RejectsUnsortedBounds) {
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(ObsHistogramTest, ConcurrentObservesAllLand) {
+  obs::Histogram histogram(obs::cycleBuckets());
+  constexpr int kThreads = 8;
+  constexpr int kObservations = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kObservations; ++i)
+        histogram.observe(static_cast<double>((t * kObservations + i) % 100));
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads) * kObservations);
+  std::uint64_t buckets = 0;
+  for (std::size_t i = 0; i <= histogram.bounds().size(); ++i)
+    buckets += histogram.bucketCount(i);
+  EXPECT_EQ(buckets, histogram.count());
+}
+
+// ---------------------------------------------------------------------------
+// families and registry
+// ---------------------------------------------------------------------------
+
+TEST(ObsFamilyTest, LabelOrderIsCanonical) {
+  obs::MetricsRegistry registry;
+  auto& family = registry.counter("lb_test_total", "help");
+  obs::Counter& a = family.withLabels({{"a", "1"}, {"b", "2"}});
+  obs::Counter& b = family.withLabels({{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);  // same child regardless of key order
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(ObsFamilyTest, ChildReferencesStaySable) {
+  obs::MetricsRegistry registry;
+  auto& family = registry.counter("lb_test_total", "help");
+  obs::Counter& first = family.withLabels({{"m", "0"}});
+  for (int m = 1; m < 64; ++m)
+    family.withLabels({{"m", std::to_string(m)}}).inc();
+  first.inc();  // must still be valid after 63 sibling insertions
+  EXPECT_EQ(family.withLabels({{"m", "0"}}).value(), 1u);
+}
+
+TEST(ObsRegistryTest, NameReuseRequiresSameType) {
+  obs::MetricsRegistry registry;
+  registry.counter("lb_thing_total", "help");
+  EXPECT_NO_THROW(registry.counter("lb_thing_total", "help"));
+  EXPECT_THROW(registry.gauge("lb_thing_total", "help"),
+               std::invalid_argument);
+  EXPECT_THROW(registry.histogram("lb_thing_total", "help", {1.0}),
+               std::invalid_argument);
+}
+
+TEST(ObsRegistryTest, RejectsInvalidMetricNames) {
+  obs::MetricsRegistry registry;
+  EXPECT_THROW(registry.counter("", "help"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("0leading_digit", "help"),
+               std::invalid_argument);
+  EXPECT_THROW(registry.counter("has space", "help"), std::invalid_argument);
+}
+
+// The golden exposition: pinned byte-for-byte because external scrapers
+// parse it.  Families render in registration order, children in sorted
+// label order, histogram buckets cumulatively.
+TEST(ObsRegistryTest, PrometheusGoldenText) {
+  obs::MetricsRegistry registry;
+  auto& requests = registry.counter("lb_test_requests_total",
+                                    "Requests served by verb.");
+  requests.withLabels({{"verb", "run"}}).inc(3);
+  requests.withLabels({{"verb", "stats"}}).inc();
+  registry.gauge("lb_test_queue_depth", "Jobs waiting.").get().set(5);
+  auto& wait = registry.histogram("lb_test_wait_cycles",
+                                  "Cycles a request head waited.",
+                                  {1.0, 2.0, 4.0});
+  wait.get().observe(1);
+  wait.get().observe(2);
+  wait.get().observe(3);
+  wait.get().observe(9);
+
+  EXPECT_EQ(registry.renderPrometheus(),
+            "# HELP lb_test_requests_total Requests served by verb.\n"
+            "# TYPE lb_test_requests_total counter\n"
+            "lb_test_requests_total{verb=\"run\"} 3\n"
+            "lb_test_requests_total{verb=\"stats\"} 1\n"
+            "# HELP lb_test_queue_depth Jobs waiting.\n"
+            "# TYPE lb_test_queue_depth gauge\n"
+            "lb_test_queue_depth 5\n"
+            "# HELP lb_test_wait_cycles Cycles a request head waited.\n"
+            "# TYPE lb_test_wait_cycles histogram\n"
+            "lb_test_wait_cycles_bucket{le=\"1\"} 1\n"
+            "lb_test_wait_cycles_bucket{le=\"2\"} 2\n"
+            "lb_test_wait_cycles_bucket{le=\"4\"} 3\n"
+            "lb_test_wait_cycles_bucket{le=\"+Inf\"} 4\n"
+            "lb_test_wait_cycles_sum 15\n"
+            "lb_test_wait_cycles_count 4\n");
+}
+
+TEST(ObsRegistryTest, LabelValuesAreEscaped) {
+  obs::MetricsRegistry registry;
+  registry.counter("lb_test_total", "help")
+      .withLabels({{"path", "a\"b\\c\nd"}})
+      .inc();
+  EXPECT_NE(registry.renderPrometheus().find(
+                "lb_test_total{path=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(ObsFormatNumberTest, PrometheusConventions) {
+  EXPECT_EQ(obs::formatNumber(42.0), "42");
+  EXPECT_EQ(obs::formatNumber(-7.0), "-7");
+  EXPECT_EQ(obs::formatNumber(0.5), "0.5");
+  EXPECT_EQ(obs::formatNumber(std::numeric_limits<double>::infinity()),
+            "+Inf");
+  EXPECT_EQ(obs::formatNumber(-std::numeric_limits<double>::infinity()),
+            "-Inf");
+}
+
+// ---------------------------------------------------------------------------
+// trace recorder
+// ---------------------------------------------------------------------------
+
+TEST(ObsTraceTest, GoldenJson) {
+  obs::TraceRecorder recorder;
+  recorder.setProcessName(0, "lbsim");
+  recorder.setThreadName(0, 2, "master 2");
+  recorder.addComplete("grant", "bus", 0, 2, 10, 16, {{"words", 16}});
+  recorder.addInstant("preempt", "bus", 0, 2, 30);
+  recorder.addCounter("queue", 0, 30, {{"depth", 3}});
+  EXPECT_EQ(recorder.eventCount(), 5u);
+
+  std::ostringstream out;
+  recorder.writeJson(out);
+  EXPECT_EQ(
+      out.str(),
+      "{\"traceEvents\":["
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"ts\":0,"
+      "\"args\":{\"name\":\"lbsim\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":2,\"ts\":0,"
+      "\"args\":{\"name\":\"master 2\"}},"
+      "{\"name\":\"grant\",\"ph\":\"X\",\"cat\":\"bus\",\"pid\":0,\"tid\":2,"
+      "\"ts\":10,\"dur\":16,\"args\":{\"words\":16}},"
+      "{\"name\":\"preempt\",\"ph\":\"i\",\"cat\":\"bus\",\"pid\":0,"
+      "\"tid\":2,\"ts\":30,\"s\":\"t\"},"
+      "{\"name\":\"queue\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":30,"
+      "\"args\":{\"depth\":3}}"
+      "],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(ObsTraceTest, EscapesNamesAndSurvivesThreads) {
+  obs::TraceRecorder recorder;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < 1000; ++i)
+        recorder.addInstant("tick \"q\"\n", "test", 0,
+                            static_cast<std::uint32_t>(t),
+                            static_cast<double>(i));
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(recorder.eventCount(), 4000u);
+
+  std::ostringstream out;
+  recorder.writeJson(out);
+  // Escaped quote and newline; raw control characters never leak through.
+  EXPECT_NE(out.str().find("tick \\\"q\\\"\\n"), std::string::npos);
+  EXPECT_EQ(out.str().find('\n'), out.str().size() - 1);
+}
+
+}  // namespace

@@ -5,10 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "service/client.hpp"
+#include "service/protocol.hpp"
 #include "service/scenario.hpp"
 #include "service/server.hpp"
 
@@ -143,6 +147,94 @@ TEST(ServerLoopbackTest, ManyClientsShareTheCache) {
   const auto stats = server.engine().stats();
   EXPECT_EQ(stats.completed, 1u);
   server.stop();
+}
+
+// Every response — success or error — is stamped with the wire protocol
+// version, and requireProtocolVersion (the client-side check) rejects
+// anything else.
+TEST(ServerProtocolTest, ResponsesCarryProtocolVersion) {
+  service::Server server(testOptions());
+  const char* lines[] = {
+      R"({"verb":"stats"})",       // success path
+      R"({"verb":"frobnicate"})",  // error path
+      "not json at all",           // parse-failure path
+  };
+  for (const char* line : lines) {
+    const Json response = Json::parse(server.handleRequest(line));
+    ASSERT_NE(response.find("v"), nullptr) << line;
+    EXPECT_EQ(response.at("v").asUint64(), service::kProtocolVersion) << line;
+    EXPECT_NO_THROW(service::requireProtocolVersion(response)) << line;
+  }
+
+  Json wrong = Json::parse(server.handleRequest(R"({"verb":"stats"})"));
+  wrong.set("v", Json(std::uint64_t{99}));
+  EXPECT_THROW(service::requireProtocolVersion(wrong), std::runtime_error);
+  Json missing = Json::object();
+  missing.set("ok", Json(true));
+  EXPECT_THROW(service::requireProtocolVersion(missing), std::runtime_error);
+}
+
+TEST(ServerProtocolTest, UnknownVerbListsSupportedVerbs) {
+  service::Server server(testOptions());
+  const Json response =
+      Json::parse(server.handleRequest(R"({"verb":"frobnicate"})"));
+  EXPECT_FALSE(response.at("ok").asBool());
+  ASSERT_NE(response.find("supported_verbs"), nullptr);
+  std::vector<std::string> verbs;
+  for (const Json& verb : response.at("supported_verbs").asArray())
+    verbs.push_back(verb.asString());
+  EXPECT_EQ(verbs, service::protocolVerbs());
+  for (const std::string& verb : verbs)
+    EXPECT_TRUE(service::isProtocolVerb(verb)) << verb;
+  EXPECT_FALSE(service::isProtocolVerb("frobnicate"));
+}
+
+// Reads the value of one exposition line ("name{labels} 42") from
+// Prometheus text; -1 if the series is absent.
+long long promValue(const std::string& text, const std::string& series) {
+  const std::string prefix = series + " ";
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line))
+    if (line.rfind(prefix, 0) == 0) return std::stoll(line.substr(prefix.size()));
+  return -1;
+}
+
+// The `metrics` verb returns Prometheus text whose counters reconcile with
+// the `stats` document: same requests, same completed-job count.  A fresh
+// registry is injected so counts start at zero (the default process-global
+// registry accumulates across tests).
+TEST(ServerProtocolTest, MetricsScrapeReconcilesWithStats) {
+  obs::MetricsRegistry fresh;
+  service::ServerOptions options = testOptions();
+  options.engine.registry = &fresh;
+  service::Server server(options);
+
+  Json run = Json::object();
+  run.set("verb", Json("run")).set("scenario", smallScenarioJson(5));
+  ASSERT_TRUE(Json::parse(server.handleRequest(run.dump())).at("ok").asBool());
+  ASSERT_TRUE(Json::parse(server.handleRequest(run.dump())).at("ok").asBool());
+  server.handleRequest(R"({"verb":"frobnicate"})");
+  const Json stats =
+      Json::parse(server.handleRequest(R"({"verb":"stats"})")).at("stats");
+
+  const Json response =
+      Json::parse(server.handleRequest(R"({"verb":"metrics"})"));
+  ASSERT_TRUE(response.at("ok").asBool());
+  const std::string text = response.at("metrics").asString();
+
+  EXPECT_EQ(promValue(text, "lb_server_requests_total{verb=\"run\"}"), 2);
+  EXPECT_EQ(promValue(text, "lb_server_requests_total{verb=\"unknown\"}"), 1);
+  EXPECT_EQ(promValue(text, "lb_server_requests_total{verb=\"stats\"}"), 1);
+  EXPECT_EQ(promValue(text, "lb_server_protocol_errors_total"),
+            static_cast<long long>(stats.at("protocol_errors").asUint64()));
+  EXPECT_EQ(promValue(text, "lb_jobs_completed_total"),
+            static_cast<long long>(stats.at("jobs_completed").asUint64()));
+  EXPECT_EQ(promValue(text, "lb_cache_hits_total{tier=\"memory\"}"),
+            static_cast<long long>(stats.at("hits").asUint64()));
+  // The run executed a simulation with bus instruments attached: the bus
+  // layer's counters must be present and nonzero in the same scrape.
+  EXPECT_GT(promValue(text, "lb_bus_grants_total{arbiter=\"lottery\"}"), 0);
 }
 
 TEST(ServerLoopbackTest, PipelinedRequestsOnOneConnection) {

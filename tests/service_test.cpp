@@ -9,8 +9,10 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "service/cache.hpp"
 #include "service/job_engine.hpp"
 #include "service/json.hpp"
@@ -221,6 +223,36 @@ TEST(ScenarioRunTest, MatchesDirectTestbedInvocation) {
   EXPECT_EQ(a.bandwidth_fraction.size(), 4u);
 }
 
+// The observability golden check: instrumentation and trace capture must be
+// provably inert.  Every combination of RunOptions yields a ScenarioResult
+// bit-identical (operator== compares raw doubles) to the plain run.
+TEST(ScenarioRunTest, InstrumentationIsInert) {
+  Scenario scenario;
+  scenario.cycles = 30000;
+  const auto baseline = service::runScenario(scenario);
+
+  service::RunOptions bare;
+  bare.instrument = false;
+  EXPECT_EQ(service::runScenario(scenario, bare), baseline);
+
+  obs::MetricsRegistry fresh;
+  std::vector<bus::GrantRecord> grants;
+  service::RunOptions full;
+  full.registry = &fresh;
+  full.capture_trace = &grants;
+  EXPECT_EQ(service::runScenario(scenario, full), baseline);
+
+  // The side channels did fire: grants were captured and the registry saw
+  // the same number of them.
+  EXPECT_FALSE(grants.empty());
+  const std::string text = fresh.renderPrometheus();
+  EXPECT_NE(text.find("lb_bus_grants_total{arbiter=\"lottery\"} " +
+                      std::to_string(grants.size())),
+            std::string::npos);
+  EXPECT_NE(text.find("lb_arbiter_decisions_total{arbiter=\"lottery\"}"),
+            std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Strict CLI parsing helpers
 // ---------------------------------------------------------------------------
@@ -253,6 +285,65 @@ TEST(ParseTest, ErrorsNameTheOption) {
     EXPECT_NE(std::string(e.what()).find("--masters"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("\"x\""), std::string::npos);
   }
+}
+
+// OptionSet drives the real argv contract of every example binary:
+// -1 = proceed, 0 = --help printed, 2 = rejected.
+TEST(OptionSetTest, ParseContract) {
+  std::uint64_t cycles = 0;
+  bool csv = false;
+  std::string positional;
+  service::OptionSet options("tool", "test tool");
+  options
+      .positional("VERB", "the verb",
+                  [&](const std::string& v) { positional = v; })
+      .value({"--cycles"}, "N", "simulation length",
+             [&](const std::string& opt, const std::string& v) {
+               cycles = service::parseU64(opt, v);
+             })
+      .flag({"--csv"}, "emit CSV", &csv);
+
+  auto parse = [&](std::vector<std::string> args) {
+    args.insert(args.begin(), "tool");
+    std::vector<char*> argv;
+    for (std::string& arg : args) argv.push_back(arg.data());
+    return options.parse(static_cast<int>(argv.size()), argv.data());
+  };
+
+  EXPECT_EQ(parse({"run", "--cycles", "1234", "--csv"}), -1);
+  EXPECT_EQ(positional, "run");
+  EXPECT_EQ(cycles, 1234u);
+  EXPECT_TRUE(csv);
+
+  EXPECT_EQ(parse({"--help"}), 0);
+  EXPECT_EQ(parse({"-h"}), 0);
+  EXPECT_EQ(parse({"--frobnicate"}), 2);   // unknown option
+  EXPECT_EQ(parse({"--cycles"}), 2);       // missing value
+  EXPECT_EQ(parse({"--cycles", "x"}), 2);  // handler rejection
+}
+
+TEST(OptionSetTest, RejectsPositionalsUnlessRegistered) {
+  service::OptionSet options("tool", "test tool");
+  std::string arg0 = "tool", arg1 = "stray";
+  char* argv[] = {arg0.data(), arg1.data()};
+  EXPECT_EQ(options.parse(2, argv), 2);
+}
+
+TEST(OptionSetTest, UsageListsEveryOption) {
+  bool flag = false;
+  service::OptionSet options("tool", "test tool");
+  options
+      .value({"--cycles"}, "N", "simulation length\nsecond help line",
+             [](const std::string&, const std::string&) {})
+      .flag({"--csv", "-c"}, "emit CSV", &flag);
+  std::ostringstream usage;
+  options.printUsage(usage);
+  const std::string text = usage.str();
+  EXPECT_NE(text.find("tool — test tool"), std::string::npos);
+  EXPECT_NE(text.find("--cycles N"), std::string::npos);
+  EXPECT_NE(text.find("second help line"), std::string::npos);
+  EXPECT_NE(text.find("--csv, -c"), std::string::npos);
+  EXPECT_NE(text.find("--help, -h"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

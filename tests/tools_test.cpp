@@ -125,13 +125,14 @@ TEST(FairnessTest, Validation) {
 
 class FirstComeArbiter final : public bus::IArbiter {
 public:
-  bus::Grant arbitrate(const bus::RequestView& requests, bus::Cycle) override {
+  bus::Grant decide(const bus::RequestView& requests, bus::Cycle) override {
     for (std::size_t i = 0; i < requests.size(); ++i)
       if (requests[i].pending)
         return bus::Grant{static_cast<bus::MasterId>(i), 0};
     return bus::Grant{};
   }
   std::string name() const override { return "first-come"; }
+  void reset() override {}
 };
 
 TEST(WaveformTest, RendersOwnershipPerMaster) {

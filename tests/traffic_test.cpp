@@ -123,12 +123,13 @@ TEST(GapDistTest, ZeroMeanIsAlwaysZero) {
 
 class AlwaysFirstArbiter final : public bus::IArbiter {
 public:
-  bus::Grant arbitrate(const bus::RequestView& requests, bus::Cycle) override {
+  bus::Grant decide(const bus::RequestView& requests, bus::Cycle) override {
     for (std::size_t i = 0; i < requests.size(); ++i)
       if (requests[i].pending) return bus::Grant{static_cast<int>(i), 0};
     return bus::Grant{};
   }
   std::string name() const override { return "first"; }
+  void reset() override {}
 };
 
 TEST(TrafficSourceTest, ClosedLoopKeepsOneOutstanding) {
@@ -190,10 +191,11 @@ TEST(TrafficSourceTest, BackpressureStallsGeneration) {
   // Arbiter that never grants: the queue can only fill.
   class NeverArbiter final : public bus::IArbiter {
   public:
-    bus::Grant arbitrate(const bus::RequestView&, bus::Cycle) override {
+    bus::Grant decide(const bus::RequestView&, bus::Cycle) override {
       return bus::Grant{};
     }
     std::string name() const override { return "never"; }
+    void reset() override {}
   };
   bus::Bus bus(config, std::make_unique<NeverArbiter>());
   TrafficParams params;
@@ -334,10 +336,11 @@ TEST(TraceSourceTest, BackpressureDefersWithoutDropping) {
   config.num_masters = 1;
   class NeverArbiter final : public bus::IArbiter {
   public:
-    bus::Grant arbitrate(const bus::RequestView&, bus::Cycle) override {
+    bus::Grant decide(const bus::RequestView&, bus::Cycle) override {
       return bus::Grant{};
     }
     std::string name() const override { return "never"; }
+    void reset() override {}
   };
   bus::Bus bus(config, std::make_unique<NeverArbiter>());
   TraceSource source(bus, 0, {{0, 1, 0}, {0, 1, 0}, {0, 1, 0}},
