@@ -17,10 +17,18 @@
 // Every response is checked for the wire protocol version ("v": 1); a
 // daemon speaking a different protocol is reported as an error rather
 // than mis-parsed.
+//
+// Robustness flags (docs/robustness.md): --deadline-ms bounds the whole
+// request including reconnects and backoff; --retries / --retry-seed
+// control the deterministic decorrelated-jitter retry schedule;
+// --client-metrics dumps this process's metrics registry (including
+// lb_client_retries_total) as Prometheus text on stderr before exiting,
+// so soak scripts can count retries across many invocations.
 
 #include <iostream>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "service/client.hpp"
 #include "service/parse.hpp"
 #include "service/report.hpp"
@@ -42,12 +50,14 @@ int failProtocol(const service::Json& response) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::uint16_t port = 4817;
+  service::ClientOptions client_options;
+  client_options.port = 4817;
   std::string verb;
   service::Scenario scenario;
   std::uint64_t sweep_seeds = 8;
   bool csv = false;
   bool raw_json = false;
+  bool client_metrics = false;
 
   service::OptionSet options("lbcli", "LOTTERYBUS daemon client");
   options
@@ -60,8 +70,25 @@ int main(int argc, char** argv) {
                   })
       .value({"--port"}, "N", "daemon port (default 4817)",
              [&](const std::string& opt, const std::string& v) {
-               port = static_cast<std::uint16_t>(
+               client_options.port = static_cast<std::uint16_t>(
                    service::parseU64InRange(opt, v, 1, 65535));
+             })
+      .value({"--deadline-ms"}, "N",
+             "total budget per request incl. retries; 0 = none (default)",
+             [&](const std::string& opt, const std::string& v) {
+               client_options.deadline = std::chrono::milliseconds(
+                   service::parseU64InRange(opt, v, 0, 86400000));
+             })
+      .value({"--retries"}, "N",
+             "retries after the first attempt (default 3; 0 disables)",
+             [&](const std::string& opt, const std::string& v) {
+               client_options.max_retries = static_cast<int>(
+                   service::parseU64InRange(opt, v, 0, 1000));
+             })
+      .value({"--retry-seed"}, "N",
+             "seed for the deterministic backoff jitter (default 1)",
+             [&](const std::string& opt, const std::string& v) {
+               client_options.retry_seed = service::parseU64(opt, v);
              })
       .value({"--arbiter"}, "X",
              "lottery | lottery-dynamic | priority | tdma | rr |\n"
@@ -101,7 +128,11 @@ int main(int argc, char** argv) {
       .flag({"--lfsr"}, "use the hardware LFSR lottery variant",
             &scenario.lfsr)
       .flag({"--csv"}, "emit CSV instead of an ASCII table", &csv)
-      .flag({"--json"}, "run: print the raw response document", &raw_json);
+      .flag({"--json"}, "run: print the raw response document", &raw_json)
+      .flag({"--client-metrics"},
+            "dump this process's metrics registry (Prometheus text,\n"
+            "incl. lb_client_retries_total) on stderr before exiting",
+            &client_metrics);
   if (const int rc = options.parse(argc, argv); rc >= 0) return rc;
 
   if (verb.empty()) {
@@ -111,8 +142,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Dump the client-process registry on every exit path (including errors)
+  // so soak scripts can sum lb_client_retries_total across invocations.
+  struct MetricsDump {
+    bool enabled;
+    ~MetricsDump() {
+      if (enabled) std::cerr << obs::registry().renderPrometheus();
+    }
+  } metrics_dump{client_metrics};
+
   try {
-    service::Client client(port);
+    service::Client client(client_options);
 
     if (verb == "run") {
       const service::Json response =

@@ -10,13 +10,23 @@
 //
 //   ./build/examples/lbd --port 4817
 //   ./build/examples/lbd --port 0 --cache-dir build/lbd-cache  # ephemeral
+//   ./build/examples/lbd --port 0 --fault-plan seed=42,torn_read=0.1 # chaos
 //
 // Prints "lbd listening on 127.0.0.1:<port>" once ready (scripts parse
 // this line to discover ephemeral ports).  `lbcli shutdown` stops it.
+//
+// Degraded-mode behavior (docs/robustness.md): when the job queue is full
+// the daemon answers {"ok":false,"overloaded":true,"retry_after_ms":N}
+// instead of blocking the connection (disable with --block-when-full), and
+// connections idle past --read-deadline-ms are closed.  --fault-plan
+// installs a seeded fault injector across the socket, job, and cache
+// layers for chaos testing.
 
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "service/parse.hpp"
 #include "service/server.hpp"
 
@@ -25,6 +35,12 @@ int main(int argc, char** argv) {
 
   service::ServerOptions server_options;
   server_options.port = 4817;
+  // A daemon must not wedge its connection handlers: shed explicitly when
+  // the queue is full, and drop connections idle for five minutes.
+  server_options.engine.shed_when_full = true;
+  server_options.read_deadline = std::chrono::milliseconds(300000);
+  bool block_when_full = false;
+  std::string fault_spec;
 
   service::OptionSet options("lbd", "LOTTERYBUS simulation daemon");
   options
@@ -59,8 +75,47 @@ int main(int argc, char** argv) {
              "persist results as <hash>.json under DIR",
              [&](const std::string&, const std::string& v) {
                server_options.engine.cache_dir = v;
+             })
+      .value({"--retry-after-ms"}, "N",
+             "retry hint attached to overloaded responses (default 50)",
+             [&](const std::string& opt, const std::string& v) {
+               server_options.engine.retry_after_ms = static_cast<std::uint32_t>(
+                   service::parseU64InRange(opt, v, 1, 600000));
+             })
+      .value({"--read-deadline-ms"}, "N",
+             "close connections idle for N ms; 0 = never (default 300000)",
+             [&](const std::string& opt, const std::string& v) {
+               server_options.read_deadline = std::chrono::milliseconds(
+                   service::parseU64InRange(opt, v, 0, 86400000));
+             })
+      .flag({"--block-when-full"},
+            "block submitters when the job queue is full instead of\n"
+            "answering overloaded + retry_after_ms",
+            &block_when_full)
+      .value({"--fault-plan"}, "SPEC",
+             "seeded fault injection, e.g.\n"
+             "seed=42,torn_read=0.1,read_reset=0.05,job_delay=0.1\n"
+             "(see docs/robustness.md for the schema)",
+             [&](const std::string& opt, const std::string& v) {
+               try {
+                 (void)fault::parseFaultPlan(v);
+               } catch (const std::exception& e) {
+                 throw std::invalid_argument(opt + ": " + e.what());
+               }
+               fault_spec = v;
              });
   if (const int rc = options.parse(argc, argv); rc >= 0) return rc;
+  server_options.engine.shed_when_full = !block_when_full;
+
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!fault_spec.empty()) {
+    const fault::FaultPlan plan = fault::parseFaultPlan(fault_spec);
+    injector = std::make_unique<fault::FaultInjector>(plan);
+    server_options.fault = injector.get();         // socket layer
+    server_options.engine.fault = injector.get();  // job engine + cache
+    std::cout << "lbd fault plan: " << fault::formatFaultPlan(plan)
+              << std::endl;
+  }
 
   try {
     service::Server server(server_options);

@@ -84,4 +84,56 @@ fi
 wait "$LBD_PID" 2>/dev/null || true
 LBD_PID=""
 
-echo "smoke_lbserve: OK (bit-identical run, cache hit, warm sweep, stats, metrics, shutdown)"
+# 7. Fault soak: a second daemon with a seeded chaos plan (15% torn reads
+# and writes, 10% job delays, plus resets, sheds, and cache corruption).
+# 200 lbcli runs must all complete (no hangs — every call is bounded by
+# --deadline-ms and a belt-and-braces `timeout`), every result must stay
+# bit-identical to the fault-free lbsim output, and the client-side
+# Prometheus scrapes must show nonzero lb_client_retries_total.
+FAULT_PLAN="seed=2026,torn_read=0.15,torn_write=0.15,read_reset=0.03,write_reset=0.03,job_delay=0.10,job_delay_ms=3,queue_reject=0.03,cache_corrupt=0.2,cache_enospc=0.2"
+"$LBD" --port 0 --cache-dir "$WORK/chaos-cache" --fault-plan "$FAULT_PLAN" \
+  > "$WORK/lbd-chaos.log" 2>&1 &
+LBD_PID=$!
+
+PORT=""
+for _ in $(seq 1 50); do
+  PORT="$(sed -n 's/.*127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$WORK/lbd-chaos.log" | head -1)"
+  [[ -n "$PORT" ]] && break
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "smoke_lbserve: chaos lbd never reported its port"; cat "$WORK/lbd-chaos.log"; exit 1; }
+echo "smoke_lbserve: chaos lbd up on port $PORT ($FAULT_PLAN)"
+
+SOAK_SEEDS=(21 22 23 24)
+for seed in "${SOAK_SEEDS[@]}"; do
+  "$LBSIM" --class T2 --cycles 20000 --seed "$seed" > "$WORK/expect-$seed.out"
+done
+
+: > "$WORK/soak.err"
+for i in $(seq 1 200); do
+  seed="${SOAK_SEEDS[$(( (i - 1) % 4 ))]}"
+  timeout 60 "$LBCLI" --port "$PORT" run --class T2 --cycles 20000 --seed "$seed" \
+      --deadline-ms 20000 --retries 8 --retry-seed "$i" --client-metrics \
+      > "$WORK/soak.out" 2>> "$WORK/soak.err" \
+    || { echo "smoke_lbserve: soak request $i (seed $seed) failed"; tail -5 "$WORK/soak.err"; exit 1; }
+  diff -u "$WORK/expect-$seed.out" "$WORK/soak.out" \
+    || { echo "smoke_lbserve: soak request $i returned a WRONG result under faults"; exit 1; }
+done
+
+RETRIES="$(awk '/^lb_client_retries_total\{/ {sum += $2} END {print sum + 0}' "$WORK/soak.err")"
+[[ "$RETRIES" -gt 0 ]] \
+  || { echo "smoke_lbserve: soak saw no client retries under the fault plan"; exit 1; }
+echo "smoke_lbserve: soak OK (200/200 bit-identical under faults, $RETRIES client retries)"
+
+# The chaos daemon may lose the shutdown exchange to an injected reset;
+# fall back to SIGTERM.
+timeout 30 "$LBCLI" --port "$PORT" --retries 8 shutdown > /dev/null 2>&1 || true
+for _ in $(seq 1 50); do
+  kill -0 "$LBD_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill "$LBD_PID" 2>/dev/null || true
+wait "$LBD_PID" 2>/dev/null || true
+LBD_PID=""
+
+echo "smoke_lbserve: OK (bit-identical run, cache hit, warm sweep, stats, metrics, shutdown, fault soak)"

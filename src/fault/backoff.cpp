@@ -1,0 +1,61 @@
+#include "fault/backoff.hpp"
+
+#include <algorithm>
+
+namespace lb::fault {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double unitDraw(std::uint64_t seed, std::uint64_t n) noexcept {
+  return static_cast<double>(
+             mix64(seed ^ 0x6261636b6f666621ULL ^ (n * 0x9e3779b97f4a7c15ULL)) >>
+             11) *
+         0x1.0p-53;
+}
+
+}  // namespace
+
+RetryPolicy::RetryPolicy(std::chrono::milliseconds base,
+                         std::chrono::milliseconds cap, std::uint64_t seed)
+    : base_(base.count() < 1 ? std::chrono::milliseconds(1) : base),
+      cap_(cap < base_ ? base_ : cap),
+      seed_(seed) {}
+
+std::chrono::milliseconds RetryPolicy::delay(int attempt) const {
+  // Re-derive the recurrence from attempt 0 each call: attempts are tiny
+  // (single digits) and recomputation keeps delay() pure / random-access.
+  const double base = static_cast<double>(base_.count());
+  const double cap = static_cast<double>(cap_.count());
+  double prev = base;
+  double d = base;
+  for (int k = 0; k <= attempt; ++k) {
+    const double u = unitDraw(seed_, static_cast<std::uint64_t>(k));
+    d = std::min(cap, base + u * (3.0 * prev - base));
+    prev = d;
+  }
+  return std::chrono::milliseconds(
+      static_cast<std::chrono::milliseconds::rep>(d));
+}
+
+std::chrono::milliseconds RetryPolicy::delayWithin(
+    int attempt, std::chrono::milliseconds remaining) const {
+  if (remaining.count() <= 0) return std::chrono::milliseconds(0);
+  return std::min(delay(attempt), remaining);
+}
+
+std::vector<std::chrono::milliseconds> RetryPolicy::schedule(
+    int attempts) const {
+  std::vector<std::chrono::milliseconds> out;
+  out.reserve(static_cast<std::size_t>(std::max(attempts, 0)));
+  for (int k = 0; k < attempts; ++k) out.push_back(delay(k));
+  return out;
+}
+
+}  // namespace lb::fault

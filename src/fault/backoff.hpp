@@ -1,0 +1,52 @@
+#pragma once
+// Deterministic decorrelated-jitter retry backoff.
+//
+// The schedule follows the AWS "decorrelated jitter" recurrence
+//
+//   d(0)   ~ uniform[base, 3*base)
+//   d(k+1) ~ uniform[base, 3*d(k)),  clamped to cap
+//
+// which spreads concurrent retriers apart (no thundering herd) while the
+// *expected* delay grows geometrically until it saturates at the cap —
+// monotone non-decreasing in expectation, which tests/property_test.cpp
+// pins.  Unlike the textbook version the draws here come from the
+// SplitMix64 finalizer over (seed, attempt), so delay(k) is a pure
+// function: equal seeds give bit-identical schedules (replayable chaos
+// runs), different seeds give decorrelated ones.
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace lb::fault {
+
+class RetryPolicy {
+ public:
+  /// `base` is the minimum delay, `cap` the saturation ceiling (clamped up
+  /// to base when smaller); `seed` selects the jitter stream.
+  RetryPolicy(std::chrono::milliseconds base, std::chrono::milliseconds cap,
+              std::uint64_t seed);
+
+  /// Delay before retry `attempt` (0-based).  Pure: same (policy, attempt)
+  /// always returns the same value.  Always in [base, cap].
+  std::chrono::milliseconds delay(int attempt) const;
+
+  /// delay(attempt) clamped so it never exceeds the remaining deadline
+  /// budget; a non-positive budget yields zero.
+  std::chrono::milliseconds delayWithin(
+      int attempt, std::chrono::milliseconds remaining) const;
+
+  /// The first `attempts` delays (a convenience for tests and docs).
+  std::vector<std::chrono::milliseconds> schedule(int attempts) const;
+
+  std::chrono::milliseconds base() const { return base_; }
+  std::chrono::milliseconds cap() const { return cap_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::chrono::milliseconds base_;
+  std::chrono::milliseconds cap_;
+  std::uint64_t seed_;
+};
+
+}  // namespace lb::fault

@@ -1,0 +1,254 @@
+#include "fault/fault.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace lb::fault {
+
+namespace {
+
+/// SplitMix64 finalizer (same mixing constants as sim::SplitMix64): a
+/// stateless bijective mix, so decision n at site s is random-access
+/// computable without shared RNG state.
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Per-site salts keep the six streams uncorrelated even for small seeds.
+constexpr std::array<std::uint64_t, kSiteCount> kSiteSalt = {
+    0x736f636b5f726431ULL,  // "sock_rd1"
+    0x736f636b5f777231ULL,  // "sock_wr1"
+    0x6a6f625f64656c61ULL,  // "job_dela"
+    0x71756575655f6164ULL,  // "queue_ad"
+    0x63616368655f6c64ULL,  // "cache_ld"
+    0x63616368655f7374ULL,  // "cache_st"
+};
+
+double toUnit(std::uint64_t bits) noexcept {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+double parseProbability(const std::string& key, const std::string& text) {
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault plan: " + key +
+                                " expects a probability, got \"" + text +
+                                "\"");
+  }
+  if (used != text.size() || !std::isfinite(value) || value < 0.0 ||
+      value > 1.0)
+    throw std::invalid_argument("fault plan: " + key +
+                                " expects a probability in [0,1], got \"" +
+                                text + "\"");
+  return value;
+}
+
+std::uint64_t parseCount(const std::string& key, const std::string& text) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos)
+    throw std::invalid_argument("fault plan: " + key +
+                                " expects a non-negative integer, got \"" +
+                                text + "\"");
+  try {
+    return std::stoull(text);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault plan: " + key + " value \"" + text +
+                                "\" is out of range");
+  }
+}
+
+std::string formatProbability(double value) {
+  std::ostringstream out;
+  out << value;  // plan probabilities are human-written; default precision
+  return out.str();
+}
+
+}  // namespace
+
+const char* siteName(Site site) {
+  switch (site) {
+    case Site::kSocketRead:
+      return "socket_read";
+    case Site::kSocketWrite:
+      return "socket_write";
+    case Site::kJobExecute:
+      return "job_execute";
+    case Site::kQueueAdmit:
+      return "queue_admit";
+    case Site::kCacheLoad:
+      return "cache_load";
+    case Site::kCacheStore:
+      return "cache_store";
+  }
+  return "unknown";
+}
+
+bool FaultPlan::quiet() const {
+  return torn_read == 0.0 && torn_write == 0.0 && read_reset == 0.0 &&
+         write_reset == 0.0 && job_delay == 0.0 && queue_reject == 0.0 &&
+         cache_corrupt == 0.0 && cache_enospc == 0.0;
+}
+
+FaultPlan parseFaultPlan(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;  // tolerate "a=1,,b=2" and trailing commas
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("fault plan: expected key=value, got \"" +
+                                  item + "\"");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = parseCount(key, value);
+    } else if (key == "torn_read") {
+      plan.torn_read = parseProbability(key, value);
+    } else if (key == "torn_write") {
+      plan.torn_write = parseProbability(key, value);
+    } else if (key == "read_reset") {
+      plan.read_reset = parseProbability(key, value);
+    } else if (key == "write_reset") {
+      plan.write_reset = parseProbability(key, value);
+    } else if (key == "job_delay") {
+      plan.job_delay = parseProbability(key, value);
+    } else if (key == "job_delay_ms") {
+      const std::uint64_t ms = parseCount(key, value);
+      if (ms > 600000)
+        throw std::invalid_argument(
+            "fault plan: job_delay_ms must be <= 600000");
+      plan.job_delay_ms = static_cast<std::uint32_t>(ms);
+    } else if (key == "queue_reject") {
+      plan.queue_reject = parseProbability(key, value);
+    } else if (key == "cache_corrupt") {
+      plan.cache_corrupt = parseProbability(key, value);
+    } else if (key == "cache_enospc") {
+      plan.cache_enospc = parseProbability(key, value);
+    } else {
+      throw std::invalid_argument("fault plan: unknown key \"" + key + "\"");
+    }
+  }
+  return plan;
+}
+
+std::string formatFaultPlan(const FaultPlan& plan) {
+  std::ostringstream out;
+  out << "seed=" << plan.seed
+      << ",torn_read=" << formatProbability(plan.torn_read)
+      << ",torn_write=" << formatProbability(plan.torn_write)
+      << ",read_reset=" << formatProbability(plan.read_reset)
+      << ",write_reset=" << formatProbability(plan.write_reset)
+      << ",job_delay=" << formatProbability(plan.job_delay)
+      << ",job_delay_ms=" << plan.job_delay_ms
+      << ",queue_reject=" << formatProbability(plan.queue_reject)
+      << ",cache_corrupt=" << formatProbability(plan.cache_corrupt)
+      << ",cache_enospc=" << formatProbability(plan.cache_enospc);
+  return out.str();
+}
+
+std::uint64_t FaultStats::totalInjected() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : injected) total += n;
+  return total;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {}
+
+double FaultInjector::draw(Site site) noexcept {
+  const std::size_t s = static_cast<std::size_t>(site);
+  const std::uint64_t n =
+      sequence_[s].fetch_add(1, std::memory_order_relaxed);
+  return toUnit(mix64(plan_.seed ^ kSiteSalt[s] ^ (n * 0xd1342543de82ef95ULL)));
+}
+
+bool FaultInjector::trial(Site site, double probability) noexcept {
+  const bool hit = draw(site) < probability;
+  if (hit)
+    injected_[static_cast<std::size_t>(site)].fetch_add(
+        1, std::memory_order_relaxed);
+  return hit;
+}
+
+SocketFault FaultInjector::onSocketRead() noexcept {
+  // One draw decides both outcomes so the stream advances once per read:
+  // [0, read_reset) -> reset, [read_reset, read_reset+torn_read) -> short.
+  const double u = draw(Site::kSocketRead);
+  if (u < plan_.read_reset) {
+    injected_[static_cast<std::size_t>(Site::kSocketRead)].fetch_add(
+        1, std::memory_order_relaxed);
+    return SocketFault::kReset;
+  }
+  if (u < plan_.read_reset + plan_.torn_read) {
+    injected_[static_cast<std::size_t>(Site::kSocketRead)].fetch_add(
+        1, std::memory_order_relaxed);
+    return SocketFault::kShort;
+  }
+  return SocketFault::kNone;
+}
+
+SocketFault FaultInjector::onSocketWrite() noexcept {
+  const double u = draw(Site::kSocketWrite);
+  if (u < plan_.write_reset) {
+    injected_[static_cast<std::size_t>(Site::kSocketWrite)].fetch_add(
+        1, std::memory_order_relaxed);
+    return SocketFault::kReset;
+  }
+  if (u < plan_.write_reset + plan_.torn_write) {
+    injected_[static_cast<std::size_t>(Site::kSocketWrite)].fetch_add(
+        1, std::memory_order_relaxed);
+    return SocketFault::kShort;
+  }
+  return SocketFault::kNone;
+}
+
+std::uint32_t FaultInjector::jobDelayMs() noexcept {
+  return trial(Site::kJobExecute, plan_.job_delay) ? plan_.job_delay_ms : 0;
+}
+
+bool FaultInjector::rejectAdmission() noexcept {
+  return trial(Site::kQueueAdmit, plan_.queue_reject);
+}
+
+bool FaultInjector::corruptCacheLoad() noexcept {
+  return trial(Site::kCacheLoad, plan_.cache_corrupt);
+}
+
+bool FaultInjector::failCacheStore() noexcept {
+  return trial(Site::kCacheStore, plan_.cache_enospc);
+}
+
+std::uint64_t FaultInjector::corruptionPattern() noexcept {
+  const std::size_t s = static_cast<std::size_t>(Site::kCacheLoad);
+  const std::uint64_t n = sequence_[s].load(std::memory_order_relaxed);
+  return mix64(plan_.seed ^ kSiteSalt[s] ^ ~n);
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats stats;
+  for (std::size_t s = 0; s < kSiteCount; ++s) {
+    stats.decisions[s] = sequence_[s].load(std::memory_order_relaxed);
+    stats.injected[s] = injected_[s].load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+}  // namespace lb::fault

@@ -1,0 +1,143 @@
+#pragma once
+// Seeded, deterministic fault injection for the lbserve service stack.
+//
+// A FaultPlan is a plain struct of per-site fault probabilities plus one
+// 64-bit seed; a FaultInjector turns the plan into a stream of injection
+// decisions.  Determinism model: every injection *site* (socket read,
+// socket write, job execute, queue admit, cache load, cache store) owns an
+// independent decision stream — decision number n at site s is a pure
+// function of (plan.seed, s, n), computed with the SplitMix64 finalizer.
+// Two injectors built from the same plan therefore produce bit-identical
+// decision streams, which is what makes a chaos-test failure replayable
+// from nothing but the seed.  (Which *operation* consumes decision n
+// follows arrival order at that site; a single-threaded driver replays
+// exactly, a concurrent one replays the same multiset of faults.)
+//
+// The layer is strictly opt-in: every hook in the service stack takes a
+// `FaultInjector*` that defaults to nullptr, and a null injector compiles
+// down to one pointer test on each path — the same inertness discipline
+// the obs layer pins with ScenarioRunTest.InstrumentationIsInert.
+//
+// Plans are written as comma-separated `key=value` specs (the `--fault-plan`
+// flag of lbd), e.g.:
+//
+//   seed=42,torn_read=0.15,read_reset=0.05,job_delay=0.1,job_delay_ms=20
+//
+// See docs/robustness.md for the full schema.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace lb::fault {
+
+/// What an injector tells a socket send/recv wrapper to do.
+enum class SocketFault {
+  kNone,   ///< proceed normally
+  kShort,  ///< transfer at most one byte this call (torn read/write)
+  kReset,  ///< fail the call as if the peer reset the connection
+};
+
+/// Injection sites; each owns an independent deterministic stream.
+enum class Site : std::size_t {
+  kSocketRead = 0,
+  kSocketWrite,
+  kJobExecute,
+  kQueueAdmit,
+  kCacheLoad,
+  kCacheStore,
+};
+inline constexpr std::size_t kSiteCount = 6;
+
+/// Human-readable site name ("socket_read", ...), for logs and metrics.
+const char* siteName(Site site);
+
+/// One reproducible chaos configuration.  All probabilities are in [0, 1];
+/// 0 disables the fault.  Equality compares every field (used by the
+/// spec-codec round-trip test).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  double torn_read = 0.0;    ///< P(short socket read)
+  double torn_write = 0.0;   ///< P(short socket write)
+  double read_reset = 0.0;   ///< P(socket read fails as connection reset)
+  double write_reset = 0.0;  ///< P(socket write fails as connection reset)
+
+  double job_delay = 0.0;           ///< P(job execution is delayed)
+  std::uint32_t job_delay_ms = 20;  ///< delay amount when injected
+
+  double queue_reject = 0.0;  ///< P(job admission rejected: queue-full shed)
+
+  double cache_corrupt = 0.0;  ///< P(disk cache load is corrupted)
+  double cache_enospc = 0.0;   ///< P(disk cache store fails, as if ENOSPC)
+
+  bool operator==(const FaultPlan&) const = default;
+
+  /// True when every probability is zero (the plan injects nothing).
+  bool quiet() const;
+};
+
+/// Parses a `key=value,key=value` spec into a plan.  Unknown keys, junk
+/// values, and probabilities outside [0, 1] throw std::invalid_argument
+/// naming the offending token.  The empty string is the default plan.
+FaultPlan parseFaultPlan(const std::string& spec);
+
+/// Renders a plan back into a spec string parseFaultPlan accepts
+/// (every field, fixed order — the round-trip is exact).
+std::string formatFaultPlan(const FaultPlan& plan);
+
+/// Per-site counters of decisions taken and faults injected.
+struct FaultStats {
+  std::array<std::uint64_t, kSiteCount> decisions{};
+  std::array<std::uint64_t, kSiteCount> injected{};
+  std::uint64_t totalInjected() const;
+};
+
+/// Turns a FaultPlan into deterministic injection decisions.  All methods
+/// are thread-safe and lock-free (one relaxed fetch_add per decision).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Decision for the next socket read / write at this site.
+  SocketFault onSocketRead() noexcept;
+  SocketFault onSocketWrite() noexcept;
+
+  /// Milliseconds to delay the next job execution; 0 = no delay.
+  std::uint32_t jobDelayMs() noexcept;
+
+  /// True when the next job admission should be rejected (load shed).
+  bool rejectAdmission() noexcept;
+
+  /// True when the next disk cache load should be corrupted.  When it
+  /// returns true, corruptionPattern() picks which byte to damage.
+  bool corruptCacheLoad() noexcept;
+
+  /// True when the next disk cache store should fail (simulated ENOSPC).
+  bool failCacheStore() noexcept;
+
+  /// Deterministic 64-bit pattern for the most recent corruption decision;
+  /// callers use it to choose a byte offset and xor mask.
+  std::uint64_t corruptionPattern() noexcept;
+
+  FaultStats stats() const;
+
+ private:
+  /// Uniform [0, 1) draw n for `site`, n advancing per call.
+  double draw(Site site) noexcept;
+  bool trial(Site site, double probability) noexcept;
+
+  FaultPlan plan_;
+  std::array<std::atomic<std::uint64_t>, kSiteCount> sequence_{};
+  std::array<std::atomic<std::uint64_t>, kSiteCount> injected_{};
+};
+
+/// 64-bit FNV-1a over arbitrary bytes — the same hash the scenario
+/// content-address uses, exposed here so the cache can checksum entries
+/// without duplicating the constants.
+std::uint64_t fnv1a64(const std::string& bytes);
+
+}  // namespace lb::fault

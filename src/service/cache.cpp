@@ -17,9 +17,11 @@ obs::MetricsRegistry& resolve(obs::MetricsRegistry* registry) {
 }  // namespace
 
 ResultCache::ResultCache(std::size_t capacity, std::string persist_dir,
-                         obs::MetricsRegistry* registry)
+                         obs::MetricsRegistry* registry,
+                         fault::FaultInjector* fault)
     : capacity_(capacity == 0 ? 1 : capacity),
       persist_dir_(std::move(persist_dir)),
+      fault_(fault),
       memory_hits_(resolve(registry)
                        .counter("lb_cache_hits_total", "Cache hits by tier")
                        .withLabels({{"tier", "memory"}})),
@@ -45,6 +47,12 @@ ResultCache::ResultCache(std::size_t capacity, std::string persist_dir,
                        .counter("lb_cache_disk_writes_total",
                                 "Entries written through to disk")
                        .get()),
+      corrupt_evictions_(
+          resolve(registry)
+              .counter("lb_cache_corrupt_evictions_total",
+                       "Disk entries evicted after failing the FNV-1a "
+                       "integrity check")
+              .get()),
       entries_gauge_(resolve(registry)
                          .gauge("lb_cache_entries", "In-memory cache entries")
                          .get()) {
@@ -120,24 +128,69 @@ std::optional<ScenarioResult> ResultCache::loadFromDisk(std::uint64_t hash) {
   if (!in) return std::nullopt;
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  try {
-    const Json doc = Json::parse(buffer.str());
-    return resultFromJson(doc.at("result"));
-  } catch (const std::exception&) {
-    return std::nullopt;  // corrupt file == miss; will be overwritten
+  std::string text = buffer.str();
+  if (fault_ != nullptr && fault_->corruptCacheLoad() && !text.empty()) {
+    // Chaos hook: damage one byte of the loaded image, deterministically
+    // chosen from the plan seed.  The integrity check below must catch it.
+    const std::uint64_t pattern = fault_->corruptionPattern();
+    text[pattern % text.size()] ^=
+        static_cast<char>((pattern >> 8 & 0xFF) | 0x01);
   }
+  try {
+    const Json doc = Json::parse(text);
+    // Integrity gate 1: the result bytes must match the stored FNV-1a
+    // checksum (catches bit rot inside the result payload).
+    const std::uint64_t stored_fnv = doc.at("result_fnv").asUint64();
+    const Json& result_json = doc.at("result");
+    if (fault::fnv1a64(result_json.dump()) != stored_fnv) {
+      evictCorrupt(hash);
+      return std::nullopt;
+    }
+    // Integrity gate 2: the scenario bytes must match their own checksum
+    // (callers may store under any key, so the filename cannot be
+    // re-derived from the scenario — but the bytes must be undamaged).
+    if (fault::fnv1a64(doc.at("scenario").dump()) !=
+        doc.at("scenario_fnv").asUint64()) {
+      evictCorrupt(hash);
+      return std::nullopt;
+    }
+    return resultFromJson(result_json);
+  } catch (const std::exception&) {
+    evictCorrupt(hash);  // unparseable == corrupt; self-heal by recompute
+    return std::nullopt;
+  }
+}
+
+void ResultCache::evictCorrupt(std::uint64_t hash) {
+  std::error_code ec;
+  std::filesystem::remove(pathFor(hash), ec);
+  ++stats_.corrupt_evictions;
+  corrupt_evictions_.inc();
 }
 
 void ResultCache::storeToDisk(std::uint64_t hash, const Scenario& scenario,
                               const ScenarioResult& result) {
+  if (fault_ != nullptr && fault_->failCacheStore()) return;  // "ENOSPC"
   Json doc = Json::object();
-  doc.set("scenario", toJson(scenario)).set("result", toJson(result));
+  const Json scenario_json = toJson(scenario);
+  const Json result_json = toJson(result);
+  doc.set("scenario", scenario_json)
+      .set("scenario_fnv", Json(fault::fnv1a64(scenario_json.dump())))
+      .set("result", result_json)
+      .set("result_fnv", Json(fault::fnv1a64(result_json.dump())));
   const std::string path = pathFor(hash);
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return;
     out << doc.dump() << "\n";
+    out.flush();
+    if (!out) {  // short write (disk full): drop the temp, keep the old file
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);  // atomic publish on POSIX

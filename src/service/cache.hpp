@@ -10,6 +10,14 @@
 // daemon starts warm.  Disk loads are promoted into memory and counted
 // separately (disk_hits).
 //
+// Disk entries are integrity-checked: every file carries `result_fnv` and
+// `scenario_fnv` members — 64-bit FNV-1a (the same hash that
+// content-addresses scenarios) over the canonical JSON of the result and
+// scenario respectively.  A file that fails either check (bit
+// rot, truncation, an injected fault) is *evicted from disk* and reported
+// as a miss, so the engine transparently recomputes and rewrites it:
+// corruption degrades to a cold run, never to a wrong result.
+//
 // Thread-safe; all operations take one internal mutex (entries are small —
 // a few hundred bytes of metric vectors — so contention is negligible next
 // to the simulations they replace).
@@ -21,6 +29,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "service/scenario.hpp"
 
@@ -32,6 +41,7 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t corrupt_evictions = 0;  ///< disk entries failing integrity
   std::size_t size = 0;         ///< current in-memory entries
   std::size_t capacity = 0;
 };
@@ -40,11 +50,13 @@ class ResultCache {
 public:
   /// `capacity` bounds in-memory entries (>= 1).  `persist_dir`, when
   /// non-empty, is created if needed and used for write-through
-  /// persistence; unreadable/corrupt files are treated as misses.
-  /// `registry` receives the lb_cache_* metrics (nullptr: the process-wide
-  /// obs::registry()).
+  /// persistence; unreadable/corrupt files are evicted and treated as
+  /// misses.  `registry` receives the lb_cache_* metrics (nullptr: the
+  /// process-wide obs::registry()).  `fault`, when non-null, injects
+  /// load corruption / store failures (chaos tests); null is inert.
   explicit ResultCache(std::size_t capacity, std::string persist_dir = "",
-                       obs::MetricsRegistry* registry = nullptr);
+                       obs::MetricsRegistry* registry = nullptr,
+                       fault::FaultInjector* fault = nullptr);
 
   /// Looks up by scenario hash; promotes to most-recently-used.
   std::optional<ScenarioResult> get(std::uint64_t hash);
@@ -61,6 +73,8 @@ public:
 private:
   std::string pathFor(std::uint64_t hash) const;
   std::optional<ScenarioResult> loadFromDisk(std::uint64_t hash);
+  /// Removes an integrity-failed disk entry and counts the corruption.
+  void evictCorrupt(std::uint64_t hash);
   void storeToDisk(std::uint64_t hash, const Scenario& scenario,
                    const ScenarioResult& result);
   void insertLocked(std::uint64_t hash, const ScenarioResult& result);
@@ -68,6 +82,7 @@ private:
   mutable std::mutex mutex_;
   std::size_t capacity_;
   std::string persist_dir_;
+  fault::FaultInjector* fault_;
   /// Most-recently-used at the front.
   std::list<std::pair<std::uint64_t, ScenarioResult>> entries_;
   std::unordered_map<std::uint64_t, decltype(entries_)::iterator> index_;
@@ -81,6 +96,7 @@ private:
   obs::Counter& evictions_;
   obs::Counter& disk_reads_;
   obs::Counter& disk_writes_;
+  obs::Counter& corrupt_evictions_;
   obs::Gauge& entries_gauge_;
 };
 

@@ -6,48 +6,97 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
-#include <stdexcept>
+#include <thread>
 
 #include "service/protocol.hpp"
+#include "service/socket_io.hpp"
 
 namespace lb::service {
 
-Client::Client(std::uint16_t port, const std::string& host) {
+namespace {
+
+obs::MetricsRegistry& resolve(obs::MetricsRegistry* registry) {
+  return registry != nullptr ? *registry : obs::registry();
+}
+
+std::string requestVerb(const Json& request) {
+  if (!request.isObject()) return "";
+  const Json* verb = request.find("verb");
+  return verb != nullptr && verb->isString() ? verb->asString() : "";
+}
+
+}  // namespace
+
+Client::Client(ClientOptions options)
+    : options_(std::move(options)),
+      policy_(options_.backoff_base, options_.backoff_cap,
+              options_.retry_seed),
+      retries_family_(resolve(options_.registry)
+                          .counter("lb_client_retries_total",
+                                   "Client retries by reason")) {
+  connectSocket(callDeadline());
+}
+
+Client::Client(std::uint16_t port, const std::string& host)
+    : Client([&] {
+        ClientOptions options;
+        options.host = host;
+        options.port = port;
+        return options;
+      }()) {}
+
+Client::~Client() { closeSocket(); }
+
+std::optional<std::chrono::steady_clock::time_point> Client::callDeadline()
+    const {
+  if (options_.deadline.count() <= 0) return std::nullopt;
+  return std::chrono::steady_clock::now() + options_.deadline;
+}
+
+void Client::closeSocket() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();  // a new connection starts a new framing stream
+}
+
+void Client::connectSocket(
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  if (deadline && std::chrono::steady_clock::now() >= *deadline)
+    throw DeadlineError("deadline expired before connecting to " +
+                        options_.host + ":" + std::to_string(options_.port));
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  if (fd_ < 0) throw TransportError("socket() failed");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("bad host address: " + host);
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    closeSocket();
+    throw TransportError("bad host address: " + options_.host);
   }
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
     const int err = errno;
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("cannot connect to " + host + ":" +
-                             std::to_string(port) + ": " +
-                             std::strerror(err) +
-                             " (is lbd running?)");
+    closeSocket();
+    throw TransportError("cannot connect to " + options_.host + ":" +
+                         std::to_string(options_.port) + ": " +
+                         std::strerror(err) + " (is lbd running?)");
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
 
-Client::~Client() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-std::string Client::exchangeLine(const std::string& line) {
+std::string Client::exchangeLine(
+    const std::string& line,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
   const std::string framed = line + "\n";
-  std::size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent, 0);
-    if (n <= 0) throw std::runtime_error("send() failed (daemon gone?)");
-    sent += static_cast<std::size_t>(n);
+  switch (net::sendAll(fd_, framed, deadline, options_.fault)) {
+    case net::IoStatus::kOk:
+      break;
+    case net::IoStatus::kTimeout:
+      throw DeadlineError("deadline expired while sending the request");
+    default:
+      throw TransportError("send() failed (daemon gone?)");
   }
   for (;;) {
     const std::size_t newline = buffer_.find('\n');
@@ -56,18 +105,86 @@ std::string Client::exchangeLine(const std::string& line) {
       buffer_.erase(0, newline + 1);
       return response;
     }
-    char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-    if (n <= 0)
-      throw std::runtime_error("connection closed before a response arrived");
-    buffer_.append(chunk, static_cast<std::size_t>(n));
+    switch (net::recvSome(fd_, buffer_, 4096, deadline, options_.fault)) {
+      case net::IoStatus::kOk:
+        break;
+      case net::IoStatus::kTimeout:
+        throw DeadlineError("deadline expired before a response arrived");
+      case net::IoStatus::kClosed:
+        throw TransportError("connection closed before a response arrived");
+      default:
+        throw TransportError("recv() failed (daemon gone?)");
+    }
   }
 }
 
+bool Client::backoff(
+    int attempt, const char* reason, std::chrono::milliseconds floor,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  std::chrono::milliseconds delay =
+      std::max(policy_.delay(attempt), floor);
+  if (deadline) {
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            *deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) return false;  // budget exhausted
+    delay = std::min(delay, remaining);
+  }
+  retries_family_.withLabels({{"reason", reason}}).inc();
+  ++retries_;
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  return true;
+}
+
 Json Client::call(const Json& request) {
-  Json response = Json::parse(exchangeLine(request.dump()));
-  requireProtocolVersion(response);
-  return response;
+  const std::string line = request.dump();
+  // Transport-failure resends are allowed only for idempotent verbs: once
+  // bytes hit the wire the daemon may have executed the request.  Connect
+  // failures happen strictly before that, so any verb may retry those.
+  const bool resendable = isIdempotentVerb(requestVerb(request));
+  const auto deadline = callDeadline();
+  int attempt = 0;
+  for (;;) {
+    bool exchanged = false;
+    try {
+      if (fd_ < 0) connectSocket(deadline);
+      exchanged = true;
+      Json response = Json::parse(exchangeLine(line, deadline));
+      requireProtocolVersion(response);
+      if (isOverloadedResponse(response)) {
+        // An explicit shed is always retryable: the daemon rejected the
+        // request before executing it.  Honor its retry_after_ms as the
+        // backoff floor; when the budget runs out, surface the typed shed
+        // document to the caller.
+        const auto floor = std::chrono::milliseconds(
+            std::min<std::uint64_t>(retryAfterMs(response), 60000));
+        if (attempt < options_.max_retries &&
+            backoff(attempt, "overloaded", floor, deadline)) {
+          ++attempt;
+          continue;
+        }
+        return response;
+      }
+      return response;
+    } catch (const DeadlineError&) {
+      closeSocket();
+      throw;
+    } catch (const TransportError&) {
+      closeSocket();
+      if ((!exchanged || resendable) && attempt < options_.max_retries &&
+          backoff(attempt, "transport", std::chrono::milliseconds(0),
+                  deadline)) {
+        ++attempt;
+        continue;
+      }
+      throw;
+    } catch (const JsonError&) {
+      // A mis-framed response desynchronizes the stream; drop the
+      // connection so the next call starts clean, then surface the error.
+      closeSocket();
+      throw;
+    }
+  }
 }
 
 Json Client::run(const Json& scenario) {

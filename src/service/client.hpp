@@ -3,28 +3,86 @@
 // writes one JSON request per line, reads one JSON response per line.
 // Used by lbcli and by the loopback tests; a connection may issue any
 // number of requests (the daemon keeps it open until `shutdown` or EOF).
+//
+// The client is resilient by default.  Every call() carries
+//
+//   - a per-request deadline (ClientOptions::deadline; 0 = none) covering
+//     connect + send + receive across *all* attempts — a dead daemon
+//     surfaces as DeadlineError, never a hang;
+//   - bounded retries with deterministic decorrelated-jitter backoff
+//     (fault::RetryPolicy) on transport failures and explicit `overloaded`
+//     sheds.  Transport-failure resends are idempotent-verb-aware: a run /
+//     sweep / stats / metrics request may have executed before the
+//     connection died, and resending it is safe (scenarios are
+//     content-addressed, so the re-run is a cache hit); `shutdown` is
+//     never resent mid-exchange.  An `overloaded` shed is always
+//     retryable — the daemon did not execute the request.
+//
+// Retries are counted in lb_client_retries_total{reason=...} on the
+// injected registry (default: the process-wide obs::registry()).
 
+#include <chrono>
 #include <cstdint>
+#include <optional>
+#include <stdexcept>
 #include <string>
 
+#include "fault/backoff.hpp"
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
 #include "service/json.hpp"
 
 namespace lb::service {
 
+/// Transport-level failure (connect/send/recv): the daemon is gone,
+/// refused, or the connection died and the retry budget ran out.
+class TransportError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The per-request deadline expired before a response arrived.
+class DeadlineError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Total wall-clock budget per call() including reconnects, backoff, and
+  /// resends; 0 = no deadline (seed behavior).
+  std::chrono::milliseconds deadline{0};
+  /// Retries after the first attempt; 0 disables retrying.
+  int max_retries = 3;
+  std::chrono::milliseconds backoff_base{25};
+  std::chrono::milliseconds backoff_cap{1000};
+  std::uint64_t retry_seed = 1;  ///< jitter stream selector (replayable)
+  /// Registry receiving lb_client_retries_total (nullptr: obs::registry()).
+  obs::MetricsRegistry* registry = nullptr;
+  /// Client-side socket fault injection (chaos tests); nullptr = inert.
+  fault::FaultInjector* fault = nullptr;
+};
+
 class Client {
 public:
-  /// Connects immediately; throws std::runtime_error when the daemon is
-  /// not reachable.
+  /// Connects immediately; throws TransportError when the daemon is not
+  /// reachable (subject to options.deadline).
+  explicit Client(ClientOptions options);
+
+  /// Seed-compatible convenience: defaults for everything but the address.
   explicit Client(std::uint16_t port, const std::string& host = "127.0.0.1");
+
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Sends `request` and blocks for the matching response line.  Throws
-  /// std::runtime_error on transport failure or when the response carries
-  /// an unexpected protocol version (service/protocol.hpp); protocol-level
-  /// failures come back as {"ok":false,...} documents.
+  /// Sends `request` and blocks for the matching response line, retrying
+  /// per the class comment.  Throws TransportError / DeadlineError on
+  /// exhausted budgets, std::runtime_error on a protocol-version mismatch;
+  /// protocol-level failures (including an `overloaded` shed that outlived
+  /// the retry budget) come back as {"ok":false,...} documents.
   Json call(const Json& request);
 
   /// Convenience wrappers for the protocol verbs.
@@ -34,9 +92,28 @@ public:
   Json metrics();
   Json shutdown();
 
-private:
-  std::string exchangeLine(const std::string& line);
+  /// Retries performed over this client's lifetime (all reasons).
+  std::uint64_t retries() const { return retries_; }
 
+private:
+  /// The absolute per-call deadline, or nullopt when options_.deadline==0.
+  std::optional<std::chrono::steady_clock::time_point> callDeadline() const;
+  void connectSocket(
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
+  void closeSocket();
+  std::string exchangeLine(
+      const std::string& line,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
+  /// Sleeps for the backoff delay (clamped to the remaining deadline) and
+  /// counts the retry; returns false when the budget is exhausted.
+  bool backoff(
+      int attempt, const char* reason, std::chrono::milliseconds floor,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
+
+  ClientOptions options_;
+  fault::RetryPolicy policy_;
+  obs::Family<obs::Counter>& retries_family_;
+  std::uint64_t retries_ = 0;
   int fd_ = -1;
   std::string buffer_;  ///< bytes received past the last newline
 };

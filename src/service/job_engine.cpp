@@ -1,6 +1,8 @@
 #include "service/job_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace lb::service {
 
@@ -18,7 +20,8 @@ JobEngine::JobEngine(JobEngineOptions options)
     : options_(options),
       registry_(options.registry != nullptr ? *options.registry
                                             : obs::registry()),
-      cache_(options.cache_capacity, options.cache_dir, &registry_),
+      cache_(options.cache_capacity, options.cache_dir, &registry_,
+             options.fault),
       submitted_counter_(
           registry_.counter("lb_jobs_submitted_total", "Jobs enqueued").get()),
       completed_counter_(
@@ -35,6 +38,12 @@ JobEngine::JobEngine(JobEngineOptions options)
           registry_
               .counter("lb_jobs_coalesced_total",
                        "Submissions piggybacked on an in-flight job")
+              .get()),
+      shed_counter_(
+          registry_
+              .counter("lb_jobs_shed_total",
+                       "Admissions rejected as overloaded (queue full or "
+                       "injected)")
               .get()),
       queue_depth_gauge_(
           registry_.gauge("lb_job_queue_depth", "Jobs waiting for a worker")
@@ -88,6 +97,14 @@ void JobEngine::execute(const std::shared_ptr<Job>& job) {
   JobOutcome outcome;
   outcome.hash = job->hash;
   const auto started = std::chrono::steady_clock::now();
+  if (options_.fault != nullptr) {
+    // Injected slow job: stall before the simulation so the delay shows up
+    // in execute_micros and can trip caller timeouts, exactly like a
+    // worker descheduled under load.
+    const std::uint32_t delay_ms = options_.fault->jobDelayMs();
+    if (delay_ms != 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
   try {
     RunOptions run_options;
     run_options.registry = &registry_;
@@ -153,6 +170,16 @@ std::pair<std::shared_future<JobOutcome>, bool> JobEngine::submit(
     coalesced_counter_.inc();
     return {flying->second, true};  // piggyback on the identical running job
   }
+  // Admission control: injected rejection (chaos) or, with shed_when_full,
+  // an immediate explicit shed instead of blocking on queue space.
+  if (options_.fault != nullptr && options_.fault->rejectAdmission())
+    return {readyFuture(shedOutcome(hash, "admission rejected (fault plan)")),
+            false};
+  if (options_.shed_when_full && queue_.size() >= options_.queue_depth)
+    return {readyFuture(shedOutcome(
+                hash, "job queue full (" +
+                          std::to_string(options_.queue_depth) + " deep)")),
+            false};
   // Bounded FIFO: block until the queue has room (backpressure towards the
   // daemon's connection handlers).
   queue_cv_.wait(lock, [this] {
@@ -175,6 +202,19 @@ std::pair<std::shared_future<JobOutcome>, bool> JobEngine::submit(
   lock.unlock();
   queue_cv_.notify_all();
   return {future, false};
+}
+
+JobOutcome JobEngine::shedOutcome(std::uint64_t hash,
+                                  const std::string& reason) {
+  // Callers hold mutex_ (stats_ is lock-guarded; the obs counter is atomic).
+  JobOutcome outcome;
+  outcome.status = JobStatus::kShed;
+  outcome.error = reason;
+  outcome.hash = hash;
+  outcome.retry_after_ms = options_.retry_after_ms;
+  ++stats_.shed;
+  shed_counter_.inc();
+  return outcome;
 }
 
 JobOutcome JobEngine::await(std::shared_future<JobOutcome> future) {

@@ -33,22 +33,24 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "service/cache.hpp"
 #include "service/scenario.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace lb::service {
 
-enum class JobStatus { kOk, kError, kTimeout };
+enum class JobStatus { kOk, kError, kTimeout, kShed };
 
 struct JobOutcome {
   JobStatus status = JobStatus::kOk;
-  std::string error;          ///< populated for kError / kTimeout
+  std::string error;          ///< populated for kError / kTimeout / kShed
   ScenarioResult result;      ///< valid when status == kOk
   std::uint64_t hash = 0;     ///< scenario content-address
   bool cache_hit = false;     ///< served from the cache (memory or disk)
   bool coalesced = false;     ///< waited on an identical in-flight job
   double execute_micros = 0;  ///< simulation time (0 for pure cache hits)
+  std::uint32_t retry_after_ms = 0;  ///< shed hint (kShed only)
 };
 
 struct JobEngineOptions {
@@ -57,11 +59,22 @@ struct JobEngineOptions {
   std::chrono::milliseconds timeout{60000};  ///< per-job wait budget
   std::size_t cache_capacity = 1024;
   std::string cache_dir;  ///< empty = memory-only cache
+  /// Load shedding: when true, a full queue yields an immediate kShed
+  /// outcome (explicit `overloaded` + retry_after_ms on the wire) instead
+  /// of blocking the submitter until space frees up.  Default false keeps
+  /// the seed backpressure behavior for embedded/batch users; lbd turns it
+  /// on (a daemon must not wedge connection handlers).
+  bool shed_when_full = false;
+  /// retry_after_ms hint attached to shed outcomes.
+  std::uint32_t retry_after_ms = 50;
   /// Registry receiving lb_job_* / lb_cache_* / lb_bus_* metrics for this
   /// engine and the scenarios it runs (nullptr: process-wide
   /// obs::registry()).  Injectable so tests can reconcile counters against
   /// a fresh registry.
   obs::MetricsRegistry* registry = nullptr;
+  /// Fault injector threaded into admission, execution, and the cache
+  /// (nullptr: no injection; every hook is a single pointer test).
+  fault::FaultInjector* fault = nullptr;
 };
 
 struct JobEngineStats {
@@ -70,6 +83,7 @@ struct JobEngineStats {
   std::uint64_t failed = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t coalesced = 0;
+  std::uint64_t shed = 0;  ///< admissions rejected (queue full / injected)
   std::size_t queue_depth = 0;  ///< jobs waiting for a worker right now
   std::size_t in_flight = 0;    ///< queued + executing
   CacheStats cache;
@@ -112,6 +126,8 @@ private:
   std::pair<std::shared_future<JobOutcome>, bool> submit(
       const Scenario& scenario);
   JobOutcome await(std::shared_future<JobOutcome> future);
+  /// Builds a kShed outcome and counts it (stats_ + lb_jobs_shed_total).
+  JobOutcome shedOutcome(std::uint64_t hash, const std::string& reason);
   void workerLoop();
   void execute(const std::shared_ptr<Job>& job);
 
@@ -125,6 +141,7 @@ private:
   obs::Counter& failed_counter_;
   obs::Counter& timeout_counter_;
   obs::Counter& coalesced_counter_;
+  obs::Counter& shed_counter_;
   obs::Gauge& queue_depth_gauge_;
   obs::Gauge& in_flight_gauge_;
   obs::Histogram& execute_micros_;

@@ -41,4 +41,33 @@ void requireProtocolVersion(const Json& response) {
                              std::to_string(kProtocolVersion) + ")");
 }
 
+bool isIdempotentVerb(const std::string& verb) {
+  return verb == "run" || verb == "sweep" || verb == "stats" ||
+         verb == "metrics";
+}
+
+Json makeOverloadedResponse(const std::string& reason,
+                            std::uint32_t retry_after_ms) {
+  Json response = Json::object();
+  response.set("ok", Json(false))
+      .set("error", Json("overloaded: " + reason))
+      .set("overloaded", Json(true))
+      .set("retry_after_ms", Json(std::uint64_t{retry_after_ms}));
+  return response;
+}
+
+bool isOverloadedResponse(const Json& response) {
+  if (!response.isObject()) return false;
+  const Json* overloaded = response.find("overloaded");
+  return overloaded != nullptr && overloaded->isBool() &&
+         overloaded->asBool();
+}
+
+std::uint64_t retryAfterMs(const Json& response) {
+  if (!response.isObject()) return 0;
+  const Json* hint = response.find("retry_after_ms");
+  if (hint == nullptr || !hint->isInteger()) return 0;
+  return hint->asUint64();
+}
+
 }  // namespace lb::service

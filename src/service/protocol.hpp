@@ -33,4 +33,35 @@ Json& stampProtocolVersion(Json& response);
 /// std::runtime_error when it is missing or not kProtocolVersion.
 void requireProtocolVersion(const Json& response);
 
+// ---------------------------------------------------------------------------
+// Degraded-mode contract (docs/robustness.md)
+// ---------------------------------------------------------------------------
+//
+// A daemon under load pressure answers with an explicit shed instead of
+// silently dropping or indefinitely blocking:
+//
+//   {"ok":false,"error":"overloaded: ...","overloaded":true,
+//    "retry_after_ms":N,"v":1}
+//
+// Clients treat it as retryable after >= retry_after_ms (Client::call does,
+// bounded by its retry budget and per-request deadline).
+
+/// True for idempotent verbs a client may safely *resend* after a transport
+/// failure mid-exchange (the request may or may not have executed).  All
+/// read/compute verbs qualify — identical scenarios are content-addressed,
+/// so a re-run is a cache hit.  `shutdown` does not: a lost response may
+/// mean the daemon is already stopping, and the resend would report a
+/// spurious connect failure.
+bool isIdempotentVerb(const std::string& verb);
+
+/// Builds the overloaded response body (without the version stamp).
+Json makeOverloadedResponse(const std::string& reason,
+                            std::uint32_t retry_after_ms);
+
+/// True when `response` is an explicit load-shed ({"overloaded":true}).
+bool isOverloadedResponse(const Json& response);
+
+/// The shed's retry hint in milliseconds; 0 when absent.
+std::uint64_t retryAfterMs(const Json& response);
+
 }  // namespace lb::service

@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "service/protocol.hpp"
+#include "service/socket_io.hpp"
 
 namespace lb::service {
 
@@ -28,7 +29,13 @@ Json errorResponse(const std::string& message) {
   return response;
 }
 
-Json outcomeToJson(const JobOutcome& outcome) {
+}  // namespace
+
+Json Server::outcomeResponse(const JobOutcome& outcome) {
+  if (outcome.status == JobStatus::kShed) {
+    shed_counter_.inc();
+    return makeOverloadedResponse(outcome.error, outcome.retry_after_ms);
+  }
   if (outcome.status != JobStatus::kOk) {
     Json response = errorResponse(outcome.error);
     response.set("timeout", Json(outcome.status == JobStatus::kTimeout));
@@ -47,8 +54,6 @@ Json outcomeToJson(const JobOutcome& outcome) {
   return response;
 }
 
-}  // namespace
-
 Server::Server(ServerOptions options)
     : options_(options),
       engine_(options.engine),
@@ -58,7 +63,12 @@ Server::Server(ServerOptions options)
           engine_.metricsRegistry()
               .counter("lb_server_protocol_errors_total",
                        "Malformed or unknown requests")
-              .get()) {
+              .get()),
+      shed_counter_(engine_.metricsRegistry()
+                        .counter("lb_server_shed_total",
+                                 "Requests answered with an explicit "
+                                 "overloaded response")
+                        .get()) {
   latency_reservoir_.reserve(kLatencyReservoir);
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -139,7 +149,6 @@ void Server::serve() {
 
 void Server::handleConnection(int fd) {
   std::string buffer;
-  char chunk[4096];
   for (;;) {
     const std::size_t newline = buffer.find('\n');
     if (newline != std::string::npos) {
@@ -148,23 +157,24 @@ void Server::handleConnection(int fd) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
       const std::string response = handleRequest(line) + "\n";
-      std::size_t sent = 0;
-      while (sent < response.size()) {
-        const ssize_t n =
-            ::send(fd, response.data() + sent, response.size() - sent, 0);
-        if (n <= 0) {
-          ::close(fd);
-          return;
-        }
-        sent += static_cast<std::size_t>(n);
+      // No deadline on the response write (loopback sends are bounded by
+      // the kernel buffer), but fault injection and MSG_NOSIGNAL apply: a
+      // peer that vanished mid-frame surfaces as kError, never a SIGPIPE.
+      if (net::sendAll(fd, response, std::nullopt, options_.fault) !=
+          net::IoStatus::kOk) {
+        ::close(fd);
+        return;
       }
       if (stopping_.load()) break;  // shutdown verb answered on this line
       continue;
     }
     if (buffer.size() > kMaxLineBytes) break;
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n <= 0) break;  // peer closed or error
-    buffer.append(chunk, static_cast<std::size_t>(n));
+    // Per-connection idle read deadline: a silent peer is disconnected so
+    // it cannot pin this handler thread forever.
+    const net::IoDeadline deadline = net::deadlineAfter(options_.read_deadline);
+    const net::IoStatus status =
+        net::recvSome(fd, buffer, 4096, deadline, options_.fault);
+    if (status != net::IoStatus::kOk) break;  // EOF, deadline, or error
   }
   ::close(fd);
 }
@@ -181,14 +191,14 @@ std::string Server::handleRequest(const std::string& line) {
         .inc();
     if (verb == "run") {
       const Scenario scenario = scenarioFromJson(request.at("scenario"));
-      response = outcomeToJson(engine_.run(scenario));
+      response = outcomeResponse(engine_.run(scenario));
     } else if (verb == "sweep") {
       std::vector<Scenario> scenarios;
       for (const Json& item : request.at("scenarios").asArray())
         scenarios.push_back(scenarioFromJson(item));
       Json results = Json::array();
       for (const JobOutcome& outcome : engine_.sweep(scenarios))
-        results.push(outcomeToJson(outcome));
+        results.push(outcomeResponse(outcome));
       response = Json::object();
       response.set("ok", Json(true)).set("results", std::move(results));
     } else if (verb == "stats") {
@@ -273,6 +283,8 @@ Json Server::statsJson() {
       .set("jobs_failed", Json(engine.failed))
       .set("jobs_timed_out", Json(engine.timeouts))
       .set("jobs_coalesced", Json(engine.coalesced))
+      .set("jobs_shed", Json(engine.shed))
+      .set("corrupt_evictions", Json(engine.cache.corrupt_evictions))
       .set("queue_depth", Json(static_cast<std::uint64_t>(engine.queue_depth)))
       .set("in_flight", Json(static_cast<std::uint64_t>(engine.in_flight)))
       .set("latency_samples", Json(observed))

@@ -30,12 +30,14 @@
 // cache hit.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "service/job_engine.hpp"
 
 namespace lb::service {
@@ -43,6 +45,13 @@ namespace lb::service {
 struct ServerOptions {
   std::uint16_t port = 0;  ///< 0 = ephemeral; see Server::port()
   JobEngineOptions engine;
+  /// Per-connection idle read deadline: a connection that sends no bytes
+  /// for this long is closed (its handler exits; half-open peers cannot
+  /// pin threads forever).  Zero disables the deadline (seed behavior).
+  std::chrono::milliseconds read_deadline{0};
+  /// Socket-layer fault injector for this server's connections (torn
+  /// reads/writes, resets).  nullptr = inert.
+  fault::FaultInjector* fault = nullptr;
 };
 
 class Server {
@@ -78,6 +87,9 @@ private:
   void pokeListener();
   void recordLatency(double micros);
   Json statsJson();
+  /// Maps a job outcome to its wire response; kShed becomes the explicit
+  /// overloaded/retry_after_ms document and bumps lb_server_shed_total.
+  Json outcomeResponse(const JobOutcome& outcome);
 
   ServerOptions options_;
   JobEngine engine_;
@@ -85,6 +97,7 @@ private:
   /// against the engine's registry (so a `metrics` scrape includes them).
   obs::Family<obs::Counter>& requests_family_;
   obs::Counter& protocol_errors_counter_;
+  obs::Counter& shed_counter_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

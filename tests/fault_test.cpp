@@ -1,0 +1,542 @@
+// Chaos suite for the fault-injection layer (src/fault) and the hardened
+// service stack it exercises.  The contract under test, end to end:
+//
+//   under any seeded fault plan, every request either succeeds with a
+//   result bit-identical to the fault-free run, returns a typed error
+//   (overloaded + retry_after_ms, timeout, or a transport/deadline
+//   exception), and never hangs — and with no plan installed every fault
+//   hook is inert.
+//
+// Failures are replayable: every plan here is pinned to a literal seed.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/backoff.hpp"
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "service/cache.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/scenario.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using namespace lb;
+using service::Json;
+using service::Scenario;
+
+// ---------------------------------------------------------------------------
+// FaultPlan spec codec
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanTest, SpecRoundTripIsExact) {
+  fault::FaultPlan plan;
+  plan.seed = 0xdeadbeefcafe1234ull;
+  plan.torn_read = 0.125;
+  plan.torn_write = 0.0625;
+  plan.read_reset = 0.03125;
+  plan.write_reset = 0.015625;
+  plan.job_delay = 0.5;
+  plan.job_delay_ms = 7;
+  plan.queue_reject = 0.25;
+  plan.cache_corrupt = 0.75;
+  plan.cache_enospc = 1.0;
+  EXPECT_EQ(fault::parseFaultPlan(fault::formatFaultPlan(plan)), plan);
+}
+
+TEST(FaultPlanTest, EmptySpecIsTheDefaultQuietPlan) {
+  const fault::FaultPlan plan = fault::parseFaultPlan("");
+  EXPECT_EQ(plan, fault::FaultPlan{});
+  EXPECT_TRUE(plan.quiet());
+  EXPECT_FALSE(fault::parseFaultPlan("torn_read=0.1").quiet());
+  // The seed alone does not make a plan noisy.
+  EXPECT_TRUE(fault::parseFaultPlan("seed=99").quiet());
+}
+
+TEST(FaultPlanTest, RejectsJunkNamingTheOffendingKey) {
+  const char* bad[] = {
+      "frobnicate=1",        // unknown key
+      "torn_read=1.5",       // probability out of range
+      "torn_read=-0.1",      // negative probability
+      "torn_read=abc",       // junk number
+      "seed=abc",            // junk integer
+      "torn_read",           // missing '='
+      "job_delay_ms=999999999",  // over the delay ceiling
+  };
+  for (const char* spec : bad)
+    EXPECT_THROW((void)fault::parseFaultPlan(spec), std::invalid_argument)
+        << spec;
+  // The error message names the key so a bad --fault-plan is debuggable.
+  try {
+    (void)fault::parseFaultPlan("seed=1,torn_read=soggy");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("torn_read"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector determinism
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, EqualSeedsGiveBitIdenticalDecisionStreams) {
+  const fault::FaultPlan plan = fault::parseFaultPlan(
+      "seed=42,torn_read=0.3,torn_write=0.2,read_reset=0.1,write_reset=0.1,"
+      "job_delay=0.25,queue_reject=0.4,cache_corrupt=0.5,cache_enospc=0.5");
+  fault::FaultInjector a(plan), b(plan);
+  for (int n = 0; n < 2000; ++n) {
+    EXPECT_EQ(a.onSocketRead(), b.onSocketRead()) << n;
+    EXPECT_EQ(a.onSocketWrite(), b.onSocketWrite()) << n;
+    EXPECT_EQ(a.jobDelayMs(), b.jobDelayMs()) << n;
+    EXPECT_EQ(a.rejectAdmission(), b.rejectAdmission()) << n;
+    EXPECT_EQ(a.corruptCacheLoad(), b.corruptCacheLoad()) << n;
+    EXPECT_EQ(a.failCacheStore(), b.failCacheStore()) << n;
+  }
+  const fault::FaultStats sa = a.stats(), sb = b.stats();
+  EXPECT_EQ(sa.decisions, sb.decisions);
+  EXPECT_EQ(sa.injected, sb.injected);
+  EXPECT_GT(sa.totalInjected(), 0u);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDecorrelate) {
+  fault::FaultPlan plan = fault::parseFaultPlan("torn_read=0.5");
+  plan.seed = 1;
+  fault::FaultInjector a(plan);
+  plan.seed = 2;
+  fault::FaultInjector b(plan);
+  int agreements = 0;
+  for (int n = 0; n < 4096; ++n)
+    agreements += a.onSocketRead() == b.onSocketRead();
+  // Independent fair coins agree about half the time; 4096 trials put
+  // agreement within [40%, 60%] with overwhelming probability.
+  EXPECT_GT(agreements, 4096 * 2 / 5);
+  EXPECT_LT(agreements, 4096 * 3 / 5);
+}
+
+TEST(FaultInjectorTest, InjectionRateTracksThePlanProbability) {
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.torn_read = 0.2;
+  plan.read_reset = 0.05;
+  fault::FaultInjector injector(plan);
+  int torn = 0, reset = 0;
+  const int trials = 20000;
+  for (int n = 0; n < trials; ++n) {
+    switch (injector.onSocketRead()) {
+      case fault::SocketFault::kShort: ++torn; break;
+      case fault::SocketFault::kReset: ++reset; break;
+      case fault::SocketFault::kNone: break;
+    }
+  }
+  // 20k Bernoulli trials: observed rate within ±25% relative of the plan.
+  EXPECT_NEAR(static_cast<double>(torn) / trials, 0.2, 0.05);
+  EXPECT_NEAR(static_cast<double>(reset) / trials, 0.05, 0.0125);
+  const fault::FaultStats stats = injector.stats();
+  const auto site = static_cast<std::size_t>(fault::Site::kSocketRead);
+  EXPECT_EQ(stats.decisions[site], static_cast<std::uint64_t>(trials));
+  EXPECT_EQ(stats.injected[site], static_cast<std::uint64_t>(torn + reset));
+}
+
+TEST(FaultInjectorTest, QuietPlanNeverInjects) {
+  fault::FaultPlan plan;
+  plan.seed = 0xfeedface;  // the seed must not matter when rates are zero
+  ASSERT_TRUE(plan.quiet());
+  fault::FaultInjector injector(plan);
+  for (int n = 0; n < 1000; ++n) {
+    EXPECT_EQ(injector.onSocketRead(), fault::SocketFault::kNone);
+    EXPECT_EQ(injector.onSocketWrite(), fault::SocketFault::kNone);
+    EXPECT_EQ(injector.jobDelayMs(), 0u);
+    EXPECT_FALSE(injector.rejectAdmission());
+    EXPECT_FALSE(injector.corruptCacheLoad());
+    EXPECT_FALSE(injector.failCacheStore());
+  }
+  EXPECT_EQ(injector.stats().totalInjected(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cache integrity + self-heal
+// ---------------------------------------------------------------------------
+
+service::ScenarioResult tinyResult(double fraction) {
+  service::ScenarioResult result;
+  result.bandwidth_fraction = {fraction};
+  result.traffic_share = {1.0};
+  result.cycles_per_word = {2.0};
+  result.mean_message_latency = {3.0};
+  result.messages_completed = {4};
+  result.grants = 4;
+  result.cycles = 5;
+  return result;
+}
+
+TEST(CacheFaultTest, CorruptedLoadIsEvictedAndRecomputeHeals) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "lb_fault_cache").string();
+  std::filesystem::remove_all(dir);
+
+  fault::FaultPlan plan;
+  plan.seed = 11;
+  plan.cache_corrupt = 1.0;  // every disk load is damaged
+  fault::FaultInjector injector(plan);
+  obs::MetricsRegistry registry;
+
+  {
+    service::ResultCache writer(4, dir, &registry);
+    writer.put(0x77, Scenario{}, tinyResult(0.5));
+  }
+  ASSERT_TRUE(std::filesystem::exists(dir + "/0000000000000077.json"));
+
+  service::ResultCache reader(4, dir, &registry, &injector);
+  EXPECT_FALSE(reader.get(0x77).has_value());  // corrupt -> miss, not garbage
+  EXPECT_EQ(reader.stats().corrupt_evictions, 1u);
+  // Self-heal: the damaged file is gone, so the caller recomputes and the
+  // rewrite republishes a clean entry.
+  EXPECT_FALSE(std::filesystem::exists(dir + "/0000000000000077.json"));
+  reader.put(0x77, Scenario{}, tinyResult(0.5));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/0000000000000077.json"));
+  EXPECT_TRUE(reader.get(0x77).has_value());  // memory hit; no disk load
+
+  const std::string text = registry.renderPrometheus();
+  EXPECT_NE(text.find("lb_cache_corrupt_evictions_total 1"),
+            std::string::npos)
+      << text;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CacheFaultTest, HandEditedFileFailsTheChecksumGate) {
+  // Not just injected flips: any out-of-band damage to the stored bytes is
+  // caught by the FNV-1a gates.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "lb_fault_cache_edit").string();
+  std::filesystem::remove_all(dir);
+  obs::MetricsRegistry registry;
+  {
+    service::ResultCache writer(4, dir, &registry);
+    writer.put(0x9, Scenario{}, tinyResult(0.25));
+  }
+  const std::string path = dir + "/0000000000000009.json";
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::getline(in, text);
+  }
+  const std::size_t pos = text.find("\"grants\":");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos + 9, 1, "7");  // still valid JSON, different result
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << text << "\n";
+  }
+  service::ResultCache reader(4, dir, &registry);
+  EXPECT_FALSE(reader.get(0x9).has_value());
+  EXPECT_EQ(reader.stats().corrupt_evictions, 1u);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CacheFaultTest, StoreFailureDegradesToMemoryOnly) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "lb_fault_enospc").string();
+  std::filesystem::remove_all(dir);
+  fault::FaultPlan plan;
+  plan.seed = 3;
+  plan.cache_enospc = 1.0;
+  fault::FaultInjector injector(plan);
+  obs::MetricsRegistry registry;
+  service::ResultCache cache(4, dir, &registry, &injector);
+  cache.put(0x5, Scenario{}, tinyResult(0.5));
+  // The store was dropped ("disk full") but the memory tier still serves.
+  EXPECT_FALSE(std::filesystem::exists(dir + "/0000000000000005.json"));
+  EXPECT_TRUE(cache.get(0x5).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Retry / backoff / shed behavior through the real socket path
+// ---------------------------------------------------------------------------
+
+service::ServerOptions chaosServerOptions() {
+  service::ServerOptions options;
+  options.port = 0;
+  options.engine.workers = 2;
+  options.engine.queue_depth = 8;
+  options.engine.cache_capacity = 64;
+  return options;
+}
+
+Json smallScenarioJson(std::uint64_t seed) {
+  Scenario scenario;
+  scenario.cycles = 8000;
+  scenario.seed = seed;
+  return service::toJson(scenario);
+}
+
+service::ClientOptions fastRetryClient(std::uint16_t port,
+                                       obs::MetricsRegistry* registry) {
+  service::ClientOptions options;
+  options.port = port;
+  options.deadline = std::chrono::milliseconds(30000);
+  options.max_retries = 8;
+  options.backoff_base = std::chrono::milliseconds(1);
+  options.backoff_cap = std::chrono::milliseconds(20);
+  options.retry_seed = 1234;
+  options.registry = registry;
+  return options;
+}
+
+TEST(ClientRetryTest, ShedResponsesAreRetriedAndThenSurfacedTyped) {
+  obs::MetricsRegistry registry;
+  fault::FaultPlan plan;
+  plan.seed = 21;
+  plan.queue_reject = 1.0;  // every admission is shed
+  fault::FaultInjector injector(plan);
+
+  service::ServerOptions options = chaosServerOptions();
+  options.engine.registry = &registry;
+  options.engine.fault = &injector;
+  options.engine.retry_after_ms = 9;
+  service::Server server(options);
+  server.start();
+  {
+    service::ClientOptions copts = fastRetryClient(server.port(), &registry);
+    copts.max_retries = 2;
+    service::Client client(copts);
+    const Json response = client.run(smallScenarioJson(1));
+    // Typed degraded-mode document, never a hang or a malformed error.
+    ASSERT_FALSE(response.at("ok").asBool());
+    EXPECT_TRUE(service::isOverloadedResponse(response));
+    EXPECT_EQ(service::retryAfterMs(response), 9u);
+    EXPECT_NE(response.at("error").asString().find("overloaded"),
+              std::string::npos);
+    EXPECT_EQ(client.retries(), 2u);  // both retries consumed on the shed
+
+    const std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find("lb_server_shed_total 3"), std::string::npos) << text;
+    EXPECT_NE(text.find("lb_client_retries_total{reason=\"overloaded\"} 2"),
+              std::string::npos)
+        << text;
+    client.shutdown();
+  }
+  server.stop();
+}
+
+TEST(ClientRetryTest, PersistentResetsExhaustTheBudgetAsTransportError) {
+  // Client-side injector: every socket write is reset, so no attempt ever
+  // reaches the daemon.  Connect-phase/send failures retry for any verb;
+  // after max_retries the typed TransportError surfaces.
+  obs::MetricsRegistry registry;
+  service::Server server(chaosServerOptions());
+  server.start();
+  {
+    fault::FaultPlan plan;
+    plan.seed = 5;
+    plan.write_reset = 1.0;
+    fault::FaultInjector injector(plan);
+    service::ClientOptions copts = fastRetryClient(server.port(), &registry);
+    copts.max_retries = 3;
+    copts.fault = &injector;
+    service::Client client(copts);
+    EXPECT_THROW((void)client.stats(), service::TransportError);
+    EXPECT_EQ(client.retries(), 3u);
+  }
+  {
+    service::Client cleanup(server.port());
+    cleanup.shutdown();
+  }
+  server.stop();
+}
+
+TEST(ClientRetryTest, DeadlineBoundsTheWholeCallIncludingRetries) {
+  obs::MetricsRegistry registry;
+  service::Server server(chaosServerOptions());
+  server.start();
+  const auto started = std::chrono::steady_clock::now();
+  {
+    fault::FaultPlan plan;
+    plan.seed = 6;
+    plan.read_reset = 1.0;  // responses never arrive intact
+    fault::FaultInjector injector(plan);
+    service::ClientOptions copts = fastRetryClient(server.port(), &registry);
+    copts.deadline = std::chrono::milliseconds(300);
+    copts.max_retries = 1000;  // the deadline, not the count, must stop it
+    copts.backoff_base = std::chrono::milliseconds(10);
+    copts.fault = &injector;
+    service::Client client(copts);
+    EXPECT_THROW((void)client.stats(), std::runtime_error);
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - started);
+  EXPECT_LT(elapsed.count(), 10000) << "deadline did not bound the call";
+  {
+    service::Client cleanup(server.port());
+    cleanup.shutdown();
+  }
+  server.stop();
+}
+
+// With no fault plan installed anywhere, a server carrying a quiet
+// injector answers bit-identically to one carrying none at all — the
+// fault hooks are inert, the analogue of ScenarioRunTest.
+// InstrumentationIsInert for this layer.
+TEST(FaultInertnessTest, NoPlanAndQuietPlanAreBitIdentical) {
+  obs::MetricsRegistry r1, r2;
+  service::ServerOptions bare = chaosServerOptions();
+  bare.engine.registry = &r1;
+  service::Server plain(bare);
+
+  fault::FaultInjector quiet((fault::FaultPlan()));
+  service::ServerOptions wired = chaosServerOptions();
+  wired.engine.registry = &r2;
+  wired.fault = &quiet;
+  wired.engine.fault = &quiet;
+  service::Server hooked(wired);
+
+  Json request = Json::object();
+  request.set("verb", Json("run")).set("scenario", smallScenarioJson(77));
+  const Json a = Json::parse(plain.handleRequest(request.dump()));
+  const Json b = Json::parse(hooked.handleRequest(request.dump()));
+  ASSERT_TRUE(a.at("ok").asBool());
+  ASSERT_TRUE(b.at("ok").asBool());
+  EXPECT_EQ(a.at("result").dump(), b.at("result").dump());
+  EXPECT_EQ(a.at("hash").asString(), b.at("hash").asString());
+  EXPECT_EQ(quiet.stats().totalInjected(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The chaos soak: 200 requests under a plan injecting every fault type.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSoakTest, EveryRequestSucceedsOrFailsTypedAndNeverLies) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "lb_chaos_cache").string();
+  std::filesystem::remove_all(dir);
+
+  // Fault-free ground truth for six scenarios.
+  std::map<std::uint64_t, std::string> expected;
+  for (std::uint64_t seed = 100; seed < 106; ++seed) {
+    Scenario scenario;
+    scenario.cycles = 8000;
+    scenario.seed = seed;
+    expected[seed] = service::toJson(service::runScenario(scenario)).dump();
+  }
+
+  obs::MetricsRegistry registry;
+  fault::FaultInjector server_faults(fault::parseFaultPlan(
+      "seed=2026,torn_read=0.15,torn_write=0.15,read_reset=0.02,"
+      "write_reset=0.02,job_delay=0.10,job_delay_ms=3,queue_reject=0.05,"
+      "cache_corrupt=0.25,cache_enospc=0.25"));
+  fault::FaultInjector client_faults(
+      fault::parseFaultPlan("seed=4051,torn_read=0.15,read_reset=0.02"));
+
+  service::ServerOptions options = chaosServerOptions();
+  options.engine.registry = &registry;
+  options.engine.cache_dir = dir;
+  options.engine.fault = &server_faults;
+  options.engine.shed_when_full = true;
+  options.fault = &server_faults;
+  options.read_deadline = std::chrono::milliseconds(10000);
+  service::Server server(options);
+  server.start();
+
+  int ok = 0, typed_errors = 0, transport_errors = 0;
+  {
+    service::ClientOptions copts = fastRetryClient(server.port(), &registry);
+    copts.fault = &client_faults;
+    service::Client client(copts);
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t seed = 100 + static_cast<std::uint64_t>(i % 6);
+      try {
+        const Json response = client.run(smallScenarioJson(seed));
+        if (response.at("ok").asBool()) {
+          // The core promise: a degraded service never returns a wrong
+          // result — every success is bit-identical to the fault-free run.
+          ASSERT_EQ(response.at("result").dump(), expected[seed])
+              << "request " << i << " seed " << seed;
+          ++ok;
+        } else {
+          // Typed failure: an explicit shed (with its retry hint) or a
+          // job-layer error string.  Never silent, never mangled.
+          if (service::isOverloadedResponse(response)) {
+            EXPECT_GT(service::retryAfterMs(response), 0u);
+          }
+          EXPECT_FALSE(response.at("error").asString().empty());
+          ++typed_errors;
+        }
+      } catch (const service::TransportError&) {
+        ++transport_errors;  // retry budget exhausted: typed, not hung
+      } catch (const service::DeadlineError&) {
+        ++transport_errors;
+      }
+    }
+    EXPECT_EQ(ok + typed_errors + transport_errors, 200);
+    // The plan injects aggressively enough that the client visibly
+    // retried, and most requests still succeeded.
+    EXPECT_GT(client.retries(), 0u);
+    EXPECT_GT(ok, 150) << "typed=" << typed_errors
+                       << " transport=" << transport_errors;
+    try {
+      client.shutdown();
+    } catch (const std::exception&) {
+      // A shutdown lost to an injected reset is acceptable; stop() below
+      // still tears the server down.
+    }
+  }
+  server.stop();
+
+  // The scrape shows the retries and the injected faults were real.
+  const std::string text = registry.renderPrometheus();
+  EXPECT_NE(text.find("lb_client_retries_total"), std::string::npos);
+  EXPECT_GT(server_faults.stats().totalInjected() +
+                client_faults.stats().totalInjected(),
+            0u);
+  std::filesystem::remove_all(dir);
+}
+
+// A server read deadline disconnects idle peers so they cannot pin
+// connection-handler threads.
+TEST(ServerDeadlineTest, IdleConnectionIsClosedAtTheReadDeadline) {
+  service::ServerOptions options = chaosServerOptions();
+  options.read_deadline = std::chrono::milliseconds(100);
+  service::Server server(options);
+  server.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+
+  // Send nothing; the server must close us in ~100ms (allow 5s of slack).
+  pollfd pfd{fd, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, 5000);
+  ASSERT_EQ(ready, 1) << "server never closed the idle connection";
+  char byte;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);  // orderly EOF
+  ::close(fd);
+
+  // A fresh, non-idle client is unaffected by the deadline.
+  service::Client probe(server.port());
+  probe.shutdown();
+  server.stop();
+}
+
+}  // namespace

@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -29,6 +31,7 @@
 #include "bus/bus.hpp"
 #include "core/compensation.hpp"
 #include "core/lottery.hpp"
+#include "fault/backoff.hpp"
 #include "sim/kernel.hpp"
 #include "sim/rng.hpp"
 #include "traffic/generator.hpp"
@@ -201,6 +204,78 @@ INSTANTIATE_TEST_SUITE_P(
         if (c == '-') c = '_';
       return name + "_seed" + std::to_string(std::get<1>(info.param));
     });
+
+// ---------------------------------------------------------------------------
+// Retry-backoff properties (fault::RetryPolicy).  The schedule is the
+// client's whole defense against thundering herds, so its contract gets
+// the same property-test treatment as the arbiters:
+//
+//   1. Purity: equal (base, cap, seed) gives bit-identical schedules,
+//      however the delays are queried.
+//   2. Bounds: every delay lies in [base, cap].
+//   3. Monotone growth in expectation: averaged over many seeds, the mean
+//      delay never decreases with the attempt number.
+//   4. Budget: delayWithin never exceeds the remaining deadline budget.
+// ---------------------------------------------------------------------------
+
+using Ms = std::chrono::milliseconds;
+
+TEST(RetryPolicyProperty, EqualSeedsGiveBitIdenticalSchedules) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const fault::RetryPolicy a(Ms(25), Ms(1000), seed);
+    const fault::RetryPolicy b(Ms(25), Ms(1000), seed);
+    EXPECT_EQ(a.schedule(12), b.schedule(12)) << "seed " << seed;
+    // Random access equals sequential access: delay(k) is pure in k.
+    for (int attempt = 11; attempt >= 0; --attempt)
+      EXPECT_EQ(a.delay(attempt), b.schedule(12)[attempt]) << attempt;
+  }
+}
+
+TEST(RetryPolicyProperty, EveryDelayIsWithinBaseAndCap) {
+  const Ms base(10), cap(300);
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const fault::RetryPolicy policy(base, cap, seed);
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const Ms delay = policy.delay(attempt);
+      EXPECT_GE(delay, base) << "seed " << seed << " attempt " << attempt;
+      EXPECT_LE(delay, cap) << "seed " << seed << " attempt " << attempt;
+    }
+  }
+}
+
+TEST(RetryPolicyProperty, MeanDelayIsMonotoneNonDecreasingInAttempt) {
+  // Decorrelated jitter is random per step; the *expected* delay grows
+  // geometrically until the cap.  Average over 300 seeds per attempt.
+  constexpr int kSeeds = 300, kAttempts = 10;
+  double previous = 0.0;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    double sum = 0.0;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed)
+      sum += static_cast<double>(
+          fault::RetryPolicy(Ms(20), Ms(5000), seed).delay(attempt).count());
+    const double mean = sum / kSeeds;
+    EXPECT_GE(mean, previous) << "attempt " << attempt;
+    previous = mean;
+  }
+  // And it actually grew: the last mean is well above the first.
+  EXPECT_GT(previous, 40.0);
+}
+
+TEST(RetryPolicyProperty, DelayWithinRespectsTheDeadlineBudget) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const fault::RetryPolicy policy(Ms(25), Ms(1000), seed);
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      for (const auto remaining : {Ms(-5), Ms(0), Ms(1), Ms(13), Ms(100000)}) {
+        const Ms clamped = policy.delayWithin(attempt, remaining);
+        EXPECT_LE(clamped, std::max(remaining, Ms(0)));
+        EXPECT_LE(clamped, policy.delay(attempt));
+        if (remaining >= policy.delay(attempt)) {
+          EXPECT_EQ(clamped, policy.delay(attempt));
+        }
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace lb
