@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "arbiters/round_robin.hpp"
+#include "bench_util.hpp"
 #include "arbiters/static_priority.hpp"
 #include "arbiters/tdma.hpp"
 #include "arbiters/token_ring.hpp"
@@ -140,6 +141,39 @@ void BM_FullTestbed(benchmark::State& state) {
 }
 BENCHMARK(BM_FullTestbed)->Arg(10000)->Arg(100000);
 
+/// ConsoleReporter that additionally captures every run into the
+/// lb-bench-v1 writer (--json-out; see bench_util.hpp for the schema).
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+public:
+  explicit JsonCaptureReporter(benchutil::BenchJsonWriter& writer)
+      : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const auto rate = run.counters.find("items_per_second");
+      writer_.add(run.benchmark_name(), run.GetAdjustedRealTime(),
+                  rate != run.counters.end() ? rate->second.value : 0.0);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+private:
+  benchutil::BenchJsonWriter& writer_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --json-out is ours, not google-benchmark's; strip it before Initialize
+  // (which rejects unknown flags).
+  const std::string json_out = benchutil::consumeJsonOut(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchutil::BenchJsonWriter writer;
+  JsonCaptureReporter reporter(writer);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_out.empty() && !writer.writeFile(json_out)) return 1;
+  return 0;
+}

@@ -4,6 +4,10 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -35,6 +39,109 @@ inline void banner(const std::string& experiment, const std::string& paper_ref,
   std::cout << "\n=== " << experiment << " ===\n"
             << "Reproduces: " << paper_ref << "\n"
             << "Expected shape: " << expectation << "\n\n";
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable benchmark results (--json-out)
+// ---------------------------------------------------------------------------
+//
+// scripts/bench_trajectory.sh runs the benchmarks with `--json-out FILE` and
+// archives the files per commit, so performance can be plotted over the
+// repo's history.  Schema (stable; bump "schema" on breaking changes):
+//
+//   {"schema":"lb-bench-v1","git_rev":"<rev>","results":[
+//     {"name":"BM_LotteryExact/4","wall_ns":12.3,"items_per_sec":8.1e7},...]}
+//
+// wall_ns is wall-clock time per benchmark iteration; items_per_sec is the
+// benchmark's own rate counter (arbitration decisions, simulated cycles, or
+// switch slots per second — see each harness) and 0 when not reported.
+
+/// The revision stamped into result files: $LB_GIT_REV (the trajectory
+/// script exports it) or "unknown".
+inline std::string gitRev() {
+  const char* rev = std::getenv("LB_GIT_REV");
+  return rev != nullptr && *rev != '\0' ? rev : "unknown";
+}
+
+/// Accumulates rows and writes the lb-bench-v1 JSON document.
+class BenchJsonWriter {
+public:
+  void add(const std::string& name, double wall_ns, double items_per_sec) {
+    Row row;
+    row.name = name;
+    row.wall_ns = wall_ns;
+    row.items_per_sec = items_per_sec;
+    rows_.push_back(std::move(row));
+  }
+
+  bool writeFile(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "error: cannot write " << path << "\n";
+      return false;
+    }
+    out << "{\"schema\":\"lb-bench-v1\",\"git_rev\":\"" << escape(gitRev())
+        << "\",\"results\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      out << (i ? "," : "") << "{\"name\":\"" << escape(row.name)
+          << "\",\"wall_ns\":" << number(row.wall_ns)
+          << ",\"items_per_sec\":" << number(row.items_per_sec) << "}";
+    }
+    out << "]}\n";
+    return out.good();
+  }
+
+  std::size_t size() const { return rows_.size(); }
+
+private:
+  struct Row {
+    std::string name;
+    double wall_ns = 0;
+    double items_per_sec = 0;
+  };
+
+  static std::string escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // names are ASCII
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  static std::string number(double value) {
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return buffer;
+  }
+
+  std::vector<Row> rows_;
+};
+
+/// Strips `--json-out PATH` / `--json-out=PATH` from argv (so downstream
+/// flag parsers — google-benchmark rejects unknown flags — never see it)
+/// and returns PATH, or "" when absent.
+inline std::string consumeJsonOut(int* argc, char** argv) {
+  std::string path;
+  int write = 1;
+  for (int read = 1; read < *argc; ++read) {
+    const char* arg = argv[read];
+    if (std::strcmp(arg, "--json-out") == 0 && read + 1 < *argc) {
+      path = argv[++read];
+      continue;
+    }
+    if (std::strncmp(arg, "--json-out=", 11) == 0) {
+      path = arg + 11;
+      continue;
+    }
+    argv[write++] = argv[read];
+  }
+  *argc = write;
+  argv[write] = nullptr;
+  return path;
 }
 
 }  // namespace lb::benchutil

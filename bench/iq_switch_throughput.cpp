@@ -9,14 +9,48 @@
 // A final table shows weighted inputs: lottery tickets carry the
 // LOTTERYBUS bandwidth-control property into the fabric.
 
+#include <chrono>
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "atm/input_queued.hpp"
 #include "bench_util.hpp"
 #include "stats/table.hpp"
 
-int main() {
+namespace {
+
+/// Runs the switch for `slots` cell slots, recording wall time and the
+/// slot rate into `writer` under `name`.
+void timedRun(lb::atm::InputQueuedSwitch& sw, std::uint64_t slots,
+              const std::string& name,
+              lb::benchutil::BenchJsonWriter& writer) {
+  const auto started = std::chrono::steady_clock::now();
+  sw.run(slots);
+  const double wall_ns = std::chrono::duration<double, std::nano>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
+  writer.add(name, wall_ns,
+             wall_ns > 0 ? static_cast<double>(slots) / (wall_ns * 1e-9) : 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace lb;
+
+  benchutil::BenchJsonWriter writer;
+  const std::string json_out = benchutil::consumeJsonOut(&argc, argv);
+  std::uint64_t slots = 200000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--slots") == 0 && i + 1 < argc) {
+      slots = std::strtoull(argv[++i], nullptr, 10);
+      if (slots == 0) slots = 1;
+    } else {
+      std::cerr << "usage: iq_switch_throughput [--slots N] [--json-out FILE]\n";
+      return 2;
+    }
+  }
 
   benchutil::banner(
       "EXT: input-queued crossbar with lottery matching",
@@ -24,7 +58,7 @@ int main() {
       "FIFO input queues saturate near the classic HOL bound; VOQs with "
       "iterative lottery matching approach 100%");
 
-  constexpr std::uint64_t kSlots = 200000;
+  const std::uint64_t kSlots = slots;
 
   stats::Table table({"offered load", "FIFO (HOL) throughput",
                       "VOQ 1-iter", "VOQ 3-iter", "FIFO mean delay",
@@ -36,18 +70,19 @@ int main() {
     config.queue_capacity = 128;
     config.seed = 17;
 
+    const std::string label = "load=" + stats::Table::pct(load, 0);
     config.virtual_output_queues = false;
     atm::InputQueuedSwitch fifo(config);
-    fifo.run(kSlots);
+    timedRun(fifo, kSlots, "iq_fifo/" + label, writer);
 
     config.virtual_output_queues = true;
     config.matching_iterations = 1;
     atm::InputQueuedSwitch voq1(config);
-    voq1.run(kSlots);
+    timedRun(voq1, kSlots, "iq_voq1/" + label, writer);
 
     config.matching_iterations = 3;
     atm::InputQueuedSwitch voq3(config);
-    voq3.run(kSlots);
+    timedRun(voq3, kSlots, "iq_voq3/" + label, writer);
 
     table.addRow({stats::Table::pct(load, 0),
                   stats::Table::pct(fifo.throughput()),
@@ -72,7 +107,7 @@ int main() {
   weighted.queue_capacity = 128;
   weighted.seed = 23;
   atm::InputQueuedSwitch sw(weighted);
-  sw.run(kSlots);
+  timedRun(sw, kSlots, "iq_voq3_weighted_hotspot", writer);
   stats::Table shares(
       {"input", "tickets", "share of delivered cells", "ideal"});
   for (std::size_t i = 0; i < 4; ++i)
@@ -84,5 +119,6 @@ int main() {
   std::cout << "\n(the hotspot output's capacity splits by tickets while "
                "every input keeps a non-zero floor — the LOTTERYBUS "
                "property, now inside the switch fabric)\n";
+  if (!json_out.empty() && !writer.writeFile(json_out)) return 1;
   return 0;
 }

@@ -4,6 +4,7 @@
 //   ./build/examples/lbcli --port 4817 sweep --class T2 --seeds 10
 //   ./build/examples/lbcli --port 4817 stats
 //   ./build/examples/lbcli --port 4817 metrics | grep lb_server
+//   ./build/examples/lbcli --port 4817 trace > trace.json
 //   ./build/examples/lbcli --port 4817 shutdown
 //
 // `run` accepts exactly the scenario flags lbsim takes and prints the same
@@ -47,6 +48,22 @@ int failProtocol(const service::Json& response) {
   return 1;
 }
 
+/// A verb the daemon does not know comes back with its supported_verbs
+/// list; turn that into an explicit "daemon too old" diagnosis instead of
+/// echoing "unknown verb" (which reads like a caller typo).
+int failUnsupported(const std::string& verb, const service::Json& response) {
+  const service::Json* verbs = response.find("supported_verbs");
+  if (verbs == nullptr || !verbs->isArray()) return failProtocol(response);
+  std::string supported;
+  for (const service::Json& v : verbs->asArray()) {
+    if (!supported.empty()) supported += ", ";
+    supported += v.asString();
+  }
+  std::cerr << "error: daemon does not support " << verb
+            << " (supported: " << supported << ")\n";
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -61,7 +78,7 @@ int main(int argc, char** argv) {
 
   service::OptionSet options("lbcli", "LOTTERYBUS daemon client");
   options
-      .positional("VERB", "run | sweep | stats | metrics | shutdown",
+      .positional("VERB", "run | sweep | stats | metrics | trace | shutdown",
                   [&](const std::string& v) {
                     if (!verb.empty())
                       throw std::invalid_argument("more than one verb given (\"" +
@@ -137,7 +154,7 @@ int main(int argc, char** argv) {
 
   if (verb.empty()) {
     std::cerr << "error: no verb given (run | sweep | stats | metrics |"
-                 " shutdown)\n";
+                 " trace | shutdown)\n";
     options.printUsage(std::cerr);
     return 2;
   }
@@ -168,6 +185,7 @@ int main(int argc, char** argv) {
       std::cerr << "[lbd " << response.at("hash").asString()
                 << " cached=" << (response.at("cached").asBool() ? "yes" : "no")
                 << " execute_us=" << response.at("execute_micros").asDouble()
+                << " trace=" << obs::traceIdHex(client.lastTrace().trace_id)
                 << "]\n";
       return 0;
     }
@@ -226,9 +244,24 @@ int main(int argc, char** argv) {
 
     if (verb == "metrics") {
       const service::Json response = client.metrics();
-      if (!response.at("ok").asBool()) return failProtocol(response);
+      if (!response.at("ok").asBool())
+        return failUnsupported("metrics", response);
       // Already newline-terminated Prometheus text; print verbatim.
       std::cout << response.at("metrics").asString();
+      return 0;
+    }
+
+    if (verb == "trace") {
+      const service::Json response = client.trace();
+      if (!response.at("ok").asBool())
+        return failUnsupported("trace", response);
+      // Chrome trace_event JSON on stdout (pipe into a file and open it in
+      // chrome://tracing or Perfetto); recorder stats on stderr.
+      std::cout << response.at("chrome_trace").asString();
+      std::cerr << "[flight recorder: " << response.at("spans").asUint64()
+                << " spans, " << response.at("events").asUint64()
+                << " events, " << response.at("dropped").asUint64()
+                << " dropped]\n";
       return 0;
     }
 

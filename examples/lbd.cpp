@@ -21,12 +21,20 @@
 // connections idle past --read-deadline-ms are closed.  --fault-plan
 // installs a seeded fault injector across the socket, job, and cache
 // layers for chaos testing.
+//
+// Observability (docs/observability.md): every request is traced into a
+// bounded flight recorder (--flight-recorder N spans; 0 disables) and
+// dumpable live via `lbcli trace` or at shutdown via --trace-out FILE
+// (Chrome trace_event JSON).  Structured stderr logging is controlled by
+// --log-level (debug|info|warn|error|off) and --log-json.
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 
 #include "fault/fault.hpp"
+#include "obs/log.hpp"
 #include "service/parse.hpp"
 #include "service/server.hpp"
 
@@ -41,6 +49,9 @@ int main(int argc, char** argv) {
   server_options.read_deadline = std::chrono::milliseconds(300000);
   bool block_when_full = false;
   std::string fault_spec;
+  std::size_t recorder_spans = 4096;
+  std::string trace_out;
+  bool log_json = false;
 
   service::OptionSet options("lbd", "LOTTERYBUS simulation daemon");
   options
@@ -103,9 +114,31 @@ int main(int argc, char** argv) {
                  throw std::invalid_argument(opt + ": " + e.what());
                }
                fault_spec = v;
-             });
+             })
+      .value({"--flight-recorder"}, "N",
+             "flight-recorder span capacity; 0 disables request tracing\n"
+             "(default 4096)",
+             [&](const std::string& opt, const std::string& v) {
+               recorder_spans = service::parseU64InRange(opt, v, 0, 1 << 24);
+             })
+      .value({"--trace-out"}, "FILE",
+             "write the flight recorder as Chrome trace_event JSON to\n"
+             "FILE at shutdown (open in chrome://tracing or Perfetto)",
+             [&](const std::string&, const std::string& v) { trace_out = v; })
+      .value({"--log-level"}, "L", "debug | info | warn | error | off\n"
+             "(default info)",
+             [&](const std::string& opt, const std::string& v) {
+               try {
+                 lb::obs::log().setLevel(lb::obs::parseLogLevel(v));
+               } catch (const std::exception& e) {
+                 throw std::invalid_argument(opt + ": " + e.what());
+               }
+             })
+      .flag({"--log-json"}, "emit log lines as JSON instead of key=value",
+            &log_json);
   if (const int rc = options.parse(argc, argv); rc >= 0) return rc;
   server_options.engine.shed_when_full = !block_when_full;
+  obs::log().setJson(log_json);
 
   std::unique_ptr<fault::FaultInjector> injector;
   if (!fault_spec.empty()) {
@@ -117,12 +150,44 @@ int main(int argc, char** argv) {
               << std::endl;
   }
 
+  // 0 = no recorder at all: the `trace` verb reports it disabled and every
+  // response stays byte-identical to a tracing-free build.
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (recorder_spans > 0) {
+    recorder = std::make_unique<obs::FlightRecorder>(recorder_spans);
+    server_options.recorder = recorder.get();
+  }
+
   try {
     service::Server server(server_options);
+    // Scripts parse this stdout line to discover ephemeral ports; the
+    // structured log line carries the rest of the effective config.
     std::cout << "lbd listening on 127.0.0.1:" << server.port() << std::endl;
+    obs::log().info(
+        "lbd.start",
+        {{"port", std::uint64_t{server.port()}},
+         {"workers", std::uint64_t{server_options.engine.workers}},
+         {"queue_depth", std::uint64_t{server_options.engine.queue_depth}},
+         {"flight_recorder", std::uint64_t{recorder_spans}},
+         {"fault_plan", fault_spec.empty() ? "none" : fault_spec}});
     server.serve();
+    if (recorder != nullptr && !trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (out) {
+        recorder->writeChromeTrace(out);
+        obs::log().info("lbd.trace_written",
+                        {{"file", trace_out},
+                         {"spans", std::uint64_t{recorder->spanCount()}},
+                         {"dropped", recorder->droppedSpans() +
+                                         recorder->droppedEvents()}});
+      } else {
+        obs::log().error("lbd.trace_write_failed", {{"file", trace_out}});
+      }
+    }
+    obs::log().info("lbd.stop", {{"port", std::uint64_t{server.port()}}});
     std::cout << "lbd stopped\n";
   } catch (const std::exception& e) {
+    obs::log().error("lbd.fatal", {{"error", e.what()}});
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Performance-trajectory capture: runs the benchmark harnesses with
+# --json-out and writes machine-readable result files (lb-bench-v1 schema,
+# see bench/bench_util.hpp) stamped with the current git revision, so CI
+# can archive one point per commit and performance can be plotted over the
+# repo's history.
+#
+#   scripts/bench_trajectory.sh [build-dir] [out-dir]
+#
+# Produces <out-dir>/BENCH_arbiters.json (arbiter_microbench: cost per
+# arbitration decision + whole-testbed cycles/s) and
+# <out-dir>/BENCH_service.json (iq_switch_throughput: switch slots/s).
+# Both files are validated as JSON before the script exits 0.  Benchmarks
+# run with reduced repetitions/slots — this is a trajectory smoke, not a
+# publication-grade measurement.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+OUT="${2:-$BUILD/bench-results}"
+MICRO="$BUILD/bench/arbiter_microbench"
+IQ="$BUILD/bench/iq_switch_throughput"
+for bin in "$MICRO" "$IQ"; do
+  [[ -x "$bin" ]] || { echo "bench_trajectory: missing $bin (build first)"; exit 1; }
+done
+mkdir -p "$OUT"
+
+LB_GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export LB_GIT_REV
+echo "bench_trajectory: rev $LB_GIT_REV -> $OUT"
+
+# Per-decision arbiter cost for the 4-master configs plus the full-testbed
+# cycles/s figure; min_time trimmed so the whole sweep stays in seconds.
+"$MICRO" --benchmark_filter='/4$|BM_FullTestbed/10000$' \
+         --benchmark_min_time=0.05 \
+         --json-out "$OUT/BENCH_arbiters.json" \
+  > "$OUT/arbiters.log" 2>&1 \
+  || { echo "bench_trajectory: arbiter_microbench failed"; tail -20 "$OUT/arbiters.log"; exit 1; }
+
+"$IQ" --slots 20000 --json-out "$OUT/BENCH_service.json" \
+  > "$OUT/service.log" 2>&1 \
+  || { echo "bench_trajectory: iq_switch_throughput failed"; tail -20 "$OUT/service.log"; exit 1; }
+
+validate() {
+  local file="$1"
+  [[ -s "$file" ]] || { echo "bench_trajectory: $file missing or empty"; exit 1; }
+  python3 - "$file" <<'PY' || { echo "bench_trajectory: $file is not valid lb-bench-v1 JSON"; exit 1; }
+import json, sys
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+assert doc["schema"] == "lb-bench-v1", doc.get("schema")
+assert doc["git_rev"], "empty git_rev"
+assert isinstance(doc["results"], list) and doc["results"], "no results"
+for row in doc["results"]:
+    assert row["name"] and row["wall_ns"] > 0, row
+PY
+  echo "bench_trajectory: $file OK ($(python3 -c "import json;print(len(json.load(open('$file'))['results']))") results)"
+}
+validate "$OUT/BENCH_arbiters.json"
+validate "$OUT/BENCH_service.json"
+
+echo "bench_trajectory: OK"

@@ -2,8 +2,13 @@
 # Loopback smoke test for the lbserve subsystem: boots lbd on an ephemeral
 # port, checks that lbcli run is bit-identical to lbsim, that a repeated
 # run is a cache hit, that stats report hits and nonzero latency
-# percentiles, and that shutdown terminates the daemon.  Exits nonzero on
-# any failure.  Usage: scripts/smoke_lbserve.sh [build-dir]
+# percentiles, that the metrics scrape carries every lb_server_*/
+# lb_request_* family, that the `trace` verb dumps valid Chrome trace JSON,
+# and that shutdown terminates the daemon.  Exits nonzero on any failure.
+# Usage: scripts/smoke_lbserve.sh [build-dir]
+#
+# When SMOKE_ARTIFACT_DIR is set, the metrics scrape and trace dump are
+# copied there (CI uploads them as workflow artifacts).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -71,8 +76,39 @@ RUNS="$(awk '$1 == "lb_server_requests_total{verb=\"run\"}" {print $2}' "$WORK/m
   || { echo "smoke_lbserve: expected >=2 run requests in metrics, got '$RUNS'"; cat "$WORK/metrics.out"; exit 1; }
 grep -q '^lb_bus_grants_total' "$WORK/metrics.out" \
   || { echo "smoke_lbserve: metrics scrape missing bus-layer counters"; exit 1; }
+# Every server-side request family must be present (a scrape that silently
+# lost one would blind the dashboards).
+for family in lb_server_requests_total lb_server_protocol_errors_total \
+              lb_server_shed_total lb_server_request_micros \
+              lb_request_stage_micros; do
+  grep -q "^# TYPE $family " "$WORK/metrics.out" \
+    || { echo "smoke_lbserve: metrics scrape missing $family"; cat "$WORK/metrics.out"; exit 1; }
+done
 
-# 6. Clean shutdown.
+# 6. Trace verb: the flight-recorder dump is valid Chrome trace JSON with a
+# server.request root span for the runs above.
+"$LBCLI" --port "$PORT" trace > "$WORK/trace.json" 2> "$WORK/trace.err"
+python3 - "$WORK/trace.json" <<'PY' \
+  || { echo "smoke_lbserve: trace dump is not valid Chrome trace JSON"; head -c 400 "$WORK/trace.json"; exit 1; }
+import json, sys
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+events = doc["traceEvents"]
+roots = [e for e in events if e.get("name") == "server.request"]
+assert roots, "no server.request spans in the dump"
+assert any(e.get("args", {}).get("note") == "run" for e in roots), \
+    "no run-verb root span"
+PY
+echo "smoke_lbserve: trace dump OK ($(grep -o 'server\.request' "$WORK/trace.json" | wc -l) root spans)"
+
+# Archive observability artifacts for CI before this daemon goes away.
+if [[ -n "${SMOKE_ARTIFACT_DIR:-}" ]]; then
+  mkdir -p "$SMOKE_ARTIFACT_DIR"
+  cp "$WORK/metrics.out" "$SMOKE_ARTIFACT_DIR/smoke_metrics.prom"
+  cp "$WORK/trace.json" "$SMOKE_ARTIFACT_DIR/smoke_trace.json"
+fi
+
+# 7. Clean shutdown.
 "$LBCLI" --port "$PORT" shutdown > /dev/null
 for _ in $(seq 1 50); do
   kill -0 "$LBD_PID" 2>/dev/null || break
@@ -84,7 +120,7 @@ fi
 wait "$LBD_PID" 2>/dev/null || true
 LBD_PID=""
 
-# 7. Fault soak: a second daemon with a seeded chaos plan (15% torn reads
+# 8. Fault soak: a second daemon with a seeded chaos plan (15% torn reads
 # and writes, 10% job delays, plus resets, sheds, and cache corruption).
 # 200 lbcli runs must all complete (no hangs — every call is bounded by
 # --deadline-ms and a belt-and-braces `timeout`), every result must stay
@@ -136,4 +172,4 @@ kill "$LBD_PID" 2>/dev/null || true
 wait "$LBD_PID" 2>/dev/null || true
 LBD_PID=""
 
-echo "smoke_lbserve: OK (bit-identical run, cache hit, warm sweep, stats, metrics, shutdown, fault soak)"
+echo "smoke_lbserve: OK (bit-identical run, cache hit, warm sweep, stats, metrics, trace, shutdown, fault soak)"

@@ -1,0 +1,223 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cstdio>
+#include <random>
+
+#include "obs/metrics.hpp"  // formatNumber
+
+namespace lb::obs {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::string escapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t mintTraceId() {
+  // One random_device draw per process; every id after that is a counter
+  // pushed through the SplitMix64 finalizer (bijective, so ids within a
+  // process never collide, and never produce 0 twice).
+  static const std::uint64_t entropy = [] {
+    std::random_device device;
+    return (static_cast<std::uint64_t>(device()) << 32) ^ device();
+  }();
+  static std::atomic<std::uint64_t> sequence{0};
+  for (;;) {
+    const std::uint64_t id = splitmix64(
+        entropy ^ sequence.fetch_add(1, std::memory_order_relaxed));
+    if (id != 0) return id;
+  }
+}
+
+std::string traceIdHex(std::uint64_t id) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(id));
+  return buffer;
+}
+
+FlightRecorder::FlightRecorder(std::size_t span_capacity,
+                               std::size_t event_capacity)
+    : span_capacity_(span_capacity),
+      event_capacity_(event_capacity == 0 ? 1 : event_capacity),
+      epoch_(std::chrono::steady_clock::now()),
+      enabled_(span_capacity > 0) {}
+
+void FlightRecorder::setEnabled(bool on) {
+  enabled_.store(on && span_capacity_ > 0, std::memory_order_relaxed);
+}
+
+double FlightRecorder::nowMicros() const {
+  return toMicros(std::chrono::steady_clock::now());
+}
+
+double FlightRecorder::toMicros(
+    std::chrono::steady_clock::time_point tp) const {
+  return std::chrono::duration<double, std::micro>(tp - epoch_).count();
+}
+
+std::uint32_t FlightRecorder::currentTid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void FlightRecorder::record(Span span) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < span_capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  ring_[ring_next_] = std::move(span);
+  ring_next_ = (ring_next_ + 1) % span_capacity_;
+  ++dropped_spans_;
+}
+
+void FlightRecorder::recordEvent(Event event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() < event_capacity_) {
+    events_.push_back(std::move(event));
+    return;
+  }
+  events_[events_next_] = std::move(event);
+  events_next_ = (events_next_ + 1) % event_capacity_;
+  ++dropped_events_;
+}
+
+void FlightRecorder::annotateTrace(std::uint64_t trace_id,
+                                   const std::string& name,
+                                   const std::string& note) {
+  if (!enabled() || trace_id == 0) return;
+  Event event;
+  event.trace_id = trace_id;
+  event.name = name;
+  event.note = note;
+  event.ts_us = nowMicros();
+  event.tid = currentTid();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Span& span : ring_) {
+      if (span.trace_id != trace_id) continue;
+      if (!span.note.empty()) span.note += "; ";
+      span.note += name + ": " + note;
+    }
+  }
+  recordEvent(std::move(event));
+}
+
+std::size_t FlightRecorder::spanCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::size_t FlightRecorder::eventCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t FlightRecorder::droppedSpans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_spans_;
+}
+
+std::uint64_t FlightRecorder::droppedEvents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_events_;
+}
+
+std::vector<FlightRecorder::Span> FlightRecorder::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  // Oldest first: once wrapped, the overwrite cursor points at the oldest.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+  return out;
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> out;
+  out.reserve(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i)
+    out.push_back(events_[(events_next_ + i) % events_.size()]);
+  return out;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  ring_next_ = 0;
+  dropped_spans_ = 0;
+  events_.clear();
+  events_next_ = 0;
+  dropped_events_ = 0;
+}
+
+void FlightRecorder::writeChromeTrace(std::ostream& out) const {
+  const std::vector<Span> spans_copy = spans();
+  const std::vector<Event> events_copy = events();
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dropped = dropped_spans_ + dropped_events_;
+  }
+  out << "{\"traceEvents\":[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"tid\":0,\"ts\":0,\"args\":{\"name\":\"lbserve flight recorder\"}}";
+  for (const Span& span : spans_copy) {
+    out << ",{\"name\":\"" << escapeJson(span.name)
+        << "\",\"ph\":\"X\",\"cat\":\"request\",\"pid\":1,\"tid\":" << span.tid
+        << ",\"ts\":" << formatNumber(span.ts_us)
+        << ",\"dur\":" << formatNumber(span.dur_us) << ",\"args\":{"
+        << "\"trace\":\"" << traceIdHex(span.trace_id) << "\",\"span\":\""
+        << traceIdHex(span.span_id) << "\",\"parent\":\""
+        << traceIdHex(span.parent_id) << "\"";
+    if (!span.note.empty())
+      out << ",\"note\":\"" << escapeJson(span.note) << "\"";
+    out << "}}";
+  }
+  for (const Event& event : events_copy) {
+    out << ",{\"name\":\"" << escapeJson(event.name)
+        << "\",\"ph\":\"i\",\"s\":\"p\",\"cat\":\"annotation\",\"pid\":1,"
+        << "\"tid\":" << event.tid << ",\"ts\":" << formatNumber(event.ts_us)
+        << ",\"args\":{\"trace\":\"" << traceIdHex(event.trace_id) << "\"";
+    if (!event.note.empty())
+      out << ",\"note\":\"" << escapeJson(event.note) << "\"";
+    out << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":"
+      << dropped << "}}\n";
+}
+
+}  // namespace lb::obs

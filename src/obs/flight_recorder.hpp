@@ -1,0 +1,140 @@
+#pragma once
+// Request-scoped tracing primitives for the lbserve stack.
+//
+// A TraceContext is the (trace_id, span_id) pair minted by service::Client,
+// propagated on the wire as `"trace":{"id":...,"span":...}` and threaded
+// through Server -> JobEngine -> runScenario, so every request yields a
+// span tree: server.request (root), server.read, server.parse,
+// cache.lookup, job.queue_wait, job.execute, server.write.
+//
+// The FlightRecorder is the bounded, thread-safe ring buffer those spans
+// (and structured instant events) land in — a black box holding the last N
+// entries with a dropped-entry counter, dumpable at any time as Chrome
+// trace_event JSON (chrome://tracing / https://ui.perfetto.dev) via the
+// `trace` wire verb or `lbd --trace-out`.
+//
+// Cost contract: a disabled recorder (capacity 0, or setEnabled(false)) is
+// inert — record() returns before touching the buffer, and call sites guard
+// span *construction* on enabled() so the hot path performs zero
+// allocations.  Recording itself takes one mutex per span; spans are
+// per-request (milliseconds apart), not per-cycle, so contention is
+// irrelevant.  Nothing here feeds back into simulation state: tracing on or
+// off yields bit-identical ScenarioResults
+// (ScenarioRunTest.InstrumentationIsInert stays the gate).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lb::obs {
+
+/// One hop of a distributed trace: which request (trace_id) and which span
+/// within it (span_id).  trace_id == 0 means "no trace".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+  bool operator==(const TraceContext&) const = default;
+};
+
+/// Mints a process-unique, non-zero 64-bit id (thread-safe, lock-free): a
+/// relaxed counter mixed through the SplitMix64 finalizer and seeded with
+/// per-process entropy, so ids from concurrent clients rarely collide.
+std::uint64_t mintTraceId();
+
+/// 16 lowercase hex digits — the human-facing rendering of trace/span ids
+/// in logs and trace dumps.
+std::string traceIdHex(std::uint64_t id);
+
+class FlightRecorder {
+public:
+  /// A completed span on the recorder's steady-clock timeline.
+  struct Span {
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_id = 0;  ///< 0 = no parent recorded here
+    std::string name;             ///< taxonomy: "server.request", "job.execute", ...
+    std::string note;             ///< verb for roots, hit/miss for lookups, ...
+    double ts_us = 0;             ///< start, micros since recorder epoch
+    double dur_us = 0;
+    std::uint32_t tid = 0;        ///< recording thread lane (currentTid())
+  };
+
+  /// A structured instant event (annotations: shed, protocol_error, ...).
+  struct Event {
+    std::uint64_t trace_id = 0;
+    std::string name;
+    std::string note;
+    double ts_us = 0;
+    std::uint32_t tid = 0;
+  };
+
+  /// `span_capacity` == 0 constructs a permanently disabled recorder.
+  explicit FlightRecorder(std::size_t span_capacity = 4096,
+                          std::size_t event_capacity = 1024);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  /// No-op on a zero-capacity recorder (it can never be enabled).
+  void setEnabled(bool on);
+
+  /// Micros elapsed since construction (the timeline spans are stamped in).
+  double nowMicros() const;
+  double toMicros(std::chrono::steady_clock::time_point tp) const;
+
+  /// Small dense per-thread lane id for the Chrome dump (1, 2, ...).
+  static std::uint32_t currentTid();
+
+  /// Appends to the ring; the oldest entry is overwritten (and counted as
+  /// dropped) when full.  No-ops when disabled.
+  void record(Span span);
+  void recordEvent(Event event);
+
+  /// Marks every buffered span of `trace_id` with `note` and records an
+  /// instant event, so "why was this request slow/rejected" survives in the
+  /// dump (sheds, protocol errors, fault-typed errors).
+  void annotateTrace(std::uint64_t trace_id, const std::string& name,
+                     const std::string& note);
+
+  std::size_t spanCapacity() const { return span_capacity_; }
+  std::size_t spanCount() const;
+  std::size_t eventCount() const;
+  std::uint64_t droppedSpans() const;
+  std::uint64_t droppedEvents() const;
+
+  /// Buffered entries, oldest first.
+  std::vector<Span> spans() const;
+  std::vector<Event> events() const;
+
+  void clear();
+
+  /// Renders the buffer as one Chrome trace_event JSON document: spans as
+  /// "X" events (args: trace/span/parent hex ids + note), events as "i"
+  /// instants, plus process metadata.  Stable field order.
+  void writeChromeTrace(std::ostream& out) const;
+
+private:
+  const std::size_t span_capacity_;
+  const std::size_t event_capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_;
+
+  mutable std::mutex mutex_;
+  std::vector<Span> ring_;       ///< grows to span_capacity_, then wraps
+  std::size_t ring_next_ = 0;    ///< overwrite cursor once full
+  std::uint64_t dropped_spans_ = 0;
+  std::vector<Event> events_;
+  std::size_t events_next_ = 0;
+  std::uint64_t dropped_events_ = 0;
+};
+
+}  // namespace lb::obs

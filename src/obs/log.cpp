@@ -1,0 +1,220 @@
+#include "obs/log.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <iostream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"  // formatNumber
+
+namespace lb::obs {
+
+namespace {
+
+/// Escapes a value for both output shapes (the escape set is valid JSON and
+/// unambiguous inside key=value text).
+std::string escapeValue(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// True when a key=value rendering needs quotes around the value.
+bool needsQuotes(const std::string& value) {
+  if (value.empty()) return true;
+  for (const char c : value)
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' ||
+        static_cast<unsigned char>(c) < 0x21)
+      return true;
+  return false;
+}
+
+/// ISO-8601 UTC with milliseconds: 2026-08-06T12:00:00.123Z
+std::string isoTimestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(millis));
+  return buffer;
+}
+
+void appendField(std::string& line, bool json, const LogField& field) {
+  if (json) {
+    line += ",\"";
+    line += escapeValue(field.key);
+    line += "\":";
+    if (field.is_string) {
+      line += '"';
+      line += escapeValue(field.value);
+      line += '"';
+    } else {
+      line += field.value;
+    }
+  } else {
+    line += ' ';
+    line += field.key;
+    line += '=';
+    if (field.is_string && needsQuotes(field.value)) {
+      line += '"';
+      line += escapeValue(field.value);
+      line += '"';
+    } else {
+      line += field.value;
+    }
+  }
+}
+
+}  // namespace
+
+LogField::LogField(std::string k, double v)
+    : key(std::move(k)), value(formatNumber(v)), is_string(false) {}
+
+LogField::LogField(std::string k, std::uint64_t v)
+    : key(std::move(k)), value(std::to_string(v)), is_string(false) {}
+
+LogField::LogField(std::string k, std::int64_t v)
+    : key(std::move(k)), value(std::to_string(v)), is_string(false) {}
+
+const char* logLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel parseLogLevel(const std::string& text) {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  throw std::invalid_argument("unknown log level \"" + text +
+                              "\" (debug|info|warn|error|off)");
+}
+
+void Log::setJson(bool json) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json_ = json;
+}
+
+void Log::setSink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = sink;
+  sink_set_ = sink != nullptr;
+}
+
+void Log::setRateLimitPerSec(std::uint64_t lines) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rate_limit_ = lines;
+}
+
+void Log::setTimestamps(bool on) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  timestamps_ = on;
+}
+
+std::uint64_t Log::suppressed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return suppressed_total_;
+}
+
+void Log::write(LogLevel level, const std::string& event,
+                std::initializer_list<LogField> fields) {
+  if (level == LogLevel::kOff || !enabled(level)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostream& out = sink_set_ ? *sink_ : std::cerr;
+
+  // Rate limiting: a fixed one-second window.  When the window rolls over,
+  // report what the previous window dropped (once, as its own line).
+  std::uint64_t report_suppressed = 0;
+  if (rate_limit_ > 0) {
+    const auto now = std::chrono::steady_clock::now();
+    if (window_start_.time_since_epoch().count() == 0 ||
+        now - window_start_ >= std::chrono::seconds(1)) {
+      report_suppressed = window_suppressed_;
+      window_start_ = now;
+      window_count_ = 0;
+      window_suppressed_ = 0;
+    }
+    if (window_count_ >= rate_limit_) {
+      ++window_suppressed_;
+      ++suppressed_total_;
+      return;
+    }
+    ++window_count_;
+  }
+
+  const auto render = [&](LogLevel line_level, const std::string& line_event,
+                          std::initializer_list<LogField> line_fields) {
+    std::string line;
+    line.reserve(96);
+    if (json_) {
+      line += '{';
+      bool first = true;
+      if (timestamps_) {
+        line += "\"ts\":\"" + isoTimestamp() + "\"";
+        first = false;
+      }
+      line += first ? "\"level\":\"" : ",\"level\":\"";
+      line += logLevelName(line_level);
+      line += "\",\"event\":\"";
+      line += escapeValue(line_event);
+      line += '"';
+      for (const LogField& field : line_fields)
+        appendField(line, true, field);
+      line += '}';
+    } else {
+      if (timestamps_) line += "ts=" + isoTimestamp() + " ";
+      line += "level=";
+      line += logLevelName(line_level);
+      line += " event=";
+      line += line_event;
+      for (const LogField& field : line_fields)
+        appendField(line, false, field);
+    }
+    line += '\n';
+    out << line;
+  };
+
+  if (report_suppressed > 0)
+    render(LogLevel::kWarn, "log.suppressed",
+           {LogField("dropped_lines", report_suppressed)});
+  render(level, event, fields);
+  out.flush();
+}
+
+Log& log() {
+  static Log instance;
+  return instance;
+}
+
+}  // namespace lb::obs

@@ -1,0 +1,132 @@
+#pragma once
+// Structured, leveled logging for the service stack (obs::Log).
+//
+// One line per call, machine-parseable in either of two shapes:
+//
+//   key=value  ts=2026-08-06T12:00:00.123Z level=warn event=server.shed
+//              verb=run trace=3f9a... retry_after_ms=50
+//   JSON lines {"ts":"...","level":"warn","event":"server.shed",
+//              "verb":"run","trace":"3f9a...","retry_after_ms":50}
+//
+// Properties the daemon relies on:
+//   - leveled (debug < info < warn < error < off) with a lock-free level
+//     check, so a suppressed line costs one relaxed atomic load;
+//   - trace-correlated: a TraceContext renders as a `trace=` field, tying
+//     log lines to flight-recorder spans and wire responses;
+//   - rate-limited: at most N lines per second (per logger); overflow is
+//     counted and reported once per window as a `log.suppressed` line, so
+//     a fault storm cannot turn the daemon into a disk-filling printer;
+//   - thread-safe: one mutex around formatting + sink write.
+//
+// The process-global obs::log() (stderr, info, key=value) is what lbd and
+// the service layer use; tests inject an ostringstream sink.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "obs/flight_recorder.hpp"  // TraceContext, traceIdHex
+
+namespace lb::obs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* logLevelName(LogLevel level);
+/// Accepts "debug" | "info" | "warn" | "error" | "off"; throws
+/// std::invalid_argument otherwise (naming the offending token).
+LogLevel parseLogLevel(const std::string& text);
+
+/// One key -> value pair of a structured log line.  Values keep their JSON
+/// shape: strings are quoted/escaped, numbers and booleans are bare.
+struct LogField {
+  std::string key;
+  std::string value;    ///< pre-rendered (unescaped for strings)
+  bool is_string = true;
+
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  LogField(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, double v);
+  LogField(std::string k, std::uint64_t v);
+  LogField(std::string k, std::int64_t v);
+  LogField(std::string k, int v) : LogField(std::move(k), std::int64_t{v}) {}
+  LogField(std::string k, bool v)
+      : key(std::move(k)), value(v ? "true" : "false"), is_string(false) {}
+  /// Renders as trace=<16-hex-id> (the trace id; span ids live in spans).
+  LogField(std::string k, const TraceContext& ctx)
+      : key(std::move(k)), value(traceIdHex(ctx.trace_id)) {}
+};
+
+class Log {
+public:
+  Log() = default;
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+
+  void setLevel(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >=
+           level_.load(std::memory_order_relaxed);
+  }
+
+  void setJson(bool json);
+  /// The stream lines are written to; nullptr restores the default
+  /// (std::cerr).  The caller keeps ownership and must outlive the logger's
+  /// use of it.
+  void setSink(std::ostream* sink);
+  /// 0 = unlimited.  The default (1000/s) keeps fault storms bounded.
+  void setRateLimitPerSec(std::uint64_t lines);
+  /// Timestamps off makes output deterministic for golden tests.
+  void setTimestamps(bool on);
+
+  void write(LogLevel level, const std::string& event,
+             std::initializer_list<LogField> fields = {});
+
+  void debug(const std::string& event,
+             std::initializer_list<LogField> fields = {}) {
+    write(LogLevel::kDebug, event, fields);
+  }
+  void info(const std::string& event,
+            std::initializer_list<LogField> fields = {}) {
+    write(LogLevel::kInfo, event, fields);
+  }
+  void warn(const std::string& event,
+            std::initializer_list<LogField> fields = {}) {
+    write(LogLevel::kWarn, event, fields);
+  }
+  void error(const std::string& event,
+             std::initializer_list<LogField> fields = {}) {
+    write(LogLevel::kError, event, fields);
+  }
+
+  /// Lines dropped by the rate limiter so far (cumulative).
+  std::uint64_t suppressed() const;
+
+private:
+  std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
+
+  mutable std::mutex mutex_;
+  std::ostream* sink_ = nullptr;  ///< resolved lazily to &std::cerr
+  bool sink_set_ = false;
+  bool json_ = false;
+  bool timestamps_ = true;
+  std::uint64_t rate_limit_ = 1000;
+  std::uint64_t window_count_ = 0;
+  std::uint64_t window_suppressed_ = 0;
+  std::uint64_t suppressed_total_ = 0;
+  std::chrono::steady_clock::time_point window_start_{};
+};
+
+/// The process-wide logger (stderr, level info, key=value lines).
+Log& log();
+
+}  // namespace lb::obs

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <sstream>
 
+#include "obs/log.hpp"
+
 namespace lb::service {
 
 namespace {
@@ -166,6 +168,8 @@ void ResultCache::evictCorrupt(std::uint64_t hash) {
   std::filesystem::remove(pathFor(hash), ec);
   ++stats_.corrupt_evictions;
   corrupt_evictions_.inc();
+  obs::log().warn("cache.corrupt_eviction",
+                  {{"hash", obs::traceIdHex(hash)}});
 }
 
 void ResultCache::storeToDisk(std::uint64_t hash, const Scenario& scenario,

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/log.hpp"
 #include "service/protocol.hpp"
 #include "service/socket_io.hpp"
 
@@ -132,12 +133,28 @@ bool Client::backoff(
   }
   retries_family_.withLabels({{"reason", reason}}).inc();
   ++retries_;
+  obs::log().debug("client.retry",
+                   {{"reason", reason},
+                    {"attempt", std::int64_t{attempt}},
+                    {"delay_ms", static_cast<std::uint64_t>(delay.count())},
+                    {"trace", last_trace_}});
   if (delay.count() > 0) std::this_thread::sleep_for(delay);
   return true;
 }
 
 Json Client::call(const Json& request) {
-  const std::string line = request.dump();
+  // Attach a trace identity unless the caller brought one.  Minted once per
+  // logical request: retries resend the identical line, so server-side
+  // spans from every attempt share one trace id.
+  Json traced = request;
+  obs::TraceContext ctx = traceContextFromRequest(traced);
+  if (!ctx.valid() && traced.isObject()) {
+    ctx.trace_id = obs::mintTraceId();
+    ctx.span_id = obs::mintTraceId();
+    traced.set("trace", traceContextJson(ctx));
+  }
+  last_trace_ = ctx;
+  const std::string line = traced.dump();
   // Transport-failure resends are allowed only for idempotent verbs: once
   // bytes hit the wire the daemon may have executed the request.  Connect
   // failures happen strictly before that, so any verb may retry those.
@@ -208,6 +225,12 @@ Json Client::stats() {
 Json Client::metrics() {
   Json request = Json::object();
   request.set("verb", Json("metrics"));
+  return call(request);
+}
+
+Json Client::trace() {
+  Json request = Json::object();
+  request.set("verb", Json("trace"));
   return call(request);
 }
 

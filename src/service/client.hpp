@@ -29,6 +29,7 @@
 
 #include "fault/backoff.hpp"
 #include "fault/fault.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "service/json.hpp"
 
@@ -83,6 +84,12 @@ public:
   /// exhausted budgets, std::runtime_error on a protocol-version mismatch;
   /// protocol-level failures (including an `overloaded` shed that outlived
   /// the retry budget) come back as {"ok":false,...} documents.
+  ///
+  /// Every request is traced: unless the caller already attached a
+  /// `"trace"` block, call() mints a fresh trace/span id pair and sends it
+  /// (stable across retries, so one logical request is one trace).  Old
+  /// daemons ignore the block; tracing daemons echo it and parent their
+  /// server-side spans under it.  See lastTrace().
   Json call(const Json& request);
 
   /// Convenience wrappers for the protocol verbs.
@@ -90,10 +97,16 @@ public:
   Json sweep(Json scenarios);
   Json stats();
   Json metrics();
+  /// Dumps the daemon's flight recorder ({"chrome_trace":...}).
+  Json trace();
   Json shutdown();
 
   /// Retries performed over this client's lifetime (all reasons).
   std::uint64_t retries() const { return retries_; }
+
+  /// The trace context sent with the most recent call() (for correlating a
+  /// response with a later `trace` dump or log lines).
+  const obs::TraceContext& lastTrace() const { return last_trace_; }
 
 private:
   /// The absolute per-call deadline, or nullopt when options_.deadline==0.
@@ -114,6 +127,7 @@ private:
   fault::RetryPolicy policy_;
   obs::Family<obs::Counter>& retries_family_;
   std::uint64_t retries_ = 0;
+  obs::TraceContext last_trace_;
   int fd_ = -1;
   std::string buffer_;  ///< bytes received past the last newline
 };

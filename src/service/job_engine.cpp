@@ -55,7 +55,22 @@ JobEngine::JobEngine(JobEngineOptions options)
                           .histogram("lb_job_execute_micros",
                                      "Wall-clock simulation time per job",
                                      obs::microsBuckets())
-                          .get()) {
+                          .get()),
+      stage_cache_lookup_(registry_
+                              .histogram("lb_request_stage_micros",
+                                         "Per-stage request latency",
+                                         obs::microsBuckets())
+                              .withLabels({{"stage", "cache_lookup"}})),
+      stage_queue_wait_(registry_
+                            .histogram("lb_request_stage_micros",
+                                       "Per-stage request latency",
+                                       obs::microsBuckets())
+                            .withLabels({{"stage", "queue_wait"}})),
+      stage_execute_(registry_
+                         .histogram("lb_request_stage_micros",
+                                    "Per-stage request latency",
+                                    obs::microsBuckets())
+                         .withLabels({{"stage", "execute"}})) {
   std::size_t workers = options_.workers;
   if (workers == 0) {
     const unsigned hardware = std::thread::hardware_concurrency();
@@ -66,6 +81,25 @@ JobEngine::JobEngine(JobEngineOptions options)
   pool_ = std::make_unique<sim::ThreadPool>(workers);
   for (std::size_t w = 0; w < workers; ++w)
     pool_->post([this] { workerLoop(); });
+}
+
+void JobEngine::recordSpan(const obs::TraceContext& trace, const char* name,
+                           const std::string& note,
+                           std::chrono::steady_clock::time_point start,
+                           std::chrono::steady_clock::time_point end) {
+  obs::FlightRecorder* recorder = options_.recorder;
+  if (recorder == nullptr || !recorder->enabled() || !trace.valid()) return;
+  obs::FlightRecorder::Span span;
+  span.trace_id = trace.trace_id;
+  span.span_id = obs::mintTraceId();
+  span.parent_id = trace.span_id;
+  span.name = name;
+  span.note = note;
+  span.ts_us = recorder->toMicros(start);
+  span.dur_us =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  span.tid = obs::FlightRecorder::currentTid();
+  recorder->record(std::move(span));
 }
 
 JobEngine::~JobEngine() {
@@ -89,6 +123,11 @@ void JobEngine::workerLoop() {
       queue_depth_gauge_.set(static_cast<std::int64_t>(queue_.size()));
     }
     queue_cv_.notify_all();  // space freed for blocked submitters
+    const auto dequeued = std::chrono::steady_clock::now();
+    stage_queue_wait_.observe(std::chrono::duration<double, std::micro>(
+                                  dequeued - job->enqueued_at)
+                                  .count());
+    recordSpan(job->trace, "job.queue_wait", "", job->enqueued_at, dequeued);
     execute(job);
   }
 }
@@ -114,11 +153,14 @@ void JobEngine::execute(const std::shared_ptr<Job>& job) {
     outcome.status = JobStatus::kError;
     outcome.error = e.what();
   }
+  const auto finished = std::chrono::steady_clock::now();
   outcome.execute_micros =
-      std::chrono::duration<double, std::micro>(
-          std::chrono::steady_clock::now() - started)
-          .count();
+      std::chrono::duration<double, std::micro>(finished - started).count();
   execute_micros_.observe(outcome.execute_micros);
+  stage_execute_.observe(outcome.execute_micros);
+  recordSpan(job->trace, "job.execute",
+             outcome.status == JobStatus::kOk ? "ok" : outcome.error, started,
+             finished);
   if (outcome.status == JobStatus::kOk)
     cache_.put(job->hash, job->scenario, outcome.result);
   {
@@ -137,7 +179,7 @@ void JobEngine::execute(const std::shared_ptr<Job>& job) {
 }
 
 std::pair<std::shared_future<JobOutcome>, bool> JobEngine::submit(
-    const Scenario& raw) {
+    const Scenario& raw, const obs::TraceContext& trace) {
   Scenario scenario;
   try {
     scenario = normalized(raw);
@@ -149,7 +191,15 @@ std::pair<std::shared_future<JobOutcome>, bool> JobEngine::submit(
   }
   const std::uint64_t hash = scenarioHash(scenario);
 
-  if (auto cached = cache_.get(hash)) {
+  const auto lookup_started = std::chrono::steady_clock::now();
+  auto cached = cache_.get(hash);
+  const auto lookup_finished = std::chrono::steady_clock::now();
+  stage_cache_lookup_.observe(std::chrono::duration<double, std::micro>(
+                                  lookup_finished - lookup_started)
+                                  .count());
+  recordSpan(trace, "cache.lookup", cached ? "hit" : "miss", lookup_started,
+             lookup_finished);
+  if (cached) {
     JobOutcome outcome;
     outcome.status = JobStatus::kOk;
     outcome.result = std::move(*cached);
@@ -162,6 +212,7 @@ std::pair<std::shared_future<JobOutcome>, bool> JobEngine::submit(
   job->scenario = std::move(scenario);
   job->hash = hash;
   job->future = job->promise.get_future().share();
+  job->trace = trace;
 
   std::unique_lock<std::mutex> lock(mutex_);
   const auto flying = in_flight_.find(hash);
@@ -194,6 +245,7 @@ std::pair<std::shared_future<JobOutcome>, bool> JobEngine::submit(
   }
   auto future = job->future;
   in_flight_[hash] = future;
+  job->enqueued_at = std::chrono::steady_clock::now();
   queue_.push_back(std::move(job));
   ++stats_.submitted;
   submitted_counter_.inc();
@@ -232,18 +284,20 @@ JobOutcome JobEngine::await(std::shared_future<JobOutcome> future) {
   return future.get();
 }
 
-JobOutcome JobEngine::run(const Scenario& scenario) {
-  auto [future, coalesced] = submit(scenario);
+JobOutcome JobEngine::run(const Scenario& scenario,
+                          const obs::TraceContext& trace) {
+  auto [future, coalesced] = submit(scenario, trace);
   JobOutcome outcome = await(std::move(future));
   outcome.coalesced = outcome.coalesced || coalesced;
   return outcome;
 }
 
 std::vector<JobOutcome> JobEngine::sweep(
-    const std::vector<Scenario>& scenarios) {
+    const std::vector<Scenario>& scenarios, const obs::TraceContext& trace) {
   std::vector<std::pair<std::shared_future<JobOutcome>, bool>> futures;
   futures.reserve(scenarios.size());
-  for (const Scenario& scenario : scenarios) futures.push_back(submit(scenario));
+  for (const Scenario& scenario : scenarios)
+    futures.push_back(submit(scenario, trace));
   std::vector<JobOutcome> outcomes;
   outcomes.reserve(futures.size());
   for (auto& [future, coalesced] : futures) {

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "obs/flight_recorder.hpp"
 #include "service/cache.hpp"
 #include "service/scenario.hpp"
 #include "sim/thread_pool.hpp"
@@ -75,6 +76,10 @@ struct JobEngineOptions {
   /// Fault injector threaded into admission, execution, and the cache
   /// (nullptr: no injection; every hook is a single pointer test).
   fault::FaultInjector* fault = nullptr;
+  /// Flight recorder receiving cache.lookup / job.queue_wait / job.execute
+  /// spans for traced requests (nullptr or disabled: zero-cost — span
+  /// construction is guarded on recorder->enabled()).
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 struct JobEngineStats {
@@ -101,11 +106,15 @@ public:
 
   /// Cache-or-execute, blocking up to the per-job timeout.  Scenario
   /// validation errors come back as kError outcomes, not exceptions.
-  JobOutcome run(const Scenario& scenario);
+  /// `trace` (optional) parents this job's spans under the caller's span —
+  /// the server passes its root server.request span here.
+  JobOutcome run(const Scenario& scenario,
+                 const obs::TraceContext& trace = {});
 
   /// Submits every scenario, then collects outcomes in input order.
   /// Duplicate scenarios within one sweep coalesce onto a single job.
-  std::vector<JobOutcome> sweep(const std::vector<Scenario>& scenarios);
+  std::vector<JobOutcome> sweep(const std::vector<Scenario>& scenarios,
+                                const obs::TraceContext& trace = {});
 
   JobEngineStats stats() const;
   ResultCache& cache() { return cache_; }
@@ -117,6 +126,10 @@ private:
     std::uint64_t hash = 0;
     std::promise<JobOutcome> promise;
     std::shared_future<JobOutcome> future;
+    /// Trace of the submission that created the job (coalesced followers
+    /// share it); {0,0} when the request is untraced.
+    obs::TraceContext trace;
+    std::chrono::steady_clock::time_point enqueued_at;
   };
 
   /// Cache lookup / coalesce / enqueue; never blocks on execution (only on
@@ -124,12 +137,18 @@ private:
   /// futures.  `.second` is true when the caller was coalesced onto an
   /// already-in-flight identical job.
   std::pair<std::shared_future<JobOutcome>, bool> submit(
-      const Scenario& scenario);
+      const Scenario& scenario, const obs::TraceContext& trace);
   JobOutcome await(std::shared_future<JobOutcome> future);
   /// Builds a kShed outcome and counts it (stats_ + lb_jobs_shed_total).
   JobOutcome shedOutcome(std::uint64_t hash, const std::string& reason);
   void workerLoop();
   void execute(const std::shared_ptr<Job>& job);
+  /// Records one completed span under `trace` (no-op when the recorder is
+  /// off or the request is untraced — nothing is even constructed).
+  void recordSpan(const obs::TraceContext& trace, const char* name,
+                  const std::string& note,
+                  std::chrono::steady_clock::time_point start,
+                  std::chrono::steady_clock::time_point end);
 
   JobEngineOptions options_;
   obs::MetricsRegistry& registry_;  ///< resolved from options_.registry
@@ -145,6 +164,11 @@ private:
   obs::Gauge& queue_depth_gauge_;
   obs::Gauge& in_flight_gauge_;
   obs::Histogram& execute_micros_;
+  /// lb_request_stage_micros{stage=...} children for the engine-side stages
+  /// of a request (the server owns parse/read/write).
+  obs::Histogram& stage_cache_lookup_;
+  obs::Histogram& stage_queue_wait_;
+  obs::Histogram& stage_execute_;
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;  ///< space freed / job available

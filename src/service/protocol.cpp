@@ -6,8 +6,8 @@
 namespace lb::service {
 
 const std::vector<std::string>& protocolVerbs() {
-  static const std::vector<std::string> verbs = {"run", "sweep", "stats",
-                                                 "metrics", "shutdown"};
+  static const std::vector<std::string> verbs = {"run",     "sweep", "stats",
+                                                 "metrics", "trace", "shutdown"};
   return verbs;
 }
 
@@ -43,7 +43,7 @@ void requireProtocolVersion(const Json& response) {
 
 bool isIdempotentVerb(const std::string& verb) {
   return verb == "run" || verb == "sweep" || verb == "stats" ||
-         verb == "metrics";
+         verb == "metrics" || verb == "trace";
 }
 
 Json makeOverloadedResponse(const std::string& reason,
@@ -68,6 +68,42 @@ std::uint64_t retryAfterMs(const Json& response) {
   const Json* hint = response.find("retry_after_ms");
   if (hint == nullptr || !hint->isInteger()) return 0;
   return hint->asUint64();
+}
+
+namespace {
+
+obs::TraceContext traceContextFromMessage(const Json& message) {
+  obs::TraceContext context;
+  if (!message.isObject()) return context;
+  const Json* block = message.find("trace");
+  if (block == nullptr || !block->isObject()) return context;
+  const Json* id = block->find("id");
+  const Json* span = block->find("span");
+  if (id == nullptr || !id->isInteger()) return context;
+  context.trace_id = id->asUint64();
+  if (span != nullptr && span->isInteger()) context.span_id = span->asUint64();
+  return context;
+}
+
+}  // namespace
+
+obs::TraceContext traceContextFromRequest(const Json& request) {
+  return traceContextFromMessage(request);
+}
+
+Json traceContextJson(const obs::TraceContext& context) {
+  Json block = Json::object();
+  block.set("id", Json(context.trace_id))
+      .set("span", Json(context.span_id));
+  return block;
+}
+
+Json& stampTraceContext(Json& response, const obs::TraceContext& context) {
+  return response.set("trace", traceContextJson(context));
+}
+
+obs::TraceContext traceContextFromResponse(const Json& response) {
+  return traceContextFromMessage(response);
 }
 
 }  // namespace lb::service

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "service/json.hpp"
 
 namespace lb::service {
@@ -63,5 +64,30 @@ bool isOverloadedResponse(const Json& response);
 
 /// The shed's retry hint in milliseconds; 0 when absent.
 std::uint64_t retryAfterMs(const Json& response);
+
+// ---------------------------------------------------------------------------
+// Request tracing on the wire (docs/observability.md)
+// ---------------------------------------------------------------------------
+//
+// Every v1 request may carry `"trace":{"id":<u64>,"span":<u64>}` — minted
+// by service::Client, ignored by daemons that predate tracing (unknown
+// top-level request members are skipped).  The daemon echoes a trace block
+// on the response: `id` is the request's trace id (or a server-minted one
+// when the client sent none and the flight recorder is on) and `span` is
+// the server-side root span covering the request, so a client can join its
+// own records against a later `trace`-verb dump.
+
+/// The request's trace block as a TraceContext; {0, 0} when absent or
+/// malformed (tracing is best-effort — a bad block never fails a request).
+obs::TraceContext traceContextFromRequest(const Json& request);
+
+/// {"id":...,"span":...} for the wire.
+Json traceContextJson(const obs::TraceContext& context);
+
+/// Stamps the echoed trace block onto a response object.
+Json& stampTraceContext(Json& response, const obs::TraceContext& context);
+
+/// The response's echoed trace block; {0, 0} when absent.
+obs::TraceContext traceContextFromResponse(const Json& response);
 
 }  // namespace lb::service

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
 
 #include "service/protocol.hpp"
@@ -29,14 +30,60 @@ Json errorResponse(const std::string& message) {
   return response;
 }
 
+/// The engine inherits the server's recorder unless one was set explicitly.
+JobEngineOptions engineOptions(const ServerOptions& options) {
+  JobEngineOptions engine = options.engine;
+  if (engine.recorder == nullptr) engine.recorder = options.recorder;
+  return engine;
+}
+
+double elapsedMicros(std::chrono::steady_clock::time_point start,
+                     std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
 }  // namespace
 
-Json Server::outcomeResponse(const JobOutcome& outcome) {
+void Server::recordSpan(const obs::TraceContext& trace, std::uint64_t span_id,
+                        std::uint64_t parent_id, const char* name,
+                        const std::string& note,
+                        std::chrono::steady_clock::time_point start,
+                        std::chrono::steady_clock::time_point end) {
+  obs::FlightRecorder* recorder = options_.recorder;
+  if (recorder == nullptr || !recorder->enabled() || !trace.valid()) return;
+  obs::FlightRecorder::Span span;
+  span.trace_id = trace.trace_id;
+  span.span_id = span_id;
+  span.parent_id = parent_id;
+  span.name = name;
+  span.note = note;
+  span.ts_us = recorder->toMicros(start);
+  span.dur_us = elapsedMicros(start, end);
+  span.tid = obs::FlightRecorder::currentTid();
+  recorder->record(std::move(span));
+}
+
+Json Server::outcomeResponse(const JobOutcome& outcome,
+                             const obs::TraceContext& ctx) {
   if (outcome.status == JobStatus::kShed) {
     shed_counter_.inc();
+    if (options_.recorder != nullptr)
+      options_.recorder->annotateTrace(ctx.trace_id, "server.shed",
+                                       outcome.error);
+    log_.warn("server.shed",
+              {{"error", outcome.error},
+               {"retry_after_ms", std::uint64_t{outcome.retry_after_ms}},
+               {"trace", ctx}});
     return makeOverloadedResponse(outcome.error, outcome.retry_after_ms);
   }
   if (outcome.status != JobStatus::kOk) {
+    if (options_.recorder != nullptr)
+      options_.recorder->annotateTrace(ctx.trace_id, "server.job_error",
+                                       outcome.error);
+    log_.warn("server.job_error",
+              {{"error", outcome.error},
+               {"timeout", outcome.status == JobStatus::kTimeout},
+               {"trace", ctx}});
     Json response = errorResponse(outcome.error);
     response.set("timeout", Json(outcome.status == JobStatus::kTimeout));
     return response;
@@ -56,7 +103,8 @@ Json Server::outcomeResponse(const JobOutcome& outcome) {
 
 Server::Server(ServerOptions options)
     : options_(options),
-      engine_(options.engine),
+      engine_(engineOptions(options)),
+      log_(options.log != nullptr ? *options.log : obs::log()),
       requests_family_(engine_.metricsRegistry().counter(
           "lb_server_requests_total", "Requests handled per verb")),
       protocol_errors_counter_(
@@ -68,7 +116,26 @@ Server::Server(ServerOptions options)
                         .counter("lb_server_shed_total",
                                  "Requests answered with an explicit "
                                  "overloaded response")
-                        .get()) {
+                        .get()),
+      request_micros_family_(engine_.metricsRegistry().histogram(
+          "lb_server_request_micros",
+          "Wall-clock service time per request, by verb",
+          obs::microsBuckets())),
+      stage_read_(engine_.metricsRegistry()
+                      .histogram("lb_request_stage_micros",
+                                 "Per-stage request latency",
+                                 obs::microsBuckets())
+                      .withLabels({{"stage", "read"}})),
+      stage_parse_(engine_.metricsRegistry()
+                       .histogram("lb_request_stage_micros",
+                                  "Per-stage request latency",
+                                  obs::microsBuckets())
+                       .withLabels({{"stage", "parse"}})),
+      stage_write_(engine_.metricsRegistry()
+                       .histogram("lb_request_stage_micros",
+                                  "Per-stage request latency",
+                                  obs::microsBuckets())
+                       .withLabels({{"stage", "write"}})) {
   latency_reservoir_.reserve(kLatencyReservoir);
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -148,7 +215,12 @@ void Server::serve() {
 }
 
 void Server::handleConnection(int fd) {
+  log_.debug("server.conn_open", {{"fd", std::int64_t{fd}}});
   std::string buffer;
+  // server.read spans cover the wait for each request's bytes: from the
+  // moment this handler was ready for a new request until its full line
+  // arrived (near-zero for pipelined lines already buffered).
+  auto read_started = std::chrono::steady_clock::now();
   for (;;) {
     const std::size_t newline = buffer.find('\n');
     if (newline != std::string::npos) {
@@ -156,16 +228,31 @@ void Server::handleConnection(int fd) {
       buffer.erase(0, newline + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      const std::string response = handleRequest(line) + "\n";
+      const auto read_finished = std::chrono::steady_clock::now();
+      stage_read_.observe(elapsedMicros(read_started, read_finished));
+      obs::TraceContext root;
+      const std::string response = handleRequest(line, &root) + "\n";
+      recordSpan(root, obs::mintTraceId(), root.span_id, "server.read", "",
+                 read_started, read_finished);
       // No deadline on the response write (loopback sends are bounded by
       // the kernel buffer), but fault injection and MSG_NOSIGNAL apply: a
       // peer that vanished mid-frame surfaces as kError, never a SIGPIPE.
-      if (net::sendAll(fd, response, std::nullopt, options_.fault) !=
-          net::IoStatus::kOk) {
+      const auto write_started = std::chrono::steady_clock::now();
+      const net::IoStatus write_status =
+          net::sendAll(fd, response, std::nullopt, options_.fault);
+      const auto write_finished = std::chrono::steady_clock::now();
+      stage_write_.observe(elapsedMicros(write_started, write_finished));
+      recordSpan(root, obs::mintTraceId(), root.span_id, "server.write",
+                 write_status == net::IoStatus::kOk ? "" : "failed",
+                 write_started, write_finished);
+      if (write_status != net::IoStatus::kOk) {
+        log_.debug("server.conn_close",
+                   {{"fd", std::int64_t{fd}}, {"reason", "write failed"}});
         ::close(fd);
         return;
       }
       if (stopping_.load()) break;  // shutdown verb answered on this line
+      read_started = std::chrono::steady_clock::now();
       continue;
     }
     if (buffer.size() > kMaxLineBytes) break;
@@ -176,29 +263,44 @@ void Server::handleConnection(int fd) {
         net::recvSome(fd, buffer, 4096, deadline, options_.fault);
     if (status != net::IoStatus::kOk) break;  // EOF, deadline, or error
   }
+  log_.debug("server.conn_close", {{"fd", std::int64_t{fd}}});
   ::close(fd);
 }
 
-std::string Server::handleRequest(const std::string& line) {
+std::string Server::handleRequest(const std::string& line,
+                                  obs::TraceContext* root_out) {
   const auto started = std::chrono::steady_clock::now();
   ++requests_;
+  obs::FlightRecorder* recorder = options_.recorder;
+  const bool tracing = recorder != nullptr && recorder->enabled();
+  obs::TraceContext client_ctx;  // trace block from the wire, if any
+  obs::TraceContext root_ctx;    // this request's server.request span
+  std::string verb_label = "unknown";
   Json response;
   try {
     const Json request = Json::parse(line);
+    client_ctx = traceContextFromRequest(request);
+    root_ctx.trace_id = client_ctx.valid() ? client_ctx.trace_id
+                        : tracing         ? obs::mintTraceId()
+                                          : 0;
+    if (tracing) root_ctx.span_id = obs::mintTraceId();
+    const auto parsed = std::chrono::steady_clock::now();
+    stage_parse_.observe(elapsedMicros(started, parsed));
+    recordSpan(root_ctx, obs::mintTraceId(), root_ctx.span_id, "server.parse",
+               "", started, parsed);
     const std::string& verb = request.at("verb").asString();
-    requests_family_
-        .withLabels({{"verb", isProtocolVerb(verb) ? verb : "unknown"}})
-        .inc();
+    if (isProtocolVerb(verb)) verb_label = verb;
+    requests_family_.withLabels({{"verb", verb_label}}).inc();
     if (verb == "run") {
       const Scenario scenario = scenarioFromJson(request.at("scenario"));
-      response = outcomeResponse(engine_.run(scenario));
+      response = outcomeResponse(engine_.run(scenario, root_ctx), root_ctx);
     } else if (verb == "sweep") {
       std::vector<Scenario> scenarios;
       for (const Json& item : request.at("scenarios").asArray())
         scenarios.push_back(scenarioFromJson(item));
       Json results = Json::array();
-      for (const JobOutcome& outcome : engine_.sweep(scenarios))
-        results.push(outcomeResponse(outcome));
+      for (const JobOutcome& outcome : engine_.sweep(scenarios, root_ctx))
+        results.push(outcomeResponse(outcome, root_ctx));
       response = Json::object();
       response.set("ok", Json(true)).set("results", std::move(results));
     } else if (verb == "stats") {
@@ -208,25 +310,73 @@ std::string Server::handleRequest(const std::string& line) {
       response = Json::object();
       response.set("ok", Json(true))
           .set("metrics", Json(engine_.metricsRegistry().renderPrometheus()));
+    } else if (verb == "trace") {
+      response = Json::object();
+      if (recorder == nullptr) {
+        response.set("ok", Json(false))
+            .set("error",
+                 Json("flight recorder is disabled (start lbd with "
+                      "--flight-recorder N)"));
+      } else {
+        std::ostringstream dump;
+        recorder->writeChromeTrace(dump);
+        response.set("ok", Json(true))
+            .set("spans",
+                 Json(static_cast<std::uint64_t>(recorder->spanCount())))
+            .set("events",
+                 Json(static_cast<std::uint64_t>(recorder->eventCount())))
+            .set("dropped", Json(recorder->droppedSpans() +
+                                 recorder->droppedEvents()))
+            .set("chrome_trace", Json(dump.str()));
+      }
     } else if (verb == "shutdown") {
       if (!stopping_.exchange(true)) pokeListener();
+      log_.debug("server.shutdown", {{"trace", root_ctx}});
       response = Json::object();
       response.set("ok", Json(true)).set("stopping", Json(true));
     } else {
       ++protocol_errors_;
       protocol_errors_counter_.inc();
+      if (recorder != nullptr)
+        recorder->annotateTrace(root_ctx.trace_id, "server.protocol_error",
+                                "unknown verb \"" + verb + "\"");
+      log_.warn("server.protocol_error",
+                {{"error", "unknown verb \"" + verb + "\""},
+                 {"trace", root_ctx}});
       response = errorResponse("unknown verb \"" + verb + "\"");
       response.set("supported_verbs", protocolVerbsJson());
     }
   } catch (const std::exception& e) {
     ++protocol_errors_;
     protocol_errors_counter_.inc();
+    // A request that failed before minting ids (parse error) still gets a
+    // root span, keeping lb_server_request_micros observations and
+    // server.request spans 1:1 whenever tracing is on.
+    if (tracing && !root_ctx.valid()) {
+      root_ctx.trace_id =
+          client_ctx.valid() ? client_ctx.trace_id : obs::mintTraceId();
+      root_ctx.span_id = obs::mintTraceId();
+    }
+    if (recorder != nullptr)
+      recorder->annotateTrace(root_ctx.trace_id, "server.protocol_error",
+                              e.what());
+    log_.warn("server.protocol_error",
+              {{"error", e.what()}, {"trace", root_ctx}});
     response = errorResponse(e.what());
   }
   stampProtocolVersion(response);
-  recordLatency(std::chrono::duration<double, std::micro>(
-                    std::chrono::steady_clock::now() - started)
-                    .count());
+  // Echo the trace identity when the client asked for (sent) one or the
+  // recorder minted one; requests with neither keep byte-identical
+  // responses (the goldens in fuzz_codec_test pin them).
+  if (client_ctx.valid() || tracing) stampTraceContext(response, root_ctx);
+  const auto finished = std::chrono::steady_clock::now();
+  const double total_micros = elapsedMicros(started, finished);
+  request_micros_family_.withLabels({{"verb", verb_label}})
+      .observe(total_micros);
+  recordLatency(total_micros);
+  recordSpan(root_ctx, root_ctx.span_id, client_ctx.span_id, "server.request",
+             verb_label, started, finished);
+  if (root_out != nullptr) *root_out = root_ctx;
   return response.dump();
 }
 

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "obs/log.hpp"
 #include "service/job_engine.hpp"
 
 namespace lb::service {
@@ -52,6 +53,14 @@ struct ServerOptions {
   /// Socket-layer fault injector for this server's connections (torn
   /// reads/writes, resets).  nullptr = inert.
   fault::FaultInjector* fault = nullptr;
+  /// Flight recorder for per-request span trees (server.request roots plus
+  /// server.read/parse/write and the engine-side stages) and the `trace`
+  /// verb.  nullptr (the default) keeps every response byte-identical to a
+  /// recorder-less build: no trace block is echoed unless the client sent
+  /// one.  Also threaded into the engine unless engine.recorder is set.
+  obs::FlightRecorder* recorder = nullptr;
+  /// Structured logger (nullptr: the process-wide obs::log()).
+  obs::Log* log = nullptr;
 };
 
 class Server {
@@ -77,8 +86,12 @@ public:
   void stop();
 
   /// Handles one already-parsed request (exposed for protocol tests; the
-  /// socket layer is a thin line-framing wrapper around this).
-  std::string handleRequest(const std::string& line);
+  /// socket layer is a thin line-framing wrapper around this).  When the
+  /// recorder is enabled, `root_out` (optional) receives the identity of
+  /// the server.request root span covering this request, so the caller can
+  /// parent adjacent spans (server.read / server.write) under it.
+  std::string handleRequest(const std::string& line,
+                            obs::TraceContext* root_out = nullptr);
 
   JobEngine& engine() { return engine_; }
 
@@ -89,15 +102,33 @@ private:
   Json statsJson();
   /// Maps a job outcome to its wire response; kShed becomes the explicit
   /// overloaded/retry_after_ms document and bumps lb_server_shed_total.
-  Json outcomeResponse(const JobOutcome& outcome);
+  /// Shed/error outcomes annotate the request's trace and emit a warn line.
+  Json outcomeResponse(const JobOutcome& outcome,
+                       const obs::TraceContext& ctx);
+  /// Records one completed span (no-op when the recorder is off).
+  void recordSpan(const obs::TraceContext& trace, std::uint64_t span_id,
+                  std::uint64_t parent_id, const char* name,
+                  const std::string& note,
+                  std::chrono::steady_clock::time_point start,
+                  std::chrono::steady_clock::time_point end);
 
   ServerOptions options_;
   JobEngine engine_;
+  obs::Log& log_;  ///< resolved from options_.log
   /// Per-verb request counters and the protocol-error counter, resolved
   /// against the engine's registry (so a `metrics` scrape includes them).
   obs::Family<obs::Counter>& requests_family_;
   obs::Counter& protocol_errors_counter_;
   obs::Counter& shed_counter_;
+  /// Wall-clock per-request service time, labeled by verb; one observation
+  /// per handleRequest call (the count reconciles 1:1 with server.request
+  /// root spans whenever the recorder is enabled).
+  obs::Family<obs::Histogram>& request_micros_family_;
+  /// Server-side lb_request_stage_micros children (the engine owns
+  /// cache_lookup/queue_wait/execute).
+  obs::Histogram& stage_read_;
+  obs::Histogram& stage_parse_;
+  obs::Histogram& stage_write_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

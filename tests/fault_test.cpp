@@ -22,12 +22,14 @@
 #include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "fault/backoff.hpp"
 #include "fault/fault.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "service/cache.hpp"
 #include "service/client.hpp"
@@ -507,6 +509,64 @@ TEST(ChaosSoakTest, EveryRequestSucceedsOrFailsTypedAndNeverLies) {
                 client_faults.stats().totalInjected(),
             0u);
   std::filesystem::remove_all(dir);
+}
+
+// Reconciliation under chaos: with tracing on, every request the server
+// actually handled pairs 1:1 with a server.request root span — retries,
+// sheds, torn frames, and injected job errors included.  (A fault that
+// kills a connection before a full request line arrives produces neither
+// an observation nor a span, so the invariant survives transport loss.)
+TEST(ChaosSoakTest, RequestMetricsReconcileWithRootSpansUnderFaults) {
+  obs::MetricsRegistry registry;
+  obs::FlightRecorder recorder(8192, 2048);
+  fault::FaultInjector server_faults(fault::parseFaultPlan(
+      "seed=7331,torn_read=0.10,torn_write=0.10,read_reset=0.02,"
+      "write_reset=0.02,job_delay=0.10,job_delay_ms=2,queue_reject=0.05"));
+
+  service::ServerOptions options = chaosServerOptions();
+  options.engine.registry = &registry;
+  options.engine.fault = &server_faults;
+  options.engine.shed_when_full = true;
+  options.fault = &server_faults;
+  options.recorder = &recorder;
+  service::Server server(options);
+  server.start();
+  {
+    service::ClientOptions copts = fastRetryClient(server.port(), &registry);
+    service::Client client(copts);
+    for (int i = 0; i < 60; ++i) {
+      Scenario scenario;
+      scenario.cycles = 4000;
+      scenario.seed = 300 + static_cast<std::uint64_t>(i % 5);
+      try {
+        (void)client.run(service::toJson(scenario));
+      } catch (const std::exception&) {
+        // Exhausted retry budgets are fine here; the invariant under test
+        // is the count pairing, not availability.
+      }
+    }
+    try {
+      client.shutdown();
+    } catch (const std::exception&) {
+    }
+  }
+  server.stop();
+
+  ASSERT_EQ(recorder.droppedSpans(), 0u)
+      << "recorder sized too small for this soak";
+  std::size_t roots = 0;
+  for (const auto& span : recorder.spans())
+    if (span.name == "server.request") ++roots;
+
+  long long observations = 0;
+  std::istringstream lines(registry.renderPrometheus());
+  std::string line;
+  while (std::getline(lines, line))
+    if (line.rfind("lb_server_request_micros_count{", 0) == 0)
+      observations += std::stoll(line.substr(line.find("} ") + 2));
+
+  EXPECT_GT(observations, 0);
+  EXPECT_EQ(static_cast<long long>(roots), observations);
 }
 
 // A server read deadline disconnects idle peers so they cannot pin

@@ -5,10 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -237,6 +243,262 @@ TEST(ObsTraceTest, EscapesNamesAndSurvivesThreads) {
   // Escaped quote and newline; raw control characters never leak through.
   EXPECT_NE(out.str().find("tick \\\"q\\\"\\n"), std::string::npos);
   EXPECT_EQ(out.str().find('\n'), out.str().size() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// flight recorder
+// ---------------------------------------------------------------------------
+
+obs::FlightRecorder::Span makeSpan(std::uint64_t trace_id,
+                                   std::uint64_t span_id,
+                                   const std::string& name, double ts_us) {
+  obs::FlightRecorder::Span span;
+  span.trace_id = trace_id;
+  span.span_id = span_id;
+  span.name = name;
+  span.ts_us = ts_us;
+  span.dur_us = 5;
+  return span;
+}
+
+TEST(ObsMintTraceIdTest, NonZeroAndUnique) {
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) ids.push_back(obs::mintTraceId());
+  for (const std::uint64_t id : ids) EXPECT_NE(id, 0u);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(ObsTraceIdHexTest, Renders16LowercaseDigits) {
+  EXPECT_EQ(obs::traceIdHex(0), "0000000000000000");
+  EXPECT_EQ(obs::traceIdHex(0xDEADBEEFu), "00000000deadbeef");
+  EXPECT_EQ(obs::traceIdHex(~std::uint64_t{0}), "ffffffffffffffff");
+}
+
+TEST(ObsFlightRecorderTest, RecordsAndSnapshotsInOrder) {
+  obs::FlightRecorder recorder(8, 8);
+  EXPECT_TRUE(recorder.enabled());
+  recorder.record(makeSpan(1, 10, "server.request", 100));
+  recorder.record(makeSpan(1, 11, "job.execute", 110));
+  const auto spans = recorder.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "server.request");
+  EXPECT_EQ(spans[1].name, "job.execute");
+  EXPECT_EQ(recorder.droppedSpans(), 0u);
+}
+
+TEST(ObsFlightRecorderTest, WraparoundKeepsNewestAndCountsDropped) {
+  obs::FlightRecorder recorder(4, 4);
+  for (std::uint64_t i = 1; i <= 10; ++i)
+    recorder.record(makeSpan(i, i, "span" + std::to_string(i),
+                             static_cast<double>(i)));
+  EXPECT_EQ(recorder.spanCount(), 4u);
+  EXPECT_EQ(recorder.droppedSpans(), 6u);
+  const auto spans = recorder.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first snapshot of the newest four entries.
+  EXPECT_EQ(spans[0].name, "span7");
+  EXPECT_EQ(spans[3].name, "span10");
+
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    obs::FlightRecorder::Event event;
+    event.trace_id = i;
+    event.name = "evt" + std::to_string(i);
+    recorder.recordEvent(std::move(event));
+  }
+  EXPECT_EQ(recorder.eventCount(), 4u);
+  EXPECT_EQ(recorder.droppedEvents(), 2u);
+  EXPECT_EQ(recorder.events().front().name, "evt3");
+  EXPECT_EQ(recorder.events().back().name, "evt6");
+}
+
+TEST(ObsFlightRecorderTest, ZeroCapacityIsPermanentlyDisabled) {
+  obs::FlightRecorder recorder(0, 0);
+  EXPECT_FALSE(recorder.enabled());
+  recorder.setEnabled(true);  // must stay off: there is no buffer
+  EXPECT_FALSE(recorder.enabled());
+  recorder.record(makeSpan(1, 1, "server.request", 0));
+  EXPECT_EQ(recorder.spanCount(), 0u);
+  EXPECT_EQ(recorder.droppedSpans(), 0u);
+}
+
+TEST(ObsFlightRecorderTest, SetEnabledGatesRecording) {
+  obs::FlightRecorder recorder(4, 4);
+  recorder.setEnabled(false);
+  recorder.record(makeSpan(1, 1, "server.request", 0));
+  EXPECT_EQ(recorder.spanCount(), 0u);
+  recorder.setEnabled(true);
+  recorder.record(makeSpan(1, 2, "server.request", 1));
+  EXPECT_EQ(recorder.spanCount(), 1u);
+}
+
+TEST(ObsFlightRecorderTest, AnnotateTraceMarksSpansAndAddsEvent) {
+  obs::FlightRecorder recorder(8, 8);
+  recorder.record(makeSpan(7, 70, "server.request", 0));
+  recorder.record(makeSpan(9, 90, "server.request", 1));
+  recorder.annotateTrace(7, "server.shed", "queue full");
+  const auto spans = recorder.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].note, "server.shed: queue full");
+  EXPECT_TRUE(spans[1].note.empty());  // other traces untouched
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, 7u);
+  EXPECT_EQ(events[0].name, "server.shed");
+
+  recorder.annotateTrace(0, "ignored", "trace id 0 is no-trace");
+  EXPECT_EQ(recorder.eventCount(), 1u);
+}
+
+TEST(ObsFlightRecorderTest, ClearResetsBufferAndCounters) {
+  obs::FlightRecorder recorder(2, 2);
+  for (int i = 0; i < 5; ++i)
+    recorder.record(makeSpan(1, static_cast<std::uint64_t>(i + 1), "s", i));
+  recorder.clear();
+  EXPECT_EQ(recorder.spanCount(), 0u);
+  EXPECT_EQ(recorder.droppedSpans(), 0u);
+  recorder.record(makeSpan(2, 20, "after", 9));
+  EXPECT_EQ(recorder.spans().front().name, "after");
+}
+
+TEST(ObsFlightRecorderTest, ChromeTraceShape) {
+  obs::FlightRecorder recorder(4, 4);
+  auto span = makeSpan(0x1234, 0x56, "server.request", 10);
+  span.parent_id = 0x78;
+  span.note = "run";
+  span.tid = 3;
+  recorder.record(std::move(span));
+  recorder.annotateTrace(0x1234, "server.shed", "queue full");
+  for (int i = 0; i < 10; ++i)
+    recorder.record(makeSpan(1, static_cast<std::uint64_t>(100 + i), "x", i));
+
+  std::ostringstream out;
+  recorder.writeChromeTrace(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"lbserve flight recorder\""),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("\"name\":\"x\",\"ph\":\"X\",\"cat\":\"request\",\"pid\":1"),
+      std::string::npos);
+  EXPECT_NE(text.find("\"trace\":\"0000000000001234\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"server.shed\",\"ph\":\"i\""),
+            std::string::npos);
+  // 11 spans through a 4-slot ring: 7 dropped, surfaced in otherData.
+  EXPECT_NE(text.find("\"otherData\":{\"dropped\":7}"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(ObsFlightRecorderTest, ConcurrentRecordingIsSafe) {
+  obs::FlightRecorder recorder(64, 64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < 500; ++i)
+        recorder.record(makeSpan(static_cast<std::uint64_t>(t + 1),
+                                 obs::mintTraceId(), "worker",
+                                 static_cast<double>(i)));
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(recorder.spanCount(), 64u);
+  EXPECT_EQ(recorder.droppedSpans(), 2000u - 64u);
+}
+
+// ---------------------------------------------------------------------------
+// structured log
+// ---------------------------------------------------------------------------
+
+TEST(ObsLogLevelTest, ParseAndName) {
+  EXPECT_EQ(obs::parseLogLevel("debug"), obs::LogLevel::kDebug);
+  EXPECT_EQ(obs::parseLogLevel("info"), obs::LogLevel::kInfo);
+  EXPECT_EQ(obs::parseLogLevel("warn"), obs::LogLevel::kWarn);
+  EXPECT_EQ(obs::parseLogLevel("error"), obs::LogLevel::kError);
+  EXPECT_EQ(obs::parseLogLevel("off"), obs::LogLevel::kOff);
+  EXPECT_THROW(obs::parseLogLevel("verbose"), std::invalid_argument);
+  EXPECT_STREQ(obs::logLevelName(obs::LogLevel::kWarn), "warn");
+}
+
+TEST(ObsLogTest, LevelFiltering) {
+  obs::Log log;
+  std::ostringstream out;
+  log.setSink(&out);
+  log.setTimestamps(false);
+  log.setLevel(obs::LogLevel::kWarn);
+  EXPECT_FALSE(log.enabled(obs::LogLevel::kInfo));
+  EXPECT_TRUE(log.enabled(obs::LogLevel::kWarn));
+  log.debug("quiet");
+  log.info("quiet");
+  log.warn("loud");
+  log.error("loud");
+  EXPECT_EQ(out.str(),
+            "level=warn event=loud\n"
+            "level=error event=loud\n");
+}
+
+TEST(ObsLogTest, KeyValueShape) {
+  obs::Log log;
+  std::ostringstream out;
+  log.setSink(&out);
+  log.setTimestamps(false);
+  obs::TraceContext ctx{0xABCDEF, 42};
+  log.info("server.shed", {{"verb", "run"},
+                           {"queue_depth", std::uint64_t{16}},
+                           {"shed", true},
+                           {"trace", ctx}});
+  EXPECT_EQ(out.str(),
+            "level=info event=server.shed verb=run queue_depth=16 shed=true "
+            "trace=0000000000abcdef\n");
+}
+
+TEST(ObsLogTest, JsonShape) {
+  obs::Log log;
+  std::ostringstream out;
+  log.setSink(&out);
+  log.setTimestamps(false);
+  log.setJson(true);
+  log.warn("cache.corrupt \"eviction\"",
+           {{"hash", "0123"}, {"retries", 3}, {"ok", false}});
+  EXPECT_EQ(out.str(),
+            "{\"level\":\"warn\",\"event\":\"cache.corrupt \\\"eviction\\\"\","
+            "\"hash\":\"0123\",\"retries\":3,\"ok\":false}\n");
+}
+
+TEST(ObsLogTest, RateLimitSuppressesAndReports) {
+  obs::Log log;
+  std::ostringstream out;
+  log.setSink(&out);
+  log.setTimestamps(false);
+  log.setRateLimitPerSec(3);
+  for (int i = 0; i < 10; ++i) log.info("storm", {{"i", i}});
+  const std::string text = out.str();
+  // Exactly the first 3 lines of this window made it out.
+  EXPECT_NE(text.find("event=storm i=0"), std::string::npos);
+  EXPECT_NE(text.find("event=storm i=2"), std::string::npos);
+  EXPECT_EQ(text.find("event=storm i=3"), std::string::npos);
+  EXPECT_EQ(log.suppressed(), 7u);
+}
+
+TEST(ObsLogTest, ConcurrentWritersKeepLinesIntact) {
+  obs::Log log;
+  std::ostringstream out;
+  log.setSink(&out);
+  log.setTimestamps(false);
+  log.setRateLimitPerSec(0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < 200; ++i)
+        log.info("tick", {{"t", t}, {"i", i}});
+    });
+  for (auto& thread : threads) thread.join();
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.rfind("level=info event=tick t=", 0), 0u) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 800u);
 }
 
 }  // namespace

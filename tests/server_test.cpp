@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
@@ -308,6 +309,244 @@ TEST(ServerLoopbackTest, MidFrameDisconnectDoesNotLeakJobsOrWedgeWorkers) {
     const Json b = client.run(smallScenarioJson(901));
     ASSERT_TRUE(b.at("ok").asBool());
     EXPECT_TRUE(b.at("cached").asBool());
+    client.shutdown();
+  }
+  server.stop();
+}
+
+// Reads the value of one exposition line as a double; NaN-free -1 when the
+// series is absent (histogram sums are not integers).
+double promDouble(const std::string& text, const std::string& series) {
+  const std::string prefix = series + " ";
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line))
+    if (line.rfind(prefix, 0) == 0) return std::stod(line.substr(prefix.size()));
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// request tracing (trace verb, span trees, metrics reconciliation)
+// ---------------------------------------------------------------------------
+
+Json tracedRequest(Json request, std::uint64_t trace_id,
+                   std::uint64_t span_id) {
+  Json trace = Json::object();
+  trace.set("id", Json(trace_id)).set("span", Json(span_id));
+  request.set("trace", std::move(trace));
+  return request;
+}
+
+// Without a flight recorder, responses stay byte-compatible with the pinned
+// goldens: no "trace" member unless the client sent one, in which case the
+// trace id is echoed verbatim.
+TEST(ServerTraceTest, TraceEchoOnlyWhenClientSendsOne) {
+  service::Server server(testOptions());
+  const Json bare = Json::parse(server.handleRequest(R"({"verb":"stats"})"));
+  EXPECT_EQ(bare.find("trace"), nullptr);
+
+  Json request = Json::object();
+  request.set("verb", Json("stats"));
+  const Json echoed = Json::parse(
+      server.handleRequest(tracedRequest(request, 0xBEEF, 0x12).dump()));
+  ASSERT_NE(echoed.find("trace"), nullptr);
+  EXPECT_EQ(echoed.at("trace").at("id").asUint64(), 0xBEEFu);
+  const obs::TraceContext ctx = service::traceContextFromResponse(echoed);
+  EXPECT_EQ(ctx.trace_id, 0xBEEFu);
+}
+
+TEST(ServerTraceTest, TraceVerbReportsDisabledRecorder) {
+  service::Server server(testOptions());
+  const Json response =
+      Json::parse(server.handleRequest(R"({"verb":"trace"})"));
+  EXPECT_FALSE(response.at("ok").asBool());
+  EXPECT_NE(response.at("error").asString().find("flight recorder"),
+            std::string::npos);
+}
+
+// The golden round-trip: a traced run yields a span tree rooted at
+// server.request (parented under the client's span), and the `trace` verb
+// dumps it as parseable Chrome trace JSON.
+TEST(ServerTraceTest, TraceVerbRoundTrip) {
+  obs::MetricsRegistry fresh;
+  obs::FlightRecorder recorder(256, 64);
+  service::ServerOptions options = testOptions();
+  options.engine.registry = &fresh;
+  options.recorder = &recorder;
+  service::Server server(options);
+
+  Json run = Json::object();
+  run.set("verb", Json("run")).set("scenario", smallScenarioJson(31));
+  const std::uint64_t client_trace = obs::mintTraceId();
+  const std::uint64_t client_span = obs::mintTraceId();
+  const Json response = Json::parse(server.handleRequest(
+      tracedRequest(run, client_trace, client_span).dump()));
+  ASSERT_TRUE(response.at("ok").asBool());
+  ASSERT_NE(response.find("trace"), nullptr);
+  EXPECT_EQ(response.at("trace").at("id").asUint64(), client_trace);
+  const std::uint64_t root_span = response.at("trace").at("span").asUint64();
+  EXPECT_NE(root_span, 0u);
+  EXPECT_NE(root_span, client_span);
+
+  // The span tree: one server.request root under the client's span, with
+  // parse / cache.lookup / queue_wait / execute children under the root.
+  const auto spans = recorder.spans();
+  const obs::FlightRecorder::Span* root = nullptr;
+  for (const auto& span : spans)
+    if (span.name == "server.request") root = &span;
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->trace_id, client_trace);
+  EXPECT_EQ(root->span_id, root_span);
+  EXPECT_EQ(root->parent_id, client_span);
+  EXPECT_EQ(root->note, "run");
+  for (const char* child :
+       {"server.parse", "cache.lookup", "job.queue_wait", "job.execute"}) {
+    bool found = false;
+    for (const auto& span : spans)
+      if (span.name == child && span.trace_id == client_trace &&
+          span.parent_id == root_span)
+        found = true;
+    EXPECT_TRUE(found) << "missing child span " << child;
+  }
+
+  const Json dump = Json::parse(server.handleRequest(R"({"verb":"trace"})"));
+  ASSERT_TRUE(dump.at("ok").asBool());
+  EXPECT_GE(dump.at("spans").asUint64(), 5u);
+  const Json chrome = Json::parse(dump.at("chrome_trace").asString());
+  bool saw_root = false;
+  for (const Json& event : chrome.at("traceEvents").asArray()) {
+    if (event.find("name") == nullptr) continue;
+    if (event.at("name").asString() == "server.request" &&
+        event.at("args").at("trace").asString() ==
+            obs::traceIdHex(client_trace))
+      saw_root = true;
+  }
+  EXPECT_TRUE(saw_root);
+}
+
+// Reconciliation invariant: with tracing on, every lb_server_request_micros
+// observation has exactly one server.request root span — across success,
+// unknown-verb, and parse-failure paths.
+TEST(ServerTraceTest, MetricsReconcileWithRootSpans) {
+  obs::MetricsRegistry fresh;
+  obs::FlightRecorder recorder(1024, 256);
+  service::ServerOptions options = testOptions();
+  options.engine.registry = &fresh;
+  options.recorder = &recorder;
+  service::Server server(options);
+
+  Json run = Json::object();
+  run.set("verb", Json("run")).set("scenario", smallScenarioJson(41));
+  server.handleRequest(run.dump());
+  server.handleRequest(run.dump());             // cache hit
+  server.handleRequest(R"({"verb":"stats"})");
+  server.handleRequest(R"({"verb":"frobnicate"})");
+  server.handleRequest("not json at all");      // parse failure
+  Json sweep = Json::object();
+  Json scenarios = Json::array();
+  scenarios.push(smallScenarioJson(42)).push(smallScenarioJson(43));
+  sweep.set("verb", Json("sweep")).set("scenarios", std::move(scenarios));
+  server.handleRequest(sweep.dump());
+
+  const std::string text = fresh.renderPrometheus();
+  long long observations = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line))
+    if (line.rfind("lb_server_request_micros_count{", 0) == 0)
+      observations += std::stoll(line.substr(line.find("} ") + 2));
+
+  std::size_t roots = 0;
+  for (const auto& span : recorder.spans())
+    if (span.name == "server.request") ++roots;
+  EXPECT_EQ(observations, 6);
+  EXPECT_EQ(static_cast<long long>(roots), observations);
+  // The parse failure still yielded a root (with a minted trace id) and a
+  // protocol-error annotation.
+  bool annotated = false;
+  for (const auto& event : recorder.events())
+    if (event.name == "server.protocol_error") annotated = true;
+  EXPECT_TRUE(annotated);
+}
+
+// Acceptance gate: for a single run, the stage spans of its tree sum
+// (within slack) to the root span, and the root span matches the
+// lb_server_request_micros observation for verb="run".
+TEST(ServerTraceTest, EndToEndStageSumMatchesRequestMicros) {
+  obs::MetricsRegistry fresh;
+  obs::FlightRecorder recorder(256, 64);
+  service::ServerOptions options = testOptions();
+  options.engine.registry = &fresh;
+  options.recorder = &recorder;
+  service::Server server(options);
+
+  Scenario scenario;
+  scenario.cycles = 60000;  // long enough that execute dominates overhead
+  scenario.seed = 77;
+  Json run = Json::object();
+  run.set("verb", Json("run")).set("scenario", service::toJson(scenario));
+  obs::TraceContext root_ctx;
+  const Json response =
+      Json::parse(server.handleRequest(run.dump(), &root_ctx));
+  ASSERT_TRUE(response.at("ok").asBool());
+  ASSERT_TRUE(root_ctx.valid());
+
+  const obs::FlightRecorder::Span* root = nullptr;
+  double stage_sum = 0;
+  for (const auto& span : recorder.spans()) {
+    if (span.name == "server.request") root = &span;
+    if (span.trace_id != root_ctx.trace_id) continue;
+    if (span.name == "server.parse" || span.name == "cache.lookup" ||
+        span.name == "job.queue_wait" || span.name == "job.execute")
+      stage_sum += span.dur_us;
+  }
+  ASSERT_NE(root, nullptr);
+  ASSERT_GT(root->dur_us, 0.0);
+  ASSERT_GT(stage_sum, 0.0);
+  // The stages tile the root window: they can never exceed it (modulo
+  // float rounding) and must account for at least half of it — the rest is
+  // response serialization and scheduling gaps.
+  EXPECT_LE(stage_sum, root->dur_us * 1.01 + 50.0);
+  EXPECT_GE(stage_sum, root->dur_us * 0.5 - 50.0);
+
+  // The histogram observed the same request window as the root span.
+  const std::string text = fresh.renderPrometheus();
+  const double hist_sum =
+      promDouble(text, "lb_server_request_micros_sum{verb=\"run\"}");
+  EXPECT_EQ(promValue(text, "lb_server_request_micros_count{verb=\"run\"}"),
+            1);
+  EXPECT_NEAR(hist_sum, root->dur_us, 1.0);
+}
+
+// Over the socket: the Client mints and attaches a trace automatically, the
+// daemon echoes it, and `lbcli trace`'s wrapper works end to end.
+TEST(ServerLoopbackTest, ClientAttachesTraceAutomatically) {
+  obs::FlightRecorder recorder(256, 64);
+  service::ServerOptions options = testOptions();
+  options.recorder = &recorder;
+  service::Server server(options);
+  server.start();
+  {
+    service::Client client(server.port());
+    const Json response = client.run(smallScenarioJson(8));
+    ASSERT_TRUE(response.at("ok").asBool());
+    ASSERT_TRUE(client.lastTrace().valid());
+    ASSERT_NE(response.find("trace"), nullptr);
+    EXPECT_EQ(response.at("trace").at("id").asUint64(),
+              client.lastTrace().trace_id);
+
+    const Json dump = client.trace();
+    ASSERT_TRUE(dump.at("ok").asBool());
+    const Json chrome = Json::parse(dump.at("chrome_trace").asString());
+    bool saw_client_trace = false;
+    for (const Json& event : chrome.at("traceEvents").asArray()) {
+      const Json* args = event.find("args");
+      if (args != nullptr && args->find("trace") != nullptr &&
+          args->at("trace").asString() ==
+              obs::traceIdHex(client.lastTrace().trace_id))
+        saw_client_trace = true;
+    }
+    EXPECT_TRUE(saw_client_trace);
     client.shutdown();
   }
   server.stop();
