@@ -1,0 +1,140 @@
+// PERF — Quiescence-aware kernel: naive stepping vs fast-forward.
+//
+// Sweeps traffic idleness (fixed inter-message gaps from saturation to
+// ~97% idle) and times the SAME scenario under KernelMode::kNaive (step
+// every cycle) and KernelMode::kFast (skip provably dead cycles, see
+// docs/performance.md).  Every pair is also compared field-by-field: the
+// two modes must produce bit-identical TestbedResults, so this harness is
+// a differential check as well as a stopwatch.
+//
+// `--guard` turns the run into a CI perf-smoke: exit nonzero if fast mode
+// is not strictly faster than naive on the highest-idle scenario (where
+// skipping has the most to gain), or on any result divergence.
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/lottery.hpp"
+#include "stats/table.hpp"
+#include "traffic/testbed.hpp"
+
+namespace {
+
+using namespace lb;
+
+struct TimedRun {
+  traffic::TestbedResult result;
+  double wall_ns = 0;
+};
+
+TimedRun timedRun(sim::KernelMode mode, sim::Cycle gap, sim::Cycle cycles) {
+  std::vector<traffic::TrafficParams> params;
+  for (std::size_t m = 0; m < 4; ++m) {
+    traffic::TrafficParams p;
+    p.size = traffic::SizeDist::fixed(16);
+    p.gap = traffic::GapDist::fixed(gap);
+    p.slave = 0;
+    p.seed = 11 + m;
+    params.push_back(p);
+  }
+  traffic::TestbedOptions options;
+  options.kernel_mode = mode;
+  TimedRun run;
+  const auto started = std::chrono::steady_clock::now();
+  run.result = traffic::runTestbed(
+      traffic::defaultBusConfig(4),
+      std::make_unique<core::LotteryArbiter>(
+          std::vector<std::uint32_t>{1, 2, 3, 4}, core::LotteryRng::kExact,
+          7),
+      params, cycles, std::move(options));
+  run.wall_ns = std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+  return run;
+}
+
+bool identical(const traffic::TestbedResult& a,
+               const traffic::TestbedResult& b) {
+  return a.bandwidth_fraction == b.bandwidth_fraction &&
+         a.traffic_share == b.traffic_share &&
+         a.unutilized_fraction == b.unutilized_fraction &&
+         a.cycles_per_word == b.cycles_per_word &&
+         a.mean_message_latency == b.mean_message_latency &&
+         a.messages_completed == b.messages_completed &&
+         a.grants == b.grants && a.preemptions == b.preemptions &&
+         a.cycles == b.cycles;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::BenchJsonWriter writer;
+  const std::string json_out = benchutil::consumeJsonOut(&argc, argv);
+  sim::Cycle cycles = 2000000;
+  bool guard = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
+      cycles = std::strtoull(argv[++i], nullptr, 10);
+      if (cycles == 0) cycles = 1;
+    } else if (std::strcmp(argv[i], "--guard") == 0) {
+      guard = true;
+    } else {
+      std::cerr << "usage: kernel_fastforward [--cycles N] [--guard] "
+                   "[--json-out FILE]\n";
+      return 2;
+    }
+  }
+
+  benchutil::banner(
+      "PERF: quiescence-aware kernel fast-forward",
+      "simulator engineering (not a paper figure): docs/performance.md",
+      "identical statistics in both modes; fast-mode speedup grows with the "
+      "idle fraction, well past 5x at >90% idle");
+
+  stats::Table table({"gap", "idle fraction", "naive ms", "fast ms",
+                      "speedup", "identical"});
+  double last_speedup = 0;
+  bool all_identical = true;
+  for (const sim::Cycle gap : {0, 16, 64, 256, 1024, 4096}) {
+    const std::string label = "gap=" + std::to_string(gap);
+    const TimedRun naive = timedRun(sim::KernelMode::kNaive, gap, cycles);
+    const TimedRun fast = timedRun(sim::KernelMode::kFast, gap, cycles);
+    const bool same = identical(naive.result, fast.result);
+    all_identical = all_identical && same;
+    last_speedup = fast.wall_ns > 0 ? naive.wall_ns / fast.wall_ns : 0;
+    const double rate = [](double wall_ns, sim::Cycle n) {
+      return wall_ns > 0 ? static_cast<double>(n) / (wall_ns * 1e-9) : 0;
+    }(fast.wall_ns, cycles);
+    writer.add("kernel_naive/" + label, naive.wall_ns,
+               naive.wall_ns > 0
+                   ? static_cast<double>(cycles) / (naive.wall_ns * 1e-9)
+                   : 0);
+    writer.add("kernel_fast/" + label, fast.wall_ns, rate);
+    writer.add("kernel_speedup/" + label, 0, last_speedup);
+    table.addRow({std::to_string(gap),
+                  stats::Table::pct(naive.result.unutilized_fraction),
+                  stats::Table::num(naive.wall_ns * 1e-6, 1),
+                  stats::Table::num(fast.wall_ns * 1e-6, 1),
+                  stats::Table::num(last_speedup, 2) + "x",
+                  same ? "yes" : "NO"});
+  }
+  table.printAscii(std::cout);
+
+  if (!all_identical) {
+    std::cerr << "\nerror: fast mode diverged from naive mode\n";
+    return 1;
+  }
+  std::cout << "\nall sweeps bit-identical across kernel modes\n";
+  if (guard && last_speedup <= 1.0) {
+    std::cerr << "error: fast mode not faster than naive on the "
+                 "highest-idle scenario (speedup "
+              << last_speedup << "x)\n";
+    return 1;
+  }
+  if (!json_out.empty() && !writer.writeFile(json_out)) return 1;
+  return 0;
+}

@@ -97,6 +97,12 @@ int main(int argc, char** argv) {
              })
       .flag({"--lfsr"}, "use the hardware LFSR lottery variant",
             &scenario.lfsr)
+      .value({"--kernel-mode"}, "M",
+             "fast (skip provably dead cycles, default) | naive\n"
+             "(step every cycle); results are bit-identical",
+             [&](const std::string&, const std::string& v) {
+               scenario.kernel_mode = v;
+             })
       .flag({"--csv"}, "emit CSV instead of an ASCII table", &csv)
       .flag({"--compare"},
             "run ALL architectures on the same traffic and print\n"

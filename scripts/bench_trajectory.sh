@@ -8,9 +8,13 @@
 #   scripts/bench_trajectory.sh [build-dir] [out-dir]
 #
 # Produces <out-dir>/BENCH_arbiters.json (arbiter_microbench: cost per
-# arbitration decision + whole-testbed cycles/s) and
-# <out-dir>/BENCH_service.json (iq_switch_throughput: switch slots/s).
-# Both files are validated as JSON before the script exits 0.  Benchmarks
+# arbitration decision + whole-testbed cycles/s),
+# <out-dir>/BENCH_service.json (iq_switch_throughput: switch slots/s) and
+# <out-dir>/BENCH_kernel.json (kernel_fastforward: naive vs fast-forward
+# kernel cycles/s plus the speedup per idle level; its --guard flag fails
+# the run outright if the fast kernel is slower than the naive stepper on
+# the highest-idle sweep, or if the two modes' statistics diverge).
+# All files are validated as JSON before the script exits 0.  Benchmarks
 # run with reduced repetitions/slots — this is a trajectory smoke, not a
 # publication-grade measurement.
 set -euo pipefail
@@ -20,7 +24,8 @@ BUILD="${1:-build}"
 OUT="${2:-$BUILD/bench-results}"
 MICRO="$BUILD/bench/arbiter_microbench"
 IQ="$BUILD/bench/iq_switch_throughput"
-for bin in "$MICRO" "$IQ"; do
+KERNEL="$BUILD/bench/kernel_fastforward"
+for bin in "$MICRO" "$IQ" "$KERNEL"; do
   [[ -x "$bin" ]] || { echo "bench_trajectory: missing $bin (build first)"; exit 1; }
 done
 mkdir -p "$OUT"
@@ -41,6 +46,12 @@ echo "bench_trajectory: rev $LB_GIT_REV -> $OUT"
   > "$OUT/service.log" 2>&1 \
   || { echo "bench_trajectory: iq_switch_throughput failed"; tail -20 "$OUT/service.log"; exit 1; }
 
+# Kernel stepping perf-smoke: --guard makes this step fail if fast mode is
+# slower than naive on the highest-idle sweep or diverges from it at all.
+"$KERNEL" --cycles 1000000 --guard --json-out "$OUT/BENCH_kernel.json" \
+  > "$OUT/kernel.log" 2>&1 \
+  || { echo "bench_trajectory: kernel_fastforward failed"; tail -20 "$OUT/kernel.log"; exit 1; }
+
 validate() {
   local file="$1"
   [[ -s "$file" ]] || { echo "bench_trajectory: $file missing or empty"; exit 1; }
@@ -52,11 +63,13 @@ assert doc["schema"] == "lb-bench-v1", doc.get("schema")
 assert doc["git_rev"], "empty git_rev"
 assert isinstance(doc["results"], list) and doc["results"], "no results"
 for row in doc["results"]:
-    assert row["name"] and row["wall_ns"] > 0, row
+    # Derived rows (e.g. kernel_speedup/*) carry only a rate, no wall time.
+    assert row["name"] and (row["wall_ns"] > 0 or row["items_per_sec"] > 0), row
 PY
   echo "bench_trajectory: $file OK ($(python3 -c "import json;print(len(json.load(open('$file'))['results']))") results)"
 }
 validate "$OUT/BENCH_arbiters.json"
 validate "$OUT/BENCH_service.json"
+validate "$OUT/BENCH_kernel.json"
 
 echo "bench_trajectory: OK"

@@ -75,4 +75,18 @@ bus::Grant TdmaArbiter::decide(const bus::RequestView& requests,
   return bus::Grant{};
 }
 
+bus::Cycle TdmaArbiter::nextGrantOpportunity(const bus::RequestView& requests,
+                                             bus::Cycle now) const {
+  if (!requests.anyPending()) return sim::kNeverCycle;
+  if (two_level_) return now;  // slot reclaiming grants any pending master
+  for (std::size_t offset = 0; offset < wheel_.size(); ++offset) {
+    const int owner = wheel_[(currentSlot(now) + offset) % wheel_.size()];
+    if (owner >= 0 && requests[static_cast<std::size_t>(owner)].pending)
+      return now + offset;
+  }
+  // A pending master that owns no slot can never be served without
+  // reclaiming; the bus idles until its request view changes.
+  return sim::kNeverCycle;
+}
+
 }  // namespace lb::arb

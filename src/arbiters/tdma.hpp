@@ -41,6 +41,15 @@ public:
 
   bus::Grant decide(const bus::RequestView& requests,
                     bus::Cycle now) override;
+
+  /// Quiescence hint: with slot reclaiming any pending master is grantable
+  /// immediately; pure single-level TDMA must wait for the next slot whose
+  /// owner is pending — the wheel scan below — which is exactly why the
+  /// Fig. 5 alignment experiments step through long dead stretches in the
+  /// naive kernel.
+  bus::Cycle nextGrantOpportunity(const bus::RequestView& requests,
+                                  bus::Cycle now) const override;
+
   std::string name() const override {
     return two_level_ ? "tdma-2level" : "tdma";
   }

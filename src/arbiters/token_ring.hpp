@@ -19,6 +19,17 @@ public:
 
   bus::Grant decide(const bus::RequestView& requests,
                     bus::Cycle now) override;
+
+  /// Quiescence hint: while the token is physically hopping the ring the
+  /// bus cannot be granted until the hop budget elapses; the decision cycle
+  /// that *starts* a hop sequence (or grants) must still execute, so the
+  /// hint never reaches past hop_budget_ready_at_.
+  bus::Cycle nextGrantOpportunity(const bus::RequestView& requests,
+                                  bus::Cycle now) const override {
+    if (!requests.anyPending()) return sim::kNeverCycle;
+    return now < hop_budget_ready_at_ ? hop_budget_ready_at_ : now;
+  }
+
   std::string name() const override { return "token-ring"; }
   void reset() override {
     holder_ = 0;

@@ -60,6 +60,19 @@ public:
   virtual void onArbitration(const IArbiter& arbiter,
                              const RequestView& requests, Cycle now,
                              const Grant& grant) = 0;
+
+  /// Bulk form of onArbitration for a quiescent stretch: the fast kernel
+  /// path skipped cycles [from, to) during which the naive stepper would
+  /// have performed one fruitless arbitration (invalid grant, unchanged
+  /// request view) per cycle.  The default replays them one by one so any
+  /// observer stays exactly naive-equivalent; cheap observers override with
+  /// an O(1) bulk update (see service::GrantTally).
+  virtual void onQuiescentArbitrations(const IArbiter& arbiter,
+                                       const RequestView& requests, Cycle from,
+                                       Cycle to) {
+    for (Cycle c = from; c < to; ++c)
+      onArbitration(arbiter, requests, c, Grant{});
+  }
 };
 
 /// Bus arbitration policy.  The bus calls arbitrate() whenever the channel is
@@ -83,6 +96,31 @@ public:
     if (observer_ != nullptr)
       observer_->onArbitration(*this, requests, now, grant);
     return grant;
+  }
+
+  /// Pure scheduling hint for the quiescence-aware kernel: the earliest
+  /// cycle >= now at which decide() *might* return a valid grant, assuming
+  /// the request view does not change in the meantime.  sim::kNeverCycle
+  /// means "never without a new request".  Hints may be conservative
+  /// (earlier than the true grant cycle — the bus just re-arbitrates and
+  /// idles as usual) but must never be late, must not mutate arbiter state,
+  /// and must not consume randomness.  The default is exact for every
+  /// policy that grants whenever something is pending; slotted policies
+  /// (TDMA) and policies that stall with work pending (token ring in
+  /// flight) override it.
+  virtual Cycle nextGrantOpportunity(const RequestView& requests,
+                                     Cycle now) const {
+    return requests.anyPending() ? now : sim::kNeverCycle;
+  }
+
+  /// Reports a skipped quiescent stretch [from, to) to the observer so
+  /// per-decision tallies stay bit-identical with the naive stepper (which
+  /// would have called arbitrate() fruitlessly once per cycle).  Called by
+  /// the bus's fastForward(); a no-op without an observer.
+  void recordQuiescentCycles(const RequestView& requests, Cycle from,
+                             Cycle to) {
+    if (observer_ != nullptr && to > from)
+      observer_->onQuiescentArbitrations(*this, requests, from, to);
   }
 
   /// Architecture name for reports.

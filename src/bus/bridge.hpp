@@ -35,6 +35,16 @@ public:
   Bridge& operator=(const Bridge&) = delete;
 
   void cycle(sim::Cycle now) override;
+
+  /// Quiescence hint: the head forward's register-stage ready cycle
+  /// (ready_at values are nondecreasing because upstream completions are
+  /// ordered); never, while nothing is in flight.
+  sim::Cycle nextActivity(sim::Cycle now) override {
+    if (pending_.empty()) return sim::kNeverCycle;
+    const Cycle ready = pending_.front().ready_at;
+    return ready <= now ? now : ready;
+  }
+
   std::string name() const override { return "bridge"; }
 
   std::uint64_t forwarded() const { return forwarded_; }

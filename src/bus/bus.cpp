@@ -188,6 +188,59 @@ void Bus::cycle(Cycle now) {
   transferWord(now);
 }
 
+Cycle Bus::nextActivity(Cycle now) {
+  // Overhead stretch (arbitration, slave setup, wait states folded into
+  // overhead_left_): cycle() only decrements and records until it drains.
+  if (overhead_left_ > 0) return now + overhead_left_;
+
+  if (grant_master_ != kNoMaster) {
+    // Mid-word.  The word completes on the cycle of the last decrement; the
+    // word-boundary cycle additionally consults shouldPreempt() when
+    // preemption is enabled, so it must execute.
+    if (config_.allow_preemption && word_cycles_left_ == current_word_cost_)
+      return now;
+    return now + word_cycles_left_ - 1;
+  }
+
+  // Idle: nothing happens until the arbiter could hand out a grant.  New
+  // requests arrive only at executed cycles (sources are kernel components
+  // too), so the kernel re-polls this hint whenever one could have pushed.
+  return arbiter_->nextGrantOpportunity(RequestView(requests_), now);
+}
+
+void Bus::fastForward(Cycle from, Cycle to) {
+  const Cycle skipped = to - from;
+  if (skipped == 0) return;
+
+  if (overhead_left_ > 0) {
+    // Naive mode spends each of these cycles on --overhead_left_ plus one
+    // overhead record; reproduce that in bulk.
+    if (skipped > overhead_left_)
+      throw std::logic_error("Bus::fastForward: jumped past overhead end");
+    overhead_left_ -= static_cast<std::uint32_t>(skipped);
+    bandwidth_.recordOverheadCycles(skipped);
+    if (sinks_ && sinks_->overhead_cycles) sinks_->overhead_cycles->inc(skipped);
+    return;
+  }
+
+  if (grant_master_ != kNoMaster) {
+    // Mid-word wait states: each skipped cycle is a decrement plus an
+    // overhead record; the completing decrement itself always executes.
+    if (skipped >= word_cycles_left_)
+      throw std::logic_error("Bus::fastForward: jumped past word completion");
+    word_cycles_left_ -= static_cast<std::uint32_t>(skipped);
+    bandwidth_.recordOverheadCycles(skipped);
+    if (sinks_ && sinks_->overhead_cycles) sinks_->overhead_cycles->inc(skipped);
+    return;
+  }
+
+  // Idle stretch: naive mode would have recorded one idle cycle and made
+  // one fruitless arbitrate() call (observer-visible) per cycle.
+  bandwidth_.recordIdleCycles(skipped);
+  if (sinks_ && sinks_->idle_cycles) sinks_->idle_cycles->inc(skipped);
+  arbiter_->recordQuiescentCycles(RequestView(requests_), from, to);
+}
+
 void Bus::clearStats() {
   latency_.reset();
   bandwidth_.reset();

@@ -94,6 +94,15 @@ public:
   // -- simulation -----------------------------------------------------------
 
   void cycle(Cycle now) override;
+
+  /// Quiescence protocol (fast kernel mode): the bus reports the cycle at
+  /// which its current stretch of mechanical cycles ends — overhead
+  /// (arbitration / slave setup / wait states) draining, or an idle wait
+  /// bounded by the arbiter's next grant opportunity — and fastForward()
+  /// bulk-records those cycles exactly as the per-cycle stepper would.
+  Cycle nextActivity(Cycle now) override;
+  void fastForward(Cycle from, Cycle to) override;
+
   std::string name() const override { return "bus<" + arbiter_->name() + ">"; }
 
   // -- observation ----------------------------------------------------------

@@ -48,6 +48,17 @@ public:
   SplitSlave& operator=(const SplitSlave&) = delete;
 
   void cycle(sim::Cycle now) override;
+
+  /// Quiescence hint: the head fetch's completion cycle (the pipeline is
+  /// in-order, so ready_at values are nondecreasing); never, while nothing
+  /// is fetching — new requests arrive through a bus completion, and the bus
+  /// is active on those cycles.
+  sim::Cycle nextActivity(sim::Cycle now) override {
+    if (fetching_.empty()) return sim::kNeverCycle;
+    const Cycle ready = fetching_.front().ready_at;
+    return ready <= now ? now : ready;
+  }
+
   std::string name() const override { return "split-slave"; }
 
   /// Fires when a response completes: (request tag, response finish cycle).

@@ -32,6 +32,15 @@ public:
   PeriodicTicketSchedule(bus::Bus& bus, std::vector<Entry> schedule);
 
   void cycle(sim::Cycle now) override;
+
+  /// Quiescence hint: the next unapplied entry's boundary (never again once
+  /// the schedule is exhausted).
+  sim::Cycle nextActivity(sim::Cycle now) override {
+    if (next_ >= schedule_.size()) return sim::kNeverCycle;
+    const sim::Cycle at = schedule_[next_].at;
+    return at <= now ? now : at;
+  }
+
   std::string name() const override { return "ticket-schedule"; }
 
 private:
@@ -50,6 +59,15 @@ public:
                       sim::Cycle period);
 
   void cycle(sim::Cycle now) override;
+
+  /// Quiescence hint: the next period boundary.  Updates read live backlog
+  /// at exactly those cycles, so every boundary must execute even when the
+  /// bus itself is quiet — the hint keeps skips within one period.
+  sim::Cycle nextActivity(sim::Cycle now) override {
+    const sim::Cycle phase = now % period_;
+    return phase == 0 ? now : now + (period_ - phase);
+  }
+
   std::string name() const override { return "backlog-ticket-policy"; }
 
   std::uint64_t updates() const { return updates_; }

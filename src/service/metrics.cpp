@@ -55,6 +55,12 @@ void GrantTally::onArbitration(const bus::IArbiter& /*arbiter*/,
   }
 }
 
+void GrantTally::onQuiescentArbitrations(const bus::IArbiter& /*arbiter*/,
+                                         const bus::RequestView& /*requests*/,
+                                         bus::Cycle from, bus::Cycle to) {
+  decisions_ += to - from;
+}
+
 void GrantTally::publish(obs::MetricsRegistry& registry,
                          const std::string& arbiter_name) const {
   const obs::Labels arb{{"arbiter", arbiter_name}};

@@ -46,6 +46,13 @@ public:
                      const bus::RequestView& requests, bus::Cycle now,
                      const bus::Grant& grant) override;
 
+  /// O(1) bulk form for fast-forwarded idle stretches: `to - from` fruitless
+  /// decisions, no wins.  Keeps lb_arbiter_decisions_total bit-identical
+  /// between kernel modes without per-skipped-cycle callbacks.
+  void onQuiescentArbitrations(const bus::IArbiter& arbiter,
+                               const bus::RequestView& requests,
+                               bus::Cycle from, bus::Cycle to) override;
+
   std::uint64_t decisions() const { return decisions_; }
   const std::vector<std::uint64_t>& wins() const { return wins_; }
 

@@ -49,6 +49,8 @@ Scenario normalized(Scenario scenario) {
   }
   for (const std::uint32_t w : scenario.weights)
     if (w == 0) throw ScenarioError("weights must be >= 1");
+  if (scenario.kernel_mode != "fast" && scenario.kernel_mode != "naive")
+    throw ScenarioError("unknown kernel_mode: " + scenario.kernel_mode);
   return scenario;
 }
 
@@ -65,6 +67,10 @@ Json toJson(const Scenario& scenario) {
       .set("burst", Json(static_cast<std::uint64_t>(scenario.burst)))
       .set("seed", Json(scenario.seed))
       .set("lfsr", Json(scenario.lfsr));
+  // Emitted only when non-default so pre-existing content hashes (and every
+  // cached result keyed by them) stay valid.
+  if (scenario.kernel_mode != "fast")
+    json.set("kernel_mode", Json(scenario.kernel_mode));
   return json;
 }
 
@@ -98,6 +104,8 @@ Scenario scenarioFromJson(const Json& json) {
       scenario.seed = value.asUint64();
     } else if (key == "lfsr") {
       scenario.lfsr = value.asBool();
+    } else if (key == "kernel_mode") {
+      scenario.kernel_mode = value.asString();
     } else {
       throw ScenarioError("unknown scenario member \"" + key + "\"");
     }
@@ -230,6 +238,9 @@ ScenarioResult runScenario(const Scenario& raw, const RunOptions& options) {
   std::string arbiter_label;
 
   traffic::TestbedOptions testbed_options;
+  testbed_options.kernel_mode = scenario.kernel_mode == "naive"
+                                    ? sim::KernelMode::kNaive
+                                    : sim::KernelMode::kFast;
   testbed_options.setup = [&](bus::Bus& bus, sim::CycleKernel&) {
     arbiter_label = bus.arbiter().name();
     if (options.instrument) {

@@ -42,6 +42,11 @@ struct Scenario {
   std::uint32_t burst = 16;
   std::uint64_t seed = 7;
   bool lfsr = false;
+  /// "fast" (quiescence-skipping kernel, the default) or "naive" (step every
+  /// cycle).  Bit-identical results either way — the knob exists for
+  /// differential testing and benchmarking, so it is serialized only when
+  /// non-default to keep content hashes stable.
+  std::string kernel_mode = "fast";
 
   bool operator==(const Scenario&) const = default;
 };

@@ -1,5 +1,5 @@
 #pragma once
-// Minimal cycle-driven simulation kernel.
+// Quiescence-aware single-clock simulation kernel.
 //
 // The LOTTERYBUS experiments are all synchronous single-clock systems, so the
 // kernel is deliberately simple: components register themselves and are
@@ -8,10 +8,27 @@
 // sinks).  A small delayed-callback queue covers the few places that need
 // "do X at cycle T" semantics (e.g. scheduled cell arrivals in the ATM
 // switch).
+//
+// Two execution modes (KernelMode):
+//
+//  - kNaive: the classic stepper — every cycle is executed, every component
+//    is dispatched every cycle.  The behavioral reference.
+//  - kFast (default): before executing a cycle the kernel polls each
+//    component's nextActivity() hint.  When every component is quiescent it
+//    fast-forwards now() to the earliest of (next component activity, next
+//    scheduled event, run deadline), telling each component to bulk-account
+//    the skipped stretch via fastForward().  Components that do not override
+//    the hints are polled as "active every cycle", so a system containing
+//    only default components degenerates to the naive stepper exactly.
+//
+// The two modes are required to be *bit-identical*: same statistics, same
+// grant traces, same RNG draw counts (tests/kernel_diff_test.cpp holds this
+// across every arbiter).  docs/performance.md describes the quiescence
+// protocol and its safety argument.
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -19,13 +36,44 @@ namespace lb::sim {
 
 using Cycle = std::uint64_t;
 
+/// "No activity ever (without external input)" hint value.
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// Kernel execution strategy; see the header comment.
+enum class KernelMode {
+  kNaive,  ///< dispatch every component every cycle (reference stepper)
+  kFast,   ///< skip provably quiescent stretches, bulk-accounting them
+};
+
 /// Anything clocked by the kernel.
 class ICycleComponent {
 public:
   virtual ~ICycleComponent() = default;
 
-  /// Called exactly once per simulated cycle, in registration order.
+  /// Called exactly once per *executed* simulated cycle, in registration
+  /// order.  In fast mode, cycles inside a skipped stretch are not executed;
+  /// fastForward() reports them instead.
   virtual void cycle(Cycle now) = 0;
+
+  /// Quiescence hint, polled by the fast kernel before executing cycle
+  /// `now`: the earliest cycle >= now at which this component needs its
+  /// cycle() called.  Returning `now` means "run me this cycle"; returning
+  /// kNeverCycle means "never, unless another component's action at an
+  /// executed cycle feeds me new work".  The contract for returning T > now
+  /// is that cycle() calls over [now, T) would be no-ops apart from
+  /// per-cycle bookkeeping, which fastForward() must then reproduce in bulk.
+  /// Implementations may lazily advance internal clocks up to `now` but must
+  /// not act beyond it.  Default: active every cycle (always safe).
+  virtual Cycle nextActivity(Cycle now) { return now; }
+
+  /// Bulk-accounting callback for a skipped stretch [from, to): called in
+  /// registration order when the fast kernel jumps from cycle `from` to
+  /// cycle `to` without executing the cycles in between.  Must leave the
+  /// component in exactly the state `to - from` no-op cycle() calls would
+  /// have (counters advanced, idle/overhead cycles recorded).  Only called
+  /// when this component's nextActivity(from) returned >= to.  Default:
+  /// nothing to account.
+  virtual void fastForward(Cycle /*from*/, Cycle /*to*/) {}
 
   /// Human-readable name for traces and error messages.
   virtual std::string name() const { return "component"; }
@@ -53,14 +101,27 @@ public:
   /// Advances by one cycle.
   void step() { run(1); }
 
-  /// Runs until `done(now)` returns true (checked before each cycle) or
-  /// `max_cycles` elapse.  Returns true if the predicate fired.
+  /// Runs until `done(now)` returns true or `max_cycles` elapse.  Returns
+  /// true if the predicate fired.  In naive mode the predicate is checked
+  /// before every cycle; in fast mode it is checked only at event/activity
+  /// boundaries (executed cycles), so predicates must depend on component
+  /// or event state, not on wall-clock `now` alone — a pure time predicate
+  /// belongs in at()/after() or in naive mode.
   bool runUntil(const std::function<bool(Cycle)>& done, Cycle max_cycles);
+
+  /// Execution strategy; kFast by default (bit-identical to kNaive for
+  /// hint-honest components, see class comment).
+  void setMode(KernelMode mode) noexcept { mode_ = mode; }
+  KernelMode mode() const noexcept { return mode_; }
 
   /// Current simulation time (number of completed cycles).
   Cycle now() const noexcept { return now_; }
 
   std::size_t componentCount() const noexcept { return components_.size(); }
+
+  /// Cycles skipped (bulk-accounted, not executed) by the fast path since
+  /// construction; always 0 in naive mode.  Observability only.
+  Cycle cyclesSkipped() const noexcept { return cycles_skipped_; }
 
 private:
   struct Event {
@@ -74,10 +135,24 @@ private:
     }
   };
 
+  /// Pops the earliest event, moving the callback out (no std::function
+  /// copy: events_ is a std::*_heap-managed vector, not a priority_queue,
+  /// precisely so the popped element is movable).
+  Event popEvent();
+
+  /// Executes one cycle: due events, then every component, then ++now_.
+  void executeCycle();
+
+  /// Earliest cycle in [now_, end] the fast path must execute: the next
+  /// due event or the minimum component activity hint, clamped to now_.
+  Cycle nextInterestingCycle(Cycle end);
+
   std::vector<ICycleComponent*> components_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::vector<Event> events_;  // min-heap via std::push_heap/std::pop_heap
   Cycle now_ = 0;
   std::uint64_t next_seq_ = 0;
+  KernelMode mode_ = KernelMode::kFast;
+  Cycle cycles_skipped_ = 0;
 };
 
 }  // namespace lb::sim

@@ -67,6 +67,11 @@ public:
   void recordIdleCycle() { ++idle_cycles_; }
   void recordOverheadCycle() { ++overhead_cycles_; }
 
+  /// Bulk forms used by the fast-forwarding kernel path: one call accounts
+  /// `n` cycles exactly as `n` per-cycle calls would.
+  void recordIdleCycles(std::uint64_t n) { idle_cycles_ += n; }
+  void recordOverheadCycles(std::uint64_t n) { overhead_cycles_ += n; }
+
   std::uint64_t totalCycles() const;
   std::uint64_t wordsTransferred(std::size_t master) const { return words_[master]; }
   std::uint64_t idleCycles() const { return idle_cycles_; }

@@ -56,6 +56,9 @@ public:
 
   sim::CycleKernel& kernel() { return kernel_; }
 
+  /// Selects the kernel stepping strategy for this system (default: kFast).
+  void setKernelMode(sim::KernelMode mode) { kernel_.setMode(mode); }
+
   /// Attaches an extra clocked component (traffic source, ticket policy);
   /// extra components run BEFORE the buses each cycle.
   void attach(sim::ICycleComponent& component);

@@ -24,21 +24,40 @@ TrafficSource::TrafficSource(bus::Bus& bus, bus::MasterId master,
       rng_(params.seed),
       next_attempt_(params.first_arrival) {
   if (params_.mean_off != 0)
-    state_left_ = drawDuration(rng_, params_.mean_on);
+    first_duration_ = drawDuration(rng_, params_.mean_on);
 }
 
-void TrafficSource::updateOnOff() {
+void TrafficSource::updateOnOff(sim::Cycle now) {
   if (params_.mean_off == 0) return;  // modulation disabled: always ON
-  if (state_left_ == 0) {
+  if (!anchored_) {
+    // The initial ON stretch spans the first first_duration_ cycles the
+    // source is clocked (the duration was drawn in the constructor, before
+    // any other draw, matching the original per-cycle countdown).
+    anchored_ = true;
+    next_toggle_ = now + first_duration_;
+  }
+  while (next_toggle_ <= now) {
     on_ = !on_;
-    state_left_ =
+    next_toggle_ +=
         drawDuration(rng_, on_ ? params_.mean_on : params_.mean_off);
   }
-  --state_left_;
+}
+
+sim::Cycle TrafficSource::nextActivity(sim::Cycle now) {
+  updateOnOff(now);  // idempotent lazy catch-up, same draws cycle() would do
+  if (!on_) return next_toggle_;  // silent until the ON edge
+  if (now < next_attempt_) {
+    // Next injection attempt; re-evaluate at a toggle boundary in between
+    // (the state machine advances lazily, so we never predict past it).
+    if (params_.mean_off != 0 && next_toggle_ < next_attempt_)
+      return next_toggle_;
+    return next_attempt_;
+  }
+  return now;  // injecting, or retrying under backpressure, every cycle
 }
 
 void TrafficSource::cycle(sim::Cycle now) {
-  updateOnOff();
+  updateOnOff(now);
   if (!on_) return;
   if (now < next_attempt_) return;
   if (bus_.queueDepth(master_) >= params_.max_outstanding) {

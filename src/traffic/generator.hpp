@@ -37,6 +37,12 @@ public:
   TrafficSource(bus::Bus& bus, bus::MasterId master, TrafficParams params);
 
   void cycle(sim::Cycle now) override;
+
+  /// Quiescence hint: the next injection attempt (or, while OFF, the
+  /// ON-edge of the burst modulation); `now` while backpressured so the
+  /// retry-every-cycle arrival stamping stays naive-identical.
+  sim::Cycle nextActivity(sim::Cycle now) override;
+
   std::string name() const override { return "traffic-source"; }
 
   std::uint64_t messagesGenerated() const { return generated_; }
@@ -45,7 +51,7 @@ public:
   const TrafficParams& params() const { return params_; }
 
 private:
-  void updateOnOff();
+  void updateOnOff(sim::Cycle now);
 
   bus::Bus& bus_;
   bus::MasterId master_;
@@ -53,7 +59,14 @@ private:
   sim::Xoshiro256ss rng_;
   sim::Cycle next_attempt_;
   bool on_ = true;
-  sim::Cycle state_left_ = 0;
+  // ON/OFF modulation as an absolute-time state machine: the state flips at
+  // next_toggle_, whose first value is anchored to the first cycle the
+  // kernel shows us.  Durations are drawn lazily when a toggle boundary is
+  // crossed, so draw order matches the per-cycle stepper exactly while
+  // letting the fast kernel skip the quiet stretches in between.
+  bool anchored_ = false;
+  sim::Cycle first_duration_ = 0;
+  sim::Cycle next_toggle_ = 0;
   std::uint64_t generated_ = 0;
   std::uint64_t words_ = 0;
 };

@@ -25,6 +25,7 @@ TestbedResult runTestbed(bus::BusConfig config,
 
   bus::Bus bus(config, std::move(arbiter));
   sim::CycleKernel kernel;
+  kernel.setMode(options.kernel_mode);
 
   std::vector<std::unique_ptr<TrafficSource>> sources;
   sources.reserve(traffic.size());

@@ -31,6 +31,10 @@ struct TestbedResult {
 /// Extra knobs for a test-bed run.
 struct TestbedOptions {
   sim::Cycle warmup = 0;  ///< cycles to run before statistics are reset
+  /// Kernel stepping strategy.  kFast skips provably dead cycles and is
+  /// bit-identical to kNaive (see docs/performance.md); kNaive steps every
+  /// cycle and exists as the differential-testing reference.
+  sim::KernelMode kernel_mode = sim::KernelMode::kFast;
   /// Invoked after construction, before running: configure tickets, attach
   /// extra components (ticket policies), enable tracing, ...
   std::function<void(bus::Bus&, sim::CycleKernel&)> setup;

@@ -44,6 +44,15 @@ public:
               std::uint32_t max_outstanding = 64);
 
   void cycle(sim::Cycle now) override;
+
+  /// Quiescence hint: the next entry's issue cycle; `now` while an entry is
+  /// due (including backpressure retries), never again once replay ends.
+  sim::Cycle nextActivity(sim::Cycle now) override {
+    if (next_ >= entries_.size()) return sim::kNeverCycle;
+    const sim::Cycle due = entries_[next_].cycle;
+    return due <= now ? now : due;
+  }
+
   std::string name() const override { return "trace-source"; }
 
   std::uint64_t replayed() const { return replayed_; }

@@ -1,0 +1,320 @@
+// Differential fuzz for the quiescence-aware kernel (KernelMode::kFast).
+//
+// The fast path claims bit-identity with the naive stepper: same statistics,
+// same executed grant trace, same RNG draw counts, for every arbiter.  This
+// suite generates seeded random systems — random arbiter kind, master count,
+// bus protocol knobs (preemption, pipelining, wait states), bursty ON/OFF
+// traffic, dynamic ticket schedules and backlog policies — runs each under
+// both kernel modes, and compares everything observable.  Three fixed-seed
+// runs are additionally pinned to golden digests so a regression that breaks
+// both modes the same way is still caught.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arbiters/round_robin.hpp"
+#include "arbiters/simple.hpp"
+#include "arbiters/static_priority.hpp"
+#include "arbiters/tdma.hpp"
+#include "arbiters/token_ring.hpp"
+#include "arbiters/weighted_round_robin.hpp"
+#include "core/lottery.hpp"
+#include "core/ticket_policy.hpp"
+#include "sim/rng.hpp"
+#include "traffic/testbed.hpp"
+
+namespace {
+
+using namespace lb;
+
+constexpr int kArbiterKinds = 11;
+
+std::unique_ptr<bus::IArbiter> makeArbiter(int kind, std::size_t masters,
+                                           std::uint64_t seed,
+                                           std::uint32_t burst) {
+  std::vector<std::uint32_t> weights;
+  for (std::size_t m = 0; m < masters; ++m)
+    weights.push_back(static_cast<std::uint32_t>(1 + (seed >> m) % 4));
+  switch (kind) {
+    case 0:
+      return std::make_unique<core::LotteryArbiter>(
+          weights, core::LotteryRng::kExact, seed);
+    case 1:
+      return std::make_unique<core::LotteryArbiter>(
+          weights, core::LotteryRng::kLfsr, seed | 1);
+    case 2:
+      return std::make_unique<core::DynamicLotteryArbiter>(seed);
+    case 3: {  // unique priorities required: a seed-rotated permutation
+      std::vector<unsigned> priorities;
+      for (std::size_t m = 0; m < masters; ++m)
+        priorities.push_back(
+            static_cast<unsigned>((m + seed) % masters));
+      return std::make_unique<arb::StaticPriorityArbiter>(priorities);
+    }
+    case 4: {  // single-level TDMA: the hardest hint (wheel-scan waits)
+      std::vector<unsigned> slots(weights.begin(), weights.end());
+      return std::make_unique<arb::TdmaArbiter>(
+          arb::TdmaArbiter::contiguousWheel(slots), masters,
+          /*two_level=*/false);
+    }
+    case 5: {
+      std::vector<unsigned> slots(weights.begin(), weights.end());
+      return std::make_unique<arb::TdmaArbiter>(
+          arb::TdmaArbiter::interleavedWheel(slots), masters,
+          /*two_level=*/true);
+    }
+    case 6:
+      return std::make_unique<arb::RoundRobinArbiter>(masters);
+    case 7:
+      return std::make_unique<arb::WeightedRoundRobinArbiter>(weights, burst);
+    case 8:  // token ring with real hop latency: stall decisions mutate state
+      return std::make_unique<arb::TokenRingArbiter>(
+          masters, static_cast<unsigned>(seed % 4));
+    case 9:
+      return std::make_unique<arb::RandomArbiter>(masters, seed);
+    default:
+      return std::make_unique<arb::FcfsArbiter>(masters);
+  }
+}
+
+struct FuzzSystem {
+  int arbiter_kind = 0;
+  std::uint64_t arbiter_seed = 1;
+  bus::BusConfig config;
+  std::vector<traffic::TrafficParams> traffic;
+  bool ticket_schedule = false;
+  bool backlog_policy = false;
+  sim::Cycle cycles = 0;
+};
+
+FuzzSystem randomSystem(sim::Xoshiro256ss& rng) {
+  FuzzSystem sys;
+  sys.arbiter_kind = static_cast<int>(rng.next() % kArbiterKinds);
+  sys.arbiter_seed = rng.next() | 1;
+  const std::size_t masters = 2 + rng.next() % 5;
+  sys.config.num_masters = masters;
+  sys.config.max_burst_words = 4u << (rng.next() % 3);
+  sys.config.pipelined_arbitration = rng.next() % 2 == 0;
+  sys.config.arb_overhead_cycles = 1 + static_cast<std::uint32_t>(rng.next() % 3);
+  sys.config.allow_preemption = rng.next() % 3 == 0;
+  sys.config.slaves = {bus::SlaveConfig{
+      "mem", static_cast<std::uint32_t>(rng.next() % 3)}};
+  for (std::size_t m = 0; m < masters; ++m) {
+    traffic::TrafficParams p;
+    switch (rng.next() % 3) {
+      case 0:
+        p.size = traffic::SizeDist::fixed(
+            1 + static_cast<std::uint32_t>(rng.next() % 16));
+        break;
+      case 1:
+        p.size = traffic::SizeDist::uniform(
+            1, 2 + static_cast<std::uint32_t>(rng.next() % 15));
+        break;
+      default:
+        p.size = traffic::SizeDist::geometric(
+            2 + static_cast<std::uint32_t>(rng.next() % 8), 32);
+        break;
+    }
+    // Bias towards sparse traffic so the fast path actually has stretches
+    // to skip; a third of the sources stay saturated.
+    p.gap = rng.next() % 3 == 0
+                ? traffic::GapDist::fixed(rng.next() % 4)
+                : traffic::GapDist::geometric(16 + rng.next() % 512);
+    if (rng.next() % 2 == 0) {  // bursty ON/OFF modulation
+      p.mean_on = 20 + rng.next() % 200;
+      p.mean_off = 20 + rng.next() % 2000;
+    }
+    p.max_outstanding = 1 + static_cast<std::uint32_t>(rng.next() % 4);
+    p.first_arrival = rng.next() % 64;
+    p.seed = rng.next() | 1;
+    sys.traffic.push_back(p);
+  }
+  sys.ticket_schedule = rng.next() % 3 == 0;
+  sys.backlog_policy = !sys.ticket_schedule && rng.next() % 3 == 0;
+  sys.cycles = 20000 + rng.next() % 30000;
+  return sys;
+}
+
+struct Outcome {
+  traffic::TestbedResult result;
+  std::vector<bus::GrantRecord> trace;
+  std::uint64_t lottery_draws = 0;
+  std::uint64_t ticket_updates = 0;
+};
+
+Outcome runSystem(const FuzzSystem& sys, sim::KernelMode mode) {
+  auto arbiter = makeArbiter(sys.arbiter_kind, sys.config.num_masters,
+                             sys.arbiter_seed, sys.config.max_burst_words);
+  const auto* exact = dynamic_cast<const core::LotteryArbiter*>(arbiter.get());
+  const auto* dyn =
+      dynamic_cast<const core::DynamicLotteryArbiter*>(arbiter.get());
+
+  Outcome out;
+  std::unique_ptr<core::PeriodicTicketSchedule> schedule;
+  std::unique_ptr<core::BacklogTicketPolicy> policy;
+  traffic::TestbedOptions options;
+  options.kernel_mode = mode;
+  options.setup = [&](bus::Bus& bus, sim::CycleKernel& kernel) {
+    bus.setTraceEnabled(true);
+    const std::size_t n = sys.config.num_masters;
+    if (sys.ticket_schedule) {
+      std::vector<core::PeriodicTicketSchedule::Entry> entries;
+      for (sim::Cycle at = 1000; at < sys.cycles; at += 7777) {
+        std::vector<std::uint32_t> tickets(n, 1);
+        tickets[(at / 7777) % n] = 8;
+        entries.push_back({at, std::move(tickets)});
+      }
+      schedule =
+          std::make_unique<core::PeriodicTicketSchedule>(bus, entries);
+      kernel.attach(*schedule);
+    } else if (sys.backlog_policy) {
+      policy = std::make_unique<core::BacklogTicketPolicy>(
+          bus, std::vector<std::uint32_t>(n, 1), 0.25, 32, 500);
+      kernel.attach(*policy);
+    }
+  };
+  options.teardown = [&](bus::Bus& bus) { out.trace = bus.trace(); };
+  out.result = traffic::runTestbed(sys.config,
+                                   std::move(arbiter), sys.traffic,
+                                   sys.cycles, std::move(options));
+  if (exact != nullptr) out.lottery_draws = exact->draws();
+  if (dyn != nullptr) out.lottery_draws = dyn->draws();
+  if (policy != nullptr) out.ticket_updates = policy->updates();
+  return out;
+}
+
+void expectIdentical(const Outcome& naive, const Outcome& fast,
+                     const std::string& label) {
+  EXPECT_EQ(naive.result.bandwidth_fraction, fast.result.bandwidth_fraction)
+      << label;
+  EXPECT_EQ(naive.result.traffic_share, fast.result.traffic_share) << label;
+  EXPECT_EQ(naive.result.unutilized_fraction, fast.result.unutilized_fraction)
+      << label;
+  EXPECT_EQ(naive.result.cycles_per_word, fast.result.cycles_per_word)
+      << label;
+  EXPECT_EQ(naive.result.mean_message_latency,
+            fast.result.mean_message_latency)
+      << label;
+  EXPECT_EQ(naive.result.messages_completed, fast.result.messages_completed)
+      << label;
+  EXPECT_EQ(naive.result.grants, fast.result.grants) << label;
+  EXPECT_EQ(naive.result.preemptions, fast.result.preemptions) << label;
+  EXPECT_EQ(naive.lottery_draws, fast.lottery_draws) << label;
+  EXPECT_EQ(naive.ticket_updates, fast.ticket_updates) << label;
+  ASSERT_EQ(naive.trace.size(), fast.trace.size()) << label;
+  for (std::size_t i = 0; i < naive.trace.size(); ++i) {
+    EXPECT_EQ(naive.trace[i].master, fast.trace[i].master)
+        << label << " grant " << i;
+    EXPECT_EQ(naive.trace[i].start, fast.trace[i].start)
+        << label << " grant " << i;
+    EXPECT_EQ(naive.trace[i].words, fast.trace[i].words)
+        << label << " grant " << i;
+  }
+}
+
+/// FNV-1a over the full outcome, for the pinned goldens: the grant trace,
+/// the counters, and the raw bit patterns of every double.
+std::uint64_t digest(const Outcome& out) {
+  std::uint64_t hash = 14695981039346656037ull;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xFF;
+      hash *= 1099511628211ull;
+    }
+  };
+  const auto mix_doubles = [&mix](const std::vector<double>& values) {
+    for (const double v : values) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &v, sizeof bits);
+      mix(bits);
+    }
+  };
+  for (const bus::GrantRecord& g : out.trace) {
+    mix(static_cast<std::uint64_t>(g.master));
+    mix(g.start);
+    mix(g.words);
+  }
+  mix_doubles(out.result.bandwidth_fraction);
+  mix_doubles(out.result.cycles_per_word);
+  mix_doubles(out.result.mean_message_latency);
+  for (const std::uint64_t m : out.result.messages_completed) mix(m);
+  mix(out.result.grants);
+  mix(out.result.preemptions);
+  mix(out.lottery_draws);
+  mix(out.ticket_updates);
+  return hash;
+}
+
+std::string label(const FuzzSystem& sys, std::uint64_t seed) {
+  return "seed=" + std::to_string(seed) +
+         " arbiter_kind=" + std::to_string(sys.arbiter_kind) +
+         " masters=" + std::to_string(sys.config.num_masters) +
+         " preempt=" + std::to_string(sys.config.allow_preemption) +
+         " cycles=" + std::to_string(sys.cycles);
+}
+
+TEST(KernelDiffFuzzTest, RandomSystemsAreBitIdenticalAcrossModes) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    sim::Xoshiro256ss rng(seed * 0x9e3779b97f4a7c15ull);
+    const FuzzSystem sys = randomSystem(rng);
+    const Outcome naive = runSystem(sys, sim::KernelMode::kNaive);
+    const Outcome fast = runSystem(sys, sim::KernelMode::kFast);
+    expectIdentical(naive, fast, label(sys, seed));
+  }
+}
+
+TEST(KernelDiffFuzzTest, EveryArbiterKindIsBitIdenticalAcrossModes) {
+  // The sweep above samples kinds; this loop guarantees full coverage, with
+  // bursty sparse traffic so quiescent stretches actually occur.
+  for (int kind = 0; kind < kArbiterKinds; ++kind) {
+    FuzzSystem sys;
+    sys.arbiter_kind = kind;
+    sys.arbiter_seed = 0xabcdefull + kind;
+    sys.config.num_masters = 4;
+    sys.config.slaves = {bus::SlaveConfig{"mem", 1}};
+    sys.config.allow_preemption = kind % 2 == 0;
+    sys.config.pipelined_arbitration = kind % 3 != 0;
+    for (std::size_t m = 0; m < 4; ++m) {
+      traffic::TrafficParams p;
+      p.size = traffic::SizeDist::uniform(1, 16);
+      p.gap = traffic::GapDist::geometric(100);
+      p.mean_on = 50;
+      p.mean_off = 400;
+      p.seed = 100 + m;
+      sys.traffic.push_back(p);
+    }
+    sys.cycles = 40000;
+    const Outcome naive = runSystem(sys, sim::KernelMode::kNaive);
+    const Outcome fast = runSystem(sys, sim::KernelMode::kFast);
+    expectIdentical(naive, fast, "kind=" + std::to_string(kind));
+    EXPECT_GT(fast.result.grants, 0u) << "kind=" << kind;
+  }
+}
+
+TEST(KernelDiffFuzzTest, GoldenDigestsAreStable) {
+  // Three pinned fuzz seeds: catches a change that alters behavior in BOTH
+  // modes at once (which the differential checks cannot see).  Update these
+  // only with a CHANGES.md note explaining the behavioral change.
+  const struct {
+    std::uint64_t seed;
+    std::uint64_t digest;
+  } goldens[] = {
+      {3, 0xe78405cc4f1e7d59ull},   // fcfs, 5 masters, preemption
+      {11, 0x8b5149160315eaa6ull},  // exact lottery, 4 masters
+      {27, 0xf37419c8e3dbc0e2ull},  // static priority, 6 masters, preemption
+  };
+  for (const auto& golden : goldens) {
+    sim::Xoshiro256ss rng(golden.seed * 0x9e3779b97f4a7c15ull);
+    const FuzzSystem sys = randomSystem(rng);
+    const Outcome fast = runSystem(sys, sim::KernelMode::kFast);
+    EXPECT_EQ(digest(fast), golden.digest)
+        << label(sys, golden.seed) << std::hex << " actual digest 0x"
+        << digest(fast);
+  }
+}
+
+}  // namespace

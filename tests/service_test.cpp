@@ -191,6 +191,24 @@ TEST(ScenarioCodecTest, GoldenHashesAreStable) {
   wrr.seed = 18446744073709551615ull;
   wrr.lfsr = true;
   EXPECT_EQ(service::scenarioHashHex(wrr), "eeb4b38f03d16d32");
+
+  // kernel_mode is serialized only when non-default: the default "fast" must
+  // not perturb any pre-existing cache key (the hashes above), while "naive"
+  // names a distinct scenario.
+  Scenario naive = def;
+  naive.kernel_mode = "naive";
+  EXPECT_EQ(service::canonicalJson(naive),
+            R"({"arbiter":"lottery","weights":[1,2,3,4],"class":"T2",)"
+            R"("masters":4,"cycles":200000,"burst":16,"seed":7,"lfsr":false,)"
+            R"("kernel_mode":"naive"})");
+  EXPECT_NE(service::scenarioHashHex(naive), service::scenarioHashHex(def));
+  EXPECT_EQ(
+      service::scenarioFromJson(Json::parse(service::canonicalJson(naive)))
+          .kernel_mode,
+      "naive");
+  Scenario warp = def;
+  warp.kernel_mode = "warp";
+  EXPECT_THROW(service::normalized(warp), service::ScenarioError);
 }
 
 TEST(ScenarioCodecTest, HashIsInvariantUnderNormalization) {
@@ -251,6 +269,40 @@ TEST(ScenarioRunTest, InstrumentationIsInert) {
             std::string::npos);
   EXPECT_NE(text.find("lb_arbiter_decisions_total{arbiter=\"lottery\"}"),
             std::string::npos);
+}
+
+// The kernel-mode golden check: the fast kernel's bulk accounting must keep
+// every published metric — lb_bus_idle_cycles_total and
+// lb_bus_overhead_cycles_total in particular, which the fast path increments
+// in bulk rather than per cycle, and lb_arbiter_decisions_total, which it
+// compensates via onQuiescentArbitrations — EXACTLY equal to naive mode's
+// per-cycle increments, along with the results themselves.
+TEST(ScenarioRunTest, KernelModesAreBitIdentical) {
+  for (const char* arbiter : {"lottery", "tdma", "token", "priority"}) {
+    Scenario fast;
+    fast.arbiter = arbiter;
+    fast.cycles = 30000;
+    fast.traffic_class = "T6";  // bursty: exercises ON/OFF fast-forwarding
+    Scenario naive = fast;
+    naive.kernel_mode = "naive";
+
+    obs::MetricsRegistry fast_registry;
+    service::RunOptions fast_options;
+    fast_options.registry = &fast_registry;
+    const auto fast_result = service::runScenario(fast, fast_options);
+
+    obs::MetricsRegistry naive_registry;
+    service::RunOptions naive_options;
+    naive_options.registry = &naive_registry;
+    const auto naive_result = service::runScenario(naive, naive_options);
+
+    EXPECT_EQ(fast_result, naive_result) << arbiter;
+    const std::string fast_text = fast_registry.renderPrometheus();
+    EXPECT_EQ(fast_text, naive_registry.renderPrometheus()) << arbiter;
+    EXPECT_NE(fast_text.find("lb_bus_idle_cycles_total"), std::string::npos);
+    EXPECT_NE(fast_text.find("lb_bus_overhead_cycles_total"),
+              std::string::npos);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -279,6 +279,116 @@ TEST(KernelTest, RunUntilHonorsDeadline) {
 }
 
 // ---------------------------------------------------------------------------
+// Quiescence fast-forwarding (KernelMode::kFast)
+// ---------------------------------------------------------------------------
+
+/// Active every `period` cycles, quiescent (and fastForward-counted) in
+/// between: the minimal hint-honest component.
+class PeriodicProbe final : public ICycleComponent {
+public:
+  explicit PeriodicProbe(Cycle period) : period_(period) {}
+  void cycle(Cycle now) override {
+    if (now % period_ == 0) ++activations;
+    ++executed;
+  }
+  Cycle nextActivity(Cycle now) override {
+    const Cycle phase = now % period_;
+    return phase == 0 ? now : now + (period_ - phase);
+  }
+  void fastForward(Cycle from, Cycle to) override { skipped += to - from; }
+  Cycle period_;
+  int activations = 0;
+  Cycle executed = 0;
+  Cycle skipped = 0;
+};
+
+TEST(KernelFastTest, DefaultModeIsFast) {
+  CycleKernel kernel;
+  EXPECT_EQ(kernel.mode(), KernelMode::kFast);
+}
+
+TEST(KernelFastTest, DefaultHintsDegenerateToNaiveStepping) {
+  // A component that overrides nothing is polled as active every cycle, so
+  // nothing is ever skipped.
+  CycleKernel kernel;
+  Counter counter;
+  kernel.attach(counter);
+  kernel.run(50);
+  EXPECT_EQ(counter.calls, 50);
+  EXPECT_EQ(kernel.cyclesSkipped(), 0u);
+}
+
+TEST(KernelFastTest, SkipsQuiescentStretchesAndAccountsThem) {
+  CycleKernel kernel;
+  PeriodicProbe probe(100);
+  kernel.attach(probe);
+  kernel.run(1000);
+  EXPECT_EQ(kernel.now(), 1000u);
+  EXPECT_EQ(probe.activations, 10);  // cycles 0, 100, ..., 900
+  EXPECT_EQ(probe.executed + probe.skipped, 1000u);
+  EXPECT_EQ(kernel.cyclesSkipped(), probe.skipped);
+  EXPECT_GT(kernel.cyclesSkipped(), 900u);  // the stretches really skipped
+}
+
+TEST(KernelFastTest, MatchesNaiveActivationsExactly) {
+  CycleKernel fast, naive;
+  naive.setMode(KernelMode::kNaive);
+  PeriodicProbe fast_probe(7), naive_probe(7);
+  fast.attach(fast_probe);
+  naive.attach(naive_probe);
+  fast.run(500);
+  naive.run(500);
+  EXPECT_EQ(fast_probe.activations, naive_probe.activations);
+  EXPECT_EQ(naive_probe.skipped, 0u);
+  EXPECT_EQ(naive.cyclesSkipped(), 0u);
+  EXPECT_EQ(fast_probe.executed + fast_probe.skipped, naive_probe.executed);
+}
+
+TEST(KernelFastTest, ScheduledEventsInterruptASkip) {
+  // Component quiescent until cycle 1000, but an event lands at 40: the
+  // skip must stop there, and the event must observe the right `now`.
+  CycleKernel kernel;
+  PeriodicProbe probe(1000);
+  kernel.attach(probe);
+  Cycle fired_at = 0;
+  Cycle executed_before_fire = 0;
+  kernel.at(40, [&](Cycle now) {
+    fired_at = now;
+    executed_before_fire = probe.executed;
+  });
+  kernel.run(100);
+  EXPECT_EQ(fired_at, 40u);
+  // Everything between the cycle-0 activation and the event was skipped.
+  EXPECT_EQ(executed_before_fire, 1u);
+}
+
+TEST(KernelFastTest, NeverCycleComponentsOnlyRunAtEventBoundaries) {
+  // kNeverCycle + no events: the whole run is one jump.
+  CycleKernel kernel;
+  struct Dormant final : ICycleComponent {
+    void cycle(Cycle) override { ++calls; }
+    Cycle nextActivity(Cycle) override { return kNeverCycle; }
+    int calls = 0;
+  } dormant;
+  kernel.attach(dormant);
+  kernel.run(100000);
+  EXPECT_EQ(kernel.now(), 100000u);
+  EXPECT_EQ(dormant.calls, 0);
+  EXPECT_EQ(kernel.cyclesSkipped(), 100000u);
+}
+
+TEST(KernelFastTest, RunUntilSkipsAndStillHonorsThePredicate) {
+  CycleKernel kernel;
+  PeriodicProbe probe(50);
+  kernel.attach(probe);
+  const bool fired = kernel.runUntil(
+      [&](Cycle) { return probe.activations == 4; }, 100000);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(kernel.now(), 151u);  // one cycle past the 4th activation (150)
+  EXPECT_GT(kernel.cyclesSkipped(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // parallelMap
 // ---------------------------------------------------------------------------
 
