@@ -1,0 +1,176 @@
+// EXTENSION — Mesh NoC latency: simulation vs the analytical model.
+//
+// Sweeps offered load on the 4x4 lottery-style and 6x6 SESC-style meshes
+// (uniform traffic, WRR routers — the configuration Mandal et al.'s WRR
+// queueing analysis covers) and compares the simulator's mean end-to-end
+// packet latency against advisor::NocAnalyticalModel's prediction at every
+// point.  The table shows busiest-link utilization, model and simulated
+// latency, the relative error, and the simulation rate; rows land in the
+// lb-bench-v1 JSON under BM_NocMesh/<mesh>/<util> (wall_ns = simulation
+// wall time, items_per_sec = simulated cycles per second).
+//
+// `--guard` turns the run into a CI accuracy smoke: exit nonzero if any
+// sub-saturation point misses the model by more than the documented 10%
+// tolerance (docs/noc.md), mirroring tests/noc_analytical_test.cpp.
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "advisor/noc_model.hpp"
+#include "arbiters/weighted_round_robin.hpp"
+#include "bench_util.hpp"
+#include "noc/mesh.hpp"
+#include "sim/kernel.hpp"
+#include "stats/table.hpp"
+#include "traffic/generator.hpp"
+
+namespace {
+
+using namespace lb;
+
+constexpr double kTolerance = 0.10;  // docs/noc.md accuracy envelope
+constexpr std::uint32_t kFlits = 8;
+
+struct Point {
+  double utilization = 0;
+  double model_latency = 0;
+  double sim_latency = 0;
+  double wall_ns = 0;
+  sim::Cycle cycles = 0;
+};
+
+Point runPoint(std::size_t width, std::size_t height, double target_util,
+               sim::Cycle warmup, sim::Cycle measure) {
+  // Under uniform traffic with XY routing the busiest links are the E/W
+  // bisection links, each carrying lam * N / (4H) packets per cycle.
+  const double hottest_per_lam =
+      static_cast<double>(width * height) / (4.0 * static_cast<double>(height));
+  const double lam = target_util / (hottest_per_lam * kFlits);
+  const double gap_mean = 1.0 / lam - 1.0;
+  const double cv2 = gap_mean / (1.0 + gap_mean);
+
+  advisor::NocAnalyticalModel model(width, height);
+  model.addPatternLoad(noc::Pattern::kUniform, lam, kFlits, cv2);
+  const advisor::NocPrediction pred = model.evaluate();
+
+  noc::MeshConfig config;
+  config.width = width;
+  config.height = height;
+  config.pattern = noc::Pattern::kUniform;
+  config.arbiter_factory = [](noc::NodeId, int) {
+    return std::make_unique<arb::WeightedRoundRobinArbiter>(
+        std::vector<std::uint32_t>(noc::kNumPorts, 1), 16);
+  };
+  noc::MeshNetwork mesh(config);
+  sim::CycleKernel kernel;
+  std::vector<std::unique_ptr<traffic::TrafficSource>> sources;
+  for (std::size_t n = 0; n < width * height; ++n) {
+    traffic::TrafficParams params;
+    params.size = traffic::SizeDist::fixed(kFlits);
+    params.gap = traffic::GapDist::geometric(gap_mean);
+    params.max_outstanding = 4096;  // effectively open-loop below saturation
+    params.seed = 1000 + n;
+    sources.push_back(std::make_unique<traffic::TrafficSource>(
+        mesh.ni(static_cast<noc::NodeId>(n)), static_cast<int>(n), params));
+    kernel.attach(*sources.back());
+  }
+  mesh.attachTo(kernel);
+
+  const auto started = std::chrono::steady_clock::now();
+  kernel.run(warmup);
+  mesh.clearStats();
+  kernel.run(measure);
+  const double wall_ns = std::chrono::duration<double, std::nano>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
+
+  double latency = 0.0;
+  std::uint64_t packets = 0;
+  for (const noc::NocStats::PerSource& s : mesh.stats().sources) {
+    latency += s.latency_sum;
+    packets += s.packets_delivered;
+  }
+
+  Point point;
+  point.utilization = pred.max_utilization;
+  point.model_latency = pred.mean_latency;
+  point.sim_latency = packets > 0 ? latency / static_cast<double>(packets) : 0;
+  point.wall_ns = wall_ns;
+  point.cycles = warmup + measure;
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::BenchJsonWriter writer;
+  const std::string json_out = benchutil::consumeJsonOut(&argc, argv);
+  sim::Cycle measure = 150000;
+  bool guard = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
+      measure = std::strtoull(argv[++i], nullptr, 10);
+      if (measure == 0) measure = 1;
+    } else if (std::strcmp(argv[i], "--guard") == 0) {
+      guard = true;
+    } else {
+      std::cerr << "usage: noc_mesh_latency [--cycles N] [--guard] "
+                   "[--json-out FILE]\n";
+      return 2;
+    }
+  }
+
+  benchutil::banner(
+      "EXTENSION: mesh NoC latency, simulation vs analytical model",
+      "Mandal et al. WRR NoC performance analysis (arxiv 2108.09534); "
+      "mesh subsystem docs/noc.md",
+      "simulated mean packet latency within 10% of the queueing-model "
+      "prediction at every sub-saturation load; both curves rise steeply "
+      "toward the saturation knee");
+
+  stats::Table table({"mesh", "link util", "model (cyc)", "sim (cyc)",
+                      "error", "Mcycles/s"});
+  bool within_tolerance = true;
+  const struct {
+    std::size_t width, height;
+  } meshes[] = {{4, 4}, {6, 6}};
+  for (const auto& m : meshes) {
+    for (const double target : {0.15, 0.30, 0.45, 0.60}) {
+      const Point p =
+          runPoint(m.width, m.height, target, /*warmup=*/30000, measure);
+      const double err = (p.model_latency - p.sim_latency) / p.sim_latency;
+      within_tolerance = within_tolerance && std::abs(err) <= kTolerance;
+      const double rate =
+          p.wall_ns > 0 ? static_cast<double>(p.cycles) / (p.wall_ns * 1e-9)
+                        : 0;
+      const std::string mesh_label =
+          std::to_string(m.width) + "x" + std::to_string(m.height);
+      char util_label[16];
+      std::snprintf(util_label, sizeof util_label, "util%02d",
+                    static_cast<int>(target * 100));
+      writer.add("BM_NocMesh/" + mesh_label + "/" + util_label, p.wall_ns,
+                 rate);
+      table.addRow({mesh_label, stats::Table::pct(p.utilization),
+                    stats::Table::num(p.model_latency, 2),
+                    stats::Table::num(p.sim_latency, 2),
+                    stats::Table::num(err * 100, 1) + "%",
+                    stats::Table::num(rate * 1e-6, 1)});
+    }
+  }
+  table.printAscii(std::cout);
+
+  if (within_tolerance) {
+    std::cout << "\nall points within the documented 10% tolerance\n";
+  } else {
+    std::cerr << "\nerror: a sweep point missed the analytical model by more "
+                 "than 10%\n";
+    if (guard) return 1;
+  }
+  if (!json_out.empty() && !writer.writeFile(json_out)) return 1;
+  return 0;
+}

@@ -144,6 +144,26 @@ int main(int argc, char** argv) {
              })
       .flag({"--lfsr"}, "use the hardware LFSR lottery variant",
             &scenario.lfsr)
+      .value({"--mesh"}, "WxH",
+             "run on a WxH mesh NoC instead of the shared bus\n"
+             "(one master per node; a bare N means NxN)",
+             [&](const std::string& opt, const std::string& v) {
+               const auto [w, h] = service::parseMeshDims(opt, v);
+               scenario.mesh.width = w;
+               scenario.mesh.height = h;
+             })
+      .value({"--mesh-pattern"}, "P",
+             "mesh destination pattern: uniform | transpose |\n"
+             "neighbor | hotspot | slave       (default uniform)",
+             [&](const std::string&, const std::string& v) {
+               scenario.mesh.pattern = v;
+             })
+      .value({"--preset"}, "NAME",
+             "start from a named mesh preset (mesh4x4-lottery |\n"
+             "mesh6x6-sesc); later flags override its fields",
+             [&](const std::string&, const std::string& v) {
+               scenario = service::meshPreset(v);
+             })
       .flag({"--csv"}, "emit CSV instead of an ASCII table", &csv)
       .flag({"--json"}, "run: print the raw response document", &raw_json)
       .flag({"--client-metrics"},

@@ -13,7 +13,10 @@
 # <out-dir>/BENCH_kernel.json (kernel_fastforward: naive vs fast-forward
 # kernel cycles/s plus the speedup per idle level; its --guard flag fails
 # the run outright if the fast kernel is slower than the naive stepper on
-# the highest-idle sweep, or if the two modes' statistics diverge).
+# the highest-idle sweep, or if the two modes' statistics diverge) and
+# <out-dir>/BENCH_noc.json (noc_mesh_latency: mesh simulation cycles/s per
+# load-sweep point; its --guard flag fails the run if any sub-saturation
+# point misses the analytical model by more than the documented 10%).
 # All files are validated as JSON before the script exits 0.  Benchmarks
 # run with reduced repetitions/slots — this is a trajectory smoke, not a
 # publication-grade measurement.
@@ -25,7 +28,8 @@ OUT="${2:-$BUILD/bench-results}"
 MICRO="$BUILD/bench/arbiter_microbench"
 IQ="$BUILD/bench/iq_switch_throughput"
 KERNEL="$BUILD/bench/kernel_fastforward"
-for bin in "$MICRO" "$IQ" "$KERNEL"; do
+NOC="$BUILD/bench/noc_mesh_latency"
+for bin in "$MICRO" "$IQ" "$KERNEL" "$NOC"; do
   [[ -x "$bin" ]] || { echo "bench_trajectory: missing $bin (build first)"; exit 1; }
 done
 mkdir -p "$OUT"
@@ -52,6 +56,12 @@ echo "bench_trajectory: rev $LB_GIT_REV -> $OUT"
   > "$OUT/kernel.log" 2>&1 \
   || { echo "bench_trajectory: kernel_fastforward failed"; tail -20 "$OUT/kernel.log"; exit 1; }
 
+# Mesh NoC accuracy + throughput smoke: --guard fails this step if any
+# sub-saturation sweep point misses the analytical model by more than 10%.
+"$NOC" --cycles 100000 --guard --json-out "$OUT/BENCH_noc.json" \
+  > "$OUT/noc.log" 2>&1 \
+  || { echo "bench_trajectory: noc_mesh_latency failed"; tail -20 "$OUT/noc.log"; exit 1; }
+
 validate() {
   local file="$1"
   [[ -s "$file" ]] || { echo "bench_trajectory: $file missing or empty"; exit 1; }
@@ -71,5 +81,6 @@ PY
 validate "$OUT/BENCH_arbiters.json"
 validate "$OUT/BENCH_service.json"
 validate "$OUT/BENCH_kernel.json"
+validate "$OUT/BENCH_noc.json"
 
 echo "bench_trajectory: OK"

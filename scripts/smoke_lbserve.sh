@@ -53,12 +53,24 @@ grep -q "cached=no" "$WORK/remote1.err" || { echo "smoke_lbserve: first run unex
 diff -u "$WORK/remote1.out" "$WORK/remote2.out" || { echo "smoke_lbserve: cached result differs"; exit 1; }
 grep -q "cached=yes" "$WORK/remote2.err" || { echo "smoke_lbserve: repeat run was not a cache hit"; exit 1; }
 
-# 3. A warm sweep is served from the cache.
+# 3. A mesh scenario takes the same path: lbcli run == lbsim byte for
+# byte, and the identical repeat is a cache hit (mesh scenarios are
+# content-addressed exactly like bus scenarios).
+MESH=(--preset mesh4x4-lottery --cycles 40000)
+"$LBSIM" "${MESH[@]}" > "$WORK/mesh-local.out"
+"$LBCLI" --port "$PORT" run "${MESH[@]}" > "$WORK/mesh1.out" 2> "$WORK/mesh1.err"
+diff -u "$WORK/mesh-local.out" "$WORK/mesh1.out" || { echo "smoke_lbserve: daemon mesh result differs from local run"; exit 1; }
+grep -q "cached=no" "$WORK/mesh1.err" || { echo "smoke_lbserve: first mesh run unexpectedly cached"; exit 1; }
+"$LBCLI" --port "$PORT" run "${MESH[@]}" > "$WORK/mesh2.out" 2> "$WORK/mesh2.err"
+diff -u "$WORK/mesh1.out" "$WORK/mesh2.out" || { echo "smoke_lbserve: cached mesh result differs"; exit 1; }
+grep -q "cached=yes" "$WORK/mesh2.err" || { echo "smoke_lbserve: repeat mesh run was not a cache hit"; exit 1; }
+
+# 4. A warm sweep is served from the cache.
 "$LBCLI" --port "$PORT" sweep --class T3 --cycles 50000 --seeds 4 > /dev/null
 "$LBCLI" --port "$PORT" sweep --class T3 --cycles 50000 --seeds 4 > "$WORK/sweep2.out"
 grep -q "cache hits: 4/4" "$WORK/sweep2.out" || { echo "smoke_lbserve: warm sweep missed the cache"; cat "$WORK/sweep2.out"; exit 1; }
 
-# 4. Stats: >= 1 hit and nonzero latency percentiles.
+# 5. Stats: >= 1 hit and nonzero latency percentiles.
 "$LBCLI" --port "$PORT" stats > "$WORK/stats.out"
 HITS="$(awk -F': ' '$1 == "hits" {print $2}' "$WORK/stats.out")"
 P50="$(awk -F': ' '$1 == "p50_us" {print $2}' "$WORK/stats.out")"
@@ -67,7 +79,7 @@ P95="$(awk -F': ' '$1 == "p95_us" {print $2}' "$WORK/stats.out")"
 awk -v v="$P50" 'BEGIN { exit !(v > 0) }' || { echo "smoke_lbserve: p50_us not positive: '$P50'"; exit 1; }
 awk -v v="$P95" 'BEGIN { exit !(v > 0) }' || { echo "smoke_lbserve: p95_us not positive: '$P95'"; exit 1; }
 
-# 5. Metrics: the Prometheus scrape parses and the request counter is live.
+# 6. Metrics: the Prometheus scrape parses and the request counter is live.
 "$LBCLI" --port "$PORT" metrics > "$WORK/metrics.out"
 grep -q '^# TYPE lb_server_requests_total counter$' "$WORK/metrics.out" \
   || { echo "smoke_lbserve: metrics scrape missing lb_server_requests_total TYPE line"; cat "$WORK/metrics.out"; exit 1; }
@@ -84,8 +96,15 @@ for family in lb_server_requests_total lb_server_protocol_errors_total \
   grep -q "^# TYPE $family " "$WORK/metrics.out" \
     || { echo "smoke_lbserve: metrics scrape missing $family"; cat "$WORK/metrics.out"; exit 1; }
 done
+# The mesh run above must have populated every router-layer family.
+for family in lb_noc_packets_delivered_total lb_noc_flits_delivered_total \
+              lb_noc_grants_total lb_noc_vc_occupancy_flits \
+              lb_noc_hop_latency_cycles lb_noc_packet_latency_cycles; do
+  grep -q "^# TYPE $family " "$WORK/metrics.out" \
+    || { echo "smoke_lbserve: metrics scrape missing $family"; cat "$WORK/metrics.out"; exit 1; }
+done
 
-# 6. Trace verb: the flight-recorder dump is valid Chrome trace JSON with a
+# 7. Trace verb: the flight-recorder dump is valid Chrome trace JSON with a
 # server.request root span for the runs above.
 "$LBCLI" --port "$PORT" trace > "$WORK/trace.json" 2> "$WORK/trace.err"
 python3 - "$WORK/trace.json" <<'PY' \
@@ -108,7 +127,7 @@ if [[ -n "${SMOKE_ARTIFACT_DIR:-}" ]]; then
   cp "$WORK/trace.json" "$SMOKE_ARTIFACT_DIR/smoke_trace.json"
 fi
 
-# 7. Clean shutdown.
+# 8. Clean shutdown.
 "$LBCLI" --port "$PORT" shutdown > /dev/null
 for _ in $(seq 1 50); do
   kill -0 "$LBD_PID" 2>/dev/null || break
@@ -120,7 +139,7 @@ fi
 wait "$LBD_PID" 2>/dev/null || true
 LBD_PID=""
 
-# 8. Fault soak: a second daemon with a seeded chaos plan (15% torn reads
+# 9. Fault soak: a second daemon with a seeded chaos plan (15% torn reads
 # and writes, 10% job delays, plus resets, sheds, and cache corruption).
 # 200 lbcli runs must all complete (no hangs — every call is bounded by
 # --deadline-ms and a belt-and-braces `timeout`), every result must stay
@@ -172,4 +191,4 @@ kill "$LBD_PID" 2>/dev/null || true
 wait "$LBD_PID" 2>/dev/null || true
 LBD_PID=""
 
-echo "smoke_lbserve: OK (bit-identical run, cache hit, warm sweep, stats, metrics, trace, shutdown, fault soak)"
+echo "smoke_lbserve: OK (bit-identical run, cache hit, mesh run, warm sweep, stats, metrics, trace, shutdown, fault soak)"

@@ -1,0 +1,222 @@
+#include "advisor/noc_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lb::advisor {
+
+namespace {
+
+/// Numerical floor for (1 - rho) so saturated inputs stay finite; the
+/// `saturated` flag, not these values, is the signal in that regime.
+constexpr double kMinSlack = 1e-9;
+
+/// Tandem-correlation correction on interior (non-injection) stations.
+/// Arrivals there are departures of deterministic-service queues, whose
+/// negative interval correlations make them smoother than the renewal
+/// stream QNA assumes, so the renewal wait over-predicts; this factor was
+/// calibrated against the simulator on 4x4/6x6 uniform WRR load sweeps
+/// (docs/noc.md) and then frozen.
+#ifndef LB_NOC_MODEL_TANDEM_FACTOR
+#define LB_NOC_MODEL_TANDEM_FACTOR 0.85
+#endif
+constexpr double kTandemFactor = LB_NOC_MODEL_TANDEM_FACTOR;
+
+/// XY next-hop port at router (x, y) toward (dx, dy).
+int xyPort(int x, int y, int dx, int dy) {
+  if (dx > x) return noc::kEast;
+  if (dx < x) return noc::kWest;
+  if (dy > y) return noc::kSouth;
+  if (dy < y) return noc::kNorth;
+  return noc::kLocal;
+}
+
+}  // namespace
+
+NocAnalyticalModel::NocAnalyticalModel(std::size_t width, std::size_t height,
+                                       std::uint32_t router_delay)
+    : width_(width), height_(height), router_delay_(router_delay) {
+  if (width == 0 || height == 0 || width * height < 2)
+    throw std::invalid_argument("NocAnalyticalModel: mesh needs >= 2 nodes");
+  if (router_delay == 0)
+    throw std::invalid_argument("NocAnalyticalModel: router_delay must be >= 1");
+}
+
+void NocAnalyticalModel::addFlow(const NocFlow& flow) {
+  const auto nodes = static_cast<noc::NodeId>(width_ * height_);
+  if (flow.source < 0 || flow.source >= nodes || flow.dest < 0 ||
+      flow.dest >= nodes || flow.dest == flow.source)
+    throw std::invalid_argument("NocAnalyticalModel: bad flow endpoints");
+  if (flow.packet_rate < 0 || flow.flits < 1 || flow.interarrival_cv2 < 0)
+    throw std::invalid_argument("NocAnalyticalModel: bad flow parameters");
+  if (flow.packet_rate > 0) flows_.push_back(flow);
+}
+
+void NocAnalyticalModel::addPatternLoad(noc::Pattern pattern,
+                                        double packets_per_cycle, double flits,
+                                        double interarrival_cv2, int slave) {
+  const auto nodes = static_cast<noc::NodeId>(width_ * height_);
+  for (noc::NodeId s = 0; s < nodes; ++s) {
+    if (pattern == noc::Pattern::kUniform) {
+      // The simulator draws destinations iid-uniform over the other nodes,
+      // so each (s, d) pair is a flow at 1/(N-1) of the source rate.  The
+      // per-pair thinning of a renewal stream drives its cv^2 toward 1,
+      // which the split rule in evaluate() applies; the full source rate
+      // with the source's own cv^2 is what enters the injection link.
+      for (noc::NodeId d = 0; d < nodes; ++d) {
+        if (d == s) continue;
+        addFlow(NocFlow{s, d, packets_per_cycle / (nodes - 1), flits,
+                        interarrival_cv2});
+      }
+    } else {
+      const noc::NodeId d = noc::destinationFor(pattern, 1, width_, height_,
+                                                s, 0, slave);
+      addFlow(NocFlow{s, d, packets_per_cycle, flits, interarrival_cv2});
+    }
+  }
+}
+
+NocPrediction NocAnalyticalModel::evaluate() const {
+  const auto w = static_cast<int>(width_);
+  const auto h = static_cast<int>(height_);
+  const std::size_t nodes = width_ * height_;
+  // Station ids: router output links first (router * kNumPorts + port),
+  // then one injection link per node.
+  const std::size_t num_stations = nodes * noc::kNumPorts + nodes;
+  const auto linkStation = [](noc::NodeId router, int port) {
+    return static_cast<std::size_t>(router) * noc::kNumPorts +
+           static_cast<std::size_t>(port);
+  };
+  const auto injStation = [nodes](noc::NodeId node) {
+    return nodes * noc::kNumPorts + static_cast<std::size_t>(node);
+  };
+
+  // Per-flow station paths (injection, per-hop output links, ejection).
+  std::vector<std::vector<std::size_t>> paths(flows_.size());
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    const NocFlow& flow = flows_[f];
+    std::vector<std::size_t>& path = paths[f];
+    path.push_back(injStation(flow.source));
+    int x = flow.source % w, y = flow.source / w;
+    const int dx = flow.dest % w, dy = flow.dest / w;
+    while (x != dx || y != dy) {
+      const int port = xyPort(x, y, dx, dy);
+      path.push_back(linkStation(y * w + x, port));
+      switch (port) {
+        case noc::kEast: ++x; break;
+        case noc::kWest: --x; break;
+        case noc::kSouth: ++y; break;
+        default: --y; break;
+      }
+    }
+    path.push_back(linkStation(flow.dest, noc::kLocal));
+  }
+
+  // Aggregate per-station load and service moments.
+  struct Station {
+    double rate = 0.0;     // sum of flow packet rates
+    double rate_s = 0.0;   // sum of rate * flits  (= utilization)
+    double rate_s2 = 0.0;  // sum of rate * flits^2
+    std::vector<std::size_t> arriving;  // flow indices through this station
+  };
+  std::vector<Station> stations(num_stations);
+  for (std::size_t f = 0; f < flows_.size(); ++f)
+    for (const std::size_t st : paths[f]) {
+      Station& s = stations[st];
+      s.rate += flows_[f].packet_rate;
+      s.rate_s += flows_[f].packet_rate * flows_[f].flits;
+      s.rate_s2 += flows_[f].packet_rate * flows_[f].flits * flows_[f].flits;
+      s.arriving.push_back(f);
+    }
+
+  // Topological order: XY routing is feed-forward, so injection links feed
+  // E/W links (chained along +x / -x), which feed S/N links (chained along
+  // +y / -y), which feed ejection.
+  std::vector<std::size_t> topo;
+  topo.reserve(num_stations);
+  for (std::size_t n = 0; n < nodes; ++n)
+    topo.push_back(injStation(static_cast<noc::NodeId>(n)));
+  for (int x = 0; x < w - 1; ++x)
+    for (int y = 0; y < h; ++y) topo.push_back(linkStation(y * w + x, noc::kEast));
+  for (int x = w - 1; x > 0; --x)
+    for (int y = 0; y < h; ++y) topo.push_back(linkStation(y * w + x, noc::kWest));
+  for (int y = 0; y < h - 1; ++y)
+    for (int x = 0; x < w; ++x) topo.push_back(linkStation(y * w + x, noc::kSouth));
+  for (int y = h - 1; y > 0; --y)
+    for (int x = 0; x < w; ++x) topo.push_back(linkStation(y * w + x, noc::kNorth));
+  for (std::size_t n = 0; n < nodes; ++n)
+    topo.push_back(linkStation(static_cast<noc::NodeId>(n), noc::kLocal));
+
+  // One pass: waiting time per station, QNA-style cv^2 propagation.
+  NocPrediction out;
+  std::vector<double> wait(num_stations, 0.0);
+  std::vector<double> flow_cv2(flows_.size());
+  for (std::size_t f = 0; f < flows_.size(); ++f)
+    flow_cv2[f] = flows_[f].interarrival_cv2;
+  for (const std::size_t st : topo) {
+    const Station& s = stations[st];
+    if (s.rate <= 0.0) continue;
+    const double es = s.rate_s / s.rate;
+    const double es2 = s.rate_s2 / s.rate;
+    const double cs2 = std::max(0.0, es2 / (es * es) - 1.0);
+    const double rho = s.rate_s;
+    if (rho >= 1.0) out.saturated = true;
+    out.max_utilization = std::max(out.max_utilization, rho);
+    double ca2 = 0.0;
+    for (const std::size_t f : s.arriving)
+      ca2 += flows_[f].packet_rate / s.rate * flow_cv2[f];
+    const double slack = std::max(kMinSlack, 1.0 - rho);
+    // Discrete-time Kingman; exact Geo/D/1 for a lone Bernoulli flow with
+    // fixed service (see header), never negative (D/D/1 waits zero).
+    // Interior stations apply the tandem-correlation correction.
+    const double variability =
+        (st < nodes * noc::kNumPorts ? kTandemFactor : 1.0) * (ca2 + cs2);
+    wait[st] = std::max(0.0, rho * (variability * es - slack) / (2.0 * slack));
+    const double cd2 = rho * rho * cs2 + (1.0 - rho * rho) * ca2;
+    for (const std::size_t f : s.arriving) {
+      const double p = flows_[f].packet_rate / s.rate;
+      flow_cv2[f] = p * cd2 + (1.0 - p);
+    }
+  }
+
+  // Per-flow end-to-end latency: closed-form zero-load plus path waits.
+  out.per_source_latency.assign(nodes, 0.0);
+  std::vector<double> source_rate(nodes, 0.0);
+  double total_rate = 0.0;
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    const NocFlow& flow = flows_[f];
+    const int hops = std::abs(flow.dest % w - flow.source % w) +
+                     std::abs(flow.dest / w - flow.source / w);
+    double latency = flow.flits * (hops + 2) +
+                     static_cast<double>(hops + 1) * (router_delay_ - 1);
+    for (const std::size_t st : paths[f]) latency += wait[st];
+    const auto src = static_cast<std::size_t>(flow.source);
+    out.per_source_latency[src] += flow.packet_rate * latency;
+    source_rate[src] += flow.packet_rate;
+    out.mean_latency += flow.packet_rate * latency;
+    total_rate += flow.packet_rate;
+  }
+  for (std::size_t n = 0; n < nodes; ++n)
+    if (source_rate[n] > 0.0) out.per_source_latency[n] /= source_rate[n];
+  if (total_rate > 0.0) out.mean_latency /= total_rate;
+
+  for (std::size_t st = 0; st < num_stations; ++st) {
+    if (stations[st].rate <= 0.0) continue;
+    NocStationReport report;
+    if (st >= nodes * noc::kNumPorts) {
+      report.router = -1;
+      report.port = static_cast<int>(st - nodes * noc::kNumPorts);
+    } else {
+      report.router = static_cast<noc::NodeId>(st / noc::kNumPorts);
+      report.port = static_cast<int>(st % noc::kNumPorts);
+    }
+    report.rate = stations[st].rate;
+    report.utilization = stations[st].rate_s;
+    report.wait = wait[st];
+    out.stations.push_back(report);
+  }
+  return out;
+}
+
+}  // namespace lb::advisor

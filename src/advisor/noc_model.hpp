@@ -1,0 +1,100 @@
+#pragma once
+// Analytical queueing model for the mesh NoC (src/noc), in the spirit of the
+// WRR-router NoC latency models of Mandal et al. (analytical performance
+// models for NoCs with routers that carry deterministic per-packet service):
+// the mesh is decomposed into a feed-forward network of queueing stations —
+// one per physical link (NI injection links, router output links including
+// ejection) — each a discrete-time GI/G/1 queue with per-packet service
+// equal to the packet's flit count.
+//
+// Given per-source injection rates, packet sizes, and inter-injection
+// burstiness (squared coefficient of variation), the model predicts:
+//   - per-link utilization (and whether any link saturates),
+//   - per-hop mean waiting time at every station,
+//   - per-flow and per-source mean end-to-end packet latency.
+//
+// Method (documented in docs/noc.md):
+//   * Flow rates come from the traffic pattern; XY routing makes every flow's
+//     station path deterministic and the station graph acyclic, so stations
+//     are evaluated in one topological pass.
+//   * Waiting time uses a discrete-time Kingman form
+//         W = rho * ((ca2 + cs2) * ES - (1 - rho)) / (2 * (1 - rho)),
+//     clamped at 0.  For a single Bernoulli-injected flow with fixed S this
+//     is the exact Geo/D/1 mean wait rho*(S-1)/(2*(1-rho)); for continuous
+//     arrivals it recovers Kingman/M-D-1.
+//   * Between stations, burstiness propagates QNA-style: departures have
+//     cd2 = rho^2*cs2 + (1-rho^2)*ca2, a flow splitting off with probability
+//     p carries p*cd2 + (1-p), and merging flows average ca2 rate-weighted.
+//   * Zero-load latency is the simulator's closed form
+//     S*(h+2) + (h+1)*(router_delay-1) for an S-flit packet over h hops.
+//
+// The model's accuracy envelope (sub-saturation loads, fixed packet sizes,
+// renewal-ish sources) is pinned by tests/noc_analytical_test.cpp, which
+// holds simulation within a documented tolerance of these predictions
+// across a load sweep.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "noc/types.hpp"
+
+namespace lb::advisor {
+
+/// One (source, destination) traffic flow.
+struct NocFlow {
+  noc::NodeId source = 0;
+  noc::NodeId dest = 0;
+  double packet_rate = 0.0;      ///< packets per cycle
+  double flits = 1.0;            ///< packet size (flits == words)
+  double interarrival_cv2 = 1.0; ///< cv^2 of the flow's inter-injection time
+};
+
+/// Per-station (link) report.
+struct NocStationReport {
+  noc::NodeId router = 0;  ///< owning router; -1 for an injection link
+  int port = 0;            ///< output port (noc::Port); node id for injection
+  double rate = 0.0;       ///< packets per cycle through the link
+  double utilization = 0.0;
+  double wait = 0.0;       ///< mean queueing wait (cycles) at this station
+};
+
+struct NocPrediction {
+  /// True when any station's utilization reaches 1: the open-network model
+  /// has no steady state and latency predictions are meaningless.
+  bool saturated = false;
+  double max_utilization = 0.0;
+  /// Packet-rate-weighted mean end-to-end latency over all flows (cycles).
+  double mean_latency = 0.0;
+  /// Mean latency of the flows injected by each source (0 if it has none).
+  std::vector<double> per_source_latency;
+  /// Every station with nonzero traffic.
+  std::vector<NocStationReport> stations;
+};
+
+/// Builds and evaluates the analytical model for one mesh configuration.
+class NocAnalyticalModel {
+public:
+  NocAnalyticalModel(std::size_t width, std::size_t height,
+                     std::uint32_t router_delay = 1);
+
+  /// Adds one flow (rates accumulate if called repeatedly for one pair).
+  void addFlow(const NocFlow& flow);
+
+  /// Expands a per-source load into flows along the given traffic pattern:
+  /// every source injects `packets_per_cycle` of `flits`-flit packets with
+  /// the given burstiness; destinations follow the pattern (kUniform becomes
+  /// rate/(N-1) to every other node; kSlave resolves `slave` like the NI).
+  void addPatternLoad(noc::Pattern pattern, double packets_per_cycle,
+                      double flits, double interarrival_cv2, int slave = 0);
+
+  NocPrediction evaluate() const;
+
+private:
+  std::size_t width_;
+  std::size_t height_;
+  std::uint32_t router_delay_;
+  std::vector<NocFlow> flows_;
+};
+
+}  // namespace lb::advisor

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bus/arbiter.hpp"
+#include "bus/message_sink.hpp"
 #include "bus/metrics_sinks.hpp"
 #include "bus/types.hpp"
 #include "sim/kernel.hpp"
@@ -71,7 +72,7 @@ struct GrantRecord {
   std::uint32_t words;
 };
 
-class Bus : public sim::ICycleComponent {
+class Bus : public sim::ICycleComponent, public IMessageSink {
 public:
   Bus(BusConfig config, std::unique_ptr<IArbiter> arbiter);
 
@@ -80,7 +81,7 @@ public:
   /// Queues a message for `master`.  The caller stamps `message.arrival` with
   /// the cycle the request is issued; latency is measured from that point.
   /// Throws std::invalid_argument on malformed messages.
-  void push(MasterId master, Message message);
+  void push(MasterId master, Message message) override;
 
   /// Live lottery tickets for a master (read by dynamic arbiters each draw).
   void setTickets(MasterId master, std::uint32_t tickets);
@@ -88,7 +89,7 @@ public:
 
   /// True if the master has no queued or in-flight message.
   bool idle(MasterId master) const;
-  std::size_t queueDepth(MasterId master) const;
+  std::size_t queueDepth(MasterId master) const override;
   std::uint64_t backlogWords(MasterId master) const;
 
   // -- simulation -----------------------------------------------------------

@@ -1,0 +1,31 @@
+#pragma once
+// Minimal injection interface shared by every interconnect front-end.
+//
+// TrafficSource and TraceSource historically drove a bus::Bus directly; the
+// mesh NoC (src/noc) gives each node a network interface that accepts the
+// same messages.  IMessageSink is the narrow waist between the two: a
+// per-master message queue with observable depth, which is exactly what the
+// generators need for closed-loop backpressure (max_outstanding) and what
+// both Bus and noc::NetworkInterface already provide.
+
+#include <cstddef>
+
+#include "bus/types.hpp"
+
+namespace lb::bus {
+
+class IMessageSink {
+public:
+  virtual ~IMessageSink() = default;
+
+  /// Queues a message for `master`.  The caller stamps `message.arrival`
+  /// with the issue cycle; latency is measured from that point.  Throws
+  /// std::invalid_argument on malformed messages.
+  virtual void push(MasterId master, Message message) = 0;
+
+  /// Messages queued (and not yet fully injected/serviced) for `master`;
+  /// traffic generators compare this against max_outstanding.
+  virtual std::size_t queueDepth(MasterId master) const = 0;
+};
+
+}  // namespace lb::bus

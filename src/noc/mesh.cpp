@@ -1,0 +1,71 @@
+#include "noc/mesh.hpp"
+
+#include <stdexcept>
+
+namespace lb::noc {
+
+MeshNetwork::MeshNetwork(MeshConfig config) : config_(std::move(config)) {
+  if (config_.width == 0 || config_.height == 0)
+    throw std::invalid_argument("MeshNetwork: zero mesh dimension");
+  if (config_.width * config_.height < 2)
+    throw std::invalid_argument("MeshNetwork: mesh needs >= 2 nodes");
+  if (config_.pattern == Pattern::kTranspose &&
+      config_.width != config_.height)
+    throw std::invalid_argument(
+        "MeshNetwork: transpose pattern needs a square mesh");
+
+  const auto n = static_cast<NodeId>(nodes());
+  stats_.sources.resize(static_cast<std::size_t>(n));
+  routers_.reserve(static_cast<std::size_t>(n));
+  nis_.reserve(static_cast<std::size_t>(n));
+  for (NodeId id = 0; id < n; ++id) {
+    routers_.push_back(
+        std::make_unique<Router>(id, config_.width, config_.height, config_));
+    nis_.push_back(std::make_unique<NetworkInterface>(
+        id, config_.width, config_.height, config_));
+  }
+  const auto w = static_cast<NodeId>(config_.width);
+  for (NodeId id = 0; id < n; ++id) {
+    Router& r = *routers_[static_cast<std::size_t>(id)];
+    const NodeId x = id % w;
+    const NodeId y = id / w;
+    // A link out our East port enters the neighbour's West port, etc.
+    if (x + 1 < w) r.connectNeighbor(kEast, router(id + 1), kWest);
+    if (x > 0) r.connectNeighbor(kWest, router(id - 1), kEast);
+    if (y + 1 < static_cast<NodeId>(config_.height))
+      r.connectNeighbor(kSouth, router(id + w), kNorth);
+    if (y > 0) r.connectNeighbor(kNorth, router(id - w), kSouth);
+    r.connectEjection(ni(id));
+    ni(id).connectInjection(r);
+    r.setStats(stats_);
+    ni(id).setStats(stats_);
+    if (config_.record_grant_trace) r.setGrantTrace(trace_);
+  }
+}
+
+void MeshNetwork::attachTo(sim::CycleKernel& kernel) {
+  for (auto& ni : nis_) kernel.attach(*ni);
+  for (auto& router : routers_) kernel.attach(*router);
+}
+
+void MeshNetwork::setMetricsSinks(const NocMetricsSinks* sinks) {
+  for (auto& router : routers_) router->setMetricsSinks(sinks);
+  for (auto& ni : nis_) ni->setMetricsSinks(sinks);
+}
+
+bool MeshNetwork::drained() const {
+  for (const auto& router : routers_)
+    if (!router->empty()) return false;
+  for (const auto& ni : nis_)
+    if (!ni->empty()) return false;
+  return true;
+}
+
+std::uint64_t MeshNetwork::totalFlitsDelivered() const {
+  std::uint64_t total = 0;
+  for (const NocStats::PerSource& s : stats_.sources)
+    total += s.flits_delivered;
+  return total;
+}
+
+}  // namespace lb::noc

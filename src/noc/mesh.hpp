@@ -1,0 +1,79 @@
+#pragma once
+// MeshNetwork: owns and wires a W x H grid of Routers plus one
+// NetworkInterface per node, exposes the NIs as bus::IMessageSink endpoints
+// for the existing traffic layer, and aggregates statistics.
+//
+// Topology (row-major node ids, y grows southward):
+//
+//       0 --- 1 --- 2
+//       |     |     |
+//       3 --- 4 --- 5     node = y * width + x
+//       |     |     |
+//       6 --- 7 --- 8
+//
+// Usage: construct, bind each traffic source to ni(node), then
+// attachTo(kernel) AFTER the sources so pushes land before the NI's cycle.
+
+#include <memory>
+#include <vector>
+
+#include "noc/metrics_sinks.hpp"
+#include "noc/nic.hpp"
+#include "noc/router.hpp"
+#include "noc/types.hpp"
+#include "sim/kernel.hpp"
+
+namespace lb::noc {
+
+class MeshNetwork {
+public:
+  explicit MeshNetwork(MeshConfig config);
+
+  MeshNetwork(const MeshNetwork&) = delete;
+  MeshNetwork& operator=(const MeshNetwork&) = delete;
+
+  std::size_t width() const noexcept { return config_.width; }
+  std::size_t height() const noexcept { return config_.height; }
+  std::size_t nodes() const noexcept { return config_.width * config_.height; }
+  const MeshConfig& config() const noexcept { return config_; }
+
+  NetworkInterface& ni(NodeId node) {
+    return *nis_.at(static_cast<std::size_t>(node));
+  }
+  Router& router(NodeId node) {
+    return *routers_.at(static_cast<std::size_t>(node));
+  }
+
+  /// Registers all NIs, then all routers, with the kernel (sources must be
+  /// attached beforehand; see the header comment).
+  void attachTo(sim::CycleKernel& kernel);
+
+  /// Propagates pre-resolved observability instruments to every router and
+  /// NI.  `sinks` must outlive the simulation; pass nullptr to detach.
+  void setMetricsSinks(const NocMetricsSinks* sinks);
+
+  const NocStats& stats() const noexcept { return stats_; }
+  /// Zeroes the aggregated statistics (warmup discard).  Does not clear the
+  /// grant trace.
+  void clearStats() { stats_.clear(); }
+
+  /// Grant trace, populated only when MeshConfig::record_grant_trace is set.
+  const std::vector<NocGrantRecord>& grantTrace() const noexcept {
+    return trace_;
+  }
+
+  /// True when no packet is buffered or in flight anywhere in the mesh.
+  bool drained() const;
+
+  /// Flits delivered across all sources (convenience for ScenarioResult).
+  std::uint64_t totalFlitsDelivered() const;
+
+private:
+  MeshConfig config_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  NocStats stats_;
+  std::vector<NocGrantRecord> trace_;
+};
+
+}  // namespace lb::noc

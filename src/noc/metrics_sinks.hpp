@@ -1,0 +1,32 @@
+#pragma once
+// Pre-resolved observability instruments for the mesh NoC hot path.
+//
+// Mirrors bus/metrics_sinks.hpp: the noc layer knows nothing about metric
+// names or label conventions — the obs consumer (src/service/metrics.hpp)
+// resolves instruments out of a MetricsRegistry once, bundles raw pointers
+// here, and hands the bundle to MeshNetwork::setMetricsSinks().  Instruments
+// are observation-only (nothing in the noc reads them back), so attaching
+// sinks cannot perturb simulation results.
+
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace lb::noc {
+
+struct NocMetricsSinks {
+  obs::Counter* packets_delivered = nullptr;
+  obs::Counter* flits_delivered = nullptr;
+  /// Input-VC occupancy in flits, observed at each enqueue (after the
+  /// arriving packet is counted).
+  obs::Histogram* vc_occupancy_flits = nullptr;
+  /// Per-hop queueing delay: cycles between a packet entering an input VC
+  /// and winning output arbitration there.
+  obs::Histogram* hop_latency_cycles = nullptr;
+  /// End-to-end packet latency (ejection completion - source arrival).
+  obs::Histogram* packet_latency_cycles = nullptr;
+  /// Indexed by router id; entries may alias (label-capped "other" bucket).
+  std::vector<obs::Counter*> grants_by_router;
+};
+
+}  // namespace lb::noc

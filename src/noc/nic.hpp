@@ -1,0 +1,84 @@
+#pragma once
+// Network interface (NI): the adapter that lets every existing workload —
+// traffic::TrafficSource, traffic::TraceSource, the ATM/SESC test-beds —
+// drive a mesh unchanged.  The NI implements bus::IMessageSink, so a traffic
+// source binds to it exactly as it would to a Bus; each pushed message
+// becomes one packet whose destination is derived from the mesh's traffic
+// Pattern (or from the message's slave field under Pattern::kSlave).
+//
+// Injection mirrors a router output link: packets wait in an unbounded
+// source queue (sources self-limit via max_outstanding against
+// queueDepth()), the head starts its serialization onto the injection link
+// only when the attached router's kLocal input VC has credit for the whole
+// packet, and the link moves one flit per cycle.  Ejection is the terminal
+// side: the local router's ejection link hands the NI a completed packet and
+// the NI records delivery statistics (a packet completes the cycle after its
+// last flit crosses the ejection link).
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "bus/message_sink.hpp"
+#include "noc/metrics_sinks.hpp"
+#include "noc/types.hpp"
+#include "sim/kernel.hpp"
+
+namespace lb::noc {
+
+class Router;
+
+class NetworkInterface final : public bus::IMessageSink,
+                               public sim::ICycleComponent {
+public:
+  /// `config` must outlive the NI (MeshNetwork owns it).
+  NetworkInterface(NodeId node, std::size_t width, std::size_t height,
+                   const MeshConfig& config);
+
+  NetworkInterface(const NetworkInterface&) = delete;
+  NetworkInterface& operator=(const NetworkInterface&) = delete;
+
+  /// Wires the injection link to the local router's kLocal input and
+  /// registers our credit account as that input's upstream.
+  void connectInjection(Router& router);
+
+  // bus::IMessageSink — the traffic-source-facing contract.
+  void push(bus::MasterId master, bus::Message message) override;
+  std::size_t queueDepth(bus::MasterId master) const override;
+
+  /// Terminal delivery from the local router's ejection link.
+  void eject(const Packet& packet, Cycle now);
+
+  void cycle(Cycle now) override;
+  Cycle nextActivity(Cycle now) override;
+  std::string name() const override;
+
+  NodeId node() const noexcept { return node_; }
+
+  void setStats(NocStats& stats) { stats_ = &stats; }
+  void setMetricsSinks(const NocMetricsSinks* sinks) { sinks_ = sinks; }
+
+  /// True when nothing is queued or in flight on the injection link.
+  bool empty() const noexcept { return queue_.empty() && !busy_; }
+
+private:
+  NodeId node_;
+  std::size_t width_;
+  std::size_t height_;
+  const MeshConfig& config_;
+  Router* router_ = nullptr;
+  /// Per-VC credits for the local router's kLocal input (we are the sender).
+  std::vector<std::uint32_t> credits_;
+  std::deque<Packet> queue_;
+  std::uint64_t pushed_ = 0;
+  // Active injection transfer, if any.
+  bool busy_ = false;
+  bool freed_this_cycle_ = false;
+  Packet in_flight_;
+  std::uint32_t dest_vc_ = 0;
+  Cycle finish_ = 0;
+  NocStats* stats_ = nullptr;
+  const NocMetricsSinks* sinks_ = nullptr;
+};
+
+}  // namespace lb::noc

@@ -1,0 +1,146 @@
+#pragma once
+// One mesh router: five ports (local NI + four compass neighbours), bounded
+// input VCs with credit backpressure, dimension-ordered XY routing, and one
+// bus::IArbiter per output port deciding which input port drives the link.
+//
+// Switching is store-and-forward at packet granularity.  A link transfer
+// serializes one flit per cycle; while it runs the packet has already left
+// its input VC (freeing that buffer — the credit returns upstream at grant
+// time) and the reserved downstream VC slot is held by the credit that was
+// consumed when the transfer started.  On completion the packet is delivered
+// into the downstream VC (or ejected into the NI) and becomes eligible for
+// the next hop `router_delay` cycles later, which models the router pipeline
+// and — because router_delay >= 1 — makes every cross-component handoff take
+// effect strictly after the current cycle, so results are independent of
+// component registration order.
+//
+// Determinism/bit-identity rules (tests/kernel_diff_test.cpp):
+//  - the output-port arbiter is consulted only when at least one input is
+//    eligible, so no RNG is consumed on idle links;
+//  - nextActivity() is conservative: `now` whenever the router holds any
+//    packet (buffered or in flight), kNeverCycle when completely empty.
+//    cycle() on an empty router is a no-op, so fastForward() has nothing to
+//    account.
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "bus/arbiter.hpp"
+#include "noc/metrics_sinks.hpp"
+#include "noc/types.hpp"
+#include "sim/kernel.hpp"
+
+namespace lb::noc {
+
+class NetworkInterface;
+
+class Router final : public sim::ICycleComponent {
+public:
+  /// `config` must outlive the router (MeshNetwork owns it).  Builds one
+  /// arbiter per output port via config.arbiter_factory, port order
+  /// kLocal..kWest.
+  Router(NodeId id, std::size_t width, std::size_t height,
+         const MeshConfig& config);
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Wires output port `out_port` to neighbour `down`'s input `down_port`
+  /// and registers our credit account as that input's upstream.
+  void connectNeighbor(int out_port, Router& down, int down_port);
+
+  /// Wires the kLocal output (ejection) to `ni`.  Ejection has no VC and
+  /// infinite credits: the NI consumes delivered packets immediately.
+  void connectEjection(NetworkInterface& ni);
+
+  /// Registers `credits` (owned by the upstream sender, one entry per VC of
+  /// input `port` here) to be replenished when this router drains that VC.
+  void setUpstreamCredits(int port, std::vector<std::uint32_t>& credits) {
+    inputs_[static_cast<std::size_t>(port)].upstream_credits = &credits;
+  }
+
+  /// Accepts a packet into input `port`, VC `vc`.  The sender must have
+  /// reserved the space via this input's credit account.  The head becomes
+  /// arbitration-eligible at `now + router_delay`.
+  void receive(int port, std::uint32_t vc, Packet packet, Cycle now);
+
+  void cycle(Cycle now) override;
+  Cycle nextActivity(Cycle now) override;
+  std::string name() const override;
+
+  NodeId id() const noexcept { return id_; }
+
+  /// Shared stats/trace sinks, installed by MeshNetwork before the run.
+  void setStats(NocStats& stats) { stats_ = &stats; }
+  void setGrantTrace(std::vector<NocGrantRecord>& trace) { trace_ = &trace; }
+  void setMetricsSinks(const NocMetricsSinks* sinks) { sinks_ = sinks; }
+
+  /// XY route for a packet at this router: x first, then y, else kLocal.
+  int route(NodeId dest) const noexcept;
+
+  /// Output-port arbiter, for tests and diagnostics (e.g. RNG draw-count
+  /// differential checks); never null for a valid port.
+  const bus::IArbiter& arbiter(int port) const {
+    return *outputs_[static_cast<std::size_t>(port)].arbiter;
+  }
+
+  /// True when no packet is buffered or in flight anywhere in this router.
+  bool empty() const noexcept;
+
+private:
+  struct VirtualChannel {
+    std::deque<Packet> fifo;
+    std::uint32_t used_flits = 0;
+  };
+
+  struct InputPort {
+    std::vector<VirtualChannel> vcs;
+    /// Sender-owned per-VC credit account to replenish on drain (null for
+    /// unconnected mesh-edge ports).
+    std::vector<std::uint32_t>* upstream_credits = nullptr;
+  };
+
+  struct OutputLink {
+    bool exists = false;
+    Router* downstream = nullptr;  ///< null for the ejection link
+    int downstream_port = 0;
+    NetworkInterface* eject = nullptr;
+    /// Our per-downstream-VC credit balance, in flits; empty == infinite
+    /// (ejection).  Addresses stay stable (routers are heap-allocated and
+    /// never moved), so downstream holds a pointer to this vector.
+    std::vector<std::uint32_t> credits;
+    std::unique_ptr<bus::IArbiter> arbiter;
+    // Active transfer, if any.
+    bool busy = false;
+    bool freed_this_cycle = false;  ///< transient within one cycle()
+    Packet packet;
+    std::uint32_t dest_vc = 0;
+    Cycle finish = 0;
+  };
+
+  /// Delivers the completed transfer on `out` downstream (or ejects it).
+  void deliver(int port, OutputLink& out, Cycle now);
+
+  /// Arbitrates the free link `out` among eligible input heads and starts a
+  /// transfer if someone wins.  Calls the arbiter only when >= 1 input is
+  /// eligible (routing matches, head ready, downstream credits suffice).
+  void tryStart(int port, OutputLink& out, Cycle now);
+
+  NodeId id_;
+  int x_;
+  int y_;
+  std::size_t width_;
+  std::size_t height_;
+  const MeshConfig& config_;
+  std::array<InputPort, kNumPorts> inputs_;
+  std::array<OutputLink, kNumPorts> outputs_;
+  std::array<std::uint32_t, kNumPorts> weights_;
+  NocStats* stats_ = nullptr;
+  std::vector<NocGrantRecord>* trace_ = nullptr;
+  const NocMetricsSinks* sinks_ = nullptr;
+};
+
+}  // namespace lb::noc

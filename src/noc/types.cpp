@@ -1,0 +1,91 @@
+#include "noc/types.hpp"
+
+#include <stdexcept>
+
+namespace lb::noc {
+
+namespace {
+
+/// SplitMix64 finalizer: the stateless mixer behind destinationFor().
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* portName(int port) {
+  switch (port) {
+    case kLocal: return "local";
+    case kNorth: return "north";
+    case kEast: return "east";
+    case kSouth: return "south";
+    case kWest: return "west";
+    default: return "?";
+  }
+}
+
+Pattern patternFromString(const std::string& name) {
+  if (name == "uniform") return Pattern::kUniform;
+  if (name == "transpose") return Pattern::kTranspose;
+  if (name == "neighbor") return Pattern::kNeighbor;
+  if (name == "hotspot") return Pattern::kHotspot;
+  if (name == "slave") return Pattern::kSlave;
+  throw std::invalid_argument("unknown mesh traffic pattern: " + name);
+}
+
+std::string patternToString(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::kUniform: return "uniform";
+    case Pattern::kTranspose: return "transpose";
+    case Pattern::kNeighbor: return "neighbor";
+    case Pattern::kHotspot: return "hotspot";
+    case Pattern::kSlave: return "slave";
+  }
+  throw std::logic_error("patternToString: bad pattern");
+}
+
+NodeId destinationFor(Pattern pattern, std::uint64_t seed, std::size_t width,
+                      std::size_t height, NodeId source, std::uint64_t tag,
+                      int slave) {
+  const auto nodes = static_cast<NodeId>(width * height);
+  if (nodes < 2)
+    throw std::invalid_argument("destinationFor: mesh needs >= 2 nodes");
+  const auto w = static_cast<NodeId>(width);
+  const NodeId x = source % w;
+  const NodeId y = source / w;
+  // (x+1) wraps in x; degenerate 1-wide meshes wrap in y instead.
+  const NodeId neighbor =
+      width > 1 ? y * w + (x + 1) % w
+                : ((y + 1) % static_cast<NodeId>(height)) * w + x;
+  switch (pattern) {
+    case Pattern::kUniform: {
+      const std::uint64_t h =
+          mix64(seed ^ (static_cast<std::uint64_t>(source) * 0x100000001b3ull) ^
+                (tag + 1) * 0xc2b2ae3d27d4eb4full);
+      // Uniform over the other nodes: draw from [0, nodes-1) and skip self.
+      const auto draw =
+          static_cast<NodeId>(h % static_cast<std::uint64_t>(nodes - 1));
+      return draw >= source ? draw + 1 : draw;
+    }
+    case Pattern::kTranspose: {
+      const NodeId dest = x * w + y;  // requires a square mesh (validated
+                                      // by MeshNetwork)
+      return dest == source ? neighbor : dest;
+    }
+    case Pattern::kNeighbor:
+      return neighbor;
+    case Pattern::kHotspot:
+      return source == 0 ? 1 : 0;
+    case Pattern::kSlave: {
+      const NodeId dest = static_cast<NodeId>(
+          ((slave % nodes) + nodes) % nodes);
+      return dest == source ? (dest + 1) % nodes : dest;
+    }
+  }
+  throw std::logic_error("destinationFor: bad pattern");
+}
+
+}  // namespace lb::noc

@@ -1,0 +1,139 @@
+#pragma once
+// Shared vocabulary for the 2D mesh network-on-chip (src/noc).
+//
+// The mesh extends the paper's single/bridged shared channels (ROADMAP item
+// 3) to a multi-hop interconnect: W x H routers, one network interface (NI)
+// per node, dimension-ordered XY routing, per-output-port arbitration that
+// reuses the existing bus::IArbiter policies, and credit-based backpressure
+// over bounded input VCs.  Switching is store-and-forward at packet
+// granularity: a packet (one bus message) is fully buffered in an input VC
+// before competing for its output link, and a link serializes one flit
+// (= one bus word) per cycle.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/arbiter.hpp"
+#include "bus/types.hpp"
+#include "sim/kernel.hpp"
+
+namespace lb::noc {
+
+using sim::Cycle;
+
+/// Node index, row-major: node = y * width + x.
+using NodeId = int;
+
+/// Router port roles.  kLocal is the NI side (injection on input,
+/// ejection on output); the four compass ports connect neighbours.
+enum Port : int {
+  kLocal = 0,
+  kNorth = 1,
+  kEast = 2,
+  kSouth = 3,
+  kWest = 4,
+  kNumPorts = 5,
+};
+
+const char* portName(int port);
+
+/// One packet in flight: a bus::Message plus mesh addressing.  Packets are
+/// never segmented — a message travels as one packet (the NI validates that
+/// it fits in a VC), so `flits == message.words`.
+struct Packet {
+  NodeId source = 0;
+  NodeId dest = 0;
+  std::uint32_t flits = 1;
+  Cycle arrival = 0;        ///< cycle the message entered the source NI
+  std::uint64_t tag = 0;    ///< source-local message tag
+  /// First cycle the head is eligible at the current hop (stamped on every
+  /// enqueue: delivery cycle + router_delay).  Models the router pipeline.
+  Cycle ready = 0;
+  /// Enqueue cycle at the current hop, for the hop-latency histogram.
+  Cycle enqueued = 0;
+};
+
+/// Synthetic destination patterns for NI-injected traffic.  All patterns
+/// are pure functions of (seed, source, tag) — no RNG stream is consumed,
+/// so enabling a pattern never perturbs the traffic generators' draws.
+enum class Pattern {
+  kUniform,    ///< uniform over all nodes except the source (hash-based)
+  kTranspose,  ///< (x,y) -> (y,x); diagonal nodes fall back to kNeighbor
+  kNeighbor,   ///< (x,y) -> ((x+1) mod W, y)
+  kHotspot,    ///< everything to node 0 (node 0 sends to node 1)
+  kSlave,      ///< honor the message's slave field: dest = slave mod N
+};
+
+Pattern patternFromString(const std::string& name);
+std::string patternToString(Pattern pattern);
+
+/// Destination for a message injected at `source` with tag `tag`;
+/// deterministic, never equal to `source` (N >= 2 required).
+NodeId destinationFor(Pattern pattern, std::uint64_t seed, std::size_t width,
+                      std::size_t height, NodeId source, std::uint64_t tag,
+                      int slave);
+
+/// Builds the arbitration policy for one router output port.  Called once
+/// per (router, port) during mesh construction, in row-major router order,
+/// port order kLocal..kWest; the arbiter sees kNumPorts masters (one per
+/// input port).
+using RouterArbiterFactory = std::function<std::unique_ptr<bus::IArbiter>(
+    NodeId router, int output_port)>;
+
+struct MeshConfig {
+  std::size_t width = 4;
+  std::size_t height = 4;
+  /// Virtual channels (independent FIFOs) per input port.
+  std::uint32_t vc_count = 1;
+  /// Capacity of each VC in flits; also the maximum packet size.
+  std::uint32_t vc_depth = 64;
+  /// Cycles between a packet's delivery into an input VC and its head
+  /// becoming eligible for arbitration (router pipeline depth, >= 1).
+  std::uint32_t router_delay = 1;
+  Pattern pattern = Pattern::kUniform;
+  std::uint64_t pattern_seed = 1;
+  /// Required; see RouterArbiterFactory.
+  RouterArbiterFactory arbiter_factory;
+  /// Per-input-port weights exposed to dynamic arbiters through
+  /// MasterRequest::tickets (size kNumPorts; empty = all ones).
+  std::vector<std::uint32_t> port_weights;
+  /// Record every router grant (tests and trace tooling; off by default).
+  bool record_grant_trace = false;
+};
+
+/// One router grant as it executed, for differential tests and traces.
+struct NocGrantRecord {
+  Cycle cycle = 0;
+  NodeId router = 0;
+  std::uint8_t output_port = 0;
+  std::uint8_t input_port = 0;
+  std::uint8_t vc = 0;
+  NodeId source = 0;
+  std::uint64_t tag = 0;
+  std::uint32_t flits = 0;
+};
+
+/// Aggregated mesh statistics, cleared by MeshNetwork::clearStats().
+struct NocStats {
+  struct PerSource {
+    std::uint64_t packets_injected = 0;
+    std::uint64_t flits_injected = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t flits_delivered = 0;
+    /// Sum of end-to-end latencies (delivery - arrival) of delivered
+    /// packets; exact for latencies summing below 2^53.
+    double latency_sum = 0.0;
+  };
+  std::vector<PerSource> sources;
+  std::uint64_t grants = 0;
+
+  void clear() {
+    for (PerSource& s : sources) s = PerSource{};
+    grants = 0;
+  }
+};
+
+}  // namespace lb::noc

@@ -45,6 +45,50 @@ std::shared_ptr<bus::BusMetricsSinks> makeBusSinks(
   return sinks;
 }
 
+std::shared_ptr<noc::NocMetricsSinks> makeNocSinks(
+    obs::MetricsRegistry& registry, const std::string& arbiter_name,
+    std::size_t num_routers) {
+  auto sinks = std::make_shared<noc::NocMetricsSinks>();
+  const obs::Labels arb{{"arbiter", arbiter_name}};
+  sinks->packets_delivered =
+      &registry
+           .counter("lb_noc_packets_delivered_total",
+                    "Packets ejected at their destination NI")
+           .withLabels(arb);
+  sinks->flits_delivered =
+      &registry
+           .counter("lb_noc_flits_delivered_total",
+                    "Flits ejected at their destination NI")
+           .withLabels(arb);
+  sinks->vc_occupancy_flits =
+      &registry
+           .histogram("lb_noc_vc_occupancy_flits",
+                      "Input-VC occupancy in flits, sampled at each enqueue",
+                      obs::cycleBuckets())
+           .withLabels(arb);
+  sinks->hop_latency_cycles =
+      &registry
+           .histogram("lb_noc_hop_latency_cycles",
+                      "Cycles from input-VC enqueue to output grant",
+                      obs::cycleBuckets())
+           .withLabels(arb);
+  sinks->packet_latency_cycles =
+      &registry
+           .histogram("lb_noc_packet_latency_cycles",
+                      "End-to-end packet latency (injection to ejection)",
+                      obs::cycleBuckets())
+           .withLabels(arb);
+  auto& grants =
+      registry.counter("lb_noc_grants_total", "Output-port grants per router");
+  sinks->grants_by_router.reserve(num_routers);
+  for (std::size_t r = 0; r < num_routers; ++r) {
+    obs::Labels labels = arb;
+    labels.emplace_back("router", masterLabel(r));
+    sinks->grants_by_router.push_back(&grants.withLabels(std::move(labels)));
+  }
+  return sinks;
+}
+
 void GrantTally::onArbitration(const bus::IArbiter& /*arbiter*/,
                                const bus::RequestView& /*requests*/,
                                bus::Cycle /*now*/, const bus::Grant& grant) {

@@ -18,6 +18,7 @@
 
 #include "bus/arbiter.hpp"
 #include "bus/metrics_sinks.hpp"
+#include "noc/metrics_sinks.hpp"
 #include "obs/metrics.hpp"
 
 namespace lb::service {
@@ -33,6 +34,13 @@ std::string masterLabel(std::size_t master);
 std::shared_ptr<bus::BusMetricsSinks> makeBusSinks(
     obs::MetricsRegistry& registry, const std::string& arbiter_name,
     std::size_t num_masters);
+
+/// Resolves the mesh-NoC instruments (lb_noc_* families, labeled with the
+/// router arbiter kind) for a mesh of `num_routers`.  Per-router grant
+/// counters reuse the master label cap: router="0".."15" then "other".
+std::shared_ptr<noc::NocMetricsSinks> makeNocSinks(
+    obs::MetricsRegistry& registry, const std::string& arbiter_name,
+    std::size_t num_routers);
 
 /// Arbiter observer tallying decisions and per-master wins locally during a
 /// run; publish() folds the tallies into lb_arbiter_* counters afterwards.

@@ -48,6 +48,21 @@ std::uint64_t parseU64InRange(const std::string& option,
   return value;
 }
 
+std::pair<std::size_t, std::size_t> parseMeshDims(const std::string& option,
+                                                  const std::string& text) {
+  const std::size_t cross = text.find('x');
+  if (cross == std::string::npos) {
+    const auto side =
+        static_cast<std::size_t>(parseU64InRange(option, text, 1, 256));
+    return {side, side};
+  }
+  const auto width = static_cast<std::size_t>(
+      parseU64InRange(option, text.substr(0, cross), 1, 256));
+  const auto height = static_cast<std::size_t>(
+      parseU64InRange(option, text.substr(cross + 1), 1, 256));
+  return {width, height};
+}
+
 std::vector<std::uint32_t> parseU32List(const std::string& option,
                                         const std::string& text) {
   std::vector<std::uint32_t> values;

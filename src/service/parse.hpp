@@ -15,10 +15,12 @@
 //    missing values, and handler rejections print one `error: ...` line
 //    plus the usage to stderr and exit 2.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace lb::service {
@@ -38,6 +40,11 @@ std::uint64_t parseU64InRange(const std::string& option,
 
 /// Parses a comma-separated list of uint32s ("1,2,3,4"); rejects empty
 /// items and junk with the same contract as parseU64.
+/// Parses mesh dimensions: "WxH" (e.g. "4x4") or a single "N" meaning a
+/// square NxN mesh.  Both dimensions must be in [1, 256].
+std::pair<std::size_t, std::size_t> parseMeshDims(const std::string& option,
+                                                  const std::string& text);
+
 std::vector<std::uint32_t> parseU32List(const std::string& option,
                                         const std::string& text);
 

@@ -9,15 +9,24 @@ namespace lb::service {
 void writeResultReport(std::ostream& out, const Scenario& raw,
                        const ScenarioResult& result, bool csv) {
   const Scenario scenario = normalized(raw);
-  stats::Table table({"master", "weight", "bandwidth", "traffic share",
-                      "cycles/word", "messages"});
-  for (std::size_t m = 0; m < scenario.masters; ++m)
-    table.addRow({"C" + std::to_string(m + 1),
-                  std::to_string(scenario.weights[m]),
-                  stats::Table::pct(result.bandwidth_fraction[m]),
-                  stats::Table::pct(result.traffic_share[m]),
-                  stats::Table::num(result.cycles_per_word[m]),
-                  std::to_string(result.messages_completed[m])});
+  // On a mesh, weights are per router input port, not per master; the
+  // per-master column would read out of bounds (and mislead).
+  const bool mesh = scenario.mesh.enabled();
+  stats::Table table(mesh ? std::vector<std::string>{"node", "bandwidth",
+                                                     "traffic share",
+                                                     "cycles/word", "messages"}
+                          : std::vector<std::string>{
+                                "master", "weight", "bandwidth",
+                                "traffic share", "cycles/word", "messages"});
+  for (std::size_t m = 0; m < scenario.masters; ++m) {
+    std::vector<std::string> row{"C" + std::to_string(m + 1)};
+    if (!mesh) row.push_back(std::to_string(scenario.weights[m]));
+    row.push_back(stats::Table::pct(result.bandwidth_fraction[m]));
+    row.push_back(stats::Table::pct(result.traffic_share[m]));
+    row.push_back(stats::Table::num(result.cycles_per_word[m]));
+    row.push_back(std::to_string(result.messages_completed[m]));
+    table.addRow(std::move(row));
+  }
   if (csv)
     table.printCsv(out);
   else
@@ -25,7 +34,11 @@ void writeResultReport(std::ostream& out, const Scenario& raw,
   out << (csv ? "" : "\n")
       << "unutilized: " << stats::Table::pct(result.unutilized_fraction)
       << "  grants: " << result.grants << "  arbiter: " << scenario.arbiter
-      << "  class: " << scenario.traffic_class << "\n";
+      << "  class: " << scenario.traffic_class;
+  if (mesh)
+    out << "  mesh: " << scenario.mesh.width << "x" << scenario.mesh.height
+        << " " << scenario.mesh.pattern;
+  out << "\n";
 }
 
 }  // namespace lb::service

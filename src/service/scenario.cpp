@@ -10,8 +10,10 @@
 #include "arbiters/token_ring.hpp"
 #include "arbiters/weighted_round_robin.hpp"
 #include "core/lottery.hpp"
+#include "noc/mesh.hpp"
 #include "service/metrics.hpp"
 #include "traffic/classes.hpp"
+#include "traffic/generator.hpp"
 #include "traffic/testbed.hpp"
 
 namespace lb::service {
@@ -28,6 +30,34 @@ bool isKnownArbiter(const std::string& kind) {
   return std::find(kinds.begin(), kinds.end(), kind) != kinds.end();
 }
 
+const std::vector<std::string>& meshPresetNames() {
+  static const std::vector<std::string> names = {"mesh4x4-lottery",
+                                                 "mesh6x6-sesc"};
+  return names;
+}
+
+Scenario meshPreset(const std::string& name) {
+  Scenario scenario;
+  if (name == "mesh4x4-lottery") {
+    // The paper's lottery arbitration, scaled out: a 4x4 mesh whose router
+    // ports hold per-port lotteries, driven by the saturating T2 class.
+    scenario.arbiter = "lottery";
+    scenario.traffic_class = "T2";
+    scenario.mesh.width = 4;
+    scenario.mesh.height = 4;
+  } else if (name == "mesh6x6-sesc") {
+    // SESC-style "bus as NoC" CMP configuration (ROADMAP item 3): 36 cores
+    // on a 6x6 mesh with WRR routers, bursty ON/OFF memory-ish traffic.
+    scenario.arbiter = "wrr";
+    scenario.traffic_class = "T6";
+    scenario.mesh.width = 6;
+    scenario.mesh.height = 6;
+  } else {
+    throw ScenarioError("unknown mesh preset: " + name);
+  }
+  return normalized(scenario);
+}
+
 Scenario normalized(Scenario scenario) {
   if (!isKnownArbiter(scenario.arbiter))
     throw ScenarioError("unknown arbiter: " + scenario.arbiter);
@@ -39,9 +69,39 @@ Scenario normalized(Scenario scenario) {
   if (scenario.masters == 0) throw ScenarioError("masters must be >= 1");
   if (scenario.cycles == 0) throw ScenarioError("cycles must be >= 1");
   if (scenario.burst == 0) throw ScenarioError("burst must be >= 1");
-  // lbsim's historical reconciliation: an explicit multi-element weight
-  // list defines the master count; otherwise weights broadcast to 1s.
-  if (scenario.weights.size() != scenario.masters) {
+  if (scenario.mesh.enabled()) {
+    MeshSpec& mesh = scenario.mesh;
+    if (mesh.height == 0) mesh.height = mesh.width;
+    if (mesh.width * mesh.height < 2)
+      throw ScenarioError("mesh needs at least 2 nodes");
+    noc::Pattern pattern;
+    try {
+      pattern = noc::patternFromString(mesh.pattern);
+    } catch (const std::exception& e) {
+      throw ScenarioError(std::string("bad mesh pattern: ") + e.what());
+    }
+    mesh.pattern = noc::patternToString(pattern);  // canonical spelling
+    if (pattern == noc::Pattern::kTranspose && mesh.width != mesh.height)
+      throw ScenarioError("transpose pattern needs a square mesh");
+    if (mesh.vc_count == 0 || mesh.vc_depth == 0 || mesh.router_delay == 0)
+      throw ScenarioError("mesh vc_count/vc_depth/router_delay must be >= 1");
+    // The mesh defines the master count (one NI per node), and weights are
+    // the per-input-port weights of every router's output arbiters.  The
+    // untouched struct default (the bus's {1,2,3,4}) means "unspecified".
+    scenario.masters = mesh.width * mesh.height;
+    if (scenario.weights.size() != noc::kNumPorts) {
+      if (scenario.weights.size() == 1)
+        scenario.weights.assign(noc::kNumPorts, scenario.weights[0]);
+      else if (scenario.weights.empty() ||
+               scenario.weights == Scenario{}.weights)
+        scenario.weights.assign(noc::kNumPorts, 1);
+      else
+        throw ScenarioError(
+            "mesh scenarios take 1 or 5 weights (per router input port)");
+    }
+  } else if (scenario.weights.size() != scenario.masters) {
+    // lbsim's historical reconciliation: an explicit multi-element weight
+    // list defines the master count; otherwise weights broadcast to 1s.
     if (scenario.weights.size() > 1)
       scenario.masters = scenario.weights.size();
     else
@@ -71,8 +131,57 @@ Json toJson(const Scenario& scenario) {
   // cached result keyed by them) stay valid.
   if (scenario.kernel_mode != "fast")
     json.set("kernel_mode", Json(scenario.kernel_mode));
+  // Same contract: the mesh extension appears in the canonical bytes only
+  // when the scenario actually is a mesh.
+  if (scenario.mesh.enabled()) {
+    Json mesh = Json::object();
+    mesh.set("width", Json(static_cast<std::uint64_t>(scenario.mesh.width)))
+        .set("height", Json(static_cast<std::uint64_t>(scenario.mesh.height)))
+        .set("pattern", Json(scenario.mesh.pattern))
+        .set("vc_count",
+             Json(static_cast<std::uint64_t>(scenario.mesh.vc_count)))
+        .set("vc_depth",
+             Json(static_cast<std::uint64_t>(scenario.mesh.vc_depth)))
+        .set("router_delay",
+             Json(static_cast<std::uint64_t>(scenario.mesh.router_delay)));
+    json.set("mesh", std::move(mesh));
+  }
   return json;
 }
+
+namespace {
+
+std::uint32_t smallUint(const Json& value, const char* what) {
+  const std::uint64_t v = value.asUint64();
+  if (v > 0xFFFFFFFFull)
+    throw ScenarioError(std::string(what) + " out of range");
+  return static_cast<std::uint32_t>(v);
+}
+
+MeshSpec meshFromJson(const Json& json) {
+  MeshSpec mesh;
+  for (const auto& [key, value] : json.asObject()) {
+    if (key == "width") {
+      mesh.width = static_cast<std::size_t>(value.asUint64());
+    } else if (key == "height") {
+      mesh.height = static_cast<std::size_t>(value.asUint64());
+    } else if (key == "pattern") {
+      mesh.pattern = value.asString();
+    } else if (key == "vc_count") {
+      mesh.vc_count = smallUint(value, "vc_count");
+    } else if (key == "vc_depth") {
+      mesh.vc_depth = smallUint(value, "vc_depth");
+    } else if (key == "router_delay") {
+      mesh.router_delay = smallUint(value, "router_delay");
+    } else {
+      throw ScenarioError("unknown mesh member \"" + key + "\"");
+    }
+  }
+  if (!mesh.enabled()) throw ScenarioError("mesh width must be >= 1");
+  return mesh;
+}
+
+}  // namespace
 
 Scenario scenarioFromJson(const Json& json) {
   Scenario scenario;
@@ -106,6 +215,8 @@ Scenario scenarioFromJson(const Json& json) {
       scenario.lfsr = value.asBool();
     } else if (key == "kernel_mode") {
       scenario.kernel_mode = value.asString();
+    } else if (key == "mesh") {
+      scenario.mesh = meshFromJson(value);
     } else {
       throw ScenarioError("unknown scenario member \"" + key + "\"");
     }
@@ -223,12 +334,148 @@ std::unique_ptr<bus::IArbiter> makeArbiter(const Scenario& scenario) {
   throw ScenarioError("unknown arbiter: " + scenario.arbiter);
 }
 
+namespace {
+
+/// SplitMix64 finalizer; decorrelates per-(router, port) arbiter seeds so
+/// adjacent instances never share low-bit-correlated RNG streams.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+noc::RouterArbiterFactory makeRouterArbiterFactory(const Scenario& scenario) {
+  // Captured by value: the factory outlives the Scenario it was built from
+  // (MeshNetwork holds it for the whole run).
+  const std::string kind = scenario.arbiter;
+  const std::vector<std::uint32_t> weights = scenario.weights;
+  const std::uint32_t burst = scenario.burst;
+  const bool lfsr = scenario.lfsr;
+  const std::uint64_t seed = scenario.seed;
+  return [kind, weights, burst, lfsr,
+          seed](noc::NodeId router, int port) -> std::unique_ptr<bus::IArbiter> {
+    const std::uint64_t instance = mix64(
+        seed ^ mix64(static_cast<std::uint64_t>(router) * noc::kNumPorts +
+                     static_cast<std::uint64_t>(port) + 1));
+    if (kind == "lottery")
+      return std::make_unique<core::LotteryArbiter>(
+          weights, lfsr ? core::LotteryRng::kLfsr : core::LotteryRng::kExact,
+          instance);
+    if (kind == "lottery-dynamic")
+      return std::make_unique<core::DynamicLotteryArbiter>(instance);
+    if (kind == "priority")
+      return std::make_unique<arb::StaticPriorityArbiter>(
+          std::vector<unsigned>(weights.begin(), weights.end()));
+    if (kind == "tdma") {
+      std::vector<unsigned> slots;
+      for (const std::uint32_t v : weights) slots.push_back(v * burst);
+      return std::make_unique<arb::TdmaArbiter>(
+          arb::TdmaArbiter::contiguousWheel(slots), weights.size());
+    }
+    if (kind == "rr")
+      return std::make_unique<arb::RoundRobinArbiter>(noc::kNumPorts);
+    if (kind == "wrr")
+      return std::make_unique<arb::WeightedRoundRobinArbiter>(weights, burst);
+    if (kind == "token")
+      return std::make_unique<arb::TokenRingArbiter>(noc::kNumPorts, 0);
+    if (kind == "random")
+      return std::make_unique<arb::RandomArbiter>(noc::kNumPorts, instance);
+    if (kind == "fcfs")
+      return std::make_unique<arb::FcfsArbiter>(noc::kNumPorts);
+    throw ScenarioError("unknown arbiter: " + kind);
+  };
+}
+
+namespace {
+
+/// The mesh leg of runScenario: same contract (pure function of the
+/// normalized scenario, observability strictly passive), different fabric.
+/// `capture_trace` stays untouched — bus::GrantRecord traces describe a
+/// shared channel, not a mesh; router-level traces are available through
+/// noc::MeshConfig::record_grant_trace for the differential tests.
+ScenarioResult runMeshScenario(const Scenario& scenario,
+                               const RunOptions& options) {
+  noc::MeshConfig config;
+  config.width = scenario.mesh.width;
+  config.height = scenario.mesh.height;
+  config.vc_count = scenario.mesh.vc_count;
+  config.vc_depth = scenario.mesh.vc_depth;
+  config.router_delay = scenario.mesh.router_delay;
+  config.pattern = noc::patternFromString(scenario.mesh.pattern);
+  config.pattern_seed = scenario.seed;
+  config.port_weights = scenario.weights;
+  config.arbiter_factory = makeRouterArbiterFactory(scenario);
+
+  noc::MeshNetwork mesh(config);
+  sim::CycleKernel kernel;
+  kernel.setMode(scenario.kernel_mode == "naive" ? sim::KernelMode::kNaive
+                                                 : sim::KernelMode::kFast);
+
+  const std::vector<traffic::TrafficParams> params = traffic::paramsFor(
+      traffic::trafficClass(scenario.traffic_class), scenario.masters,
+      scenario.seed);
+  std::vector<std::unique_ptr<traffic::TrafficSource>> sources;
+  sources.reserve(scenario.masters);
+  for (std::size_t n = 0; n < scenario.masters; ++n) {
+    sources.push_back(std::make_unique<traffic::TrafficSource>(
+        mesh.ni(static_cast<noc::NodeId>(n)), static_cast<bus::MasterId>(n),
+        params[n]));
+    kernel.attach(*sources.back());
+  }
+  mesh.attachTo(kernel);
+
+  std::shared_ptr<noc::NocMetricsSinks> sinks;
+  if (options.instrument) {
+    obs::MetricsRegistry& registry =
+        options.registry != nullptr ? *options.registry : obs::registry();
+    sinks = makeNocSinks(registry, scenario.arbiter, scenario.masters);
+    mesh.setMetricsSinks(sinks.get());
+  }
+
+  kernel.run(scenario.cycles);
+
+  const noc::NocStats& stats = mesh.stats();
+  std::uint64_t total_flits = 0;
+  for (const noc::NocStats::PerSource& s : stats.sources)
+    total_flits += s.flits_delivered;
+
+  ScenarioResult result;
+  result.cycles = scenario.cycles;
+  result.grants = stats.grants;
+  result.preemptions = 0;  // packets are atomic on mesh links
+  const auto cycles = static_cast<double>(scenario.cycles);
+  // Aggregate ejection bandwidth is one flit per node per cycle; the idle
+  // remainder is the mesh analogue of the bus's unutilized fraction.
+  result.unutilized_fraction =
+      1.0 - static_cast<double>(total_flits) /
+                (cycles * static_cast<double>(scenario.masters));
+  for (const noc::NocStats::PerSource& s : stats.sources) {
+    const auto flits = static_cast<double>(s.flits_delivered);
+    const auto packets = static_cast<double>(s.packets_delivered);
+    result.bandwidth_fraction.push_back(flits / cycles);
+    result.traffic_share.push_back(
+        total_flits > 0 ? flits / static_cast<double>(total_flits) : 0.0);
+    result.cycles_per_word.push_back(
+        s.flits_delivered > 0 ? s.latency_sum / flits : 0.0);
+    result.mean_message_latency.push_back(
+        s.packets_delivered > 0 ? s.latency_sum / packets : 0.0);
+    result.messages_completed.push_back(s.packets_delivered);
+  }
+  return result;
+}
+
+}  // namespace
+
 ScenarioResult runScenario(const Scenario& raw) {
   return runScenario(raw, RunOptions{});
 }
 
 ScenarioResult runScenario(const Scenario& raw, const RunOptions& options) {
   const Scenario scenario = normalized(raw);
+  if (scenario.mesh.enabled()) return runMeshScenario(scenario, options);
   bus::BusConfig config = traffic::defaultBusConfig(scenario.masters);
   config.max_burst_words = scenario.burst;
 

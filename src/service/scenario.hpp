@@ -20,6 +20,7 @@
 
 #include "bus/arbiter.hpp"
 #include "bus/bus.hpp"
+#include "noc/types.hpp"
 #include "obs/metrics.hpp"
 #include "service/json.hpp"
 #include "sim/kernel.hpp"
@@ -31,6 +32,32 @@ namespace lb::service {
 class ScenarioError : public std::runtime_error {
 public:
   using std::runtime_error::runtime_error;
+};
+
+/// Optional mesh-NoC extension of a Scenario (src/noc).  Disabled by
+/// default (width == 0), in which case the scenario runs on the shared bus
+/// exactly as before; like kernel_mode it is serialized only when enabled,
+/// so every pre-existing bus scenario keeps its content hash.
+///
+/// When enabled, the scenario's other fields are reinterpreted mesh-wise:
+/// `masters` becomes width * height (one traffic source per node, forced by
+/// normalized()), `weights` become the kNumPorts per-input-port weights of
+/// every router's output arbiters (scalar/empty broadcasts; the 4-element
+/// struct default is treated as "unspecified" and broadcasts too), `arbiter`
+/// + `burst` + `lfsr` + `seed` parameterize the per-(router, port) arbiter
+/// instances, and the traffic class drives every NI unchanged.
+struct MeshSpec {
+  std::size_t width = 0;   ///< 0 = plain bus scenario (the default)
+  std::size_t height = 0;  ///< 0 = square (height := width)
+  /// Destination pattern (noc::patternFromString): "uniform", "transpose",
+  /// "neighbor", "hotspot", or "slave".
+  std::string pattern = "uniform";
+  std::uint32_t vc_count = 1;
+  std::uint32_t vc_depth = 64;
+  std::uint32_t router_delay = 1;
+
+  bool enabled() const { return width != 0; }
+  bool operator==(const MeshSpec&) const = default;
 };
 
 struct Scenario {
@@ -47,6 +74,9 @@ struct Scenario {
   /// differential testing and benchmarking, so it is serialized only when
   /// non-default to keep content hashes stable.
   std::string kernel_mode = "fast";
+  /// Mesh-NoC extension; serialized only when enabled() (same hash-stability
+  /// contract as kernel_mode).
+  MeshSpec mesh;
 
   bool operator==(const Scenario&) const = default;
 };
@@ -54,6 +84,12 @@ struct Scenario {
 /// Arbiter kinds runScenario understands, in lbsim's --compare order.
 const std::vector<std::string>& knownArbiters();
 bool isKnownArbiter(const std::string& kind);
+
+/// Named mesh scenario presets ("mesh4x4-lottery", "mesh6x6-sesc"): the two
+/// reference topologies whose canonical JSON + content hashes golden_test.cpp
+/// pins so cache keys cannot silently drift.
+const std::vector<std::string>& meshPresetNames();
+Scenario meshPreset(const std::string& name);
 
 /// Reconciles `masters` with `weights` the same way lbsim always has: a
 /// multi-element weight list wins over --masters; a scalar/empty list is
@@ -106,6 +142,13 @@ ScenarioResult resultFromJson(const Json& json);
 /// Builds the arbiter a (normalized) scenario describes — the factory
 /// previously private to examples/lbsim.cpp.
 std::unique_ptr<bus::IArbiter> makeArbiter(const Scenario& scenario);
+
+/// Builds the per-(router, output-port) arbiter factory a (normalized) mesh
+/// scenario describes: the scenario's arbiter kind with noc::kNumPorts
+/// masters, the scenario's per-port weights, and — for the seeded kinds —
+/// a per-instance seed derived from scenario.seed by a SplitMix64 hash of
+/// (router, port), so instantiation order cannot perturb results.
+noc::RouterArbiterFactory makeRouterArbiterFactory(const Scenario& scenario);
 
 /// Observability knobs for a scenario run.  Everything here is strictly
 /// passive: any combination of options yields bit-identical ScenarioResults

@@ -16,9 +16,9 @@ sim::Cycle drawDuration(sim::Xoshiro256ss& rng, sim::Cycle mean) {
 }
 }  // namespace
 
-TrafficSource::TrafficSource(bus::Bus& bus, bus::MasterId master,
+TrafficSource::TrafficSource(bus::IMessageSink& sink, bus::MasterId master,
                              TrafficParams params)
-    : bus_(bus),
+    : sink_(sink),
       master_(master),
       params_(params),
       rng_(params.seed),
@@ -60,7 +60,7 @@ void TrafficSource::cycle(sim::Cycle now) {
   updateOnOff(now);
   if (!on_) return;
   if (now < next_attempt_) return;
-  if (bus_.queueDepth(master_) >= params_.max_outstanding) {
+  if (sink_.queueDepth(master_) >= params_.max_outstanding) {
     // Backpressured: retry every cycle until a queue slot frees.  The next
     // message's arrival stamp is the cycle it actually enters the queue,
     // which is when the request becomes visible to the arbiter.
@@ -71,7 +71,7 @@ void TrafficSource::cycle(sim::Cycle now) {
   message.slave = params_.slave;
   message.arrival = now;
   message.tag = generated_;
-  bus_.push(master_, message);
+  sink_.push(master_, message);
   ++generated_;
   words_ += message.words;
   next_attempt_ = now + 1 + params_.gap.draw(rng_);

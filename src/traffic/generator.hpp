@@ -5,7 +5,7 @@
 
 #include <cstdint>
 
-#include "bus/bus.hpp"
+#include "bus/message_sink.hpp"
 #include "sim/kernel.hpp"
 #include "traffic/distributions.hpp"
 
@@ -34,7 +34,10 @@ struct TrafficParams {
 
 class TrafficSource final : public sim::ICycleComponent {
 public:
-  TrafficSource(bus::Bus& bus, bus::MasterId master, TrafficParams params);
+  /// `sink` is any interconnect front-end: a shared bus or a NoC network
+  /// interface (bus/message_sink.hpp).
+  TrafficSource(bus::IMessageSink& sink, bus::MasterId master,
+                TrafficParams params);
 
   void cycle(sim::Cycle now) override;
 
@@ -53,7 +56,7 @@ public:
 private:
   void updateOnOff(sim::Cycle now);
 
-  bus::Bus& bus_;
+  bus::IMessageSink& sink_;
   bus::MasterId master_;
   TrafficParams params_;
   sim::Xoshiro256ss rng_;

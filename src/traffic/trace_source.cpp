@@ -45,10 +45,10 @@ std::string formatTrace(const std::vector<TraceEntry>& entries) {
   return os.str();
 }
 
-TraceSource::TraceSource(bus::Bus& bus, bus::MasterId master,
+TraceSource::TraceSource(bus::IMessageSink& sink, bus::MasterId master,
                          std::vector<TraceEntry> entries,
                          std::uint32_t max_outstanding)
-    : bus_(bus),
+    : sink_(sink),
       master_(master),
       entries_(std::move(entries)),
       max_outstanding_(max_outstanding) {
@@ -61,14 +61,14 @@ TraceSource::TraceSource(bus::Bus& bus, bus::MasterId master,
 
 void TraceSource::cycle(sim::Cycle now) {
   while (next_ < entries_.size() && entries_[next_].cycle <= now) {
-    if (bus_.queueDepth(master_) >= max_outstanding_) return;  // retry later
+    if (sink_.queueDepth(master_) >= max_outstanding_) return;  // retry later
     const TraceEntry& entry = entries_[next_];
     bus::Message message;
     message.words = entry.words;
     message.slave = entry.slave;
     message.arrival = now;
     message.tag = next_;
-    bus_.push(master_, message);
+    sink_.push(master_, message);
     ++next_;
     ++replayed_;
   }

@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "bus/bus.hpp"
+#include "bus/message_sink.hpp"
 #include "sim/kernel.hpp"
 
 namespace lb::traffic {
@@ -39,7 +39,9 @@ std::string formatTrace(const std::vector<TraceEntry>& entries);
 /// stamps its actual issue cycle, like TrafficSource's backpressure rule).
 class TraceSource final : public sim::ICycleComponent {
 public:
-  TraceSource(bus::Bus& bus, bus::MasterId master,
+  /// `sink` is any interconnect front-end: a shared bus or a NoC network
+  /// interface (bus/message_sink.hpp).
+  TraceSource(bus::IMessageSink& sink, bus::MasterId master,
               std::vector<TraceEntry> entries,
               std::uint32_t max_outstanding = 64);
 
@@ -59,7 +61,7 @@ public:
   bool finished() const { return next_ >= entries_.size(); }
 
 private:
-  bus::Bus& bus_;
+  bus::IMessageSink& sink_;
   bus::MasterId master_;
   std::vector<TraceEntry> entries_;
   std::uint32_t max_outstanding_;

@@ -11,6 +11,7 @@
 #include "arbiters/tdma.hpp"
 #include "bus/bus.hpp"
 #include "core/lottery.hpp"
+#include "service/scenario.hpp"
 #include "sim/rng.hpp"
 #include "traffic/classes.hpp"
 #include "traffic/testbed.hpp"
@@ -159,6 +160,52 @@ TEST(GoldenTest, ReplicatedRunsAreStableAcrossSeeds) {
       traffic::runReplicated(traffic::defaultBusConfig(4), lottery,
                              traffic::trafficClass("T2"), 1000, 0),
       std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Mesh scenario preset content addresses
+// ---------------------------------------------------------------------------
+
+// The two reference mesh presets are cache keys: their canonical JSON and
+// FNV-1a hashes must never drift silently, or every on-disk cached result
+// keyed by them goes stale without notice.  Update only with a migration
+// note in CHANGES.md.
+TEST(GoldenTest, Mesh4x4LotteryPresetContentAddressIsPinned) {
+  const service::Scenario preset = service::meshPreset("mesh4x4-lottery");
+  EXPECT_EQ(
+      service::canonicalJson(preset),
+      R"({"arbiter":"lottery","weights":[1,1,1,1,1],"class":"T2",)"
+      R"("masters":16,"cycles":200000,"burst":16,"seed":7,"lfsr":false,)"
+      R"("mesh":{"width":4,"height":4,"pattern":"uniform","vc_count":1,)"
+      R"("vc_depth":64,"router_delay":1}})");
+  EXPECT_EQ(service::scenarioHashHex(preset), "3e1b16e5b55ad85c");
+}
+
+TEST(GoldenTest, Mesh6x6SescPresetContentAddressIsPinned) {
+  const service::Scenario preset = service::meshPreset("mesh6x6-sesc");
+  EXPECT_EQ(
+      service::canonicalJson(preset),
+      R"({"arbiter":"wrr","weights":[1,1,1,1,1],"class":"T6",)"
+      R"("masters":36,"cycles":200000,"burst":16,"seed":7,"lfsr":false,)"
+      R"("mesh":{"width":6,"height":6,"pattern":"uniform","vc_count":1,)"
+      R"("vc_depth":64,"router_delay":1}})");
+  EXPECT_EQ(service::scenarioHashHex(preset), "419c2a09450a004a");
+}
+
+TEST(GoldenTest, MeshPresetsRoundTripAndStayDistinctFromBusScenarios) {
+  for (const std::string& name : service::meshPresetNames()) {
+    const service::Scenario preset = service::meshPreset(name);
+    const service::Scenario decoded = service::scenarioFromJson(
+        service::Json::parse(service::canonicalJson(preset)));
+    EXPECT_EQ(decoded, preset) << name;
+    // A bus scenario with identical scalars must hash differently: the mesh
+    // member is part of the content address whenever it is enabled.
+    service::Scenario bus = preset;
+    bus.mesh = service::MeshSpec{};
+    EXPECT_NE(service::scenarioHash(bus), service::scenarioHash(preset))
+        << name;
+  }
+  EXPECT_THROW(service::meshPreset("mesh2x2-nope"), service::ScenarioError);
 }
 
 }  // namespace

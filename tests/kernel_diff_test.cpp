@@ -24,7 +24,9 @@
 #include "arbiters/weighted_round_robin.hpp"
 #include "core/lottery.hpp"
 #include "core/ticket_policy.hpp"
+#include "noc/mesh.hpp"
 #include "sim/rng.hpp"
+#include "traffic/generator.hpp"
 #include "traffic/testbed.hpp"
 
 namespace {
@@ -292,6 +294,203 @@ TEST(KernelDiffFuzzTest, EveryArbiterKindIsBitIdenticalAcrossModes) {
     const Outcome fast = runSystem(sys, sim::KernelMode::kFast);
     expectIdentical(naive, fast, "kind=" + std::to_string(kind));
     EXPECT_GT(fast.result.grants, 0u) << "kind=" << kind;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mesh NoC differential fuzz
+// ---------------------------------------------------------------------------
+//
+// Same contract over the mesh subsystem: random topologies, VC shapes,
+// router pipeline depths, destination patterns, and per-port arbiter kinds;
+// both kernel modes must agree on every per-source statistic, the full
+// router grant trace, and the RNG draw counts of every router arbiter —
+// which transitively covers routers, VC credit accounting, and NIs, since
+// any divergence in those perturbs some grant or draw.
+
+struct MeshFuzzSystem {
+  noc::MeshConfig config;
+  int arbiter_kind = 0;
+  std::uint64_t arbiter_seed = 1;
+  std::uint32_t burst = 16;
+  std::vector<traffic::TrafficParams> traffic;
+  sim::Cycle cycles = 0;
+};
+
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+MeshFuzzSystem randomMeshSystem(sim::Xoshiro256ss& rng) {
+  MeshFuzzSystem sys;
+  sys.config.width = 2 + rng.next() % 3;
+  sys.config.height = 2 + rng.next() % 3;
+  sys.config.vc_count = 1 + static_cast<std::uint32_t>(rng.next() % 2);
+  sys.config.vc_depth = 32u << (rng.next() % 2);
+  sys.config.router_delay = 1 + static_cast<std::uint32_t>(rng.next() % 3);
+  switch (rng.next() % 4) {
+    case 0: sys.config.pattern = noc::Pattern::kUniform; break;
+    case 1: sys.config.pattern = noc::Pattern::kNeighbor; break;
+    case 2: sys.config.pattern = noc::Pattern::kHotspot; break;
+    default:
+      sys.config.pattern = sys.config.width == sys.config.height
+                               ? noc::Pattern::kTranspose
+                               : noc::Pattern::kUniform;
+      break;
+  }
+  sys.config.pattern_seed = rng.next() | 1;
+  sys.config.record_grant_trace = true;
+  sys.arbiter_kind = static_cast<int>(rng.next() % kArbiterKinds);
+  sys.arbiter_seed = rng.next() | 1;
+  sys.burst = 4u << (rng.next() % 3);
+  const std::size_t nodes = sys.config.width * sys.config.height;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    traffic::TrafficParams p;
+    // Packet sizes must fit a VC (the NI rejects oversized messages).
+    p.size = rng.next() % 2 == 0
+                 ? traffic::SizeDist::fixed(
+                       1 + static_cast<std::uint32_t>(rng.next() % 16))
+                 : traffic::SizeDist::uniform(
+                       1, 2 + static_cast<std::uint32_t>(rng.next() % 15));
+    // Sparse bias so the fast path has quiescent stretches to skip.
+    p.gap = rng.next() % 3 == 0
+                ? traffic::GapDist::fixed(rng.next() % 4)
+                : traffic::GapDist::geometric(16 + rng.next() % 512);
+    if (rng.next() % 2 == 0) {
+      p.mean_on = 20 + rng.next() % 200;
+      p.mean_off = 20 + rng.next() % 2000;
+    }
+    p.max_outstanding = 1 + static_cast<std::uint32_t>(rng.next() % 8);
+    p.first_arrival = rng.next() % 64;
+    p.seed = rng.next() | 1;
+    sys.traffic.push_back(p);
+  }
+  sys.cycles = 15000 + rng.next() % 15000;
+  return sys;
+}
+
+struct MeshOutcome {
+  noc::NocStats stats;
+  std::vector<noc::NocGrantRecord> trace;
+  std::uint64_t draws = 0;
+};
+
+MeshOutcome runMeshSystem(const MeshFuzzSystem& sys, sim::KernelMode mode) {
+  noc::MeshConfig config = sys.config;
+  config.arbiter_factory = [&sys](noc::NodeId router, int port) {
+    // Stateless per-(router, port) seed: instantiation order independent.
+    const std::uint64_t seed =
+        mix64(sys.arbiter_seed ^
+              mix64(static_cast<std::uint64_t>(router) * noc::kNumPorts +
+                    static_cast<std::uint64_t>(port) + 1)) |
+        1;
+    return makeArbiter(sys.arbiter_kind, noc::kNumPorts, seed, sys.burst);
+  };
+  noc::MeshNetwork mesh(config);
+  sim::CycleKernel kernel;
+  kernel.setMode(mode);
+  std::vector<std::unique_ptr<traffic::TrafficSource>> sources;
+  for (std::size_t n = 0; n < mesh.nodes(); ++n) {
+    sources.push_back(std::make_unique<traffic::TrafficSource>(
+        mesh.ni(static_cast<noc::NodeId>(n)), static_cast<int>(n),
+        sys.traffic[n]));
+    kernel.attach(*sources.back());
+  }
+  mesh.attachTo(kernel);
+  kernel.run(sys.cycles);
+
+  MeshOutcome out;
+  out.stats = mesh.stats();
+  out.trace = mesh.grantTrace();
+  for (std::size_t n = 0; n < mesh.nodes(); ++n) {
+    for (int port = 0; port < noc::kNumPorts; ++port) {
+      const bus::IArbiter& arb =
+          mesh.router(static_cast<noc::NodeId>(n)).arbiter(port);
+      if (const auto* a = dynamic_cast<const core::LotteryArbiter*>(&arb))
+        out.draws += a->draws();
+      if (const auto* a =
+              dynamic_cast<const core::DynamicLotteryArbiter*>(&arb))
+        out.draws += a->draws();
+    }
+  }
+  return out;
+}
+
+void expectMeshIdentical(const MeshOutcome& naive, const MeshOutcome& fast,
+                         const std::string& label) {
+  ASSERT_EQ(naive.stats.sources.size(), fast.stats.sources.size()) << label;
+  for (std::size_t n = 0; n < naive.stats.sources.size(); ++n) {
+    const auto& a = naive.stats.sources[n];
+    const auto& b = fast.stats.sources[n];
+    EXPECT_EQ(a.packets_injected, b.packets_injected) << label << " src " << n;
+    EXPECT_EQ(a.flits_injected, b.flits_injected) << label << " src " << n;
+    EXPECT_EQ(a.packets_delivered, b.packets_delivered)
+        << label << " src " << n;
+    EXPECT_EQ(a.flits_delivered, b.flits_delivered) << label << " src " << n;
+    EXPECT_EQ(a.latency_sum, b.latency_sum) << label << " src " << n;
+  }
+  EXPECT_EQ(naive.stats.grants, fast.stats.grants) << label;
+  EXPECT_EQ(naive.draws, fast.draws) << label;
+  ASSERT_EQ(naive.trace.size(), fast.trace.size()) << label;
+  for (std::size_t i = 0; i < naive.trace.size(); ++i) {
+    const auto& a = naive.trace[i];
+    const auto& b = fast.trace[i];
+    EXPECT_TRUE(a.cycle == b.cycle && a.router == b.router &&
+                a.output_port == b.output_port &&
+                a.input_port == b.input_port && a.vc == b.vc &&
+                a.source == b.source && a.tag == b.tag && a.flits == b.flits)
+        << label << " grant " << i;
+  }
+}
+
+std::string meshLabel(const MeshFuzzSystem& sys, std::uint64_t seed) {
+  return "seed=" + std::to_string(seed) +
+         " mesh=" + std::to_string(sys.config.width) + "x" +
+         std::to_string(sys.config.height) +
+         " arbiter_kind=" + std::to_string(sys.arbiter_kind) +
+         " vcs=" + std::to_string(sys.config.vc_count) +
+         " rd=" + std::to_string(sys.config.router_delay) +
+         " cycles=" + std::to_string(sys.cycles);
+}
+
+TEST(KernelDiffFuzzTest, RandomMeshSystemsAreBitIdenticalAcrossModes) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    sim::Xoshiro256ss rng(seed * 0xd1b54a32d192ed03ull);
+    const MeshFuzzSystem sys = randomMeshSystem(rng);
+    const MeshOutcome naive = runMeshSystem(sys, sim::KernelMode::kNaive);
+    const MeshOutcome fast = runMeshSystem(sys, sim::KernelMode::kFast);
+    expectMeshIdentical(naive, fast, meshLabel(sys, seed));
+  }
+}
+
+TEST(KernelDiffFuzzTest, EveryArbiterKindIsBitIdenticalOnAMesh) {
+  // Full arbiter-kind coverage on a fixed 3x3 with bursty sparse traffic.
+  for (int kind = 0; kind < kArbiterKinds; ++kind) {
+    MeshFuzzSystem sys;
+    sys.config.width = 3;
+    sys.config.height = 3;
+    sys.config.record_grant_trace = true;
+    sys.config.pattern = noc::Pattern::kUniform;
+    sys.config.pattern_seed = 99;
+    sys.arbiter_kind = kind;
+    sys.arbiter_seed = 0xabcdefull + kind;
+    for (std::size_t n = 0; n < 9; ++n) {
+      traffic::TrafficParams p;
+      p.size = traffic::SizeDist::uniform(1, 16);
+      p.gap = traffic::GapDist::geometric(100);
+      p.mean_on = 50;
+      p.mean_off = 400;
+      p.seed = 100 + n;
+      sys.traffic.push_back(p);
+    }
+    sys.cycles = 30000;
+    const MeshOutcome naive = runMeshSystem(sys, sim::KernelMode::kNaive);
+    const MeshOutcome fast = runMeshSystem(sys, sim::KernelMode::kFast);
+    expectMeshIdentical(naive, fast, "mesh kind=" + std::to_string(kind));
+    EXPECT_GT(fast.stats.grants, 0u) << "mesh kind=" << kind;
   }
 }
 

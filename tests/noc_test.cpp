@@ -1,0 +1,315 @@
+// Unit tests for the mesh NoC subsystem (src/noc): XY routing, the
+// store-and-forward timing contract (zero-load latency is exactly
+// S*(h+2) + (h+1)*(router_delay-1) for an S-flit packet over h hops),
+// credit backpressure safety, packet conservation, and the
+// bus::IMessageSink adapter that lets the existing traffic layer drive a
+// mesh unchanged.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "arbiters/round_robin.hpp"
+#include "core/lottery.hpp"
+#include "noc/mesh.hpp"
+#include "noc/nic.hpp"
+#include "noc/router.hpp"
+#include "noc/types.hpp"
+#include "sim/kernel.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/trace_source.hpp"
+
+namespace lb {
+namespace {
+
+noc::RouterArbiterFactory rrFactory() {
+  return [](noc::NodeId, int) {
+    return std::make_unique<arb::RoundRobinArbiter>(noc::kNumPorts);
+  };
+}
+
+/// SplitMix64 finalizer: avalanche the (seed, router, port) triple so
+/// nearby seeds still give unrelated per-arbiter RNG streams.
+std::uint64_t mixSeed(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+noc::RouterArbiterFactory lotteryFactory(std::uint64_t seed) {
+  return [seed](noc::NodeId router, int port) {
+    const std::uint64_t s = mixSeed(
+        mixSeed(seed) ^ static_cast<std::uint64_t>(router) * 131 +
+        static_cast<std::uint64_t>(port));
+    return std::make_unique<core::LotteryArbiter>(
+        std::vector<std::uint32_t>(noc::kNumPorts, 1),
+        core::LotteryRng::kExact, s | 1);
+  };
+}
+
+noc::MeshConfig baseConfig(std::size_t w, std::size_t h) {
+  noc::MeshConfig config;
+  config.width = w;
+  config.height = h;
+  config.pattern = noc::Pattern::kSlave;  // tests address explicitly
+  config.arbiter_factory = rrFactory();
+  return config;
+}
+
+/// Runs until the mesh drains (everything pushed has been delivered).
+void runUntilDrained(sim::CycleKernel& kernel, noc::MeshNetwork& mesh,
+                     sim::Cycle max_cycles = 100000) {
+  ASSERT_TRUE(kernel.runUntil(
+      [&](sim::Cycle) { return mesh.drained(); }, max_cycles));
+}
+
+TEST(NocRouting, XYGoesXFirst) {
+  noc::MeshConfig config = baseConfig(3, 3);
+  noc::MeshNetwork mesh(config);
+  noc::Router& center = mesh.router(4);  // (1,1)
+  EXPECT_EQ(center.route(5), noc::kEast);   // (2,1)
+  EXPECT_EQ(center.route(3), noc::kWest);   // (0,1)
+  EXPECT_EQ(center.route(7), noc::kSouth);  // (1,2)
+  EXPECT_EQ(center.route(1), noc::kNorth);  // (1,0)
+  EXPECT_EQ(center.route(4), noc::kLocal);
+  // X is resolved before Y: from (1,1) to (0,2) heads West, not South.
+  EXPECT_EQ(center.route(6), noc::kWest);
+  EXPECT_EQ(center.route(8), noc::kEast);  // (2,2): East before South
+}
+
+TEST(NocPatterns, DestinationsAreInRangeAndNeverSelf) {
+  for (const noc::Pattern pattern :
+       {noc::Pattern::kUniform, noc::Pattern::kTranspose,
+        noc::Pattern::kNeighbor, noc::Pattern::kHotspot,
+        noc::Pattern::kSlave}) {
+    for (noc::NodeId src = 0; src < 16; ++src) {
+      for (std::uint64_t tag = 0; tag < 20; ++tag) {
+        const noc::NodeId dest =
+            noc::destinationFor(pattern, 7, 4, 4, src, tag, 3);
+        EXPECT_GE(dest, 0);
+        EXPECT_LT(dest, 16);
+        EXPECT_NE(dest, src) << patternToString(pattern) << " src " << src;
+      }
+    }
+  }
+}
+
+TEST(NocPatterns, RoundTripNamesAndValidation) {
+  for (const char* name :
+       {"uniform", "transpose", "neighbor", "hotspot", "slave"})
+    EXPECT_EQ(noc::patternToString(noc::patternFromString(name)), name);
+  EXPECT_THROW(noc::patternFromString("tornado"), std::invalid_argument);
+  // Transpose requires a square mesh.
+  noc::MeshConfig config = baseConfig(4, 2);
+  config.pattern = noc::Pattern::kTranspose;
+  EXPECT_THROW(noc::MeshNetwork{std::move(config)}, std::invalid_argument);
+}
+
+struct LatencyCase {
+  std::uint32_t flits;
+  std::uint32_t router_delay;
+};
+
+TEST(NocTiming, ZeroLoadLatencyMatchesClosedForm) {
+  // One packet from corner to corner of a 4x4 (h = 6 hops between routers).
+  // The store-and-forward pipeline gives exactly
+  //   L0 = S*(h+2) + (h+1)*(router_delay-1)
+  // (h+2 links serialize S flits each; overlap hides all but one link's
+  // serialization per hop... the closed form is derived in docs/noc.md).
+  for (const LatencyCase c :
+       {LatencyCase{1, 1}, LatencyCase{8, 1}, LatencyCase{8, 3},
+        LatencyCase{4, 2}, LatencyCase{64, 1}}) {
+    noc::MeshConfig config = baseConfig(4, 4);
+    config.router_delay = c.router_delay;
+    noc::MeshNetwork mesh(config);
+    sim::CycleKernel kernel;
+    mesh.attachTo(kernel);
+
+    bus::Message message;
+    message.words = c.flits;
+    message.slave = 15;  // kSlave pattern: dest = node 15
+    message.arrival = 0;
+    mesh.ni(0).push(0, message);
+    runUntilDrained(kernel, mesh);
+
+    const noc::NocStats::PerSource& s = mesh.stats().sources[0];
+    ASSERT_EQ(s.packets_delivered, 1u);
+    const std::uint64_t h = 6;
+    const std::uint64_t expected =
+        c.flits * (h + 2) + (h + 1) * (c.router_delay - 1);
+    EXPECT_EQ(static_cast<std::uint64_t>(s.latency_sum), expected)
+        << "flits=" << c.flits << " rd=" << c.router_delay;
+  }
+}
+
+TEST(NocTiming, BackToBackPacketsSpaceByServiceTime) {
+  // Two same-path packets injected together: the second is delayed by
+  // exactly one link service time S (they pipeline through the mesh but
+  // share every link on the path).
+  noc::MeshConfig config = baseConfig(4, 1);
+  noc::MeshNetwork mesh(config);
+  sim::CycleKernel kernel;
+  mesh.attachTo(kernel);
+
+  const std::uint32_t flits = 5;
+  for (int i = 0; i < 2; ++i) {
+    bus::Message message;
+    message.words = flits;
+    message.slave = 3;
+    message.arrival = 0;
+    message.tag = static_cast<std::uint64_t>(i);
+    mesh.ni(0).push(0, message);
+  }
+  runUntilDrained(kernel, mesh);
+
+  const noc::NocStats::PerSource& s = mesh.stats().sources[0];
+  ASSERT_EQ(s.packets_delivered, 2u);
+  const std::uint64_t h = 3;
+  const std::uint64_t first = flits * (h + 2);
+  EXPECT_EQ(static_cast<std::uint64_t>(s.latency_sum), first + (first + flits));
+}
+
+TEST(NocBackpressure, TightBuffersConserveAllPackets) {
+  // vc_depth equal to the packet size forces constant credit stalls under a
+  // hotspot; every injected packet must still be delivered exactly once
+  // (Router::receive throws if a credit is ever violated).
+  noc::MeshConfig config = baseConfig(3, 3);
+  config.pattern = noc::Pattern::kHotspot;
+  config.vc_depth = 4;
+  noc::MeshNetwork mesh(config);
+  sim::CycleKernel kernel;
+
+  std::vector<std::unique_ptr<traffic::TraceSource>> sources;
+  std::vector<traffic::TraceEntry> entries;
+  for (sim::Cycle t = 0; t < 50; ++t)
+    entries.push_back(traffic::TraceEntry{t, 4, 0});
+  for (noc::NodeId n = 0; n < 9; ++n) {
+    sources.push_back(std::make_unique<traffic::TraceSource>(
+        mesh.ni(n), n, entries, 64));
+    kernel.attach(*sources.back());
+  }
+  mesh.attachTo(kernel);
+  ASSERT_TRUE(kernel.runUntil(
+      [&](sim::Cycle) {
+        for (const auto& source : sources)
+          if (!source->finished()) return false;
+        return mesh.drained();
+      },
+      1000000));
+
+  std::uint64_t injected = 0, delivered = 0;
+  for (const noc::NocStats::PerSource& s : mesh.stats().sources) {
+    injected += s.packets_injected;
+    delivered += s.packets_delivered;
+  }
+  EXPECT_EQ(injected, 9u * 50u);
+  EXPECT_EQ(delivered, injected);
+}
+
+TEST(NocAdapter, TrafficSourceDrivesMeshUnchanged) {
+  // The existing stochastic generator binds to an NI exactly as to a Bus;
+  // closed-loop max_outstanding throttles against NI queue depth.
+  noc::MeshConfig config = baseConfig(4, 4);
+  config.pattern = noc::Pattern::kUniform;
+  noc::MeshNetwork mesh(config);
+  sim::CycleKernel kernel;
+
+  std::vector<std::unique_ptr<traffic::TrafficSource>> sources;
+  for (noc::NodeId n = 0; n < 16; ++n) {
+    traffic::TrafficParams params;
+    params.size = traffic::SizeDist::fixed(4);
+    params.gap = traffic::GapDist::geometric(9);
+    params.max_outstanding = 2;
+    params.seed = 100 + static_cast<std::uint64_t>(n);
+    sources.push_back(
+        std::make_unique<traffic::TrafficSource>(mesh.ni(n), n, params));
+    kernel.attach(*sources.back());
+  }
+  mesh.attachTo(kernel);
+  kernel.run(20000);
+
+  std::uint64_t injected = 0, delivered = 0;
+  for (const noc::NocStats::PerSource& s : mesh.stats().sources) {
+    EXPECT_GT(s.packets_injected, 0u);
+    injected += s.packets_injected;
+    delivered += s.packets_delivered;
+  }
+  EXPECT_GT(delivered, 0u);
+  EXPECT_LE(delivered, injected);
+  EXPECT_GT(mesh.stats().grants, 0u);
+}
+
+TEST(NocDeterminism, LotteryMeshIsRunToRunIdentical) {
+  auto run = [](std::uint64_t seed) {
+    noc::MeshConfig config = baseConfig(4, 4);
+    config.pattern = noc::Pattern::kUniform;
+    config.arbiter_factory = lotteryFactory(seed);
+    config.record_grant_trace = true;
+    noc::MeshNetwork mesh(config);
+    sim::CycleKernel kernel;
+
+    std::vector<std::unique_ptr<traffic::TrafficSource>> sources;
+    for (noc::NodeId n = 0; n < 16; ++n) {
+      traffic::TrafficParams params;
+      params.size = traffic::SizeDist::fixed(8);
+      params.gap = traffic::GapDist::geometric(4);
+      params.max_outstanding = 4;
+      params.seed = 7 + static_cast<std::uint64_t>(n);
+      sources.push_back(
+          std::make_unique<traffic::TrafficSource>(mesh.ni(n), n, params));
+      kernel.attach(*sources.back());
+    }
+    mesh.attachTo(kernel);
+    kernel.run(5000);
+    // FNV-1a over the full grant interleaving.
+    std::uint64_t digest = 1469598103934665603ull;
+    auto mix = [&digest](std::uint64_t v) {
+      digest = (digest ^ v) * 1099511628211ull;
+    };
+    for (const noc::NocGrantRecord& g : mesh.grantTrace()) {
+      mix(g.cycle);
+      mix(static_cast<std::uint64_t>(g.router));
+      mix(g.output_port);
+      mix(g.input_port);
+      mix(static_cast<std::uint64_t>(g.source));
+      mix(g.tag);
+    }
+    EXPECT_FALSE(mesh.grantTrace().empty());
+    return digest;
+  };
+  EXPECT_EQ(run(42), run(42));
+  // Different arbiter seeds change the grant interleaving (total grant
+  // *counts* are conservation-determined, so only the trace can tell).
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(NocConfig, RejectsInvalidParameters) {
+  EXPECT_THROW(noc::MeshNetwork{baseConfig(0, 4)}, std::invalid_argument);
+  EXPECT_THROW(noc::MeshNetwork{baseConfig(1, 1)}, std::invalid_argument);
+  {
+    noc::MeshConfig config = baseConfig(2, 2);
+    config.vc_count = 0;
+    EXPECT_THROW(noc::MeshNetwork{std::move(config)}, std::invalid_argument);
+  }
+  {
+    noc::MeshConfig config = baseConfig(2, 2);
+    config.router_delay = 0;
+    EXPECT_THROW(noc::MeshNetwork{std::move(config)}, std::invalid_argument);
+  }
+  {
+    noc::MeshConfig config = baseConfig(2, 2);
+    config.arbiter_factory = nullptr;
+    EXPECT_THROW(noc::MeshNetwork{std::move(config)}, std::invalid_argument);
+  }
+  // Oversized messages are rejected at the NI (never segmented).
+  noc::MeshNetwork mesh(baseConfig(2, 2));
+  bus::Message message;
+  message.words = 65;
+  EXPECT_THROW(mesh.ni(0).push(0, message), std::invalid_argument);
+  EXPECT_THROW(mesh.ni(0).push(1, message), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lb

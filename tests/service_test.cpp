@@ -17,6 +17,7 @@
 #include "service/job_engine.hpp"
 #include "service/json.hpp"
 #include "service/parse.hpp"
+#include "service/report.hpp"
 #include "service/scenario.hpp"
 #include "sim/rng.hpp"
 
@@ -306,6 +307,128 @@ TEST(ScenarioRunTest, KernelModesAreBitIdentical) {
 }
 
 // ---------------------------------------------------------------------------
+// Mesh scenarios
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioCodecTest, MeshSpecNormalizesAndValidates) {
+  Scenario mesh;
+  mesh.mesh.width = 3;  // height defaults to width (square)
+  const Scenario norm = service::normalized(mesh);
+  EXPECT_EQ(norm.mesh.height, 3u);
+  EXPECT_EQ(norm.masters, 9u);  // the mesh defines the master count
+  // The untouched {1,2,3,4} default broadcasts to per-port ones...
+  EXPECT_EQ(norm.weights, (std::vector<std::uint32_t>{1, 1, 1, 1, 1}));
+  // ...a scalar broadcasts its value, and an explicit 5-vector sticks.
+  Scenario scalar = mesh;
+  scalar.weights = {3};
+  EXPECT_EQ(service::normalized(scalar).weights,
+            (std::vector<std::uint32_t>{3, 3, 3, 3, 3}));
+  Scenario perport = mesh;
+  perport.weights = {4, 1, 2, 1, 2};
+  EXPECT_EQ(service::normalized(perport).weights, perport.weights);
+  // Ambiguous arities, bad patterns, and non-square transpose are rejected.
+  Scenario bad = mesh;
+  bad.weights = {1, 2};
+  EXPECT_THROW(service::normalized(bad), service::ScenarioError);
+  Scenario pattern = mesh;
+  pattern.mesh.pattern = "ring";
+  EXPECT_THROW(service::normalized(pattern), service::ScenarioError);
+  Scenario transpose = mesh;
+  transpose.mesh.height = 4;
+  transpose.mesh.pattern = "transpose";
+  EXPECT_THROW(service::normalized(transpose), service::ScenarioError);
+  Scenario tiny;
+  tiny.mesh.width = 1;
+  tiny.mesh.height = 1;
+  EXPECT_THROW(service::normalized(tiny), service::ScenarioError);
+  // Codec: round trip through JSON, unknown mesh members rejected.
+  const Scenario decoded = service::scenarioFromJson(
+      Json::parse(service::canonicalJson(mesh)));
+  EXPECT_EQ(decoded, service::normalized(mesh));
+  EXPECT_THROW(service::scenarioFromJson(Json::parse(
+                   R"({"mesh":{"width":3,"wormhole":true}})")),
+               service::ScenarioError);
+}
+
+// InstrumentationIsInert, mesh leg: lb_noc_* publication and registry
+// redirection must leave mesh ScenarioResults bit-identical.
+TEST(ScenarioRunTest, MeshInstrumentationIsInert) {
+  Scenario scenario;
+  scenario.mesh.width = 3;
+  scenario.traffic_class = "T6";
+  scenario.cycles = 20000;
+  const auto baseline = service::runScenario(scenario);
+  EXPECT_EQ(baseline.bandwidth_fraction.size(), 9u);
+  EXPECT_GT(baseline.grants, 0u);
+
+  service::RunOptions bare;
+  bare.instrument = false;
+  EXPECT_EQ(service::runScenario(scenario, bare), baseline);
+
+  obs::MetricsRegistry fresh;
+  service::RunOptions full;
+  full.registry = &fresh;
+  EXPECT_EQ(service::runScenario(scenario, full), baseline);
+
+  std::uint64_t packets = 0;
+  for (const std::uint64_t m : baseline.messages_completed) packets += m;
+  const std::string text = fresh.renderPrometheus();
+  EXPECT_NE(text.find("lb_noc_packets_delivered_total{arbiter=\"lottery\"} " +
+                      std::to_string(packets)),
+            std::string::npos);
+  EXPECT_NE(text.find("lb_noc_grants_total{arbiter=\"lottery\",router=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("lb_noc_packet_latency_cycles"), std::string::npos);
+}
+
+// KernelModesAreBitIdentical, mesh leg: quiescence fast-forward over a mesh
+// (routers, NIs, VC credits) must not perturb results or published metrics.
+TEST(ScenarioRunTest, MeshKernelModesAreBitIdentical) {
+  for (const char* arbiter : {"lottery", "tdma", "wrr"}) {
+    Scenario fast;
+    fast.arbiter = arbiter;
+    fast.traffic_class = "T6";  // bursty: exercises ON/OFF fast-forwarding
+    fast.cycles = 20000;
+    fast.mesh.width = 3;
+    Scenario naive = fast;
+    naive.kernel_mode = "naive";
+
+    obs::MetricsRegistry fast_registry;
+    service::RunOptions fast_options;
+    fast_options.registry = &fast_registry;
+    const auto fast_result = service::runScenario(fast, fast_options);
+
+    obs::MetricsRegistry naive_registry;
+    service::RunOptions naive_options;
+    naive_options.registry = &naive_registry;
+    const auto naive_result = service::runScenario(naive, naive_options);
+
+    EXPECT_EQ(fast_result, naive_result) << arbiter;
+    EXPECT_EQ(fast_registry.renderPrometheus(),
+              naive_registry.renderPrometheus())
+        << arbiter;
+  }
+}
+
+TEST(ScenarioRunTest, MeshReportUsesPerNodeColumns) {
+  // Mesh weights are per router input port (5 of them), not per master;
+  // the report must not index them by master (regression: out-of-bounds
+  // garbage in the weight column for nodes 6..9 of a 3x3).
+  Scenario scenario;
+  scenario.mesh.width = 3;
+  scenario.traffic_class = "T3";
+  scenario.cycles = 5000;
+  const auto result = service::runScenario(scenario);
+  std::ostringstream out;
+  service::writeResultReport(out, scenario, result, /*csv=*/false);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| node "), std::string::npos);
+  EXPECT_NE(text.find("C9"), std::string::npos);
+  EXPECT_NE(text.find("mesh: 3x3 uniform"), std::string::npos);
+  EXPECT_EQ(text.find("| weight"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Strict CLI parsing helpers
 // ---------------------------------------------------------------------------
 
@@ -337,6 +460,21 @@ TEST(ParseTest, ErrorsNameTheOption) {
     EXPECT_NE(std::string(e.what()).find("--masters"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("\"x\""), std::string::npos);
   }
+}
+
+TEST(ParseTest, MeshDimsAcceptSquareShorthandAndWxH) {
+  EXPECT_EQ(service::parseMeshDims("--mesh", "4x6"),
+            (std::pair<std::size_t, std::size_t>{4, 6}));
+  EXPECT_EQ(service::parseMeshDims("--mesh", "5"),
+            (std::pair<std::size_t, std::size_t>{5, 5}));
+  EXPECT_THROW(service::parseMeshDims("--mesh", "4x"),
+               std::invalid_argument);
+  EXPECT_THROW(service::parseMeshDims("--mesh", "x4"),
+               std::invalid_argument);
+  EXPECT_THROW(service::parseMeshDims("--mesh", "0x4"),
+               std::invalid_argument);
+  EXPECT_THROW(service::parseMeshDims("--mesh", "4x4x4"),
+               std::invalid_argument);
 }
 
 // OptionSet drives the real argv contract of every example binary:
