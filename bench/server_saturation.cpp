@@ -1,0 +1,168 @@
+// EXT — lbserve saturation: requests/sec vs concurrent connections.
+//
+// Boots the daemon in-process twice per connection count — once with the
+// poll-based event loop (the default) and once with the legacy
+// thread-per-connection accept loop — prewarms the result cache with the
+// benchmark scenario, then drives C blocking client connections issuing a
+// fixed total number of `run` requests and reports delivered requests/sec.
+// Every request after the prewarm is a cache hit, so the sweep measures
+// the server's connection-handling machinery, not the simulator.
+//
+// Rows land in the lb-bench-v1 JSON (scripts/bench_trajectory.sh archives
+// them as BENCH_service.json):
+//
+//   server_saturation/eventloop/conns=C
+//   server_saturation/threaded/conns=C
+//
+// --guard fails the run (exit 1) if the event loop delivers less than
+// kGuardFloor of the thread-per-connection throughput at the highest
+// connection count — the refactor must not regress the saturated path it
+// exists to improve.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "service/client.hpp"
+#include "service/scenario.hpp"
+#include "service/server.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace lb;
+
+constexpr double kGuardFloor = 0.85;
+
+service::Json benchScenario() {
+  service::Scenario scenario;
+  scenario.cycles = 2000;
+  scenario.seed = 99;
+  return service::toJson(service::normalized(scenario));
+}
+
+/// Drives `conns` blocking connections issuing `total` requests between
+/// them against a freshly booted server in `mode`; returns requests/sec.
+double measure(bool thread_per_connection, std::size_t conns,
+               std::size_t total, double* wall_ns_out) {
+  service::ServerOptions options;
+  options.port = 0;
+  options.engine.workers = 2;
+  options.engine.queue_depth = 64;
+  options.engine.cache_capacity = 64;
+  options.thread_per_connection = thread_per_connection;
+  service::Server server(options);
+  server.start();
+
+  const service::Json scenario = benchScenario();
+  {
+    service::Client prewarm(server.port());
+    const service::Json response = prewarm.run(scenario);
+    if (!response.at("ok").asBool()) {
+      std::cerr << "server_saturation: prewarm failed\n";
+      std::exit(1);
+    }
+  }
+
+  std::atomic<bool> go{false};
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(conns);
+  const std::size_t per_conn = (total + conns - 1) / conns;
+  for (std::size_t c = 0; c < conns; ++c) {
+    drivers.emplace_back([&, c] {
+      service::Client client(server.port());
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::size_t r = 0; r < per_conn; ++r) {
+        const service::Json response = client.run(scenario);
+        if (!response.at("ok").asBool()) ++failures;
+      }
+    });
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& driver : drivers) driver.join();
+  const double wall_ns = std::chrono::duration<double, std::nano>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
+  server.stop();
+  if (failures.load() != 0) {
+    std::cerr << "server_saturation: " << failures.load()
+              << " requests failed\n";
+    std::exit(1);
+  }
+  *wall_ns_out = wall_ns;
+  const double requests = static_cast<double>(per_conn * conns);
+  return wall_ns > 0 ? requests / (wall_ns * 1e-9) : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::BenchJsonWriter writer;
+  const std::string json_out = benchutil::consumeJsonOut(&argc, argv);
+  std::size_t total = 2048;
+  bool guard = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      total = std::strtoull(argv[++i], nullptr, 10);
+      if (total == 0) total = 1;
+    } else if (std::strcmp(argv[i], "--guard") == 0) {
+      guard = true;
+    } else {
+      std::cerr << "usage: server_saturation [--requests N] [--guard]"
+                   " [--json-out FILE]\n";
+      return 2;
+    }
+  }
+
+  benchutil::banner(
+      "EXT: lbserve saturation — event loop vs thread-per-connection",
+      "docs/service.md (event-loop lbd)",
+      "event-loop throughput tracks or beats the legacy accept loop as "
+      "connection count grows");
+
+  const std::size_t kConns[] = {1, 4, 16, 64, 128};
+  stats::Table table({"connections", "event-loop req/s", "threaded req/s",
+                      "ratio"});
+  double eventloop_at_max = 0, threaded_at_max = 0;
+  for (const std::size_t conns : kConns) {
+    double wall_eventloop = 0, wall_threaded = 0;
+    const double eventloop =
+        measure(false, conns, total, &wall_eventloop);
+    const double threaded = measure(true, conns, total, &wall_threaded);
+    writer.add("server_saturation/eventloop/conns=" + std::to_string(conns),
+               wall_eventloop, eventloop);
+    writer.add("server_saturation/threaded/conns=" + std::to_string(conns),
+               wall_threaded, threaded);
+    table.addRow({std::to_string(conns), stats::Table::num(eventloop, 0),
+                  stats::Table::num(threaded, 0),
+                  stats::Table::num(threaded > 0 ? eventloop / threaded : 0,
+                                    2)});
+    eventloop_at_max = eventloop;
+    threaded_at_max = threaded;
+  }
+  table.printAscii(std::cout);
+  std::cout << "\n(identical blocking clients against prewarmed caches; the "
+               "sweep isolates connection handling, not simulation)\n";
+
+  if (guard && eventloop_at_max < kGuardFloor * threaded_at_max) {
+    std::cerr << "server_saturation: GUARD FAILED — event loop delivered "
+              << eventloop_at_max << " req/s vs " << threaded_at_max
+              << " req/s threaded at 128 connections (floor "
+              << kGuardFloor << "x)\n";
+    return 1;
+  }
+  if (guard)
+    std::cout << "guard OK: event loop >= " << kGuardFloor
+              << "x threaded at 128 connections\n";
+  if (!json_out.empty() && !writer.writeFile(json_out)) return 1;
+  return 0;
+}

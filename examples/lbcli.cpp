@@ -2,6 +2,7 @@
 //
 //   ./build/examples/lbcli --port 4817 run --arbiter lottery --tickets 1,2,3,4
 //   ./build/examples/lbcli --port 4817 sweep --class T2 --seeds 10
+//   ./build/examples/lbcli --port 4817 batch --class T2 --seeds 32
 //   ./build/examples/lbcli --port 4817 stats
 //   ./build/examples/lbcli --port 4817 metrics | grep lb_server
 //   ./build/examples/lbcli --port 4817 trace > trace.json
@@ -11,7 +12,10 @@
 // report from the daemon's response — same seed, byte-identical stdout —
 // while cache/latency metadata goes to stderr.  `sweep` expands --seeds N
 // into N scenarios (seed, seed+1, ...) submitted as one request; rerunning
-// it is served from the daemon's result cache.  `metrics` prints the
+// it is served from the daemon's result cache.  `batch` expands --seeds
+// the same way but streams one frame per scenario as the daemon finishes
+// it (completion order, not request order — each frame carries its
+// scenario index), ending in a summary line.  `metrics` prints the
 // daemon's Prometheus text exposition verbatim, ready to pipe into
 // promtool or a node_exporter textfile collector.
 //
@@ -32,6 +36,7 @@
 #include "obs/metrics.hpp"
 #include "service/client.hpp"
 #include "service/parse.hpp"
+#include "service/protocol.hpp"
 #include "service/report.hpp"
 #include "service/scenario.hpp"
 #include "stats/table.hpp"
@@ -39,6 +44,27 @@
 namespace {
 
 using namespace lb;
+
+/// The verb list comes from the shared protocol registry, so lbcli's usage
+/// text can never drift from what the daemon dispatches.
+std::string verbList() {
+  std::string out;
+  for (const service::VerbSpec& spec : service::verbRegistry()) {
+    if (!out.empty()) out += " | ";
+    out += spec.name;
+  }
+  return out;
+}
+
+std::string verbSummaries() {
+  std::string out;
+  for (const service::VerbSpec& spec : service::verbRegistry()) {
+    const std::size_t pad =
+        spec.name.size() < 9 ? 9 - spec.name.size() : std::size_t{1};
+    out += "  " + spec.name + std::string(pad, ' ') + spec.summary + "\n";
+  }
+  return out;
+}
 
 int failProtocol(const service::Json& response) {
   const service::Json* error = response.find("error");
@@ -78,7 +104,7 @@ int main(int argc, char** argv) {
 
   service::OptionSet options("lbcli", "LOTTERYBUS daemon client");
   options
-      .positional("VERB", "run | sweep | stats | metrics | trace | shutdown",
+      .positional("VERB", verbList(),
                   [&](const std::string& v) {
                     if (!verb.empty())
                       throw std::invalid_argument("more than one verb given (\"" +
@@ -138,7 +164,8 @@ int main(int argc, char** argv) {
              [&](const std::string& opt, const std::string& v) {
                scenario.seed = service::parseU64(opt, v);
              })
-      .value({"--seeds"}, "N", "sweep: seeds seed..seed+N-1 (default 8)",
+      .value({"--seeds"}, "N",
+             "sweep/batch: seeds seed..seed+N-1 (default 8)",
              [&](const std::string& opt, const std::string& v) {
                sweep_seeds = service::parseU64InRange(opt, v, 1, 100000);
              })
@@ -165,7 +192,8 @@ int main(int argc, char** argv) {
                scenario = service::meshPreset(v);
              })
       .flag({"--csv"}, "emit CSV instead of an ASCII table", &csv)
-      .flag({"--json"}, "run: print the raw response document", &raw_json)
+      .flag({"--json"}, "run/batch: print the raw response document(s)",
+            &raw_json)
       .flag({"--client-metrics"},
             "dump this process's metrics registry (Prometheus text,\n"
             "incl. lb_client_retries_total) on stderr before exiting",
@@ -173,8 +201,8 @@ int main(int argc, char** argv) {
   if (const int rc = options.parse(argc, argv); rc >= 0) return rc;
 
   if (verb.empty()) {
-    std::cerr << "error: no verb given (run | sweep | stats | metrics |"
-                 " trace | shutdown)\n";
+    std::cerr << "error: no verb given (" << verbList() << ")\n"
+              << verbSummaries();
     options.printUsage(std::cerr);
     return 2;
   }
@@ -254,6 +282,52 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (verb == "batch") {
+      // Same --seeds expansion as sweep, but submitted as one streaming
+      // request: the daemon answers with one frame per scenario *in
+      // completion order* (each stamped batch{index,seq,of}), then a
+      // terminal summary.  Frames are printed as they arrive.
+      service::Json scenarios = service::Json::array();
+      const std::uint64_t base = scenario.seed;
+      for (std::uint64_t s = 0; s < sweep_seeds; ++s) {
+        service::Scenario variant = scenario;
+        variant.seed = base + s;
+        scenarios.push(service::toJson(service::normalized(variant)));
+      }
+      std::uint64_t hits = 0, frames = 0;
+      const service::Json summary = client.batch(
+          std::move(scenarios), [&](const service::Json& frame) {
+            ++frames;
+            const service::Json* cached = frame.find("cached");
+            if (cached != nullptr && cached->asBool()) ++hits;
+            if (raw_json) {
+              std::cout << frame.dump() << "\n" << std::flush;
+              return;
+            }
+            const service::Json& header = frame.at("batch");
+            std::cout << "[" << header.at("seq").asUint64() + 1 << "/"
+                      << header.at("of").asUint64() << "] seed="
+                      << base + header.at("index").asUint64();
+            if (frame.at("ok").asBool()) {
+              std::cout << " cached="
+                        << (cached != nullptr && cached->asBool() ? "yes"
+                                                                  : "no")
+                        << " hash=" << frame.at("hash").asString();
+            } else {
+              std::cout << " error: " << frame.at("error").asString();
+            }
+            std::cout << "\n" << std::flush;
+          });
+      if (!summary.at("ok").asBool()) return failUnsupported("batch", summary);
+      if (raw_json) std::cout << summary.dump() << "\n";
+      const service::Json& tail = summary.at("batch");
+      std::cerr << "[batch " << tail.at("completed").asUint64() << "/"
+                << tail.at("of").asUint64() << " ok, "
+                << tail.at("errors").asUint64() << " errors, cache hits "
+                << hits << "/" << frames << "]\n";
+      return tail.at("errors").asUint64() == 0 ? 0 : 1;
+    }
+
     if (verb == "stats") {
       const service::Json response = client.stats();
       if (!response.at("ok").asBool()) return failProtocol(response);
@@ -292,7 +366,8 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    std::cerr << "error: unknown verb \"" << verb << "\"\n";
+    std::cerr << "error: unknown verb \"" << verb << "\" (" << verbList()
+              << ")\n";
     options.printUsage(std::cerr);
     return 2;
   } catch (const std::exception& e) {

@@ -1,12 +1,14 @@
 // lbd — the lbserve daemon.
 //
-// Turns the simulator into a long-running service: listens on loopback,
-// accepts newline-delimited JSON requests (run / sweep / stats / metrics /
-// shutdown), executes scenarios on a persistent worker pool behind a
-// bounded job queue, and serves repeated scenarios from a
+// Turns the simulator into a long-running service: a poll-based event
+// loop listens on loopback, accepts newline-delimited JSON requests
+// (run / sweep / batch / stats / metrics / shutdown) — pipelined freely
+// on any connection — executes scenarios on a persistent worker pool
+// behind a bounded job queue, and serves repeated scenarios from a
 // content-addressed result cache.  Every response carries the wire
 // protocol version ("v": 1); the `metrics` verb exposes the process
-// metrics registry as Prometheus text.
+// metrics registry as Prometheus text.  See docs/service.md for the
+// event-loop architecture and the streaming `batch` verb.
 //
 //   ./build/examples/lbd --port 4817
 //   ./build/examples/lbd --port 0 --cache-dir build/lbd-cache  # ephemeral
@@ -103,6 +105,29 @@ int main(int argc, char** argv) {
             "block submitters when the job queue is full instead of\n"
             "answering overloaded + retry_after_ms",
             &block_when_full)
+      .flag({"--thread-per-connection"},
+            "legacy accept loop: one blocking thread per connection\n"
+            "(the poll-based event loop is the default)",
+            &server_options.thread_per_connection)
+      .value({"--dispatch-threads"}, "N",
+             "event-loop dispatch pool size (default: auto)",
+             [&](const std::string& opt, const std::string& v) {
+               server_options.dispatch_threads =
+                   service::parseU64InRange(opt, v, 1, 4096);
+             })
+      .value({"--batch-window"}, "N",
+             "fair-share cap on in-flight jobs per batch request\n"
+             "(default: the worker count)",
+             [&](const std::string& opt, const std::string& v) {
+               server_options.batch_window =
+                   service::parseU64InRange(opt, v, 1, 1 << 20);
+             })
+      .value({"--max-batch"}, "N",
+             "largest accepted batch request (default 4096 scenarios)",
+             [&](const std::string& opt, const std::string& v) {
+               server_options.max_batch =
+                   service::parseU64InRange(opt, v, 1, 1 << 20);
+             })
       .value({"--fault-plan"}, "SPEC",
              "seeded fault injection, e.g.\n"
              "seed=42,torn_read=0.1,read_reset=0.05,job_delay=0.1\n"
@@ -166,6 +191,8 @@ int main(int argc, char** argv) {
     obs::log().info(
         "lbd.start",
         {{"port", std::uint64_t{server.port()}},
+         {"mode", server_options.thread_per_connection ? "thread-per-conn"
+                                                       : "event-loop"},
          {"workers", std::uint64_t{server_options.engine.workers}},
          {"queue_depth", std::uint64_t{server_options.engine.queue_depth}},
          {"flight_recorder", std::uint64_t{recorder_spans}},

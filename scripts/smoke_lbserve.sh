@@ -4,7 +4,9 @@
 # run is a cache hit, that stats report hits and nonzero latency
 # percentiles, that the metrics scrape carries every lb_server_*/
 # lb_request_* family, that the `trace` verb dumps valid Chrome trace JSON,
-# and that shutdown terminates the daemon.  Exits nonzero on any failure.
+# that a streamed `batch` delivers its frames in order with a terminal
+# summary, and that shutdown terminates the daemon.  Exits nonzero on any
+# failure.
 # Usage: scripts/smoke_lbserve.sh [build-dir]
 #
 # When SMOKE_ARTIFACT_DIR is set, the metrics scrape and trace dump are
@@ -127,7 +129,32 @@ if [[ -n "${SMOKE_ARTIFACT_DIR:-}" ]]; then
   cp "$WORK/trace.json" "$SMOKE_ARTIFACT_DIR/smoke_trace.json"
 fi
 
-# 8. Clean shutdown.
+# 8. Streaming batch: one request, one streamed frame per scenario plus a
+# terminal summary.  The seq stamps must count 0..N-1 in arrival order and
+# the done frame must come last with completed+errors == N; rerunning the
+# same batch must be served entirely from the cache.
+"$LBCLI" --port "$PORT" batch --class T2 --cycles 30000 --seeds 6 --json > "$WORK/batch1.json"
+python3 - "$WORK/batch1.json" <<'PY' \
+  || { echo "smoke_lbserve: batch stream malformed"; cat "$WORK/batch1.json"; exit 1; }
+import json, sys
+frames = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+assert len(frames) == 7, f"expected 6 result frames + summary, got {len(frames)}"
+body = frames[:-1]
+done = frames[-1]
+# Streamed responses arrive in order: seq counts 0..N-1 as received.
+assert [f["batch"]["seq"] for f in body] == list(range(6)), \
+    [f["batch"]["seq"] for f in body]
+assert sorted(f["batch"]["index"] for f in body) == list(range(6))
+assert all(f["ok"] and f["batch"]["of"] == 6 for f in body)
+assert done["batch"]["done"] and done["ok"], done
+assert done["batch"]["completed"] + done["batch"]["errors"] == 6, done
+PY
+"$LBCLI" --port "$PORT" batch --class T2 --cycles 30000 --seeds 6 > "$WORK/batch2.out" 2> "$WORK/batch2.err"
+grep -q "cache hits 6/6" "$WORK/batch2.err" \
+  || { echo "smoke_lbserve: warm batch missed the cache"; cat "$WORK/batch2.err"; exit 1; }
+echo "smoke_lbserve: batch stream OK (6 in-order frames + summary, warm rerun fully cached)"
+
+# 9. Clean shutdown.
 "$LBCLI" --port "$PORT" shutdown > /dev/null
 for _ in $(seq 1 50); do
   kill -0 "$LBD_PID" 2>/dev/null || break
@@ -139,7 +166,7 @@ fi
 wait "$LBD_PID" 2>/dev/null || true
 LBD_PID=""
 
-# 9. Fault soak: a second daemon with a seeded chaos plan (15% torn reads
+# 10. Fault soak: a second daemon with a seeded chaos plan (15% torn reads
 # and writes, 10% job delays, plus resets, sheds, and cache corruption).
 # 200 lbcli runs must all complete (no hangs — every call is bounded by
 # --deadline-ms and a belt-and-braces `timeout`), every result must stay
@@ -191,4 +218,4 @@ kill "$LBD_PID" 2>/dev/null || true
 wait "$LBD_PID" 2>/dev/null || true
 LBD_PID=""
 
-echo "smoke_lbserve: OK (bit-identical run, cache hit, mesh run, warm sweep, stats, metrics, trace, shutdown, fault soak)"
+echo "smoke_lbserve: OK (bit-identical run, cache hit, mesh run, warm sweep, stats, metrics, trace, batch stream, shutdown, fault soak)"

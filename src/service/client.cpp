@@ -87,18 +87,8 @@ void Client::connectSocket(
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
 
-std::string Client::exchangeLine(
-    const std::string& line,
+std::string Client::readLine(
     const std::optional<std::chrono::steady_clock::time_point>& deadline) {
-  const std::string framed = line + "\n";
-  switch (net::sendAll(fd_, framed, deadline, options_.fault)) {
-    case net::IoStatus::kOk:
-      break;
-    case net::IoStatus::kTimeout:
-      throw DeadlineError("deadline expired while sending the request");
-    default:
-      throw TransportError("send() failed (daemon gone?)");
-  }
   for (;;) {
     const std::size_t newline = buffer_.find('\n');
     if (newline != std::string::npos) {
@@ -117,6 +107,21 @@ std::string Client::exchangeLine(
         throw TransportError("recv() failed (daemon gone?)");
     }
   }
+}
+
+std::string Client::exchangeLine(
+    const std::string& line,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  const std::string framed = line + "\n";
+  switch (net::sendAll(fd_, framed, deadline, options_.fault)) {
+    case net::IoStatus::kOk:
+      break;
+    case net::IoStatus::kTimeout:
+      throw DeadlineError("deadline expired while sending the request");
+    default:
+      throw TransportError("send() failed (daemon gone?)");
+  }
+  return readLine(deadline);
 }
 
 bool Client::backoff(
@@ -142,32 +147,39 @@ bool Client::backoff(
   return true;
 }
 
-Json Client::call(const Json& request) {
-  // Attach a trace identity unless the caller brought one.  Minted once per
-  // logical request: retries resend the identical line, so server-side
-  // spans from every attempt share one trace id.
-  Json traced = request;
-  obs::TraceContext ctx = traceContextFromRequest(traced);
-  if (!ctx.valid() && traced.isObject()) {
-    ctx.trace_id = obs::mintTraceId();
-    ctx.span_id = obs::mintTraceId();
-    traced.set("trace", traceContextJson(ctx));
-  }
-  last_trace_ = ctx;
-  const std::string line = traced.dump();
-  // Transport-failure resends are allowed only for idempotent verbs: once
-  // bytes hit the wire the daemon may have executed the request.  Connect
-  // failures happen strictly before that, so any verb may retry those.
-  const bool resendable = isIdempotentVerb(requestVerb(request));
-  const auto deadline = callDeadline();
+Json Client::callCore(
+    const std::string& verb, const std::string& line,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    const FrameHandler& on_frame) {
+  // The registry decides the retry contract: transport-failure resends are
+  // allowed only for idempotent verbs — once bytes hit the wire the daemon
+  // may have executed the request.  Connect failures happen strictly
+  // before that, so any verb may retry those.
+  const VerbSpec* spec = findVerb(verb);
+  const bool resendable = spec != nullptr && spec->idempotent;
+  const bool streaming = spec != nullptr && spec->streaming;
   int attempt = 0;
   for (;;) {
     bool exchanged = false;
+    bool streamed = false;  // frames already delivered to the caller
     try {
       if (fd_ < 0) connectSocket(deadline);
       exchanged = true;
       Json response = Json::parse(exchangeLine(line, deadline));
       requireProtocolVersion(response);
+      if (streaming && isBatchFrame(response)) {
+        // Stream until the terminal summary.  Once a frame reaches the
+        // caller the request is never resent — a duplicate stream would
+        // double-deliver results — so a mid-stream transport failure
+        // surfaces directly.
+        while (!isBatchSummaryFrame(response)) {
+          if (on_frame) on_frame(response);
+          streamed = true;
+          response = Json::parse(readLine(deadline));
+          requireProtocolVersion(response);
+        }
+        return response;
+      }
       if (isOverloadedResponse(response)) {
         // An explicit shed is always retryable: the daemon rejected the
         // request before executing it.  Honor its retry_after_ms as the
@@ -182,13 +194,16 @@ Json Client::call(const Json& request) {
         }
         return response;
       }
+      // For streaming verbs this is a terminal non-stream document — e.g.
+      // an older daemon answering with unknown-verb — returned as-is.
       return response;
     } catch (const DeadlineError&) {
       closeSocket();
       throw;
     } catch (const TransportError&) {
       closeSocket();
-      if ((!exchanged || resendable) && attempt < options_.max_retries &&
+      if (!streamed && (!exchanged || resendable) &&
+          attempt < options_.max_retries &&
           backoff(attempt, "transport", std::chrono::milliseconds(0),
                   deadline)) {
         ++attempt;
@@ -200,44 +215,103 @@ Json Client::call(const Json& request) {
       // connection so the next call starts clean, then surface the error.
       closeSocket();
       throw;
+    } catch (...) {
+      // Anything else (e.g. a protocol-version mismatch) mid-stream leaves
+      // unread frames buffered; drop the connection so the next call
+      // starts clean.
+      if (streamed) closeSocket();
+      throw;
     }
   }
 }
 
+Json Client::call(const Json& request) {
+  // Attach a trace identity unless the caller brought one.  Minted once per
+  // logical request: retries resend the identical line, so server-side
+  // spans from every attempt share one trace id.
+  Json traced = request;
+  obs::TraceContext ctx = traceContextFromRequest(traced);
+  if (!ctx.valid() && traced.isObject()) {
+    ctx.trace_id = obs::mintTraceId();
+    ctx.span_id = obs::mintTraceId();
+    traced.set("trace", traceContextJson(ctx));
+  }
+  last_trace_ = ctx;
+  return callCore(requestVerb(request), traced.dump(), callDeadline(), {});
+}
+
+Client::Response Client::exchange(const Request& request,
+                                  const FrameHandler& on_frame) {
+  Json wire = Json::object();
+  wire.set("verb", Json(request.verb));
+  if (request.payload.isObject()) {
+    for (const auto& member : request.payload.asObject())
+      if (member.first != "verb" && member.first != "trace")
+        wire.set(member.first, member.second);
+  }
+  obs::TraceContext ctx = request.trace;
+  if (!ctx.valid()) {
+    ctx.trace_id = obs::mintTraceId();
+    ctx.span_id = obs::mintTraceId();
+  }
+  wire.set("trace", traceContextJson(ctx));
+  last_trace_ = ctx;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (request.deadline.count() < 0)
+    deadline = callDeadline();
+  else if (request.deadline.count() > 0)
+    deadline = std::chrono::steady_clock::now() + request.deadline;
+  Response out;
+  out.trace = ctx;
+  out.body = callCore(request.verb, wire.dump(), deadline, on_frame);
+  const Json* ok = out.body.isObject() ? out.body.find("ok") : nullptr;
+  out.ok = ok != nullptr && ok->isBool() && ok->asBool();
+  return out;
+}
+
 Json Client::run(const Json& scenario) {
-  Json request = Json::object();
-  request.set("verb", Json("run")).set("scenario", scenario);
-  return call(request);
+  Request request;
+  request.verb = "run";
+  request.payload.set("scenario", scenario);
+  return exchange(request).body;
 }
 
 Json Client::sweep(Json scenarios) {
-  Json request = Json::object();
-  request.set("verb", Json("sweep")).set("scenarios", std::move(scenarios));
-  return call(request);
+  Request request;
+  request.verb = "sweep";
+  request.payload.set("scenarios", std::move(scenarios));
+  return exchange(request).body;
+}
+
+Json Client::batch(Json scenarios, const FrameHandler& on_frame) {
+  Request request;
+  request.verb = "batch";
+  request.payload.set("scenarios", std::move(scenarios));
+  return exchange(request, on_frame).body;
 }
 
 Json Client::stats() {
-  Json request = Json::object();
-  request.set("verb", Json("stats"));
-  return call(request);
+  Request request;
+  request.verb = "stats";
+  return exchange(request).body;
 }
 
 Json Client::metrics() {
-  Json request = Json::object();
-  request.set("verb", Json("metrics"));
-  return call(request);
+  Request request;
+  request.verb = "metrics";
+  return exchange(request).body;
 }
 
 Json Client::trace() {
-  Json request = Json::object();
-  request.set("verb", Json("trace"));
-  return call(request);
+  Request request;
+  request.verb = "trace";
+  return exchange(request).body;
 }
 
 Json Client::shutdown() {
-  Json request = Json::object();
-  request.set("verb", Json("shutdown"));
-  return call(request);
+  Request request;
+  request.verb = "shutdown";
+  return exchange(request).body;
 }
 
 }  // namespace lb::service

@@ -23,6 +23,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -67,6 +68,37 @@ struct ClientOptions {
 
 class Client {
 public:
+  /// One typed request for exchange(): the verb plus its payload members,
+  /// with optional per-request overrides for the deadline and the trace
+  /// identity.  This envelope is the single client-side request path — the
+  /// per-verb convenience methods are thin wrappers over it, so every verb
+  /// (run/sweep/batch/stats/metrics/trace/shutdown) shares one retry,
+  /// deadline, and trace-minting implementation.
+  struct Request {
+    std::string verb;
+    /// Extra top-level request members ({"scenario":...},
+    /// {"scenarios":[...]}); must be an object (empty for payload-less
+    /// verbs).  `verb`/`trace` members inside it are ignored — the
+    /// envelope fields win.
+    Json payload = Json::object();
+    /// Per-request deadline: negative (default) inherits
+    /// ClientOptions::deadline, zero disables it, positive replaces it.
+    std::chrono::milliseconds deadline{-1};
+    /// Pre-minted trace identity; {0,0} (the default) mints a fresh one,
+    /// stable across retries.
+    obs::TraceContext trace;
+  };
+
+  struct Response {
+    Json body;                ///< terminal response document ({"ok":...})
+    obs::TraceContext trace;  ///< identity the request carried on the wire
+    bool ok = false;          ///< body's "ok" member was true
+  };
+
+  /// Stream-frame sink for streaming verbs (`batch`): invoked once per
+  /// non-terminal frame, in arrival order.
+  using FrameHandler = std::function<void(const Json& frame)>;
+
   /// Connects immediately; throws TransportError when the daemon is not
   /// reachable (subject to options.deadline).
   explicit Client(ClientOptions options);
@@ -78,6 +110,16 @@ public:
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
+
+  /// Sends the envelope and blocks for the terminal response, retrying per
+  /// the class comment; the verb registry decides whether a mid-exchange
+  /// transport failure may resend (VerbSpec::idempotent).  For streaming
+  /// verbs, `on_frame` receives every non-terminal frame and the returned
+  /// Response is the terminal summary; once a frame has been delivered the
+  /// request is never resent (the caller already observed output).  A
+  /// non-streaming error document (e.g. an older daemon rejecting the
+  /// verb) is returned as the terminal response.
+  Response exchange(const Request& request, const FrameHandler& on_frame = {});
 
   /// Sends `request` and blocks for the matching response line, retrying
   /// per the class comment.  Throws TransportError / DeadlineError on
@@ -92,9 +134,15 @@ public:
   /// server-side spans under it.  See lastTrace().
   Json call(const Json& request);
 
-  /// Convenience wrappers for the protocol verbs.
+  /// Convenience wrappers for the protocol verbs (thin shims over
+  /// exchange()).
   Json run(const Json& scenario);
   Json sweep(Json scenarios);
+  /// Streams a batch: `on_frame` sees each per-result frame as the daemon
+  /// completes it; the returned document is the terminal
+  /// {"batch":{"done":true,...}} summary (or an error document from a
+  /// daemon that predates the verb).
+  Json batch(Json scenarios, const FrameHandler& on_frame = {});
   Json stats();
   Json metrics();
   /// Dumps the daemon's flight recorder ({"chrome_trace":...}).
@@ -114,6 +162,17 @@ private:
   void connectSocket(
       const std::optional<std::chrono::steady_clock::time_point>& deadline);
   void closeSocket();
+  /// The shared retry/deadline loop under call() and exchange(): sends
+  /// `line`, reads the terminal response (streaming intermediate frames to
+  /// `on_frame` when the registry marks `verb` streaming), and applies the
+  /// overloaded/transport retry policy.
+  Json callCore(
+      const std::string& verb, const std::string& line,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline,
+      const FrameHandler& on_frame);
+  /// One framed line from the connection (buffered newline scan).
+  std::string readLine(
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
   std::string exchangeLine(
       const std::string& line,
       const std::optional<std::chrono::steady_clock::time_point>& deadline);

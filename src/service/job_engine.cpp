@@ -163,6 +163,7 @@ void JobEngine::execute(const std::shared_ptr<Job>& job) {
              finished);
   if (outcome.status == JobStatus::kOk)
     cache_.put(job->hash, job->scenario, outcome.result);
+  std::vector<Completion> callbacks;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     in_flight_.erase(job->hash);
@@ -174,8 +175,14 @@ void JobEngine::execute(const std::shared_ptr<Job>& job) {
       ++stats_.failed;
       failed_counter_.inc();
     }
+    // Extract under the lock so late submitAsync coalescers either made it
+    // into this vector or found the job gone and resubmitted.
+    callbacks = std::move(job->callbacks);
+    job->callbacks.clear();
   }
+  const JobOutcome for_callbacks = outcome;
   job->promise.set_value(std::move(outcome));
+  for (Completion& done : callbacks) done(for_callbacks);
 }
 
 std::pair<std::shared_future<JobOutcome>, bool> JobEngine::submit(
@@ -219,7 +226,8 @@ std::pair<std::shared_future<JobOutcome>, bool> JobEngine::submit(
   if (flying != in_flight_.end()) {
     ++stats_.coalesced;
     coalesced_counter_.inc();
-    return {flying->second, true};  // piggyback on the identical running job
+    // Piggyback on the identical running job.
+    return {flying->second->future, true};
   }
   // Admission control: injected rejection (chaos) or, with shed_when_full,
   // an immediate explicit shed instead of blocking on queue space.
@@ -244,7 +252,7 @@ std::pair<std::shared_future<JobOutcome>, bool> JobEngine::submit(
     return {readyFuture(std::move(outcome)), false};
   }
   auto future = job->future;
-  in_flight_[hash] = future;
+  in_flight_[hash] = job;
   job->enqueued_at = std::chrono::steady_clock::now();
   queue_.push_back(std::move(job));
   ++stats_.submitted;
@@ -269,19 +277,113 @@ JobOutcome JobEngine::shedOutcome(std::uint64_t hash,
   return outcome;
 }
 
+JobOutcome JobEngine::timeoutOutcome() {
+  JobOutcome outcome;
+  outcome.status = JobStatus::kTimeout;
+  outcome.error = "job exceeded " + std::to_string(options_.timeout.count()) +
+                  " ms (still running; retry later for a cache hit)";
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.timeouts;
+  timeout_counter_.inc();
+  return outcome;
+}
+
 JobOutcome JobEngine::await(std::shared_future<JobOutcome> future) {
-  if (future.wait_for(options_.timeout) != std::future_status::ready) {
-    JobOutcome outcome;
-    outcome.status = JobStatus::kTimeout;
-    outcome.error = "job exceeded " +
-                    std::to_string(options_.timeout.count()) +
-                    " ms (still running; retry later for a cache hit)";
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.timeouts;
-    timeout_counter_.inc();
-    return outcome;
-  }
+  if (future.wait_for(options_.timeout) != std::future_status::ready)
+    return timeoutOutcome();
   return future.get();
+}
+
+void JobEngine::submitAsync(const Scenario& raw, const obs::TraceContext& trace,
+                            Completion done) {
+  Scenario scenario;
+  try {
+    scenario = normalized(raw);
+  } catch (const std::exception& e) {
+    JobOutcome outcome;
+    outcome.status = JobStatus::kError;
+    outcome.error = e.what();
+    done(std::move(outcome));
+    return;
+  }
+  const std::uint64_t hash = scenarioHash(scenario);
+
+  const auto lookup_started = std::chrono::steady_clock::now();
+  auto cached = cache_.get(hash);
+  const auto lookup_finished = std::chrono::steady_clock::now();
+  stage_cache_lookup_.observe(std::chrono::duration<double, std::micro>(
+                                  lookup_finished - lookup_started)
+                                  .count());
+  recordSpan(trace, "cache.lookup", cached ? "hit" : "miss", lookup_started,
+             lookup_finished);
+  if (cached) {
+    JobOutcome outcome;
+    outcome.status = JobStatus::kOk;
+    outcome.result = std::move(*cached);
+    outcome.hash = hash;
+    outcome.cache_hit = true;
+    done(std::move(outcome));
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->scenario = std::move(scenario);
+  job->hash = hash;
+  job->future = job->promise.get_future().share();
+  job->trace = trace;
+
+  JobOutcome ready;  // sync outcome (shed/stopping) delivered outside the lock
+  bool have_ready = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto flying = in_flight_.find(hash);
+    if (flying != in_flight_.end()) {
+      ++stats_.coalesced;
+      coalesced_counter_.inc();
+      flying->second->callbacks.push_back(
+          [done = std::move(done)](JobOutcome outcome) {
+            outcome.coalesced = true;
+            done(std::move(outcome));
+          });
+      return;
+    }
+    if (options_.fault != nullptr && options_.fault->rejectAdmission()) {
+      ready = shedOutcome(hash, "admission rejected (fault plan)");
+      have_ready = true;
+    } else if (options_.shed_when_full &&
+               queue_.size() >= options_.queue_depth) {
+      ready = shedOutcome(hash, "job queue full (" +
+                                    std::to_string(options_.queue_depth) +
+                                    " deep)");
+      have_ready = true;
+    } else {
+      // Same bounded-FIFO backpressure as submit(); only reachable when the
+      // engine is configured to block rather than shed.
+      queue_cv_.wait(lock, [this] {
+        return stopping_ || queue_.size() < options_.queue_depth;
+      });
+      if (stopping_) {
+        ready.status = JobStatus::kError;
+        ready.error = "job engine is shutting down";
+        ready.hash = hash;
+        have_ready = true;
+      } else {
+        job->callbacks.push_back(std::move(done));
+        in_flight_[hash] = job;
+        job->enqueued_at = std::chrono::steady_clock::now();
+        queue_.push_back(std::move(job));
+        ++stats_.submitted;
+        submitted_counter_.inc();
+        queue_depth_gauge_.set(static_cast<std::int64_t>(queue_.size()));
+        in_flight_gauge_.set(static_cast<std::int64_t>(in_flight_.size()));
+      }
+    }
+  }
+  if (have_ready) {
+    done(std::move(ready));
+    return;
+  }
+  queue_cv_.notify_all();
 }
 
 JobOutcome JobEngine::run(const Scenario& scenario,

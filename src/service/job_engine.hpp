@@ -25,6 +25,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -116,7 +117,29 @@ public:
   std::vector<JobOutcome> sweep(const std::vector<Scenario>& scenarios,
                                 const obs::TraceContext& trace = {});
 
+  /// Outcome delivery for submitAsync.  Invoked exactly once — either
+  /// synchronously inside submitAsync (cache hit, validation error, shed,
+  /// engine stopping) or later on the worker thread that finished the job
+  /// (coalesced followers included, with `coalesced` set).  Callbacks run
+  /// with no engine lock held and may re-enter submitAsync.
+  using Completion = std::function<void(JobOutcome)>;
+
+  /// Nonblocking cache-or-execute for the event-loop server: never waits on
+  /// execution and never applies the per-job timeout (the caller owns its
+  /// own deadline; see timeoutOutcome()).  With shed_when_full it never
+  /// blocks at all; without it, it can still block on queue space exactly
+  /// like submit().
+  void submitAsync(const Scenario& scenario, const obs::TraceContext& trace,
+                   Completion done);
+
+  /// The kTimeout outcome a caller should report when its own wait budget
+  /// expires (counts stats_.timeouts / lb_jobs_timeout_total, same as the
+  /// blocking await path).  The job is not preempted — it finishes in the
+  /// background and still populates the cache.
+  JobOutcome timeoutOutcome();
+
   JobEngineStats stats() const;
+  const JobEngineOptions& options() const { return options_; }
   ResultCache& cache() { return cache_; }
   obs::MetricsRegistry& metricsRegistry() { return registry_; }
 
@@ -130,6 +153,10 @@ private:
     /// share it); {0,0} when the request is untraced.
     obs::TraceContext trace;
     std::chrono::steady_clock::time_point enqueued_at;
+    /// Async completions to invoke when the job finishes (guarded by the
+    /// engine mutex until execute() extracts them; coalesced followers'
+    /// callbacks are wrapped to set `coalesced`).
+    std::vector<Completion> callbacks;
   };
 
   /// Cache lookup / coalesce / enqueue; never blocks on execution (only on
@@ -173,7 +200,7 @@ private:
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;  ///< space freed / job available
   std::deque<std::shared_ptr<Job>> queue_;
-  std::unordered_map<std::uint64_t, std::shared_future<JobOutcome>> in_flight_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> in_flight_;
   bool stopping_ = false;
   JobEngineStats stats_;
 

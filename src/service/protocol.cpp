@@ -5,15 +5,43 @@
 
 namespace lb::service {
 
+const std::vector<VerbSpec>& verbRegistry() {
+  static const std::vector<VerbSpec> registry = {
+      {"run", /*idempotent=*/true, /*streaming=*/false,
+       "simulate one scenario (content-addressed, cached)"},
+      {"sweep", /*idempotent=*/true, /*streaming=*/false,
+       "simulate a list of scenarios, one response frame"},
+      {"batch", /*idempotent=*/true, /*streaming=*/true,
+       "submit N scenarios, stream results as they complete"},
+      {"stats", /*idempotent=*/true, /*streaming=*/false,
+       "daemon counters (requests, cache, queue, latency)"},
+      {"metrics", /*idempotent=*/true, /*streaming=*/false,
+       "Prometheus text exposition of the metrics registry"},
+      {"trace", /*idempotent=*/true, /*streaming=*/false,
+       "flight-recorder dump as chrome_trace JSON"},
+      {"shutdown", /*idempotent=*/false, /*streaming=*/false,
+       "stop the daemon after answering"},
+  };
+  return registry;
+}
+
+const VerbSpec* findVerb(const std::string& verb) {
+  for (const VerbSpec& spec : verbRegistry())
+    if (spec.name == verb) return &spec;
+  return nullptr;
+}
+
 const std::vector<std::string>& protocolVerbs() {
-  static const std::vector<std::string> verbs = {"run",     "sweep", "stats",
-                                                 "metrics", "trace", "shutdown"};
+  static const std::vector<std::string> verbs = [] {
+    std::vector<std::string> names;
+    for (const VerbSpec& spec : verbRegistry()) names.push_back(spec.name);
+    return names;
+  }();
   return verbs;
 }
 
 bool isProtocolVerb(const std::string& verb) {
-  const auto& verbs = protocolVerbs();
-  return std::find(verbs.begin(), verbs.end(), verb) != verbs.end();
+  return findVerb(verb) != nullptr;
 }
 
 Json protocolVerbsJson() {
@@ -42,8 +70,8 @@ void requireProtocolVersion(const Json& response) {
 }
 
 bool isIdempotentVerb(const std::string& verb) {
-  return verb == "run" || verb == "sweep" || verb == "stats" ||
-         verb == "metrics" || verb == "trace";
+  const VerbSpec* spec = findVerb(verb);
+  return spec != nullptr && spec->idempotent;
 }
 
 Json makeOverloadedResponse(const std::string& reason,
@@ -104,6 +132,39 @@ Json& stampTraceContext(Json& response, const obs::TraceContext& context) {
 
 obs::TraceContext traceContextFromResponse(const Json& response) {
   return traceContextFromMessage(response);
+}
+
+Json makeBatchFrameHeader(std::uint64_t index, std::uint64_t seq,
+                          std::uint64_t of) {
+  Json block = Json::object();
+  block.set("index", Json(index)).set("seq", Json(seq)).set("of", Json(of));
+  return block;
+}
+
+Json makeBatchSummaryHeader(std::uint64_t of, std::uint64_t completed,
+                            std::uint64_t errors) {
+  Json block = Json::object();
+  block.set("done", Json(true))
+      .set("of", Json(of))
+      .set("completed", Json(completed))
+      .set("errors", Json(errors));
+  return block;
+}
+
+bool isBatchFrame(const Json& response) {
+  if (!response.isObject()) return false;
+  const Json* block = response.find("batch");
+  return block != nullptr && block->isObject();
+}
+
+bool isBatchSummaryFrame(const Json& response) {
+  if (!isBatchFrame(response)) return false;
+  const Json* done = response.find("batch")->find("done");
+  return done != nullptr && done->isBool() && done->asBool();
+}
+
+std::uint64_t batchFrameIndex(const Json& response) {
+  return response.at("batch").at("index").asUint64();
 }
 
 }  // namespace lb::service

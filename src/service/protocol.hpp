@@ -20,7 +20,40 @@ namespace lb::service {
 /// adding fields or verbs is compatible and does not bump it.
 inline constexpr std::uint64_t kProtocolVersion = 1;
 
-/// Verbs the daemon understands, in documentation order.
+// ---------------------------------------------------------------------------
+// Verb registry (docs/service.md)
+// ---------------------------------------------------------------------------
+//
+// One declarative table is the single source of truth for everything that
+// enumerates or classifies verbs: the daemon's dispatch map, the
+// unknown-verb `supported_verbs` payload, lbcli's verb discovery/usage
+// text, and the client's idempotent-resend decision.  Adding a verb means
+// adding one VerbSpec row (plus a server handler); nothing else needs to
+// stay in sync by hand.
+
+struct VerbSpec {
+  std::string name;
+  /// Safe to *resend* after a transport failure mid-exchange (the request
+  /// may or may not have executed).  All read/compute verbs qualify —
+  /// identical scenarios are content-addressed, so a re-run is a cache
+  /// hit.  `shutdown` does not: a lost response may mean the daemon is
+  /// already stopping, and the resend would report a spurious connect
+  /// failure.
+  bool idempotent = false;
+  /// The response is a *stream* of newline-delimited v1 frames ending in a
+  /// terminal summary frame, not a single frame (only `batch` today).
+  bool streaming = false;
+  /// One-line description for usage/help text.
+  std::string summary;
+};
+
+/// The verbs the daemon understands, in documentation order.
+const std::vector<VerbSpec>& verbRegistry();
+
+/// Registry row for `verb`, or nullptr when unknown.
+const VerbSpec* findVerb(const std::string& verb);
+
+/// Verb names from the registry, in documentation order.
 const std::vector<std::string>& protocolVerbs();
 bool isProtocolVerb(const std::string& verb);
 
@@ -47,12 +80,8 @@ void requireProtocolVersion(const Json& response);
 // Clients treat it as retryable after >= retry_after_ms (Client::call does,
 // bounded by its retry budget and per-request deadline).
 
-/// True for idempotent verbs a client may safely *resend* after a transport
-/// failure mid-exchange (the request may or may not have executed).  All
-/// read/compute verbs qualify — identical scenarios are content-addressed,
-/// so a re-run is a cache hit.  `shutdown` does not: a lost response may
-/// mean the daemon is already stopping, and the resend would report a
-/// spurious connect failure.
+/// True when the registry marks `verb` idempotent (see VerbSpec::idempotent).
+/// Unknown verbs are not idempotent.
 bool isIdempotentVerb(const std::string& verb);
 
 /// Builds the overloaded response body (without the version stamp).
@@ -89,5 +118,40 @@ Json& stampTraceContext(Json& response, const obs::TraceContext& context);
 
 /// The response's echoed trace block; {0, 0} when absent.
 obs::TraceContext traceContextFromResponse(const Json& response);
+
+// ---------------------------------------------------------------------------
+// Streaming `batch` frames (docs/service.md)
+// ---------------------------------------------------------------------------
+//
+// A `batch` request carries `"scenarios":[...]` and is answered by a
+// *stream* of v1 frames on the same connection, in completion order:
+//
+//   per-result frame:  normal run-response members (ok/hash/cached/...)
+//                      plus `"batch":{"index":i,"seq":k,"of":N}` where
+//                      `index` is the scenario's position in the request,
+//                      `seq` is the 0-based frame sequence number, and
+//                      `of` is the scenario count;
+//   terminal frame:    {"ok":true,"batch":{"done":true,"of":N,
+//                      "completed":C,"errors":E}}.
+//
+// Every frame is version-stamped and trace-echoed like any v1 response.
+
+/// The `"batch"` block for a per-result stream frame.
+Json makeBatchFrameHeader(std::uint64_t index, std::uint64_t seq,
+                          std::uint64_t of);
+
+/// The `"batch"` block for the terminal summary frame.
+Json makeBatchSummaryHeader(std::uint64_t of, std::uint64_t completed,
+                            std::uint64_t errors);
+
+/// True when `response` carries a `"batch"` block (stream or terminal).
+bool isBatchFrame(const Json& response);
+
+/// True for the terminal summary frame ({"batch":{"done":true,...}}).
+bool isBatchSummaryFrame(const Json& response);
+
+/// The stream frame's scenario index; throws JsonError on a summary frame
+/// or a non-batch response.
+std::uint64_t batchFrameIndex(const Json& response);
 
 }  // namespace lb::service

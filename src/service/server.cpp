@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -11,8 +12,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <map>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "service/protocol.hpp"
 #include "service/socket_io.hpp"
@@ -23,6 +28,15 @@ namespace {
 
 constexpr std::size_t kLatencyReservoir = 4096;
 constexpr std::size_t kMaxLineBytes = 4 << 20;  // 4 MiB guards the parser
+/// Requests one connection may have in flight before the loop stops
+/// reading from it (pipelining backpressure; responses drain the window).
+constexpr std::size_t kMaxPipeline = 1024;
+/// Unflushed response bytes that pause reads from a connection (a slow
+/// reader cannot make the server buffer an unbounded batch stream).
+constexpr std::size_t kMaxWriteBuffer = 16 << 20;
+/// Bytes one connection may receive per loop visit (fairness: a firehose
+/// peer cannot starve the other connections; poll() re-arms it).
+constexpr std::size_t kReadBudget = 256 << 10;
 
 Json errorResponse(const std::string& message) {
   Json response = Json::object();
@@ -43,6 +57,45 @@ double elapsedMicros(std::chrono::steady_clock::time_point start,
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Streaming batch bookkeeping
+// ---------------------------------------------------------------------------
+
+/// Shared between the dispatch thread that admits a `batch` request, the
+/// engine workers finishing its jobs, and the loop-side timeout handler.
+/// `mutex` orders them; completions are posted while holding it so frame
+/// `seq` numbers hit the wire monotonically.
+struct Server::BatchState {
+  std::mutex mutex;
+  RequestCtx ctx;
+  std::vector<Scenario> scenarios;
+  /// Content hashes for the dedup hold (has_hash false when normalization
+  /// failed — those items are submitted anyway and fail in-engine, exactly
+  /// like a sequential run of the same scenario).
+  std::vector<std::uint64_t> hashes;
+  std::vector<char> has_hash;
+  std::vector<char> item_done;
+  /// Indices not yet handed to the engine, in request order.  Items whose
+  /// hash twin is in flight are skipped (held) until the twin finishes, so
+  /// an intra-batch duplicate becomes a cache hit — bit-identical to N
+  /// sequential runs — instead of a coalesced wait.
+  std::deque<std::size_t> pending;
+  std::unordered_set<std::uint64_t> inflight;  ///< this batch's hashes in engine
+  std::size_t in_window = 0;  ///< jobs currently submitted to the engine
+  std::size_t window = 1;     ///< fair-share cap on in_window
+  std::size_t remaining = 0;  ///< items without a stream frame yet
+  std::uint64_t seq = 0;      ///< next stream-frame sequence number
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  bool finished = false;  ///< summary posted (or the deadline fired)
+  // pumpBatch re-entrancy: submitAsync may invoke its callback inline
+  // (cache hit), which calls back into pumpBatch; the nested call just
+  // marks `dirty` and the outer iteration picks the work up — bounded
+  // stack depth even for an all-cached batch of thousands.
+  bool pumping = false;
+  bool dirty = false;
+};
 
 void Server::recordSpan(const obs::TraceContext& trace, std::uint64_t span_id,
                         std::uint64_t parent_id, const char* name,
@@ -103,8 +156,8 @@ Json Server::outcomeResponse(const JobOutcome& outcome,
 
 Server::Server(ServerOptions options)
     : options_(options),
-      engine_(engineOptions(options)),
       log_(options.log != nullptr ? *options.log : obs::log()),
+      engine_(engineOptions(options)),
       requests_family_(engine_.metricsRegistry().counter(
           "lb_server_requests_total", "Requests handled per verb")),
       protocol_errors_counter_(
@@ -136,7 +189,25 @@ Server::Server(ServerOptions options)
                                   "Per-stage request latency",
                                   obs::microsBuckets())
                        .withLabels({{"stage", "write"}})) {
+  // Every wire verb must have a server binding (and nothing beyond the
+  // registry): the registry is the single source of truth, so a missing
+  // handler is a programming error caught at the first construction.
+  const auto& bindings = verbBindings();
+  for (const VerbSpec& spec : verbRegistry())
+    if (bindings.find(spec.name) == bindings.end())
+      throw std::logic_error("no server handler bound for verb \"" +
+                             spec.name + "\"");
+  if (bindings.size() != verbRegistry().size())
+    throw std::logic_error("server binds a verb the registry does not list");
+
   latency_reservoir_.reserve(kLatencyReservoir);
+
+  int wake[2];
+  if (::pipe(wake) != 0) throw std::runtime_error("pipe() failed");
+  wake_read_fd_ = wake[0];
+  wake_write_fd_ = wake[1];
+  net::setNonblocking(wake_read_fd_);
+  net::setNonblocking(wake_write_fd_);
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
@@ -153,7 +224,7 @@ Server::Server(ServerOptions options)
                              std::to_string(options_.port) + ": " +
                              std::strerror(errno));
   }
-  if (::listen(listen_fd_, 64) < 0) {
+  if (::listen(listen_fd_, 256) < 0) {
     ::close(listen_fd_);
     throw std::runtime_error("listen() failed");
   }
@@ -164,6 +235,16 @@ Server::Server(ServerOptions options)
 
 Server::~Server() {
   stop();
+  {
+    // Engine workers may still invoke async completions while engine_ is
+    // being destroyed; they post under this mutex and skip the wake write
+    // once the fds are gone.
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+    if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+    wake_read_fd_ = -1;
+    wake_write_fd_ = -1;
+  }
   if (listen_fd_ >= 0) ::close(listen_fd_);
 }
 
@@ -185,14 +266,251 @@ void Server::pokeListener() {
   }
 }
 
+void Server::wakeLoop() {
+  std::lock_guard<std::mutex> lock(completions_mutex_);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'w';
+    // A full pipe means a wakeup is already pending — EAGAIN is success.
+    (void)!::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void Server::postCompletion(Completion completion) {
+  std::lock_guard<std::mutex> lock(completions_mutex_);
+  completions_.push_back(std::move(completion));
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'w';
+    (void)!::write(wake_write_fd_, &byte, 1);
+  }
+}
+
 void Server::stop() {
-  if (!stopping_.exchange(true)) pokeListener();
+  if (!stopping_.exchange(true)) {
+    if (options_.thread_per_connection)
+      pokeListener();
+    else
+      wakeLoop();
+  }
   if (serve_thread_.joinable() &&
       serve_thread_.get_id() != std::this_thread::get_id())
     serve_thread_.join();
 }
 
 void Server::serve() {
+  if (options_.thread_per_connection)
+    serveThreaded();
+  else
+    serveEventLoop();
+}
+
+// ---------------------------------------------------------------------------
+// Verb dispatch (shared by both connection models)
+// ---------------------------------------------------------------------------
+
+const std::unordered_map<std::string, Server::VerbBinding>&
+Server::verbBindings() {
+  static const std::unordered_map<std::string, VerbBinding> bindings = {
+      {"run", {&Server::verbRun, &Server::asyncRun}},
+      {"sweep", {&Server::verbSweep, &Server::asyncSweep}},
+      {"batch", {&Server::verbBatch, &Server::asyncBatch}},
+      {"stats", {&Server::verbStats, nullptr}},
+      {"metrics", {&Server::verbMetrics, nullptr}},
+      {"trace", {&Server::verbTrace, nullptr}},
+      {"shutdown", {&Server::verbShutdown, nullptr}},
+  };
+  return bindings;
+}
+
+Json Server::unknownVerbResponse(const std::string& verb,
+                                 const obs::TraceContext& root) {
+  ++protocol_errors_;
+  protocol_errors_counter_.inc();
+  if (options_.recorder != nullptr)
+    options_.recorder->annotateTrace(root.trace_id, "server.protocol_error",
+                                     "unknown verb \"" + verb + "\"");
+  log_.warn("server.protocol_error",
+            {{"error", "unknown verb \"" + verb + "\""}, {"trace", root}});
+  Json response = errorResponse("unknown verb \"" + verb + "\"");
+  response.set("supported_verbs", protocolVerbsJson());
+  return response;
+}
+
+void Server::verbRun(const Json& request, RequestCtx& ctx,
+                     std::vector<Json>& out) {
+  const Scenario scenario = scenarioFromJson(request.at("scenario"));
+  out.push_back(outcomeResponse(engine_.run(scenario, ctx.root_ctx),
+                                ctx.root_ctx));
+}
+
+void Server::verbSweep(const Json& request, RequestCtx& ctx,
+                       std::vector<Json>& out) {
+  std::vector<Scenario> scenarios;
+  for (const Json& item : request.at("scenarios").asArray())
+    scenarios.push_back(scenarioFromJson(item));
+  Json results = Json::array();
+  for (const JobOutcome& outcome : engine_.sweep(scenarios, ctx.root_ctx))
+    results.push(outcomeResponse(outcome, ctx.root_ctx));
+  Json response = Json::object();
+  response.set("ok", Json(true)).set("results", std::move(results));
+  out.push_back(std::move(response));
+}
+
+void Server::verbBatch(const Json& request, RequestCtx& ctx,
+                       std::vector<Json>& out) {
+  // Synchronous batch (handleRequest / legacy connections): sequential
+  // runs, so completion order equals request order and seq == index.  The
+  // event loop uses asyncBatch instead, which interleaves jobs but streams
+  // per-result frames carrying the same members.
+  std::vector<Scenario> scenarios;
+  for (const Json& item : request.at("scenarios").asArray())
+    scenarios.push_back(scenarioFromJson(item));
+  if (scenarios.size() > options_.max_batch)
+    throw std::runtime_error(
+        "batch of " + std::to_string(scenarios.size()) +
+        " scenarios exceeds the server limit of " +
+        std::to_string(options_.max_batch));
+  const std::uint64_t n = scenarios.size();
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const JobOutcome outcome = engine_.run(scenarios[i], ctx.root_ctx);
+    outcome.status == JobStatus::kOk ? ++completed : ++errors;
+    Json frame = outcomeResponse(outcome, ctx.root_ctx);
+    frame.set("batch", makeBatchFrameHeader(i, i, n));
+    out.push_back(std::move(frame));
+  }
+  Json summary = Json::object();
+  summary.set("ok", Json(true))
+      .set("batch", makeBatchSummaryHeader(n, completed, errors));
+  out.push_back(std::move(summary));
+}
+
+void Server::verbStats(const Json&, RequestCtx&, std::vector<Json>& out) {
+  Json response = Json::object();
+  response.set("ok", Json(true)).set("stats", statsJson());
+  out.push_back(std::move(response));
+}
+
+void Server::verbMetrics(const Json&, RequestCtx&, std::vector<Json>& out) {
+  Json response = Json::object();
+  response.set("ok", Json(true))
+      .set("metrics", Json(engine_.metricsRegistry().renderPrometheus()));
+  out.push_back(std::move(response));
+}
+
+void Server::verbTrace(const Json&, RequestCtx&, std::vector<Json>& out) {
+  obs::FlightRecorder* recorder = options_.recorder;
+  Json response = Json::object();
+  if (recorder == nullptr) {
+    response.set("ok", Json(false))
+        .set("error",
+             Json("flight recorder is disabled (start lbd with "
+                  "--flight-recorder N)"));
+  } else {
+    std::ostringstream dump;
+    recorder->writeChromeTrace(dump);
+    response.set("ok", Json(true))
+        .set("spans", Json(static_cast<std::uint64_t>(recorder->spanCount())))
+        .set("events",
+             Json(static_cast<std::uint64_t>(recorder->eventCount())))
+        .set("dropped",
+             Json(recorder->droppedSpans() + recorder->droppedEvents()))
+        .set("chrome_trace", Json(dump.str()));
+  }
+  out.push_back(std::move(response));
+}
+
+void Server::verbShutdown(const Json&, RequestCtx& ctx,
+                          std::vector<Json>& out) {
+  if (!stopping_.exchange(true)) {
+    if (options_.thread_per_connection)
+      pokeListener();
+    else
+      wakeLoop();
+  }
+  log_.debug("server.shutdown", {{"trace", ctx.root_ctx}});
+  Json response = Json::object();
+  response.set("ok", Json(true)).set("stopping", Json(true));
+  out.push_back(std::move(response));
+}
+
+std::string Server::handleRequest(const std::string& line,
+                                  obs::TraceContext* root_out) {
+  const auto started = std::chrono::steady_clock::now();
+  ++requests_;
+  obs::FlightRecorder* recorder = options_.recorder;
+  const bool tracing = recorder != nullptr && recorder->enabled();
+  RequestCtx ctx;
+  ctx.tracing = tracing;
+  ctx.started = started;
+  std::vector<Json> frames;
+  try {
+    const Json request = Json::parse(line);
+    ctx.client_ctx = traceContextFromRequest(request);
+    ctx.root_ctx.trace_id = ctx.client_ctx.valid() ? ctx.client_ctx.trace_id
+                            : tracing              ? obs::mintTraceId()
+                                                   : 0;
+    if (tracing) ctx.root_ctx.span_id = obs::mintTraceId();
+    const auto parsed = std::chrono::steady_clock::now();
+    stage_parse_.observe(elapsedMicros(started, parsed));
+    recordSpan(ctx.root_ctx, obs::mintTraceId(), ctx.root_ctx.span_id,
+               "server.parse", "", started, parsed);
+    const std::string& verb = request.at("verb").asString();
+    const auto& bindings = verbBindings();
+    const auto binding = bindings.find(verb);
+    if (binding != bindings.end()) ctx.verb_label = verb;
+    requests_family_.withLabels({{"verb", ctx.verb_label}}).inc();
+    if (binding != bindings.end()) {
+      (this->*(binding->second.sync))(request, ctx, frames);
+    } else {
+      frames.push_back(unknownVerbResponse(verb, ctx.root_ctx));
+    }
+  } catch (const std::exception& e) {
+    ++protocol_errors_;
+    protocol_errors_counter_.inc();
+    // A request that failed before minting ids (parse error) still gets a
+    // root span, keeping lb_server_request_micros observations and
+    // server.request spans 1:1 whenever tracing is on.
+    if (tracing && !ctx.root_ctx.valid()) {
+      ctx.root_ctx.trace_id =
+          ctx.client_ctx.valid() ? ctx.client_ctx.trace_id : obs::mintTraceId();
+      ctx.root_ctx.span_id = obs::mintTraceId();
+    }
+    if (recorder != nullptr)
+      options_.recorder->annotateTrace(ctx.root_ctx.trace_id,
+                                       "server.protocol_error", e.what());
+    log_.warn("server.protocol_error",
+              {{"error", e.what()}, {"trace", ctx.root_ctx}});
+    frames.clear();
+    frames.push_back(errorResponse(e.what()));
+  }
+  std::string wire;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    stampProtocolVersion(frames[i]);
+    // Echo the trace identity when the client sent one or the recorder
+    // minted one; requests with neither keep byte-identical responses (the
+    // goldens in fuzz_codec_test pin them).
+    if (ctx.client_ctx.valid() || ctx.tracing)
+      stampTraceContext(frames[i], ctx.root_ctx);
+    if (i != 0) wire += '\n';
+    wire += frames[i].dump();
+  }
+  const auto finished = std::chrono::steady_clock::now();
+  const double total_micros = elapsedMicros(started, finished);
+  request_micros_family_.withLabels({{"verb", ctx.verb_label}})
+      .observe(total_micros);
+  recordLatency(total_micros);
+  recordSpan(ctx.root_ctx, ctx.root_ctx.span_id, ctx.client_ctx.span_id,
+             "server.request", ctx.verb_label, started, finished);
+  if (root_out != nullptr) *root_out = ctx.root_ctx;
+  return wire;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy thread-per-connection path
+// ---------------------------------------------------------------------------
+
+void Server::serveThreaded() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (stopping_.load()) {
@@ -267,118 +585,772 @@ void Server::handleConnection(int fd) {
   ::close(fd);
 }
 
-std::string Server::handleRequest(const std::string& line,
-                                  obs::TraceContext* root_out) {
+// ---------------------------------------------------------------------------
+// Event-loop path: dispatch side
+// ---------------------------------------------------------------------------
+
+std::string Server::wireFrame(Json response, const RequestCtx& ctx) {
+  stampProtocolVersion(response);
+  if (ctx.client_ctx.valid() || ctx.tracing)
+    stampTraceContext(response, ctx.root_ctx);
+  return response.dump() + "\n";
+}
+
+Server::Finish Server::makeFinish(const RequestCtx& ctx) const {
+  Finish finish;
+  finish.valid = true;
+  finish.verb_label = ctx.verb_label;
+  finish.client_ctx = ctx.client_ctx;
+  finish.root_ctx = ctx.root_ctx;
+  finish.started = ctx.started;
+  return finish;
+}
+
+void Server::applyFinish(const Finish& finish) {
+  if (!finish.valid) return;
+  const auto finished = std::chrono::steady_clock::now();
+  const double total_micros = elapsedMicros(finish.started, finished);
+  request_micros_family_.withLabels({{"verb", finish.verb_label}})
+      .observe(total_micros);
+  recordLatency(total_micros);
+  recordSpan(finish.root_ctx, finish.root_ctx.span_id,
+             finish.client_ctx.span_id, "server.request", finish.verb_label,
+             finish.started, finished);
+}
+
+void Server::respondLast(const RequestCtx& ctx, Json response, bool shutdown) {
+  Completion completion;
+  completion.conn_id = ctx.conn_id;
+  completion.slot_id = ctx.slot_id;
+  completion.frames = wireFrame(std::move(response), ctx);
+  completion.last = true;
+  completion.shutdown = shutdown;
+  completion.finish = makeFinish(ctx);
+  postCompletion(std::move(completion));
+}
+
+void Server::dispatchLine(std::uint64_t conn_id, std::uint64_t slot_id,
+                          std::string line,
+                          std::chrono::steady_clock::time_point read_started,
+                          std::chrono::steady_clock::time_point read_finished) {
   const auto started = std::chrono::steady_clock::now();
   ++requests_;
+  stage_read_.observe(elapsedMicros(read_started, read_finished));
   obs::FlightRecorder* recorder = options_.recorder;
   const bool tracing = recorder != nullptr && recorder->enabled();
-  obs::TraceContext client_ctx;  // trace block from the wire, if any
-  obs::TraceContext root_ctx;    // this request's server.request span
-  std::string verb_label = "unknown";
-  Json response;
+  RequestCtx ctx;
+  ctx.conn_id = conn_id;
+  ctx.slot_id = slot_id;
+  ctx.tracing = tracing;
+  ctx.started = started;
   try {
     const Json request = Json::parse(line);
-    client_ctx = traceContextFromRequest(request);
-    root_ctx.trace_id = client_ctx.valid() ? client_ctx.trace_id
-                        : tracing         ? obs::mintTraceId()
-                                          : 0;
-    if (tracing) root_ctx.span_id = obs::mintTraceId();
+    ctx.client_ctx = traceContextFromRequest(request);
+    ctx.root_ctx.trace_id = ctx.client_ctx.valid() ? ctx.client_ctx.trace_id
+                            : tracing              ? obs::mintTraceId()
+                                                   : 0;
+    if (tracing) ctx.root_ctx.span_id = obs::mintTraceId();
     const auto parsed = std::chrono::steady_clock::now();
     stage_parse_.observe(elapsedMicros(started, parsed));
-    recordSpan(root_ctx, obs::mintTraceId(), root_ctx.span_id, "server.parse",
-               "", started, parsed);
+    recordSpan(ctx.root_ctx, obs::mintTraceId(), ctx.root_ctx.span_id,
+               "server.parse", "", started, parsed);
     const std::string& verb = request.at("verb").asString();
-    if (isProtocolVerb(verb)) verb_label = verb;
-    requests_family_.withLabels({{"verb", verb_label}}).inc();
-    if (verb == "run") {
-      const Scenario scenario = scenarioFromJson(request.at("scenario"));
-      response = outcomeResponse(engine_.run(scenario, root_ctx), root_ctx);
-    } else if (verb == "sweep") {
-      std::vector<Scenario> scenarios;
-      for (const Json& item : request.at("scenarios").asArray())
-        scenarios.push_back(scenarioFromJson(item));
-      Json results = Json::array();
-      for (const JobOutcome& outcome : engine_.sweep(scenarios, root_ctx))
-        results.push(outcomeResponse(outcome, root_ctx));
-      response = Json::object();
-      response.set("ok", Json(true)).set("results", std::move(results));
-    } else if (verb == "stats") {
-      response = Json::object();
-      response.set("ok", Json(true)).set("stats", statsJson());
-    } else if (verb == "metrics") {
-      response = Json::object();
-      response.set("ok", Json(true))
-          .set("metrics", Json(engine_.metricsRegistry().renderPrometheus()));
-    } else if (verb == "trace") {
-      response = Json::object();
-      if (recorder == nullptr) {
-        response.set("ok", Json(false))
-            .set("error",
-                 Json("flight recorder is disabled (start lbd with "
-                      "--flight-recorder N)"));
-      } else {
-        std::ostringstream dump;
-        recorder->writeChromeTrace(dump);
-        response.set("ok", Json(true))
-            .set("spans",
-                 Json(static_cast<std::uint64_t>(recorder->spanCount())))
-            .set("events",
-                 Json(static_cast<std::uint64_t>(recorder->eventCount())))
-            .set("dropped", Json(recorder->droppedSpans() +
-                                 recorder->droppedEvents()))
-            .set("chrome_trace", Json(dump.str()));
-      }
-    } else if (verb == "shutdown") {
-      if (!stopping_.exchange(true)) pokeListener();
-      log_.debug("server.shutdown", {{"trace", root_ctx}});
-      response = Json::object();
-      response.set("ok", Json(true)).set("stopping", Json(true));
+    const auto& bindings = verbBindings();
+    const auto binding = bindings.find(verb);
+    if (binding != bindings.end()) ctx.verb_label = verb;
+    requests_family_.withLabels({{"verb", ctx.verb_label}}).inc();
+    if (binding == bindings.end()) {
+      respondLast(ctx, unknownVerbResponse(verb, ctx.root_ctx));
+    } else if (binding->second.async != nullptr) {
+      // Job verbs: submit and return.  The engine's completion (or the
+      // loop-side deadline) posts the response; this dispatch thread never
+      // blocks on simulation.
+      (this->*(binding->second.async))(request, ctx);
     } else {
-      ++protocol_errors_;
-      protocol_errors_counter_.inc();
-      if (recorder != nullptr)
-        recorder->annotateTrace(root_ctx.trace_id, "server.protocol_error",
-                                "unknown verb \"" + verb + "\"");
-      log_.warn("server.protocol_error",
-                {{"error", "unknown verb \"" + verb + "\""},
-                 {"trace", root_ctx}});
-      response = errorResponse("unknown verb \"" + verb + "\"");
-      response.set("supported_verbs", protocolVerbsJson());
+      std::vector<Json> frames;
+      (this->*(binding->second.sync))(request, ctx, frames);
+      Completion completion;
+      completion.conn_id = ctx.conn_id;
+      completion.slot_id = ctx.slot_id;
+      for (Json& frame : frames)
+        completion.frames += wireFrame(std::move(frame), ctx);
+      completion.last = true;
+      completion.shutdown = ctx.verb_label == "shutdown";
+      completion.finish = makeFinish(ctx);
+      postCompletion(std::move(completion));
     }
   } catch (const std::exception& e) {
     ++protocol_errors_;
     protocol_errors_counter_.inc();
-    // A request that failed before minting ids (parse error) still gets a
-    // root span, keeping lb_server_request_micros observations and
-    // server.request spans 1:1 whenever tracing is on.
-    if (tracing && !root_ctx.valid()) {
-      root_ctx.trace_id =
-          client_ctx.valid() ? client_ctx.trace_id : obs::mintTraceId();
-      root_ctx.span_id = obs::mintTraceId();
+    if (tracing && !ctx.root_ctx.valid()) {
+      ctx.root_ctx.trace_id =
+          ctx.client_ctx.valid() ? ctx.client_ctx.trace_id : obs::mintTraceId();
+      ctx.root_ctx.span_id = obs::mintTraceId();
     }
     if (recorder != nullptr)
-      recorder->annotateTrace(root_ctx.trace_id, "server.protocol_error",
+      recorder->annotateTrace(ctx.root_ctx.trace_id, "server.protocol_error",
                               e.what());
     log_.warn("server.protocol_error",
-              {{"error", e.what()}, {"trace", root_ctx}});
-    response = errorResponse(e.what());
+              {{"error", e.what()}, {"trace", ctx.root_ctx}});
+    respondLast(ctx, errorResponse(e.what()));
   }
-  stampProtocolVersion(response);
-  // Echo the trace identity when the client asked for (sent) one or the
-  // recorder minted one; requests with neither keep byte-identical
-  // responses (the goldens in fuzz_codec_test pin them).
-  if (client_ctx.valid() || tracing) stampTraceContext(response, root_ctx);
-  const auto finished = std::chrono::steady_clock::now();
-  const double total_micros = elapsedMicros(started, finished);
-  request_micros_family_.withLabels({{"verb", verb_label}})
-      .observe(total_micros);
-  recordLatency(total_micros);
-  recordSpan(root_ctx, root_ctx.span_id, client_ctx.span_id, "server.request",
-             verb_label, started, finished);
-  if (root_out != nullptr) *root_out = root_ctx;
-  return response.dump();
+  recordSpan(ctx.root_ctx, obs::mintTraceId(), ctx.root_ctx.span_id,
+             "server.read", "", read_started, read_finished);
 }
+
+void Server::asyncRun(const Json& request, const RequestCtx& ctx) {
+  const Scenario scenario = scenarioFromJson(request.at("scenario"));
+  // The loop owns the wait budget the blocking path spent in await():
+  // register the slot deadline first so it is in place before any worker
+  // can finish the job.  `job_done` arbitrates the completion-vs-deadline
+  // race: the worker sets it before posting, and a deadline that observes
+  // it answers "spurious" so the real response is never lost.
+  auto job_done = std::make_shared<std::atomic<bool>>(false);
+  const RequestCtx ctx_copy = ctx;
+  Completion reg;
+  reg.conn_id = ctx.conn_id;
+  reg.slot_id = ctx.slot_id;
+  reg.set_deadline = true;
+  reg.deadline = std::chrono::steady_clock::now() + engine_.options().timeout;
+  reg.on_timeout = [this, ctx_copy,
+                    job_done]() -> std::pair<std::string, Finish> {
+    if (job_done->load()) return {std::string(), Finish{}};
+    Json response = outcomeResponse(engine_.timeoutOutcome(),
+                                    ctx_copy.root_ctx);
+    return {wireFrame(std::move(response), ctx_copy), makeFinish(ctx_copy)};
+  };
+  postCompletion(std::move(reg));
+  engine_.submitAsync(scenario, ctx.root_ctx,
+                      [this, ctx_copy, job_done](JobOutcome outcome) {
+                        job_done->store(true);
+                        respondLast(ctx_copy,
+                                    outcomeResponse(outcome,
+                                                    ctx_copy.root_ctx));
+                      });
+}
+
+void Server::asyncSweep(const Json& request, const RequestCtx& ctx) {
+  std::vector<Scenario> scenarios;
+  for (const Json& item : request.at("scenarios").asArray())
+    scenarios.push_back(scenarioFromJson(item));
+
+  struct SweepState {
+    std::mutex mutex;
+    std::vector<JobOutcome> outcomes;
+    std::vector<char> done;
+    std::size_t remaining = 0;
+    bool finished = false;  ///< response posted (or the deadline fired)
+  };
+  const RequestCtx ctx_copy = ctx;
+  auto build = [this, ctx_copy](const SweepState& state) -> Json {
+    Json results = Json::array();
+    for (const JobOutcome& outcome : state.outcomes)
+      results.push(outcomeResponse(outcome, ctx_copy.root_ctx));
+    Json response = Json::object();
+    response.set("ok", Json(true)).set("results", std::move(results));
+    return response;
+  };
+
+  if (scenarios.empty()) {
+    SweepState empty;
+    respondLast(ctx, build(empty));
+    return;
+  }
+
+  auto state = std::make_shared<SweepState>();
+  state->outcomes.resize(scenarios.size());
+  state->done.assign(scenarios.size(), 0);
+  state->remaining = scenarios.size();
+
+  // The blocking path awaits each future with a full per-job budget, so
+  // the worst-case wall clock is timeout x N — mirror that here.
+  Completion reg;
+  reg.conn_id = ctx.conn_id;
+  reg.slot_id = ctx.slot_id;
+  reg.set_deadline = true;
+  reg.deadline = std::chrono::steady_clock::now() +
+                 engine_.options().timeout *
+                     static_cast<std::int64_t>(scenarios.size());
+  reg.on_timeout = [this, ctx_copy, state,
+                    build]() -> std::pair<std::string, Finish> {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->finished) return {std::string(), Finish{}};
+    state->finished = true;
+    for (std::size_t i = 0; i < state->outcomes.size(); ++i)
+      if (!state->done[i]) state->outcomes[i] = engine_.timeoutOutcome();
+    return {wireFrame(build(*state), ctx_copy), makeFinish(ctx_copy)};
+  };
+  postCompletion(std::move(reg));
+
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    engine_.submitAsync(
+        scenarios[i], ctx.root_ctx,
+        [this, state, ctx_copy, build, i](JobOutcome outcome) {
+          bool respond_now = false;
+          {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            if (state->finished) return;  // deadline already answered
+            if (!state->done[i]) {
+              state->done[i] = 1;
+              state->outcomes[i] = std::move(outcome);
+              --state->remaining;
+            }
+            if (state->remaining == 0) {
+              state->finished = true;
+              respond_now = true;
+            }
+          }
+          if (respond_now) respondLast(ctx_copy, build(*state));
+        });
+  }
+}
+
+void Server::asyncBatch(const Json& request, const RequestCtx& ctx) {
+  std::vector<Scenario> scenarios;
+  for (const Json& item : request.at("scenarios").asArray())
+    scenarios.push_back(scenarioFromJson(item));
+  if (scenarios.size() > options_.max_batch)
+    throw std::runtime_error(
+        "batch of " + std::to_string(scenarios.size()) +
+        " scenarios exceeds the server limit of " +
+        std::to_string(options_.max_batch));
+
+  if (scenarios.empty()) {
+    Json summary = Json::object();
+    summary.set("ok", Json(true)).set("batch", makeBatchSummaryHeader(0, 0, 0));
+    respondLast(ctx, std::move(summary));
+    return;
+  }
+
+  auto state = std::make_shared<BatchState>();
+  state->ctx = ctx;
+  state->scenarios = std::move(scenarios);
+  const std::size_t n = state->scenarios.size();
+  state->hashes.assign(n, 0);
+  state->has_hash.assign(n, 0);
+  state->item_done.assign(n, 0);
+  state->remaining = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    state->pending.push_back(i);
+    try {
+      state->hashes[i] = scenarioHash(normalized(state->scenarios[i]));
+      state->has_hash[i] = 1;
+    } catch (const std::exception&) {
+      // Invalid scenario: no content address.  Submit it anyway; the
+      // engine converts the validation failure into a kError outcome,
+      // exactly as a sequential run would.
+    }
+  }
+  std::size_t window = options_.batch_window;
+  if (window == 0) {
+    window = options_.engine.workers != 0
+                 ? options_.engine.workers
+                 : std::max(1u, std::thread::hardware_concurrency());
+  }
+  state->window = std::max<std::size_t>(1, window);
+
+  Completion reg;
+  reg.conn_id = ctx.conn_id;
+  reg.slot_id = ctx.slot_id;
+  reg.set_deadline = true;
+  reg.deadline = std::chrono::steady_clock::now() +
+                 engine_.options().timeout * static_cast<std::int64_t>(n);
+  reg.on_timeout = [this, state]() { return timeoutBatch(state); };
+  postCompletion(std::move(reg));
+
+  pumpBatch(state);
+}
+
+void Server::pumpBatch(const std::shared_ptr<BatchState>& state) {
+  std::unique_lock<std::mutex> lock(state->mutex);
+  if (state->pumping) {
+    state->dirty = true;
+    return;
+  }
+  state->pumping = true;
+  for (;;) {
+    state->dirty = false;
+    while (!state->finished && state->in_window < state->window &&
+           !state->pending.empty()) {
+      // First pending item whose hash twin is not in flight; duplicates
+      // stay held so they land as cache hits once the twin finishes.
+      std::size_t index = state->scenarios.size();
+      for (auto it = state->pending.begin(); it != state->pending.end();
+           ++it) {
+        if (state->has_hash[*it] &&
+            state->inflight.count(state->hashes[*it]) != 0)
+          continue;
+        index = *it;
+        state->pending.erase(it);
+        break;
+      }
+      if (index == state->scenarios.size()) break;  // everything held
+      ++state->in_window;
+      if (state->has_hash[index]) state->inflight.insert(state->hashes[index]);
+      const Scenario scenario = state->scenarios[index];
+      const obs::TraceContext trace = state->ctx.root_ctx;
+      lock.unlock();
+      engine_.submitAsync(scenario, trace,
+                          [this, state, index](JobOutcome outcome) {
+                            finishBatchItem(state, index, outcome);
+                          });
+      lock.lock();
+    }
+    if (!state->dirty) break;
+  }
+  state->pumping = false;
+}
+
+void Server::finishBatchItem(const std::shared_ptr<BatchState>& state,
+                             std::size_t index, const JobOutcome& outcome) {
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->in_window > 0) --state->in_window;
+    if (state->has_hash[index]) state->inflight.erase(state->hashes[index]);
+    if (!state->finished && !state->item_done[index]) {
+      state->item_done[index] = 1;
+      --state->remaining;
+      outcome.status == JobStatus::kOk ? ++state->completed : ++state->errors;
+      const std::uint64_t n = state->scenarios.size();
+      Json frame = outcomeResponse(outcome, state->ctx.root_ctx);
+      frame.set("batch", makeBatchFrameHeader(index, state->seq++, n));
+      Completion completion;
+      completion.conn_id = state->ctx.conn_id;
+      completion.slot_id = state->ctx.slot_id;
+      completion.frames = wireFrame(std::move(frame), state->ctx);
+      if (state->remaining == 0) {
+        Json summary = Json::object();
+        summary.set("ok", Json(true))
+            .set("batch", makeBatchSummaryHeader(n, state->completed,
+                                                 state->errors));
+        completion.frames += wireFrame(std::move(summary), state->ctx);
+        completion.last = true;
+        completion.finish = makeFinish(state->ctx);
+        state->finished = true;
+      }
+      // Posted under the state mutex so stream frames enter the loop's
+      // completion queue in `seq` order (lock order is always state ->
+      // completions, never the reverse).
+      postCompletion(std::move(completion));
+    }
+  }
+  pumpBatch(state);
+}
+
+std::pair<std::string, Server::Finish> Server::timeoutBatch(
+    const std::shared_ptr<BatchState>& state) {
+  std::lock_guard<std::mutex> lock(state->mutex);
+  if (state->finished) return {std::string(), Finish{}};
+  state->finished = true;
+  const std::uint64_t n = state->scenarios.size();
+  std::string frames;
+  for (std::size_t i = 0; i < state->scenarios.size(); ++i) {
+    if (state->item_done[i]) continue;
+    ++state->errors;
+    Json frame = outcomeResponse(engine_.timeoutOutcome(),
+                                 state->ctx.root_ctx);
+    frame.set("batch", makeBatchFrameHeader(i, state->seq++, n));
+    frames += wireFrame(std::move(frame), state->ctx);
+  }
+  Json summary = Json::object();
+  summary.set("ok", Json(true))
+      .set("batch",
+           makeBatchSummaryHeader(n, state->completed, state->errors));
+  frames += wireFrame(std::move(summary), state->ctx);
+  return {std::move(frames), makeFinish(state->ctx)};
+}
+
+// ---------------------------------------------------------------------------
+// Event-loop path: the loop itself
+// ---------------------------------------------------------------------------
+
+void Server::serveEventLoop() {
+  if (dispatch_pool_ == nullptr) {
+    std::size_t threads = options_.dispatch_threads;
+    if (threads == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      threads = std::max<std::size_t>(2, std::min<std::size_t>(8, hw / 2));
+    }
+    dispatch_pool_ = std::make_unique<sim::ThreadPool>(threads);
+  }
+  net::setNonblocking(listen_fd_);
+
+  using Clock = std::chrono::steady_clock;
+
+  /// Response slot for one pipelined request.  Slots live in request order;
+  /// only the front slot's frames reach the wire, so responses (and batch
+  /// streams) come back in the order the requests arrived.
+  struct Slot {
+    std::uint64_t id = 0;
+    std::string frames;      ///< wire bytes not yet promoted to the conn
+    bool complete = false;   ///< final frames arrived (or synthesized)
+    bool timed_out = false;  ///< deadline answered; drop the real completion
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+    std::function<std::pair<std::string, Finish>()> on_timeout;
+    obs::TraceContext root;  ///< for the server.write span
+  };
+  /// One queued server.write measurement: fires when flushed_total passes
+  /// end_offset (the last byte of that request's response frames).
+  struct WriteMark {
+    std::uint64_t end_offset = 0;
+    obs::TraceContext root;
+    Clock::time_point started{};
+  };
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::string rbuf;
+    std::string wbuf;
+    std::size_t woff = 0;           ///< send offset into wbuf
+    std::uint64_t queued_total = 0;   ///< bytes ever promoted to wbuf
+    std::uint64_t flushed_total = 0;  ///< bytes the kernel accepted
+    std::deque<Slot> slots;
+    std::uint64_t next_slot = 1;
+    std::deque<WriteMark> marks;
+    Clock::time_point read_started{};
+    bool eof = false;   ///< peer half-closed; finish pending work then close
+    bool dead = false;  ///< closed; reaped by the per-iteration sweep
+  };
+  /// A request whose connection died before its completion arrived.  The
+  /// Finish must still be applied exactly once (metrics/span reconcile), so
+  /// the entry absorbs the eventual real completion — or its deadline.
+  struct OrphanSlot {
+    bool finished = false;  ///< deadline already applied the Finish
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+    std::function<std::pair<std::string, Finish>()> on_timeout;
+  };
+
+  std::unordered_map<std::uint64_t, Conn> conns;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, OrphanSlot> orphans;
+  std::uint64_t next_conn = 1;
+
+  auto closeConn = [&](Conn& conn, const char* reason) {
+    if (conn.dead) return;
+    log_.debug("server.conn_close",
+               {{"fd", std::int64_t{conn.fd}}, {"reason", reason}});
+    for (Slot& slot : conn.slots) {
+      if (slot.complete) continue;
+      OrphanSlot orphan;
+      orphan.has_deadline = slot.has_deadline;
+      orphan.deadline = slot.deadline;
+      orphan.on_timeout = std::move(slot.on_timeout);
+      orphans[{conn.id, slot.id}] = std::move(orphan);
+    }
+    conn.slots.clear();
+    ::close(conn.fd);
+    conn.dead = true;
+  };
+
+  auto flushConn = [&](Conn& conn) {
+    if (conn.dead) return;
+    if (conn.woff < conn.wbuf.size()) {
+      const net::IoStatus status =
+          net::sendNonblock(conn.fd, conn.wbuf, conn.woff, options_.fault);
+      if (status == net::IoStatus::kError) {
+        closeConn(conn, "write failed");
+        return;
+      }
+    }
+    conn.flushed_total = conn.queued_total - (conn.wbuf.size() - conn.woff);
+    while (!conn.marks.empty() &&
+           conn.flushed_total >= conn.marks.front().end_offset) {
+      const WriteMark& mark = conn.marks.front();
+      const auto now = Clock::now();
+      stage_write_.observe(elapsedMicros(mark.started, now));
+      recordSpan(mark.root, obs::mintTraceId(), mark.root.span_id,
+                 "server.write", "", mark.started, now);
+      conn.marks.pop_front();
+    }
+    if (conn.woff == conn.wbuf.size()) {
+      conn.wbuf.clear();
+      conn.woff = 0;
+    }
+  };
+
+  /// Moves the ordered frames that may legally hit the wire into wbuf: the
+  /// front slot streams as frames arrive; completed front slots retire and
+  /// unblock the next one.
+  auto promote = [&](Conn& conn) {
+    if (conn.dead) return;
+    const auto now = Clock::now();
+    while (!conn.slots.empty()) {
+      Slot& front = conn.slots.front();
+      if (!front.frames.empty()) {
+        conn.wbuf += front.frames;
+        conn.queued_total += front.frames.size();
+        front.frames.clear();
+      }
+      if (!front.complete) break;
+      conn.marks.push_back({conn.queued_total, front.root, now});
+      conn.slots.pop_front();
+      if (conn.slots.empty()) conn.read_started = now;  // idle clock restarts
+    }
+    flushConn(conn);
+  };
+
+  auto handleReadable = [&](Conn& conn) {
+    std::size_t budget = kReadBudget;
+    for (;;) {
+      for (;;) {
+        const std::size_t newline = conn.rbuf.find('\n');
+        if (newline == std::string::npos) break;
+        std::string line = conn.rbuf.substr(0, newline);
+        conn.rbuf.erase(0, newline + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        const auto now = Clock::now();
+        if (line.empty()) {
+          conn.read_started = now;
+          continue;
+        }
+        // Drain semantics match the legacy loop: requests pipelined after
+        // a shutdown was answered are dropped, not executed.
+        if (stopping_.load()) continue;
+        const auto read_started = conn.read_started;
+        conn.read_started = now;
+        Slot slot;
+        slot.id = conn.next_slot++;
+        const std::uint64_t conn_id = conn.id;
+        const std::uint64_t slot_id = slot.id;
+        conn.slots.push_back(std::move(slot));
+        dispatch_pool_->post(
+            [this, conn_id, slot_id, line = std::move(line), read_started,
+             now]() mutable {
+              dispatchLine(conn_id, slot_id, std::move(line), read_started,
+                           now);
+            });
+      }
+      if (conn.rbuf.size() > kMaxLineBytes) {
+        closeConn(conn, "request line too long");
+        return;
+      }
+      if (budget == 0) return;  // fairness: poll() re-arms this conn
+      if (conn.slots.size() >= kMaxPipeline) return;  // backpressure
+      const std::size_t before = conn.rbuf.size();
+      const net::IoStatus status =
+          net::recvNonblock(conn.fd, conn.rbuf, 4096, options_.fault);
+      if (status == net::IoStatus::kOk) {
+        budget -= std::min(budget, conn.rbuf.size() - before);
+        continue;
+      }
+      if (status == net::IoStatus::kWouldBlock) return;
+      if (status == net::IoStatus::kClosed) {
+        conn.eof = true;
+        return;
+      }
+      closeConn(conn, "read failed");
+      return;
+    }
+  };
+
+  auto processCompletions = [&]() {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(completions_mutex_);
+      batch.swap(completions_);
+    }
+    for (Completion& completion : batch) {
+      if (completion.shutdown) stopping_.store(true);
+      const auto conn_it = conns.find(completion.conn_id);
+      if (conn_it == conns.end() || conn_it->second.dead) {
+        const auto orphan_it =
+            orphans.find({completion.conn_id, completion.slot_id});
+        if (orphan_it == orphans.end()) continue;  // slot long retired
+        OrphanSlot& orphan = orphan_it->second;
+        if (completion.set_deadline) {
+          orphan.has_deadline = true;
+          orphan.deadline = completion.deadline;
+          orphan.on_timeout = std::move(completion.on_timeout);
+          continue;
+        }
+        if (completion.last) {
+          if (!orphan.finished) applyFinish(completion.finish);
+          orphans.erase(orphan_it);
+        }
+        continue;  // stream frames to a dead conn are dropped
+      }
+      Conn& conn = conn_it->second;
+      Slot* slot = nullptr;
+      for (Slot& candidate : conn.slots)
+        if (candidate.id == completion.slot_id) {
+          slot = &candidate;
+          break;
+        }
+      if (slot == nullptr) continue;  // timed out and already retired
+      if (completion.set_deadline) {
+        slot->has_deadline = true;
+        slot->deadline = completion.deadline;
+        slot->on_timeout = std::move(completion.on_timeout);
+        continue;
+      }
+      if (slot->timed_out) continue;  // synthesized response already queued
+      slot->frames += completion.frames;
+      if (completion.last) {
+        slot->complete = true;
+        slot->has_deadline = false;
+        slot->root = completion.finish.root_ctx;
+        applyFinish(completion.finish);
+      }
+      promote(conn);
+    }
+  };
+
+  auto fireDeadlines = [&](Clock::time_point now) {
+    for (auto& entry : conns) {
+      Conn& conn = entry.second;
+      if (conn.dead) continue;
+      bool fired = false;
+      for (Slot& slot : conn.slots) {
+        if (!slot.has_deadline || slot.complete || now < slot.deadline)
+          continue;
+        slot.has_deadline = false;
+        std::pair<std::string, Finish> synthesized;
+        if (slot.on_timeout) synthesized = slot.on_timeout();
+        // Empty frames + invalid Finish: the real completion raced in and
+        // is already queued — treat the deadline as spurious.
+        if (synthesized.first.empty() && !synthesized.second.valid) continue;
+        slot.frames += synthesized.first;
+        slot.complete = true;
+        slot.timed_out = true;
+        slot.root = synthesized.second.root_ctx;
+        applyFinish(synthesized.second);
+        fired = true;
+      }
+      if (fired) promote(conn);
+      if (!conn.dead && options_.read_deadline.count() > 0 &&
+          conn.slots.empty() && conn.woff == conn.wbuf.size() &&
+          now - conn.read_started >= options_.read_deadline)
+        closeConn(conn, "idle");
+    }
+    for (auto& entry : orphans) {
+      OrphanSlot& orphan = entry.second;
+      if (orphan.finished || !orphan.has_deadline || now < orphan.deadline)
+        continue;
+      orphan.has_deadline = false;
+      std::pair<std::string, Finish> synthesized;
+      if (orphan.on_timeout) synthesized = orphan.on_timeout();
+      if (!synthesized.second.valid) continue;  // real completion will erase
+      applyFinish(synthesized.second);
+      orphan.finished = true;  // entry stays to absorb the real completion
+    }
+  };
+
+  auto nextTimeoutMs = [&](Clock::time_point now) -> int {
+    std::optional<Clock::time_point> next;
+    auto consider = [&](Clock::time_point t) {
+      if (!next || t < *next) next = t;
+    };
+    for (auto& entry : conns) {
+      Conn& conn = entry.second;
+      if (conn.dead) continue;
+      for (Slot& slot : conn.slots)
+        if (slot.has_deadline && !slot.complete) consider(slot.deadline);
+      if (options_.read_deadline.count() > 0 && conn.slots.empty() &&
+          conn.woff == conn.wbuf.size())
+        consider(conn.read_started + options_.read_deadline);
+    }
+    for (auto& entry : orphans)
+      if (!entry.second.finished && entry.second.has_deadline)
+        consider(entry.second.deadline);
+    if (!next) return -1;
+    const auto remaining = *next - now;
+    if (remaining.count() <= 0) return 0;
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+            .count() +
+        1;
+    return static_cast<int>(std::min<long long>(ms, 60000));
+  };
+
+  std::vector<pollfd> pfds;
+  std::vector<std::uint64_t> pfd_conn;
+  for (;;) {
+    processCompletions();
+    const auto now = Clock::now();
+    fireDeadlines(now);
+
+    // Reap: normal EOF / shutdown drain closes once a conn has answered
+    // everything and flushed it.
+    for (auto it = conns.begin(); it != conns.end();) {
+      Conn& conn = it->second;
+      if (!conn.dead && (conn.eof || stopping_.load()) &&
+          conn.slots.empty() && conn.woff == conn.wbuf.size())
+        closeConn(conn, conn.eof ? "eof" : "shutdown");
+      if (conn.dead)
+        it = conns.erase(it);
+      else
+        ++it;
+    }
+
+    if (stopping_.load() && conns.empty() && orphans.empty()) {
+      std::lock_guard<std::mutex> lock(completions_mutex_);
+      if (completions_.empty()) break;
+      continue;  // late completions to apply before exiting
+    }
+
+    pfds.clear();
+    pfd_conn.clear();
+    pfds.push_back({wake_read_fd_, POLLIN, 0});
+    const bool accepting = !stopping_.load();
+    if (accepting) pfds.push_back({listen_fd_, POLLIN, 0});
+    const std::size_t conn_base = pfds.size();
+    for (auto& entry : conns) {
+      Conn& conn = entry.second;
+      short events = 0;
+      const bool backpressured =
+          conn.slots.size() >= kMaxPipeline ||
+          conn.wbuf.size() - conn.woff > kMaxWriteBuffer;
+      if (!conn.eof && !stopping_.load() && !backpressured) events |= POLLIN;
+      if (conn.woff < conn.wbuf.size()) events |= POLLOUT;
+      if (events == 0) continue;  // waits on completions, not the socket
+      pfds.push_back({conn.fd, events, 0});
+      pfd_conn.push_back(conn.id);
+    }
+
+    const int rc =
+        ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+               nextTimeoutMs(now));
+    if (rc < 0 && errno != EINTR) break;  // poll broken; shut down
+    if (rc <= 0) continue;                // timeout (deadlines fire above)
+
+    if (pfds[0].revents != 0) {
+      char drain[256];
+      while (::read(wake_read_fd_, drain, sizeof drain) > 0) {
+      }
+    }
+    if (accepting && pfds[1].revents != 0) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+          if (errno == EINTR) continue;
+          break;  // EAGAIN: backlog drained
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        net::setNonblocking(fd);
+        Conn conn;
+        conn.fd = fd;
+        conn.id = next_conn++;
+        conn.read_started = Clock::now();
+        log_.debug("server.conn_open", {{"fd", std::int64_t{fd}}});
+        conns.emplace(conn.id, std::move(conn));
+      }
+    }
+    for (std::size_t i = conn_base; i < pfds.size(); ++i) {
+      if (pfds[i].revents == 0) continue;
+      const auto conn_it = conns.find(pfd_conn[i - conn_base]);
+      if (conn_it == conns.end() || conn_it->second.dead) continue;
+      Conn& conn = conn_it->second;
+      if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) handleReadable(conn);
+      if (!conn.dead && (pfds[i].revents & POLLOUT)) flushConn(conn);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
 
 void Server::recordLatency(double micros) {
   // Latency resolution is nanoseconds via steady_clock, but clamp away

@@ -1,7 +1,8 @@
 #pragma once
 // lbserve TCP daemon: newline-delimited JSON over a loopback socket.
 //
-// Wire protocol (one request line -> one response line, UTF-8 JSON):
+// Wire protocol (one request line -> one or more response lines, UTF-8
+// JSON; see docs/service.md):
 //
 //   {"verb":"run","scenario":{...}}          -> {"ok":true,"hash":"...",
 //                                                "cached":bool,
@@ -10,6 +11,12 @@
 //   {"verb":"sweep","scenarios":[{...},...]} -> {"ok":true,"results":[
 //                                                {"ok":true,...} |
 //                                                {"ok":false,"error":"..."}]}
+//   {"verb":"batch","scenarios":[{...},...]} -> N per-result frames in
+//                                               completion order, each with
+//                                               "batch":{"index","seq","of"},
+//                                               then a terminal
+//                                               {"ok":true,"batch":
+//                                               {"done":true,...}} frame
 //   {"verb":"stats"}                         -> {"ok":true,"stats":{...}}
 //   {"verb":"metrics"}                       -> {"ok":true,"metrics":
 //                                                "<Prometheus text>"}
@@ -18,11 +25,23 @@
 //
 // Every response additionally carries `"v":1` (see service/protocol.hpp);
 // unknown verbs yield {"ok":false,"error":...,"supported_verbs":[...]}.
+// The verb table itself lives in protocol.hpp's verbRegistry(); the server
+// binds a handler to every registry row (checked at construction).
 //
 // Any malformed line yields {"ok":false,"error":"..."}; the connection
-// stays open (clients may pipeline many requests per connection).  Each
-// accepted connection is handled on its own thread; simulation work is
-// bounded by the job engine, not by the connection count.
+// stays open and clients may pipeline many requests per connection —
+// responses always come back in request order.
+//
+// Connection handling is a poll()-based event loop by default: one loop
+// thread owns every socket (nonblocking reads/writes, per-connection
+// buffers with incremental line framing), a small dispatch pool parses
+// requests and serializes responses, and simulation work stays on the job
+// engine's ThreadPool.  Job completions re-enter the loop through a wakeup
+// pipe.  A fair-share window keeps any one `batch` request from occupying
+// the whole engine queue, so interactive run/stats requests stay
+// responsive while batches stream.  ServerOptions::thread_per_connection
+// restores the legacy one-thread-per-accept loop (the baseline for
+// bench/server_saturation).
 //
 // The server records wall-clock service latency per request (parse ->
 // response ready) in a fixed-size reservoir and reports p50/p95 via
@@ -32,9 +51,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "fault/fault.hpp"
@@ -47,8 +70,8 @@ struct ServerOptions {
   std::uint16_t port = 0;  ///< 0 = ephemeral; see Server::port()
   JobEngineOptions engine;
   /// Per-connection idle read deadline: a connection that sends no bytes
-  /// for this long is closed (its handler exits; half-open peers cannot
-  /// pin threads forever).  Zero disables the deadline (seed behavior).
+  /// for this long (and has no request in flight) is closed, so half-open
+  /// peers cannot pin resources forever.  Zero disables the deadline.
   std::chrono::milliseconds read_deadline{0};
   /// Socket-layer fault injector for this server's connections (torn
   /// reads/writes, resets).  nullptr = inert.
@@ -61,6 +84,21 @@ struct ServerOptions {
   obs::FlightRecorder* recorder = nullptr;
   /// Structured logger (nullptr: the process-wide obs::log()).
   obs::Log* log = nullptr;
+  /// Legacy accept loop: one blocking-I/O thread per connection.  Kept as
+  /// the measured baseline for bench/server_saturation and as an escape
+  /// hatch; the default is the event loop.
+  bool thread_per_connection = false;
+  /// Event-loop dispatch pool size (request parse + verb dispatch +
+  /// response serialization run here, off the loop thread).  0 = auto.
+  std::size_t dispatch_threads = 0;
+  /// Fair-share dispatch: the most jobs one `batch` request may keep in
+  /// the engine at a time.  0 = auto (the engine's worker count), so a
+  /// batch can saturate the workers but an interactive run is never more
+  /// than one window behind in the bounded FIFO.
+  std::size_t batch_window = 0;
+  /// Upper bound on scenarios per batch request (guards the per-request
+  /// bookkeeping the same way kMaxLineBytes guards the parser).
+  std::size_t max_batch = 4096;
 };
 
 class Server {
@@ -76,28 +114,143 @@ public:
   /// The bound port (resolves ephemeral port 0).
   std::uint16_t port() const { return port_; }
 
-  /// Blocking accept loop; returns after a `shutdown` verb or stop().
+  /// Blocking accept/event loop; returns after a `shutdown` verb or
+  /// stop(), once in-flight requests have been answered.
   void serve();
 
   /// serve() on a background thread (for in-process tests).
   void start();
 
-  /// Stops the accept loop from another thread and joins connections.
+  /// Stops the loop from another thread and joins it.
   void stop();
 
-  /// Handles one already-parsed request (exposed for protocol tests; the
-  /// socket layer is a thin line-framing wrapper around this).  When the
-  /// recorder is enabled, `root_out` (optional) receives the identity of
-  /// the server.request root span covering this request, so the caller can
-  /// parent adjacent spans (server.read / server.write) under it.
+  /// Handles one request line synchronously (exposed for protocol tests;
+  /// the legacy thread-per-connection path is a thin line-framing wrapper
+  /// around this).  Streaming verbs (`batch`) return all their frames
+  /// joined with '\n'.  When the recorder is enabled, `root_out`
+  /// (optional) receives the identity of the server.request root span
+  /// covering this request, so the caller can parent adjacent spans
+  /// (server.read / server.write) under it.
   std::string handleRequest(const std::string& line,
                             obs::TraceContext* root_out = nullptr);
 
   JobEngine& engine() { return engine_; }
 
 private:
+  /// Deferred end-of-request accounting: one request_micros observation +
+  /// latency-reservoir sample + server.request root span, applied exactly
+  /// once per request (on the loop thread for the event loop; inline for
+  /// the synchronous path), even when the connection died first.
+  struct Finish {
+    bool valid = false;
+    std::string verb_label;
+    obs::TraceContext client_ctx;
+    obs::TraceContext root_ctx;
+    std::chrono::steady_clock::time_point started;
+  };
+
+  /// Identity + trace state of one in-flight request (slot) on the event
+  /// loop; built by dispatchLine, captured by async completions.
+  struct RequestCtx {
+    std::uint64_t conn_id = 0;
+    std::uint64_t slot_id = 0;
+    obs::TraceContext client_ctx;
+    obs::TraceContext root_ctx;
+    bool tracing = false;
+    std::string verb_label = "unknown";
+    std::chrono::steady_clock::time_point started;
+  };
+
+  /// Message from dispatch/worker threads back to the loop thread.
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t slot_id = 0;
+    /// Newline-terminated response frame(s) to append to the slot.
+    std::string frames;
+    bool last = false;      ///< slot is complete once `frames` are queued
+    bool shutdown = false;  ///< drain and exit once everything flushed
+    Finish finish;          ///< applied when `last`
+    /// Slot-deadline registration (job verbs): when the deadline passes
+    /// before `last`, the loop invokes on_timeout to synthesize the
+    /// response frames + finish, and drops the eventual real completion.
+    bool set_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    std::function<std::pair<std::string, Finish>()> on_timeout;
+  };
+
+  struct BatchState;  // streaming batch bookkeeping (server.cpp)
+
+  using SyncVerb = void (Server::*)(const Json& request, RequestCtx& ctx,
+                                    std::vector<Json>& frames);
+  using AsyncVerb = void (Server::*)(const Json& request,
+                                     const RequestCtx& ctx);
+  /// A verb's server-side binding: every row of protocol verbRegistry()
+  /// has exactly one (asserted in the constructor).  `sync` serves the
+  /// synchronous path (handleRequest / legacy connections); `async`
+  /// (optional) serves the event loop without blocking a dispatch thread
+  /// on job completion.
+  struct VerbBinding {
+    SyncVerb sync = nullptr;
+    AsyncVerb async = nullptr;
+  };
+  static const std::unordered_map<std::string, VerbBinding>& verbBindings();
+
+  // Synchronous verb handlers (append response frames; usually one).
+  void verbRun(const Json& request, RequestCtx& ctx, std::vector<Json>& out);
+  void verbSweep(const Json& request, RequestCtx& ctx, std::vector<Json>& out);
+  void verbBatch(const Json& request, RequestCtx& ctx, std::vector<Json>& out);
+  void verbStats(const Json& request, RequestCtx& ctx, std::vector<Json>& out);
+  void verbMetrics(const Json& request, RequestCtx& ctx,
+                   std::vector<Json>& out);
+  void verbTrace(const Json& request, RequestCtx& ctx, std::vector<Json>& out);
+  void verbShutdown(const Json& request, RequestCtx& ctx,
+                    std::vector<Json>& out);
+
+  // Event-loop (async) verb handlers: submit to the engine and return;
+  // completions re-enter the loop via postCompletion.
+  void asyncRun(const Json& request, const RequestCtx& ctx);
+  void asyncSweep(const Json& request, const RequestCtx& ctx);
+  void asyncBatch(const Json& request, const RequestCtx& ctx);
+
+  /// Counts + logs a protocol error and builds the unknown-verb response
+  /// (shared by the sync and event-loop dispatch paths).
+  Json unknownVerbResponse(const std::string& verb,
+                           const obs::TraceContext& root);
+  /// One batch scenario finished: emit its stream frame (and the terminal
+  /// summary when it was the last), then refill the fair-share window.
+  void finishBatchItem(const std::shared_ptr<BatchState>& state,
+                       std::size_t index, const JobOutcome& outcome);
+  /// Slot-deadline handler for `batch`: synthesizes timeout frames for
+  /// every unfinished scenario plus the terminal summary.
+  std::pair<std::string, Finish> timeoutBatch(
+      const std::shared_ptr<BatchState>& state);
+
+  // Event-loop plumbing.
+  void serveEventLoop();
+  void serveThreaded();
+  /// Parses + dispatches one request line on the dispatch pool.
+  void dispatchLine(std::uint64_t conn_id, std::uint64_t slot_id,
+                    std::string line,
+                    std::chrono::steady_clock::time_point read_started,
+                    std::chrono::steady_clock::time_point read_finished);
+  /// Stamps version + trace echo and frames one response for the wire.
+  std::string wireFrame(Json response, const RequestCtx& ctx);
+  /// Posts the final (or only) response frame for a slot.
+  void respondLast(const RequestCtx& ctx, Json response,
+                   bool shutdown = false);
+  Finish makeFinish(const RequestCtx& ctx) const;
+  void applyFinish(const Finish& finish);
+  void postCompletion(Completion completion);
+  void wakeLoop();
+  /// Submits eligible batch scenarios up to the fair-share window,
+  /// holding duplicates of in-flight twins back so they become cache hits
+  /// (keeps batch(N) bit-identical to N sequential runs).  Re-entrant-safe.
+  void pumpBatch(const std::shared_ptr<BatchState>& state);
+
+  // Legacy thread-per-connection path.
   void handleConnection(int fd);
   void pokeListener();
+
   void recordLatency(double micros);
   Json statsJson();
   /// Maps a job outcome to its wire response; kShed becomes the explicit
@@ -113,16 +266,26 @@ private:
                   std::chrono::steady_clock::time_point end);
 
   ServerOptions options_;
-  JobEngine engine_;
   obs::Log& log_;  ///< resolved from options_.log
+
+  // Loop re-entry plumbing is declared before engine_ (and the dispatch
+  // pool after it) so that, during destruction, dispatch tasks and engine
+  // worker callbacks can always post completions and poke the wakeup pipe:
+  // members here outlive both pools.
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+
+  JobEngine engine_;
   /// Per-verb request counters and the protocol-error counter, resolved
   /// against the engine's registry (so a `metrics` scrape includes them).
   obs::Family<obs::Counter>& requests_family_;
   obs::Counter& protocol_errors_counter_;
   obs::Counter& shed_counter_;
   /// Wall-clock per-request service time, labeled by verb; one observation
-  /// per handleRequest call (the count reconciles 1:1 with server.request
-  /// root spans whenever the recorder is enabled).
+  /// per request (the count reconciles 1:1 with server.request root spans
+  /// whenever the recorder is enabled).
   obs::Family<obs::Histogram>& request_micros_family_;
   /// Server-side lb_request_stage_micros children (the engine owns
   /// cache_lookup/queue_wait/execute).
@@ -142,6 +305,9 @@ private:
 
   std::mutex threads_mutex_;
   std::vector<std::thread> connection_threads_;
+  /// Parse/serialize offload for the event loop; after engine_ so its
+  /// queued tasks drain (destruction) while the engine is still alive.
+  std::unique_ptr<sim::ThreadPool> dispatch_pool_;
   std::thread serve_thread_;
 };
 

@@ -1,5 +1,6 @@
 #include "service/socket_io.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 
@@ -98,6 +99,72 @@ IoStatus recvSome(int fd, std::string& buffer, std::size_t max_bytes,
     }
     if (n == 0) return IoStatus::kClosed;
     if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return IoStatus::kError;
+  }
+}
+
+bool setNonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+IoStatus sendNonblock(int fd, const std::string& data, std::size_t& offset,
+                      fault::FaultInjector* fault) {
+  bool progressed = false;
+  while (offset < data.size()) {
+    std::size_t chunk = data.size() - offset;
+    if (fault != nullptr) {
+      switch (fault->onSocketWrite()) {
+        case fault::SocketFault::kReset:
+          return IoStatus::kError;
+        case fault::SocketFault::kShort:
+          chunk = 1;  // torn write: dribble one byte this call
+          break;
+        case fault::SocketFault::kNone:
+          break;
+      }
+    }
+    const ssize_t n = ::send(fd, data.data() + offset, chunk, MSG_NOSIGNAL);
+    if (n > 0) {
+      offset += static_cast<std::size_t>(n);
+      progressed = true;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return progressed ? IoStatus::kOk : IoStatus::kWouldBlock;
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus recvNonblock(int fd, std::string& buffer, std::size_t max_bytes,
+                      fault::FaultInjector* fault) {
+  if (max_bytes == 0) return IoStatus::kOk;
+  std::size_t want = max_bytes;
+  if (fault != nullptr) {
+    switch (fault->onSocketRead()) {
+      case fault::SocketFault::kReset:
+        return IoStatus::kError;
+      case fault::SocketFault::kShort:
+        want = 1;  // torn read: deliver one byte this call
+        break;
+      case fault::SocketFault::kNone:
+        break;
+    }
+  }
+  char chunk[4096];
+  if (want > sizeof chunk) want = sizeof chunk;
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, want, 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      return IoStatus::kOk;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
     return IoStatus::kError;
   }
 }

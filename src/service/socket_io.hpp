@@ -27,10 +27,11 @@ namespace lb::service::net {
 using IoDeadline = std::optional<std::chrono::steady_clock::time_point>;
 
 enum class IoStatus {
-  kOk,       ///< operation completed
-  kClosed,   ///< orderly EOF from the peer (reads only)
-  kTimeout,  ///< deadline expired before the operation completed
-  kError,    ///< transport error (including injected connection resets)
+  kOk,          ///< operation completed (possibly partially, nonblocking)
+  kClosed,      ///< orderly EOF from the peer (reads only)
+  kTimeout,     ///< deadline expired before the operation completed
+  kError,       ///< transport error (including injected connection resets)
+  kWouldBlock,  ///< nonblocking op made no progress; poll and retry
 };
 
 /// Builds a deadline `budget` from now; a zero/negative budget means none.
@@ -46,5 +47,29 @@ IoStatus sendAll(int fd, const std::string& data, const IoDeadline& deadline,
 IoStatus recvSome(int fd, std::string& buffer, std::size_t max_bytes,
                   const IoDeadline& deadline,
                   fault::FaultInjector* fault = nullptr);
+
+// ---------------------------------------------------------------------------
+// Nonblocking primitives for the event-loop server (docs/service.md)
+// ---------------------------------------------------------------------------
+//
+// Same fault semantics as the blocking calls — an injected reset surfaces
+// as kError, an injected short read/write dribbles one byte — but these
+// never sleep: when the kernel buffer is empty/full they return
+// kWouldBlock and the caller's poll() loop decides when to retry.
+
+/// Puts fd into O_NONBLOCK mode.  Returns false on fcntl failure.
+bool setNonblocking(int fd);
+
+/// Sends as much of data[offset..] as the socket accepts right now and
+/// advances `offset`.  Returns kOk on any progress, kWouldBlock on none,
+/// kError on transport error or injected reset.
+IoStatus sendNonblock(int fd, const std::string& data, std::size_t& offset,
+                      fault::FaultInjector* fault = nullptr);
+
+/// Receives at most `max_bytes` (clamped to one internal chunk), appending
+/// to `buffer`.  Returns kOk on data, kClosed on EOF, kWouldBlock when the
+/// socket has nothing, kError on transport error or injected reset.
+IoStatus recvNonblock(int fd, std::string& buffer, std::size_t max_bytes,
+                      fault::FaultInjector* fault = nullptr);
 
 }  // namespace lb::service::net

@@ -599,4 +599,142 @@ TEST(ServerDeadlineTest, IdleConnectionIsClosedAtTheReadDeadline) {
   server.stop();
 }
 
+// ---------------------------------------------------------------------------
+// Chaos over the event loop: pipelined frames and the streaming batch verb
+// ---------------------------------------------------------------------------
+
+int rawConnectTo(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+// Torn frames mid-pipeline: with the server's socket layer injecting short
+// reads and short writes on every call, a burst of pipelined requests must
+// still come back complete, parseable, in request order, and bit-identical
+// — the incremental frame codecs reassemble across arbitrary tear points.
+TEST(ChaosSoakTest, TornFramesMidPipelineReassembleInOrder) {
+  fault::FaultInjector injector(
+      fault::parseFaultPlan("seed=909,torn_read=0.5,torn_write=0.5"));
+  service::ServerOptions options = chaosServerOptions();
+  options.fault = &injector;
+  service::Server server(options);
+  server.start();
+
+  Scenario scenario;
+  scenario.cycles = 8000;
+  scenario.seed = 400;
+  const std::string expected =
+      service::toJson(service::runScenario(scenario)).dump();
+
+  std::string wire;
+  constexpr std::uint64_t kBase = 0x7200;
+  constexpr std::size_t kCount = 12;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    Json request = Json::object();
+    request.set("verb", Json("run")).set("scenario", smallScenarioJson(400));
+    Json trace = Json::object();
+    trace.set("id", Json(kBase + i)).set("span", Json(std::uint64_t{1}));
+    request.set("trace", std::move(trace));
+    wire += request.dump() + "\n";
+  }
+  const int fd = rawConnectTo(server.port());
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+
+  std::string buffer;
+  std::vector<std::string> lines;
+  char chunk[4096];
+  while (lines.size() < kCount) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      lines.push_back(buffer.substr(0, newline));
+      buffer.erase(0, newline + 1);
+      continue;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    ASSERT_GT(n, 0) << "connection died mid-pipeline under torn frames";
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  ASSERT_EQ(lines.size(), kCount);
+  EXPECT_GT(injector.stats().totalInjected(), 0u);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    const Json response = Json::parse(lines[i]);
+    ASSERT_TRUE(response.at("ok").asBool()) << lines[i];
+    EXPECT_EQ(response.at("trace").at("id").asUint64(), kBase + i)
+        << "response " << i << " out of order";
+    EXPECT_EQ(response.at("result").dump(), expected);
+  }
+  server.stop();
+}
+
+// Shed mid-batch: with the job engine injecting admission rejections, a
+// streamed batch must deliver exactly one frame per scenario — each either
+// ok and bit-identical to the fault-free run, or a typed overloaded shed —
+// plus a summary whose completed/errors tallies account for every item.
+TEST(ChaosSoakTest, ShedMidBatchYieldsTypedPerItemFrames) {
+  fault::FaultInjector injector(
+      fault::parseFaultPlan("seed=515,queue_reject=0.4"));
+  service::ServerOptions options = chaosServerOptions();
+  options.engine.fault = &injector;
+  options.engine.shed_when_full = true;
+  service::Server server(options);
+  server.start();
+
+  constexpr std::size_t kCount = 12;
+  std::map<std::uint64_t, std::string> expected;
+  Json scenarios = Json::array();
+  for (std::uint64_t seed = 500; seed < 500 + kCount; ++seed) {
+    Scenario scenario;
+    scenario.cycles = 8000;
+    scenario.seed = seed;
+    expected[seed - 500] =
+        service::toJson(service::runScenario(scenario)).dump();
+    scenarios.push(smallScenarioJson(seed));
+  }
+
+  {
+    service::ClientOptions copts;
+    copts.port = server.port();
+    copts.max_retries = 0;  // surface per-item sheds, don't retry the batch
+    service::Client client(copts);
+    std::set<std::uint64_t> seen;
+    std::size_t ok_frames = 0, shed_frames = 0;
+    const Json summary = client.batch(scenarios, [&](const Json& frame) {
+      const std::uint64_t index = service::batchFrameIndex(frame);
+      EXPECT_TRUE(seen.insert(index).second)
+          << "duplicate frame for scenario " << index;
+      if (frame.at("ok").asBool()) {
+        EXPECT_EQ(frame.at("result").dump(), expected[index])
+            << "scenario " << index;
+        ++ok_frames;
+      } else {
+        // Typed shed with its retry hint — never a silent drop.
+        EXPECT_TRUE(service::isOverloadedResponse(frame)) << frame.dump();
+        EXPECT_GT(service::retryAfterMs(frame), 0u);
+        ++shed_frames;
+      }
+    });
+    ASSERT_TRUE(summary.at("ok").asBool());
+    EXPECT_TRUE(service::isBatchSummaryFrame(summary));
+    EXPECT_EQ(seen.size(), kCount);
+    EXPECT_EQ(summary.at("batch").at("completed").asUint64(), ok_frames);
+    EXPECT_EQ(summary.at("batch").at("errors").asUint64(), shed_frames);
+    EXPECT_EQ(ok_frames + shed_frames, kCount);
+    // The pinned seed makes the injector deterministic: this plan sheds at
+    // least once, so the error path is genuinely exercised.
+    EXPECT_GT(shed_frames, 0u);
+    EXPECT_GT(ok_frames, 0u);
+    client.shutdown();
+  }
+  server.stop();
+}
+
 }  // namespace

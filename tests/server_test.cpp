@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -561,6 +562,345 @@ TEST(ServerLoopbackTest, PipelinedRequestsOnOneConnection) {
       const Json stats = client.stats();
       ASSERT_TRUE(stats.at("ok").asBool());
     }
+  }
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// event loop: pipelining, the streaming batch verb, the envelope API
+// ---------------------------------------------------------------------------
+
+int rawConnectTo(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+// Reads exactly `count` newline-framed lines from a raw socket.
+std::vector<std::string> readLines(int fd, std::size_t count) {
+  std::vector<std::string> lines;
+  std::string buffer;
+  char chunk[4096];
+  while (lines.size() < count) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      lines.push_back(buffer.substr(0, newline));
+      buffer.erase(0, newline + 1);
+      continue;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  return lines;
+}
+
+// The pipelining contract: many requests written back-to-back in a single
+// send() come back as exactly one response per request, *in request order*,
+// even though slow `run` jobs and instant `stats` answers complete on the
+// engine in a different order.  Each request carries a distinct trace id;
+// the echoed ids prove the ordering.
+TEST(ServerLoopbackTest, PipelinedFramesAnswerInRequestOrder) {
+  service::Server server(testOptions());
+  server.start();
+
+  std::string wire;
+  constexpr std::uint64_t kBase = 0x51000;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    Json request = Json::object();
+    if (i % 2 == 0) {  // slow path: a fresh simulation
+      request.set("verb", Json("run"))
+          .set("scenario", smallScenarioJson(700 + i));
+    } else {  // fast path: answered without touching the engine
+      request.set("verb", Json("stats"));
+    }
+    wire += tracedRequest(request, kBase + i, 1).dump() + "\n";
+  }
+
+  const int fd = rawConnectTo(server.port());
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  const std::vector<std::string> lines = readLines(fd, 8);
+  ::close(fd);
+  ASSERT_EQ(lines.size(), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const Json response = Json::parse(lines[i]);
+    EXPECT_TRUE(response.at("ok").asBool()) << lines[i];
+    ASSERT_NE(response.find("trace"), nullptr) << lines[i];
+    EXPECT_EQ(response.at("trace").at("id").asUint64(), kBase + i)
+        << "response " << i << " out of order";
+  }
+  server.stop();
+}
+
+// Drops the volatile members (timing, stream header, trace echo, version
+// stamp) so a batch stream frame can be compared bit-for-bit against a
+// standalone run response.
+Json stripVolatile(const Json& doc) {
+  Json out = Json::object();
+  for (const auto& [key, value] : doc.asObject())
+    if (key != "execute_micros" && key != "batch" && key != "trace" &&
+        key != "v")
+      out.set(key, value);
+  return out;
+}
+
+// Acceptance gate: batch(N) is bit-identical to N sequential runs — same
+// ok / hash / cached / coalesced flags and the same result payloads,
+// including cache-hit behavior for a duplicate scenario inside the batch.
+TEST(ServerBatchTest, BatchMatchesSequentialRunsBitIdentical) {
+  Json scenarios = Json::array();
+  for (std::uint64_t seed : {21u, 22u, 23u, 21u})  // note the duplicate
+    scenarios.push(smallScenarioJson(seed));
+
+  // Reference: the same scenarios run one at a time on a fresh server.
+  std::vector<std::string> expected;
+  {
+    service::Server server(testOptions());
+    server.start();
+    service::Client client(server.port());
+    for (const Json& scenario : scenarios.asArray())
+      expected.push_back(stripVolatile(client.run(scenario)).dump());
+    client.shutdown();
+    server.stop();
+  }
+  ASSERT_NE(Json::parse(expected[3]).find("cached"), nullptr);
+  EXPECT_TRUE(Json::parse(expected[3]).at("cached").asBool());
+
+  // One batch on another fresh server, frames keyed by scenario index.
+  {
+    service::Server server(testOptions());
+    server.start();
+    service::Client client(server.port());
+    std::vector<std::string> got(expected.size());
+    std::vector<std::uint64_t> seqs;
+    const Json summary =
+        client.batch(scenarios, [&](const Json& frame) {
+          const std::uint64_t index = service::batchFrameIndex(frame);
+          ASSERT_LT(index, got.size());
+          seqs.push_back(frame.at("batch").at("seq").asUint64());
+          got[index] = stripVolatile(frame).dump();
+        });
+    ASSERT_TRUE(summary.at("ok").asBool());
+    EXPECT_TRUE(service::isBatchSummaryFrame(summary));
+    EXPECT_EQ(summary.at("batch").at("of").asUint64(), expected.size());
+    EXPECT_EQ(summary.at("batch").at("completed").asUint64(),
+              expected.size());
+    EXPECT_EQ(summary.at("batch").at("errors").asUint64(), 0u);
+    // Frames stream in completion order but seq is monotonically 0..N-1.
+    ASSERT_EQ(seqs.size(), expected.size());
+    for (std::uint64_t s = 0; s < seqs.size(); ++s) EXPECT_EQ(seqs[s], s);
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      EXPECT_EQ(got[i], expected[i]) << "scenario " << i;
+    client.shutdown();
+    server.stop();
+  }
+}
+
+// Property check over randomized scenario mixes: for seeded random batches
+// (varying arbiter, master count, seeds, with deliberate duplicates) the
+// streamed batch results equal a fresh server's sequential runs.
+TEST(ServerBatchTest, RandomizedBatchesMatchSequentialRuns) {
+  std::mt19937_64 rng(20260808);
+  const char* arbiters[] = {"lottery", "priority", "rr", "fcfs"};
+  for (int round = 0; round < 3; ++round) {
+    Json scenarios = Json::array();
+    const std::size_t count = 3 + rng() % 4;
+    for (std::size_t i = 0; i < count; ++i) {
+      Scenario scenario;
+      scenario.arbiter = arbiters[rng() % 4];
+      scenario.masters = 2 + rng() % 3;
+      scenario.weights.clear();
+      scenario.cycles = 5000 + (rng() % 3) * 2000;
+      scenario.seed = rng() % 5;  // small space forces duplicates
+      scenarios.push(service::toJson(service::normalized(scenario)));
+    }
+
+    std::vector<std::string> expected;
+    {
+      service::Server server(testOptions());
+      server.start();
+      service::Client client(server.port());
+      for (const Json& scenario : scenarios.asArray())
+        expected.push_back(stripVolatile(client.run(scenario)).dump());
+      client.shutdown();
+      server.stop();
+    }
+    {
+      service::Server server(testOptions());
+      server.start();
+      service::Client client(server.port());
+      std::vector<std::string> got(expected.size());
+      const Json summary =
+          client.batch(scenarios, [&](const Json& frame) {
+            got[service::batchFrameIndex(frame)] =
+                stripVolatile(frame).dump();
+          });
+      ASSERT_TRUE(summary.at("ok").asBool()) << "round " << round;
+      // Some random mixes legitimately error (e.g. priority arbiter with
+      // non-unique weights); those error frames must match sequential runs
+      // bit-for-bit too, and every scenario must be accounted for.
+      EXPECT_EQ(summary.at("batch").at("completed").asUint64() +
+                    summary.at("batch").at("errors").asUint64(),
+                expected.size());
+      for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(got[i], expected[i])
+            << "round " << round << " scenario " << i;
+      client.shutdown();
+      server.stop();
+    }
+  }
+}
+
+// Fair-share dispatch: a large batch keeps at most `batch_window` jobs in
+// the engine, so an interactive run submitted mid-batch completes long
+// before the batch drains instead of queueing behind all of it.
+TEST(ServerBatchTest, FairShareKeepsInteractiveRunsResponsive) {
+  service::ServerOptions options = testOptions();
+  options.engine.workers = 2;
+  options.engine.queue_depth = 64;
+  options.batch_window = 1;
+  service::Server server(options);
+  server.start();
+
+  Json scenarios = Json::array();
+  for (std::uint64_t seed = 300; seed < 308; ++seed) {
+    Scenario scenario;
+    scenario.cycles = 60000;
+    scenario.seed = seed;
+    scenarios.push(service::toJson(scenario));
+  }
+
+  std::atomic<bool> batch_ok{false};
+  std::atomic<std::int64_t> batch_micros{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::thread batcher([&] {
+    service::Client client(server.port());
+    const Json summary = client.batch(scenarios, {});
+    batch_ok = summary.at("ok").asBool() &&
+               summary.at("batch").at("errors").asUint64() == 0;
+    batch_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  });
+
+  // Give the batch a head start, then race an interactive run against it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service::Client interactive(server.port());
+  const Json response = interactive.run(smallScenarioJson(999));
+  const auto interactive_micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(response.at("ok").asBool());
+
+  batcher.join();
+  EXPECT_TRUE(batch_ok.load());
+  // The interactive run finished while the batch was still streaming, and
+  // well inside the batch's total wall clock.
+  EXPECT_LT(interactive_micros, batch_micros.load());
+  EXPECT_LT(interactive_micros, batch_micros.load() / 2 + 100000);
+  interactive.shutdown();
+  server.stop();
+}
+
+// The legacy accept loop (one blocking thread per connection) remains
+// available behind ServerOptions::thread_per_connection, and serves the
+// whole verb surface — including a (sequential) batch stream.
+TEST(ServerLoopbackTest, LegacyThreadPerConnectionModeServesAllVerbs) {
+  service::ServerOptions options = testOptions();
+  options.thread_per_connection = true;
+  service::Server server(options);
+  server.start();
+  {
+    service::Client client(server.port());
+    const Json run = client.run(smallScenarioJson(61));
+    ASSERT_TRUE(run.at("ok").asBool());
+    Json scenarios = Json::array();
+    scenarios.push(smallScenarioJson(61)).push(smallScenarioJson(62));
+    std::vector<std::uint64_t> seqs;
+    const Json summary = client.batch(scenarios, [&](const Json& frame) {
+      seqs.push_back(frame.at("batch").at("seq").asUint64());
+    });
+    ASSERT_TRUE(summary.at("ok").asBool());
+    EXPECT_EQ(summary.at("batch").at("completed").asUint64(), 2u);
+    EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 1}));
+    const Json stats = client.stats();
+    EXPECT_GE(stats.at("stats").at("requests").asUint64(), 3u);
+    client.shutdown();
+  }
+  server.stop();
+}
+
+// The typed envelope: exchange() is the single request path, traces are
+// minted (or passed through verbatim), and the payload's reserved members
+// never override the envelope's verb.
+TEST(ServerLoopbackTest, ExchangeEnvelopeApi) {
+  service::Server server(testOptions());
+  server.start();
+  {
+    service::Client client(server.port());
+
+    service::Client::Request request;
+    request.verb = "run";
+    request.payload.set("scenario", smallScenarioJson(55));
+    const service::Client::Response response = client.exchange(request);
+    ASSERT_TRUE(response.ok);
+    EXPECT_TRUE(response.trace.valid());
+    EXPECT_EQ(response.body.at("trace").at("id").asUint64(),
+              response.trace.trace_id);
+
+    // The per-verb wrapper is a thin shim over the same path: re-running
+    // through run() is a cache hit on the identical payload.
+    const Json direct = client.run(smallScenarioJson(55));
+    ASSERT_TRUE(direct.at("ok").asBool());
+    EXPECT_TRUE(direct.at("cached").asBool());
+    EXPECT_EQ(direct.at("result").dump(), response.body.at("result").dump());
+
+    // A pre-minted trace identity rides the wire verbatim.
+    service::Client::Request traced;
+    traced.verb = "stats";
+    traced.trace = obs::TraceContext{0xABCDu, 0x11u};
+    const service::Client::Response echoed = client.exchange(traced);
+    ASSERT_TRUE(echoed.ok);
+    EXPECT_EQ(echoed.trace.trace_id, 0xABCDu);
+    EXPECT_EQ(echoed.body.at("trace").at("id").asUint64(), 0xABCDu);
+
+    // Reserved members inside the payload lose to the envelope fields.
+    service::Client::Request sneaky;
+    sneaky.verb = "stats";
+    sneaky.payload.set("verb", Json("shutdown"));
+    const service::Client::Response still_stats = client.exchange(sneaky);
+    ASSERT_TRUE(still_stats.ok);
+    EXPECT_NE(still_stats.body.find("stats"), nullptr);
+
+    client.shutdown();
+  }
+  server.stop();
+}
+
+// An oversized batch is refused with a typed error before any job runs.
+TEST(ServerBatchTest, OversizedBatchIsRefused) {
+  service::ServerOptions options = testOptions();
+  options.max_batch = 2;
+  service::Server server(options);
+  server.start();
+  {
+    service::Client client(server.port());
+    Json scenarios = Json::array();
+    for (std::uint64_t seed = 0; seed < 3; ++seed)
+      scenarios.push(smallScenarioJson(seed));
+    const Json response = client.batch(scenarios, {});
+    EXPECT_FALSE(response.at("ok").asBool());
+    EXPECT_NE(response.at("error").asString().find("exceeds"),
+              std::string::npos);
+    EXPECT_EQ(server.engine().stats().completed, 0u);
+    client.shutdown();
   }
   server.stop();
 }
