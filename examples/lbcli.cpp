@@ -6,6 +6,9 @@
 //   ./build/examples/lbcli --port 4817 stats
 //   ./build/examples/lbcli --port 4817 metrics | grep lb_server
 //   ./build/examples/lbcli --port 4817 trace > trace.json
+//   ./build/examples/lbcli --port 4817 health
+//   ./build/examples/lbcli --port 4817 history --last 5 --metric \
+//       lb_server_requests_total
 //   ./build/examples/lbcli --port 4817 shutdown
 //
 // `run` accepts exactly the scenario flags lbsim takes and prints the same
@@ -32,6 +35,7 @@
 
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "service/client.hpp"
@@ -98,6 +102,8 @@ int main(int argc, char** argv) {
   std::string verb;
   service::Scenario scenario;
   std::uint64_t sweep_seeds = 8;
+  std::uint64_t history_last = 0;
+  std::vector<std::string> history_metrics;
   bool csv = false;
   bool raw_json = false;
   bool client_metrics = false;
@@ -190,6 +196,16 @@ int main(int argc, char** argv) {
              "mesh6x6-sesc); later flags override its fields",
              [&](const std::string&, const std::string& v) {
                scenario = service::meshPreset(v);
+             })
+      .value({"--last"}, "N",
+             "history: keep only the newest N samples (default: all)",
+             [&](const std::string& opt, const std::string& v) {
+               history_last = service::parseU64InRange(opt, v, 1, 1 << 20);
+             })
+      .value({"--metric"}, "NAME",
+             "history: keep only points of this series (repeatable)",
+             [&](const std::string&, const std::string& v) {
+               history_metrics.push_back(v);
              })
       .flag({"--csv"}, "emit CSV instead of an ASCII table", &csv)
       .flag({"--json"}, "run/batch: print the raw response document(s)",
@@ -356,6 +372,74 @@ int main(int argc, char** argv) {
                 << " spans, " << response.at("events").asUint64()
                 << " events, " << response.at("dropped").asUint64()
                 << " dropped]\n";
+      return 0;
+    }
+
+    if (verb == "health") {
+      const service::Json response = client.health();
+      if (!response.at("ok").asBool())
+        return failUnsupported("health", response);
+      if (raw_json) {
+        std::cout << response.dump() << "\n";
+        return 0;
+      }
+      const service::Json& health = response.at("health");
+      for (const auto& [key, value] : health.asObject()) {
+        if (key == "connections" || key == "latency_histogram") continue;
+        if (value.isObject()) {
+          for (const auto& [sub, subvalue] : value.asObject())
+            std::cout << key << "." << sub << ": " << subvalue.dump() << "\n";
+        } else {
+          std::cout << key << ": " << value.dump() << "\n";
+        }
+      }
+      stats::Table table({"conn", "in-flight", "rbuf", "wbuf", "age ms",
+                          "last verb", "oldest trace"});
+      for (const service::Json& conn : health.at("connections").asArray()) {
+        const service::Json* last_verb = conn.find("last_verb");
+        const service::Json* oldest = conn.find("oldest_trace");
+        table.addRow({std::to_string(conn.at("id").asUint64()),
+                      std::to_string(conn.at("in_flight").asUint64()),
+                      std::to_string(conn.at("read_buffered").asUint64()),
+                      std::to_string(conn.at("write_buffered").asUint64()),
+                      std::to_string(conn.at("age_ms").asUint64()),
+                      last_verb != nullptr ? last_verb->asString() : "-",
+                      oldest != nullptr ? oldest->asString() : "-"});
+      }
+      if (csv)
+        table.printCsv(std::cout);
+      else
+        table.printAscii(std::cout);
+      return 0;
+    }
+
+    if (verb == "history") {
+      const service::Json response =
+          client.history(history_last, history_metrics);
+      if (!response.at("ok").asBool())
+        return failUnsupported("history", response);
+      if (raw_json) {
+        std::cout << response.dump() << "\n";
+        return 0;
+      }
+      const service::Json& history = response.at("history");
+      const auto& samples = history.at("samples").asArray();
+      std::cout << "interval_ms: " << history.at("interval_ms").asUint64()
+                << "  capacity: " << history.at("capacity").asUint64()
+                << "  samples: " << samples.size() << "\n";
+      for (const service::Json& sample : samples) {
+        std::cout << "-- seq " << sample.at("seq").asUint64() << " at_ms "
+                  << sample.at("at_ms").asUint64() << "\n";
+        for (const service::Json& point : sample.at("points").asArray()) {
+          std::cout << "   " << point.at("name").asString();
+          if (const service::Json* labels = point.find("labels"))
+            std::cout << labels->asString();
+          std::cout << " = " << point.at("value").dump();
+          if (const service::Json* delta = point.find("delta"))
+            std::cout << " (+" << delta->dump() << ")";
+          std::cout << "\n";
+        }
+      }
       return 0;
     }
 

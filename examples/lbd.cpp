@@ -2,7 +2,8 @@
 //
 // Turns the simulator into a long-running service: a poll-based event
 // loop listens on loopback, accepts newline-delimited JSON requests
-// (run / sweep / batch / stats / metrics / shutdown) — pipelined freely
+// (run / sweep / batch / stats / metrics / health / history / shutdown)
+// — pipelined freely
 // on any connection — executes scenarios on a persistent worker pool
 // behind a bounded job queue, and serves repeated scenarios from a
 // content-addressed result cache.  Every response carries the wire
@@ -150,6 +151,47 @@ int main(int argc, char** argv) {
              "write the flight recorder as Chrome trace_event JSON to\n"
              "FILE at shutdown (open in chrome://tracing or Perfetto)",
              [&](const std::string&, const std::string& v) { trace_out = v; })
+      .value({"--history-interval-ms"}, "N",
+             "metrics time-series sampling interval behind the `history`\n"
+             "verb; 0 disables the ring (default 1000)",
+             [&](const std::string& opt, const std::string& v) {
+               server_options.history_interval = std::chrono::milliseconds(
+                   service::parseU64InRange(opt, v, 0, 3600000));
+             })
+      .value({"--history-capacity"}, "N",
+             "retained time-series samples (default 120)",
+             [&](const std::string& opt, const std::string& v) {
+               server_options.history_capacity =
+                   service::parseU64InRange(opt, v, 1, 1 << 20);
+             })
+      .value({"--slow-request-us"}, "SPEC",
+             "slow-request exemplar threshold in microseconds: either a\n"
+             "single default (\"100000\") or per-verb overrides\n"
+             "(\"run=100000,batch=1000000\"); 0 disables (default 0)",
+             [&](const std::string& opt, const std::string& v) {
+               std::size_t start = 0;
+               while (start <= v.size()) {
+                 std::size_t end = v.find(',', start);
+                 if (end == std::string::npos) end = v.size();
+                 const std::string item = v.substr(start, end - start);
+                 const std::size_t eq = item.find('=');
+                 if (eq == std::string::npos) {
+                   server_options.slow_request_default_us =
+                       service::parseU64InRange(opt, item, 0, 1ull << 40);
+                 } else {
+                   server_options.slow_request_us[item.substr(0, eq)] =
+                       service::parseU64InRange(opt, item.substr(eq + 1), 0,
+                                                1ull << 40);
+                 }
+                 start = end + 1;
+               }
+             })
+      .value({"--stall-threshold-ms"}, "N",
+             "event-loop stall detector threshold; 0 disables (default 100)",
+             [&](const std::string& opt, const std::string& v) {
+               server_options.stall_threshold = std::chrono::milliseconds(
+                   service::parseU64InRange(opt, v, 0, 3600000));
+             })
       .value({"--log-level"}, "L", "debug | info | warn | error | off\n"
              "(default info)",
              [&](const std::string& opt, const std::string& v) {

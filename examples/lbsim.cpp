@@ -54,6 +54,36 @@ void writeChromeTrace(std::ostream& out, const service::Scenario& scenario,
   recorder.writeJson(out);
 }
 
+/// Mesh analogue of writeChromeTrace: one process lane per router, one
+/// thread lane per output port, one complete event per router grant
+/// (ts = cycle, duration = flits).  Input port / VC / source / tag ride
+/// along as event args so Perfetto's selection panel shows the full grant.
+void writeMeshChromeTrace(std::ostream& out, const service::Scenario& scenario,
+                          const std::vector<noc::NocGrantRecord>& grants) {
+  obs::TraceRecorder recorder;
+  const std::size_t routers = scenario.mesh.width * scenario.mesh.height;
+  for (std::size_t r = 0; r < routers; ++r) {
+    const std::uint32_t pid = static_cast<std::uint32_t>(r);
+    recorder.setProcessName(pid, "router " + std::to_string(r));
+    for (int port = 0; port < noc::kNumPorts; ++port)
+      recorder.setThreadName(pid, static_cast<std::uint32_t>(port),
+                             std::string("out ") + noc::portName(port));
+  }
+  for (const noc::NocGrantRecord& grant : grants)
+    recorder.addComplete(
+        std::string("grant ") + noc::portName(grant.input_port), "noc",
+        /*pid=*/static_cast<std::uint32_t>(grant.router),
+        /*tid=*/static_cast<std::uint32_t>(grant.output_port),
+        /*ts_us=*/static_cast<double>(grant.cycle),
+        /*dur_us=*/static_cast<double>(grant.flits),
+        {{"input_port", static_cast<double>(grant.input_port)},
+         {"vc", static_cast<double>(grant.vc)},
+         {"source", static_cast<double>(grant.source)},
+         {"tag", static_cast<double>(grant.tag)},
+         {"flits", static_cast<double>(grant.flits)}});
+  recorder.writeJson(out);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -156,17 +186,29 @@ int main(int argc, char** argv) {
     }
 
     std::vector<bus::GrantRecord> grants;
+    std::vector<noc::NocGrantRecord> mesh_grants;
     service::RunOptions run_options;
-    if (!trace_out.empty()) run_options.capture_trace = &grants;
+    if (!trace_out.empty()) {
+      if (scenario.mesh.enabled())
+        run_options.capture_mesh_trace = &mesh_grants;
+      else
+        run_options.capture_trace = &grants;
+    }
     const auto result = service::runScenario(scenario, run_options);
     service::writeResultReport(std::cout, scenario, result, csv);
     if (!trace_out.empty()) {
       std::ofstream out(trace_out, std::ios::trunc);
       if (!out)
         throw std::runtime_error("cannot open --trace-out file " + trace_out);
-      writeChromeTrace(out, scenario, grants);
-      std::cerr << "wrote " << grants.size() << " grant spans to " << trace_out
-                << "\n";
+      if (scenario.mesh.enabled()) {
+        writeMeshChromeTrace(out, scenario, mesh_grants);
+        std::cerr << "wrote " << mesh_grants.size() << " router grant spans to "
+                  << trace_out << "\n";
+      } else {
+        writeChromeTrace(out, scenario, grants);
+        std::cerr << "wrote " << grants.size() << " grant spans to "
+                  << trace_out << "\n";
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,211 @@
+// lbtop — live terminal dashboard for a running lbd daemon.
+//
+//   ./build/examples/lbtop --port 4817              # refresh every second
+//   ./build/examples/lbtop --port 4817 --once       # one snapshot (scripts)
+//   ./build/examples/lbtop --port 4817 --interval-ms 250
+//
+// Each refresh issues one `health` request (loop timings, queue depths,
+// engine/cache counters, aggregated latency histogram, connection table)
+// and one `history` request (the newest two ring samples, filtered to
+// lb_server_requests_total) and renders a top(1)-style screen:
+//
+//   - requests/s from the time-series ring's counter deltas when the ring
+//     is enabled, falling back to differencing successive health snapshots;
+//   - p50/p95/p99 request latency recomputed client-side from the health
+//     response's raw histogram buckets via the same bucket-interpolated
+//     estimator the daemon uses (obs::histogramQuantile), so lbtop and
+//     `lbcli health` can never disagree about a quantile;
+//   - cache hit rate, job-queue and event-loop queue depths with high
+//     watermarks, stall count, and the live per-connection table.
+//
+// Purely an observer: every verb it sends is read-only.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/quantile.hpp"
+#include "service/client.hpp"
+#include "service/parse.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace lb;
+
+/// Renders microseconds with an adaptive unit: "820us", "4.1ms", "1.2s".
+std::string formatMicros(double us) {
+  char buffer[32];
+  if (us < 1000.0)
+    std::snprintf(buffer, sizeof buffer, "%.0fus", us);
+  else if (us < 1e6)
+    std::snprintf(buffer, sizeof buffer, "%.1fms", us / 1000.0);
+  else
+    std::snprintf(buffer, sizeof buffer, "%.2fs", us / 1e6);
+  return buffer;
+}
+
+std::string formatRate(double per_second) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.1f", per_second);
+  return buffer;
+}
+
+/// Sum of lb_server_requests_total deltas in the newest history sample,
+/// scaled to per-second by the ring's sampling interval.  Returns a
+/// negative value when the ring is disabled or has no delta yet.
+double rpsFromHistory(const service::Json& reply) {
+  const service::Json* ok = reply.find("ok");
+  if (ok == nullptr || !ok->asBool()) return -1.0;
+  const service::Json& history = reply.at("history");
+  const double interval_ms = history.at("interval_ms").asDouble();
+  const auto& samples = history.at("samples").asArray();
+  if (interval_ms <= 0 || samples.size() < 2) return -1.0;
+  double delta = 0;
+  for (const service::Json& point : samples.back().at("points").asArray())
+    if (const service::Json* d = point.find("delta")) delta += d->asDouble();
+  return delta * 1000.0 / interval_ms;
+}
+
+/// One rendered dashboard frame.  `local_rps` is the fallback estimate from
+/// differencing successive health snapshots (negative = not available yet).
+void renderFrame(std::ostream& out, std::uint16_t port,
+                 const service::Json& health, double history_rps,
+                 double local_rps, std::chrono::milliseconds interval,
+                 bool once) {
+  const service::Json& loop = health.at("loop");
+  const service::Json& requests = health.at("requests");
+  const service::Json& engine = health.at("engine");
+
+  // Quantiles recomputed from the raw buckets with the shared estimator.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  const service::Json& histogram = health.at("latency_histogram");
+  for (const service::Json& b : histogram.at("bounds").asArray())
+    bounds.push_back(b.asDouble());
+  for (const service::Json& c : histogram.at("counts").asArray())
+    counts.push_back(c.asUint64());
+  const double p50 = obs::histogramQuantile(bounds, counts, 0.50);
+  const double p95 = obs::histogramQuantile(bounds, counts, 0.95);
+  const double p99 = obs::histogramQuantile(bounds, counts, 0.99);
+
+  const double rps = history_rps >= 0 ? history_rps : local_rps;
+  const double hits = engine.at("cache_hits").asDouble();
+  const double misses = engine.at("cache_misses").asDouble();
+  const double lookups = hits + misses;
+
+  out << "lbtop — 127.0.0.1:" << port << " (" << health.at("mode").asString()
+      << ")  up " << formatMicros(health.at("uptime_ms").asDouble() * 1000.0);
+  if (!once) out << "  [refresh " << interval.count() << " ms]";
+  out << "\n\n";
+
+  out << "requests   total " << requests.at("total").asUint64() << "   rps "
+      << (rps >= 0 ? formatRate(rps) : "-") << "   slow "
+      << requests.at("slow").asUint64() << "   protocol errors "
+      << requests.at("protocol_errors").asUint64() << "\n";
+  out << "latency    p50 " << formatMicros(p50) << "   p95 "
+      << formatMicros(p95) << "   p99 " << formatMicros(p99) << "\n";
+  out << "engine     queue " << engine.at("queue_depth").asUint64()
+      << "   in-flight " << engine.at("in_flight").asUint64()
+      << "   completed " << engine.at("jobs_completed").asUint64()
+      << "   shed " << engine.at("jobs_shed").asUint64() << "\n";
+  out << "cache      hits " << static_cast<std::uint64_t>(hits)
+      << "   misses " << static_cast<std::uint64_t>(misses) << "   hit rate ";
+  if (lookups > 0)
+    out << stats::Table::pct(hits / lookups) << "\n";
+  else
+    out << "-\n";
+  out << "loop       iters " << loop.at("iterations").asUint64()
+      << "   stalls " << loop.at("stalls").asUint64() << "   iter p99 "
+      << formatMicros(loop.at("iteration_p99_us").asDouble())
+      << "   dispatch max " << loop.at("dispatch_queue_depth_max").asUint64()
+      << "   completion max "
+      << loop.at("completion_queue_depth_max").asUint64() << "\n\n";
+
+  stats::Table table(
+      {"conn", "in-flight", "rbuf", "wbuf", "age ms", "last verb"});
+  for (const service::Json& conn : health.at("connections").asArray()) {
+    const service::Json* verb = conn.find("last_verb");
+    table.addRow({std::to_string(conn.at("id").asUint64()),
+                  std::to_string(conn.at("in_flight").asUint64()),
+                  std::to_string(conn.at("read_buffered").asUint64()),
+                  std::to_string(conn.at("write_buffered").asUint64()),
+                  std::to_string(conn.at("age_ms").asUint64()),
+                  verb != nullptr ? verb->asString() : "-"});
+  }
+  table.printAscii(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 0;
+  std::chrono::milliseconds interval(1000);
+  bool once = false;
+
+  service::OptionSet options("lbtop", "live dashboard for the lbd daemon");
+  options
+      .value({"--port"}, "N", "lbd port on 127.0.0.1 (required)",
+             [&](const std::string& opt, const std::string& v) {
+               port = static_cast<std::uint16_t>(
+                   service::parseU64InRange(opt, v, 1, 65535));
+             })
+      .value({"--interval-ms"}, "N", "refresh period (default 1000)",
+             [&](const std::string& opt, const std::string& v) {
+               interval = std::chrono::milliseconds(
+                   service::parseU64InRange(opt, v, 10, 3600000));
+             })
+      .flag({"--once"}, "print one snapshot and exit (no screen clearing)",
+            &once);
+  if (const int rc = options.parse(argc, argv); rc >= 0) return rc;
+  if (port == 0) {
+    std::cerr << "lbtop: --port is required (try --help)\n";
+    return 2;
+  }
+
+  try {
+    service::Client client(port);
+    double prev_total = -1.0;
+    auto prev_at = std::chrono::steady_clock::now();
+    for (;;) {
+      const service::Json health_reply = client.health();
+      const service::Json* ok = health_reply.find("ok");
+      if (ok == nullptr || !ok->asBool()) {
+        const service::Json* error = health_reply.find("error");
+        std::cerr << "lbtop: daemon rejected health: "
+                  << (error != nullptr ? error->asString() : "unknown error")
+                  << "\n";
+        return 1;
+      }
+      const double history_rps =
+          rpsFromHistory(client.history(2, {"lb_server_requests_total"}));
+
+      const service::Json& health = health_reply.at("health");
+      const auto now = std::chrono::steady_clock::now();
+      const double total = health.at("requests").at("total").asDouble();
+      double local_rps = -1.0;
+      if (prev_total >= 0) {
+        const double seconds =
+            std::chrono::duration<double>(now - prev_at).count();
+        if (seconds > 0) local_rps = (total - prev_total) / seconds;
+      }
+      prev_total = total;
+      prev_at = now;
+
+      if (!once) std::cout << "\x1b[2J\x1b[H";  // clear + home
+      renderFrame(std::cout, port, health, history_rps, local_rps, interval,
+                  once);
+      std::cout.flush();
+      if (once) break;
+      std::this_thread::sleep_for(interval);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "lbtop: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -21,7 +21,10 @@
 # statistics diverge) and
 # <out-dir>/BENCH_noc.json (noc_mesh_latency: mesh simulation cycles/s per
 # load-sweep point; its --guard flag fails the run if any sub-saturation
-# point misses the analytical model by more than the documented 10%).
+# point misses the analytical model by more than the documented 10%) and
+# <out-dir>/BENCH_obs.json (obs_overhead: lbd requests/sec with the full
+# introspection layer on vs off; its --guard flag fails the run if
+# telemetry costs more than 3% of bare saturated throughput).
 # All files are validated as JSON before the script exits 0.  Benchmarks
 # run with reduced repetitions/slots — this is a trajectory smoke, not a
 # publication-grade measurement.
@@ -35,7 +38,8 @@ IQ="$BUILD/bench/iq_switch_throughput"
 SAT="$BUILD/bench/server_saturation"
 KERNEL="$BUILD/bench/kernel_fastforward"
 NOC="$BUILD/bench/noc_mesh_latency"
-for bin in "$MICRO" "$IQ" "$SAT" "$KERNEL" "$NOC"; do
+OBS="$BUILD/bench/obs_overhead"
+for bin in "$MICRO" "$IQ" "$SAT" "$KERNEL" "$NOC" "$OBS"; do
   [[ -x "$bin" ]] || { echo "bench_trajectory: missing $bin (build first)"; exit 1; }
 done
 mkdir -p "$OUT"
@@ -74,6 +78,14 @@ echo "bench_trajectory: rev $LB_GIT_REV -> $OUT"
   > "$OUT/noc.log" 2>&1 \
   || { echo "bench_trajectory: noc_mesh_latency failed"; tail -20 "$OUT/noc.log"; exit 1; }
 
+# Introspection overhead smoke: --guard fails this step if running with the
+# flight recorder, history ring, slow-request exemplars, and a live
+# health/history scraper costs more than 3% of bare requests/sec.
+"$OBS" --requests 512 --conns 16 --trials 3 --guard \
+       --json-out "$OUT/BENCH_obs.json" \
+  > "$OUT/obs.log" 2>&1 \
+  || { echo "bench_trajectory: obs_overhead failed"; tail -20 "$OUT/obs.log"; exit 1; }
+
 validate() {
   local file="$1"
   [[ -s "$file" ]] || { echo "bench_trajectory: $file missing or empty"; exit 1; }
@@ -95,5 +107,6 @@ validate "$OUT/BENCH_iqswitch.json"
 validate "$OUT/BENCH_service.json"
 validate "$OUT/BENCH_kernel.json"
 validate "$OUT/BENCH_noc.json"
+validate "$OUT/BENCH_obs.json"
 
 echo "bench_trajectory: OK"

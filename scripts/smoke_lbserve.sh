@@ -30,7 +30,13 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$LBD" --port 0 --cache-dir "$WORK/cache" > "$WORK/lbd.log" 2>&1 &
+LBTOP="$BUILD/examples/lbtop"
+[[ -x "$LBTOP" ]] || { echo "smoke_lbserve: missing $LBTOP (build first)"; exit 1; }
+
+# 200ms history sampling so the introspection checks below see fresh
+# samples quickly; 1us slow threshold so every request leaves an exemplar.
+"$LBD" --port 0 --cache-dir "$WORK/cache" \
+       --history-interval-ms 200 --slow-request-us 1 > "$WORK/lbd.log" 2>&1 &
 LBD_PID=$!
 
 PORT=""
@@ -122,6 +128,51 @@ assert any(e.get("args", {}).get("note") == "run" for e in roots), \
 PY
 echo "smoke_lbserve: trace dump OK ($(grep -o 'server\.request' "$WORK/trace.json" | wc -l) root spans)"
 
+# 8. Live introspection: the health verb reports the event-loop mode, a
+# live loop, the request totals, and (threshold 1us above) slow-request
+# exemplars for every run so far.
+"$LBCLI" --port "$PORT" health > "$WORK/health.out"
+grep -q '^mode: "event-loop"$' "$WORK/health.out" \
+  || { echo "smoke_lbserve: health verb missing event-loop mode"; cat "$WORK/health.out"; exit 1; }
+for field in loop.iterations requests.total requests.slow engine.jobs_completed; do
+  grep -q "^$field: " "$WORK/health.out" \
+    || { echo "smoke_lbserve: health verb missing $field"; cat "$WORK/health.out"; exit 1; }
+done
+ITERS="$(awk -F': ' '$1 == "loop.iterations" {print $2}' "$WORK/health.out")"
+TOTAL="$(awk -F': ' '$1 == "requests.total" {print $2}' "$WORK/health.out")"
+SLOW="$(awk -F': ' '$1 == "requests.slow" {print $2}' "$WORK/health.out")"
+[[ "$ITERS" -ge 1 ]] || { echo "smoke_lbserve: health loop.iterations not positive: '$ITERS'"; exit 1; }
+[[ "$TOTAL" -ge 2 ]] || { echo "smoke_lbserve: health requests.total below the runs so far: '$TOTAL'"; exit 1; }
+[[ "$SLOW" -ge 1 ]] || { echo "smoke_lbserve: no slow-request exemplars despite 1us threshold: '$SLOW'"; exit 1; }
+grep -q '| conn ' "$WORK/health.out" \
+  || { echo "smoke_lbserve: health verb missing the connection table"; cat "$WORK/health.out"; exit 1; }
+
+# The history verb serves the time-series ring: wait out two 200ms
+# sampling intervals, then ask for the newest two request-counter samples.
+HISTORY_OK=""
+for _ in $(seq 1 50); do
+  "$LBCLI" --port "$PORT" history --last 2 --metric lb_server_requests_total > "$WORK/history.out"
+  if grep -q "samples: 2" "$WORK/history.out" \
+     && grep -q "lb_server_requests_total" "$WORK/history.out"; then
+    HISTORY_OK=1
+    break
+  fi
+  sleep 0.1
+done
+[[ -n "$HISTORY_OK" ]] \
+  || { echo "smoke_lbserve: history verb never served 2 request-counter samples"; cat "$WORK/history.out"; exit 1; }
+grep -q '^interval_ms: 200 ' "$WORK/history.out" \
+  || { echo "smoke_lbserve: history verb reports wrong interval"; cat "$WORK/history.out"; exit 1; }
+
+# One lbtop frame renders the same health + history data as a dashboard.
+"$LBTOP" --port "$PORT" --once > "$WORK/lbtop.out" \
+  || { echo "smoke_lbserve: lbtop --once failed"; cat "$WORK/lbtop.out"; exit 1; }
+for line in "lbtop — " "requests " "latency " "engine " "cache " "loop "; do
+  grep -q "$line" "$WORK/lbtop.out" \
+    || { echo "smoke_lbserve: lbtop frame missing '$line'"; cat "$WORK/lbtop.out"; exit 1; }
+done
+echo "smoke_lbserve: introspection OK (health: $TOTAL requests, $SLOW slow; history + lbtop frame rendered)"
+
 # Archive observability artifacts for CI before this daemon goes away.
 if [[ -n "${SMOKE_ARTIFACT_DIR:-}" ]]; then
   mkdir -p "$SMOKE_ARTIFACT_DIR"
@@ -129,7 +180,7 @@ if [[ -n "${SMOKE_ARTIFACT_DIR:-}" ]]; then
   cp "$WORK/trace.json" "$SMOKE_ARTIFACT_DIR/smoke_trace.json"
 fi
 
-# 8. Streaming batch: one request, one streamed frame per scenario plus a
+# 9. Streaming batch: one request, one streamed frame per scenario plus a
 # terminal summary.  The seq stamps must count 0..N-1 in arrival order and
 # the done frame must come last with completed+errors == N; rerunning the
 # same batch must be served entirely from the cache.
@@ -154,7 +205,7 @@ grep -q "cache hits 6/6" "$WORK/batch2.err" \
   || { echo "smoke_lbserve: warm batch missed the cache"; cat "$WORK/batch2.err"; exit 1; }
 echo "smoke_lbserve: batch stream OK (6 in-order frames + summary, warm rerun fully cached)"
 
-# 9. Clean shutdown.
+# 10. Clean shutdown.
 "$LBCLI" --port "$PORT" shutdown > /dev/null
 for _ in $(seq 1 50); do
   kill -0 "$LBD_PID" 2>/dev/null || break
@@ -166,7 +217,7 @@ fi
 wait "$LBD_PID" 2>/dev/null || true
 LBD_PID=""
 
-# 10. Fault soak: a second daemon with a seeded chaos plan (15% torn reads
+# 11. Fault soak: a second daemon with a seeded chaos plan (15% torn reads
 # and writes, 10% job delays, plus resets, sheds, and cache corruption).
 # 200 lbcli runs must all complete (no hangs — every call is bounded by
 # --deadline-ms and a belt-and-braces `timeout`), every result must stay

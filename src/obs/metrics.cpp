@@ -250,6 +250,34 @@ std::string MetricsRegistry::renderPrometheus() const {
   return out;
 }
 
+std::vector<MetricPoint> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricPoint> out;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        for (const auto& [labels, counter] : entry.counter->children())
+          out.push_back({name, labels,
+                         static_cast<double>(counter->value()), true});
+        break;
+      case Kind::kGauge:
+        for (const auto& [labels, gauge] : entry.gauge->children())
+          out.push_back({name, labels,
+                         static_cast<double>(gauge->value()), false});
+        break;
+      case Kind::kHistogram:
+        for (const auto& [labels, histogram] :
+             entry.histogram->children()) {
+          out.push_back({name + "_count", labels,
+                         static_cast<double>(histogram->count()), true});
+          out.push_back({name + "_sum", labels, histogram->sum(), true});
+        }
+        break;
+    }
+  }
+  return out;
+}
+
 MetricsRegistry& registry() {
   static MetricsRegistry* instance = new MetricsRegistry();  // never dies
   return *instance;

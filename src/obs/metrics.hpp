@@ -178,6 +178,19 @@ std::vector<double> cycleBuckets();
 /// Default bucket edges for microsecond-valued histograms (1us .. 10s).
 std::vector<double> microsBuckets();
 
+/// One flattened instrument reading from MetricsRegistry::snapshot().
+/// Counters and gauges contribute one point each; a histogram contributes
+/// two (`<name>_count` and `<name>_sum`) — bucket vectors stay out of the
+/// snapshot so a periodic sampler (obs::TimeSeriesRing) stays cheap.
+struct MetricPoint {
+  std::string name;
+  std::string labels;  ///< canonical label string ("" or {k="v",...})
+  double value = 0;
+  /// True for counter-like series (monotonically non-decreasing), where a
+  /// delta between two snapshots is a rate; false for gauges.
+  bool monotone = false;
+};
+
 class MetricsRegistry {
 public:
   MetricsRegistry() = default;
@@ -196,6 +209,11 @@ public:
 
   /// Full Prometheus text exposition of every family.
   std::string renderPrometheus() const;
+
+  /// Numeric snapshot of every instrument, in registration order (children
+  /// in sorted label order) — the structured counterpart of
+  /// renderPrometheus() for samplers that want values, not text.
+  std::vector<MetricPoint> snapshot() const;
 
 private:
   enum class Kind { kCounter, kGauge, kHistogram };

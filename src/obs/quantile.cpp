@@ -1,0 +1,59 @@
+#include "obs/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+
+namespace lb::obs {
+
+double histogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<std::uint64_t>& counts, double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  // Same target-rank convention as stats::Histogram::quantile: the value
+  // below which ceil(q * total) samples fall.
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  const std::uint64_t rank = std::max<std::uint64_t>(target, 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds.size() && i < counts.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    if (cumulative + in_bucket >= rank) {
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double frac = in_bucket == 0
+                              ? 1.0
+                              : static_cast<double>(rank - cumulative) /
+                                    static_cast<double>(in_bucket);
+      return lower + (upper - lower) * frac;
+    }
+    cumulative += in_bucket;
+  }
+  // Landed in +Inf: saturate at the last finite edge (the histogram cannot
+  // resolve further, and an infinite estimate helps nobody).
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+double histogramQuantile(const Histogram& histogram, double q) {
+  const std::vector<double>& bounds = histogram.bounds();
+  std::vector<std::uint64_t> counts(bounds.size() + 1);
+  for (std::size_t i = 0; i <= bounds.size(); ++i)
+    counts[i] = histogram.bucketCount(i);
+  return histogramQuantile(bounds, counts, q);
+}
+
+double samplePercentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+}  // namespace lb::obs

@@ -1,0 +1,47 @@
+#pragma once
+// Shared quantile estimators for the observability stack.
+//
+// Two flavors, one convention:
+//
+//  - histogramQuantile(): bucket-interpolated quantile over fixed-bucket
+//    histogram counts (obs::Histogram, or raw bounds/counts parsed from a
+//    Prometheus exposition).  Consistent with stats::Histogram::quantile's
+//    bin walk — the same target rank resolves to the same bucket — but
+//    interpolates linearly inside the bucket instead of reporting its upper
+//    edge, so estimates move smoothly as observations accumulate.  A
+//    quantile landing in the +Inf bucket saturates at the last finite
+//    bound, exactly as the stats histogram saturates at its overflow edge.
+//
+//  - samplePercentile(): exact percentile of raw samples (sort + linear
+//    interpolation between order statistics), hoisted out of the server's
+//    `stats` verb so the latency reservoir, the `health` verb, and lbtop
+//    agree on one definition.
+//
+// Consumers: Server::statsJson / verbHealth (src/service/server.cpp) and
+// the lbtop dashboard (examples/lbtop.cpp).
+
+#include <cstdint>
+#include <vector>
+
+namespace lb::obs {
+
+class Histogram;
+
+/// Quantile `q` (clamped to [0,1]) of a fixed-bucket histogram.  `bounds`
+/// are the ascending inclusive upper bucket edges; `counts` are the
+/// non-cumulative per-bucket counts with one extra trailing entry for the
+/// implicit +Inf bucket (counts.size() == bounds.size() + 1; a missing
+/// trailing entry is treated as an empty +Inf bucket).  Returns 0 for an
+/// empty histogram.
+double histogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<std::uint64_t>& counts, double q);
+
+/// histogramQuantile over a live obs::Histogram's buckets.
+double histogramQuantile(const Histogram& histogram, double q);
+
+/// Exact percentile of raw samples: sorts `values` and interpolates
+/// linearly between the neighbouring order statistics.  Returns 0 for an
+/// empty vector.
+double samplePercentile(std::vector<double> values, double q);
+
+}  // namespace lb::obs

@@ -1,0 +1,107 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace lb::obs {
+
+TimeSeriesRing::TimeSeriesRing(MetricsRegistry& registry, Options options)
+    : registry_(registry),
+      options_([&] {
+        Options o = options;
+        if (o.capacity == 0) o.capacity = 1;
+        if (o.interval.count() <= 0) o.interval = std::chrono::milliseconds(1);
+        return o;
+      }()),
+      epoch_(std::chrono::steady_clock::now()) {
+  ring_.resize(options_.capacity);
+}
+
+TimeSeriesRing::~TimeSeriesRing() { stop(); }
+
+void TimeSeriesRing::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  stopping_ = false;
+  running_ = true;
+  sampler_ = std::thread([this] { run(); });
+}
+
+void TimeSeriesRing::stop() {
+  std::thread joiner;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stopping_ = true;
+    running_ = false;
+    joiner = std::move(sampler_);
+  }
+  cv_.notify_all();
+  if (joiner.joinable()) joiner.join();
+}
+
+void TimeSeriesRing::run() {
+  for (;;) {
+    sampleOnce();
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (cv_.wait_for(lock, options_.interval, [this] { return stopping_; }))
+      return;
+  }
+}
+
+void TimeSeriesRing::sampleOnce() {
+  // The registry walk takes the registry's own lock; keep it outside ours
+  // so history() readers never wait on a scrape.
+  const std::vector<MetricPoint> points = registry_.snapshot();
+  const auto now = std::chrono::steady_clock::now();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.seq = next_seq_++;
+  snap.at_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - epoch_)
+          .count());
+  snap.points.reserve(points.size());
+
+  std::vector<std::pair<std::string, double>> current;
+  current.reserve(points.size());
+  for (const MetricPoint& point : points) {
+    Point p;
+    p.name = point.name;
+    p.labels = point.labels;
+    p.value = point.value;
+    p.monotone = point.monotone;
+    const std::string key = point.name + point.labels;
+    if (point.monotone) {
+      const auto it = std::find_if(
+          previous_.begin(), previous_.end(),
+          [&](const auto& prev) { return prev.first == key; });
+      if (it != previous_.end() && point.value >= it->second)
+        p.delta = point.value - it->second;
+    }
+    current.emplace_back(key, point.value);
+    snap.points.push_back(std::move(p));
+  }
+  previous_ = std::move(current);
+
+  const std::size_t slot = (head_ + size_) % ring_.size();
+  ring_[slot] = std::move(snap);
+  if (size_ < ring_.size())
+    ++size_;
+  else
+    head_ = (head_ + 1) % ring_.size();
+}
+
+std::vector<TimeSeriesRing::Snapshot> TimeSeriesRing::history(
+    std::size_t last) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t count =
+      (last == 0 || last > size_) ? size_ : last;
+  std::vector<Snapshot> out;
+  out.reserve(count);
+  for (std::size_t i = size_ - count; i < size_; ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+}  // namespace lb::obs

@@ -1,0 +1,103 @@
+#pragma once
+// Bounded in-memory time series over a MetricsRegistry.
+//
+// A TimeSeriesRing periodically snapshots a registry into a fixed-capacity
+// ring of delta samples: each Snapshot carries every instrument's current
+// value plus, for monotone (counter-like) series, the increase since the
+// previous sample — which is what a dashboard needs to show rates without
+// keeping its own state.  The ring is the entire storage: when it is full
+// the oldest snapshot is dropped, so memory is bounded by
+// capacity * instruments regardless of uptime.
+//
+// Like the rest of obs, this is dependency-free (no JSON, no service types);
+// the server's `history` verb serializes Snapshots onto the wire, and tests
+// drive sampleOnce() directly for deterministic coverage.  The background
+// sampler is a plain std::thread woken on a condition variable so stop()
+// (and the destructor) return promptly instead of waiting out the interval.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace lb::obs {
+
+class TimeSeriesRing {
+public:
+  struct Options {
+    /// Wall-clock spacing between background samples.  Ignored by
+    /// sampleOnce(); only the start()ed sampler thread uses it.
+    std::chrono::milliseconds interval{1000};
+    /// Maximum retained snapshots; the oldest is evicted when full.
+    std::size_t capacity = 120;
+  };
+
+  /// One instrument reading inside a Snapshot.
+  struct Point {
+    std::string name;
+    std::string labels;
+    double value = 0;
+    /// Increase since the previous snapshot for monotone series (0 on the
+    /// first sample, and clamped to 0 if the registry restarts a counter);
+    /// always 0 for gauges, whose `value` is already the signal.
+    double delta = 0;
+    bool monotone = false;
+  };
+
+  struct Snapshot {
+    /// Monotone sample number since construction; survives ring eviction,
+    /// so consumers can detect gaps (seq jumps) after a slow scrape.
+    std::uint64_t seq = 0;
+    /// Milliseconds since the ring was constructed when this sample was
+    /// taken (steady clock — immune to wall-clock steps).
+    std::uint64_t at_ms = 0;
+    std::vector<Point> points;
+  };
+
+  TimeSeriesRing(MetricsRegistry& registry, Options options);
+  ~TimeSeriesRing();
+
+  TimeSeriesRing(const TimeSeriesRing&) = delete;
+  TimeSeriesRing& operator=(const TimeSeriesRing&) = delete;
+
+  /// Launches the background sampler (idempotent).
+  void start();
+  /// Stops and joins the sampler; safe to call repeatedly.
+  void stop();
+
+  /// Takes one sample right now, regardless of the background thread.
+  void sampleOnce();
+
+  /// Oldest-first copy of the retained snapshots.  A nonzero `last` copies
+  /// only the newest `last` snapshots — a scrape asking for the recent tail
+  /// (lbtop polls with last=2) must not deep-copy the whole ring.
+  std::vector<Snapshot> history(std::size_t last = 0) const;
+
+  const Options& options() const { return options_; }
+
+private:
+  void run();
+
+  MetricsRegistry& registry_;
+  const Options options_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool running_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Snapshot> ring_;   // ring_[ (head_ + i) % size ] is i-th oldest
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  /// value per (name + labels) key at the previous sample, for deltas.
+  std::vector<std::pair<std::string, double>> previous_;
+  std::thread sampler_;
+};
+
+}  // namespace lb::obs

@@ -308,6 +308,25 @@ Json Client::trace() {
   return exchange(request).body;
 }
 
+Json Client::health() {
+  Request request;
+  request.verb = "health";
+  return exchange(request).body;
+}
+
+Json Client::history(std::uint64_t last,
+                     const std::vector<std::string>& metrics) {
+  Request request;
+  request.verb = "history";
+  if (last != 0) request.payload.set("last", Json(last));
+  if (!metrics.empty()) {
+    Json names = Json::array();
+    for (const std::string& name : metrics) names.push(Json(name));
+    request.payload.set("metrics", std::move(names));
+  }
+  return exchange(request).body;
+}
+
 Json Client::shutdown() {
   Request request;
   request.verb = "shutdown";

@@ -27,6 +27,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "fault/backoff.hpp"
 #include "fault/fault.hpp"
@@ -147,6 +148,13 @@ public:
   Json metrics();
   /// Dumps the daemon's flight recorder ({"chrome_trace":...}).
   Json trace();
+  /// Live loop/queue/connection introspection ({"health":{...}}).
+  Json health();
+  /// Metrics time-series from the daemon's in-memory ring; `last` keeps
+  /// only the newest N samples (0 = all), `metrics` filters points by exact
+  /// series name (empty = all).
+  Json history(std::uint64_t last = 0,
+               const std::vector<std::string>& metrics = {});
   Json shutdown();
 
   /// Retries performed over this client's lifetime (all reasons).

@@ -19,6 +19,10 @@ const std::vector<VerbSpec>& verbRegistry() {
        "Prometheus text exposition of the metrics registry"},
       {"trace", /*idempotent=*/true, /*streaming=*/false,
        "flight-recorder dump as chrome_trace JSON"},
+      {"health", /*idempotent=*/true, /*streaming=*/false,
+       "live loop/queue/connection introspection as JSON"},
+      {"history", /*idempotent=*/true, /*streaming=*/false,
+       "metrics time-series dump from the in-memory ring"},
       {"shutdown", /*idempotent=*/false, /*streaming=*/false,
        "stop the daemon after answering"},
   };

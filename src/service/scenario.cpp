@@ -394,8 +394,9 @@ namespace {
 /// The mesh leg of runScenario: same contract (pure function of the
 /// normalized scenario, observability strictly passive), different fabric.
 /// `capture_trace` stays untouched — bus::GrantRecord traces describe a
-/// shared channel, not a mesh; router-level traces are available through
-/// noc::MeshConfig::record_grant_trace for the differential tests.
+/// shared channel, not a mesh; `capture_mesh_trace` receives the
+/// router-level noc::NocGrantRecord trace instead (the source of `lbsim
+/// --trace-out` for mesh scenarios and of the differential tests).
 ScenarioResult runMeshScenario(const Scenario& scenario,
                                const RunOptions& options) {
   noc::MeshConfig config;
@@ -408,6 +409,7 @@ ScenarioResult runMeshScenario(const Scenario& scenario,
   config.pattern_seed = scenario.seed;
   config.port_weights = scenario.weights;
   config.arbiter_factory = makeRouterArbiterFactory(scenario);
+  config.record_grant_trace = options.capture_mesh_trace != nullptr;
 
   noc::MeshNetwork mesh(config);
   sim::CycleKernel kernel;
@@ -436,6 +438,9 @@ ScenarioResult runMeshScenario(const Scenario& scenario,
   }
 
   kernel.run(scenario.cycles);
+
+  if (options.capture_mesh_trace != nullptr)
+    *options.capture_mesh_trace = mesh.grantTrace();
 
   const noc::NocStats& stats = mesh.stats();
   std::uint64_t total_flits = 0;

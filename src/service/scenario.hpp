@@ -161,8 +161,12 @@ struct RunOptions {
   /// obs::registry().
   obs::MetricsRegistry* registry = nullptr;
   /// When set, every executed grant is copied here after the run (the
-  /// source of `lbsim --trace-out`'s Chrome trace).
+  /// source of `lbsim --trace-out`'s Chrome trace).  Bus scenarios only.
   std::vector<bus::GrantRecord>* capture_trace = nullptr;
+  /// Mesh analogue of capture_trace: every router grant is copied here
+  /// after a mesh run (the source of `lbsim --trace-out`'s per-router
+  /// Chrome trace tracks).  Ignored by bus scenarios.
+  std::vector<noc::NocGrantRecord>* capture_mesh_trace = nullptr;
 };
 
 /// Runs the scenario through traffic::runTestbed.  Pure function of the

@@ -19,6 +19,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/quantile.hpp"
 #include "service/protocol.hpp"
 #include "service/socket_io.hpp"
 
@@ -54,6 +55,16 @@ JobEngineOptions engineOptions(const ServerOptions& options) {
 double elapsedMicros(std::chrono::steady_clock::time_point start,
                      std::chrono::steady_clock::time_point end) {
   return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+/// Raises `watermark` to at least `value` and mirrors it into `gauge`.
+void bumpWatermark(std::atomic<std::int64_t>& watermark, obs::Gauge& gauge,
+                   std::int64_t value) {
+  std::int64_t seen = watermark.load(std::memory_order_relaxed);
+  while (value > seen && !watermark.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+  gauge.set(watermark.load(std::memory_order_relaxed));
 }
 
 }  // namespace
@@ -188,7 +199,54 @@ Server::Server(ServerOptions options)
                        .histogram("lb_request_stage_micros",
                                   "Per-stage request latency",
                                   obs::microsBuckets())
-                       .withLabels({{"stage", "write"}})) {
+                       .withLabels({{"stage", "write"}})),
+      loop_iteration_micros_(
+          engine_.metricsRegistry()
+              .histogram("lb_loop_iteration_micros",
+                         "Event-loop time spent outside poll() per "
+                         "iteration",
+                         obs::microsBuckets())
+              .get()),
+      wakeup_to_dispatch_micros_(
+          engine_.metricsRegistry()
+              .histogram("lb_loop_wakeup_to_dispatch_micros",
+                         "Delay between the loop posting a parsed line and "
+                         "a dispatch thread picking it up",
+                         obs::microsBuckets())
+              .get()),
+      dispatch_depth_gauge_(engine_.metricsRegistry()
+                                .gauge("lb_loop_dispatch_queue_depth",
+                                       "Requests posted to the dispatch "
+                                       "pool, not yet picked up")
+                                .get()),
+      dispatch_depth_max_gauge_(
+          engine_.metricsRegistry()
+              .gauge("lb_loop_dispatch_queue_depth_max",
+                     "High watermark of lb_loop_dispatch_queue_depth")
+              .get()),
+      completion_depth_gauge_(engine_.metricsRegistry()
+                                  .gauge("lb_loop_completion_queue_depth",
+                                         "Completions awaiting the loop "
+                                         "thread")
+                                  .get()),
+      completion_depth_max_gauge_(
+          engine_.metricsRegistry()
+              .gauge("lb_loop_completion_queue_depth_max",
+                     "High watermark of lb_loop_completion_queue_depth")
+              .get()),
+      connections_gauge_(engine_.metricsRegistry()
+                             .gauge("lb_loop_connections",
+                                    "Open event-loop connections")
+                             .get()),
+      loop_stalls_counter_(
+          engine_.metricsRegistry()
+              .counter("lb_loop_stalls_total",
+                       "Event-loop iterations that exceeded the stall "
+                       "threshold outside poll()")
+              .get()),
+      slow_requests_family_(engine_.metricsRegistry().counter(
+          "lb_server_slow_requests_total",
+          "Requests slower than their verb's exemplar threshold")) {
   // Every wire verb must have a server binding (and nothing beyond the
   // registry): the registry is the single source of truth, so a missing
   // handler is a programming error caught at the first construction.
@@ -201,6 +259,15 @@ Server::Server(ServerOptions options)
     throw std::logic_error("server binds a verb the registry does not list");
 
   latency_reservoir_.reserve(kLatencyReservoir);
+
+  if (options_.history_interval.count() > 0) {
+    obs::TimeSeriesRing::Options ring;
+    ring.interval = options_.history_interval;
+    ring.capacity = options_.history_capacity;
+    history_ = std::make_unique<obs::TimeSeriesRing>(engine_.metricsRegistry(),
+                                                     ring);
+    history_->start();
+  }
 
   int wake[2];
   if (::pipe(wake) != 0) throw std::runtime_error("pipe() failed");
@@ -276,12 +343,18 @@ void Server::wakeLoop() {
 }
 
 void Server::postCompletion(Completion completion) {
-  std::lock_guard<std::mutex> lock(completions_mutex_);
-  completions_.push_back(std::move(completion));
-  if (wake_write_fd_ >= 0) {
-    const char byte = 'w';
-    (void)!::write(wake_write_fd_, &byte, 1);
+  std::int64_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    completions_.push_back(std::move(completion));
+    depth = static_cast<std::int64_t>(completions_.size());
+    if (wake_write_fd_ >= 0) {
+      const char byte = 'w';
+      (void)!::write(wake_write_fd_, &byte, 1);
+    }
   }
+  completion_depth_gauge_.set(depth);
+  bumpWatermark(completion_depth_max_, completion_depth_max_gauge_, depth);
 }
 
 void Server::stop() {
@@ -316,6 +389,8 @@ Server::verbBindings() {
       {"stats", {&Server::verbStats, nullptr}},
       {"metrics", {&Server::verbMetrics, nullptr}},
       {"trace", {&Server::verbTrace, nullptr}},
+      {"health", {&Server::verbHealth, nullptr}},
+      {"history", {&Server::verbHistory, nullptr}},
       {"shutdown", {&Server::verbShutdown, nullptr}},
   };
   return bindings;
@@ -420,6 +495,161 @@ void Server::verbTrace(const Json&, RequestCtx&, std::vector<Json>& out) {
   out.push_back(std::move(response));
 }
 
+void Server::verbHealth(const Json&, RequestCtx&, std::vector<Json>& out) {
+  const auto now = std::chrono::steady_clock::now();
+  Json health = Json::object();
+  health.set("mode", Json(options_.thread_per_connection
+                              ? std::string("thread-per-connection")
+                              : std::string("event-loop")));
+  health.set("uptime_ms",
+             Json(static_cast<std::uint64_t>(
+                 std::chrono::duration_cast<std::chrono::milliseconds>(
+                     now - started_at_)
+                     .count())));
+
+  Json loop = Json::object();
+  loop.set("iterations", Json(loop_iteration_micros_.count()))
+      .set("stalls", Json(loop_stalls_counter_.value()))
+      .set("iteration_p50_us",
+           Json(obs::histogramQuantile(loop_iteration_micros_, 0.50)))
+      .set("iteration_p99_us",
+           Json(obs::histogramQuantile(loop_iteration_micros_, 0.99)))
+      .set("wakeup_to_dispatch_p99_us",
+           Json(obs::histogramQuantile(wakeup_to_dispatch_micros_, 0.99)))
+      .set("dispatch_queue_depth", Json(dispatch_depth_gauge_.value()))
+      .set("dispatch_queue_depth_max", Json(dispatch_depth_max_gauge_.value()))
+      .set("completion_queue_depth", Json(completion_depth_gauge_.value()))
+      .set("completion_queue_depth_max",
+           Json(completion_depth_max_gauge_.value()));
+  health.set("loop", std::move(loop));
+
+  // Aggregate the per-verb service-time histograms into one distribution:
+  // every child shares microsBuckets(), so the bucket vectors add.
+  const std::vector<double> bounds = obs::microsBuckets();
+  std::vector<std::uint64_t> counts(bounds.size() + 1, 0);
+  std::uint64_t total_requests = 0;
+  for (const auto& [labels, histogram] : request_micros_family_.children()) {
+    for (std::size_t i = 0; i <= bounds.size(); ++i)
+      counts[i] += histogram->bucketCount(i);
+    total_requests += histogram->count();
+  }
+  std::uint64_t slow = 0;
+  for (const auto& [labels, counter] : slow_requests_family_.children())
+    slow += counter->value();
+  Json requests = Json::object();
+  requests.set("total", Json(total_requests))
+      .set("protocol_errors", Json(protocol_errors_.load()))
+      .set("slow", Json(slow))
+      .set("p50_us", Json(obs::histogramQuantile(bounds, counts, 0.50)))
+      .set("p95_us", Json(obs::histogramQuantile(bounds, counts, 0.95)))
+      .set("p99_us", Json(obs::histogramQuantile(bounds, counts, 0.99)));
+  health.set("requests", std::move(requests));
+
+  // The raw aggregated buckets, so clients (lbtop) can compute any
+  // quantile with the same shared estimator instead of new wire fields.
+  Json histogram_json = Json::object();
+  Json bounds_json = Json::array();
+  for (const double bound : bounds) bounds_json.push(Json(bound));
+  Json counts_json = Json::array();
+  for (const std::uint64_t count : counts) counts_json.push(Json(count));
+  histogram_json.set("bounds", std::move(bounds_json))
+      .set("counts", std::move(counts_json));
+  health.set("latency_histogram", std::move(histogram_json));
+
+  const JobEngineStats engine = engine_.stats();
+  Json engine_json = Json::object();
+  engine_json
+      .set("queue_depth", Json(static_cast<std::uint64_t>(engine.queue_depth)))
+      .set("in_flight", Json(static_cast<std::uint64_t>(engine.in_flight)))
+      .set("jobs_completed", Json(engine.completed))
+      .set("jobs_shed", Json(engine.shed))
+      .set("cache_hits", Json(engine.cache.hits))
+      .set("cache_misses", Json(engine.cache.misses));
+  health.set("engine", std::move(engine_json));
+
+  health.set("connections", connectionsJson());
+
+  Json response = Json::object();
+  response.set("ok", Json(true)).set("health", std::move(health));
+  out.push_back(std::move(response));
+}
+
+Json Server::connectionsJson() {
+  std::lock_guard<std::mutex> lock(introspect_mutex_);
+  Json connections = Json::array();
+  for (const ConnSnapshot& conn : conn_table_) {
+    Json row = Json::object();
+    row.set("id", Json(conn.id))
+        .set("in_flight", Json(conn.in_flight))
+        .set("read_buffered", Json(conn.read_buffered))
+        .set("write_buffered", Json(conn.write_buffered))
+        .set("age_ms", Json(conn.age_ms));
+    const auto verb_it = conn_last_verb_.find(conn.id);
+    if (verb_it != conn_last_verb_.end())
+      row.set("last_verb", Json(verb_it->second));
+    if (conn.oldest_slot != 0) {
+      const auto trace_it =
+          inflight_traces_.find({conn.id, conn.oldest_slot});
+      if (trace_it != inflight_traces_.end() && trace_it->second != 0)
+        row.set("oldest_trace", Json(obs::traceIdHex(trace_it->second)));
+    }
+    connections.push(std::move(row));
+  }
+  return connections;
+}
+
+void Server::verbHistory(const Json& request, RequestCtx&,
+                         std::vector<Json>& out) {
+  Json response = Json::object();
+  if (history_ == nullptr) {
+    response.set("ok", Json(false))
+        .set("error", Json("history is disabled (start lbd with "
+                           "--history-interval-ms N)"));
+    out.push_back(std::move(response));
+    return;
+  }
+  std::size_t last = 0;
+  if (const Json* n = request.find("last"))
+    last = static_cast<std::size_t>(n->asUint64());
+  std::vector<std::string> filter;
+  if (const Json* names = request.find("metrics"))
+    for (const Json& name : names->asArray())
+      filter.push_back(name.asString());
+
+  const std::vector<obs::TimeSeriesRing::Snapshot> samples =
+      history_->history(last);
+
+  Json samples_json = Json::array();
+  for (const obs::TimeSeriesRing::Snapshot& sample : samples) {
+    Json sample_json = Json::object();
+    sample_json.set("seq", Json(sample.seq)).set("at_ms", Json(sample.at_ms));
+    Json points = Json::array();
+    for (const obs::TimeSeriesRing::Point& point : sample.points) {
+      if (!filter.empty() &&
+          std::find(filter.begin(), filter.end(), point.name) == filter.end())
+        continue;
+      Json point_json = Json::object();
+      point_json.set("name", Json(point.name));
+      if (!point.labels.empty()) point_json.set("labels", Json(point.labels));
+      point_json.set("value", Json(point.value));
+      if (point.monotone) point_json.set("delta", Json(point.delta));
+      points.push(std::move(point_json));
+    }
+    sample_json.set("points", std::move(points));
+    samples_json.push(std::move(sample_json));
+  }
+
+  Json history = Json::object();
+  history
+      .set("interval_ms", Json(static_cast<std::uint64_t>(
+                              history_->options().interval.count())))
+      .set("capacity",
+           Json(static_cast<std::uint64_t>(history_->options().capacity)))
+      .set("samples", std::move(samples_json));
+  response.set("ok", Json(true)).set("history", std::move(history));
+  out.push_back(std::move(response));
+}
+
 void Server::verbShutdown(const Json&, RequestCtx& ctx,
                           std::vector<Json>& out) {
   if (!stopping_.exchange(true)) {
@@ -500,6 +730,7 @@ std::string Server::handleRequest(const std::string& line,
   request_micros_family_.withLabels({{"verb", ctx.verb_label}})
       .observe(total_micros);
   recordLatency(total_micros);
+  noteSlowRequest(ctx.verb_label, total_micros, ctx.root_ctx);
   recordSpan(ctx.root_ctx, ctx.root_ctx.span_id, ctx.client_ctx.span_id,
              "server.request", ctx.verb_label, started, finished);
   if (root_out != nullptr) *root_out = ctx.root_ctx;
@@ -613,9 +844,27 @@ void Server::applyFinish(const Finish& finish) {
   request_micros_family_.withLabels({{"verb", finish.verb_label}})
       .observe(total_micros);
   recordLatency(total_micros);
+  noteSlowRequest(finish.verb_label, total_micros, finish.root_ctx);
   recordSpan(finish.root_ctx, finish.root_ctx.span_id,
              finish.client_ctx.span_id, "server.request", finish.verb_label,
              finish.started, finished);
+}
+
+void Server::noteSlowRequest(const std::string& verb_label,
+                             double total_micros,
+                             const obs::TraceContext& root) {
+  std::uint64_t threshold = options_.slow_request_default_us;
+  const auto it = options_.slow_request_us.find(verb_label);
+  if (it != options_.slow_request_us.end()) threshold = it->second;
+  if (threshold == 0 || total_micros <= static_cast<double>(threshold))
+    return;
+  slow_requests_family_.withLabels({{"verb", verb_label}}).inc();
+  if (options_.recorder != nullptr)
+    options_.recorder->annotateTrace(
+        root.trace_id, "server.slow_request",
+        verb_label + " took " +
+            std::to_string(static_cast<std::uint64_t>(total_micros)) +
+            "us (threshold " + std::to_string(threshold) + "us)");
 }
 
 void Server::respondLast(const RequestCtx& ctx, Json response, bool shutdown) {
@@ -634,6 +883,11 @@ void Server::dispatchLine(std::uint64_t conn_id, std::uint64_t slot_id,
                           std::chrono::steady_clock::time_point read_started,
                           std::chrono::steady_clock::time_point read_finished) {
   const auto started = std::chrono::steady_clock::now();
+  // `read_finished` is the loop's post timestamp, so this histogram is the
+  // dispatch pool's pickup delay (queueing, not parsing).
+  wakeup_to_dispatch_micros_.observe(elapsedMicros(read_finished, started));
+  dispatch_depth_gauge_.set(
+      dispatch_depth_.fetch_sub(1, std::memory_order_relaxed) - 1);
   ++requests_;
   stage_read_.observe(elapsedMicros(read_started, read_finished));
   obs::FlightRecorder* recorder = options_.recorder;
@@ -659,6 +913,14 @@ void Server::dispatchLine(std::uint64_t conn_id, std::uint64_t slot_id,
     const auto binding = bindings.find(verb);
     if (binding != bindings.end()) ctx.verb_label = verb;
     requests_family_.withLabels({{"verb", ctx.verb_label}}).inc();
+    {
+      // Feed the `health` verb's connection table: the verb this
+      // connection most recently issued plus the trace id of each
+      // in-flight slot (erased by the loop when the slot completes).
+      std::lock_guard<std::mutex> lock(introspect_mutex_);
+      conn_last_verb_[conn_id] = ctx.verb_label;
+      inflight_traces_[{conn_id, slot_id}] = ctx.root_ctx.trace_id;
+    }
     if (binding == bindings.end()) {
       respondLast(ctx, unknownVerbResponse(verb, ctx.root_ctx));
     } else if (binding->second.async != nullptr) {
@@ -1009,6 +1271,7 @@ void Server::serveEventLoop() {
     std::uint64_t next_slot = 1;
     std::deque<WriteMark> marks;
     Clock::time_point read_started{};
+    Clock::time_point opened{};  ///< accept time, for the health verb's age
     bool eof = false;   ///< peer half-closed; finish pending work then close
     bool dead = false;  ///< closed; reaped by the per-iteration sweep
   };
@@ -1030,6 +1293,13 @@ void Server::serveEventLoop() {
     if (conn.dead) return;
     log_.debug("server.conn_close",
                {{"fd", std::int64_t{conn.fd}}, {"reason", reason}});
+    {
+      std::lock_guard<std::mutex> lock(introspect_mutex_);
+      conn_last_verb_.erase(conn.id);
+      inflight_traces_.erase(
+          inflight_traces_.lower_bound({conn.id, 0}),
+          inflight_traces_.lower_bound({conn.id + 1, 0}));
+    }
     for (Slot& slot : conn.slots) {
       if (slot.complete) continue;
       OrphanSlot orphan;
@@ -1114,6 +1384,10 @@ void Server::serveEventLoop() {
         const std::uint64_t conn_id = conn.id;
         const std::uint64_t slot_id = slot.id;
         conn.slots.push_back(std::move(slot));
+        const std::int64_t depth =
+            dispatch_depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+        dispatch_depth_gauge_.set(depth);
+        bumpWatermark(dispatch_depth_max_, dispatch_depth_max_gauge_, depth);
         dispatch_pool_->post(
             [this, conn_id, slot_id, line = std::move(line), read_started,
              now]() mutable {
@@ -1150,6 +1424,7 @@ void Server::serveEventLoop() {
       std::lock_guard<std::mutex> lock(completions_mutex_);
       batch.swap(completions_);
     }
+    completion_depth_gauge_.set(0);
     for (Completion& completion : batch) {
       if (completion.shutdown) stopping_.store(true);
       const auto conn_it = conns.find(completion.conn_id);
@@ -1191,6 +1466,8 @@ void Server::serveEventLoop() {
         slot->has_deadline = false;
         slot->root = completion.finish.root_ctx;
         applyFinish(completion.finish);
+        std::lock_guard<std::mutex> lock(introspect_mutex_);
+        inflight_traces_.erase({completion.conn_id, completion.slot_id});
       }
       promote(conn);
     }
@@ -1263,6 +1540,38 @@ void Server::serveEventLoop() {
     return static_cast<int>(std::min<long long>(ms, 60000));
   };
 
+  /// Publishes the `health` verb's connection table.  Runs once per
+  /// iteration, after accepts and before any request read in the iteration
+  /// is dispatched — so a `health` request always sees its own connection.
+  auto publishConnTable = [&](Clock::time_point now) {
+    connections_gauge_.set(static_cast<std::int64_t>(conns.size()));
+    std::lock_guard<std::mutex> lock(introspect_mutex_);
+    conn_table_.clear();
+    conn_table_.reserve(conns.size());
+    for (auto& entry : conns) {
+      Conn& conn = entry.second;
+      if (conn.dead) continue;
+      ConnSnapshot snap;
+      snap.id = conn.id;
+      snap.in_flight = conn.slots.size();
+      snap.read_buffered = conn.rbuf.size();
+      snap.write_buffered = conn.wbuf.size() - conn.woff;
+      snap.age_ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              now - conn.opened)
+              .count());
+      snap.oldest_slot = conn.slots.empty() ? 0 : conn.slots.front().id;
+      conn_table_.push_back(snap);
+    }
+    conn_table_at_ = now;
+  };
+
+  const double stall_threshold_us =
+      std::chrono::duration<double, std::micro>(options_.stall_threshold)
+          .count();
+  Clock::time_point last_stall_log{};
+  Clock::time_point work_started = Clock::now();
+
   std::vector<pollfd> pfds;
   std::vector<std::uint64_t> pfd_conn;
   for (;;) {
@@ -1308,9 +1617,28 @@ void Server::serveEventLoop() {
       pfd_conn.push_back(conn.id);
     }
 
+    // One "iteration" for health purposes is the time spent outside
+    // poll(): everything between the previous poll() return and this call.
+    const auto before_poll = Clock::now();
+    const double outside_us = elapsedMicros(work_started, before_poll);
+    loop_iteration_micros_.observe(outside_us);
+    if (stall_threshold_us > 0 && outside_us > stall_threshold_us) {
+      loop_stalls_counter_.inc();
+      if (last_stall_log == Clock::time_point{} ||
+          before_poll - last_stall_log >= std::chrono::seconds(1)) {
+        last_stall_log = before_poll;
+        log_.warn("server.loop_stall",
+                  {{"busy_us", outside_us},
+                   {"threshold_us", stall_threshold_us},
+                   {"connections",
+                    std::uint64_t{conns.size()}}});
+      }
+    }
+
     const int rc =
         ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
                nextTimeoutMs(now));
+    work_started = Clock::now();
     if (rc < 0 && errno != EINTR) break;  // poll broken; shut down
     if (rc <= 0) continue;                // timeout (deadlines fire above)
 
@@ -1333,10 +1661,12 @@ void Server::serveEventLoop() {
         conn.fd = fd;
         conn.id = next_conn++;
         conn.read_started = Clock::now();
+        conn.opened = conn.read_started;
         log_.debug("server.conn_open", {{"fd", std::int64_t{fd}}});
         conns.emplace(conn.id, std::move(conn));
       }
     }
+    publishConnTable(Clock::now());
     for (std::size_t i = conn_base; i < pfds.size(); ++i) {
       if (pfds[i].revents == 0) continue;
       const auto conn_it = conns.find(pfd_conn[i - conn_base]);
@@ -1367,20 +1697,6 @@ void Server::recordLatency(double micros) {
   ++latency_count_;
 }
 
-namespace {
-
-double percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const double rank = q * static_cast<double>(values.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, values.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return values[lo] + (values[hi] - values[lo]) * frac;
-}
-
-}  // namespace
-
 Json Server::statsJson() {
   std::vector<double> latencies;
   std::uint64_t observed = 0;
@@ -1410,8 +1726,8 @@ Json Server::statsJson() {
       .set("queue_depth", Json(static_cast<std::uint64_t>(engine.queue_depth)))
       .set("in_flight", Json(static_cast<std::uint64_t>(engine.in_flight)))
       .set("latency_samples", Json(observed))
-      .set("p50_us", Json(percentile(latencies, 0.50)))
-      .set("p95_us", Json(percentile(std::move(latencies), 0.95)));
+      .set("p50_us", Json(obs::samplePercentile(latencies, 0.50)))
+      .set("p95_us", Json(obs::samplePercentile(std::move(latencies), 0.95)));
   return json;
 }
 

@@ -20,6 +20,12 @@
 //   {"verb":"stats"}                         -> {"ok":true,"stats":{...}}
 //   {"verb":"metrics"}                       -> {"ok":true,"metrics":
 //                                                "<Prometheus text>"}
+//   {"verb":"health"}                        -> {"ok":true,"health":{loop,
+//                                               requests, engine,
+//                                               connections table}}
+//   {"verb":"history"}                       -> {"ok":true,"history":
+//                                               {samples:[...]}} from the
+//                                               in-memory time-series ring
 //   {"verb":"shutdown"}                      -> {"ok":true} then the
 //                                               listener stops
 //
@@ -52,6 +58,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -62,6 +69,7 @@
 
 #include "fault/fault.hpp"
 #include "obs/log.hpp"
+#include "obs/timeseries.hpp"
 #include "service/job_engine.hpp"
 
 namespace lb::service {
@@ -99,6 +107,24 @@ struct ServerOptions {
   /// Upper bound on scenarios per batch request (guards the per-request
   /// bookkeeping the same way kMaxLineBytes guards the parser).
   std::size_t max_batch = 4096;
+  /// Metrics time-series ring behind the `history` verb: the registry is
+  /// sampled every `history_interval` into a ring of `history_capacity`
+  /// delta snapshots (obs::TimeSeriesRing).  Zero interval disables the
+  /// sampler; `history` then answers with an explanatory error, exactly
+  /// like `trace` without a recorder.
+  std::chrono::milliseconds history_interval{1000};
+  std::size_t history_capacity = 120;
+  /// Slow-request exemplars: a request whose wall-clock service time
+  /// exceeds its verb's threshold (or `slow_request_default_us` when the
+  /// verb has no entry) bumps lb_server_slow_requests_total{verb} and, when
+  /// the flight recorder is on, annotates the request's trace with a
+  /// server.slow_request event.  Zero disables the check for that verb.
+  std::uint64_t slow_request_default_us = 0;
+  std::unordered_map<std::string, std::uint64_t> slow_request_us;
+  /// Loop-stall detector: one event-loop iteration spending longer than
+  /// this outside poll() bumps lb_loop_stalls_total and emits a
+  /// rate-limited (1/s) structured warn.  Zero disables the detector.
+  std::chrono::milliseconds stall_threshold{100};
 };
 
 class Server {
@@ -203,6 +229,10 @@ private:
   void verbMetrics(const Json& request, RequestCtx& ctx,
                    std::vector<Json>& out);
   void verbTrace(const Json& request, RequestCtx& ctx, std::vector<Json>& out);
+  void verbHealth(const Json& request, RequestCtx& ctx,
+                  std::vector<Json>& out);
+  void verbHistory(const Json& request, RequestCtx& ctx,
+                   std::vector<Json>& out);
   void verbShutdown(const Json& request, RequestCtx& ctx,
                     std::vector<Json>& out);
 
@@ -253,6 +283,14 @@ private:
 
   void recordLatency(double micros);
   Json statsJson();
+  /// Slow-request exemplar check (see ServerOptions::slow_request_us):
+  /// called once per finished request from both accounting paths
+  /// (handleRequest tail and applyFinish).
+  void noteSlowRequest(const std::string& verb_label, double total_micros,
+                       const obs::TraceContext& root);
+  /// The `health` verb's per-connection table + last-verb/trace join,
+  /// published by the loop thread (refreshed once per iteration).
+  Json connectionsJson();
   /// Maps a job outcome to its wire response; kShed becomes the explicit
   /// overloaded/retry_after_ms document and bumps lb_server_shed_total.
   /// Shed/error outcomes annotate the request's trace and emit a warn line.
@@ -292,6 +330,25 @@ private:
   obs::Histogram& stage_read_;
   obs::Histogram& stage_parse_;
   obs::Histogram& stage_write_;
+  // Event-loop health instruments (docs/observability.md, `health` verb).
+  obs::Histogram& loop_iteration_micros_;
+  obs::Histogram& wakeup_to_dispatch_micros_;
+  obs::Gauge& dispatch_depth_gauge_;
+  obs::Gauge& dispatch_depth_max_gauge_;
+  obs::Gauge& completion_depth_gauge_;
+  obs::Gauge& completion_depth_max_gauge_;
+  obs::Gauge& connections_gauge_;
+  obs::Counter& loop_stalls_counter_;
+  obs::Family<obs::Counter>& slow_requests_family_;
+  /// Requests posted to dispatch_pool_ but not yet picked up by
+  /// dispatchLine; the gauges above mirror these (a Gauge load is the wire
+  /// representation, the atomics are the source of truth for the
+  /// compare-exchange watermark).
+  std::atomic<std::int64_t> dispatch_depth_{0};
+  std::atomic<std::int64_t> dispatch_depth_max_{0};
+  std::atomic<std::int64_t> completion_depth_max_{0};
+  const std::chrono::steady_clock::time_point started_at_{
+      std::chrono::steady_clock::now()};
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
@@ -302,6 +359,31 @@ private:
   std::vector<double> latency_reservoir_;  ///< ring buffer, micros
   std::size_t latency_next_ = 0;
   std::uint64_t latency_count_ = 0;
+
+  /// Registry sampler behind the `history` verb.  Declared after engine_
+  /// (destroyed first) because it samples the engine's registry.
+  std::unique_ptr<obs::TimeSeriesRing> history_;
+
+  /// Per-connection introspection published by the event loop for the
+  /// `health` verb: the loop refreshes `conn_table_` once per iteration
+  /// (before dispatching any request read in that iteration, so a `health`
+  /// request always sees its own connection); dispatch threads record each
+  /// connection's last verb and in-flight trace ids as they parse.
+  struct ConnSnapshot {
+    std::uint64_t id = 0;
+    std::uint64_t in_flight = 0;      ///< pipelined slots awaiting response
+    std::uint64_t read_buffered = 0;  ///< bytes past the last parsed line
+    std::uint64_t write_buffered = 0; ///< response bytes awaiting the kernel
+    std::uint64_t age_ms = 0;
+    std::uint64_t oldest_slot = 0;    ///< 0 = no request in flight
+  };
+  mutable std::mutex introspect_mutex_;
+  std::vector<ConnSnapshot> conn_table_;
+  std::chrono::steady_clock::time_point conn_table_at_{};
+  std::unordered_map<std::uint64_t, std::string> conn_last_verb_;
+  /// (conn id, slot id) -> trace id of the in-flight request.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t>
+      inflight_traces_;
 
   std::mutex threads_mutex_;
   std::vector<std::thread> connection_threads_;

@@ -16,7 +16,10 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/quantile.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "stats/stats.hpp"
 
 namespace {
 
@@ -192,6 +195,188 @@ TEST(ObsFormatNumberTest, PrometheusConventions) {
             "+Inf");
   EXPECT_EQ(obs::formatNumber(-std::numeric_limits<double>::infinity()),
             "-Inf");
+}
+
+// ---------------------------------------------------------------------------
+// registry snapshot + time-series ring
+// ---------------------------------------------------------------------------
+
+TEST(ObsSnapshotTest, CoversEveryInstrumentKind) {
+  obs::MetricsRegistry registry;
+  auto& requests = registry.counter("lb_snap_requests_total", "help");
+  requests.withLabels({{"verb", "run"}}).inc(3);
+  registry.gauge("lb_snap_depth", "help").get().set(-2);
+  auto& wait = registry.histogram("lb_snap_wait", "help", {1.0, 2.0});
+  wait.get().observe(1);
+  wait.get().observe(9);
+
+  const std::vector<obs::MetricPoint> points = registry.snapshot();
+  const auto find = [&](const std::string& name) -> const obs::MetricPoint* {
+    for (const obs::MetricPoint& p : points)
+      if (p.name == name) return &p;
+    return nullptr;
+  };
+
+  const obs::MetricPoint* counter = find("lb_snap_requests_total");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->labels, "{verb=\"run\"}");
+  EXPECT_DOUBLE_EQ(counter->value, 3.0);
+  EXPECT_TRUE(counter->monotone);
+
+  const obs::MetricPoint* gauge = find("lb_snap_depth");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->value, -2.0);
+  EXPECT_FALSE(gauge->monotone);
+
+  // Histograms contribute monotone _count and _sum points, no buckets.
+  const obs::MetricPoint* count = find("lb_snap_wait_count");
+  const obs::MetricPoint* sum = find("lb_snap_wait_sum");
+  ASSERT_NE(count, nullptr);
+  ASSERT_NE(sum, nullptr);
+  EXPECT_DOUBLE_EQ(count->value, 2.0);
+  EXPECT_DOUBLE_EQ(sum->value, 10.0);
+  EXPECT_TRUE(count->monotone);
+  EXPECT_TRUE(sum->monotone);
+  EXPECT_EQ(find("lb_snap_wait_bucket"), nullptr);
+}
+
+TEST(ObsTimeSeriesRingTest, WraparoundKeepsNewestAndSeqSurvivesEviction) {
+  obs::MetricsRegistry registry;
+  auto& counter = registry.counter("lb_ring_total", "help").get();
+  obs::TimeSeriesRing ring(registry, {std::chrono::milliseconds(1000), 4});
+  for (int i = 0; i < 10; ++i) {
+    counter.inc();
+    ring.sampleOnce();
+  }
+  const auto history = ring.history();
+  ASSERT_EQ(history.size(), 4u);
+  // seq is assigned at sample time and survives eviction: samples 0..9 were
+  // taken, the ring retains the newest four, oldest first.
+  EXPECT_EQ(history[0].seq, 6u);
+  EXPECT_EQ(history[3].seq, 9u);
+  EXPECT_DOUBLE_EQ(history[3].points.at(0).value, 10.0);
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    EXPECT_EQ(history[i].seq, history[i - 1].seq + 1);
+    EXPECT_GE(history[i].at_ms, history[i - 1].at_ms);
+  }
+}
+
+TEST(ObsTimeSeriesRingTest, DeltaTracksMonotoneSeriesOnly) {
+  obs::MetricsRegistry registry;
+  auto& counter = registry.counter("lb_ring_jobs_total", "help").get();
+  auto& gauge = registry.gauge("lb_ring_depth", "help").get();
+  obs::TimeSeriesRing ring(registry, {std::chrono::milliseconds(1000), 8});
+
+  counter.inc(7);
+  gauge.set(3);
+  ring.sampleOnce();
+  counter.inc(5);
+  gauge.set(11);
+  ring.sampleOnce();
+
+  const auto history = ring.history();
+  ASSERT_EQ(history.size(), 2u);
+  const auto point = [](const obs::TimeSeriesRing::Snapshot& snap,
+                        const std::string& name) {
+    for (const auto& p : snap.points)
+      if (p.name == name) return p;
+    ADD_FAILURE() << "missing point " << name;
+    return obs::TimeSeriesRing::Point{};
+  };
+
+  // First sample has no baseline: delta 0 even though the value is 7.
+  EXPECT_DOUBLE_EQ(point(history[0], "lb_ring_jobs_total").value, 7.0);
+  EXPECT_DOUBLE_EQ(point(history[0], "lb_ring_jobs_total").delta, 0.0);
+  EXPECT_DOUBLE_EQ(point(history[1], "lb_ring_jobs_total").value, 12.0);
+  EXPECT_DOUBLE_EQ(point(history[1], "lb_ring_jobs_total").delta, 5.0);
+  EXPECT_TRUE(point(history[1], "lb_ring_jobs_total").monotone);
+  // Gauges never carry a delta — the value is the signal.
+  EXPECT_DOUBLE_EQ(point(history[1], "lb_ring_depth").value, 11.0);
+  EXPECT_DOUBLE_EQ(point(history[1], "lb_ring_depth").delta, 0.0);
+  EXPECT_FALSE(point(history[1], "lb_ring_depth").monotone);
+}
+
+TEST(ObsTimeSeriesRingTest, ClampsDegenerateOptions) {
+  obs::MetricsRegistry registry;
+  obs::TimeSeriesRing ring(registry, {std::chrono::milliseconds(0), 0});
+  EXPECT_EQ(ring.options().capacity, 1u);
+  EXPECT_GE(ring.options().interval.count(), 1);
+  ring.sampleOnce();
+  ring.sampleOnce();
+  EXPECT_EQ(ring.history().size(), 1u);  // capacity 1: newest only
+}
+
+TEST(ObsTimeSeriesRingTest, BackgroundSamplerStartsAndStopsPromptly) {
+  obs::MetricsRegistry registry;
+  registry.counter("lb_ring_bg_total", "help").get().inc();
+  obs::TimeSeriesRing ring(registry, {std::chrono::milliseconds(5), 64});
+  ring.start();
+  ring.start();  // idempotent
+  // Generous bound: the sampler fires immediately, then every ~5ms.
+  for (int i = 0; i < 200 && ring.history().size() < 3; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(ring.history().size(), 3u);
+  ring.stop();
+  const std::size_t frozen = ring.history().size();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(ring.history().size(), frozen);  // no samples after stop
+  ring.stop();                               // safe to repeat
+}
+
+// ---------------------------------------------------------------------------
+// shared quantile estimator
+// ---------------------------------------------------------------------------
+
+TEST(ObsQuantileTest, InterpolatesWithinTheResolvingBucket) {
+  // 10 samples in [0,10), 10 in [10,20): p50 resolves inside the first
+  // bucket at its upper edge, p75 halfway into the second.
+  const std::vector<double> bounds = {10.0, 20.0};
+  const std::vector<std::uint64_t> counts = {10, 10, 0};
+  EXPECT_DOUBLE_EQ(obs::histogramQuantile(bounds, counts, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(obs::histogramQuantile(bounds, counts, 0.75), 15.0);
+  EXPECT_DOUBLE_EQ(obs::histogramQuantile(bounds, counts, 0.0), 1.0);  // rank 1
+  EXPECT_DOUBLE_EQ(obs::histogramQuantile(bounds, counts, 1.0), 20.0);
+}
+
+TEST(ObsQuantileTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(obs::histogramQuantile({1.0, 2.0}, {0, 0, 0}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(obs::histogramQuantile({}, {}, 0.5), 0.0);
+  // All mass in +Inf saturates at the last finite edge.
+  EXPECT_DOUBLE_EQ(obs::histogramQuantile({1.0, 2.0}, {0, 0, 5}, 0.99), 2.0);
+
+  obs::Histogram histogram({1.0, 2.0, 4.0});
+  histogram.observe(0.5);
+  histogram.observe(1.5);
+  histogram.observe(3.0);
+  EXPECT_DOUBLE_EQ(obs::histogramQuantile(histogram, 1.0), 4.0);
+}
+
+// The obs estimator and stats::Histogram::quantile share the rank
+// convention (value below which ceil(q*total) samples fall); stats resolves
+// to the bin's upper edge while obs interpolates inside it, so the obs
+// estimate must land within the stats-chosen bin for every q.
+TEST(ObsQuantileTest, AgreesWithStatsHistogramBinChoice) {
+  stats::Histogram reference(/*bin_width=*/10, /*num_bins=*/10);
+  const std::vector<double> bounds = {10, 20, 30, 40, 50,
+                                      60, 70, 80, 90, 100};
+  std::vector<std::uint64_t> counts(bounds.size() + 1, 0);
+  for (std::uint64_t v = 0; v < 100; v += 3) {
+    reference.record(v);
+    counts[v / 10] += 1;
+  }
+  for (const double q : {0.1, 0.25, 0.5, 0.9, 0.95, 0.99}) {
+    const auto upper = static_cast<double>(reference.quantile(q));
+    const double estimate = obs::histogramQuantile(bounds, counts, q);
+    EXPECT_GT(estimate, upper - 10.0) << "q=" << q;
+    EXPECT_LE(estimate, upper) << "q=" << q;
+  }
+}
+
+TEST(ObsQuantileTest, SamplePercentileInterpolatesSortedRanks) {
+  EXPECT_DOUBLE_EQ(obs::samplePercentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(obs::samplePercentile({42.0}, 0.99), 42.0);
+  EXPECT_DOUBLE_EQ(obs::samplePercentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(obs::samplePercentile({0.0, 10.0}, 0.25), 2.5);
 }
 
 // ---------------------------------------------------------------------------

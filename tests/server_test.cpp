@@ -17,8 +17,10 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/quantile.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/scenario.hpp"
@@ -771,7 +773,9 @@ TEST(ServerBatchTest, FairShareKeepsInteractiveRunsResponsive) {
   Json scenarios = Json::array();
   for (std::uint64_t seed = 300; seed < 308; ++seed) {
     Scenario scenario;
-    scenario.cycles = 60000;
+    // Long enough that the serialized batch (batch_window=1) outlasts the
+    // interactive run's head-start sleep even on a fast machine.
+    scenario.cycles = 400000;
     scenario.seed = seed;
     scenarios.push(service::toJson(scenario));
   }
@@ -881,6 +885,350 @@ TEST(ServerLoopbackTest, ExchangeEnvelopeApi) {
 
     client.shutdown();
   }
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// live introspection: health / history verbs, slow-request exemplars
+// ---------------------------------------------------------------------------
+
+// The health verb over the event loop: loop instrumentation is live, the
+// request quantiles reconcile with the raw histogram shipped alongside
+// them, and the connection table includes the scraping connection itself.
+TEST(ServerHealthTest, HealthVerbReportsLoopAndConnections) {
+  service::ServerOptions options = testOptions();
+  options.history_interval = std::chrono::milliseconds(0);  // not under test
+  service::Server server(options);
+  server.start();
+  {
+    service::Client client(server.port());
+    ASSERT_TRUE(client.run(smallScenarioJson(501)).at("ok").asBool());
+
+    const Json response = client.health();
+    ASSERT_TRUE(response.at("ok").asBool());
+    const Json& health = response.at("health");
+    EXPECT_EQ(health.at("mode").asString(), "event-loop");
+
+    const Json& loop = health.at("loop");
+    // The loop has served at least the accept + run + health iterations.
+    EXPECT_GE(loop.at("iterations").asUint64(), 2u);
+    EXPECT_GE(loop.at("dispatch_queue_depth_max").asUint64(), 1u);
+    EXPECT_GE(loop.at("completion_queue_depth_max").asUint64(), 1u);
+    EXPECT_GT(loop.at("iteration_p99_us").asDouble(), 0.0);
+
+    const Json& requests = health.at("requests");
+    EXPECT_GE(requests.at("total").asUint64(), 1u);
+    EXPECT_GT(requests.at("p50_us").asDouble(), 0.0);
+
+    // The shipped buckets recompute to exactly the shipped quantiles: the
+    // daemon and any client (lbtop) share one estimator.
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;
+    const Json& histogram = health.at("latency_histogram");
+    for (const Json& b : histogram.at("bounds").asArray())
+      bounds.push_back(b.asDouble());
+    for (const Json& c : histogram.at("counts").asArray())
+      counts.push_back(c.asUint64());
+    ASSERT_EQ(counts.size(), bounds.size() + 1);
+    EXPECT_DOUBLE_EQ(requests.at("p50_us").asDouble(),
+                     obs::histogramQuantile(bounds, counts, 0.50));
+    EXPECT_DOUBLE_EQ(requests.at("p99_us").asDouble(),
+                     obs::histogramQuantile(bounds, counts, 0.99));
+
+    const Json& engine = health.at("engine");
+    EXPECT_GE(engine.at("jobs_completed").asUint64(), 1u);
+    EXPECT_GE(engine.at("cache_misses").asUint64(), 1u);
+
+    // The scraping connection shows up in its own snapshot (the table is
+    // republished every loop iteration before reads dispatch).
+    const auto& connections = health.at("connections").asArray();
+    ASSERT_GE(connections.size(), 1u);
+    bool saw_self = false;
+    for (const Json& conn : connections) {
+      EXPECT_GT(conn.at("id").asUint64(), 0u);
+      const Json* verb = conn.find("last_verb");
+      if (verb != nullptr &&
+          (verb->asString() == "run" || verb->asString() == "health"))
+        saw_self = true;
+    }
+    EXPECT_TRUE(saw_self);
+    client.shutdown();
+  }
+  server.stop();
+}
+
+// Both server modes answer health: the legacy accept loop reports its mode
+// and zeroed loop instrumentation (there is no event loop to instrument),
+// never an unknown-verb error.
+TEST(ServerHealthTest, HealthVerbThreadPerConnectionMode) {
+  obs::MetricsRegistry fresh;  // the loop instruments of other tests'
+                               // servers live on the process registry
+  service::ServerOptions options = testOptions();
+  options.engine.registry = &fresh;
+  options.thread_per_connection = true;
+  options.history_interval = std::chrono::milliseconds(0);
+  service::Server server(options);
+  server.start();
+  {
+    service::Client client(server.port());
+    const Json response = client.health();
+    ASSERT_TRUE(response.at("ok").asBool());
+    const Json& health = response.at("health");
+    EXPECT_EQ(health.at("mode").asString(), "thread-per-connection");
+    EXPECT_EQ(health.at("loop").at("iterations").asUint64(), 0u);
+    EXPECT_EQ(health.at("connections").size(), 0u);  // event-loop table only
+    EXPECT_GE(health.at("requests").at("total").asUint64(), 0u);
+    client.shutdown();
+  }
+  server.stop();
+}
+
+TEST(ServerHistoryTest, HistoryVerbRoundTrip) {
+  service::ServerOptions options = testOptions();
+  options.history_interval = std::chrono::milliseconds(5);
+  options.history_capacity = 8;
+  service::Server server(options);
+  server.start();
+  {
+    service::Client client(server.port());
+    ASSERT_TRUE(client.run(smallScenarioJson(503)).at("ok").asBool());
+
+    // The 5ms sampler needs a beat to take >= 2 samples; poll generously.
+    Json response;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    for (;;) {
+      response = client.history();
+      ASSERT_TRUE(response.at("ok").asBool());
+      if (response.at("history").at("samples").size() >= 2) break;
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    const Json& history = response.at("history");
+    EXPECT_EQ(history.at("interval_ms").asUint64(), 5u);
+    EXPECT_EQ(history.at("capacity").asUint64(), 8u);
+    const auto& samples = history.at("samples").asArray();
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      EXPECT_EQ(samples[i].at("seq").asUint64(),
+                samples[i - 1].at("seq").asUint64() + 1);
+      EXPECT_GE(samples[i].at("at_ms").asUint64(),
+                samples[i - 1].at("at_ms").asUint64());
+    }
+    // The newest sample carries the run request's counter with its value;
+    // points expose name / value, and monotone series a delta.
+    bool saw_requests = false;
+    for (const Json& point : samples.back().at("points").asArray()) {
+      if (point.at("name").asString() != "lb_server_requests_total") continue;
+      saw_requests = true;
+      EXPECT_GE(point.at("value").asDouble(), 1.0);
+      ASSERT_NE(point.find("delta"), nullptr);  // counters carry deltas
+    }
+    EXPECT_TRUE(saw_requests);
+
+    // `last` truncates to the newest N samples; `metrics` filters points
+    // by exact series name.
+    const Json filtered =
+        client.history(1, {"lb_server_requests_total"});
+    ASSERT_TRUE(filtered.at("ok").asBool());
+    const auto& kept = filtered.at("history").at("samples").asArray();
+    ASSERT_EQ(kept.size(), 1u);
+    const auto& points = kept[0].at("points").asArray();
+    ASSERT_GE(points.size(), 1u);
+    for (const Json& point : points)
+      EXPECT_EQ(point.at("name").asString(), "lb_server_requests_total");
+    client.shutdown();
+  }
+  server.stop();
+}
+
+TEST(ServerHistoryTest, HistoryDisabledReportsTypedError) {
+  service::ServerOptions options = testOptions();
+  options.history_interval = std::chrono::milliseconds(0);
+  service::Server server(options);
+  const Json response =
+      Json::parse(server.handleRequest(R"({"verb":"history"})"));
+  EXPECT_FALSE(response.at("ok").asBool());
+  EXPECT_NE(response.at("error").asString().find("history is disabled"),
+            std::string::npos);
+}
+
+// Chaos leg: health and history stay reliable under an injected fault plan
+// — both verbs are idempotent, so the client's retry loop absorbs torn
+// reads and connection resets.
+TEST(ServerHistoryTest, HealthAndHistorySurviveChaosFaultPlan) {
+  const fault::FaultPlan plan =
+      fault::parseFaultPlan("seed=42,torn_read=0.1,read_reset=0.05");
+  fault::FaultInjector injector(plan);
+  service::ServerOptions options = testOptions();
+  options.history_interval = std::chrono::milliseconds(5);
+  options.fault = &injector;
+  options.engine.fault = &injector;
+  service::Server server(options);
+  server.start();
+  {
+    service::ClientOptions client_options;
+    client_options.port = server.port();
+    client_options.max_retries = 10;
+    client_options.backoff_base = std::chrono::milliseconds(1);
+    client_options.backoff_cap = std::chrono::milliseconds(20);
+    service::Client client(std::move(client_options));
+    ASSERT_TRUE(client.run(smallScenarioJson(505)).at("ok").asBool());
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(client.health().at("ok").asBool()) << "health #" << i;
+      EXPECT_TRUE(client.history(2).at("ok").asBool()) << "history #" << i;
+    }
+    // `shutdown` is never resent mid-exchange, so an injected reset during
+    // its response read legitimately surfaces as a transport error.
+    try {
+      client.shutdown();
+    } catch (const service::TransportError&) {
+    }
+  }
+  server.stop();
+}
+
+// Slow-request exemplars are a pure function of the request stream and the
+// thresholds: a 1us default threshold marks every request slow, per-verb
+// overrides win over the default, and a disabled (0) threshold marks none.
+TEST(ServerSlowRequestTest, ExemplarsAreDeterministic) {
+  const auto slowTotals = [](service::ServerOptions options,
+                             obs::FlightRecorder* recorder) {
+    obs::MetricsRegistry fresh;
+    options.engine.registry = &fresh;
+    options.recorder = recorder;
+    options.history_interval = std::chrono::milliseconds(0);
+    service::Server server(options);
+    Json run = Json::object();
+    run.set("verb", Json("run")).set("scenario", smallScenarioJson(507));
+    server.handleRequest(run.dump());  // cold
+    server.handleRequest(run.dump());  // cache hit — still a request
+    server.handleRequest(R"({"verb":"stats"})");
+    const std::string text = fresh.renderPrometheus();
+    return std::pair{
+        promValue(text, "lb_server_slow_requests_total{verb=\"run\"}"),
+        promValue(text, "lb_server_slow_requests_total{verb=\"stats\"}")};
+  };
+
+  // Default threshold 0: the feature is off, the family has no children.
+  EXPECT_EQ(slowTotals(testOptions(), nullptr),
+            (std::pair<long long, long long>{-1, -1}));
+
+  // 1us default: every request (including the cache hit) exceeds it.
+  service::ServerOptions all_slow = testOptions();
+  all_slow.slow_request_default_us = 1;
+  obs::FlightRecorder recorder(64, 64);
+  EXPECT_EQ(slowTotals(all_slow, &recorder),
+            (std::pair<long long, long long>{2, 1}));
+
+  // ... and each slow request annotated the flight recorder with its verb
+  // and threshold for trace correlation.
+  std::size_t annotations = 0;
+  for (const auto& event : recorder.events())
+    if (event.name == "server.slow_request") ++annotations;
+  EXPECT_EQ(annotations, 3u);
+  bool noted = false;
+  for (const auto& span : recorder.spans())
+    if (span.note.find("server.slow_request") != std::string::npos &&
+        span.note.find("threshold 1us") != std::string::npos)
+      noted = true;
+  EXPECT_TRUE(noted);
+
+  // Per-verb override: stats gets an unreachable threshold, runs stay slow.
+  service::ServerOptions overridden = testOptions();
+  overridden.slow_request_default_us = 1;
+  overridden.slow_request_us["stats"] = 1ull << 40;
+  EXPECT_EQ(slowTotals(overridden, nullptr),
+            (std::pair<long long, long long>{2, -1}));
+}
+
+// The introspection analogue of InstrumentationIsInert: a server with every
+// telemetry feature enabled (flight recorder, history ring, slow-request
+// exemplars, stall detector) produces bit-identical simulation results to a
+// bare server — even with health/history scrapes interleaved between runs.
+TEST(ServerHealthTest, FullTelemetryLeavesResultsBitIdentical) {
+  service::ServerOptions bare_options = testOptions();
+  bare_options.history_interval = std::chrono::milliseconds(0);
+  service::Server bare(bare_options);
+
+  obs::MetricsRegistry fresh;
+  obs::FlightRecorder recorder(256, 64);
+  service::ServerOptions full_options = testOptions();
+  full_options.engine.registry = &fresh;
+  full_options.recorder = &recorder;
+  full_options.history_interval = std::chrono::milliseconds(5);
+  full_options.history_capacity = 16;
+  full_options.slow_request_default_us = 1;
+  full_options.stall_threshold = std::chrono::milliseconds(1);
+  service::Server full(full_options);
+
+  for (const std::uint64_t seed : {601u, 602u, 603u}) {
+    Json run = Json::object();
+    run.set("verb", Json("run")).set("scenario", smallScenarioJson(seed));
+    const Json bare_response =
+        Json::parse(bare.handleRequest(run.dump()));
+    // Interleave scrapes on the telemetry server before its run: observers
+    // must not perturb what the next simulation computes.
+    ASSERT_TRUE(Json::parse(full.handleRequest(R"({"verb":"health"})"))
+                    .at("ok")
+                    .asBool());
+    ASSERT_TRUE(Json::parse(full.handleRequest(R"({"verb":"history"})"))
+                    .at("ok")
+                    .asBool());
+    const Json full_response = Json::parse(full.handleRequest(run.dump()));
+    ASSERT_TRUE(bare_response.at("ok").asBool());
+    ASSERT_TRUE(full_response.at("ok").asBool());
+    EXPECT_EQ(full_response.at("result").dump(),
+              bare_response.at("result").dump())
+        << "seed " << seed;
+    EXPECT_EQ(full_response.at("hash").asString(),
+              bare_response.at("hash").asString());
+  }
+}
+
+// Thread-safety soak (TSan coverage): scrapers hammer health / history /
+// metrics while runners saturate the engine; every response stays well-
+// formed and the final health snapshot accounts for all the traffic.
+TEST(ServerHealthTest, ConcurrentScrapeDuringSaturation) {
+  service::ServerOptions options = testOptions();
+  options.history_interval = std::chrono::milliseconds(5);
+  service::Server server(options);
+  server.start();
+
+  constexpr int kRunners = 4;
+  constexpr int kRunsEach = 5;
+  std::atomic<int> runs_ok{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kRunners; ++t)
+    threads.emplace_back([&server, &runs_ok, t] {
+      service::Client client(server.port());
+      for (int i = 0; i < kRunsEach; ++i) {
+        const Json response =
+            client.run(smallScenarioJson(
+                static_cast<std::uint64_t>(700 + t * kRunsEach + i)));
+        if (response.at("ok").asBool()) ++runs_ok;
+      }
+    });
+  for (int s = 0; s < 2; ++s)
+    threads.emplace_back([&server, &done] {
+      service::Client client(server.port());
+      while (!done.load()) {
+        ASSERT_TRUE(client.health().at("ok").asBool());
+        ASSERT_TRUE(client.history(2).at("ok").asBool());
+        ASSERT_TRUE(client.metrics().at("ok").asBool());
+      }
+    });
+  for (int t = 0; t < kRunners; ++t) threads[t].join();
+  done = true;
+  for (std::size_t t = kRunners; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(runs_ok.load(), kRunners * kRunsEach);
+
+  service::Client client(server.port());
+  const Json health = client.health().at("health");
+  EXPECT_GE(health.at("requests").at("total").asUint64(),
+            static_cast<std::uint64_t>(kRunners * kRunsEach));
+  EXPECT_EQ(health.at("engine").at("queue_depth").asUint64(), 0u);
+  client.shutdown();
   server.stop();
 }
 

@@ -366,9 +366,21 @@ TEST(ScenarioRunTest, MeshInstrumentationIsInert) {
   EXPECT_EQ(service::runScenario(scenario, bare), baseline);
 
   obs::MetricsRegistry fresh;
+  std::vector<noc::NocGrantRecord> mesh_grants;
   service::RunOptions full;
   full.registry = &fresh;
+  full.capture_mesh_trace = &mesh_grants;
   EXPECT_EQ(service::runScenario(scenario, full), baseline);
+
+  // The mesh trace side channel fired (the source of `lbsim --trace-out`
+  // for mesh scenarios): one record per executed router grant, none of
+  // which perturbed the result above.
+  EXPECT_EQ(mesh_grants.size(), baseline.grants);
+  for (const noc::NocGrantRecord& grant : mesh_grants) {
+    EXPECT_LT(grant.router, 9u);
+    EXPECT_LT(grant.output_port, 5);
+    EXPECT_GT(grant.flits, 0u);
+  }
 
   std::uint64_t packets = 0;
   for (const std::uint64_t m : baseline.messages_completed) packets += m;
