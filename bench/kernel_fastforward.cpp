@@ -7,9 +7,15 @@
 // two modes must produce bit-identical TestbedResults, so this harness is
 // a differential check as well as a stopwatch.
 //
+// A second sweep compares the kernel's sealed (devirtualized, std::visit
+// over concrete component types) dispatch against the type-erased virtual
+// edge on saturated-to-moderate load, where dead-cycle skipping barely
+// applies and per-cycle dispatch cost dominates.
+//
 // `--guard` turns the run into a CI perf-smoke: exit nonzero if fast mode
 // is not strictly faster than naive on the highest-idle scenario (where
-// skipping has the most to gain), or on any result divergence.
+// skipping has the most to gain), if sealed dispatch is slower than virtual
+// on the saturated scenario, or on any result divergence.
 
 #include <chrono>
 #include <cstring>
@@ -31,7 +37,8 @@ struct TimedRun {
   double wall_ns = 0;
 };
 
-TimedRun timedRun(sim::KernelMode mode, sim::Cycle gap, sim::Cycle cycles) {
+TimedRun timedRun(sim::KernelMode mode, sim::Cycle gap, sim::Cycle cycles,
+                  bool sealed = true) {
   std::vector<traffic::TrafficParams> params;
   for (std::size_t m = 0; m < 4; ++m) {
     traffic::TrafficParams p;
@@ -43,6 +50,7 @@ TimedRun timedRun(sim::KernelMode mode, sim::Cycle gap, sim::Cycle cycles) {
   }
   traffic::TestbedOptions options;
   options.kernel_mode = mode;
+  options.sealed = sealed;
   TimedRun run;
   const auto started = std::chrono::steady_clock::now();
   run.result = traffic::runTestbed(
@@ -55,6 +63,18 @@ TimedRun timedRun(sim::KernelMode mode, sim::Cycle gap, sim::Cycle cycles) {
                     std::chrono::steady_clock::now() - started)
                     .count();
   return run;
+}
+
+/// Best wall time of `tries` repeats (the result comes from the first run;
+/// every repeat is bit-identical anyway, which the caller asserts).
+TimedRun bestOf(int tries, sim::KernelMode mode, sim::Cycle gap,
+                sim::Cycle cycles, bool sealed) {
+  TimedRun best = timedRun(mode, gap, cycles, sealed);
+  for (int t = 1; t < tries; ++t) {
+    TimedRun run = timedRun(mode, gap, cycles, sealed);
+    if (run.wall_ns < best.wall_ns) best = std::move(run);
+  }
+  return best;
 }
 
 bool identical(const traffic::TestbedResult& a,
@@ -133,6 +153,57 @@ int main(int argc, char** argv) {
     std::cerr << "error: fast mode not faster than naive on the "
                  "highest-idle scenario (speedup "
               << last_speedup << "x)\n";
+    return 1;
+  }
+
+  // -- sealed vs virtual dispatch --------------------------------------------
+  //
+  // Saturated-to-moderate sweep of the same scenario with components
+  // registered through the kernel's sealed variant fast path vs the
+  // type-erased virtual edge.  Dead-cycle skipping barely applies at gap=0,
+  // so this isolates the dispatch (and inlining) cost of the per-cycle loop.
+  // Best-of-3 timings; results must stay bit-identical.
+  std::cout << "\nSealed (devirtualized) vs virtual dispatch, fast kernel:\n";
+  stats::Table sealed_table(
+      {"gap", "virtual ms", "sealed ms", "speedup", "identical"});
+  double saturated_sealed_speedup = 0;
+  for (const sim::Cycle gap : {0, 16, 64}) {
+    const std::string label = "gap=" + std::to_string(gap);
+    const TimedRun virt =
+        bestOf(3, sim::KernelMode::kFast, gap, cycles, false);
+    const TimedRun sealed =
+        bestOf(3, sim::KernelMode::kFast, gap, cycles, true);
+    const bool same = identical(virt.result, sealed.result);
+    all_identical = all_identical && same;
+    const double speedup =
+        sealed.wall_ns > 0 ? virt.wall_ns / sealed.wall_ns : 0;
+    if (gap == 0) saturated_sealed_speedup = speedup;
+    writer.add("kernel_virtual/" + label, virt.wall_ns,
+               virt.wall_ns > 0
+                   ? static_cast<double>(cycles) / (virt.wall_ns * 1e-9)
+                   : 0);
+    writer.add("kernel_sealed/" + label, sealed.wall_ns,
+               sealed.wall_ns > 0
+                   ? static_cast<double>(cycles) / (sealed.wall_ns * 1e-9)
+                   : 0);
+    writer.add("kernel_sealed_speedup/" + label, 0, speedup);
+    sealed_table.addRow({std::to_string(gap),
+                         stats::Table::num(virt.wall_ns * 1e-6, 1),
+                         stats::Table::num(sealed.wall_ns * 1e-6, 1),
+                         stats::Table::num(speedup, 2) + "x",
+                         same ? "yes" : "NO"});
+  }
+  sealed_table.printAscii(std::cout);
+
+  if (!all_identical) {
+    std::cerr << "\nerror: sealed dispatch diverged from virtual dispatch\n";
+    return 1;
+  }
+  std::cout << "\nall sweeps bit-identical across dispatch paths\n";
+  if (guard && saturated_sealed_speedup < 1.0) {
+    std::cerr << "error: sealed dispatch slower than virtual on the "
+                 "saturated scenario (speedup "
+              << saturated_sealed_speedup << "x)\n";
     return 1;
   }
   if (!json_out.empty() && !writer.writeFile(json_out)) return 1;

@@ -6,9 +6,24 @@
 // (fresh traffic AND arbiter randomness each time) and reports mean +-
 // stddev [min, max] — demonstrating that the Figure 6(a)/12 results are
 // stable properties, not lucky seeds.
+//
+// It then benchmarks HOW the replicas run: runReplicated (one full
+// simulation after another) vs runReplicatedBatched (all replicas built up
+// front and stepped in lockstep chunks by sim::BatchedReplicaRunner, groups
+// distributed over the thread pool).  The two runners must produce
+// bit-identical aggregates; `--guard` additionally fails the run if the
+// batched runner is not at least 1.5x faster at 16 replicas.  The 1.5x
+// floor assumes >= 2 hardware threads (the CI case; replica groups then run
+// on distinct cores): on a single-hardware-thread machine lockstep batching
+// can only tie sequential execution, so the guard degrades to "not
+// pathologically slower" there and says so.
 
+#include <chrono>
+#include <cstring>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <thread>
 
 #include "arbiters/tdma.hpp"
 #include "bench_util.hpp"
@@ -29,9 +44,44 @@ std::string cell(const traffic::ReplicatedMetric& metric, bool percent) {
          stats::Table::num(metric.max * scale) + "]";
 }
 
+bool identical(const traffic::ReplicatedResult& a,
+               const traffic::ReplicatedResult& b) {
+  auto same_metric = [](const traffic::ReplicatedMetric& x,
+                        const traffic::ReplicatedMetric& y) {
+    return x.mean == y.mean && x.stddev == y.stddev && x.min == y.min &&
+           x.max == y.max;
+  };
+  if (a.replications != b.replications) return false;
+  if (a.bandwidth_fraction.size() != b.bandwidth_fraction.size() ||
+      a.cycles_per_word.size() != b.cycles_per_word.size())
+    return false;
+  for (std::size_t m = 0; m < a.bandwidth_fraction.size(); ++m)
+    if (!same_metric(a.bandwidth_fraction[m], b.bandwidth_fraction[m]) ||
+        !same_metric(a.cycles_per_word[m], b.cycles_per_word[m]))
+      return false;
+  return same_metric(a.unutilized_fraction, b.unutilized_fraction);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::BenchJsonWriter writer;
+  const std::string json_out = benchutil::consumeJsonOut(&argc, argv);
+  bool guard = false;
+  sim::Cycle bench_cycles = 150000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--guard") == 0) {
+      guard = true;
+    } else if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
+      bench_cycles = std::strtoull(argv[++i], nullptr, 10);
+      if (bench_cycles == 0) bench_cycles = 1;
+    } else {
+      std::cerr << "usage: replication_confidence [--cycles N] [--guard] "
+                   "[--json-out FILE]\n";
+      return 2;
+    }
+  }
+
   benchutil::banner(
       "EXT: replication study (10 seeds per configuration)",
       "statistical backing for Figures 6(a), 12(a) and 12(b/c)",
@@ -79,5 +129,69 @@ int main() {
   std::cout << "\n(T6's traffic is deterministic, so the TDMA row has zero "
                "variance — the pathology is structural, while the lottery's "
                "spread shows only its own randomization)\n";
+
+  // -- sequential vs lockstep-batched replication ----------------------------
+  std::cout << "\nSequential vs lockstep-batched replication (saturated T2 "
+               "lottery, "
+            << bench_cycles << " cycles each):\n";
+  stats::Table speed_table(
+      {"replicas", "sequential ms", "batched ms", "speedup", "identical"});
+  bool all_identical = true;
+  double speedup_at_16 = 0;
+  for (const std::size_t replicas : {4ul, 8ul, 16ul}) {
+    const auto seq_started = std::chrono::steady_clock::now();
+    const auto sequential = traffic::runReplicated(
+        traffic::defaultBusConfig(4), lottery, traffic::trafficClass("T2"),
+        bench_cycles, replicas, 303);
+    const double seq_ns = std::chrono::duration<double, std::nano>(
+                              std::chrono::steady_clock::now() - seq_started)
+                              .count();
+    const auto batch_started = std::chrono::steady_clock::now();
+    const auto batched = traffic::runReplicatedBatched(
+        traffic::defaultBusConfig(4), lottery, traffic::trafficClass("T2"),
+        bench_cycles, replicas, 303);
+    const double batch_ns = std::chrono::duration<double, std::nano>(
+                                std::chrono::steady_clock::now() -
+                                batch_started)
+                                .count();
+    const bool same = identical(sequential, batched);
+    all_identical = all_identical && same;
+    const double speedup = batch_ns > 0 ? seq_ns / batch_ns : 0;
+    if (replicas == 16) speedup_at_16 = speedup;
+    const double simulated =
+        static_cast<double>(bench_cycles) * static_cast<double>(replicas);
+    const std::string label = "replicas=" + std::to_string(replicas);
+    writer.add("replication_sequential/" + label, seq_ns,
+               seq_ns > 0 ? simulated / (seq_ns * 1e-9) : 0);
+    writer.add("replication_batched/" + label, batch_ns,
+               batch_ns > 0 ? simulated / (batch_ns * 1e-9) : 0);
+    writer.add("replication_speedup/" + label, 0, speedup);
+    speed_table.addRow({std::to_string(replicas),
+                        stats::Table::num(seq_ns * 1e-6, 1),
+                        stats::Table::num(batch_ns * 1e-6, 1),
+                        stats::Table::num(speedup, 2) + "x",
+                        same ? "yes" : "NO"});
+  }
+  speed_table.printAscii(std::cout);
+
+  if (!all_identical) {
+    std::cerr << "\nerror: batched replication diverged from sequential\n";
+    return 1;
+  }
+  std::cout << "\nbatched aggregates bit-identical to sequential\n";
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const bool parallel_capable = hardware >= 2;
+  const double guard_floor = parallel_capable ? 1.5 : 0.85;
+  if (!parallel_capable)
+    std::cout << "(single hardware thread: replica groups cannot run "
+                 "concurrently, guard floor relaxed to "
+              << guard_floor << "x)\n";
+  if (guard && speedup_at_16 < guard_floor) {
+    std::cerr << "error: batched replication below the " << guard_floor
+              << "x floor at 16 replicas (speedup " << speedup_at_16
+              << "x)\n";
+    return 1;
+  }
+  if (!json_out.empty() && !writer.writeFile(json_out)) return 1;
   return 0;
 }

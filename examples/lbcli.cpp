@@ -177,6 +177,12 @@ int main(int argc, char** argv) {
              })
       .flag({"--lfsr"}, "use the hardware LFSR lottery variant",
             &scenario.lfsr)
+      .value({"--replicas"}, "N",
+             "run N independently-seeded replicas in lockstep\n"
+             "and aggregate (means of rates, sums of counters)",
+             [&](const std::string& opt, const std::string& v) {
+               scenario.replicas = service::parseU32(opt, v);
+             })
       .value({"--mesh"}, "WxH",
              "run on a WxH mesh NoC instead of the shared bus\n"
              "(one master per node; a bare N means NxN)",

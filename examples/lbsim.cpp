@@ -153,6 +153,12 @@ int main(int argc, char** argv) {
              [&](const std::string&, const std::string& v) {
                scenario.kernel_mode = v;
              })
+      .value({"--replicas"}, "N",
+             "run N independently-seeded replicas in lockstep\n"
+             "and aggregate (means of rates, sums of counters)",
+             [&](const std::string& opt, const std::string& v) {
+               scenario.replicas = service::parseU32(opt, v);
+             })
       .flag({"--csv"}, "emit CSV instead of an ASCII table", &csv)
       .flag({"--compare"},
             "run ALL architectures on the same traffic and print\n"

@@ -24,7 +24,11 @@
 # point misses the analytical model by more than the documented 10%) and
 # <out-dir>/BENCH_obs.json (obs_overhead: lbd requests/sec with the full
 # introspection layer on vs off; its --guard flag fails the run if
-# telemetry costs more than 3% of bare saturated throughput).
+# telemetry costs more than 3% of bare saturated throughput) and
+# <out-dir>/BENCH_replication.json (replication_confidence: sequential vs
+# lockstep-batched replica stepping in simulated cycles/s; its --guard
+# flag fails the run if the aggregates diverge at all, or if the batched
+# runner misses the 1.5x floor at 16 replicas on multi-core machines).
 # All files are validated as JSON before the script exits 0.  Benchmarks
 # run with reduced repetitions/slots — this is a trajectory smoke, not a
 # publication-grade measurement.
@@ -39,7 +43,8 @@ SAT="$BUILD/bench/server_saturation"
 KERNEL="$BUILD/bench/kernel_fastforward"
 NOC="$BUILD/bench/noc_mesh_latency"
 OBS="$BUILD/bench/obs_overhead"
-for bin in "$MICRO" "$IQ" "$SAT" "$KERNEL" "$NOC" "$OBS"; do
+REPL="$BUILD/bench/replication_confidence"
+for bin in "$MICRO" "$IQ" "$SAT" "$KERNEL" "$NOC" "$OBS" "$REPL"; do
   [[ -x "$bin" ]] || { echo "bench_trajectory: missing $bin (build first)"; exit 1; }
 done
 mkdir -p "$OUT"
@@ -86,6 +91,14 @@ echo "bench_trajectory: rev $LB_GIT_REV -> $OUT"
   > "$OUT/obs.log" 2>&1 \
   || { echo "bench_trajectory: obs_overhead failed"; tail -20 "$OUT/obs.log"; exit 1; }
 
+# Replication runner smoke: --guard fails this step if lockstep-batched
+# replication ever diverges from sequential replication, or if it misses
+# the batched-speedup floor (1.5x at 16 replicas given >= 2 hardware
+# threads; "not slower" on single-core machines).
+"$REPL" --cycles 100000 --guard --json-out "$OUT/BENCH_replication.json" \
+  > "$OUT/replication.log" 2>&1 \
+  || { echo "bench_trajectory: replication_confidence failed"; tail -20 "$OUT/replication.log"; exit 1; }
+
 validate() {
   local file="$1"
   [[ -s "$file" ]] || { echo "bench_trajectory: $file missing or empty"; exit 1; }
@@ -108,5 +121,6 @@ validate "$OUT/BENCH_service.json"
 validate "$OUT/BENCH_kernel.json"
 validate "$OUT/BENCH_noc.json"
 validate "$OUT/BENCH_obs.json"
+validate "$OUT/BENCH_replication.json"
 
 echo "bench_trajectory: OK"

@@ -61,10 +61,6 @@ std::uint64_t Bus::backlogWords(MasterId master) const {
   return requests_.at(static_cast<std::size_t>(master)).backlog_words;
 }
 
-std::uint32_t Bus::slaveWaitStates(int slave) const {
-  return config_.slaves[static_cast<std::size_t>(slave)].wait_states;
-}
-
 void Bus::startGrant(const Grant& grant, Cycle now) {
   const auto m = static_cast<std::size_t>(grant.master);
   if (m >= requests_.size())
@@ -97,148 +93,6 @@ void Bus::startGrant(const Grant& grant, Cycle now) {
       sinks_->grant_wait_cycles->observe(
           static_cast<double>(now - req.head_arrival));
   }
-}
-
-void Bus::transferWord(Cycle now) {
-  const auto m = static_cast<std::size_t>(grant_master_);
-  MasterRequest& req = requests_[m];
-  Message& head = queues_[m].front();
-
-  bandwidth_.recordWord(m);
-  if (sinks_ && m < sinks_->words_by_master.size() &&
-      sinks_->words_by_master[m])
-    sinks_->words_by_master[m]->inc();
-  --req.head_words_remaining;
-  --req.backlog_words;
-  --grant_words_left_;
-
-  if (req.head_words_remaining == 0) {
-    // Message complete this cycle; latency spans arrival..now inclusive.
-    const Message done = head;
-    latency_.recordMessage(m, done.words, now - done.arrival + 1);
-    queues_[m].pop_front();
-    if (queues_[m].empty()) {
-      req.pending = false;
-    } else {
-      req.head_words_remaining = queues_[m].front().words;
-      req.head_arrival = queues_[m].front().arrival;
-    }
-    for (const auto& callback : completion_callbacks_)
-      callback(grant_master_, done, now);
-    // A grant never outlives its message: re-arbitrate for the next one.
-    grant_words_left_ = 0;
-  }
-
-  if (grant_words_left_ == 0) {
-    grant_master_ = kNoMaster;
-  } else {
-    current_word_cost_ = 1 + slaveWaitStates(queues_[m].front().slave);
-    word_cycles_left_ = current_word_cost_;
-  }
-}
-
-void Bus::cycle(Cycle now) {
-  if (overhead_left_ > 0) {
-    --overhead_left_;
-    bandwidth_.recordOverheadCycle();
-    if (sinks_ && sinks_->overhead_cycles) sinks_->overhead_cycles->inc();
-    return;
-  }
-
-  if (config_.allow_preemption && grant_master_ != kNoMaster &&
-      word_cycles_left_ == current_word_cost_ &&
-      arbiter_->shouldPreempt(grant_master_, RequestView(requests_), now)) {
-    // Abort the burst at the word boundary; the owner's remaining words stay
-    // at the head of its queue and compete in the very next arbitration.
-    grant_master_ = kNoMaster;
-    grant_words_left_ = 0;
-    ++preemptions_;
-    if (sinks_ && sinks_->preemptions) sinks_->preemptions->inc();
-  }
-
-  if (grant_master_ == kNoMaster) {
-    const Grant grant = arbiter_->arbitrate(RequestView(requests_), now);
-    if (!grant.valid()) {
-      bandwidth_.recordIdleCycle();
-      if (sinks_ && sinks_->idle_cycles) sinks_->idle_cycles->inc();
-      return;
-    }
-    startGrant(grant, now);
-    if (!config_.pipelined_arbitration && config_.arb_overhead_cycles > 0) {
-      // Non-pipelined design: the arbitration decision itself occupies the
-      // bus before the first data word.
-      overhead_left_ += config_.arb_overhead_cycles;
-    }
-    if (overhead_left_ > 0) {
-      // Arbitration and/or slave-setup dead cycles precede the first word.
-      --overhead_left_;
-      bandwidth_.recordOverheadCycle();
-      if (sinks_ && sinks_->overhead_cycles) sinks_->overhead_cycles->inc();
-      return;
-    }
-  }
-
-  // One cycle of the current word: either a wait state or the word completes.
-  --word_cycles_left_;
-  if (word_cycles_left_ > 0) {
-    bandwidth_.recordOverheadCycle();
-    if (sinks_ && sinks_->overhead_cycles) sinks_->overhead_cycles->inc();
-    return;
-  }
-  transferWord(now);
-}
-
-Cycle Bus::nextActivity(Cycle now) {
-  // Overhead stretch (arbitration, slave setup, wait states folded into
-  // overhead_left_): cycle() only decrements and records until it drains.
-  if (overhead_left_ > 0) return now + overhead_left_;
-
-  if (grant_master_ != kNoMaster) {
-    // Mid-word.  The word completes on the cycle of the last decrement; the
-    // word-boundary cycle additionally consults shouldPreempt() when
-    // preemption is enabled, so it must execute.
-    if (config_.allow_preemption && word_cycles_left_ == current_word_cost_)
-      return now;
-    return now + word_cycles_left_ - 1;
-  }
-
-  // Idle: nothing happens until the arbiter could hand out a grant.  New
-  // requests arrive only at executed cycles (sources are kernel components
-  // too), so the kernel re-polls this hint whenever one could have pushed.
-  return arbiter_->nextGrantOpportunity(RequestView(requests_), now);
-}
-
-void Bus::fastForward(Cycle from, Cycle to) {
-  const Cycle skipped = to - from;
-  if (skipped == 0) return;
-
-  if (overhead_left_ > 0) {
-    // Naive mode spends each of these cycles on --overhead_left_ plus one
-    // overhead record; reproduce that in bulk.
-    if (skipped > overhead_left_)
-      throw std::logic_error("Bus::fastForward: jumped past overhead end");
-    overhead_left_ -= static_cast<std::uint32_t>(skipped);
-    bandwidth_.recordOverheadCycles(skipped);
-    if (sinks_ && sinks_->overhead_cycles) sinks_->overhead_cycles->inc(skipped);
-    return;
-  }
-
-  if (grant_master_ != kNoMaster) {
-    // Mid-word wait states: each skipped cycle is a decrement plus an
-    // overhead record; the completing decrement itself always executes.
-    if (skipped >= word_cycles_left_)
-      throw std::logic_error("Bus::fastForward: jumped past word completion");
-    word_cycles_left_ -= static_cast<std::uint32_t>(skipped);
-    bandwidth_.recordOverheadCycles(skipped);
-    if (sinks_ && sinks_->overhead_cycles) sinks_->overhead_cycles->inc(skipped);
-    return;
-  }
-
-  // Idle stretch: naive mode would have recorded one idle cycle and made
-  // one fruitless arbitrate() call (observer-visible) per cycle.
-  bandwidth_.recordIdleCycles(skipped);
-  if (sinks_ && sinks_->idle_cycles) sinks_->idle_cycles->inc(skipped);
-  arbiter_->recordQuiescentCycles(RequestView(requests_), from, to);
 }
 
 void Bus::clearStats() {

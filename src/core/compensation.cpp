@@ -31,32 +31,36 @@ bus::Grant CompensatedLotteryArbiter::decide(
 
   // Effective holdings: base tickets scaled by the compensation factor.
   // Work in fixed point (x1024) so the draw stays an integer lottery.
+  // Structure-of-arrays with persistent scratch: the masked gather writes
+  // into effective_ (zero for non-pending masters — arithmetically inert in
+  // the comparator scan below), so a draw performs no allocation.
   constexpr std::uint64_t kScale = 1024;
   std::uint64_t total = 0;
-  std::vector<std::uint64_t> effective(base_.size(), 0);
+  effective_.assign(base_.size(), 0);
   for (std::size_t m = 0; m < base_.size(); ++m) {
     if (!requests[m].pending) continue;
-    effective[m] = static_cast<std::uint64_t>(
+    std::uint64_t e = static_cast<std::uint64_t>(
         std::llround(static_cast<double>(base_[m]) * compensation_[m] *
                      static_cast<double>(kScale)));
-    if (effective[m] == 0) effective[m] = 1;
-    total += effective[m];
+    if (e == 0) e = 1;
+    effective_[m] = e;
+    total += e;
   }
   if (total == 0) return bus::Grant{};
 
   std::uint64_t number = rng_.below(total);
   for (std::size_t m = 0; m < base_.size(); ++m) {
-    if (!requests[m].pending) continue;
-    if (number < effective[m]) {
+    if (number < effective_[m]) {
       // Winner: its compensation resets, then re-arms according to how much
-      // of the quantum this grant will actually use.
+      // of the quantum this grant will actually use.  Only a pending master
+      // (non-zero effective_ entry) can reach this branch.
       const std::uint32_t words =
           std::min(requests[m].head_words_remaining, quantum_);
       compensation_[m] =
           static_cast<double>(quantum_) / static_cast<double>(words);
       return bus::Grant{static_cast<bus::MasterId>(m), 0};
     }
-    number -= effective[m];
+    number -= effective_[m];
   }
   throw std::logic_error("CompensatedLotteryArbiter: draw selected no winner");
 }

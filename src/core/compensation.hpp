@@ -47,6 +47,9 @@ private:
   std::uint64_t seed_;
   sim::Xoshiro256ss rng_;
   std::vector<double> compensation_;
+  /// Per-draw masked holdings in fixed point, structure-of-arrays (0 while
+  /// not pending).  Persistent scratch: a decide() allocates nothing.
+  std::vector<std::uint64_t> effective_;
 };
 
 }  // namespace lb::core

@@ -42,21 +42,20 @@ LotteryArbiter::LotteryArbiter(std::vector<std::uint32_t> tickets,
   }
 
   // Precompute the lookup table: one row of partial sums per request map
-  // (the register file of Figure 9).  For very wide buses fall back to
-  // computing rows on demand — behaviourally identical.
-  if (tickets_.size() <= kMaxTableMasters) {
-    const std::uint32_t rows = 1u << tickets_.size();
-    table_.reserve(rows);
-    for (std::uint32_t map = 0; map < rows; ++map)
-      table_.push_back(partialSums(tickets_, map));
-  }
+  // (the register file of Figure 9), flattened into a single contiguous
+  // array so a draw indexes one cache-friendly stripe.  For very wide buses
+  // fall back to computing rows on demand — behaviourally identical.
+  if (tickets_.size() <= kMaxTableMasters) table_ = buildTicketTable(tickets_);
+  scratch_.resize(tickets_.size());
 }
 
-const std::vector<std::uint64_t>& LotteryArbiter::tableRow(
+std::span<const std::uint64_t> LotteryArbiter::tableRow(
     std::uint32_t request_map) const {
   if (table_.empty())
     throw std::logic_error("LotteryArbiter: no precomputed table");
-  return table_.at(request_map);
+  if (request_map >= table_.rows)
+    throw std::out_of_range("LotteryArbiter: bad request map");
+  return table_.row(request_map);
 }
 
 std::uint64_t LotteryArbiter::drawNumber(std::uint64_t bound) {
@@ -80,8 +79,15 @@ bus::Grant LotteryArbiter::decide(const bus::RequestView& requests,
   const std::uint32_t map = requests.requestMap();
   if (map == 0) return bus::Grant{};
 
-  const std::vector<std::uint64_t>& sums =
-      table_.empty() ? partialSums(tickets_, map) : table_[map];
+  std::span<const std::uint64_t> sums;
+  if (table_.empty()) {
+    // Wide-bus fallback: compute the row into the persistent scratch buffer
+    // (no per-draw allocation).
+    partialSumsInto(tickets_, map, scratch_.data());
+    sums = scratch_;
+  } else {
+    sums = table_.row(map);
+  }
   const std::uint64_t total = sums.back();
   const std::uint64_t number = drawNumber(total);
   ++draws_;
@@ -108,9 +114,23 @@ bus::Grant DynamicLotteryArbiter::decide(const bus::RequestView& requests,
                                          bus::Cycle /*now*/) {
   // Figure 10 data path: request-masked tickets -> adder tree of partial
   // sums -> random number mod T -> comparators -> priority select.
+  //
+  // Structure-of-arrays: gather the masked holdings into the persistent
+  // effective_ array (zero for non-pending masters), then total and scan the
+  // contiguous array.  A zero entry is arithmetically inert in the scan
+  // (number < 0 never fires, number -= 0 is a no-op), so the zero-padded
+  // scan is bit-identical to the original pending-skipping loop — including
+  // for pending masters that hold zero tickets, which can never win either
+  // way.
+  const std::size_t n = requests.size();
+  effective_.assign(n, 0);
   std::uint64_t total = 0;
-  for (std::size_t i = 0; i < requests.size(); ++i)
-    if (requests[i].pending) total += requests[i].tickets;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t t =
+        requests[i].pending ? requests[i].tickets : std::uint64_t{0};
+    effective_[i] = t;
+    total += t;
+  }
   if (total == 0) {
     // Either nothing pending, or every pending master holds zero tickets;
     // zero-ticket masters can never win a lottery.
@@ -119,11 +139,10 @@ bus::Grant DynamicLotteryArbiter::decide(const bus::RequestView& requests,
 
   std::uint64_t number = rng_.below(total);
   ++draws_;
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    if (!requests[i].pending) continue;
-    if (number < requests[i].tickets)
+  for (std::size_t i = 0; i < n; ++i) {
+    if (number < effective_[i])
       return bus::Grant{static_cast<bus::MasterId>(i), 0};
-    number -= requests[i].tickets;
+    number -= effective_[i];
   }
   throw std::logic_error("DynamicLotteryArbiter: draw selected no winner");
 }

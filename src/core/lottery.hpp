@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "bus/arbiter.hpp"
@@ -62,8 +63,9 @@ public:
   }
   double scalingRatioError() const { return scaling_error_; }
 
-  /// Precomputed partial sums for a request map (the lookup-table row).
-  const std::vector<std::uint64_t>& tableRow(std::uint32_t request_map) const;
+  /// Precomputed partial sums for a request map: a view into the flat
+  /// structure-of-arrays lookup table (one contiguous row per request map).
+  std::span<const std::uint64_t> tableRow(std::uint32_t request_map) const;
 
   /// Number of random numbers rejected because they fell outside the live
   /// ticket range (only possible in LFSR mode with a partial request map).
@@ -79,7 +81,8 @@ private:
   LotteryRng rng_kind_;
   std::uint64_t seed_;
 
-  std::vector<std::vector<std::uint64_t>> table_;  // 2^N rows of partial sums
+  TicketTable table_;  ///< flat 2^N x N partial-sum rows (empty if too wide)
+  std::vector<std::uint64_t> scratch_;  ///< on-demand row for wide buses
 
   sim::Xoshiro256ss exact_rng_;
   std::unique_ptr<sim::GaloisLfsr> lfsr_;
@@ -105,6 +108,11 @@ private:
   std::uint64_t seed_;
   sim::Xoshiro256ss rng_;
   std::uint64_t draws_ = 0;
+  /// Masked ticket gather, structure-of-arrays: effective_[i] is master i's
+  /// live holdings (0 while not pending).  Persistent so a draw allocates
+  /// nothing; zero entries make the comparator scan branch-free on the
+  /// pending bit (number < 0 never fires, number -= 0 is a no-op).
+  std::vector<std::uint64_t> effective_;
 };
 
 }  // namespace lb::core

@@ -8,24 +8,49 @@
 
 namespace lb::core {
 
-std::vector<std::uint64_t> partialSums(
-    const std::vector<std::uint32_t>& tickets, std::uint32_t request_map) {
-  std::vector<std::uint64_t> sums(tickets.size(), 0);
+void partialSumsInto(const std::vector<std::uint32_t>& tickets,
+                     std::uint32_t request_map, std::uint64_t* out) {
   std::uint64_t acc = 0;
   for (std::size_t i = 0; i < tickets.size(); ++i) {
     if (request_map & (1u << i)) acc += tickets[i];
-    sums[i] = acc;
+    out[i] = acc;
   }
+}
+
+std::vector<std::uint64_t> partialSums(
+    const std::vector<std::uint32_t>& tickets, std::uint32_t request_map) {
+  std::vector<std::uint64_t> sums(tickets.size(), 0);
+  partialSumsInto(tickets, request_map, sums.data());
   return sums;
 }
 
-int winnerForTicket(const std::vector<std::uint64_t>& sums,
+int winnerForTicket(std::span<const std::uint64_t> sums,
                     std::uint32_t request_map, std::uint64_t number) {
+  // Comparator scan over the contiguous prefix-sum row.  Non-pending masters
+  // repeat the previous sum, so `number < sums[i]` can only first become true
+  // at a pending master; the mask test just keeps the no-comparator-fires
+  // (-1) contract when number >= T.
   for (std::size_t i = 0; i < sums.size(); ++i) {
     if (!(request_map & (1u << i))) continue;
     if (number < sums[i]) return static_cast<int>(i);
   }
   return -1;
+}
+
+TicketTable buildTicketTable(const std::vector<std::uint32_t>& tickets) {
+  if (tickets.empty())
+    throw std::invalid_argument("buildTicketTable: no tickets");
+  if (tickets.size() >= 31)
+    throw std::invalid_argument("buildTicketTable: too many masters");
+  TicketTable table;
+  table.stride = tickets.size();
+  table.rows = 1u << tickets.size();
+  table.sums.resize(static_cast<std::size_t>(table.rows) * table.stride);
+  for (std::uint32_t map = 0; map < table.rows; ++map)
+    partialSumsInto(tickets, map,
+                    table.sums.data() +
+                        static_cast<std::size_t>(map) * table.stride);
+  return table;
 }
 
 unsigned ceilLog2(std::uint64_t x) {

@@ -1,7 +1,9 @@
 #pragma once
 // Ticket arithmetic shared by the behavioral and structural lottery managers.
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace lb::core {
@@ -14,11 +16,37 @@ namespace lb::core {
 std::vector<std::uint64_t> partialSums(const std::vector<std::uint32_t>& tickets,
                                        std::uint32_t request_map);
 
+/// Allocation-free form of partialSums: writes the row into `out`, which must
+/// hold tickets.size() entries.
+void partialSumsInto(const std::vector<std::uint32_t>& tickets,
+                     std::uint32_t request_map, std::uint64_t* out);
+
 /// Given a winning ticket number in [0, T), returns the index of the winning
 /// master: the first pending master i with number < sums[i].  Returns -1 if
 /// the number is out of range (no comparator fires).
-int winnerForTicket(const std::vector<std::uint64_t>& sums,
+int winnerForTicket(std::span<const std::uint64_t> sums,
                     std::uint32_t request_map, std::uint64_t number);
+
+/// Structure-of-arrays lookup table of partial-sum rows (the register file of
+/// paper Figure 9), flattened: row `map` occupies the contiguous slice
+/// sums[map*stride, (map+1)*stride).  One allocation for all 2^N rows, rows
+/// adjacent in memory, so a draw touches exactly one cache-resident stripe
+/// instead of chasing a vector-of-vectors indirection.
+struct TicketTable {
+  std::vector<std::uint64_t> sums;
+  std::size_t stride = 0;  ///< entries per row == number of masters
+  std::uint32_t rows = 0;  ///< 2^N request maps; 0 == table absent
+
+  bool empty() const noexcept { return rows == 0; }
+  std::span<const std::uint64_t> row(std::uint32_t request_map) const {
+    return {sums.data() + static_cast<std::size_t>(request_map) * stride,
+            stride};
+  }
+};
+
+/// Precomputes the full 2^N-row table.  tickets.size() must be small enough
+/// that the table fits (callers gate on their own row budget).
+TicketTable buildTicketTable(const std::vector<std::uint32_t>& tickets);
 
 /// Result of power-of-two ticket scaling (paper Section 4.3: "the ticket
 /// holdings of individual masters are modified such that their sum is a power

@@ -12,6 +12,7 @@
 #include "core/lottery.hpp"
 #include "noc/mesh.hpp"
 #include "service/metrics.hpp"
+#include "sim/batched.hpp"
 #include "traffic/classes.hpp"
 #include "traffic/generator.hpp"
 #include "traffic/testbed.hpp"
@@ -111,6 +112,7 @@ Scenario normalized(Scenario scenario) {
     if (w == 0) throw ScenarioError("weights must be >= 1");
   if (scenario.kernel_mode != "fast" && scenario.kernel_mode != "naive")
     throw ScenarioError("unknown kernel_mode: " + scenario.kernel_mode);
+  if (scenario.replicas == 0) throw ScenarioError("replicas must be >= 1");
   return scenario;
 }
 
@@ -131,6 +133,10 @@ Json toJson(const Scenario& scenario) {
   // cached result keyed by them) stay valid.
   if (scenario.kernel_mode != "fast")
     json.set("kernel_mode", Json(scenario.kernel_mode));
+  // Same contract: the replication count enters the canonical bytes only
+  // when the scenario actually is a replicated run.
+  if (scenario.replicas != 1)
+    json.set("replicas", Json(static_cast<std::uint64_t>(scenario.replicas)));
   // Same contract: the mesh extension appears in the canonical bytes only
   // when the scenario actually is a mesh.
   if (scenario.mesh.enabled()) {
@@ -215,6 +221,8 @@ Scenario scenarioFromJson(const Json& json) {
       scenario.lfsr = value.asBool();
     } else if (key == "kernel_mode") {
       scenario.kernel_mode = value.asString();
+    } else if (key == "replicas") {
+      scenario.replicas = smallUint(value, "replicas");
     } else if (key == "mesh") {
       scenario.mesh = meshFromJson(value);
     } else {
@@ -389,16 +397,27 @@ noc::RouterArbiterFactory makeRouterArbiterFactory(const Scenario& scenario) {
   };
 }
 
+std::uint64_t replicaSeed(std::uint64_t base, std::uint32_t replica) {
+  // Replica 0 keeps the base seed so a 1-replica run is the historical
+  // single run byte for byte; later replicas pass through the SplitMix64
+  // finalizer to decorrelate every derived RNG stream.
+  if (replica == 0) return base;
+  return mix64(base + static_cast<std::uint64_t>(replica));
+}
+
 namespace {
 
-/// The mesh leg of runScenario: same contract (pure function of the
-/// normalized scenario, observability strictly passive), different fabric.
-/// `capture_trace` stays untouched — bus::GrantRecord traces describe a
-/// shared channel, not a mesh; `capture_mesh_trace` receives the
-/// router-level noc::NocGrantRecord trace instead (the source of `lbsim
-/// --trace-out` for mesh scenarios and of the differential tests).
-ScenarioResult runMeshScenario(const Scenario& scenario,
-                               const RunOptions& options) {
+/// One live mesh replica: fabric + kernel + sources, built but not yet run.
+/// The mesh leg's analogue of traffic::TestbedInstance.
+struct MeshInstance {
+  std::unique_ptr<noc::MeshNetwork> mesh;
+  std::unique_ptr<sim::CycleKernel> kernel;
+  std::vector<std::unique_ptr<traffic::TrafficSource>> sources;
+  std::shared_ptr<noc::NocMetricsSinks> sinks;
+};
+
+MeshInstance buildMeshInstance(const Scenario& scenario,
+                               const RunOptions& options, bool capture) {
   noc::MeshConfig config;
   config.width = scenario.mesh.width;
   config.height = scenario.mesh.height;
@@ -409,40 +428,43 @@ ScenarioResult runMeshScenario(const Scenario& scenario,
   config.pattern_seed = scenario.seed;
   config.port_weights = scenario.weights;
   config.arbiter_factory = makeRouterArbiterFactory(scenario);
-  config.record_grant_trace = options.capture_mesh_trace != nullptr;
+  config.record_grant_trace = capture;
 
-  noc::MeshNetwork mesh(config);
-  sim::CycleKernel kernel;
-  kernel.setMode(scenario.kernel_mode == "naive" ? sim::KernelMode::kNaive
-                                                 : sim::KernelMode::kFast);
+  MeshInstance instance;
+  instance.mesh = std::make_unique<noc::MeshNetwork>(config);
+  instance.kernel = std::make_unique<sim::CycleKernel>();
+  instance.kernel->setMode(scenario.kernel_mode == "naive"
+                               ? sim::KernelMode::kNaive
+                               : sim::KernelMode::kFast);
 
   const std::vector<traffic::TrafficParams> params = traffic::paramsFor(
       traffic::trafficClass(scenario.traffic_class), scenario.masters,
       scenario.seed);
-  std::vector<std::unique_ptr<traffic::TrafficSource>> sources;
-  sources.reserve(scenario.masters);
+  instance.sources.reserve(scenario.masters);
   for (std::size_t n = 0; n < scenario.masters; ++n) {
-    sources.push_back(std::make_unique<traffic::TrafficSource>(
-        mesh.ni(static_cast<noc::NodeId>(n)), static_cast<bus::MasterId>(n),
-        params[n]));
-    kernel.attach(*sources.back());
+    instance.sources.push_back(std::make_unique<traffic::TrafficSource>(
+        instance.mesh->ni(static_cast<noc::NodeId>(n)),
+        static_cast<bus::MasterId>(n), params[n]));
+    instance.kernel->attach(*instance.sources.back());
   }
-  mesh.attachTo(kernel);
+  instance.mesh->attachTo(*instance.kernel);
 
-  std::shared_ptr<noc::NocMetricsSinks> sinks;
   if (options.instrument) {
     obs::MetricsRegistry& registry =
         options.registry != nullptr ? *options.registry : obs::registry();
-    sinks = makeNocSinks(registry, scenario.arbiter, scenario.masters);
-    mesh.setMetricsSinks(sinks.get());
+    instance.sinks = makeNocSinks(registry, scenario.arbiter, scenario.masters);
+    instance.mesh->setMetricsSinks(instance.sinks.get());
   }
+  return instance;
+}
 
-  kernel.run(scenario.cycles);
+/// Summarizes a finished mesh replica (and copies out its grant trace when
+/// `capture` targets this replica).
+ScenarioResult collectMesh(MeshInstance& instance, const Scenario& scenario,
+                           std::vector<noc::NocGrantRecord>* capture) {
+  if (capture != nullptr) *capture = instance.mesh->grantTrace();
 
-  if (options.capture_mesh_trace != nullptr)
-    *options.capture_mesh_trace = mesh.grantTrace();
-
-  const noc::NocStats& stats = mesh.stats();
+  const noc::NocStats& stats = instance.mesh->stats();
   std::uint64_t total_flits = 0;
   for (const noc::NocStats::PerSource& s : stats.sources)
     total_flits += s.flits_delivered;
@@ -472,47 +494,61 @@ ScenarioResult runMeshScenario(const Scenario& scenario,
   return result;
 }
 
-}  // namespace
+/// One live bus replica: the test-bed plus its local arbitration tally
+/// (tallies are per-replica so the batched runner's worker threads never
+/// share one; publish() folds them into the registry afterwards).
+struct BusReplica {
+  std::unique_ptr<GrantTally> tally;
+  std::unique_ptr<traffic::TestbedInstance> testbed;
+};
 
-ScenarioResult runScenario(const Scenario& raw) {
-  return runScenario(raw, RunOptions{});
-}
-
-ScenarioResult runScenario(const Scenario& raw, const RunOptions& options) {
-  const Scenario scenario = normalized(raw);
-  if (scenario.mesh.enabled()) return runMeshScenario(scenario, options);
+BusReplica buildBusReplica(const Scenario& scenario, const RunOptions& options,
+                           obs::MetricsRegistry& registry, bool capture) {
   bus::BusConfig config = traffic::defaultBusConfig(scenario.masters);
   config.max_burst_words = scenario.burst;
 
-  obs::MetricsRegistry& registry =
-      options.registry != nullptr ? *options.registry : obs::registry();
-  GrantTally tally(scenario.masters);
-  std::string arbiter_label;
+  BusReplica replica;
+  replica.tally = std::make_unique<GrantTally>(scenario.masters);
+  GrantTally* tally = replica.tally.get();
 
   traffic::TestbedOptions testbed_options;
   testbed_options.kernel_mode = scenario.kernel_mode == "naive"
                                     ? sim::KernelMode::kNaive
                                     : sim::KernelMode::kFast;
-  testbed_options.setup = [&](bus::Bus& bus, sim::CycleKernel&) {
-    arbiter_label = bus.arbiter().name();
-    if (options.instrument) {
-      bus.setMetricsSinks(
-          makeBusSinks(registry, arbiter_label, scenario.masters));
-      bus.arbiter().setObserver(&tally);
+  const bool instrument = options.instrument;
+  const std::size_t masters = scenario.masters;
+  // Invoked during TestbedInstance construction (below), so the reference
+  // captures outlive their use.
+  testbed_options.setup = [&registry, tally, instrument, capture,
+                           masters](bus::Bus& bus, sim::CycleKernel&) {
+    if (instrument) {
+      bus.setMetricsSinks(makeBusSinks(registry, bus.arbiter().name(), masters));
+      bus.arbiter().setObserver(tally);
     }
-    if (options.capture_trace != nullptr) bus.setTraceEnabled(true);
-  };
-  testbed_options.teardown = [&](bus::Bus& bus) {
-    if (options.capture_trace != nullptr) *options.capture_trace = bus.trace();
-    bus.arbiter().setObserver(nullptr);
+    if (capture) bus.setTraceEnabled(true);
   };
 
-  const traffic::TestbedResult run = traffic::runTestbed(
+  replica.testbed = std::make_unique<traffic::TestbedInstance>(
       std::move(config), makeArbiter(scenario),
       traffic::paramsFor(traffic::trafficClass(scenario.traffic_class),
                          scenario.masters, scenario.seed),
-      scenario.cycles, std::move(testbed_options));
-  if (options.instrument) tally.publish(registry, arbiter_label);
+      std::move(testbed_options));
+  return replica;
+}
+
+/// Summarizes a finished bus replica, detaches its observer, publishes its
+/// tally, and copies out its trace when `capture` targets this replica.
+ScenarioResult collectBusReplica(BusReplica& replica, const Scenario& scenario,
+                                 const RunOptions& options,
+                                 obs::MetricsRegistry& registry,
+                                 std::vector<bus::GrantRecord>* capture) {
+  const traffic::TestbedResult run = replica.testbed->finish(scenario.cycles);
+  bus::Bus& bus = replica.testbed->bus();
+  if (capture != nullptr) *capture = bus.trace();
+  bus.arbiter().setObserver(nullptr);
+  if (options.instrument)
+    replica.tally->publish(registry, bus.arbiter().name());
+
   ScenarioResult result;
   result.bandwidth_fraction = run.bandwidth_fraction;
   result.traffic_share = run.traffic_share;
@@ -524,6 +560,113 @@ ScenarioResult runScenario(const Scenario& raw, const RunOptions& options) {
   result.preemptions = run.preemptions;
   result.cycles = run.cycles;
   return result;
+}
+
+/// Folds per-replica results into the replicated summary: means of the
+/// per-master rates and fractions, sums of the event counters, the (shared)
+/// cycle count unchanged.
+ScenarioResult aggregateReplicas(const std::vector<ScenarioResult>& runs) {
+  ScenarioResult result = runs.front();
+  const auto n = result.bandwidth_fraction.size();
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    const ScenarioResult& run = runs[r];
+    for (std::size_t m = 0; m < n; ++m) {
+      result.bandwidth_fraction[m] += run.bandwidth_fraction[m];
+      result.traffic_share[m] += run.traffic_share[m];
+      result.cycles_per_word[m] += run.cycles_per_word[m];
+      result.mean_message_latency[m] += run.mean_message_latency[m];
+      result.messages_completed[m] += run.messages_completed[m];
+    }
+    result.unutilized_fraction += run.unutilized_fraction;
+    result.grants += run.grants;
+    result.preemptions += run.preemptions;
+  }
+  const auto count = static_cast<double>(runs.size());
+  for (std::size_t m = 0; m < n; ++m) {
+    result.bandwidth_fraction[m] /= count;
+    result.traffic_share[m] /= count;
+    result.cycles_per_word[m] /= count;
+    result.mean_message_latency[m] /= count;
+  }
+  result.unutilized_fraction /= count;
+  return result;
+}
+
+/// The replicated leg: scenario.replicas independently-seeded replicas of
+/// the (otherwise identical) scenario, stepped in lockstep chunks by
+/// sim::BatchedReplicaRunner and aggregated.  Replica r's system is
+/// bit-identical to running the scenario with seed = replicaSeed(seed, r)
+/// and replicas = 1 — tests/kernel_diff_test.cpp enforces this against the
+/// sequential reference for bus and mesh scenarios alike.
+ScenarioResult runReplicatedScenario(const Scenario& scenario,
+                                     const RunOptions& options) {
+  std::vector<Scenario> reps(scenario.replicas, scenario);
+  for (std::uint32_t r = 0; r < scenario.replicas; ++r) {
+    reps[r].replicas = 1;
+    reps[r].seed = replicaSeed(scenario.seed, r);
+  }
+
+  sim::BatchedReplicaRunner runner;
+  std::vector<ScenarioResult> runs;
+  runs.reserve(reps.size());
+
+  if (scenario.mesh.enabled()) {
+    std::vector<MeshInstance> instances;
+    instances.reserve(reps.size());
+    for (std::uint32_t r = 0; r < scenario.replicas; ++r)
+      instances.push_back(buildMeshInstance(
+          reps[r], options, r == 0 && options.capture_mesh_trace != nullptr));
+    for (MeshInstance& instance : instances) runner.add(*instance.kernel);
+    runner.run(scenario.cycles);
+    for (std::uint32_t r = 0; r < scenario.replicas; ++r)
+      runs.push_back(collectMesh(instances[r], reps[r],
+                                 r == 0 ? options.capture_mesh_trace
+                                        : nullptr));
+    return aggregateReplicas(runs);
+  }
+
+  obs::MetricsRegistry& registry =
+      options.registry != nullptr ? *options.registry : obs::registry();
+  std::vector<BusReplica> replicas;
+  replicas.reserve(reps.size());
+  for (std::uint32_t r = 0; r < scenario.replicas; ++r)
+    replicas.push_back(buildBusReplica(
+        reps[r], options, registry,
+        r == 0 && options.capture_trace != nullptr));
+  for (BusReplica& replica : replicas) runner.add(replica.testbed->kernel());
+  runner.run(scenario.cycles);
+  for (std::uint32_t r = 0; r < scenario.replicas; ++r)
+    runs.push_back(collectBusReplica(replicas[r], reps[r], options, registry,
+                                     r == 0 ? options.capture_trace
+                                            : nullptr));
+  return aggregateReplicas(runs);
+}
+
+}  // namespace
+
+ScenarioResult runScenario(const Scenario& raw) {
+  return runScenario(raw, RunOptions{});
+}
+
+ScenarioResult runScenario(const Scenario& raw, const RunOptions& options) {
+  const Scenario scenario = normalized(raw);
+  if (scenario.replicas > 1) return runReplicatedScenario(scenario, options);
+
+  if (scenario.mesh.enabled()) {
+    MeshInstance instance = buildMeshInstance(
+        scenario, options, options.capture_mesh_trace != nullptr);
+    instance.kernel->run(scenario.cycles);
+    return collectMesh(instance, scenario, options.capture_mesh_trace);
+  }
+
+  obs::MetricsRegistry& registry =
+      options.registry != nullptr ? *options.registry : obs::registry();
+  BusReplica replica = buildBusReplica(scenario, options, registry,
+                                       options.capture_trace != nullptr);
+  replica.testbed->runWarmup();
+  replica.testbed->kernel().run(scenario.cycles);
+  return collectBusReplica(replica, scenario, options, registry,
+                           options.capture_trace);
 }
 
 }  // namespace lb::service

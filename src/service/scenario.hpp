@@ -77,9 +77,21 @@ struct Scenario {
   /// Mesh-NoC extension; serialized only when enabled() (same hash-stability
   /// contract as kernel_mode).
   MeshSpec mesh;
+  /// Monte Carlo replication: when > 1 the scenario runs this many
+  /// independently-seeded replicas (seed r = replicaSeed(seed, r)) stepped in
+  /// lockstep by sim::BatchedReplicaRunner, and the result aggregates them
+  /// (means of the per-master rates, sums of the counters).  1 — the default
+  /// — is byte-for-byte the historical single run; serialized only when
+  /// non-default so every pre-existing content hash stays valid.
+  std::uint32_t replicas = 1;
 
   bool operator==(const Scenario&) const = default;
 };
+
+/// Seed of replica `replica` of a scenario seeded `base`: replica 0 keeps
+/// the base seed unchanged (a 1-replica run is exactly the historical single
+/// run), later replicas decorrelate through a SplitMix64 finalizer.
+std::uint64_t replicaSeed(std::uint64_t base, std::uint32_t replica);
 
 /// Arbiter kinds runScenario understands, in lbsim's --compare order.
 const std::vector<std::string>& knownArbiters();
@@ -161,11 +173,14 @@ struct RunOptions {
   /// obs::registry().
   obs::MetricsRegistry* registry = nullptr;
   /// When set, every executed grant is copied here after the run (the
-  /// source of `lbsim --trace-out`'s Chrome trace).  Bus scenarios only.
+  /// source of `lbsim --trace-out`'s Chrome trace).  Bus scenarios only;
+  /// replicated scenarios capture replica 0 (whose system is bit-identical
+  /// to the same scenario run with replicas = 1).
   std::vector<bus::GrantRecord>* capture_trace = nullptr;
   /// Mesh analogue of capture_trace: every router grant is copied here
   /// after a mesh run (the source of `lbsim --trace-out`'s per-router
-  /// Chrome trace tracks).  Ignored by bus scenarios.
+  /// Chrome trace tracks).  Ignored by bus scenarios; replicated mesh
+  /// scenarios capture replica 0.
   std::vector<noc::NocGrantRecord>* capture_mesh_trace = nullptr;
 };
 

@@ -1,0 +1,49 @@
+#include "sim/batched.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/parallel.hpp"
+
+namespace lb::sim {
+
+BatchedReplicaRunner::BatchedReplicaRunner()
+    : BatchedReplicaRunner(Options{}) {}
+
+BatchedReplicaRunner::BatchedReplicaRunner(Options options)
+    : options_(options) {
+  if (options_.chunk == 0)
+    throw std::invalid_argument("BatchedReplicaRunner: zero chunk");
+  if (options_.group == 0)
+    throw std::invalid_argument("BatchedReplicaRunner: zero group");
+}
+
+void BatchedReplicaRunner::add(CycleKernel& kernel) {
+  kernels_.push_back(&kernel);
+}
+
+void BatchedReplicaRunner::run(Cycle cycles) {
+  if (kernels_.empty() || cycles == 0) return;
+  const std::size_t groups =
+      (kernels_.size() + options_.group - 1) / options_.group;
+  parallelMap<int>(
+      groups,
+      [&](std::size_t g) {
+        const std::size_t begin = g * options_.group;
+        const std::size_t end =
+            std::min(begin + options_.group, kernels_.size());
+        // Lockstep within the group: every replica advances one chunk before
+        // any replica starts the next, so the whole group walks the scenario
+        // phase-aligned.  Replicas are independent, so this interleaving is
+        // bit-identical to running each to completion.
+        for (Cycle done = 0; done < cycles;) {
+          const Cycle slice = std::min(options_.chunk, cycles - done);
+          for (std::size_t r = begin; r < end; ++r) kernels_[r]->run(slice);
+          done += slice;
+        }
+        return 0;
+      },
+      options_.threads);
+}
+
+}  // namespace lb::sim

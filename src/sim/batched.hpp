@@ -1,0 +1,75 @@
+#pragma once
+// Lockstep batched replication: step N independently-seeded replicas of one
+// scenario through their kernels in bounded-size time chunks.
+//
+// Monte Carlo replication (bench/replication_confidence, seed sweeps, error
+// bars on every stochastic headline figure) re-runs the same system under
+// fresh RNG seeds.  Each replica owns its kernel, components, and RNG
+// streams — there is no shared mutable state — so ANY interleaving of their
+// execution is bit-identical to running them one after another.  This runner
+// exploits that freedom two ways:
+//
+//  - Lockstep chunking: replicas assigned to one worker advance together in
+//    `chunk`-cycle slices (replica a cycles [0,chunk), replica b cycles
+//    [0,chunk), ..., then all of them [chunk, 2*chunk), ...).  All replicas
+//    execute the same code over the same phase of the scenario, so the
+//    instruction cache and branch predictors stay hot across the batch, and
+//    every replica's working set is touched once per chunk instead of once
+//    per full run.
+//  - Deterministic parallelism: replica groups are distributed over the
+//    process-wide thread pool with sim::parallelMap, whose results are
+//    index-ordered and bit-identical regardless of worker count (and which
+//    degrades to a plain sequential loop on nested use, so the job engine
+//    can replicate inside pool workers safely).
+//
+// RNG preservation: a replica's draws depend only on its own components, and
+// lockstep chunking never reorders cycles *within* a replica — it only
+// changes which replica the host thread serves between chunk boundaries.
+// Hence per-replica results (statistics, grant traces, draw counts) are
+// bit-identical to a sequential one-replica-at-a-time reference, which
+// tests/kernel_diff_test.cpp enforces across every arbiter kind, bus and
+// mesh scenarios both.
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace lb::sim {
+
+/// Steps a set of independent replica kernels in lockstep chunks.
+class BatchedReplicaRunner {
+public:
+  struct Options {
+    /// Cycles each replica advances per lockstep slice.  Small enough that a
+    /// replica batch's working set cycles through the cache per slice, large
+    /// enough that the per-slice loop overhead vanishes.
+    Cycle chunk = 4096;
+    /// Worker threads for replica groups: 0 = parallelMap's default (hardware
+    /// concurrency, clamped to the group count), 1 = strictly sequential.
+    std::size_t threads = 0;
+    /// Replicas per lockstep group (one group is one parallelMap job).
+    std::size_t group = 4;
+  };
+
+  BatchedReplicaRunner();
+  explicit BatchedReplicaRunner(Options options);
+
+  /// Registers one replica's kernel; the caller keeps ownership of the
+  /// kernel and every component attached to it.  Kernels must be
+  /// independent: no component may be attached to two registered kernels.
+  void add(CycleKernel& kernel);
+
+  std::size_t replicas() const noexcept { return kernels_.size(); }
+
+  /// Advances every registered replica by `cycles` cycles, lockstep within
+  /// each group, groups in parallel.  Bit-identical to calling
+  /// kernel.run(cycles) on each replica in registration order.
+  void run(Cycle cycles);
+
+private:
+  Options options_;
+  std::vector<CycleKernel*> kernels_;
+};
+
+}  // namespace lb::sim

@@ -2,17 +2,13 @@
 
 #include <algorithm>
 
-namespace lb::sim {
+// The stepping loops (run, runUntil, executeCycle, nextInterestingCycle,
+// fastForwardAll) are defined in src/sim/sealed.cpp: they dispatch the sealed
+// component variant with std::visit, which needs the concrete component
+// definitions in scope to devirtualize and inline the calls.  This file keeps
+// only the component-type-agnostic event machinery.
 
-namespace {
-/// Ceiling for the adaptive probe burst: after a failed quiescence probe the
-/// fast path executes up to this many cycles before probing again, so a
-/// saturated system pays ~1/32 of the probe cost instead of one probe per
-/// cycle.  The flip side — at most 31 cycles executed naively after a system
-/// goes quiet before the skip engages — is noise against the stretches worth
-/// skipping.
-constexpr Cycle kMaxProbeBurst = 32;
-}  // namespace
+namespace lb::sim {
 
 void CycleKernel::at(Cycle when, std::function<void(Cycle)> fn) {
   if (when < now_) when = now_;
@@ -27,90 +23,12 @@ CycleKernel::Event CycleKernel::popEvent() {
   return event;
 }
 
-void CycleKernel::executeCycle() {
+void CycleKernel::runDueEvents() {
   while (!events_.empty() && events_.front().when <= now_) {
     // pop before invoking so the callback can schedule new events
     const Event event = popEvent();
     event.fn(now_);
   }
-  for (ICycleComponent* c : components_) c->cycle(now_);
-  ++now_;
-}
-
-Cycle CycleKernel::nextInterestingCycle(Cycle end) {
-  Cycle next = end;
-  if (!events_.empty()) next = std::min(next, events_.front().when);
-  if (next <= now_) return now_;
-  for (ICycleComponent* c : components_) {
-    const Cycle hint = c->nextActivity(now_);
-    if (hint <= now_) return now_;  // someone is active: no skipping
-    next = std::min(next, hint);
-  }
-  return next;
-}
-
-void CycleKernel::run(Cycle cycles) {
-  const Cycle end = now_ + cycles;
-  if (mode_ == KernelMode::kNaive) {
-    while (now_ < end) executeCycle();
-    return;
-  }
-  Cycle probe_burst = 1;
-  while (now_ < end) {
-    const Cycle next = nextInterestingCycle(end);
-    if (next > now_) {
-      // Every component is quiescent over [now_, next): account the stretch
-      // in bulk and jump.  `next` itself (if < end) is then executed
-      // normally below on the following iteration.
-      for (ICycleComponent* c : components_) c->fastForward(now_, next);
-      cycles_skipped_ += next - now_;
-      now_ = next;
-      probe_burst = 1;
-      continue;
-    }
-    // Probe failed: something is active right now.  Execute a geometrically
-    // growing burst before probing again — executing a cycle is always
-    // correct, so deferring the next probe trades (bounded) missed skips for
-    // probe overhead, never correctness.
-    const Cycle burst_end = std::min(end, now_ + probe_burst);
-    while (now_ < burst_end) executeCycle();
-    if (probe_burst < kMaxProbeBurst) probe_burst <<= 1;
-  }
-}
-
-bool CycleKernel::runUntil(const std::function<bool(Cycle)>& done,
-                           Cycle max_cycles) {
-  const Cycle deadline = now_ + max_cycles;
-  if (mode_ == KernelMode::kNaive) {
-    while (now_ < deadline) {
-      if (done(now_)) return true;
-      executeCycle();
-    }
-    return done(now_);
-  }
-  // Fast mode: the predicate can only change when state changes, so it is
-  // checked once per *executed* cycle (exactly naive's cadence at those
-  // boundaries) and never across a skipped stretch.
-  Cycle probe_burst = 1;
-  while (now_ < deadline) {
-    if (done(now_)) return true;
-    const Cycle next = nextInterestingCycle(deadline);
-    if (next > now_) {
-      for (ICycleComponent* c : components_) c->fastForward(now_, next);
-      cycles_skipped_ += next - now_;
-      now_ = next;
-      probe_burst = 1;
-      continue;
-    }
-    const Cycle burst_end = std::min(deadline, now_ + probe_burst);
-    while (now_ < burst_end) {
-      executeCycle();
-      // The outer loop re-checks at burst_end; avoid double-calling there.
-      if (now_ < burst_end && done(now_)) return true;
-    }
-    if (probe_burst < kMaxProbeBurst) probe_burst <<= 1;
-  }
-  return done(now_);
 }
 
 }  // namespace lb::sim

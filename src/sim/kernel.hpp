@@ -21,16 +21,50 @@
 //    the hints are polled as "active every cycle", so a system containing
 //    only default components degenerates to the naive stepper exactly.
 //
-// The two modes are required to be *bit-identical*: same statistics, same
-// grant traces, same RNG draw counts (tests/kernel_diff_test.cpp holds this
-// across every arbiter).  docs/performance.md describes the quiescence
-// protocol and its safety argument.
+// Two dispatch paths, orthogonal to the mode:
+//
+//  - Sealed (default for the known concrete types): attach() overloads for
+//    the closed set of simulation components store a std::variant of
+//    concrete pointers, and the run loop dispatches them with std::visit.
+//    Every cycle()/nextActivity()/fastForward() call is then a direct
+//    (devirtualized, inlinable) call — the saturated-path optimization of
+//    docs/performance.md.  The variant's alternatives are all `final`
+//    classes, so the compiler statically resolves the callee per alternative.
+//  - Virtual (the type-erased edge): attach(ICycleComponent&) keeps working
+//    for tests, examples, and extensions; such components are stored as the
+//    variant's ICycleComponent* alternative and dispatched virtually, at
+//    exactly the pre-sealing cost.
+//
+// The two modes and the two dispatch paths are all required to be
+// *bit-identical*: same statistics, same grant traces, same RNG draw counts
+// (tests/kernel_diff_test.cpp holds this across every arbiter and across
+// sealed/virtual attachment).  docs/performance.md describes the quiescence
+// protocol, the sealed-component protocol, and their safety arguments.
 
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <string>
+#include <variant>
 #include <vector>
+
+namespace lb::bus {
+class Bus;
+class Bridge;
+class SplitSlave;
+}  // namespace lb::bus
+namespace lb::traffic {
+class TrafficSource;
+class TraceSource;
+}  // namespace lb::traffic
+namespace lb::noc {
+class Router;
+class NetworkInterface;
+}  // namespace lb::noc
+namespace lb::core {
+class PeriodicTicketSchedule;
+class BacklogTicketPolicy;
+}  // namespace lb::core
 
 namespace lb::sim {
 
@@ -79,12 +113,46 @@ public:
   virtual std::string name() const { return "component"; }
 };
 
+/// The sealed component set: one pointer alternative per concrete simulation
+/// component type, plus the type-erased ICycleComponent* edge (always first,
+/// so default-constructed variants are harmlessly virtual).  The variant is
+/// declarable with incomplete types; only the dispatch (src/sim/sealed.cpp)
+/// needs the definitions.
+using SealedRef =
+    std::variant<ICycleComponent*, bus::Bus*, traffic::TrafficSource*,
+                 traffic::TraceSource*, bus::Bridge*, bus::SplitSlave*,
+                 noc::Router*, noc::NetworkInterface*,
+                 core::PeriodicTicketSchedule*, core::BacklogTicketPolicy*>;
+
 /// Single-clock cycle-driven kernel.
 class CycleKernel {
 public:
   /// Registers a component; the kernel does NOT take ownership.  Components
-  /// must outlive the kernel's run() calls.
-  void attach(ICycleComponent& component) { components_.push_back(&component); }
+  /// must outlive the kernel's run() calls.  This overload is the
+  /// type-erased edge: the component is dispatched through its vtable.
+  /// Passing a concrete sealed type through it (e.g. via an explicit
+  /// static_cast to ICycleComponent&) deliberately forces the virtual path —
+  /// the differential tests and the dispatch benchmarks rely on that.
+  void attach(ICycleComponent& component) {
+    components_.push_back(SealedRef{static_cast<ICycleComponent*>(&component)});
+  }
+
+  /// Sealed registrations: the same contract, but cycle()/nextActivity()/
+  /// fastForward() are dispatched devirtualized.  Overload resolution picks
+  /// these automatically whenever the caller's static type is concrete.
+  void attach(bus::Bus& c) { components_.push_back(SealedRef{&c}); }
+  void attach(traffic::TrafficSource& c) { components_.push_back(SealedRef{&c}); }
+  void attach(traffic::TraceSource& c) { components_.push_back(SealedRef{&c}); }
+  void attach(bus::Bridge& c) { components_.push_back(SealedRef{&c}); }
+  void attach(bus::SplitSlave& c) { components_.push_back(SealedRef{&c}); }
+  void attach(noc::Router& c) { components_.push_back(SealedRef{&c}); }
+  void attach(noc::NetworkInterface& c) { components_.push_back(SealedRef{&c}); }
+  void attach(core::PeriodicTicketSchedule& c) {
+    components_.push_back(SealedRef{&c});
+  }
+  void attach(core::BacklogTicketPolicy& c) {
+    components_.push_back(SealedRef{&c});
+  }
 
   /// Schedules fn to run at the *start* of cycle `when` (before components).
   /// Events scheduled for the past run on the next cycle boundary.
@@ -119,6 +187,15 @@ public:
 
   std::size_t componentCount() const noexcept { return components_.size(); }
 
+  /// Number of attached components dispatched through the sealed (variant)
+  /// path rather than the virtual edge.  Observability only.
+  std::size_t sealedComponentCount() const noexcept {
+    std::size_t n = 0;
+    for (const SealedRef& ref : components_)
+      n += std::holds_alternative<ICycleComponent*>(ref) ? 0 : 1;
+    return n;
+  }
+
   /// Cycles skipped (bulk-accounted, not executed) by the fast path since
   /// construction; always 0 in naive mode.  Observability only.
   Cycle cyclesSkipped() const noexcept { return cycles_skipped_; }
@@ -140,6 +217,13 @@ private:
   /// precisely so the popped element is movable).
   Event popEvent();
 
+  /// Runs every event due at now_ (start-of-cycle semantics).
+  void runDueEvents();
+
+  // The stepping loops live in src/sim/sealed.cpp, the one translation unit
+  // that sees every sealed component's definition, so std::visit dispatch
+  // compiles to direct (inlinable) calls there.
+
   /// Executes one cycle: due events, then every component, then ++now_.
   void executeCycle();
 
@@ -147,7 +231,10 @@ private:
   /// due event or the minimum component activity hint, clamped to now_.
   Cycle nextInterestingCycle(Cycle end);
 
-  std::vector<ICycleComponent*> components_;
+  /// fastForward(from, to) on every component, in registration order.
+  void fastForwardAll(Cycle from, Cycle to);
+
+  std::vector<SealedRef> components_;
   std::vector<Event> events_;  // min-heap via std::push_heap/std::pop_heap
   Cycle now_ = 0;
   std::uint64_t next_seq_ = 0;

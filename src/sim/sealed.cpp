@@ -1,0 +1,133 @@
+// Sealed-component dispatch: the kernel's stepping loops, compiled in the one
+// translation unit that sees every concrete component definition.
+//
+// CycleKernel stores components as a std::variant over the closed set of
+// concrete simulation types (sim::SealedRef).  std::visit over that variant
+// compiles to a jump table of *direct* calls here — every alternative except
+// the ICycleComponent* edge is a `final` class, so the compiler resolves (and
+// for the header-inline hot bodies, inlines) the callee statically.  The
+// virtual attach() edge pays exactly the old vtable dispatch, nothing more.
+//
+// This deliberately makes lb_sim reference symbols from the component
+// libraries (lb_bus, lb_traffic, lb_noc, lb_core).  Those are static
+// archives, the dependency cycle is declared in src/sim/CMakeLists.txt, and
+// CMake resolves it by repeating the archives on the final link line.
+
+#include "bus/bridge.hpp"
+#include "bus/bus.hpp"
+#include "bus/split_transaction.hpp"
+#include "core/ticket_policy.hpp"
+#include "noc/nic.hpp"
+#include "noc/router.hpp"
+#include "sim/kernel.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/trace_source.hpp"
+
+#include <algorithm>
+
+namespace lb::sim {
+
+namespace {
+
+/// Ceiling for the adaptive probe burst: after a failed quiescence probe the
+/// fast path executes up to this many cycles before probing again, so a
+/// saturated system pays ~1/32 of the probe cost instead of one probe per
+/// cycle.  The flip side — at most 31 cycles executed naively after a system
+/// goes quiet before the skip engages — is noise against the stretches worth
+/// skipping.
+constexpr Cycle kMaxProbeBurst = 32;
+
+}  // namespace
+
+void CycleKernel::executeCycle() {
+  if (!events_.empty()) runDueEvents();
+  const Cycle now = now_;
+  for (const SealedRef& ref : components_)
+    std::visit([now](auto* c) { c->cycle(now); }, ref);
+  ++now_;
+}
+
+Cycle CycleKernel::nextInterestingCycle(Cycle end) {
+  Cycle next = end;
+  if (!events_.empty()) next = std::min(next, events_.front().when);
+  if (next <= now_) return now_;
+  const Cycle now = now_;
+  for (const SealedRef& ref : components_) {
+    const Cycle hint =
+        std::visit([now](auto* c) { return c->nextActivity(now); }, ref);
+    if (hint <= now) return now;  // someone is active: no skipping
+    next = std::min(next, hint);
+  }
+  return next;
+}
+
+void CycleKernel::fastForwardAll(Cycle from, Cycle to) {
+  for (const SealedRef& ref : components_)
+    std::visit([from, to](auto* c) { c->fastForward(from, to); }, ref);
+}
+
+void CycleKernel::run(Cycle cycles) {
+  const Cycle end = now_ + cycles;
+  if (mode_ == KernelMode::kNaive) {
+    while (now_ < end) executeCycle();
+    return;
+  }
+  Cycle probe_burst = 1;
+  while (now_ < end) {
+    const Cycle next = nextInterestingCycle(end);
+    if (next > now_) {
+      // Every component is quiescent over [now_, next): account the stretch
+      // in bulk and jump.  `next` itself (if < end) is then executed
+      // normally below on the following iteration.
+      fastForwardAll(now_, next);
+      cycles_skipped_ += next - now_;
+      now_ = next;
+      probe_burst = 1;
+      continue;
+    }
+    // Probe failed: something is active right now.  Execute a geometrically
+    // growing burst before probing again — executing a cycle is always
+    // correct, so deferring the next probe trades (bounded) missed skips for
+    // probe overhead, never correctness.
+    const Cycle burst_end = std::min(end, now_ + probe_burst);
+    while (now_ < burst_end) executeCycle();
+    if (probe_burst < kMaxProbeBurst) probe_burst <<= 1;
+  }
+}
+
+bool CycleKernel::runUntil(const std::function<bool(Cycle)>& done,
+                           Cycle max_cycles) {
+  const Cycle deadline = now_ + max_cycles;
+  if (mode_ == KernelMode::kNaive) {
+    while (now_ < deadline) {
+      if (done(now_)) return true;
+      executeCycle();
+    }
+    return done(now_);
+  }
+  // Fast mode: the predicate can only change when state changes, so it is
+  // checked once per *executed* cycle (exactly naive's cadence at those
+  // boundaries) and never across a skipped stretch.
+  Cycle probe_burst = 1;
+  while (now_ < deadline) {
+    if (done(now_)) return true;
+    const Cycle next = nextInterestingCycle(deadline);
+    if (next > now_) {
+      fastForwardAll(now_, next);
+      cycles_skipped_ += next - now_;
+      now_ = next;
+      probe_burst = 1;
+      continue;
+    }
+    const Cycle burst_end = std::min(deadline, now_ + probe_burst);
+    while (now_ < burst_end) {
+      executeCycle();
+      // The outer loop re-checks at burst_end; avoid double-calling there.
+      if (now_ < burst_end && done(now_)) return true;
+    }
+    if (probe_burst < kMaxProbeBurst) probe_burst <<= 1;
+  }
+  return done(now_);
+}
+
+}  // namespace lb::sim

@@ -1,20 +1,6 @@
 #include "traffic/generator.hpp"
 
-#include <cmath>
-
 namespace lb::traffic {
-
-namespace {
-/// Geometric duration with the given mean, >= 1 cycle.
-sim::Cycle drawDuration(sim::Xoshiro256ss& rng, sim::Cycle mean) {
-  if (mean <= 1) return 1;
-  const double q = 1.0 / static_cast<double>(mean);
-  double u = rng.uniform01();
-  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
-  const double value = std::ceil(std::log1p(-u) / std::log1p(-q));
-  return value < 1.0 ? 1 : static_cast<sim::Cycle>(value);
-}
-}  // namespace
 
 TrafficSource::TrafficSource(bus::IMessageSink& sink, bus::MasterId master,
                              TrafficParams params)
@@ -24,57 +10,7 @@ TrafficSource::TrafficSource(bus::IMessageSink& sink, bus::MasterId master,
       rng_(params.seed),
       next_attempt_(params.first_arrival) {
   if (params_.mean_off != 0)
-    first_duration_ = drawDuration(rng_, params_.mean_on);
-}
-
-void TrafficSource::updateOnOff(sim::Cycle now) {
-  if (params_.mean_off == 0) return;  // modulation disabled: always ON
-  if (!anchored_) {
-    // The initial ON stretch spans the first first_duration_ cycles the
-    // source is clocked (the duration was drawn in the constructor, before
-    // any other draw, matching the original per-cycle countdown).
-    anchored_ = true;
-    next_toggle_ = now + first_duration_;
-  }
-  while (next_toggle_ <= now) {
-    on_ = !on_;
-    next_toggle_ +=
-        drawDuration(rng_, on_ ? params_.mean_on : params_.mean_off);
-  }
-}
-
-sim::Cycle TrafficSource::nextActivity(sim::Cycle now) {
-  updateOnOff(now);  // idempotent lazy catch-up, same draws cycle() would do
-  if (!on_) return next_toggle_;  // silent until the ON edge
-  if (now < next_attempt_) {
-    // Next injection attempt; re-evaluate at a toggle boundary in between
-    // (the state machine advances lazily, so we never predict past it).
-    if (params_.mean_off != 0 && next_toggle_ < next_attempt_)
-      return next_toggle_;
-    return next_attempt_;
-  }
-  return now;  // injecting, or retrying under backpressure, every cycle
-}
-
-void TrafficSource::cycle(sim::Cycle now) {
-  updateOnOff(now);
-  if (!on_) return;
-  if (now < next_attempt_) return;
-  if (sink_.queueDepth(master_) >= params_.max_outstanding) {
-    // Backpressured: retry every cycle until a queue slot frees.  The next
-    // message's arrival stamp is the cycle it actually enters the queue,
-    // which is when the request becomes visible to the arbiter.
-    return;
-  }
-  bus::Message message;
-  message.words = params_.size.draw(rng_);
-  message.slave = params_.slave;
-  message.arrival = now;
-  message.tag = generated_;
-  sink_.push(master_, message);
-  ++generated_;
-  words_ += message.words;
-  next_attempt_ = now + 1 + params_.gap.draw(rng_);
+    first_duration_ = detail::drawDuration(rng_, params_.mean_on);
 }
 
 }  // namespace lb::traffic

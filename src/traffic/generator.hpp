@@ -3,6 +3,7 @@
 // equivalent of the PTOLEMY traffic-generator blocks in the paper's test-bed
 // (Figure 11).
 
+#include <cmath>
 #include <cstdint>
 
 #include "bus/message_sink.hpp"
@@ -10,6 +11,18 @@
 #include "traffic/distributions.hpp"
 
 namespace lb::traffic {
+
+namespace detail {
+/// Geometric duration with the given mean, >= 1 cycle.
+inline sim::Cycle drawDuration(sim::Xoshiro256ss& rng, sim::Cycle mean) {
+  if (mean <= 1) return 1;
+  const double q = 1.0 / static_cast<double>(mean);
+  double u = rng.uniform01();
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  const double value = std::ceil(std::log1p(-u) / std::log1p(-q));
+  return value < 1.0 ? 1 : static_cast<sim::Cycle>(value);
+}
+}  // namespace detail
 
 struct TrafficParams {
   SizeDist size = SizeDist::fixed(16);
@@ -73,5 +86,61 @@ private:
   std::uint64_t generated_ = 0;
   std::uint64_t words_ = 0;
 };
+
+// -- inline hot path ---------------------------------------------------------
+//
+// cycle()/nextActivity() run once per simulated cycle (or quiescence probe)
+// per master; inline bodies let the sealed kernel dispatch in
+// src/sim/sealed.cpp inline them into its stepping loops.
+
+inline void TrafficSource::updateOnOff(sim::Cycle now) {
+  if (params_.mean_off == 0) return;  // modulation disabled: always ON
+  if (!anchored_) {
+    // The initial ON stretch spans the first first_duration_ cycles the
+    // source is clocked (the duration was drawn in the constructor, before
+    // any other draw, matching the original per-cycle countdown).
+    anchored_ = true;
+    next_toggle_ = now + first_duration_;
+  }
+  while (next_toggle_ <= now) {
+    on_ = !on_;
+    next_toggle_ +=
+        detail::drawDuration(rng_, on_ ? params_.mean_on : params_.mean_off);
+  }
+}
+
+inline sim::Cycle TrafficSource::nextActivity(sim::Cycle now) {
+  updateOnOff(now);  // idempotent lazy catch-up, same draws cycle() would do
+  if (!on_) return next_toggle_;  // silent until the ON edge
+  if (now < next_attempt_) {
+    // Next injection attempt; re-evaluate at a toggle boundary in between
+    // (the state machine advances lazily, so we never predict past it).
+    if (params_.mean_off != 0 && next_toggle_ < next_attempt_)
+      return next_toggle_;
+    return next_attempt_;
+  }
+  return now;  // injecting, or retrying under backpressure, every cycle
+}
+
+inline void TrafficSource::cycle(sim::Cycle now) {
+  updateOnOff(now);
+  if (!on_) return;
+  if (now < next_attempt_) return;
+  if (sink_.queueDepth(master_) >= params_.max_outstanding) {
+    // Backpressured: retry every cycle until a queue slot frees.  The next
+    // message's arrival stamp is the cycle it actually enters the queue,
+    // which is when the request becomes visible to the arbiter.
+    return;
+  }
+  bus::Message message;
+  message.words = params_.size.draw(rng_);
+  message.slave = params_.slave;
+  message.arrival = now;
+  message.tag = generated_;
+  sink_.push(master_, message);
+  ++generated_;
+  words_ += message.words;
+  next_attempt_ = now + 1 + params_.gap.draw(rng_);
+}
 
 }  // namespace lb::traffic

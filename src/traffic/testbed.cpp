@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/batched.hpp"
 #include "sim/rng.hpp"
 #include "stats/stats.hpp"
 
@@ -16,57 +17,81 @@ bus::BusConfig defaultBusConfig(std::size_t num_masters) {
   return config;
 }
 
-TestbedResult runTestbed(bus::BusConfig config,
-                         std::unique_ptr<bus::IArbiter> arbiter,
-                         const std::vector<TrafficParams>& traffic,
-                         sim::Cycle cycles, TestbedOptions options) {
+TestbedInstance::TestbedInstance(bus::BusConfig config,
+                                 std::unique_ptr<bus::IArbiter> arbiter,
+                                 const std::vector<TrafficParams>& traffic,
+                                 TestbedOptions options)
+    : options_(std::move(options)) {
   if (traffic.size() != config.num_masters)
-    throw std::invalid_argument("runTestbed: traffic arity != num_masters");
+    throw std::invalid_argument("TestbedInstance: traffic arity != masters");
 
-  bus::Bus bus(config, std::move(arbiter));
-  sim::CycleKernel kernel;
-  kernel.setMode(options.kernel_mode);
+  bus_ = std::make_unique<bus::Bus>(std::move(config), std::move(arbiter));
+  kernel_ = std::make_unique<sim::CycleKernel>();
+  kernel_->setMode(options_.kernel_mode);
 
-  std::vector<std::unique_ptr<TrafficSource>> sources;
-  sources.reserve(traffic.size());
+  sources_.reserve(traffic.size());
   for (std::size_t m = 0; m < traffic.size(); ++m) {
-    sources.push_back(std::make_unique<TrafficSource>(
-        bus, static_cast<bus::MasterId>(m), traffic[m]));
-    kernel.attach(*sources.back());  // sources run before the bus each cycle
+    sources_.push_back(std::make_unique<TrafficSource>(
+        *bus_, static_cast<bus::MasterId>(m), traffic[m]));
+    // Sources run before the bus each cycle.  Concrete attach() overloads
+    // register on the sealed variant fast path; casting to the interface
+    // deliberately takes the type-erased virtual edge instead.
+    if (options_.sealed)
+      kernel_->attach(*sources_.back());
+    else
+      kernel_->attach(static_cast<sim::ICycleComponent&>(*sources_.back()));
   }
-  kernel.attach(bus);
+  if (options_.sealed)
+    kernel_->attach(*bus_);
+  else
+    kernel_->attach(static_cast<sim::ICycleComponent&>(*bus_));
 
-  if (options.setup) options.setup(bus, kernel);
+  if (options_.setup) options_.setup(*bus_, *kernel_);
+}
 
-  if (options.warmup > 0) {
-    kernel.run(options.warmup);
-    bus.clearStats();
+void TestbedInstance::runWarmup() {
+  if (options_.warmup > 0) {
+    kernel_->run(options_.warmup);
+    bus_->clearStats();
   }
-  kernel.run(cycles);
+}
 
+TestbedResult TestbedInstance::finish(sim::Cycle cycles) {
   TestbedResult result;
   result.cycles = cycles;
-  result.grants = bus.grantsIssued();
-  result.preemptions = bus.preemptions();
-  result.unutilized_fraction = bus.bandwidth().unutilizedFraction();
-  const std::size_t n = config.num_masters;
+  result.grants = bus_->grantsIssued();
+  result.preemptions = bus_->preemptions();
+  result.unutilized_fraction = bus_->bandwidth().unutilizedFraction();
+  const std::size_t n = bus_->numMasters();
   result.bandwidth_fraction.resize(n);
   result.traffic_share.resize(n);
   result.cycles_per_word.resize(n);
   result.mean_message_latency.resize(n);
   result.messages_completed.resize(n);
   for (std::size_t m = 0; m < n; ++m) {
-    result.bandwidth_fraction[m] = bus.bandwidth().fraction(m);
-    result.traffic_share[m] = bus.bandwidth().shareOfTraffic(m);
-    result.cycles_per_word[m] = bus.latency().cyclesPerWord(m);
-    result.mean_message_latency[m] = bus.latency().meanMessageLatency(m);
-    result.messages_completed[m] = bus.latency().messages(m);
+    result.bandwidth_fraction[m] = bus_->bandwidth().fraction(m);
+    result.traffic_share[m] = bus_->bandwidth().shareOfTraffic(m);
+    result.cycles_per_word[m] = bus_->latency().cyclesPerWord(m);
+    result.mean_message_latency[m] = bus_->latency().meanMessageLatency(m);
+    result.messages_completed[m] = bus_->latency().messages(m);
   }
-  if (options.teardown) options.teardown(bus);
+  if (options_.teardown) options_.teardown(*bus_);
   return result;
 }
 
+TestbedResult runTestbed(bus::BusConfig config,
+                         std::unique_ptr<bus::IArbiter> arbiter,
+                         const std::vector<TrafficParams>& traffic,
+                         sim::Cycle cycles, TestbedOptions options) {
+  TestbedInstance instance(std::move(config), std::move(arbiter), traffic,
+                           std::move(options));
+  instance.runWarmup();
+  instance.kernel().run(cycles);
+  return instance.finish(cycles);
+}
+
 namespace {
+
 ReplicatedMetric summarize(const stats::RunningStats& running, double min,
                            double max) {
   ReplicatedMetric metric;
@@ -76,6 +101,56 @@ ReplicatedMetric summarize(const stats::RunningStats& running, double min,
   metric.max = max;
   return metric;
 }
+
+/// Streams per-replication TestbedResults into the mean/spread summary;
+/// shared by the sequential and batched replication runners so the two paths
+/// aggregate identically.
+class ReplicationAccumulator {
+public:
+  explicit ReplicationAccumulator(std::size_t num_masters)
+      : bw_(num_masters),
+        cpw_(num_masters),
+        bw_min_(num_masters, 1e300),
+        bw_max_(num_masters, -1e300),
+        cpw_min_(num_masters, 1e300),
+        cpw_max_(num_masters, -1e300) {}
+
+  void record(const TestbedResult& result) {
+    ++replications_;
+    for (std::size_t m = 0; m < bw_.size(); ++m) {
+      bw_[m].record(result.bandwidth_fraction[m]);
+      bw_min_[m] = std::min(bw_min_[m], result.bandwidth_fraction[m]);
+      bw_max_[m] = std::max(bw_max_[m], result.bandwidth_fraction[m]);
+      cpw_[m].record(result.cycles_per_word[m]);
+      cpw_min_[m] = std::min(cpw_min_[m], result.cycles_per_word[m]);
+      cpw_max_[m] = std::max(cpw_max_[m], result.cycles_per_word[m]);
+    }
+    idle_.record(result.unutilized_fraction);
+    idle_min_ = std::min(idle_min_, result.unutilized_fraction);
+    idle_max_ = std::max(idle_max_, result.unutilized_fraction);
+  }
+
+  ReplicatedResult finish() const {
+    ReplicatedResult result;
+    result.replications = replications_;
+    for (std::size_t m = 0; m < bw_.size(); ++m) {
+      result.bandwidth_fraction.push_back(
+          summarize(bw_[m], bw_min_[m], bw_max_[m]));
+      result.cycles_per_word.push_back(
+          summarize(cpw_[m], cpw_min_[m], cpw_max_[m]));
+    }
+    result.unutilized_fraction = summarize(idle_, idle_min_, idle_max_);
+    return result;
+  }
+
+private:
+  std::size_t replications_ = 0;
+  std::vector<stats::RunningStats> bw_, cpw_;
+  std::vector<double> bw_min_, bw_max_, cpw_min_, cpw_max_;
+  stats::RunningStats idle_;
+  double idle_min_ = 1e300, idle_max_ = -1e300;
+};
+
 }  // namespace
 
 ReplicatedResult runReplicated(const bus::BusConfig& config,
@@ -87,42 +162,51 @@ ReplicatedResult runReplicated(const bus::BusConfig& config,
     throw std::invalid_argument("runReplicated: zero replications");
 
   const std::size_t n = config.num_masters;
-  std::vector<stats::RunningStats> bw(n), cpw(n);
-  std::vector<double> bw_min(n, 1e300), bw_max(n, -1e300);
-  std::vector<double> cpw_min(n, 1e300), cpw_max(n, -1e300);
-  stats::RunningStats idle;
-  double idle_min = 1e300, idle_max = -1e300;
-
+  ReplicationAccumulator acc(n);
   sim::SplitMix64 seeder(base_seed ^ 0x5eedba5eULL);
   for (std::size_t rep = 0; rep < replications; ++rep) {
     const std::uint64_t traffic_seed = seeder.next();
     const std::uint64_t arbiter_seed = seeder.next();
-    const TestbedResult result =
-        runTestbed(config, arbiter_factory(arbiter_seed),
-                   paramsFor(cls, n, traffic_seed), cycles);
-    for (std::size_t m = 0; m < n; ++m) {
-      bw[m].record(result.bandwidth_fraction[m]);
-      bw_min[m] = std::min(bw_min[m], result.bandwidth_fraction[m]);
-      bw_max[m] = std::max(bw_max[m], result.bandwidth_fraction[m]);
-      cpw[m].record(result.cycles_per_word[m]);
-      cpw_min[m] = std::min(cpw_min[m], result.cycles_per_word[m]);
-      cpw_max[m] = std::max(cpw_max[m], result.cycles_per_word[m]);
-    }
-    idle.record(result.unutilized_fraction);
-    idle_min = std::min(idle_min, result.unutilized_fraction);
-    idle_max = std::max(idle_max, result.unutilized_fraction);
+    acc.record(runTestbed(config, arbiter_factory(arbiter_seed),
+                          paramsFor(cls, n, traffic_seed), cycles));
+  }
+  return acc.finish();
+}
+
+ReplicatedResult runReplicatedBatched(const bus::BusConfig& config,
+                                      const ArbiterFactory& arbiter_factory,
+                                      const TrafficClass& cls,
+                                      sim::Cycle cycles,
+                                      std::size_t replications,
+                                      std::uint64_t base_seed,
+                                      BatchedReplicationOptions batch) {
+  if (replications == 0)
+    throw std::invalid_argument("runReplicatedBatched: zero replications");
+
+  const std::size_t n = config.num_masters;
+  // Exactly runReplicated's seed derivation, so replica r's system is
+  // bit-identical between the two runners.
+  sim::SplitMix64 seeder(base_seed ^ 0x5eedba5eULL);
+  std::vector<TestbedInstance> instances;
+  instances.reserve(replications);
+  for (std::size_t rep = 0; rep < replications; ++rep) {
+    const std::uint64_t traffic_seed = seeder.next();
+    const std::uint64_t arbiter_seed = seeder.next();
+    instances.emplace_back(config, arbiter_factory(arbiter_seed),
+                           paramsFor(cls, n, traffic_seed), TestbedOptions{});
   }
 
-  ReplicatedResult result;
-  result.replications = replications;
-  for (std::size_t m = 0; m < n; ++m) {
-    result.bandwidth_fraction.push_back(
-        summarize(bw[m], bw_min[m], bw_max[m]));
-    result.cycles_per_word.push_back(
-        summarize(cpw[m], cpw_min[m], cpw_max[m]));
-  }
-  result.unutilized_fraction = summarize(idle, idle_min, idle_max);
-  return result;
+  sim::BatchedReplicaRunner::Options runner_options;
+  runner_options.chunk = batch.chunk;
+  runner_options.threads = batch.threads;
+  runner_options.group = batch.group;
+  sim::BatchedReplicaRunner runner(runner_options);
+  for (TestbedInstance& instance : instances) runner.add(instance.kernel());
+  runner.run(cycles);
+
+  ReplicationAccumulator acc(n);
+  for (TestbedInstance& instance : instances) acc.record(instance.finish(cycles));
+  return acc.finish();
 }
 
 }  // namespace lb::traffic

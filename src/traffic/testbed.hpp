@@ -35,12 +35,46 @@ struct TestbedOptions {
   /// bit-identical to kNaive (see docs/performance.md); kNaive steps every
   /// cycle and exists as the differential-testing reference.
   sim::KernelMode kernel_mode = sim::KernelMode::kFast;
+  /// When true (default) components register on the kernel's sealed variant
+  /// fast path (devirtualized dispatch); false forces the type-erased
+  /// virtual edge.  Both are bit-identical — the flag exists for
+  /// differential tests and the sealed-vs-virtual benchmarks.
+  bool sealed = true;
   /// Invoked after construction, before running: configure tickets, attach
   /// extra components (ticket policies), enable tracing, ...
   std::function<void(bus::Bus&, sim::CycleKernel&)> setup;
   /// Invoked after the run and statistics collection, while the bus still
   /// exists: copy out traces, detach observers, ...
   std::function<void(bus::Bus&)> teardown;
+};
+
+/// A constructed test-bed system — kernel + bus + one TrafficSource per
+/// master — that has not consumed its cycle budget yet.  runTestbed() wraps
+/// one instance cradle-to-grave; the batched replication runner keeps many
+/// alive and steps their kernels in lockstep.
+class TestbedInstance {
+public:
+  TestbedInstance(bus::BusConfig config, std::unique_ptr<bus::IArbiter> arbiter,
+                  const std::vector<TrafficParams>& traffic,
+                  TestbedOptions options = {});
+  TestbedInstance(TestbedInstance&&) noexcept = default;
+  TestbedInstance& operator=(TestbedInstance&&) noexcept = default;
+
+  sim::CycleKernel& kernel() { return *kernel_; }
+  bus::Bus& bus() { return *bus_; }
+
+  /// Runs the configured warmup stretch (if any) and clears statistics.
+  void runWarmup();
+
+  /// Summarizes bus statistics after the measured run and invokes the
+  /// teardown hook.  `cycles` is the measured-cycle count to report.
+  TestbedResult finish(sim::Cycle cycles);
+
+private:
+  TestbedOptions options_;
+  std::unique_ptr<bus::Bus> bus_;
+  std::unique_ptr<sim::CycleKernel> kernel_;
+  std::vector<std::unique_ptr<TrafficSource>> sources_;
 };
 
 /// Builds kernel + bus + one TrafficSource per master, runs `cycles` cycles,
@@ -85,5 +119,25 @@ ReplicatedResult runReplicated(const bus::BusConfig& config,
                                const TrafficClass& cls, sim::Cycle cycles,
                                std::size_t replications,
                                std::uint64_t base_seed = 1);
+
+/// Knobs for the lockstep batched replication runner.
+struct BatchedReplicationOptions {
+  sim::Cycle chunk = 4096;     ///< cycles per lockstep slice
+  std::size_t threads = 0;     ///< 0 = auto, 1 = strictly sequential
+  std::size_t group = 4;       ///< replicas per lockstep group
+};
+
+/// Batched form of runReplicated: builds every replica up front (identical
+/// seed derivation) and steps them in lockstep chunks through
+/// sim::BatchedReplicaRunner instead of running each to completion in turn.
+/// Bit-identical to runReplicated — replicas are fully independent systems —
+/// which tests/kernel_diff_test.cpp enforces.
+ReplicatedResult runReplicatedBatched(const bus::BusConfig& config,
+                                      const ArbiterFactory& arbiter_factory,
+                                      const TrafficClass& cls,
+                                      sim::Cycle cycles,
+                                      std::size_t replications,
+                                      std::uint64_t base_seed = 1,
+                                      BatchedReplicationOptions batch = {});
 
 }  // namespace lb::traffic

@@ -216,8 +216,11 @@ TEST(LotteryArbiterTest, GrantsOnlyPendingMasters) {
 
 TEST(LotteryArbiterTest, TableRowsMatchPartialSums) {
   LotteryArbiter arbiter({1, 2, 3, 4});
-  for (std::uint32_t map = 0; map < 16; ++map)
-    EXPECT_EQ(arbiter.tableRow(map), partialSums({1, 2, 3, 4}, map));
+  for (std::uint32_t map = 0; map < 16; ++map) {
+    const auto row = arbiter.tableRow(map);
+    EXPECT_EQ(std::vector<std::uint64_t>(row.begin(), row.end()),
+              partialSums({1, 2, 3, 4}, map));
+  }
 }
 
 TEST(LotteryArbiterTest, DeterministicForEqualSeeds) {

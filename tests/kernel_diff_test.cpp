@@ -8,6 +8,13 @@
 // both kernel modes, and compares everything observable.  Three fixed-seed
 // runs are additionally pinned to golden digests so a regression that breaks
 // both modes the same way is still caught.
+//
+// The same contract extends across the kernel's two dispatch paths (sealed
+// std::variant fast path vs the type-erased virtual edge) and across the two
+// replication runners (sequential runReplicated vs the lockstep-batched
+// sim::BatchedReplicaRunner): every cross must be bit-identical, on the bus
+// and on the mesh, and the batched path must reproduce the same pinned
+// golden digests as the scalar one.
 
 #include <gtest/gtest.h>
 
@@ -25,6 +32,7 @@
 #include "core/lottery.hpp"
 #include "core/ticket_policy.hpp"
 #include "noc/mesh.hpp"
+#include "sim/batched.hpp"
 #include "sim/rng.hpp"
 #include "traffic/generator.hpp"
 #include "traffic/testbed.hpp"
@@ -148,45 +156,75 @@ struct Outcome {
   std::uint64_t ticket_updates = 0;
 };
 
-Outcome runSystem(const FuzzSystem& sys, sim::KernelMode mode) {
-  auto arbiter = makeArbiter(sys.arbiter_kind, sys.config.num_masters,
-                             sys.arbiter_seed, sys.config.max_burst_words);
-  const auto* exact = dynamic_cast<const core::LotteryArbiter*>(arbiter.get());
-  const auto* dyn =
-      dynamic_cast<const core::DynamicLotteryArbiter*>(arbiter.get());
-
-  Outcome out;
+/// A built-but-not-yet-run fuzz system.  Heap-allocated so the setup /
+/// teardown lambdas can capture a stable pointer; the batched tests keep
+/// several alive at once and step their kernels through a
+/// sim::BatchedReplicaRunner.
+struct SystemHarness {
+  FuzzSystem sys;
   std::unique_ptr<core::PeriodicTicketSchedule> schedule;
   std::unique_ptr<core::BacklogTicketPolicy> policy;
+  const core::LotteryArbiter* exact = nullptr;
+  const core::DynamicLotteryArbiter* dyn = nullptr;
+  Outcome out;
+  std::unique_ptr<traffic::TestbedInstance> instance;
+};
+
+std::unique_ptr<SystemHarness> buildSystem(const FuzzSystem& sys,
+                                           sim::KernelMode mode, bool sealed) {
+  auto harness = std::make_unique<SystemHarness>();
+  harness->sys = sys;
+  auto arbiter = makeArbiter(sys.arbiter_kind, sys.config.num_masters,
+                             sys.arbiter_seed, sys.config.max_burst_words);
+  harness->exact = dynamic_cast<const core::LotteryArbiter*>(arbiter.get());
+  harness->dyn =
+      dynamic_cast<const core::DynamicLotteryArbiter*>(arbiter.get());
+
+  SystemHarness* raw = harness.get();
   traffic::TestbedOptions options;
   options.kernel_mode = mode;
-  options.setup = [&](bus::Bus& bus, sim::CycleKernel& kernel) {
+  options.sealed = sealed;
+  options.setup = [raw](bus::Bus& bus, sim::CycleKernel& kernel) {
     bus.setTraceEnabled(true);
-    const std::size_t n = sys.config.num_masters;
-    if (sys.ticket_schedule) {
+    const std::size_t n = raw->sys.config.num_masters;
+    if (raw->sys.ticket_schedule) {
       std::vector<core::PeriodicTicketSchedule::Entry> entries;
-      for (sim::Cycle at = 1000; at < sys.cycles; at += 7777) {
+      for (sim::Cycle at = 1000; at < raw->sys.cycles; at += 7777) {
         std::vector<std::uint32_t> tickets(n, 1);
         tickets[(at / 7777) % n] = 8;
         entries.push_back({at, std::move(tickets)});
       }
-      schedule =
+      raw->schedule =
           std::make_unique<core::PeriodicTicketSchedule>(bus, entries);
-      kernel.attach(*schedule);
-    } else if (sys.backlog_policy) {
-      policy = std::make_unique<core::BacklogTicketPolicy>(
+      kernel.attach(*raw->schedule);
+    } else if (raw->sys.backlog_policy) {
+      raw->policy = std::make_unique<core::BacklogTicketPolicy>(
           bus, std::vector<std::uint32_t>(n, 1), 0.25, 32, 500);
-      kernel.attach(*policy);
+      kernel.attach(*raw->policy);
     }
   };
-  options.teardown = [&](bus::Bus& bus) { out.trace = bus.trace(); };
-  out.result = traffic::runTestbed(sys.config,
-                                   std::move(arbiter), sys.traffic,
-                                   sys.cycles, std::move(options));
-  if (exact != nullptr) out.lottery_draws = exact->draws();
-  if (dyn != nullptr) out.lottery_draws = dyn->draws();
-  if (policy != nullptr) out.ticket_updates = policy->updates();
-  return out;
+  options.teardown = [raw](bus::Bus& bus) { raw->out.trace = bus.trace(); };
+  harness->instance = std::make_unique<traffic::TestbedInstance>(
+      sys.config, std::move(arbiter), sys.traffic, std::move(options));
+  return harness;
+}
+
+Outcome finishSystem(SystemHarness& harness) {
+  harness.out.result = harness.instance->finish(harness.sys.cycles);
+  if (harness.exact != nullptr)
+    harness.out.lottery_draws = harness.exact->draws();
+  if (harness.dyn != nullptr) harness.out.lottery_draws = harness.dyn->draws();
+  if (harness.policy != nullptr)
+    harness.out.ticket_updates = harness.policy->updates();
+  return std::move(harness.out);
+}
+
+Outcome runSystem(const FuzzSystem& sys, sim::KernelMode mode,
+                  bool sealed = true) {
+  auto harness = buildSystem(sys, mode, sealed);
+  harness->instance->runWarmup();
+  harness->instance->kernel().run(sys.cycles);
+  return finishSystem(*harness);
 }
 
 void expectIdentical(const Outcome& naive, const Outcome& fast,
@@ -269,6 +307,20 @@ TEST(KernelDiffFuzzTest, RandomSystemsAreBitIdenticalAcrossModes) {
   }
 }
 
+TEST(KernelDiffFuzzTest, RandomSystemsAreBitIdenticalAcrossDispatchPaths) {
+  // Sealed (std::variant, devirtualized) vs type-erased virtual dispatch:
+  // the kernel promises the fast path is an inlining optimization only.
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    sim::Xoshiro256ss rng(seed * 0x9e3779b97f4a7c15ull);
+    const FuzzSystem sys = randomSystem(rng);
+    const Outcome sealed =
+        runSystem(sys, sim::KernelMode::kFast, /*sealed=*/true);
+    const Outcome virt =
+        runSystem(sys, sim::KernelMode::kFast, /*sealed=*/false);
+    expectIdentical(virt, sealed, label(sys, seed) + " dispatch");
+  }
+}
+
 TEST(KernelDiffFuzzTest, EveryArbiterKindIsBitIdenticalAcrossModes) {
   // The sweep above samples kinds; this loop guarantees full coverage, with
   // bursty sparse traffic so quiescent stretches actually occur.
@@ -292,8 +344,54 @@ TEST(KernelDiffFuzzTest, EveryArbiterKindIsBitIdenticalAcrossModes) {
     sys.cycles = 40000;
     const Outcome naive = runSystem(sys, sim::KernelMode::kNaive);
     const Outcome fast = runSystem(sys, sim::KernelMode::kFast);
+    const Outcome virt =
+        runSystem(sys, sim::KernelMode::kFast, /*sealed=*/false);
     expectIdentical(naive, fast, "kind=" + std::to_string(kind));
+    expectIdentical(naive, virt, "kind=" + std::to_string(kind) + " virtual");
     EXPECT_GT(fast.result.grants, 0u) << "kind=" << kind;
+  }
+}
+
+TEST(KernelDiffFuzzTest, BatchedReplicationMatchesSequentialForEveryKind) {
+  // runReplicated vs runReplicatedBatched must aggregate bit-identically for
+  // every arbiter kind.  The chunk deliberately does not divide the cycle
+  // budget, so the lockstep loop's remainder slice is exercised too.
+  const auto& cls = traffic::trafficClass("T2");
+  for (int kind = 0; kind < kArbiterKinds; ++kind) {
+    const traffic::ArbiterFactory factory = [kind](std::uint64_t seed) {
+      return makeArbiter(kind, 4, seed | 1, 16);
+    };
+    const auto sequential =
+        traffic::runReplicated(traffic::defaultBusConfig(4), factory, cls,
+                               15000, 5, 900 + kind);
+    traffic::BatchedReplicationOptions batch;
+    batch.chunk = 997;
+    batch.group = 2;
+    const auto batched = traffic::runReplicatedBatched(
+        traffic::defaultBusConfig(4), factory, cls, 15000, 5, 900 + kind,
+        batch);
+    const std::string who = "kind=" + std::to_string(kind);
+    ASSERT_EQ(sequential.replications, batched.replications) << who;
+    ASSERT_EQ(sequential.bandwidth_fraction.size(),
+              batched.bandwidth_fraction.size())
+        << who;
+    for (std::size_t m = 0; m < sequential.bandwidth_fraction.size(); ++m) {
+      const auto expect_metric = [&](const traffic::ReplicatedMetric& a,
+                                     const traffic::ReplicatedMetric& b,
+                                     const char* what) {
+        EXPECT_EQ(a.mean, b.mean) << who << " master " << m << " " << what;
+        EXPECT_EQ(a.stddev, b.stddev) << who << " master " << m << " " << what;
+        EXPECT_EQ(a.min, b.min) << who << " master " << m << " " << what;
+        EXPECT_EQ(a.max, b.max) << who << " master " << m << " " << what;
+      };
+      expect_metric(sequential.bandwidth_fraction[m],
+                    batched.bandwidth_fraction[m], "bandwidth");
+      expect_metric(sequential.cycles_per_word[m], batched.cycles_per_word[m],
+                    "cycles/word");
+    }
+    EXPECT_EQ(sequential.unutilized_fraction.mean,
+              batched.unutilized_fraction.mean)
+        << who;
   }
 }
 
@@ -378,37 +476,53 @@ struct MeshOutcome {
   std::uint64_t draws = 0;
 };
 
-MeshOutcome runMeshSystem(const MeshFuzzSystem& sys, sim::KernelMode mode) {
+/// A built-but-not-yet-run mesh replica; the batched tests keep several
+/// alive and step their kernels in lockstep.
+struct MeshReplica {
+  MeshFuzzSystem sys;
+  std::unique_ptr<noc::MeshNetwork> mesh;
+  std::unique_ptr<sim::CycleKernel> kernel;
+  std::vector<std::unique_ptr<traffic::TrafficSource>> sources;
+};
+
+MeshReplica buildMeshReplica(const MeshFuzzSystem& sys, sim::KernelMode mode) {
+  MeshReplica rep;
+  rep.sys = sys;
   noc::MeshConfig config = sys.config;
-  config.arbiter_factory = [&sys](noc::NodeId router, int port) {
+  const int kind = sys.arbiter_kind;
+  const std::uint64_t arbiter_seed = sys.arbiter_seed;
+  const std::uint32_t burst = sys.burst;
+  config.arbiter_factory = [kind, arbiter_seed, burst](noc::NodeId router,
+                                                       int port) {
     // Stateless per-(router, port) seed: instantiation order independent.
     const std::uint64_t seed =
-        mix64(sys.arbiter_seed ^
+        mix64(arbiter_seed ^
               mix64(static_cast<std::uint64_t>(router) * noc::kNumPorts +
                     static_cast<std::uint64_t>(port) + 1)) |
         1;
-    return makeArbiter(sys.arbiter_kind, noc::kNumPorts, seed, sys.burst);
+    return makeArbiter(kind, noc::kNumPorts, seed, burst);
   };
-  noc::MeshNetwork mesh(config);
-  sim::CycleKernel kernel;
-  kernel.setMode(mode);
-  std::vector<std::unique_ptr<traffic::TrafficSource>> sources;
-  for (std::size_t n = 0; n < mesh.nodes(); ++n) {
-    sources.push_back(std::make_unique<traffic::TrafficSource>(
-        mesh.ni(static_cast<noc::NodeId>(n)), static_cast<int>(n),
+  rep.mesh = std::make_unique<noc::MeshNetwork>(config);
+  rep.kernel = std::make_unique<sim::CycleKernel>();
+  rep.kernel->setMode(mode);
+  for (std::size_t n = 0; n < rep.mesh->nodes(); ++n) {
+    rep.sources.push_back(std::make_unique<traffic::TrafficSource>(
+        rep.mesh->ni(static_cast<noc::NodeId>(n)), static_cast<int>(n),
         sys.traffic[n]));
-    kernel.attach(*sources.back());
+    rep.kernel->attach(*rep.sources.back());
   }
-  mesh.attachTo(kernel);
-  kernel.run(sys.cycles);
+  rep.mesh->attachTo(*rep.kernel);
+  return rep;
+}
 
+MeshOutcome collectMeshOutcome(MeshReplica& rep) {
   MeshOutcome out;
-  out.stats = mesh.stats();
-  out.trace = mesh.grantTrace();
-  for (std::size_t n = 0; n < mesh.nodes(); ++n) {
+  out.stats = rep.mesh->stats();
+  out.trace = rep.mesh->grantTrace();
+  for (std::size_t n = 0; n < rep.mesh->nodes(); ++n) {
     for (int port = 0; port < noc::kNumPorts; ++port) {
       const bus::IArbiter& arb =
-          mesh.router(static_cast<noc::NodeId>(n)).arbiter(port);
+          rep.mesh->router(static_cast<noc::NodeId>(n)).arbiter(port);
       if (const auto* a = dynamic_cast<const core::LotteryArbiter*>(&arb))
         out.draws += a->draws();
       if (const auto* a =
@@ -417,6 +531,12 @@ MeshOutcome runMeshSystem(const MeshFuzzSystem& sys, sim::KernelMode mode) {
     }
   }
   return out;
+}
+
+MeshOutcome runMeshSystem(const MeshFuzzSystem& sys, sim::KernelMode mode) {
+  MeshReplica rep = buildMeshReplica(sys, mode);
+  rep.kernel->run(sys.cycles);
+  return collectMeshOutcome(rep);
 }
 
 void expectMeshIdentical(const MeshOutcome& naive, const MeshOutcome& fast,
@@ -494,25 +614,104 @@ TEST(KernelDiffFuzzTest, EveryArbiterKindIsBitIdenticalOnAMesh) {
   }
 }
 
+TEST(KernelDiffFuzzTest, BatchedMeshReplicasMatchSequentialStepping) {
+  // Four random mesh systems (equalized cycle budgets) stepped one at a time
+  // vs fresh copies stepped in lockstep by a BatchedReplicaRunner whose
+  // chunk does not divide the budget: per-replica stats, grant traces and
+  // draw counts must match exactly.
+  constexpr sim::Cycle kCycles = 20000;
+  std::vector<MeshFuzzSystem> systems;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    sim::Xoshiro256ss rng(seed * 0xd1b54a32d192ed03ull);
+    MeshFuzzSystem sys = randomMeshSystem(rng);
+    sys.cycles = kCycles;
+    systems.push_back(std::move(sys));
+  }
+  std::vector<MeshOutcome> sequential;
+  for (const MeshFuzzSystem& sys : systems)
+    sequential.push_back(runMeshSystem(sys, sim::KernelMode::kFast));
+
+  std::vector<MeshReplica> replicas;
+  for (const MeshFuzzSystem& sys : systems)
+    replicas.push_back(buildMeshReplica(sys, sim::KernelMode::kFast));
+  sim::BatchedReplicaRunner::Options options;
+  options.chunk = 777;
+  options.group = 3;
+  sim::BatchedReplicaRunner runner(options);
+  for (MeshReplica& rep : replicas) runner.add(*rep.kernel);
+  runner.run(kCycles);
+  for (std::size_t r = 0; r < replicas.size(); ++r)
+    expectMeshIdentical(sequential[r], collectMeshOutcome(replicas[r]),
+                        "batched mesh replica " + std::to_string(r));
+}
+
+/// The pinned fuzz-seed digests: catch a change that alters behavior in both
+/// kernel modes (or both dispatch paths, or both replication runners) at
+/// once, which the differential checks cannot see.  Update these only with a
+/// CHANGES.md note explaining the behavioral change.
+constexpr struct {
+  std::uint64_t seed;
+  std::uint64_t digest;
+} kGoldens[] = {
+    {3, 0xe78405cc4f1e7d59ull},   // fcfs, 5 masters, preemption
+    {11, 0x8b5149160315eaa6ull},  // exact lottery, 4 masters
+    {27, 0xf37419c8e3dbc0e2ull},  // static priority, 6 masters, preemption
+};
+
 TEST(KernelDiffFuzzTest, GoldenDigestsAreStable) {
-  // Three pinned fuzz seeds: catches a change that alters behavior in BOTH
-  // modes at once (which the differential checks cannot see).  Update these
-  // only with a CHANGES.md note explaining the behavioral change.
-  const struct {
-    std::uint64_t seed;
-    std::uint64_t digest;
-  } goldens[] = {
-      {3, 0xe78405cc4f1e7d59ull},   // fcfs, 5 masters, preemption
-      {11, 0x8b5149160315eaa6ull},  // exact lottery, 4 masters
-      {27, 0xf37419c8e3dbc0e2ull},  // static priority, 6 masters, preemption
-  };
-  for (const auto& golden : goldens) {
+  // Every (kernel mode, dispatch path) combination must reproduce the same
+  // pinned digest — the naive-virtual run is the least-optimized reference,
+  // the fast-sealed run is the production configuration.
+  for (const auto& golden : kGoldens) {
     sim::Xoshiro256ss rng(golden.seed * 0x9e3779b97f4a7c15ull);
     const FuzzSystem sys = randomSystem(rng);
-    const Outcome fast = runSystem(sys, sim::KernelMode::kFast);
-    EXPECT_EQ(digest(fast), golden.digest)
-        << label(sys, golden.seed) << std::hex << " actual digest 0x"
-        << digest(fast);
+    const Outcome sealed =
+        runSystem(sys, sim::KernelMode::kFast, /*sealed=*/true);
+    const Outcome virt =
+        runSystem(sys, sim::KernelMode::kFast, /*sealed=*/false);
+    const Outcome naive =
+        runSystem(sys, sim::KernelMode::kNaive, /*sealed=*/false);
+    EXPECT_EQ(digest(sealed), golden.digest)
+        << label(sys, golden.seed) << std::hex << " fast-sealed digest 0x"
+        << digest(sealed);
+    EXPECT_EQ(digest(virt), golden.digest)
+        << label(sys, golden.seed) << std::hex << " fast-virtual digest 0x"
+        << digest(virt);
+    EXPECT_EQ(digest(naive), golden.digest)
+        << label(sys, golden.seed) << std::hex << " naive-virtual digest 0x"
+        << digest(naive);
+  }
+}
+
+TEST(KernelDiffFuzzTest, BatchedGoldenDigestsAreStable) {
+  // Replica 0 of a lockstep batch is the exact pinned system; replicas 1..3
+  // are reseeded decoys sharing the batch.  Stepping all four through a
+  // BatchedReplicaRunner must leave replica 0's digest equal to the golden —
+  // the batched path cannot perturb a replica, no matter its batchmates.
+  for (const auto& golden : kGoldens) {
+    sim::Xoshiro256ss rng(golden.seed * 0x9e3779b97f4a7c15ull);
+    const FuzzSystem base = randomSystem(rng);
+    std::vector<std::unique_ptr<SystemHarness>> replicas;
+    for (std::uint64_t r = 0; r < 4; ++r) {
+      FuzzSystem sys = base;
+      if (r > 0) {
+        sys.arbiter_seed = mix64(base.arbiter_seed + r) | 1;
+        for (traffic::TrafficParams& p : sys.traffic)
+          p.seed = mix64(p.seed + r) | 1;
+      }
+      replicas.push_back(buildSystem(sys, sim::KernelMode::kFast,
+                                     /*sealed=*/true));
+    }
+    sim::BatchedReplicaRunner::Options options;
+    options.chunk = 997;  // deliberately does not divide the cycle budget
+    options.group = 2;
+    sim::BatchedReplicaRunner runner(options);
+    for (auto& rep : replicas) runner.add(rep->instance->kernel());
+    runner.run(base.cycles);
+    const Outcome replica0 = finishSystem(*replicas[0]);
+    EXPECT_EQ(digest(replica0), golden.digest)
+        << label(base, golden.seed) << std::hex << " batched digest 0x"
+        << digest(replica0);
   }
 }
 

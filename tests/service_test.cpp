@@ -212,6 +212,43 @@ TEST(ScenarioCodecTest, GoldenHashesAreStable) {
   EXPECT_THROW(service::normalized(warp), service::ScenarioError);
 }
 
+TEST(ScenarioCodecTest, ReplicasKnobKeepsExistingHashesStable) {
+  // replicas is serialized only when != 1: the default must not perturb any
+  // pre-existing cache key, while a replicated scenario names distinct work.
+  const Scenario def;
+  Scenario one = def;
+  one.replicas = 1;
+  EXPECT_EQ(service::canonicalJson(one), service::canonicalJson(def));
+  EXPECT_EQ(service::scenarioHashHex(one), "de932628a4eac85f");
+
+  Scenario eight = def;
+  eight.replicas = 8;
+  EXPECT_EQ(service::canonicalJson(eight),
+            R"({"arbiter":"lottery","weights":[1,2,3,4],"class":"T2",)"
+            R"("masters":4,"cycles":200000,"burst":16,"seed":7,"lfsr":false,)"
+            R"("replicas":8})");
+  EXPECT_EQ(service::scenarioHashHex(eight), "8adfb8cd5b791d64");
+  EXPECT_EQ(
+      service::scenarioFromJson(Json::parse(service::canonicalJson(eight)))
+          .replicas,
+      8u);
+
+  Scenario zero = def;
+  zero.replicas = 0;
+  EXPECT_THROW(service::normalized(zero), service::ScenarioError);
+}
+
+TEST(ScenarioCodecTest, ReplicaSeedsAreStable) {
+  // Replica 0 keeps the base seed (a 1-replica run IS the historical single
+  // run); later replicas decorrelate through a pinned SplitMix64 finalizer.
+  // These values are part of the replicated-result cache contract.
+  EXPECT_EQ(service::replicaSeed(7, 0), 7u);
+  EXPECT_EQ(service::replicaSeed(7, 1), 11409396526365357622ull);
+  EXPECT_EQ(service::replicaSeed(7, 3), 614480483733483466ull);
+  EXPECT_NE(service::replicaSeed(7, 1), service::replicaSeed(7, 2));
+  EXPECT_NE(service::replicaSeed(7, 1), service::replicaSeed(8, 1));
+}
+
 TEST(ScenarioCodecTest, HashIsInvariantUnderNormalization) {
   Scenario sparse;
   sparse.weights = {1};
@@ -240,6 +277,76 @@ TEST(ScenarioRunTest, MatchesDirectTestbedInvocation) {
   EXPECT_EQ(a, b);  // pure function of the scenario
   EXPECT_EQ(a.cycles, 30000u);
   EXPECT_EQ(a.bandwidth_fraction.size(), 4u);
+}
+
+namespace {
+
+/// The test-side mirror of the replicated aggregation contract: mean of the
+/// per-master rates (summed in replica order, divided once), sum of the
+/// counters, cycles unchanged.  Folding in the same order as the library
+/// makes exact double comparison legitimate.
+service::ScenarioResult aggregateSingles(
+    const std::vector<service::ScenarioResult>& runs) {
+  service::ScenarioResult result = runs.front();
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    const service::ScenarioResult& run = runs[r];
+    for (std::size_t m = 0; m < result.bandwidth_fraction.size(); ++m) {
+      result.bandwidth_fraction[m] += run.bandwidth_fraction[m];
+      result.traffic_share[m] += run.traffic_share[m];
+      result.cycles_per_word[m] += run.cycles_per_word[m];
+      result.mean_message_latency[m] += run.mean_message_latency[m];
+      result.messages_completed[m] += run.messages_completed[m];
+    }
+    result.unutilized_fraction += run.unutilized_fraction;
+    result.grants += run.grants;
+    result.preemptions += run.preemptions;
+  }
+  const auto count = static_cast<double>(runs.size());
+  for (std::size_t m = 0; m < result.bandwidth_fraction.size(); ++m) {
+    result.bandwidth_fraction[m] /= count;
+    result.traffic_share[m] /= count;
+    result.cycles_per_word[m] /= count;
+    result.mean_message_latency[m] /= count;
+  }
+  result.unutilized_fraction /= count;
+  return result;
+}
+
+}  // namespace
+
+TEST(ScenarioRunTest, ReplicatedRunAggregatesIndependentSingleRuns) {
+  // A replicas=N scenario must equal the aggregate of N single runs seeded
+  // replicaSeed(seed, r) — proving the lockstep batched execution cannot
+  // perturb any replica, and pinning the aggregation rule itself.
+  Scenario replicated;
+  replicated.cycles = 20000;
+  replicated.replicas = 4;
+
+  std::vector<service::ScenarioResult> singles;
+  for (std::uint32_t r = 0; r < replicated.replicas; ++r) {
+    Scenario single = replicated;
+    single.replicas = 1;
+    single.seed = service::replicaSeed(replicated.seed, r);
+    singles.push_back(service::runScenario(single));
+  }
+  EXPECT_EQ(service::runScenario(replicated), aggregateSingles(singles));
+}
+
+TEST(ScenarioRunTest, ReplicatedMeshRunAggregatesIndependentSingleRuns) {
+  Scenario replicated;
+  replicated.mesh.width = 3;
+  replicated.cycles = 10000;
+  replicated.replicas = 3;
+  replicated = service::normalized(replicated);
+
+  std::vector<service::ScenarioResult> singles;
+  for (std::uint32_t r = 0; r < replicated.replicas; ++r) {
+    Scenario single = replicated;
+    single.replicas = 1;
+    single.seed = service::replicaSeed(replicated.seed, r);
+    singles.push_back(service::runScenario(single));
+  }
+  EXPECT_EQ(service::runScenario(replicated), aggregateSingles(singles));
 }
 
 // The observability golden check: instrumentation and trace capture must be
